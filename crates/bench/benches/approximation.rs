@@ -1,0 +1,60 @@
+//! Criterion benches behind experiments E6 and E7: the paper's FPRAS vs
+//! the Karp–Luby baseline, across ε and database size.
+
+use cdr_bench::union_workload;
+use cdr_core::{ApproxConfig, FprasEstimator, KarpLubyEstimator};
+use cdr_query::rewrite_to_ucq;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn config(epsilon: f64) -> ApproxConfig {
+    ApproxConfig {
+        epsilon,
+        delta: 0.05,
+        max_samples: 100_000,
+        seed: 7,
+    }
+}
+
+fn bench_fpras_vs_karp_luby(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx/fpras_vs_karp_luby");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for &blocks in &[50usize, 200, 800] {
+        let (db, keys, q) = union_workload(blocks, 3, 3, 17);
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let fpras = FprasEstimator::new(&db, &keys, &ucq).unwrap();
+        let kl = KarpLubyEstimator::new(&db, &keys, &ucq).unwrap();
+        group.bench_with_input(BenchmarkId::new("fpras", blocks), &blocks, |b, _| {
+            b.iter(|| fpras.estimate(&config(0.2)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("karp_luby", blocks), &blocks, |b, _| {
+            b.iter(|| kl.estimate(&config(0.2)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fpras_epsilon_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx/fpras_epsilon");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    let (db, keys, q) = union_workload(100, 3, 3, 19);
+    let ucq = rewrite_to_ucq(&q).unwrap();
+    let fpras = FprasEstimator::new(&db, &keys, &ucq).unwrap();
+    for &epsilon in &[0.5f64, 0.2, 0.1] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(epsilon),
+            &epsilon,
+            |b, &eps| {
+                b.iter(|| fpras.estimate(&config(eps)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fpras_vs_karp_luby, bench_fpras_epsilon_sweep);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches behind experiments E3 and E11a: the decision problem
+//! `#CQA>0` (certificate search) and the total repair count, both of which
+//! must scale polynomially.
+
+use cdr_bench::{uniform_workload, union_workload};
+use cdr_core::RepairCounter;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision/certificate_search");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for &blocks in &[100usize, 400, 1600] {
+        let (db, keys, q) = union_workload(blocks, 3, 3, 29);
+        let counter = RepairCounter::new(&db, &keys);
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, _| {
+            b.iter(|| counter.holds_in_some_repair(&q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_total_repairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("totals/count_repairs");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for &blocks in &[1_000usize, 5_000, 20_000] {
+        let (db, keys, _) = uniform_workload(blocks, 4, 0, 31);
+        let counter = RepairCounter::new(&db, &keys);
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, _| {
+            b.iter(|| counter.total_repairs());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision, bench_total_repairs);
+criterion_main!(benches);

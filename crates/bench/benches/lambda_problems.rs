@@ -1,0 +1,66 @@
+//! Criterion benches behind experiments E8, E9 and E5: the companion
+//! problems `#DisjPoskDNF` and `#kForbColoring`, counted directly and
+//! through the Theorem 5.1 reduction to `#CQA(Q_k, Σ_k)`.
+
+use cdr_lambda::reduce_compactor_to_cqa;
+use cdr_workloads::{
+    random_disj_pos_dnf, random_forbidden_coloring, DnfConfig, HypergraphConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_disj_pos_dnf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda/disj_pos_kdnf");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for &classes in &[20usize, 60, 180] {
+        let f = random_disj_pos_dnf(&DnfConfig {
+            classes,
+            class_size: 3,
+            clauses: classes / 2,
+            clause_width: 2,
+            seed: 3,
+        });
+        group.bench_with_input(BenchmarkId::new("direct", classes), &classes, |b, _| {
+            b.iter(|| f.count_satisfying(u64::MAX).unwrap());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("via_reduction", classes),
+            &classes,
+            |b, _| {
+                b.iter(|| {
+                    reduce_compactor_to_cqa(&f)
+                        .unwrap()
+                        .count(u64::MAX)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_forbidden_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda/forbidden_coloring");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for &vertices in &[20usize, 60, 180] {
+        let f = random_forbidden_coloring(&HypergraphConfig {
+            vertices,
+            colors_per_vertex: 3,
+            edges: vertices / 2,
+            edge_size: 2,
+            forbidden_per_edge: 2,
+            seed: 5,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(vertices), &vertices, |b, _| {
+            b.iter(|| f.count_forbidden(u64::MAX).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disj_pos_dnf, bench_forbidden_coloring);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Shared harness for the experiments and benchmarks.
+//!
+//! The paper has no empirical section (experiments are future work,
+//! Section 8); EXPERIMENTS.md defines the experiments E1–E11 that validate
+//! each theorem, and this crate regenerates their tables:
+//!
+//! * `cargo run -p cdr-bench --release --bin experiments -- all` prints
+//!   every table (or pass an experiment id such as `e6`).
+//! * `cargo bench -p cdr-bench` runs the Criterion micro-benchmarks that
+//!   back the scaling experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cdr_core::{ApproxConfig, RepairCounter};
+use cdr_num::BigNat;
+use cdr_query::{parse_query, Query};
+use cdr_repairdb::{Database, KeySet};
+use cdr_workloads::{
+    BlockSizeDistribution, InconsistentDbConfig, QueryGenConfig, RelationSpec,
+};
+
+/// Prints a table row with `|`-separated cells, padding each cell.
+pub fn row(cells: &[String]) {
+    let rendered: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("| {} |", rendered.join(" | "));
+}
+
+/// Prints a table header followed by a separator line.
+pub fn header(title: &str, cells: &[&str]) {
+    println!("\n### {title}\n");
+    row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("|{}|", vec!["-".repeat(16); cells.len()].join("|"));
+}
+
+/// A standard workload: one keyed relation with `blocks` blocks of exactly
+/// `block_size` facts each, plus the Boolean query "the first `atoms` keys
+/// all chose their first payload value".
+pub fn uniform_workload(
+    blocks: usize,
+    block_size: usize,
+    atoms: usize,
+    seed: u64,
+) -> (Database, KeySet, Query) {
+    let (db, keys) = InconsistentDbConfig {
+        relations: vec![RelationSpec::keyed("R", blocks)],
+        block_sizes: BlockSizeDistribution::Fixed(block_size),
+        payload_domain: 10_000, // large pool: block sizes are exact
+        seed,
+    }
+    .generate();
+    // Pin the first payload value of the first `atoms` blocks.
+    let mut disjunct_atoms = Vec::new();
+    for key in 0..atoms.min(blocks) {
+        let rel = db.schema().relation_id("R").expect("generated relation");
+        let first_fact = db
+            .facts_of(rel)
+            .iter()
+            .map(|&f| db.fact(f))
+            .find(|f| f.arg(0) == &cdr_repairdb::Value::int(key as i64))
+            .expect("every block has a fact");
+        disjunct_atoms.push(format!("R({}, {})", key, first_fact.arg(1)));
+    }
+    let text = if disjunct_atoms.is_empty() {
+        "TRUE".to_string()
+    } else {
+        disjunct_atoms.join(" AND ")
+    };
+    let query = parse_query(&text).expect("generated query is valid");
+    (db, keys, query)
+}
+
+/// A disjunctive workload: the union of `disjuncts` single-atom point
+/// queries over distinct blocks ("key i chose its first payload value").
+pub fn union_workload(
+    blocks: usize,
+    block_size: usize,
+    disjuncts: usize,
+    seed: u64,
+) -> (Database, KeySet, Query) {
+    let (db, keys) = InconsistentDbConfig {
+        relations: vec![RelationSpec::keyed("R", blocks)],
+        block_sizes: BlockSizeDistribution::Fixed(block_size),
+        payload_domain: 10_000,
+        seed,
+    }
+    .generate();
+    let rel = db.schema().relation_id("R").expect("generated relation");
+    let mut parts = Vec::new();
+    for key in 0..disjuncts.min(blocks) {
+        let first_fact = db
+            .facts_of(rel)
+            .iter()
+            .map(|&f| db.fact(f))
+            .find(|f| f.arg(0) == &cdr_repairdb::Value::int(key as i64))
+            .expect("every block has a fact");
+        parts.push(format!("R({}, {})", key, first_fact.arg(1)));
+    }
+    let text = if parts.is_empty() {
+        "FALSE".to_string()
+    } else {
+        parts.join(" OR ")
+    };
+    let query = parse_query(&text).expect("generated query is valid");
+    (db, keys, query)
+}
+
+/// Convenience: a random join/point workload from the generators (used by
+/// the benches so they exercise less regular shapes too).
+pub fn random_workload(blocks: usize, block_size: usize, seed: u64) -> (Database, KeySet, Query) {
+    let (db, keys) = InconsistentDbConfig {
+        relations: vec![RelationSpec::keyed("R", blocks), RelationSpec::keyed("S", blocks)],
+        block_sizes: BlockSizeDistribution::Fixed(block_size),
+        payload_domain: 6,
+        seed,
+    }
+    .generate();
+    let query = cdr_workloads::random_join_query(&db, &keys, &QueryGenConfig { size: 2, seed });
+    (db, keys, query)
+}
+
+/// Runs the exact counter and both estimators on a workload and returns
+/// `(exact, fpras_error, kl_error, fpras_samples, kl_samples)`.
+pub fn accuracy_point(
+    db: &Database,
+    keys: &KeySet,
+    query: &Query,
+    epsilon: f64,
+    seed: u64,
+) -> (BigNat, f64, f64, u64, u64) {
+    let counter = RepairCounter::new(db, keys);
+    let exact = counter.count(query).expect("exact count").count;
+    let config = ApproxConfig {
+        epsilon,
+        delta: 0.05,
+        seed,
+        ..ApproxConfig::default()
+    };
+    let fpras = counter.approximate(query, &config).expect("fpras");
+    let kl = counter
+        .approximate_karp_luby(query, &config)
+        .expect("karp-luby");
+    (
+        exact.clone(),
+        fpras.relative_error(&exact),
+        kl.relative_error(&exact),
+        fpras.samples_used,
+        kl.samples_used,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_workload_has_predictable_counts() {
+        let (db, keys, q) = uniform_workload(6, 3, 2, 1);
+        let counter = RepairCounter::new(&db, &keys);
+        assert_eq!(counter.total_repairs().to_u64(), Some(3u64.pow(6)));
+        // Two pinned blocks: 3^4 repairs entail the conjunction.
+        assert_eq!(counter.count(&q).unwrap().count.to_u64(), Some(3u64.pow(4)));
+    }
+
+    #[test]
+    fn union_workload_has_predictable_counts() {
+        let (db, keys, q) = union_workload(5, 2, 2, 1);
+        let counter = RepairCounter::new(&db, &keys);
+        assert_eq!(counter.total_repairs().to_u64(), Some(32));
+        // |A ∪ B| = 16 + 16 - 8 = 24.
+        assert_eq!(counter.count(&q).unwrap().count.to_u64(), Some(24));
+    }
+
+    #[test]
+    fn accuracy_point_reports_small_errors() {
+        let (db, keys, q) = union_workload(8, 3, 3, 2);
+        let (exact, fe, ke, fs, ks) = accuracy_point(&db, &keys, &q, 0.1, 7);
+        assert!(!exact.is_zero());
+        assert!(fe <= 0.1);
+        assert!(ke <= 0.1);
+        assert!(fs > 0 && ks > 0);
+    }
+
+    #[test]
+    fn random_workload_is_well_formed() {
+        let (db, keys, q) = random_workload(4, 2, 3);
+        let counter = RepairCounter::new(&db, &keys);
+        assert!(counter.count(&q).is_ok());
+    }
+}

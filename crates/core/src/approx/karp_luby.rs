@@ -1,0 +1,284 @@
+//! The Karp–Luby union-of-boxes estimator (the "[5]-style" baseline).
+//!
+//! Section 6 of the paper contrasts its own FPRAS with the one inherited
+//! from probabilistic databases [5]: the latter cannot sample from the
+//! natural space of possible worlds (repairs) directly — it must sample
+//! *pairs* of a witness (here: a certificate box) and a completion, and
+//! correct for over-counting with the classic Karp–Luby "am I the first box
+//! that contains this sample?" trick.  This module implements that
+//! estimator so the benchmarks can compare the two schemes on accuracy and
+//! running time.
+//!
+//! Estimator: let `W = Σᵢ |boxᵢ|`.  Repeat `t` times: draw a box `i` with
+//! probability `|boxᵢ|/W`, draw a uniform completion of `boxᵢ` (a repair
+//! inside the box), and output 1 iff no box with a smaller index contains
+//! the drawn repair.  The mean of the indicator times `W` is an unbiased
+//! estimate of `|⋃ᵢ boxᵢ|`, and because the union is at least `W/#boxes`,
+//! `t = ⌈(2+ε)·#boxes/ε² · ln(2/δ)⌉` samples give an (ε, δ) guarantee.
+
+use cdr_num::BigNat;
+use cdr_query::UcqQuery;
+use cdr_repairdb::{count_repairs, BlockId, BlockPartition, Database, FactId, KeySet};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::approx::{scale_by_fraction, ApproxConfig, ApproxCount};
+use crate::{distinct_boxes, enumerate_certificates, CountError, SelectorBox};
+
+/// The Karp–Luby estimator over the certificate boxes of a UCQ.
+pub struct KarpLubyEstimator {
+    blocks: BlockPartition,
+    boxes: Vec<SelectorBox>,
+    /// `Σᵢ |boxᵢ|` — the size of the (certificate, completion) sample space.
+    total_weight: BigNat,
+    /// Per-box relative weights `|boxᵢ| / ∏ⱼ |Bⱼ|`, used for sampling; each
+    /// equals `∏_{pinned j} 1/|Bⱼ| ∈ (0, 1]`, so they are safe in `f64`.
+    relative_weights: Vec<f64>,
+    total_repairs: BigNat,
+}
+
+impl KarpLubyEstimator {
+    /// Prepares the estimator for a UCQ over a database.
+    pub fn new(db: &Database, keys: &KeySet, ucq: &UcqQuery) -> Result<Self, CountError> {
+        let blocks = BlockPartition::new(db, keys);
+        let certificates = enumerate_certificates(db, keys, &blocks, ucq)?;
+        let boxes = distinct_boxes(&certificates);
+        let total_repairs = count_repairs(&blocks);
+        let mut total_weight = BigNat::zero();
+        let mut relative_weights = Vec::with_capacity(boxes.len());
+        for b in &boxes {
+            total_weight += b.size(&blocks);
+            let mut w = 1.0f64;
+            for (block, _) in b.pins() {
+                w /= blocks.block(block).len() as f64;
+            }
+            relative_weights.push(w);
+        }
+        Ok(KarpLubyEstimator {
+            blocks,
+            boxes,
+            total_weight,
+            relative_weights,
+            total_repairs,
+        })
+    }
+
+    /// The summed box weight `W = Σᵢ |boxᵢ|` (the sample-space size of the
+    /// pair space).
+    pub fn total_weight(&self) -> &BigNat {
+        &self.total_weight
+    }
+
+    /// Number of boxes the estimator samples from.
+    pub fn box_count(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// The sample size `t = ⌈(2+ε)·#boxes/ε² · ln(2/δ)⌉`.
+    pub fn required_samples(&self, config: &ApproxConfig) -> Result<u64, CountError> {
+        config.validate()?;
+        let boxes = self.boxes.len().max(1) as f64;
+        let eps = config.epsilon;
+        let t = (2.0 + eps) * boxes / (eps * eps) * (2.0 / config.delta).ln();
+        if !t.is_finite() || t >= u64::MAX as f64 {
+            return Ok(u64::MAX);
+        }
+        Ok(t.ceil().max(1.0) as u64)
+    }
+
+    /// Runs the estimator.
+    pub fn estimate(&self, config: &ApproxConfig) -> Result<ApproxCount, CountError> {
+        config.validate()?;
+        if self.boxes.is_empty() {
+            return Ok(ApproxCount::exact_value(
+                BigNat::zero(),
+                self.total_weight.clone(),
+            ));
+        }
+        if self.boxes.iter().any(SelectorBox::is_unconstrained) {
+            // Some box is the whole space of repairs: the union is exactly
+            // the total number of repairs.
+            return Ok(ApproxCount::exact_value(
+                self.total_repairs.clone(),
+                self.total_weight.clone(),
+            ));
+        }
+        let requested = self.required_samples(config)?;
+        let samples = requested.min(config.max_samples).max(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let weight_sum: f64 = self.relative_weights.iter().sum();
+        let mut positives: u64 = 0;
+        let mut choice: Vec<FactId> = Vec::with_capacity(self.blocks.len());
+        for _ in 0..samples {
+            // Draw a box proportionally to its size.
+            let mut target = rng.gen_range(0.0..weight_sum);
+            let mut chosen_box = self.boxes.len() - 1;
+            for (i, w) in self.relative_weights.iter().enumerate() {
+                if target < *w {
+                    chosen_box = i;
+                    break;
+                }
+                target -= w;
+            }
+            // Draw a uniform completion of the chosen box.
+            choice.clear();
+            for (id, block) in self.blocks.iter() {
+                let fact = match self.boxes[chosen_box].pin_for(id) {
+                    Some(f) => f,
+                    None => block.facts()[rng.gen_range(0..block.len())],
+                };
+                choice.push(fact);
+            }
+            // Count the sample only if no earlier box already covers it.
+            let first_cover = self
+                .boxes
+                .iter()
+                .position(|b| b.contains_choice(&choice))
+                .expect("the chosen box covers its own completion");
+            if first_cover == chosen_box {
+                positives += 1;
+            }
+        }
+        let (estimate, estimate_log) = scale_by_fraction(&self.total_weight, positives, samples);
+        Ok(ApproxCount {
+            estimate,
+            estimate_log,
+            covered_fraction: positives as f64 / samples as f64,
+            samples_requested: requested,
+            samples_used: samples,
+            positive_samples: positives,
+            sample_space_size: self.total_weight.clone(),
+            exact: false,
+        })
+    }
+
+    /// The blocks the estimator samples over (exposed for diagnostics).
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks.iter().map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::count_by_enumeration;
+    use cdr_query::{parse_query, rewrite_to_ucq};
+    use cdr_repairdb::Schema;
+
+    fn wide_db() -> (Database, KeySet) {
+        let mut schema = Schema::new();
+        schema.add_relation("Works", 2).unwrap();
+        let keys = KeySet::builder(&schema).key("Works", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        for k in 0..8i64 {
+            for d in ["sales", "eng", "hr"] {
+                db.insert_parsed(&format!("Works({k}, '{d}')")).unwrap();
+            }
+        }
+        (db, keys)
+    }
+
+    #[test]
+    fn estimate_is_close_to_exact() {
+        let (db, keys) = wide_db();
+        let q = parse_query("Works(0, 'sales') OR Works(1, 'eng') OR Works(2, 'hr')").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let est = KarpLubyEstimator::new(&db, &keys, &ucq).unwrap();
+        let config = ApproxConfig {
+            epsilon: 0.1,
+            delta: 0.05,
+            ..ApproxConfig::default()
+        };
+        let outcome = est.estimate(&config).unwrap();
+        let exact = count_by_enumeration(&db, &keys, &q, 10_000_000).unwrap();
+        assert!(
+            outcome.relative_error(&exact) <= config.epsilon,
+            "estimate {} vs exact {exact}",
+            outcome.estimate
+        );
+        assert_eq!(est.box_count(), 3);
+        // W = 3 * 3^7.
+        assert_eq!(est.total_weight().to_u64(), Some(3 * 2187));
+        assert_eq!(est.block_ids().count(), 8);
+    }
+
+    #[test]
+    fn sample_size_depends_on_box_count_not_block_size() {
+        let (db, keys) = wide_db();
+        let q = parse_query("Works(0, 'sales') OR Works(1, 'eng')").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let est = KarpLubyEstimator::new(&db, &keys, &ucq).unwrap();
+        let config = ApproxConfig {
+            epsilon: 0.5,
+            delta: 0.1,
+            ..ApproxConfig::default()
+        };
+        let expected = ((2.0 + 0.5) * 2.0 / 0.25 * (2.0f64 / 0.1).ln()).ceil() as u64;
+        assert_eq!(est.required_samples(&config).unwrap(), expected);
+        let extreme = ApproxConfig {
+            epsilon: 1e-12,
+            ..ApproxConfig::default()
+        };
+        assert_eq!(est.required_samples(&extreme).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn degenerate_cases_short_circuit() {
+        let (db, keys) = wide_db();
+        let none = rewrite_to_ucq(&parse_query("Works(99, 'sales')").unwrap()).unwrap();
+        let est = KarpLubyEstimator::new(&db, &keys, &none).unwrap();
+        let outcome = est.estimate(&ApproxConfig::default()).unwrap();
+        assert!(outcome.exact);
+        assert!(outcome.estimate.is_zero());
+
+        let trivial = rewrite_to_ucq(&parse_query("TRUE").unwrap()).unwrap();
+        let est = KarpLubyEstimator::new(&db, &keys, &trivial).unwrap();
+        let outcome = est.estimate(&ApproxConfig::default()).unwrap();
+        assert!(outcome.exact);
+        assert_eq!(outcome.estimate.to_u64(), Some(3u64.pow(8)));
+    }
+
+    #[test]
+    fn reproducible_and_validates_parameters() {
+        let (db, keys) = wide_db();
+        let q = parse_query("Works(0, 'sales') OR Works(1, 'eng')").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let est = KarpLubyEstimator::new(&db, &keys, &ucq).unwrap();
+        let config = ApproxConfig {
+            epsilon: 0.3,
+            seed: 7,
+            ..ApproxConfig::default()
+        };
+        let a = est.estimate(&config).unwrap();
+        let b = est.estimate(&config).unwrap();
+        assert_eq!(a.estimate, b.estimate);
+        let bad = ApproxConfig {
+            delta: 0.0,
+            ..ApproxConfig::default()
+        };
+        assert!(est.estimate(&bad).is_err());
+    }
+
+    #[test]
+    fn agrees_with_the_fpras_on_the_same_query() {
+        let (db, keys) = wide_db();
+        let q = parse_query("Works(3, 'hr') OR Works(4, 'sales')").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let config = ApproxConfig {
+            epsilon: 0.1,
+            delta: 0.05,
+            ..ApproxConfig::default()
+        };
+        let kl = KarpLubyEstimator::new(&db, &keys, &ucq)
+            .unwrap()
+            .estimate(&config)
+            .unwrap();
+        let fpras = crate::FprasEstimator::new(&db, &keys, &ucq)
+            .unwrap()
+            .estimate(&config)
+            .unwrap();
+        let exact = count_by_enumeration(&db, &keys, &q, 10_000_000).unwrap();
+        assert!(kl.relative_error(&exact) <= 0.1);
+        assert!(fpras.relative_error(&exact) <= 0.1);
+    }
+}

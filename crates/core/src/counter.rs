@@ -1,0 +1,332 @@
+//! The [`RepairCounter`] facade.
+//!
+//! A `RepairCounter` bundles a database and a set of primary keys and
+//! exposes every operation the paper studies: the total repair count, the
+//! decision problem, exact counting (with a choice of algorithm), relative
+//! frequency, keywidth, and the two approximation schemes.
+
+use cdr_num::{BigNat, Ratio};
+use cdr_query::{
+    keywidth, max_disjunct_keywidth, rewrite_to_ucq, Query, QueryClass, UcqQuery,
+};
+use cdr_repairdb::{count_repairs, BlockPartition, Database, KeySet};
+
+use crate::approx::{ApproxConfig, ApproxCount, FprasEstimator, KarpLubyEstimator};
+use crate::exact::{count_by_enumeration, DEFAULT_EXACT_BUDGET};
+use crate::{holds_in_some_repair, relative_frequency, CountError};
+
+/// Which exact algorithm to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExactStrategy {
+    /// Choose automatically: the certificate/box algorithm for existential
+    /// positive queries, enumeration otherwise.
+    #[default]
+    Auto,
+    /// Enumerate every repair and evaluate the query on it (works for any
+    /// first-order query).
+    Enumeration,
+    /// The certificate/box algorithm (existential positive queries only).
+    CertificateBoxes,
+}
+
+/// The result of an exact count.
+#[derive(Clone, Debug)]
+pub struct CountOutcome {
+    /// The number of repairs that entail the query.
+    pub count: BigNat,
+    /// The strategy that actually produced the count.
+    pub strategy: ExactStrategy,
+    /// Number of certificates found (only for the box strategy).
+    pub certificates: Option<usize>,
+}
+
+/// Counts repairs of a fixed database w.r.t. a fixed set of primary keys.
+///
+/// ```
+/// use cdr_core::RepairCounter;
+/// use cdr_query::parse_query;
+/// use cdr_repairdb::{Database, KeySet, Schema};
+///
+/// let mut schema = Schema::new();
+/// schema.add_relation("Employee", 3).unwrap();
+/// let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+/// let mut db = Database::new(schema);
+/// db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+/// db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+/// db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+/// db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
+///
+/// let counter = RepairCounter::new(&db, &keys);
+/// let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+/// assert_eq!(counter.total_repairs().to_u64(), Some(4));
+/// assert_eq!(counter.count(&q).unwrap().count.to_u64(), Some(2));
+/// assert_eq!(counter.frequency(&q).unwrap().to_string(), "1/2");
+/// ```
+pub struct RepairCounter<'a> {
+    db: &'a Database,
+    keys: &'a KeySet,
+    budget: u64,
+}
+
+impl<'a> RepairCounter<'a> {
+    /// Creates a counter with the default exact budget.
+    pub fn new(db: &'a Database, keys: &'a KeySet) -> Self {
+        RepairCounter {
+            db,
+            keys,
+            budget: DEFAULT_EXACT_BUDGET,
+        }
+    }
+
+    /// Sets the exact-counting budget (maximum number of repairs or
+    /// per-component assignments that exact algorithms may enumerate).
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The database being counted over.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// The primary keys in force.
+    pub fn keys(&self) -> &KeySet {
+        self.keys
+    }
+
+    /// The block partition `B₁, …, Bₙ` of the database.
+    pub fn blocks(&self) -> BlockPartition {
+        BlockPartition::new(self.db, self.keys)
+    }
+
+    /// The total number of repairs `∏ |Bᵢ|` (the paper's easy denominator).
+    pub fn total_repairs(&self) -> BigNat {
+        count_repairs(&self.blocks())
+    }
+
+    /// The keywidth `kw(Q, Σ)` of a query against this counter's keys.
+    pub fn keywidth(&self, query: &Query) -> usize {
+        keywidth(query, self.db.schema(), self.keys)
+    }
+
+    /// The decision problem `#CQA>0`: does some repair entail the query?
+    pub fn holds_in_some_repair(&self, query: &Query) -> Result<bool, CountError> {
+        holds_in_some_repair(self.db, self.keys, query)
+    }
+
+    /// Certain-answer semantics: does *every* repair entail the query?
+    pub fn holds_in_every_repair(&self, query: &Query) -> Result<bool, CountError> {
+        let outcome = self.count(query)?;
+        Ok(outcome.count == self.total_repairs())
+    }
+
+    /// Counts the repairs entailing the query with the automatic strategy.
+    pub fn count(&self, query: &Query) -> Result<CountOutcome, CountError> {
+        self.count_with(query, ExactStrategy::Auto)
+    }
+
+    /// Counts the repairs entailing the query with an explicit strategy.
+    pub fn count_with(
+        &self,
+        query: &Query,
+        strategy: ExactStrategy,
+    ) -> Result<CountOutcome, CountError> {
+        let effective = match strategy {
+            ExactStrategy::Auto => {
+                if query.classify() == QueryClass::FirstOrder {
+                    ExactStrategy::Enumeration
+                } else {
+                    ExactStrategy::CertificateBoxes
+                }
+            }
+            other => other,
+        };
+        match effective {
+            ExactStrategy::Enumeration => {
+                let count = count_by_enumeration(self.db, self.keys, query, self.budget)?;
+                Ok(CountOutcome {
+                    count,
+                    strategy: ExactStrategy::Enumeration,
+                    certificates: None,
+                })
+            }
+            ExactStrategy::CertificateBoxes => {
+                let ucq = rewrite_to_ucq(query)?;
+                self.count_ucq(&ucq)
+            }
+            ExactStrategy::Auto => unreachable!("resolved above"),
+        }
+    }
+
+    /// Counts the repairs entailing an already-rewritten UCQ with the
+    /// certificate/box algorithm.
+    pub fn count_ucq(&self, ucq: &UcqQuery) -> Result<CountOutcome, CountError> {
+        let blocks = self.blocks();
+        let certificates = crate::enumerate_certificates(self.db, self.keys, &blocks, ucq)?;
+        let boxes = crate::distinct_boxes(&certificates);
+        let count = crate::exact::count_union_of_boxes(&blocks, &boxes, self.budget)?;
+        Ok(CountOutcome {
+            count,
+            strategy: ExactStrategy::CertificateBoxes,
+            certificates: Some(certificates.len()),
+        })
+    }
+
+    /// The relative frequency of the query (Section 1.1).
+    pub fn frequency(&self, query: &Query) -> Result<Ratio, CountError> {
+        relative_frequency(self.db, self.keys, query)
+    }
+
+    /// The paper's FPRAS (Theorem 6.2 / Corollary 6.4) for an existential
+    /// positive query.
+    pub fn approximate(
+        &self,
+        query: &Query,
+        config: &ApproxConfig,
+    ) -> Result<ApproxCount, CountError> {
+        let ucq = rewrite_to_ucq(query)?;
+        FprasEstimator::new(self.db, self.keys, &ucq)?.estimate(config)
+    }
+
+    /// The Karp–Luby baseline estimator (the "[5]-style" scheme).
+    pub fn approximate_karp_luby(
+        &self,
+        query: &Query,
+        config: &ApproxConfig,
+    ) -> Result<ApproxCount, CountError> {
+        let ucq = rewrite_to_ucq(query)?;
+        KarpLubyEstimator::new(self.db, self.keys, &ucq)?.estimate(config)
+    }
+
+    /// The disjunct keywidth of the query, i.e. the exponent in the FPRAS
+    /// sample-size bound.
+    pub fn disjunct_keywidth(&self, query: &Query) -> Result<usize, CountError> {
+        let ucq = rewrite_to_ucq(query)?;
+        Ok(max_disjunct_keywidth(&ucq, self.db.schema(), self.keys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdr_query::parse_query;
+    use cdr_repairdb::Schema;
+
+    fn employee() -> (Database, KeySet) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
+        (db, keys)
+    }
+
+    #[test]
+    fn facade_reproduces_example_1_1() {
+        let (db, keys) = employee();
+        let counter = RepairCounter::new(&db, &keys);
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        assert_eq!(counter.total_repairs().to_u64(), Some(4));
+        assert_eq!(counter.count(&q).unwrap().count.to_u64(), Some(2));
+        assert_eq!(counter.frequency(&q).unwrap().to_string(), "1/2");
+        assert!(counter.holds_in_some_repair(&q).unwrap());
+        assert!(!counter.holds_in_every_repair(&q).unwrap());
+        assert_eq!(counter.keywidth(&q), 2);
+        assert_eq!(counter.disjunct_keywidth(&q).unwrap(), 2);
+        assert_eq!(counter.database().len(), 4);
+        assert_eq!(counter.keys().keyed_relation_count(), 1);
+        assert_eq!(counter.blocks().len(), 2);
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let (db, keys) = employee();
+        let counter = RepairCounter::new(&db, &keys);
+        for text in [
+            "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)",
+            "EXISTS n . Employee(2, n, 'IT')",
+            "Employee(1, 'Bob', 'HR') OR Employee(2, 'Tim', 'IT')",
+            "FALSE",
+            "TRUE",
+        ] {
+            let q = parse_query(text).unwrap();
+            let a = counter
+                .count_with(&q, ExactStrategy::Enumeration)
+                .unwrap()
+                .count;
+            let b = counter
+                .count_with(&q, ExactStrategy::CertificateBoxes)
+                .unwrap()
+                .count;
+            assert_eq!(a, b, "strategy mismatch on {text}");
+        }
+    }
+
+    #[test]
+    fn auto_strategy_dispatches_on_query_class() {
+        let (db, keys) = employee();
+        let counter = RepairCounter::new(&db, &keys);
+        let positive = parse_query("EXISTS n . Employee(2, n, 'IT')").unwrap();
+        let outcome = counter.count(&positive).unwrap();
+        assert_eq!(outcome.strategy, ExactStrategy::CertificateBoxes);
+        assert!(outcome.certificates.is_some());
+        let negated = parse_query("NOT EXISTS i, n . Employee(i, n, 'HR')").unwrap();
+        let outcome = counter.count(&negated).unwrap();
+        assert_eq!(outcome.strategy, ExactStrategy::Enumeration);
+        assert!(outcome.certificates.is_none());
+        assert_eq!(outcome.count.to_u64(), Some(2));
+    }
+
+    #[test]
+    fn certain_answers_via_counting() {
+        let (db, keys) = employee();
+        let counter = RepairCounter::new(&db, &keys);
+        let certain = parse_query("EXISTS n . Employee(2, n, 'IT')").unwrap();
+        assert!(counter.holds_in_every_repair(&certain).unwrap());
+        let possible = parse_query("Employee(1, 'Bob', 'HR')").unwrap();
+        assert!(!counter.holds_in_every_repair(&possible).unwrap());
+        assert!(counter.holds_in_some_repair(&possible).unwrap());
+    }
+
+    #[test]
+    fn approximations_are_available_through_the_facade() {
+        let (db, keys) = employee();
+        let counter = RepairCounter::new(&db, &keys);
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        let config = ApproxConfig {
+            epsilon: 0.2,
+            ..ApproxConfig::default()
+        };
+        let fpras = counter.approximate(&q, &config).unwrap();
+        let kl = counter.approximate_karp_luby(&q, &config).unwrap();
+        let exact = BigNat::from(2u64);
+        assert!(fpras.relative_error(&exact) <= 0.2);
+        assert!(kl.relative_error(&exact) <= 0.2);
+    }
+
+    #[test]
+    fn budget_is_passed_through() {
+        let (db, keys) = employee();
+        let counter = RepairCounter::new(&db, &keys).with_budget(2);
+        let q = parse_query("TRUE").unwrap();
+        assert!(counter.count_with(&q, ExactStrategy::Enumeration).is_err());
+        // The box strategy needs no enumeration for TRUE, so it still works.
+        assert!(counter
+            .count_with(&q, ExactStrategy::CertificateBoxes)
+            .is_ok());
+    }
+
+    #[test]
+    fn first_order_query_rejected_by_box_strategy() {
+        let (db, keys) = employee();
+        let counter = RepairCounter::new(&db, &keys);
+        let q = parse_query("NOT EXISTS i, n . Employee(i, n, 'HR')").unwrap();
+        assert!(counter
+            .count_with(&q, ExactStrategy::CertificateBoxes)
+            .is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Errors produced by the counting layer.
+
+use std::fmt;
+
+use cdr_query::QueryError;
+use cdr_repairdb::DbError;
+
+/// Errors produced while counting repairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountError {
+    /// The query could not be parsed, resolved or evaluated.
+    Query(QueryError),
+    /// The database or key set was malformed.
+    Db(DbError),
+    /// An exact counter was asked to enumerate more repairs (or box
+    /// combinations) than its configured budget allows.
+    ExactBudgetExceeded {
+        /// A human-readable description of what blew the budget.
+        what: String,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// An approximation parameter was invalid (e.g. `ε ≤ 0` or `δ ∉ (0,1)`).
+    InvalidApproxParameter(String),
+}
+
+impl fmt::Display for CountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountError::Query(e) => write!(f, "{e}"),
+            CountError::Db(e) => write!(f, "{e}"),
+            CountError::ExactBudgetExceeded { what, budget } => {
+                write!(f, "exact counting budget of {budget} exceeded by {what}")
+            }
+            CountError::InvalidApproxParameter(msg) => {
+                write!(f, "invalid approximation parameter: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CountError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CountError::Query(e) => Some(e),
+            CountError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for CountError {
+    fn from(e: QueryError) -> Self {
+        CountError::Query(e)
+    }
+}
+
+impl From<DbError> for CountError {
+    fn from(e: DbError) -> Self {
+        CountError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let q: CountError = QueryError::UnknownRelation("R".into()).into();
+        assert!(q.to_string().contains("R"));
+        let d: CountError = DbError::DuplicateRelation("S".into()).into();
+        assert!(d.to_string().contains("S"));
+        let b = CountError::ExactBudgetExceeded {
+            what: "10^9 repairs".into(),
+            budget: 1000,
+        };
+        assert!(b.to_string().contains("1000"));
+        let p = CountError::InvalidApproxParameter("epsilon must be positive".into());
+        assert!(p.to_string().contains("epsilon"));
+        use std::error::Error;
+        assert!(q.source().is_some());
+        assert!(b.source().is_none());
+    }
+}

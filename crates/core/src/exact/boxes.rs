@@ -1,0 +1,601 @@
+//! Exact counting via certificates and selector boxes.
+//!
+//! The set of repairs entailing a UCQ is the union of the boxes
+//! `[B₁, …, Bₙ]_{σ_c}` over all certificates `c` (Section 4.1).  Counting
+//! that union exactly is the crux of the exact algorithm:
+//!
+//! 1. boxes that are subsumed by another box are discarded;
+//! 2. the remaining boxes are grouped into *components*: two boxes are in
+//!    the same component iff they pin a common block (transitively);
+//! 3. blocks pinned by no box at all are *free* and contribute a plain
+//!    multiplicative factor;
+//! 4. within a component the number of covered assignments is counted
+//!    either by enumerating the assignments of the component's touched
+//!    blocks or by inclusion–exclusion over its boxes, whichever is
+//!    cheaper;
+//! 5. the component counts combine by complementation, because a repair
+//!    fails to entail the query iff it avoids every box of every component,
+//!    and components constrain disjoint blocks:
+//!    `#non-entailing = (∏ free |Bᵢ|) · ∏_components (totalᵢ − coveredᵢ)`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cdr_num::BigNat;
+use cdr_query::UcqQuery;
+use cdr_repairdb::{BlockPartition, Database, KeySet};
+
+use crate::{distinct_boxes, enumerate_certificates, CountError, SelectorBox};
+
+/// Counts the repairs of `db` w.r.t. `keys` that entail the UCQ, using the
+/// certificate/box algorithm.
+pub fn count_by_boxes(
+    db: &Database,
+    keys: &KeySet,
+    ucq: &UcqQuery,
+    budget: u64,
+) -> Result<BigNat, CountError> {
+    let blocks = BlockPartition::new(db, keys);
+    let certificates = enumerate_certificates(db, keys, &blocks, ucq)?;
+    let boxes = distinct_boxes(&certificates);
+    count_union_of_boxes(&blocks, &boxes, budget)
+}
+
+/// Counts `|⋃ boxes|`: the number of repairs (one fact per block of
+/// `blocks`) contained in at least one of the given selector boxes.
+///
+/// This is the quantity `|⋃_c [B₁, …, Bₙ]_{σ_c}|` of the paper's
+/// "solutions via certificate expansion" property, and it is also the
+/// unfolding count of a compactor output, which is why the Λ-hierarchy
+/// crate reuses [`count_union_generic`], the domain-agnostic version this
+/// function delegates to.
+pub fn count_union_of_boxes(
+    blocks: &BlockPartition,
+    boxes: &[SelectorBox],
+    budget: u64,
+) -> Result<BigNat, CountError> {
+    let sizes: Vec<usize> = blocks.iter().map(|(_, b)| b.len()).collect();
+    let generic: Vec<GenericBox> = boxes
+        .iter()
+        .map(|b| {
+            b.pins()
+                .map(|(block, fact)| {
+                    let position = blocks
+                        .block(block)
+                        .position_of(fact)
+                        .expect("a box only pins facts of its own block");
+                    (block.index(), position)
+                })
+                .collect()
+        })
+        .collect();
+    count_union_generic(&sizes, &generic, budget)
+}
+
+/// A box over abstract solution domains: a partial map from domain index to
+/// the index of the pinned element within that domain.
+pub type GenericBox = BTreeMap<usize, usize>;
+
+/// Counts the tuples of `S₀ × ⋯ × S_{n-1}` (where `|Sᵢ| = domain_sizes[i]`)
+/// that are covered by at least one box.
+///
+/// This is the engine behind both [`count_union_of_boxes`] and the
+/// unfolding count of a Λ-hierarchy compactor: the paper's
+/// `|⋃_c unfolding(M(x, c))|`.
+pub fn count_union_generic(
+    domain_sizes: &[usize],
+    boxes: &[GenericBox],
+    budget: u64,
+) -> Result<BigNat, CountError> {
+    let mut total = BigNat::one();
+    for &s in domain_sizes {
+        total.mul_assign_u64(s as u64);
+    }
+    // A box pinning an element outside its domain, or an empty domain,
+    // cannot cover anything; filter such boxes out up front.
+    let boxes: Vec<GenericBox> = boxes
+        .iter()
+        .filter(|b| {
+            b.iter()
+                .all(|(&d, &e)| d < domain_sizes.len() && e < domain_sizes[d])
+        })
+        .cloned()
+        .collect();
+    if total.is_zero() || boxes.is_empty() {
+        return Ok(BigNat::zero());
+    }
+    if boxes.iter().any(|b| b.is_empty()) {
+        return Ok(total);
+    }
+    let boxes = prune_subsumed(&boxes);
+    let components = connected_components(&boxes);
+
+    // Free domains: domains pinned by no box.
+    let mut touched_all: BTreeSet<usize> = BTreeSet::new();
+    for b in &boxes {
+        touched_all.extend(b.keys().copied());
+    }
+    let mut free_product = BigNat::one();
+    for (i, &s) in domain_sizes.iter().enumerate() {
+        if !touched_all.contains(&i) {
+            free_product.mul_assign_u64(s as u64);
+        }
+    }
+
+    let mut uncovered_product = free_product;
+    for component in &components {
+        let touched: Vec<usize> = component.touched.iter().copied().collect();
+        let mut component_total = BigNat::one();
+        for &d in &touched {
+            component_total.mul_assign_u64(domain_sizes[d] as u64);
+        }
+        let covered =
+            count_component_union(domain_sizes, &component.boxes, &touched, budget)?;
+        let uncovered = component_total
+            .checked_sub(&covered)
+            .expect("covered assignments cannot exceed the component total");
+        uncovered_product = &uncovered_product * &uncovered;
+    }
+    Ok(total
+        .checked_sub(&uncovered_product)
+        .expect("non-entailing tuples cannot exceed the total"))
+}
+
+/// Drops boxes that are subsumed by (contained in) another box.
+fn prune_subsumed(boxes: &[GenericBox]) -> Vec<GenericBox> {
+    fn subset_of(a: &GenericBox, b: &GenericBox) -> bool {
+        // Every tuple in the box with pins `a` is in the box with pins `b`
+        // iff b's pins are a subset of a's pins.
+        b.iter().all(|(d, e)| a.get(d) == Some(e))
+    }
+    let mut kept: Vec<GenericBox> = Vec::new();
+    'outer: for (i, candidate) in boxes.iter().enumerate() {
+        for (j, other) in boxes.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // candidate ⊆ other, with ties broken by index so exactly one of
+            // two equal boxes survives.
+            if subset_of(candidate, other) && (!subset_of(other, candidate) || j < i) {
+                continue 'outer;
+            }
+        }
+        kept.push(candidate.clone());
+    }
+    kept
+}
+
+struct Component {
+    boxes: Vec<GenericBox>,
+    touched: BTreeSet<usize>,
+}
+
+/// Groups boxes into connected components of the "shares a pinned domain"
+/// relation, via union–find over box indices.
+fn connected_components(boxes: &[GenericBox]) -> Vec<Component> {
+    let mut parent: Vec<usize> = (0..boxes.len()).collect();
+
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
+        let ra = find(parent, a);
+        let rb = find(parent, b);
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+
+    let mut domain_owner: BTreeMap<usize, usize> = BTreeMap::new();
+    for (i, b) in boxes.iter().enumerate() {
+        for &domain in b.keys() {
+            match domain_owner.get(&domain) {
+                Some(&owner) => union(&mut parent, i, owner),
+                None => {
+                    domain_owner.insert(domain, i);
+                }
+            }
+        }
+    }
+
+    let mut grouped: BTreeMap<usize, Component> = BTreeMap::new();
+    for (i, b) in boxes.iter().enumerate() {
+        let root = find(&mut parent, i);
+        let entry = grouped.entry(root).or_insert_with(|| Component {
+            boxes: Vec::new(),
+            touched: BTreeSet::new(),
+        });
+        entry.touched.extend(b.keys().copied());
+        entry.boxes.push(b.clone());
+    }
+    grouped.into_values().collect()
+}
+
+/// Maximum number of boxes for which inclusion–exclusion (2^boxes terms) is
+/// attempted when enumeration of the touched domains is over budget.
+const MAX_IE_BOXES: usize = 22;
+
+/// Counts the assignments of the component's touched domains that are
+/// covered by at least one of the component's boxes.
+fn count_component_union(
+    domain_sizes: &[usize],
+    boxes: &[GenericBox],
+    touched: &[usize],
+    budget: u64,
+) -> Result<BigNat, CountError> {
+    // Cost of enumerating the touched assignments.
+    let mut enumeration_cost: u128 = 1;
+    for &d in touched {
+        enumeration_cost = enumeration_cost.saturating_mul(domain_sizes[d] as u128);
+        if enumeration_cost > budget as u128 {
+            break;
+        }
+    }
+    if enumeration_cost <= budget as u128 {
+        return Ok(count_by_touched_enumeration(domain_sizes, boxes, touched));
+    }
+    if boxes.len() <= MAX_IE_BOXES {
+        return Ok(count_by_inclusion_exclusion(domain_sizes, boxes, touched));
+    }
+    Err(CountError::ExactBudgetExceeded {
+        what: format!(
+            "a component with {} boxes touching {} domains ({} assignments)",
+            boxes.len(),
+            touched.len(),
+            enumeration_cost
+        ),
+        budget,
+    })
+}
+
+/// Enumerates the assignments of the touched domains and counts those
+/// covered by at least one box.
+fn count_by_touched_enumeration(
+    domain_sizes: &[usize],
+    boxes: &[GenericBox],
+    touched: &[usize],
+) -> BigNat {
+    let sizes: Vec<usize> = touched.iter().map(|&d| domain_sizes[d]).collect();
+    let mut choice = vec![0usize; touched.len()];
+    let mut covered: u64 = 0;
+    loop {
+        let is_covered = boxes.iter().any(|b| {
+            b.iter().all(|(&domain, &element)| {
+                match touched.iter().position(|&t| t == domain) {
+                    Some(pos) => choice[pos] == element,
+                    // A box never pins a domain outside its own component.
+                    None => false,
+                }
+            })
+        });
+        if is_covered {
+            covered += 1;
+        }
+        // Advance the mixed-radix counter.
+        let mut i = touched.len();
+        loop {
+            if i == 0 {
+                return BigNat::from(covered);
+            }
+            i -= 1;
+            choice[i] += 1;
+            if choice[i] < sizes[i] {
+                break;
+            }
+            choice[i] = 0;
+        }
+        if touched.is_empty() {
+            return BigNat::from(covered);
+        }
+    }
+}
+
+/// Counts the covered assignments by inclusion–exclusion over the boxes:
+/// `|⋃ boxes| = Σ_{∅ ≠ S} (−1)^{|S|+1} |⋂ S|`, where the intersection of a
+/// set of boxes is itself a box (or empty).
+fn count_by_inclusion_exclusion(
+    domain_sizes: &[usize],
+    boxes: &[GenericBox],
+    touched: &[usize],
+) -> BigNat {
+    let n = boxes.len();
+    let mut positive = BigNat::zero();
+    let mut negative = BigNat::zero();
+    for mask in 1u64..(1u64 << n) {
+        let mut intersection = GenericBox::new();
+        let mut empty = false;
+        'boxes: for (i, b) in boxes.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                for (&d, &e) in b {
+                    match intersection.get(&d) {
+                        Some(&existing) if existing != e => {
+                            empty = true;
+                            break 'boxes;
+                        }
+                        _ => {
+                            intersection.insert(d, e);
+                        }
+                    }
+                }
+            }
+        }
+        if empty {
+            continue;
+        }
+        // Size of the intersection restricted to the touched domains.
+        let mut size = BigNat::one();
+        for &d in touched {
+            if !intersection.contains_key(&d) {
+                size.mul_assign_u64(domain_sizes[d] as u64);
+            }
+        }
+        if mask.count_ones() % 2 == 1 {
+            positive += size;
+        } else {
+            negative += size;
+        }
+    }
+    positive
+        .checked_sub(&negative)
+        .expect("inclusion-exclusion must not go negative")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::count_by_enumeration;
+    use cdr_query::{parse_query, rewrite_to_ucq};
+    use cdr_repairdb::Schema;
+
+    fn employee() -> (Database, KeySet) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
+        (db, keys)
+    }
+
+    fn count_both_ways(db: &Database, keys: &KeySet, text: &str) -> (u64, u64) {
+        let q = parse_query(text).unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let by_boxes = count_by_boxes(db, keys, &ucq, 1_000_000).unwrap();
+        let by_enum = count_by_enumeration(db, keys, &q, 1_000_000).unwrap();
+        (by_boxes.to_u64().unwrap(), by_enum.to_u64().unwrap())
+    }
+
+    #[test]
+    fn example_1_1_counts_two() {
+        let (db, keys) = employee();
+        let (boxes, enumeration) =
+            count_both_ways(&db, &keys, "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)");
+        assert_eq!(boxes, 2);
+        assert_eq!(enumeration, 2);
+    }
+
+    #[test]
+    fn agreement_with_enumeration_on_various_queries() {
+        let (db, keys) = employee();
+        for text in [
+            "EXISTS n . Employee(2, n, 'IT')",
+            "EXISTS n, d . Employee(3, n, d)",
+            "Employee(1, 'Bob', 'HR')",
+            "Employee(1, 'Bob', 'HR') OR Employee(1, 'Bob', 'IT')",
+            "Employee(1, 'Bob', 'HR') AND Employee(2, 'Tim', 'IT')",
+            "EXISTS i, n . Employee(i, n, 'HR')",
+            "EXISTS i, n, d . Employee(i, n, d)",
+            "TRUE",
+            "FALSE",
+        ] {
+            let (a, b) = count_both_ways(&db, &keys, text);
+            assert_eq!(a, b, "count mismatch for {text}");
+        }
+    }
+
+    #[test]
+    fn larger_database_with_mixed_blocks() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        schema.add_relation("S", 2).unwrap();
+        let keys = KeySet::builder(&schema)
+            .key("R", 1)
+            .unwrap()
+            .key("S", 1)
+            .unwrap()
+            .build();
+        let mut db = Database::new(schema);
+        // R blocks: key 1 -> {a, b, c}; key 2 -> {a, b}; key 3 -> {c}.
+        for (k, v) in [(1, "a"), (1, "b"), (1, "c"), (2, "a"), (2, "b"), (3, "c")] {
+            db.insert_parsed(&format!("R({k}, '{v}')")).unwrap();
+        }
+        // S blocks: key 1 -> {a, x}; key 2 -> {y}.
+        for (k, v) in [(1, "a"), (1, "x"), (2, "y")] {
+            db.insert_parsed(&format!("S({k}, '{v}')")).unwrap();
+        }
+        for text in [
+            "EXISTS k . R(k, 'a') AND S(k, 'a')",
+            "EXISTS k, v . R(k, v) AND S(k, v)",
+            "EXISTS k . R(k, 'c')",
+            "R(1, 'a') OR S(1, 'x')",
+            "EXISTS k . R(k, 'b') AND S(1, 'a')",
+            "(EXISTS k . R(k, 'a')) AND (EXISTS j . S(j, 'y'))",
+        ] {
+            let q = parse_query(text).unwrap();
+            let ucq = rewrite_to_ucq(&q).unwrap();
+            let by_boxes = count_by_boxes(&db, &keys, &ucq, 1_000_000).unwrap();
+            let by_enum = count_by_enumeration(&db, &keys, &q, 1_000_000).unwrap();
+            assert_eq!(by_boxes, by_enum, "count mismatch for {text}");
+        }
+    }
+
+    #[test]
+    fn unconstrained_box_short_circuits_to_total() {
+        let (db, keys) = employee();
+        let ucq = rewrite_to_ucq(&parse_query("TRUE").unwrap()).unwrap();
+        assert_eq!(
+            count_by_boxes(&db, &keys, &ucq, 10).unwrap().to_u64(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn subsumed_boxes_are_pruned() {
+        let (db, keys) = employee();
+        let blocks = BlockPartition::new(&db, &keys);
+        // Build two boxes where one subsumes the other.
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let certs = enumerate_certificates(&db, &keys, &blocks, &ucq).unwrap();
+        let tight = certs[0].selector.clone();
+        let loose = SelectorBox::new(tight.pins().take(1));
+        // At the generic level, the tighter box (more pins) is dropped.
+        let tight_g: GenericBox = [(0usize, 1usize), (1, 0)].into_iter().collect();
+        let loose_g: GenericBox = [(0usize, 1usize)].into_iter().collect();
+        let pruned = prune_subsumed(&[tight_g.clone(), loose_g.clone()]);
+        assert_eq!(pruned, vec![loose_g.clone()]);
+        // Equal boxes: exactly one survives.
+        let pruned = prune_subsumed(&[loose_g.clone(), loose_g.clone()]);
+        assert_eq!(pruned.len(), 1);
+        // Counting with redundant boxes still gives the right answer.
+        let with_redundant = count_union_of_boxes(&blocks, &[tight, loose.clone()], 1000).unwrap();
+        let alone = count_union_of_boxes(&blocks, &[loose], 1000).unwrap();
+        assert_eq!(with_redundant, alone);
+    }
+
+    #[test]
+    fn generic_union_counting_matches_brute_force() {
+        // Three domains of sizes 3, 2, 4; a handful of boxes; compare
+        // against a brute-force sweep of all 24 tuples.
+        let sizes = [3usize, 2, 4];
+        let boxes: Vec<GenericBox> = vec![
+            [(0usize, 0usize), (1, 1)].into_iter().collect(),
+            [(1usize, 0usize), (2, 3)].into_iter().collect(),
+            [(0usize, 2usize)].into_iter().collect(),
+        ];
+        let mut expected = 0u64;
+        for a in 0..3 {
+            for b in 0..2 {
+                for c in 0..4 {
+                    let tuple = [a, b, c];
+                    if boxes
+                        .iter()
+                        .any(|bx| bx.iter().all(|(&d, &e)| tuple[d] == e))
+                    {
+                        expected += 1;
+                    }
+                }
+            }
+        }
+        let counted = count_union_generic(&sizes, &boxes, 1_000).unwrap();
+        assert_eq!(counted.to_u64(), Some(expected));
+        // The same result through the inclusion-exclusion path.
+        let counted_ie = count_union_generic(&sizes, &boxes, 1).unwrap();
+        assert_eq!(counted_ie.to_u64(), Some(expected));
+    }
+
+    #[test]
+    fn generic_union_counting_edge_cases() {
+        // No boxes.
+        assert!(count_union_generic(&[2, 2], &[], 10).unwrap().is_zero());
+        // An empty (unconstrained) box covers everything.
+        let all: Vec<GenericBox> = vec![GenericBox::new()];
+        assert_eq!(
+            count_union_generic(&[2, 3], &all, 10).unwrap().to_u64(),
+            Some(6)
+        );
+        // A box pinning a non-existent element is discarded.
+        let bogus: Vec<GenericBox> = vec![[(0usize, 9usize)].into_iter().collect()];
+        assert!(count_union_generic(&[2, 2], &bogus, 10).unwrap().is_zero());
+        // An empty product space.
+        let b: Vec<GenericBox> = vec![[(0usize, 0usize)].into_iter().collect()];
+        assert!(count_union_generic(&[2, 0], &b, 10).unwrap().is_zero());
+        // No domains at all: the single empty tuple, covered only by an
+        // unconstrained box.
+        assert_eq!(
+            count_union_generic(&[], &all, 10).unwrap().to_u64(),
+            Some(1)
+        );
+        assert!(count_union_generic(&[], &[], 10).unwrap().is_zero());
+    }
+
+    #[test]
+    fn inclusion_exclusion_matches_enumeration_within_a_component() {
+        // Force the IE path by using a tiny budget, then compare with the
+        // enumeration path under a large budget.
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        let keys = KeySet::builder(&schema).key("R", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        for k in 1..=4i64 {
+            for v in ["a", "b", "c"] {
+                db.insert_parsed(&format!("R({k}, '{v}')")).unwrap();
+            }
+        }
+        let q = parse_query(
+            "(EXISTS x . R(1, 'a') AND R(2, 'a')) OR (EXISTS x . R(2, 'b') AND R(3, 'c')) \
+             OR (EXISTS x . R(1, 'b') AND R(3, 'a') AND R(4, 'c'))",
+        )
+        .unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let blocks = BlockPartition::new(&db, &keys);
+        let certs = enumerate_certificates(&db, &keys, &blocks, &ucq).unwrap();
+        let boxes = distinct_boxes(&certs);
+        // All three boxes overlap on blocks {1,2,3,4}: a single component.
+        let big_budget = count_union_of_boxes(&blocks, &boxes, 1_000_000).unwrap();
+        let tiny_budget = count_union_of_boxes(&blocks, &boxes, 2).unwrap();
+        assert_eq!(big_budget, tiny_budget);
+        let by_enum = count_by_enumeration(&db, &keys, &q, 1_000_000).unwrap();
+        assert_eq!(big_budget, by_enum);
+    }
+
+    #[test]
+    fn budget_exceeded_when_both_strategies_are_infeasible() {
+        // Many boxes in one component and a huge touched product: with a
+        // tiny budget and more than MAX_IE_BOXES boxes, counting must fail.
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        schema.add_relation("Hub", 2).unwrap();
+        let keys = KeySet::builder(&schema)
+            .key("R", 1)
+            .unwrap()
+            .key("Hub", 1)
+            .unwrap()
+            .build();
+        let mut db = Database::new(schema);
+        for k in 1..=30i64 {
+            db.insert_parsed(&format!("R({k}, 'a')")).unwrap();
+            db.insert_parsed(&format!("R({k}, 'b')")).unwrap();
+            // Hub links every R block into one component.
+            db.insert_parsed(&format!("Hub(0, 'h{k}')")).unwrap();
+        }
+        // Each disjunct pins Hub block 0 (shared) and one R block.
+        let mut disjuncts = Vec::new();
+        for k in 1..=30i64 {
+            disjuncts.push(format!("(EXISTS h . R({k}, 'a') AND Hub(0, h))"));
+        }
+        let q = parse_query(&disjuncts.join(" OR ")).unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let err = count_by_boxes(&db, &keys, &ucq, 100).unwrap_err();
+        assert!(matches!(err, CountError::ExactBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn empty_database_cases() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 1).unwrap();
+        let keys = KeySet::builder(&schema).key("R", 1).unwrap().build();
+        let db = Database::new(schema);
+        let t = rewrite_to_ucq(&parse_query("TRUE").unwrap()).unwrap();
+        let f = rewrite_to_ucq(&parse_query("FALSE").unwrap()).unwrap();
+        let r = rewrite_to_ucq(&parse_query("EXISTS x . R(x)").unwrap()).unwrap();
+        assert_eq!(count_by_boxes(&db, &keys, &t, 10).unwrap().to_u64(), Some(1));
+        assert_eq!(count_by_boxes(&db, &keys, &f, 10).unwrap().to_u64(), Some(0));
+        assert_eq!(count_by_boxes(&db, &keys, &r, 10).unwrap().to_u64(), Some(0));
+    }
+}

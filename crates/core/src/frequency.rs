@@ -1,0 +1,115 @@
+//! Relative frequency of a query over the repairs.
+//!
+//! Section 1.1 motivates counting with *relative frequency*: instead of the
+//! all-or-nothing certain answers, report how often the query holds —
+//! the number of repairs entailing it divided by the total number of
+//! repairs.  In Example 1.1 the frequency of the Boolean query is `1/2`.
+
+use cdr_num::Ratio;
+use cdr_query::Query;
+use cdr_repairdb::{count_repairs, BlockPartition, Database, KeySet};
+
+use crate::counter::{ExactStrategy, RepairCounter};
+use crate::CountError;
+
+/// Computes the relative frequency of a Boolean query: the fraction of
+/// repairs that entail it, as an exact rational.
+pub fn relative_frequency(
+    db: &Database,
+    keys: &KeySet,
+    query: &Query,
+) -> Result<Ratio, CountError> {
+    relative_frequency_with(db, keys, query, ExactStrategy::Auto, None)
+}
+
+/// [`relative_frequency`] with an explicit exact strategy and budget.
+pub fn relative_frequency_with(
+    db: &Database,
+    keys: &KeySet,
+    query: &Query,
+    strategy: ExactStrategy,
+    budget: Option<u64>,
+) -> Result<Ratio, CountError> {
+    let mut counter = RepairCounter::new(db, keys);
+    if let Some(b) = budget {
+        counter = counter.with_budget(b);
+    }
+    let outcome = counter.count_with(query, strategy)?;
+    let blocks = BlockPartition::new(db, keys);
+    let total = count_repairs(&blocks);
+    Ok(Ratio::new(outcome.count, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdr_query::parse_query;
+    use cdr_repairdb::Schema;
+
+    fn employee() -> (Database, KeySet) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
+        (db, keys)
+    }
+
+    #[test]
+    fn example_1_1_frequency_is_one_half() {
+        let (db, keys) = employee();
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        let freq = relative_frequency(&db, &keys, &q).unwrap();
+        assert_eq!(freq.to_string(), "1/2");
+        assert!((freq.to_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_impossible_and_negated_queries() {
+        let (db, keys) = employee();
+        let certain = parse_query("EXISTS n . Employee(2, n, 'IT')").unwrap();
+        assert!(relative_frequency(&db, &keys, &certain).unwrap().is_one());
+        let impossible = parse_query("EXISTS n, d . Employee(3, n, d)").unwrap();
+        assert!(relative_frequency(&db, &keys, &impossible).unwrap().is_zero());
+        // First-order query (negation) goes through the enumeration path.
+        let negated = parse_query("NOT EXISTS i, n . Employee(i, n, 'HR')").unwrap();
+        assert_eq!(
+            relative_frequency(&db, &keys, &negated).unwrap().to_string(),
+            "1/2"
+        );
+    }
+
+    #[test]
+    fn explicit_strategy_and_budget() {
+        let (db, keys) = employee();
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        for strategy in [
+            ExactStrategy::Auto,
+            ExactStrategy::Enumeration,
+            ExactStrategy::CertificateBoxes,
+        ] {
+            let freq =
+                relative_frequency_with(&db, &keys, &q, strategy, Some(1_000_000)).unwrap();
+            assert_eq!(freq.to_string(), "1/2");
+        }
+        // A budget of 1 makes enumeration fail.
+        assert!(relative_frequency_with(&db, &keys, &q, ExactStrategy::Enumeration, Some(1))
+            .is_err());
+    }
+
+    #[test]
+    fn consistent_database_frequency_is_zero_or_one() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        let keys = KeySet::builder(&schema).key("R", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("R(1, 'a')").unwrap();
+        let yes = parse_query("R(1, 'a')").unwrap();
+        let no = parse_query("R(1, 'b')").unwrap();
+        assert!(relative_frequency(&db, &keys, &yes).unwrap().is_one());
+        assert!(relative_frequency(&db, &keys, &no).unwrap().is_zero());
+    }
+}

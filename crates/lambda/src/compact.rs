@@ -1,0 +1,282 @@
+//! Compact representations `[[S₁, …, Sₙ]]_k` and their unfolding.
+//!
+//! Section 4.3 fixes the syntactic shape of a compactor's output: a string
+//! `s₁$s₂$⋯$sₙ` where each `sᵢ` is either an element of `Sᵢ` (a pinned
+//! domain) or the full listing `#s¹ᵢ$⋯$s^{ℓᵢ}ᵢ#` of `Sᵢ`, with at most `k`
+//! pinned positions; the empty string `ε` denotes a rejected certificate.
+//! This module implements that string format faithfully — rendering,
+//! parsing, validation against domains, and unfolding — so that the
+//! compactor abstraction in [`crate::compactor`] can be checked against the
+//! paper's own syntax.
+
+use std::fmt;
+
+use cdr_num::BigNat;
+
+/// One position of a compact representation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Slot {
+    /// The position is pinned to a single element of its domain.
+    Pinned(String),
+    /// The position ranges over its whole domain, listed explicitly.
+    Full(Vec<String>),
+}
+
+/// A parsed compact representation: either the empty string or one slot per
+/// solution domain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompactString {
+    /// The empty output `ε` (the certificate was rejected).
+    Empty,
+    /// A non-empty output with one slot per domain.
+    Slots(Vec<Slot>),
+}
+
+impl CompactString {
+    /// The number of pinned slots (the `ℓ` of the ℓ-selector).
+    pub fn pinned_count(&self) -> usize {
+        match self {
+            CompactString::Empty => 0,
+            CompactString::Slots(slots) => slots
+                .iter()
+                .filter(|s| matches!(s, Slot::Pinned(_)))
+                .count(),
+        }
+    }
+
+    /// Returns `true` iff the representation respects the `k` bound of
+    /// `[[S₁, …, Sₙ]]_k`.
+    pub fn respects_bound(&self, k: usize) -> bool {
+        self.pinned_count() <= k
+    }
+
+    /// The size of the unfolding: `0` for `ε`, otherwise the product of the
+    /// sizes of the full slots (pinned slots contribute a factor of 1).
+    pub fn unfolding_size(&self) -> BigNat {
+        match self {
+            CompactString::Empty => BigNat::zero(),
+            CompactString::Slots(slots) => {
+                let mut size = BigNat::one();
+                for slot in slots {
+                    if let Slot::Full(elements) = slot {
+                        size.mul_assign_u64(elements.len() as u64);
+                    }
+                }
+                size
+            }
+        }
+    }
+
+    /// Enumerates the unfolding: every tuple `(s₁, …, sₙ)` with `sᵢ` equal
+    /// to the pinned element or ranging over the listed domain.
+    pub fn unfold(&self) -> Vec<Vec<String>> {
+        match self {
+            CompactString::Empty => Vec::new(),
+            CompactString::Slots(slots) => {
+                let mut tuples: Vec<Vec<String>> = vec![Vec::new()];
+                for slot in slots {
+                    let options: Vec<&String> = match slot {
+                        Slot::Pinned(e) => vec![e],
+                        Slot::Full(elements) => elements.iter().collect(),
+                    };
+                    let mut next = Vec::with_capacity(tuples.len() * options.len());
+                    for prefix in &tuples {
+                        for opt in &options {
+                            let mut t = prefix.clone();
+                            t.push((*opt).clone());
+                            next.push(t);
+                        }
+                    }
+                    tuples = next;
+                }
+                tuples
+            }
+        }
+    }
+}
+
+/// Renders a compact representation in the paper's `$`/`#` syntax.
+///
+/// Elements must not contain the separator characters `$` and `#`.
+pub fn render_compact(compact: &CompactString) -> String {
+    match compact {
+        CompactString::Empty => String::new(),
+        CompactString::Slots(slots) => {
+            let rendered: Vec<String> = slots
+                .iter()
+                .map(|slot| match slot {
+                    Slot::Pinned(e) => e.clone(),
+                    Slot::Full(elements) => format!("#{}#", elements.join("$")),
+                })
+                .collect();
+            rendered.join("$")
+        }
+    }
+}
+
+impl fmt::Display for CompactString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", render_compact(self))
+    }
+}
+
+/// Parses a compact representation from the paper's `$`/`#` syntax.
+///
+/// The grammar is: the empty string, or a `$`-separated sequence of slots
+/// where a slot is either a bare element or `#e₁$e₂$⋯$eₗ#`.
+pub fn parse_compact(input: &str) -> Result<CompactString, String> {
+    if input.is_empty() {
+        return Ok(CompactString::Empty);
+    }
+    let chars: Vec<char> = input.chars().collect();
+    let mut slots = Vec::new();
+    let mut i = 0;
+    loop {
+        if i >= chars.len() {
+            return Err("expected a slot, found end of input".to_string());
+        }
+        if chars[i] == '#' {
+            // A full-domain slot: read until the closing '#'.
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] != '#' {
+                j += 1;
+            }
+            if j >= chars.len() {
+                return Err("unterminated `#…#` domain listing".to_string());
+            }
+            let inner: String = chars[i + 1..j].iter().collect();
+            if inner.is_empty() {
+                return Err("a domain listing cannot be empty".to_string());
+            }
+            let elements: Vec<String> = inner.split('$').map(str::to_string).collect();
+            if elements.iter().any(String::is_empty) {
+                return Err("a domain listing cannot contain empty elements".to_string());
+            }
+            slots.push(Slot::Full(elements));
+            i = j + 1;
+        } else {
+            let mut j = i;
+            while j < chars.len() && chars[j] != '$' {
+                if chars[j] == '#' {
+                    return Err("`#` may only start a domain listing".to_string());
+                }
+                j += 1;
+            }
+            let element: String = chars[i..j].iter().collect();
+            if element.is_empty() {
+                return Err("a pinned slot cannot be empty".to_string());
+            }
+            slots.push(Slot::Pinned(element));
+            i = j;
+        }
+        if i >= chars.len() {
+            break;
+        }
+        if chars[i] != '$' {
+            return Err(format!("expected `$` between slots, found `{}`", chars[i]));
+        }
+        i += 1;
+    }
+    Ok(CompactString::Slots(slots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CompactString {
+        CompactString::Slots(vec![
+            Slot::Pinned("a".into()),
+            Slot::Full(vec!["x".into(), "y".into(), "z".into()]),
+            Slot::Pinned("b".into()),
+            Slot::Full(vec!["0".into(), "1".into()]),
+        ])
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let c = example();
+        let text = render_compact(&c);
+        assert_eq!(text, "a$#x$y$z#$b$#0$1#");
+        assert_eq!(parse_compact(&text).unwrap(), c);
+        assert_eq!(c.to_string(), text);
+        // The empty string is ε.
+        assert_eq!(parse_compact("").unwrap(), CompactString::Empty);
+        assert_eq!(render_compact(&CompactString::Empty), "");
+    }
+
+    #[test]
+    fn unfolding_size_and_enumeration_agree() {
+        let c = example();
+        assert_eq!(c.unfolding_size().to_u64(), Some(6));
+        let tuples = c.unfold();
+        assert_eq!(tuples.len(), 6);
+        // Every tuple respects the pinned slots.
+        for t in &tuples {
+            assert_eq!(t[0], "a");
+            assert_eq!(t[2], "b");
+            assert!(["x", "y", "z"].contains(&t[1].as_str()));
+            assert!(["0", "1"].contains(&t[3].as_str()));
+        }
+        // Tuples are pairwise distinct.
+        let mut sorted = tuples.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+        // ε unfolds to the empty set, with size 0.
+        assert!(CompactString::Empty.unfold().is_empty());
+        assert!(CompactString::Empty.unfolding_size().is_zero());
+    }
+
+    #[test]
+    fn pinned_count_and_bound() {
+        let c = example();
+        assert_eq!(c.pinned_count(), 2);
+        assert!(c.respects_bound(2));
+        assert!(c.respects_bound(5));
+        assert!(!c.respects_bound(1));
+        assert_eq!(CompactString::Empty.pinned_count(), 0);
+        assert!(CompactString::Empty.respects_bound(0));
+    }
+
+    #[test]
+    fn all_full_and_all_pinned() {
+        let all_full = CompactString::Slots(vec![
+            Slot::Full(vec!["a".into(), "b".into()]),
+            Slot::Full(vec!["c".into()]),
+        ]);
+        assert_eq!(all_full.unfolding_size().to_u64(), Some(2));
+        assert_eq!(all_full.pinned_count(), 0);
+        let all_pinned = CompactString::Slots(vec![
+            Slot::Pinned("a".into()),
+            Slot::Pinned("c".into()),
+        ]);
+        assert_eq!(all_pinned.unfolding_size().to_u64(), Some(1));
+        assert_eq!(all_pinned.unfold(), vec![vec!["a".to_string(), "c".to_string()]]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_strings() {
+        assert!(parse_compact("#a$b").is_err());
+        assert!(parse_compact("##").is_err());
+        assert!(parse_compact("a$$b").is_err());
+        assert!(parse_compact("a$").is_err());
+        assert!(parse_compact("$a").is_err());
+        assert!(parse_compact("a#b").is_err());
+        assert!(parse_compact("#a$$b#").is_err());
+    }
+
+    #[test]
+    fn parse_handles_adjacent_listings() {
+        let parsed = parse_compact("#a$b#$#c$d#").unwrap();
+        match parsed {
+            CompactString::Slots(ref slots) => {
+                assert_eq!(slots.len(), 2);
+                assert!(matches!(slots[0], Slot::Full(_)));
+                assert!(matches!(slots[1], Slot::Full(_)));
+            }
+            _ => panic!("expected slots"),
+        }
+        assert_eq!(parsed.unfolding_size().to_u64(), Some(4));
+    }
+}

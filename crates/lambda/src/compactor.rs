@@ -1,0 +1,355 @@
+//! The [`Compactor`] abstraction and unfolding counts.
+//!
+//! A logspace `k`-compactor (Definition 4.1) is a deterministic transducer
+//! that maps an input `x` and a candidate certificate `c` to either `ε` or
+//! a compact representation of a box over the solution domains
+//! `S₁, …, Sₙ`, pinning at most `k` domains.  The function it computes is
+//! `unfoldM(x) = |⋃_c unfolding(M(x, c))|`.
+//!
+//! A library cannot manipulate logspace machines, but it can manipulate the
+//! finite object a compactor run denotes: the domains, the candidate
+//! certificate space, and the output box per certificate.  The
+//! [`Compactor`] trait captures exactly that; [`unfold_count`] computes
+//! `unfoldM(x)` exactly (via the same union-of-boxes engine as the core
+//! exact counter), and [`enumerate_solutions`] is the guess-check-expand
+//! view of Algorithm 1: it materialises the distinct outputs of the
+//! corresponding nondeterministic transducer.
+
+use cdr_core::{count_union_generic, CountError, GenericBox};
+use cdr_num::BigNat;
+
+use crate::compact::{CompactString, Slot};
+
+/// A box over the solution domains: a partial map `domain index ↦ element
+/// index` (the selector `σ_c`).  Re-exported from the core crate so the
+/// same union-counting engine applies.
+pub type PinBox = GenericBox;
+
+/// The output of a compactor on one candidate certificate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompactOutput {
+    /// The empty output `ε`: the candidate certificate is invalid.
+    Empty,
+    /// A compact representation of the box with the given pins.
+    Boxed(PinBox),
+}
+
+impl CompactOutput {
+    /// Builds a boxed output from pins.
+    pub fn pins(pins: impl IntoIterator<Item = (usize, usize)>) -> CompactOutput {
+        CompactOutput::Boxed(pins.into_iter().collect())
+    }
+
+    /// Returns the pins of a boxed output.
+    pub fn as_box(&self) -> Option<&PinBox> {
+        match self {
+            CompactOutput::Empty => None,
+            CompactOutput::Boxed(b) => Some(b),
+        }
+    }
+}
+
+/// A compactor run on a fixed input: solution domains, a candidate
+/// certificate space, and the deterministic check/compact step.
+///
+/// The `k` of a `k`-compactor is [`Compactor::pin_bound`]; `None` models
+/// the unbounded compactors that define SpanLL (Section 7.2).
+pub trait Compactor {
+    /// The sizes `|S₁|, …, |Sₙ|` of the solution domains.
+    fn domain_sizes(&self) -> Vec<usize>;
+
+    /// The number of candidate certificates.  The paper bounds certificates
+    /// by `O(log |x|)` bits, i.e. polynomially many candidates; here they
+    /// are simply indexed `0 … count-1`.
+    fn certificate_count(&self) -> usize;
+
+    /// The check/compact step: the output of the compactor on candidate
+    /// certificate `c`.
+    fn compact(&self, certificate: usize) -> CompactOutput;
+
+    /// The bound `k` on pinned domains (`None` for SpanLL-style compactors).
+    fn pin_bound(&self) -> Option<usize>;
+
+    /// A human-readable description of the element `e` of domain `d`
+    /// (used when rendering the paper's string syntax).
+    fn element_label(&self, domain: usize, element: usize) -> String {
+        format!("d{domain}e{element}")
+    }
+
+    /// Renders the output on certificate `c` in the paper's
+    /// `[[S₁, …, Sₙ]]_k` string syntax.
+    fn compact_string(&self, certificate: usize) -> CompactString {
+        match self.compact(certificate) {
+            CompactOutput::Empty => CompactString::Empty,
+            CompactOutput::Boxed(pins) => {
+                let sizes = self.domain_sizes();
+                let slots = sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &size)| match pins.get(&d) {
+                        Some(&e) => Slot::Pinned(self.element_label(d, e)),
+                        None => Slot::Full(
+                            (0..size).map(|e| self.element_label(d, e)).collect(),
+                        ),
+                    })
+                    .collect();
+                CompactString::Slots(slots)
+            }
+        }
+    }
+}
+
+/// Collects the distinct non-empty output boxes of a compactor.
+pub fn collect_boxes(compactor: &dyn Compactor) -> Vec<PinBox> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut boxes = Vec::new();
+    for c in 0..compactor.certificate_count() {
+        if let CompactOutput::Boxed(b) = compactor.compact(c) {
+            if seen.insert(b.clone()) {
+                boxes.push(b);
+            }
+        }
+    }
+    boxes
+}
+
+/// Computes `unfoldM(x) = |⋃_c unfolding(M(x, c))|` exactly.
+///
+/// `budget` bounds the work of the union counter exactly as in the core
+/// exact algorithms.
+pub fn unfold_count(compactor: &dyn Compactor, budget: u64) -> Result<BigNat, CountError> {
+    let sizes = compactor.domain_sizes();
+    let boxes = collect_boxes(compactor);
+    if let Some(k) = compactor.pin_bound() {
+        debug_assert!(
+            boxes.iter().all(|b| b.len() <= k),
+            "a k-compactor must never pin more than k domains"
+        );
+    }
+    count_union_generic(&sizes, &boxes, budget)
+}
+
+/// The guess-check-expand view (Algorithm 1): enumerates the distinct
+/// solutions (tuples of element indices, one per domain) witnessed by some
+/// certificate.  The number of solutions equals [`unfold_count`]; this
+/// function is exponential and exists as ground truth for tests and small
+/// experiments.
+pub fn enumerate_solutions(compactor: &dyn Compactor, limit: usize) -> Vec<Vec<usize>> {
+    let sizes = compactor.domain_sizes();
+    let boxes = collect_boxes(compactor);
+    let mut solutions = Vec::new();
+    if boxes.is_empty() || sizes.iter().any(|&s| s == 0) {
+        return solutions;
+    }
+    let mut choice = vec![0usize; sizes.len()];
+    loop {
+        let covered = boxes
+            .iter()
+            .any(|b| b.iter().all(|(&d, &e)| choice[d] == e));
+        if covered {
+            solutions.push(choice.clone());
+            if solutions.len() >= limit {
+                return solutions;
+            }
+        }
+        // Advance the mixed-radix counter.
+        let mut i = sizes.len();
+        loop {
+            if i == 0 {
+                return solutions;
+            }
+            i -= 1;
+            choice[i] += 1;
+            if choice[i] < sizes[i] {
+                break;
+            }
+            choice[i] = 0;
+        }
+        if sizes.is_empty() {
+            return solutions;
+        }
+    }
+}
+
+/// A compactor given by explicit data: domains, and one output per
+/// candidate certificate.  Used to build synthetic Λ[k] functions in tests,
+/// benchmarks and the hardness-reduction experiments.
+#[derive(Clone, Debug)]
+pub struct ExplicitCompactor {
+    domains: Vec<usize>,
+    outputs: Vec<CompactOutput>,
+    pin_bound: Option<usize>,
+}
+
+impl ExplicitCompactor {
+    /// Builds an explicit compactor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some output pins more domains than `pin_bound` allows, or
+    /// pins an element outside its domain.
+    pub fn new(
+        domains: Vec<usize>,
+        outputs: Vec<CompactOutput>,
+        pin_bound: Option<usize>,
+    ) -> Self {
+        for out in &outputs {
+            if let CompactOutput::Boxed(b) = out {
+                if let Some(k) = pin_bound {
+                    assert!(
+                        b.len() <= k,
+                        "output pins {} domains but the bound is {k}",
+                        b.len()
+                    );
+                }
+                for (&d, &e) in b {
+                    assert!(d < domains.len(), "pinned domain {d} does not exist");
+                    assert!(
+                        e < domains[d],
+                        "pinned element {e} outside domain {d} of size {}",
+                        domains[d]
+                    );
+                }
+            }
+        }
+        ExplicitCompactor {
+            domains,
+            outputs,
+            pin_bound,
+        }
+    }
+
+    /// The number of certificates whose output is non-empty.
+    pub fn valid_certificate_count(&self) -> usize {
+        self.outputs
+            .iter()
+            .filter(|o| matches!(o, CompactOutput::Boxed(_)))
+            .count()
+    }
+}
+
+impl Compactor for ExplicitCompactor {
+    fn domain_sizes(&self) -> Vec<usize> {
+        self.domains.clone()
+    }
+
+    fn certificate_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    fn compact(&self, certificate: usize) -> CompactOutput {
+        self.outputs
+            .get(certificate)
+            .cloned()
+            .unwrap_or(CompactOutput::Empty)
+    }
+
+    fn pin_bound(&self) -> Option<usize> {
+        self.pin_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_compactor() -> ExplicitCompactor {
+        // Domains of sizes 3, 2, 4; three certificates, one invalid.
+        ExplicitCompactor::new(
+            vec![3, 2, 4],
+            vec![
+                CompactOutput::pins([(0, 0), (1, 1)]),
+                CompactOutput::Empty,
+                CompactOutput::pins([(1, 0), (2, 3)]),
+            ],
+            Some(2),
+        )
+    }
+
+    #[test]
+    fn unfold_count_matches_enumeration() {
+        let c = sample_compactor();
+        let exact = unfold_count(&c, 1_000).unwrap();
+        let enumerated = enumerate_solutions(&c, usize::MAX);
+        assert_eq!(exact.to_u64(), Some(enumerated.len() as u64));
+        // Box 1 covers 4 tuples, box 2 covers 3; they overlap in one
+        // ((0,1,·) vs (·,0,3) cannot overlap since they disagree on domain 1)
+        // so the union is 4 + 3 = 7.
+        assert_eq!(exact.to_u64(), Some(7));
+        assert_eq!(c.valid_certificate_count(), 2);
+    }
+
+    #[test]
+    fn empty_and_unconstrained_compactors() {
+        let empty = ExplicitCompactor::new(vec![2, 2], vec![CompactOutput::Empty], Some(0));
+        assert!(unfold_count(&empty, 100).unwrap().is_zero());
+        assert!(enumerate_solutions(&empty, 10).is_empty());
+
+        let all = ExplicitCompactor::new(vec![2, 2], vec![CompactOutput::pins([])], Some(0));
+        assert_eq!(unfold_count(&all, 100).unwrap().to_u64(), Some(4));
+        assert_eq!(enumerate_solutions(&all, 10).len(), 4);
+
+        let no_certs = ExplicitCompactor::new(vec![5], vec![], Some(1));
+        assert!(unfold_count(&no_certs, 100).unwrap().is_zero());
+    }
+
+    #[test]
+    fn enumeration_respects_the_limit() {
+        let all = ExplicitCompactor::new(vec![3, 3], vec![CompactOutput::pins([])], Some(0));
+        assert_eq!(enumerate_solutions(&all, 4).len(), 4);
+    }
+
+    #[test]
+    fn compact_string_rendering() {
+        let c = sample_compactor();
+        let s = c.compact_string(0);
+        assert_eq!(s.pinned_count(), 2);
+        assert!(s.respects_bound(2));
+        // Domain 0 pinned to element 0, domain 1 pinned to element 1,
+        // domain 2 listed in full.
+        assert_eq!(s.to_string(), "d0e0$d1e1$#d2e0$d2e1$d2e2$d2e3#");
+        match s {
+            CompactString::Slots(slots) => {
+                assert!(matches!(slots[0], Slot::Pinned(_)));
+                assert!(matches!(slots[1], Slot::Pinned(_)));
+                assert!(matches!(slots[2], Slot::Full(_)));
+            }
+            _ => panic!("expected slots"),
+        }
+        assert_eq!(c.compact_string(1), CompactString::Empty);
+        // The unfolding size of the rendered string matches the box size.
+        assert_eq!(c.compact_string(2).unfolding_size().to_u64(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound")]
+    fn pin_bound_is_enforced() {
+        let _ = ExplicitCompactor::new(
+            vec![2, 2, 2],
+            vec![CompactOutput::pins([(0, 0), (1, 0), (2, 0)])],
+            Some(2),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn pins_must_be_inside_their_domain() {
+        let _ = ExplicitCompactor::new(vec![2], vec![CompactOutput::pins([(0, 5)])], Some(1));
+    }
+
+    #[test]
+    fn unbounded_compactors_are_allowed() {
+        // A SpanLL-style compactor: no bound on the number of pins.
+        let c = ExplicitCompactor::new(
+            vec![2, 2, 2, 2],
+            vec![
+                CompactOutput::pins([(0, 0), (1, 0), (2, 0), (3, 0)]),
+                CompactOutput::pins([(0, 1)]),
+            ],
+            None,
+        );
+        assert_eq!(c.pin_bound(), None);
+        // 1 + 8 = 9 tuples (the two boxes are disjoint on domain 0).
+        assert_eq!(unfold_count(&c, 1_000).unwrap().to_u64(), Some(9));
+    }
+}

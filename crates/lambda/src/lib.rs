@@ -1,0 +1,60 @@
+//! The Λ-hierarchy: compactors, unfoldings, companion problems and
+//! hardness reductions.
+//!
+//! Section 4 of the paper limits the power of logspace nondeterministic
+//! transducers through *logspace k-compactors*: deterministic machines
+//! that, given an input and a candidate certificate, output either the
+//! empty string or a compact representation of a cartesian box
+//! `[S₁, …, Sₙ]_σ` that pins at most `k` solution domains.  The function
+//! computed by a compactor is the size of the union of the unfoldings of
+//! its outputs, and `Λ[k]` is the class of all such functions.
+//!
+//! A logspace machine cannot be represented faithfully in a library, but
+//! the *functions* the paper builds from them can: this crate models a
+//! compactor run as an explicit, finite object — the [`Compactor`] trait —
+//! with solution domains, a certificate space, and a check/compact step
+//! per candidate certificate.  Everything the paper does with compactors
+//! is then implemented on top of that trait:
+//!
+//! * [`compact`] — the syntactic side: the compact-representation strings
+//!   `[[S₁, …, Sₙ]]_k` with `$`/`#` separators, their parser, and their
+//!   unfolding (Section 4.3).
+//! * [`compactor`] — unfolding counts (exact, via the same union-of-boxes
+//!   engine the core crate uses) and the guess-check-expand enumeration of
+//!   Algorithm 1 (Section 4.1–4.2).
+//! * [`cqa_compactor`] — Algorithm 2: `#CQA(Q, Σ)` as a `kw(Q, Σ)`-compactor
+//!   (the membership half of Theorem 5.1).
+//! * [`reduction`] — the hardness half of Theorem 5.1: the many-one
+//!   reduction from any Λ[k] function to `#CQA(Q_k, Σ_k)` via the
+//!   `Selector`/`Element` encoding.
+//! * [`disj_dnf`] / [`coloring`] — the companion problems `#DisjPoskDNF`
+//!   and `#kForbColoring` of Section 7, both Λ[k]-complete.
+//! * [`sat`] — `#3SAT` and its reduction to `#CQA(FO)` (Theorems 3.2/3.3).
+//! * [`approx`] — the generic FPRAS for every function in Λ[k]
+//!   (Theorem 6.2) and the Karp–Luby-style estimator that also covers the
+//!   unbounded compactors of SpanLL (Theorem 7.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod compact;
+pub mod compactor;
+pub mod coloring;
+pub mod cqa_compactor;
+pub mod disj_dnf;
+pub mod problems;
+pub mod reduction;
+pub mod sat;
+
+pub use approx::{compactor_fpras, compactor_karp_luby};
+pub use compact::{parse_compact, render_compact, CompactString, Slot};
+pub use compactor::{
+    enumerate_solutions, unfold_count, CompactOutput, Compactor, ExplicitCompactor, PinBox,
+};
+pub use coloring::{ForbiddenColoring, Hypergraph};
+pub use cqa_compactor::CqaCompactor;
+pub use disj_dnf::DisjPosDnf;
+pub use problems::{Graph, GraphCounting, GraphProblem};
+pub use reduction::{reduce_compactor_to_cqa, CqaInstance};
+pub use sat::{Cnf3, Literal3};

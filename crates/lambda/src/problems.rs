@@ -1,0 +1,342 @@
+//! The guess-check-expand problem gallery of Section 4.1.
+//!
+//! Besides `#CQA`, the paper lists several natural problems that fit the
+//! guess-check-expand paradigm and therefore live inside SpanL (and, with
+//! bounded certificates, inside the Λ-hierarchy):
+//!
+//! * counting the satisfying assignments of a positive kDNF formula — the
+//!   special case of [`crate::DisjPosDnf`] where every class has exactly
+//!   two variables ("x is true" / "x is false");
+//! * counting the **non-independent sets** of a graph;
+//! * counting the **non-3-colorings** of a graph;
+//! * counting the **non-vertex-covers** of a graph.
+//!
+//! Each of the graph problems is implemented here both directly (as a
+//! union of boxes over the natural solution domains) and as a
+//! [`Compactor`], so it plugs into the unfolding counter, the generic
+//! FPRAS, and the Theorem 5.1 reduction like every other Λ[2] member.
+
+use cdr_core::{count_union_generic, CountError};
+use cdr_num::BigNat;
+
+use crate::compactor::{CompactOutput, Compactor, PinBox};
+
+/// A simple undirected graph on vertices `0 … n-1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    vertices: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Builds a graph, validating and normalising the edge list
+    /// (self-loops are rejected, duplicate edges collapsed).
+    pub fn new(vertices: usize, edges: Vec<(usize, usize)>) -> Result<Self, String> {
+        let mut normalized = Vec::with_capacity(edges.len());
+        for (i, (a, b)) in edges.into_iter().enumerate() {
+            if a >= vertices || b >= vertices {
+                return Err(format!("edge {i} mentions an unknown vertex"));
+            }
+            if a == b {
+                return Err(format!("edge {i} is a self-loop"));
+            }
+            let e = (a.min(b), a.max(b));
+            if !normalized.contains(&e) {
+                normalized.push(e);
+            }
+        }
+        Ok(Graph {
+            vertices,
+            edges: normalized,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.vertices
+    }
+
+    /// The normalised edge list.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// A cycle graph `C_n`.
+    pub fn cycle(n: usize) -> Graph {
+        let edges = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        Graph::new(n, edges).expect("cycles are valid graphs")
+    }
+}
+
+/// Which of the Section 4.1 graph counting problems to solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GraphProblem {
+    /// Count the vertex subsets that are **not** independent sets: some
+    /// edge has both endpoints inside the set.
+    NonIndependentSets,
+    /// Count the assignments of 3 colors to the vertices that are **not**
+    /// proper 3-colorings: some edge is monochromatic.
+    NonThreeColorings,
+    /// Count the vertex subsets that are **not** vertex covers: some edge
+    /// has neither endpoint inside the set.
+    NonVertexCovers,
+}
+
+impl GraphProblem {
+    /// Number of values per vertex in the natural solution domains
+    /// (2 = in/out of the set, 3 = the three colors).
+    fn domain_size(self) -> usize {
+        match self {
+            GraphProblem::NonThreeColorings => 3,
+            _ => 2,
+        }
+    }
+}
+
+/// A Section 4.1 graph counting instance: a graph plus the problem flavour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphCounting {
+    graph: Graph,
+    problem: GraphProblem,
+}
+
+impl GraphCounting {
+    /// Pairs a graph with a problem flavour.
+    pub fn new(graph: Graph, problem: GraphProblem) -> Self {
+        GraphCounting { graph, problem }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The problem flavour.
+    pub fn problem(&self) -> GraphProblem {
+        self.problem
+    }
+
+    /// The boxes witnessing a "bad" assignment: one or more per edge.
+    fn boxes(&self) -> Vec<PinBox> {
+        let mut out = Vec::new();
+        for &(a, b) in &self.graph.edges {
+            match self.problem {
+                // Both endpoints in the set (value 1).
+                GraphProblem::NonIndependentSets => {
+                    out.push([(a, 1usize), (b, 1usize)].into_iter().collect());
+                }
+                // Some color c on both endpoints.
+                GraphProblem::NonThreeColorings => {
+                    for c in 0..3usize {
+                        out.push([(a, c), (b, c)].into_iter().collect());
+                    }
+                }
+                // Neither endpoint in the set (value 0).
+                GraphProblem::NonVertexCovers => {
+                    out.push([(a, 0usize), (b, 0usize)].into_iter().collect());
+                }
+            }
+        }
+        out
+    }
+
+    /// The total number of assignments (`2^n` or `3^n`).
+    pub fn total_assignments(&self) -> BigNat {
+        BigNat::from(self.problem.domain_size() as u64).pow(self.graph.vertices as u32)
+    }
+
+    /// Counts the "bad" assignments exactly (non-independent sets,
+    /// non-3-colorings, or non-vertex-covers).
+    pub fn count(&self, budget: u64) -> Result<BigNat, CountError> {
+        let sizes = vec![self.problem.domain_size(); self.graph.vertices];
+        count_union_generic(&sizes, &self.boxes(), budget)
+    }
+
+    /// Brute-force count (ground truth for tests); exponential.
+    pub fn count_brute_force(&self) -> BigNat {
+        let k = self.problem.domain_size();
+        let n = self.graph.vertices;
+        assert!(
+            (k as f64).powi(n as i32) <= 5e6,
+            "brute force is capped at ~5M assignments"
+        );
+        let mut assignment = vec![0usize; n];
+        let mut count: u64 = 0;
+        loop {
+            let bad = self.graph.edges.iter().any(|&(a, b)| match self.problem {
+                GraphProblem::NonIndependentSets => assignment[a] == 1 && assignment[b] == 1,
+                GraphProblem::NonThreeColorings => assignment[a] == assignment[b],
+                GraphProblem::NonVertexCovers => assignment[a] == 0 && assignment[b] == 0,
+            });
+            if bad {
+                count += 1;
+            }
+            let mut i = n;
+            loop {
+                if i == 0 {
+                    return BigNat::from(count);
+                }
+                i -= 1;
+                assignment[i] += 1;
+                if assignment[i] < k {
+                    break;
+                }
+                assignment[i] = 0;
+            }
+            if n == 0 {
+                return BigNat::from(count);
+            }
+        }
+    }
+
+    /// The complementary count: independent sets, proper 3-colorings, or
+    /// vertex covers.
+    pub fn count_complement(&self, budget: u64) -> Result<BigNat, CountError> {
+        let bad = self.count(budget)?;
+        Ok(&self.total_assignments() - &bad)
+    }
+}
+
+impl Compactor for GraphCounting {
+    fn domain_sizes(&self) -> Vec<usize> {
+        vec![self.problem.domain_size(); self.graph.vertices]
+    }
+
+    fn certificate_count(&self) -> usize {
+        self.boxes().len()
+    }
+
+    fn compact(&self, certificate: usize) -> CompactOutput {
+        match self.boxes().get(certificate) {
+            None => CompactOutput::Empty,
+            Some(b) => CompactOutput::Boxed(b.clone()),
+        }
+    }
+
+    fn pin_bound(&self) -> Option<usize> {
+        // Every witness pins the two endpoints of an edge.
+        Some(2)
+    }
+
+    fn element_label(&self, domain: usize, element: usize) -> String {
+        match self.problem {
+            GraphProblem::NonThreeColorings => format!("v{domain}c{element}"),
+            _ => format!("v{domain}={element}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compactor::unfold_count;
+    use crate::reduction::reduce_compactor_to_cqa;
+
+    fn petersen_like() -> Graph {
+        // A 6-cycle plus two chords: small but not trivial.
+        Graph::new(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (1, 4)])
+            .unwrap()
+    }
+
+    #[test]
+    fn graph_construction_and_validation() {
+        let g = petersen_like();
+        assert_eq!(g.vertices(), 6);
+        assert_eq!(g.edges().len(), 8);
+        assert!(Graph::new(3, vec![(0, 5)]).is_err());
+        assert!(Graph::new(3, vec![(1, 1)]).is_err());
+        // Duplicate edges (in either orientation) collapse.
+        let g = Graph::new(3, vec![(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edges().len(), 1);
+        assert_eq!(Graph::cycle(5).edges().len(), 5);
+    }
+
+    #[test]
+    fn triangle_counts_match_hand_calculation() {
+        let triangle = Graph::cycle(3);
+        // Independent sets of K3: {}, {0}, {1}, {2} -> 4; non-independent = 8 - 4 = 4.
+        let p = GraphCounting::new(triangle.clone(), GraphProblem::NonIndependentSets);
+        assert_eq!(p.count(1_000).unwrap().to_u64(), Some(4));
+        assert_eq!(p.count_complement(1_000).unwrap().to_u64(), Some(4));
+        // Proper 3-colorings of K3: 3! = 6; non-3-colorings = 27 - 6 = 21.
+        let p = GraphCounting::new(triangle.clone(), GraphProblem::NonThreeColorings);
+        assert_eq!(p.count(1_000).unwrap().to_u64(), Some(21));
+        assert_eq!(p.count_complement(1_000).unwrap().to_u64(), Some(6));
+        // Vertex covers of K3: need >= 2 vertices -> 4; non-covers = 8 - 4 = 4.
+        let p = GraphCounting::new(triangle, GraphProblem::NonVertexCovers);
+        assert_eq!(p.count(1_000).unwrap().to_u64(), Some(4));
+        assert_eq!(p.count_complement(1_000).unwrap().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn exact_counts_match_brute_force_on_all_three_problems() {
+        let g = petersen_like();
+        for problem in [
+            GraphProblem::NonIndependentSets,
+            GraphProblem::NonThreeColorings,
+            GraphProblem::NonVertexCovers,
+        ] {
+            let p = GraphCounting::new(g.clone(), problem);
+            assert_eq!(
+                p.count(1_000_000).unwrap(),
+                p.count_brute_force(),
+                "{problem:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compactor_view_and_theorem_5_1_reduction_agree() {
+        let g = Graph::cycle(5);
+        for problem in [
+            GraphProblem::NonIndependentSets,
+            GraphProblem::NonThreeColorings,
+            GraphProblem::NonVertexCovers,
+        ] {
+            let p = GraphCounting::new(g.clone(), problem);
+            let expected = p.count(1_000_000).unwrap();
+            assert_eq!(unfold_count(&p, 1_000_000).unwrap(), expected, "{problem:?}");
+            let instance = reduce_compactor_to_cqa(&p).unwrap();
+            assert_eq!(
+                instance.count(1_000_000).unwrap(),
+                expected,
+                "{problem:?} via Q_2"
+            );
+            assert_eq!(p.pin_bound(), Some(2));
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let lonely = Graph::new(4, vec![]).unwrap();
+        for problem in [
+            GraphProblem::NonIndependentSets,
+            GraphProblem::NonThreeColorings,
+            GraphProblem::NonVertexCovers,
+        ] {
+            let p = GraphCounting::new(lonely.clone(), problem);
+            assert!(p.count(1_000).unwrap().is_zero(), "{problem:?}");
+            assert_eq!(
+                p.count_complement(1_000).unwrap(),
+                p.total_assignments(),
+                "{problem:?}"
+            );
+        }
+        assert_eq!(
+            GraphCounting::new(lonely, GraphProblem::NonThreeColorings)
+                .total_assignments()
+                .to_u64(),
+            Some(81)
+        );
+    }
+
+    #[test]
+    fn element_labels_are_descriptive() {
+        let g = Graph::cycle(3);
+        let sets = GraphCounting::new(g.clone(), GraphProblem::NonIndependentSets);
+        assert_eq!(sets.element_label(2, 1), "v2=1");
+        let colors = GraphCounting::new(g, GraphProblem::NonThreeColorings);
+        assert_eq!(colors.element_label(0, 2), "v0c2");
+        assert_eq!(colors.compact(999), CompactOutput::Empty);
+    }
+}

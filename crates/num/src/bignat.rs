@@ -1,0 +1,754 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! [`BigNat`] stores a little-endian vector of 32-bit limbs and implements
+//! the school-book algorithms.  The type is deliberately small: repair
+//! counting needs exact addition, subtraction (counts never go negative in
+//! valid uses, so subtraction is checked), multiplication, exponentiation,
+//! division by machine-word divisors, ordering, decimal formatting and
+//! parsing, and a lossy conversion to `f64` for reporting.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Mul, MulAssign, Sub, SubAssign};
+use std::str::FromStr;
+
+const LIMB_BITS: u32 = 32;
+const LIMB_BASE: u64 = 1 << LIMB_BITS;
+
+/// An arbitrary-precision unsigned integer (a natural number).
+///
+/// The internal representation is a little-endian vector of `u32` limbs
+/// with no trailing zero limbs; zero is represented by an empty vector.
+///
+/// ```
+/// use cdr_num::BigNat;
+///
+/// let blocks = [3u64, 2, 2, 5, 4];
+/// let total: BigNat = blocks.iter().map(|&b| BigNat::from(b)).product();
+/// assert_eq!(total.to_string(), "240");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigNat {
+    /// Little-endian limbs; invariant: no trailing zeros.
+    limbs: Vec<u32>,
+}
+
+impl BigNat {
+    /// The number zero.
+    pub fn zero() -> Self {
+        BigNat { limbs: Vec::new() }
+    }
+
+    /// The number one.
+    pub fn one() -> Self {
+        BigNat { limbs: vec![1] }
+    }
+
+    /// Returns `true` iff this number is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` iff this number is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Number of significant bits (zero has zero bits).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() - 1) * LIMB_BITS as usize
+                    + (LIMB_BITS - top.leading_zeros()) as usize
+            }
+        }
+    }
+
+    /// Builds a value from a `u64`.
+    pub fn from_u64(mut v: u64) -> Self {
+        let mut limbs = Vec::with_capacity(2);
+        while v != 0 {
+            limbs.push((v & (LIMB_BASE - 1)) as u32);
+            v >>= LIMB_BITS;
+        }
+        BigNat { limbs }
+    }
+
+    /// Builds a value from a `u128`.
+    pub fn from_u128(mut v: u128) -> Self {
+        let mut limbs = Vec::with_capacity(4);
+        while v != 0 {
+            limbs.push((v & (LIMB_BASE as u128 - 1)) as u32);
+            v >>= LIMB_BITS;
+        }
+        BigNat { limbs }
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.limbs.len() > 2 {
+            return None;
+        }
+        let mut v: u64 = 0;
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            v |= (limb as u64) << (i as u32 * LIMB_BITS);
+        }
+        Some(v)
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut v: u128 = 0;
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            v |= (limb as u128) << (i as u32 * LIMB_BITS);
+        }
+        Some(v)
+    }
+
+    /// Lossy conversion to `f64`.
+    ///
+    /// Values above ~`1.8e308` convert to `f64::INFINITY`.
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * LIMB_BASE as f64 + limb as f64;
+            if acc.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        acc
+    }
+
+    /// Natural logarithm of the value; `-inf` for zero.
+    ///
+    /// Accurate even for values whose `f64` conversion overflows, by
+    /// scaling out whole limbs.
+    pub fn ln(&self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        // Take the top (up to) three limbs as the mantissa and account for
+        // the rest as an exponent of 2^32.
+        let n = self.limbs.len();
+        let take = n.min(3);
+        let mut mant = 0.0f64;
+        for i in 0..take {
+            mant = mant * LIMB_BASE as f64 + self.limbs[n - 1 - i] as f64;
+        }
+        let shifted_limbs = (n - take) as f64;
+        mant.ln() + shifted_limbs * (LIMB_BASE as f64).ln()
+    }
+
+    /// Checked subtraction: `self - other`, or `None` if `other > self`.
+    pub fn checked_sub(&self, other: &BigNat) -> Option<BigNat> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow: i64 = 0;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += LIMB_BASE as i64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            limbs.push(d as u32);
+        }
+        debug_assert_eq!(borrow, 0, "borrow out of checked subtraction");
+        let mut out = BigNat { limbs };
+        out.normalize();
+        Some(out)
+    }
+
+    /// Saturating subtraction: `max(self - other, 0)`.
+    pub fn saturating_sub(&self, other: &BigNat) -> BigNat {
+        self.checked_sub(other).unwrap_or_else(BigNat::zero)
+    }
+
+    /// Multiplies by a machine word in place.
+    pub fn mul_assign_u64(&mut self, rhs: u64) {
+        if rhs == 0 || self.is_zero() {
+            self.limbs.clear();
+            return;
+        }
+        if rhs == 1 {
+            return;
+        }
+        let lo = rhs & (LIMB_BASE - 1);
+        let hi = rhs >> LIMB_BITS;
+        if hi == 0 {
+            let mut carry: u64 = 0;
+            for limb in self.limbs.iter_mut() {
+                let prod = *limb as u64 * lo + carry;
+                *limb = (prod & (LIMB_BASE - 1)) as u32;
+                carry = prod >> LIMB_BITS;
+            }
+            while carry != 0 {
+                self.limbs.push((carry & (LIMB_BASE - 1)) as u32);
+                carry >>= LIMB_BITS;
+            }
+        } else {
+            let rhs_big = BigNat::from_u64(rhs);
+            *self = &*self * &rhs_big;
+        }
+    }
+
+    /// Division by a machine word, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem_u32(&self, divisor: u32) -> (BigNat, u32) {
+        assert!(divisor != 0, "division by zero");
+        let d = divisor as u64;
+        let mut quotient = vec![0u32; self.limbs.len()];
+        let mut rem: u64 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << LIMB_BITS) | self.limbs[i] as u64;
+            quotient[i] = (cur / d) as u32;
+            rem = cur % d;
+        }
+        let mut q = BigNat { limbs: quotient };
+        q.normalize();
+        (q, rem as u32)
+    }
+
+    /// Division by a 64-bit machine word, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem_u64(&self, divisor: u64) -> (BigNat, u64) {
+        assert!(divisor != 0, "division by zero");
+        let d = divisor as u128;
+        let mut quotient = vec![0u32; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << LIMB_BITS) | self.limbs[i] as u128;
+            quotient[i] = (cur / d) as u32;
+            rem = cur % d;
+        }
+        let mut q = BigNat { limbs: quotient };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// Raises the value to the power `exp`.
+    pub fn pow(&self, mut exp: u32) -> BigNat {
+        let mut base = self.clone();
+        let mut acc = BigNat::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Parses a decimal string (ASCII digits only, optional leading zeros).
+    pub fn parse_decimal(s: &str) -> Option<BigNat> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mut acc = BigNat::zero();
+        for b in s.bytes() {
+            acc.mul_assign_u64(10);
+            acc += BigNat::from_u64((b - b'0') as u64);
+        }
+        Some(acc)
+    }
+
+    /// Rounds an `f64` to the nearest natural number; negative values and
+    /// NaN map to zero, infinite values are rejected.
+    pub fn from_f64_rounded(v: f64) -> Option<BigNat> {
+        if v.is_nan() || v < 0.5 {
+            return Some(BigNat::zero());
+        }
+        if v.is_infinite() {
+            return None;
+        }
+        let mut v = v.round();
+        let mut out = BigNat::zero();
+        let mut scale = BigNat::one();
+        // Peel off 32 bits at a time.
+        while v >= 1.0 {
+            let rem = v % LIMB_BASE as f64;
+            let mut part = BigNat::from_u64(rem as u64);
+            part = &part * &scale;
+            out += part;
+            v = (v - rem) / LIMB_BASE as f64;
+            scale.mul_assign_u64(LIMB_BASE);
+        }
+        Some(out)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+}
+
+impl From<u64> for BigNat {
+    fn from(v: u64) -> Self {
+        BigNat::from_u64(v)
+    }
+}
+
+impl From<u32> for BigNat {
+    fn from(v: u32) -> Self {
+        BigNat::from_u64(v as u64)
+    }
+}
+
+impl From<usize> for BigNat {
+    fn from(v: usize) -> Self {
+        BigNat::from_u64(v as u64)
+    }
+}
+
+impl From<u128> for BigNat {
+    fn from(v: u128) -> Self {
+        BigNat::from_u128(v)
+    }
+}
+
+impl PartialOrd for BigNat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigNat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add<&BigNat> for &BigNat {
+    type Output = BigNat;
+
+    fn add(self, rhs: &BigNat) -> BigNat {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut limbs = Vec::with_capacity(long.limbs.len() + 1);
+        let mut carry: u64 = 0;
+        for i in 0..long.limbs.len() {
+            let sum = long.limbs[i] as u64 + *short.limbs.get(i).unwrap_or(&0) as u64 + carry;
+            limbs.push((sum & (LIMB_BASE - 1)) as u32);
+            carry = sum >> LIMB_BITS;
+        }
+        if carry != 0 {
+            limbs.push(carry as u32);
+        }
+        BigNat { limbs }
+    }
+}
+
+impl Add for BigNat {
+    type Output = BigNat;
+
+    fn add(self, rhs: BigNat) -> BigNat {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<BigNat> for BigNat {
+    fn add_assign(&mut self, rhs: BigNat) {
+        *self = &*self + &rhs;
+    }
+}
+
+impl AddAssign<&BigNat> for BigNat {
+    fn add_assign(&mut self, rhs: &BigNat) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub<&BigNat> for &BigNat {
+    type Output = BigNat;
+
+    /// # Panics
+    ///
+    /// Panics if the result would be negative.
+    fn sub(self, rhs: &BigNat) -> BigNat {
+        self.checked_sub(rhs)
+            .expect("BigNat subtraction underflow")
+    }
+}
+
+impl Sub for BigNat {
+    type Output = BigNat;
+
+    fn sub(self, rhs: BigNat) -> BigNat {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&BigNat> for BigNat {
+    fn sub_assign(&mut self, rhs: &BigNat) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul<&BigNat> for &BigNat {
+    type Output = BigNat;
+
+    fn mul(self, rhs: &BigNat) -> BigNat {
+        if self.is_zero() || rhs.is_zero() {
+            return BigNat::zero();
+        }
+        let mut limbs = vec![0u32; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry: u64 = 0;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = limbs[i + j] as u64 + a as u64 * b as u64 + carry;
+                limbs[i + j] = (cur & (LIMB_BASE - 1)) as u32;
+                carry = cur >> LIMB_BITS;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let cur = limbs[k] as u64 + carry;
+                limbs[k] = (cur & (LIMB_BASE - 1)) as u32;
+                carry = cur >> LIMB_BITS;
+                k += 1;
+            }
+        }
+        let mut out = BigNat { limbs };
+        out.normalize();
+        out
+    }
+}
+
+impl Mul for BigNat {
+    type Output = BigNat;
+
+    fn mul(self, rhs: BigNat) -> BigNat {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&BigNat> for BigNat {
+    fn mul_assign(&mut self, rhs: &BigNat) {
+        *self = &*self * rhs;
+    }
+}
+
+impl MulAssign<BigNat> for BigNat {
+    fn mul_assign(&mut self, rhs: BigNat) {
+        *self = &*self * &rhs;
+    }
+}
+
+impl Sum for BigNat {
+    fn sum<I: Iterator<Item = BigNat>>(iter: I) -> Self {
+        iter.fold(BigNat::zero(), |acc, x| acc + x)
+    }
+}
+
+impl Product for BigNat {
+    fn product<I: Iterator<Item = BigNat>>(iter: I) -> Self {
+        iter.fold(BigNat::one(), |acc, x| acc * x)
+    }
+}
+
+impl fmt::Display for BigNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^9 to extract decimal chunks.
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u32(1_000_000_000);
+            digits.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        for (i, chunk) in digits.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&chunk.to_string());
+            } else {
+                s.push_str(&format!("{chunk:09}"));
+            }
+        }
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Debug for BigNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigNat({self})")
+    }
+}
+
+impl FromStr for BigNat {
+    type Err = ParseBigNatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BigNat::parse_decimal(s).ok_or(ParseBigNatError)
+    }
+}
+
+/// Error returned when parsing a [`BigNat`] from a non-decimal string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseBigNatError;
+
+impl fmt::Display for ParseBigNatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal natural number")
+    }
+}
+
+impl std::error::Error for ParseBigNatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigNat::zero().is_zero());
+        assert!(BigNat::one().is_one());
+        assert_eq!(BigNat::zero().to_string(), "0");
+        assert_eq!(BigNat::one().to_string(), "1");
+        assert_eq!(BigNat::zero().bits(), 0);
+        assert_eq!(BigNat::one().bits(), 1);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 1, 2, 9, 10, 4294967295, 4294967296, u64::MAX] {
+            assert_eq!(BigNat::from_u64(v).to_u64(), Some(v));
+            assert_eq!(BigNat::from_u64(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn u128_round_trip() {
+        for v in [0u128, u64::MAX as u128 + 1, u128::MAX] {
+            assert_eq!(BigNat::from_u128(v).to_u128(), Some(v));
+            assert_eq!(BigNat::from_u128(v).to_string(), v.to_string());
+        }
+        assert_eq!(BigNat::from_u128(u128::MAX).to_u64(), None);
+    }
+
+    #[test]
+    fn addition_matches_u128() {
+        let a = BigNat::from_u64(u64::MAX);
+        let b = BigNat::from_u64(u64::MAX);
+        assert_eq!((&a + &b).to_u128(), Some(u64::MAX as u128 * 2));
+    }
+
+    #[test]
+    fn multiplication_matches_u128() {
+        let a = BigNat::from_u64(u64::MAX);
+        let b = BigNat::from_u64(12345);
+        assert_eq!((&a * &b).to_u128(), Some(u64::MAX as u128 * 12345));
+    }
+
+    #[test]
+    fn subtraction_checked() {
+        let a = BigNat::from_u64(100);
+        let b = BigNat::from_u64(58);
+        assert_eq!((&a - &b).to_u64(), Some(42));
+        assert_eq!(b.checked_sub(&a), None);
+        assert_eq!(b.saturating_sub(&a), BigNat::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = &BigNat::from_u64(1) - &BigNat::from_u64(2);
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(BigNat::from_u64(2).pow(10).to_u64(), Some(1024));
+        assert_eq!(BigNat::from_u64(3).pow(0).to_u64(), Some(1));
+        assert_eq!(BigNat::from_u64(0).pow(0).to_u64(), Some(1));
+        assert_eq!(BigNat::from_u64(0).pow(5).to_u64(), Some(0));
+        assert_eq!(
+            BigNat::from_u64(2).pow(200).to_string(),
+            "1606938044258990275541962092341162602522202993782792835301376"
+        );
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let v = BigNat::parse_decimal("123456789012345678901234567890").unwrap();
+        let (q, r) = v.div_rem_u32(7);
+        assert_eq!(q.to_string(), "17636684144620811271604938270");
+        assert_eq!(r, 0);
+        let (q2, r2) = v.div_rem_u32(9999);
+        assert_eq!(q2.to_string(), "12346913592593827272850741");
+        assert_eq!(r2, 8631);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let s = "340282366920938463463374607431768211456000000001";
+        let v = BigNat::parse_decimal(s).unwrap();
+        assert_eq!(v.to_string(), s);
+        assert_eq!(s.parse::<BigNat>().unwrap(), v);
+        assert!("".parse::<BigNat>().is_err());
+        assert!("12a".parse::<BigNat>().is_err());
+    }
+
+    #[test]
+    fn to_f64_and_ln() {
+        assert_eq!(BigNat::from_u64(1000).to_f64(), 1000.0);
+        let big = BigNat::from_u64(2).pow(100);
+        let lf = big.ln();
+        assert!((lf - 100.0 * 2f64.ln()).abs() < 1e-9);
+        let huge = BigNat::from_u64(2).pow(5000);
+        assert!(huge.to_f64().is_infinite());
+        assert!((huge.ln() - 5000.0 * 2f64.ln()).abs() < 1e-6);
+        assert_eq!(BigNat::zero().ln(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn from_f64_rounded_cases() {
+        assert_eq!(BigNat::from_f64_rounded(0.2), Some(BigNat::zero()));
+        assert_eq!(BigNat::from_f64_rounded(-5.0), Some(BigNat::zero()));
+        assert_eq!(BigNat::from_f64_rounded(f64::NAN), Some(BigNat::zero()));
+        assert_eq!(BigNat::from_f64_rounded(f64::INFINITY), None);
+        assert_eq!(
+            BigNat::from_f64_rounded(123456.6).unwrap().to_u64(),
+            Some(123457)
+        );
+        let v = BigNat::from_f64_rounded(1e30).unwrap();
+        // 1e30 is not exactly representable; check we are within f64 accuracy.
+        let back = v.to_f64();
+        assert!((back - 1e30).abs() / 1e30 < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigNat::from_u64(u64::MAX);
+        let b = &a * &BigNat::from_u64(2);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert!(BigNat::zero() < BigNat::one());
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let vals = [1u64, 2, 3, 4, 5];
+        let s: BigNat = vals.iter().map(|&v| BigNat::from(v)).sum();
+        let p: BigNat = vals.iter().map(|&v| BigNat::from(v)).product();
+        assert_eq!(s.to_u64(), Some(15));
+        assert_eq!(p.to_u64(), Some(120));
+    }
+
+    #[test]
+    fn mul_assign_u64_large_multiplier() {
+        let mut v = BigNat::from_u64(10);
+        v.mul_assign_u64(u64::MAX);
+        assert_eq!(v.to_u128(), Some(10u128 * u64::MAX as u128));
+        let mut z = BigNat::from_u64(7);
+        z.mul_assign_u64(0);
+        assert!(z.is_zero());
+        let mut o = BigNat::from_u64(7);
+        o.mul_assign_u64(1);
+        assert_eq!(o.to_u64(), Some(7));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_u128(a in 0u64.., b in 0u64..) {
+            let big = &BigNat::from(a) + &BigNat::from(b);
+            prop_assert_eq!(big.to_u128(), Some(a as u128 + b as u128));
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in 0u64.., b in 0u64..) {
+            let big = &BigNat::from(a) * &BigNat::from(b);
+            prop_assert_eq!(big.to_u128(), Some(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn prop_sub_matches_u128(a in 0u64.., b in 0u64..) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            let big = &BigNat::from(hi) - &BigNat::from(lo);
+            prop_assert_eq!(big.to_u64(), Some(hi - lo));
+        }
+
+        #[test]
+        fn prop_display_parse_round_trip(a in 0u128..) {
+            let big = BigNat::from(a);
+            let parsed: BigNat = big.to_string().parse().unwrap();
+            prop_assert_eq!(parsed, big);
+        }
+
+        #[test]
+        fn prop_div_rem_reconstructs(a in 0u128.., d in 1u32..) {
+            let big = BigNat::from(a);
+            let (q, r) = big.div_rem_u32(d);
+            prop_assert!((r as u64) < d as u64);
+            let mut back = q;
+            back.mul_assign_u64(d as u64);
+            back += BigNat::from(r as u64);
+            prop_assert_eq!(back, BigNat::from(a));
+        }
+
+        #[test]
+        fn prop_div_rem_u64_reconstructs(a in 0u128.., d in 1u64..) {
+            let big = BigNat::from(a);
+            let (q, r) = big.div_rem_u64(d);
+            prop_assert!(r < d);
+            prop_assert_eq!(q.to_u128().unwrap(), a / d as u128);
+            prop_assert_eq!(r as u128, a % d as u128);
+        }
+
+        #[test]
+        fn prop_add_commutes(a in 0u128.., b in 0u128..) {
+            prop_assert_eq!(
+                &BigNat::from(a) + &BigNat::from(b),
+                &BigNat::from(b) + &BigNat::from(a)
+            );
+        }
+
+        #[test]
+        fn prop_mul_distributes(a in 0u64.., b in 0u64.., c in 0u64..) {
+            let (a, b, c) = (BigNat::from(a), BigNat::from(b), BigNat::from(c));
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        }
+
+        #[test]
+        fn prop_ordering_consistent_with_u128(a in 0u128.., b in 0u128..) {
+            prop_assert_eq!(BigNat::from(a).cmp(&BigNat::from(b)), a.cmp(&b));
+        }
+    }
+}

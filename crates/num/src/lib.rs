@@ -1,0 +1,28 @@
+//! Numeric substrate for repair counting.
+//!
+//! Counting database repairs routinely produces numbers of the form
+//! `∏ |B_i|` where the product ranges over the blocks of an inconsistent
+//! database.  Even modest databases overflow `u128`, so the counting
+//! algorithms in the rest of the workspace work with:
+//!
+//! * [`BigNat`] — an arbitrary-precision unsigned integer with exactly the
+//!   operations counting needs (addition, subtraction, multiplication,
+//!   small division, comparison, decimal I/O, conversion to `f64`).
+//! * [`LogNum`] — a non-negative real kept in the log domain, used by the
+//!   approximation schemes when only relative magnitudes matter.
+//! * [`Ratio`] — an exact non-negative rational `BigNat / BigNat`, used for
+//!   relative frequencies (the paper's "how often is a tuple an answer").
+//!
+//! The crate is dependency-free by design: it is the bottom of the
+//! workspace dependency DAG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bignat;
+mod lognum;
+mod ratio;
+
+pub use bignat::BigNat;
+pub use lognum::LogNum;
+pub use ratio::Ratio;

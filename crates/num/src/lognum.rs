@@ -1,0 +1,258 @@
+//! Non-negative reals kept in the log domain.
+//!
+//! The FPRAS of Theorem 6.2 multiplies the (possibly astronomically large)
+//! size of the solution space `|U| = ∏ |S_i|` by an empirical mean in
+//! `[0, 1]`.  Carrying `|U|` as an `f64` overflows; carrying it as a
+//! [`crate::BigNat`] and converting at the end loses the ability to do the
+//! final scaling cheaply.  [`LogNum`] stores `ln(x)` and supports the small
+//! set of operations the estimators need.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Product;
+use std::ops::{Div, Mul, MulAssign};
+
+use crate::BigNat;
+
+/// A non-negative real number stored as its natural logarithm.
+///
+/// Zero is represented by `ln = -inf`.  Multiplication and division are
+/// exact up to floating-point error in the log domain; addition uses the
+/// standard log-sum-exp trick.
+#[derive(Clone, Copy, PartialEq)]
+pub struct LogNum {
+    ln: f64,
+}
+
+impl LogNum {
+    /// The number zero.
+    pub fn zero() -> Self {
+        LogNum {
+            ln: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The number one.
+    pub fn one() -> Self {
+        LogNum { ln: 0.0 }
+    }
+
+    /// Builds a value from a non-negative `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative or NaN.
+    pub fn from_f64(v: f64) -> Self {
+        assert!(v >= 0.0 && !v.is_nan(), "LogNum requires a non-negative value");
+        LogNum { ln: v.ln() }
+    }
+
+    /// Builds a value directly from its natural logarithm.
+    pub fn from_ln(ln: f64) -> Self {
+        assert!(!ln.is_nan(), "LogNum requires a non-NaN logarithm");
+        LogNum { ln }
+    }
+
+    /// Builds a value from an exact natural number.
+    pub fn from_bignat(v: &BigNat) -> Self {
+        LogNum { ln: v.ln() }
+    }
+
+    /// The natural logarithm of the value.
+    pub fn ln(&self) -> f64 {
+        self.ln
+    }
+
+    /// The value as an `f64` (may be `inf` for very large values).
+    pub fn to_f64(&self) -> f64 {
+        self.ln.exp()
+    }
+
+    /// Returns `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.ln == f64::NEG_INFINITY
+    }
+
+    /// Adds two log-domain numbers using log-sum-exp.
+    pub fn add(&self, other: &LogNum) -> LogNum {
+        if self.is_zero() {
+            return *other;
+        }
+        if other.is_zero() {
+            return *self;
+        }
+        let (hi, lo) = if self.ln >= other.ln {
+            (self.ln, other.ln)
+        } else {
+            (other.ln, self.ln)
+        };
+        LogNum {
+            ln: hi + (lo - hi).exp().ln_1p(),
+        }
+    }
+
+    /// The relative error `|self - other| / other`, computed in the linear
+    /// domain but stably.  Returns `f64::INFINITY` when `other` is zero and
+    /// `self` is not.
+    pub fn relative_error(&self, other: &LogNum) -> f64 {
+        if other.is_zero() {
+            return if self.is_zero() { 0.0 } else { f64::INFINITY };
+        }
+        // |a/b - 1| computed via exp of log-ratio.
+        (self.ln - other.ln).exp_m1().abs()
+    }
+}
+
+impl Mul for LogNum {
+    type Output = LogNum;
+
+    fn mul(self, rhs: LogNum) -> LogNum {
+        if self.is_zero() || rhs.is_zero() {
+            return LogNum::zero();
+        }
+        LogNum {
+            ln: self.ln + rhs.ln,
+        }
+    }
+}
+
+impl MulAssign for LogNum {
+    fn mul_assign(&mut self, rhs: LogNum) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for LogNum {
+    type Output = LogNum;
+
+    /// # Panics
+    ///
+    /// Panics when dividing by zero.
+    fn div(self, rhs: LogNum) -> LogNum {
+        assert!(!rhs.is_zero(), "LogNum division by zero");
+        if self.is_zero() {
+            return LogNum::zero();
+        }
+        LogNum {
+            ln: self.ln - rhs.ln,
+        }
+    }
+}
+
+impl Product for LogNum {
+    fn product<I: Iterator<Item = LogNum>>(iter: I) -> Self {
+        iter.fold(LogNum::one(), |acc, x| acc * x)
+    }
+}
+
+impl PartialOrd for LogNum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.ln.partial_cmp(&other.ln)
+    }
+}
+
+impl fmt::Debug for LogNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LogNum(e^{})", self.ln)
+    }
+}
+
+impl fmt::Display for LogNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "0")
+        } else if self.ln.abs() < 300.0 {
+            write!(f, "{}", self.to_f64())
+        } else {
+            // Print as a power of ten for readability.
+            let log10 = self.ln / std::f64::consts::LN_10;
+            let exp = log10.floor();
+            let mant = 10f64.powf(log10 - exp);
+            write!(f, "{mant:.4}e{exp}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = LogNum::from_f64(6.0);
+        let b = LogNum::from_f64(7.0);
+        assert!(close((a * b).to_f64(), 42.0));
+        assert!(close((a / b).to_f64(), 6.0 / 7.0));
+        assert!(close(a.add(&b).to_f64(), 13.0));
+    }
+
+    #[test]
+    fn zero_behaviour() {
+        let z = LogNum::zero();
+        let a = LogNum::from_f64(3.0);
+        assert!(z.is_zero());
+        assert!((z * a).is_zero());
+        assert!(close(z.add(&a).to_f64(), 3.0));
+        assert!((z / a).is_zero());
+        assert_eq!(z.to_string(), "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = LogNum::one() / LogNum::zero();
+    }
+
+    #[test]
+    fn from_bignat_is_consistent() {
+        let big = BigNat::from(2u64).pow(300);
+        let ln = LogNum::from_bignat(&big);
+        assert!(close(ln.ln(), 300.0 * 2f64.ln()));
+    }
+
+    #[test]
+    fn relative_error_cases() {
+        let a = LogNum::from_f64(110.0);
+        let b = LogNum::from_f64(100.0);
+        assert!(close(a.relative_error(&b), 0.1));
+        assert!(close(b.relative_error(&b), 0.0));
+        assert_eq!(LogNum::from_f64(1.0).relative_error(&LogNum::zero()), f64::INFINITY);
+        assert_eq!(LogNum::zero().relative_error(&LogNum::zero()), 0.0);
+    }
+
+    #[test]
+    fn huge_values_display() {
+        let huge = LogNum::from_ln(10_000.0);
+        let s = huge.to_string();
+        assert!(s.contains('e'), "expected scientific notation, got {s}");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(LogNum::from_f64(2.0) < LogNum::from_f64(3.0));
+        assert!(LogNum::zero() < LogNum::one());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_matches_f64(a in 0.0f64..1e100, b in 0.0f64..1e100) {
+            let l = LogNum::from_f64(a) * LogNum::from_f64(b);
+            if a > 0.0 && b > 0.0 {
+                prop_assert!(close(l.ln(), a.ln() + b.ln()));
+            } else {
+                prop_assert!(l.is_zero());
+            }
+        }
+
+        #[test]
+        fn prop_add_matches_f64(a in 0.0f64..1e12, b in 0.0f64..1e12) {
+            let l = LogNum::from_f64(a).add(&LogNum::from_f64(b));
+            prop_assert!(close(l.to_f64(), a + b));
+        }
+    }
+}

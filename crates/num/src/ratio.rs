@@ -1,0 +1,270 @@
+//! Exact non-negative rationals.
+//!
+//! The paper motivates counting repairs via *relative frequency*: the number
+//! of repairs entailing a tuple divided by the total number of repairs
+//! (Section 1.1).  [`Ratio`] represents that quantity exactly as a pair of
+//! [`BigNat`]s kept in lowest terms.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::BigNat;
+
+/// An exact non-negative rational number `numerator / denominator`.
+///
+/// The denominator is always non-zero and the fraction is kept in lowest
+/// terms (via binary GCD).
+///
+/// ```
+/// use cdr_num::{BigNat, Ratio};
+///
+/// let half = Ratio::new(BigNat::from(2u64), BigNat::from(4u64));
+/// assert_eq!(half.to_string(), "1/2");
+/// assert_eq!(half.to_f64(), 0.5);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: BigNat,
+    den: BigNat,
+}
+
+impl Ratio {
+    /// Creates a ratio, reducing it to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: BigNat, den: BigNat) -> Self {
+        assert!(!den.is_zero(), "Ratio denominator must be non-zero");
+        if num.is_zero() {
+            return Ratio {
+                num: BigNat::zero(),
+                den: BigNat::one(),
+            };
+        }
+        let g = gcd(num.clone(), den.clone());
+        let num = divide_exact(&num, &g);
+        let den = divide_exact(&den, &g);
+        Ratio { num, den }
+    }
+
+    /// The ratio 0/1.
+    pub fn zero() -> Self {
+        Ratio {
+            num: BigNat::zero(),
+            den: BigNat::one(),
+        }
+    }
+
+    /// The ratio 1/1.
+    pub fn one() -> Self {
+        Ratio {
+            num: BigNat::one(),
+            den: BigNat::one(),
+        }
+    }
+
+    /// The numerator in lowest terms.
+    pub fn numerator(&self) -> &BigNat {
+        &self.num
+    }
+
+    /// The denominator in lowest terms.
+    pub fn denominator(&self) -> &BigNat {
+        &self.den
+    }
+
+    /// Returns `true` iff the ratio is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff the ratio is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.num == self.den
+    }
+
+    /// Lossy conversion to `f64`, stable even for huge numerator/denominator.
+    pub fn to_f64(&self) -> f64 {
+        if self.num.is_zero() {
+            return 0.0;
+        }
+        (self.num.ln() - self.den.ln()).exp()
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b  (all values non-negative).
+        let left = &self.num * &other.den;
+        let right = &other.num * &self.den;
+        left.cmp(&right)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+/// Binary-free GCD via the Euclidean algorithm with repeated subtraction of
+/// shifted values is overkill here; we use the simple remainder-based
+/// Euclidean algorithm implemented with long division by repeated
+/// subtraction of scaled divisors.
+fn gcd(mut a: BigNat, mut b: BigNat) -> BigNat {
+    while !b.is_zero() {
+        let r = remainder(&a, &b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Computes `a mod b` for arbitrary precision values (`b` non-zero) using
+/// shift-and-subtract long division.
+fn remainder(a: &BigNat, b: &BigNat) -> BigNat {
+    let (_, r) = div_rem(a, b);
+    r
+}
+
+/// Computes `a / b` assuming the division is exact.
+fn divide_exact(a: &BigNat, b: &BigNat) -> BigNat {
+    let (q, r) = div_rem(a, b);
+    debug_assert!(r.is_zero(), "divide_exact called with a non-divisor");
+    q
+}
+
+/// School-book binary long division on naturals: returns
+/// `(quotient, remainder)`.
+fn div_rem(a: &BigNat, b: &BigNat) -> (BigNat, BigNat) {
+    assert!(!b.is_zero(), "division by zero");
+    if a < b {
+        return (BigNat::zero(), a.clone());
+    }
+    if let (Some(x), Some(y)) = (a.to_u128(), b.to_u128()) {
+        return (BigNat::from(x / y), BigNat::from(x % y));
+    }
+    // Build the ladder b, 2b, 4b, ... up to the largest multiple <= a, then
+    // walk it back down subtracting greedily.  O(bits(a)) BigNat operations,
+    // plenty fast for the count sizes seen in this workspace.
+    let two = BigNat::from(2u64);
+    let mut ladder = vec![b.clone()];
+    loop {
+        let next = ladder.last().unwrap() * &two;
+        if next > *a {
+            break;
+        }
+        ladder.push(next);
+    }
+    let mut quotient = BigNat::zero();
+    let mut rem = a.clone();
+    for shifted in ladder.iter().rev() {
+        quotient = &quotient * &two;
+        if rem >= *shifted {
+            rem = &rem - shifted;
+            quotient += BigNat::one();
+        }
+    }
+    (quotient, rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let r = Ratio::new(BigNat::from(6u64), BigNat::from(8u64));
+        assert_eq!(r.numerator().to_u64(), Some(3));
+        assert_eq!(r.denominator().to_u64(), Some(4));
+        assert_eq!(r.to_string(), "3/4");
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Ratio::zero().is_zero());
+        assert!(Ratio::one().is_one());
+        assert_eq!(Ratio::new(BigNat::zero(), BigNat::from(7u64)), Ratio::zero());
+        assert_eq!(Ratio::new(BigNat::from(5u64), BigNat::from(5u64)), Ratio::one());
+        assert_eq!(Ratio::one().to_string(), "1");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(BigNat::one(), BigNat::zero());
+    }
+
+    #[test]
+    fn ordering_and_f64() {
+        let a = Ratio::new(BigNat::from(1u64), BigNat::from(3u64));
+        let b = Ratio::new(BigNat::from(1u64), BigNat::from(2u64));
+        assert!(a < b);
+        assert!((a.to_f64() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((b.to_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huge_values_stay_exact() {
+        let num = BigNat::from(2u64).pow(500);
+        let den = BigNat::from(2u64).pow(501);
+        let r = Ratio::new(num, den);
+        assert_eq!(r.to_string(), "1/2");
+        assert!((r.to_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn div_rem_large_divisor() {
+        let a = BigNat::from(2u64).pow(200);
+        let b = &BigNat::from(2u64).pow(100) + &BigNat::one();
+        let (q, r) = div_rem(&a, &b);
+        let mut recon = &q * &b;
+        recon += &r;
+        assert_eq!(recon, a);
+        assert!(r < b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reduction_preserves_value(n in 0u64..1_000_000, d in 1u64..1_000_000) {
+            let r = Ratio::new(BigNat::from(n), BigNat::from(d));
+            let expected = n as f64 / d as f64;
+            prop_assert!((r.to_f64() - expected).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_cmp_matches_f64(n1 in 0u64..10_000, d1 in 1u64..10_000,
+                                n2 in 0u64..10_000, d2 in 1u64..10_000) {
+            let a = Ratio::new(BigNat::from(n1), BigNat::from(d1));
+            let b = Ratio::new(BigNat::from(n2), BigNat::from(d2));
+            let lhs = (n1 as u128) * (d2 as u128);
+            let rhs = (n2 as u128) * (d1 as u128);
+            prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+        }
+
+        #[test]
+        fn prop_div_rem_reconstructs(a in 0u128.., b in 1u128..) {
+            let (q, r) = div_rem(&BigNat::from(a), &BigNat::from(b));
+            prop_assert_eq!(q.to_u128().unwrap() , a / b);
+            prop_assert_eq!(r.to_u128().unwrap(), a % b);
+        }
+    }
+}

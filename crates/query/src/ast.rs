@@ -1,0 +1,635 @@
+//! Abstract syntax of first-order queries.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use cdr_repairdb::Value;
+
+/// A variable name.
+///
+/// Variables are plain interned strings; the parser's convention is that any
+/// bare identifier is a variable and constants are numbers or quoted
+/// strings.
+pub type VarName = Arc<str>;
+
+/// A term: a variable or a constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable.
+    Var(VarName),
+    /// A constant.
+    Const(Value),
+}
+
+impl Term {
+    /// Builds a variable term.
+    pub fn var(name: impl AsRef<str>) -> Term {
+        Term::Var(Arc::from(name.as_ref()))
+    }
+
+    /// Builds a constant term.
+    pub fn constant(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// Returns the variable name, if this term is a variable.
+    pub fn as_var(&self) -> Option<&VarName> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant, if this term is a constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A relational atom `R(t₁, …, tₙ)` where the relation is referenced by
+/// name and resolved against a schema at evaluation time.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    relation: Arc<str>,
+    terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(relation: impl AsRef<str>, terms: Vec<Term>) -> Atom {
+        Atom {
+            relation: Arc::from(relation.as_ref()),
+            terms,
+        }
+    }
+
+    /// The relation name.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// The terms in positional order.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// The number of terms.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The variables occurring in the atom, in first-occurrence order.
+    pub fn variables(&self) -> Vec<VarName> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if seen.insert(v.clone()) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` iff the atom contains no variables (it is a fact
+    /// pattern made only of constants).
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| matches!(t, Term::Const(_)))
+    }
+
+    /// Applies a substitution to the atom's variables, leaving unmapped
+    /// variables in place.
+    pub fn substitute(&self, subst: &dyn Fn(&VarName) -> Option<Term>) -> Atom {
+        let terms = self
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => subst(v).unwrap_or_else(|| t.clone()),
+                Term::Const(_) => t.clone(),
+            })
+            .collect();
+        Atom {
+            relation: self.relation.clone(),
+            terms,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A first-order formula over relational atoms and equality.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FoFormula {
+    /// The formula that is always true.
+    True,
+    /// The formula that is always false.
+    False,
+    /// A relational atom.
+    Atom(Atom),
+    /// Equality between two terms.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<FoFormula>),
+    /// Conjunction of zero or more formulas (empty conjunction is `True`).
+    And(Vec<FoFormula>),
+    /// Disjunction of zero or more formulas (empty disjunction is `False`).
+    Or(Vec<FoFormula>),
+    /// Existential quantification over one or more variables.
+    Exists(Vec<VarName>, Box<FoFormula>),
+    /// Universal quantification over one or more variables.
+    Forall(Vec<VarName>, Box<FoFormula>),
+}
+
+impl FoFormula {
+    /// Builds an atom formula.
+    pub fn atom(relation: impl AsRef<str>, terms: Vec<Term>) -> FoFormula {
+        FoFormula::Atom(Atom::new(relation, terms))
+    }
+
+    /// Builds an existential quantification, flattening empty variable
+    /// lists away.
+    pub fn exists(vars: Vec<VarName>, body: FoFormula) -> FoFormula {
+        if vars.is_empty() {
+            body
+        } else {
+            FoFormula::Exists(vars, Box::new(body))
+        }
+    }
+
+    /// Builds a universal quantification, flattening empty variable lists
+    /// away.
+    pub fn forall(vars: Vec<VarName>, body: FoFormula) -> FoFormula {
+        if vars.is_empty() {
+            body
+        } else {
+            FoFormula::Forall(vars, Box::new(body))
+        }
+    }
+
+    /// All relational atoms occurring in the formula, in syntactic order.
+    pub fn atoms(&self) -> Vec<&Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Atom>) {
+        match self {
+            FoFormula::True | FoFormula::False | FoFormula::Eq(_, _) => {}
+            FoFormula::Atom(a) => out.push(a),
+            FoFormula::Not(inner) => inner.collect_atoms(out),
+            FoFormula::And(parts) | FoFormula::Or(parts) => {
+                for p in parts {
+                    p.collect_atoms(out);
+                }
+            }
+            FoFormula::Exists(_, inner) | FoFormula::Forall(_, inner) => {
+                inner.collect_atoms(out)
+            }
+        }
+    }
+
+    /// The free variables of the formula, in sorted order.
+    pub fn free_variables(&self) -> BTreeSet<VarName> {
+        let mut free = BTreeSet::new();
+        let mut bound = Vec::new();
+        self.collect_free(&mut bound, &mut free);
+        free
+    }
+
+    fn collect_free(&self, bound: &mut Vec<VarName>, free: &mut BTreeSet<VarName>) {
+        match self {
+            FoFormula::True | FoFormula::False => {}
+            FoFormula::Atom(a) => {
+                for t in a.terms() {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            free.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            FoFormula::Eq(l, r) => {
+                for t in [l, r] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            free.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            FoFormula::Not(inner) => inner.collect_free(bound, free),
+            FoFormula::And(parts) | FoFormula::Or(parts) => {
+                for p in parts {
+                    p.collect_free(bound, free);
+                }
+            }
+            FoFormula::Exists(vars, inner) | FoFormula::Forall(vars, inner) => {
+                let before = bound.len();
+                bound.extend(vars.iter().cloned());
+                inner.collect_free(bound, free);
+                bound.truncate(before);
+            }
+        }
+    }
+
+    /// Returns `true` iff the formula is in the existential positive
+    /// fragment `∃FO⁺`: no negation and no universal quantification.
+    ///
+    /// Equality atoms are allowed; they are eliminated during UCQ rewriting.
+    pub fn is_positive_existential(&self) -> bool {
+        match self {
+            FoFormula::True | FoFormula::False | FoFormula::Atom(_) | FoFormula::Eq(_, _) => true,
+            FoFormula::Not(_) | FoFormula::Forall(_, _) => false,
+            FoFormula::And(parts) | FoFormula::Or(parts) => {
+                parts.iter().all(FoFormula::is_positive_existential)
+            }
+            FoFormula::Exists(_, inner) => inner.is_positive_existential(),
+        }
+    }
+}
+
+impl fmt::Display for FoFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoFormula::True => write!(f, "TRUE"),
+            FoFormula::False => write!(f, "FALSE"),
+            FoFormula::Atom(a) => write!(f, "{a}"),
+            FoFormula::Eq(l, r) => write!(f, "{l} = {r}"),
+            FoFormula::Not(inner) => write!(f, "NOT ({inner})"),
+            FoFormula::And(parts) => {
+                if parts.is_empty() {
+                    return write!(f, "TRUE");
+                }
+                let rendered: Vec<String> = parts.iter().map(|p| format!("({p})")).collect();
+                write!(f, "{}", rendered.join(" AND "))
+            }
+            FoFormula::Or(parts) => {
+                if parts.is_empty() {
+                    return write!(f, "FALSE");
+                }
+                let rendered: Vec<String> = parts.iter().map(|p| format!("({p})")).collect();
+                write!(f, "{}", rendered.join(" OR "))
+            }
+            FoFormula::Exists(vars, inner) => {
+                write!(f, "EXISTS {} . ({inner})", vars.join(", "))
+            }
+            FoFormula::Forall(vars, inner) => {
+                write!(f, "FORALL {} . ({inner})", vars.join(", "))
+            }
+        }
+    }
+}
+
+/// Syntactic classification of a query, from most to least general.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryClass {
+    /// Arbitrary first-order query.
+    FirstOrder,
+    /// Existential positive query (`∃FO⁺`) that is not a UCQ syntactically.
+    ExistentialPositive,
+    /// A union of conjunctive queries with more than one disjunct.
+    Ucq,
+    /// A single conjunctive query.
+    Cq,
+}
+
+/// A first-order query `Q(x̄) = {x̄ | φ}`.
+///
+/// The query is *Boolean* when `x̄` is empty, which is the case the paper
+/// (and this workspace) focuses on; non-Boolean queries are supported by
+/// listing free (answer) variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Query {
+    formula: FoFormula,
+    free: Vec<VarName>,
+}
+
+impl Query {
+    /// Builds a Boolean query (no free variables).
+    ///
+    /// Any variable left free in `formula` is implicitly existentially
+    /// quantified, matching the common convention for Boolean CQs.
+    pub fn boolean(formula: FoFormula) -> Query {
+        let free: Vec<VarName> = formula.free_variables().into_iter().collect();
+        let formula = FoFormula::exists(free, formula);
+        Query {
+            formula,
+            free: Vec::new(),
+        }
+    }
+
+    /// Builds a query with the given answer variables.
+    ///
+    /// Free variables of the formula that are not answer variables are
+    /// implicitly existentially quantified.
+    pub fn with_answers(answer_vars: Vec<VarName>, formula: FoFormula) -> Query {
+        let implicit: Vec<VarName> = formula
+            .free_variables()
+            .into_iter()
+            .filter(|v| !answer_vars.contains(v))
+            .collect();
+        let formula = FoFormula::exists(implicit, formula);
+        Query {
+            formula,
+            free: answer_vars,
+        }
+    }
+
+    /// The underlying formula.
+    pub fn formula(&self) -> &FoFormula {
+        &self.formula
+    }
+
+    /// The answer variables `x̄` (empty for Boolean queries).
+    pub fn answer_variables(&self) -> &[VarName] {
+        &self.free
+    }
+
+    /// Returns `true` iff the query is Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Returns `true` iff the query is existential positive.
+    pub fn is_positive_existential(&self) -> bool {
+        self.formula.is_positive_existential()
+    }
+
+    /// All relational atoms of the query.
+    pub fn atoms(&self) -> Vec<&Atom> {
+        self.formula.atoms()
+    }
+
+    /// Classifies the query syntactically.
+    pub fn classify(&self) -> QueryClass {
+        if !self.is_positive_existential() {
+            return QueryClass::FirstOrder;
+        }
+        // A UCQ is a disjunction of existentially quantified conjunctions of
+        // atoms; a CQ has a single disjunct.  We classify on the syntax
+        // after stripping the outer quantifier prefix.
+        fn strip_exists(f: &FoFormula) -> &FoFormula {
+            match f {
+                FoFormula::Exists(_, inner) => strip_exists(inner),
+                other => other,
+            }
+        }
+        fn is_conjunction_of_atoms(f: &FoFormula) -> bool {
+            match strip_exists(f) {
+                FoFormula::Atom(_) | FoFormula::True | FoFormula::Eq(_, _) => true,
+                FoFormula::And(parts) => parts.iter().all(|p| {
+                    matches!(
+                        strip_exists(p),
+                        FoFormula::Atom(_) | FoFormula::True | FoFormula::Eq(_, _)
+                    )
+                }),
+                _ => false,
+            }
+        }
+        let body = strip_exists(&self.formula);
+        match body {
+            FoFormula::Or(parts) => {
+                if parts.iter().all(is_conjunction_of_atoms) {
+                    QueryClass::Ucq
+                } else {
+                    QueryClass::ExistentialPositive
+                }
+            }
+            other => {
+                if is_conjunction_of_atoms(other) {
+                    QueryClass::Cq
+                } else {
+                    QueryClass::ExistentialPositive
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.free.is_empty() {
+            write!(f, "{}", self.formula)
+        } else {
+            write!(f, "{{({}) | {}}}", self.free.join(", "), self.formula)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn employee_query() -> Query {
+        // EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)
+        let body = FoFormula::And(vec![
+            FoFormula::atom(
+                "Employee",
+                vec![Term::constant(1i64), Term::var("x"), Term::var("y")],
+            ),
+            FoFormula::atom(
+                "Employee",
+                vec![Term::constant(2i64), Term::var("z"), Term::var("y")],
+            ),
+        ]);
+        Query::boolean(body)
+    }
+
+    #[test]
+    fn term_accessors() {
+        let v = Term::var("x");
+        let c = Term::constant(5i64);
+        assert_eq!(v.as_var().map(|s| s.as_ref()), Some("x"));
+        assert!(v.as_const().is_none());
+        assert_eq!(c.as_const(), Some(&Value::int(5)));
+        assert!(c.as_var().is_none());
+        assert_eq!(v.to_string(), "x");
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn atom_variables_and_display() {
+        let a = Atom::new(
+            "R",
+            vec![Term::var("x"), Term::constant("c"), Term::var("x"), Term::var("y")],
+        );
+        let vars: Vec<String> = a.variables().iter().map(|v| v.to_string()).collect();
+        assert_eq!(vars, vec!["x", "y"]);
+        assert_eq!(a.to_string(), "R(x, 'c', x, y)");
+        assert_eq!(a.arity(), 4);
+        assert!(!a.is_ground());
+        assert!(Atom::new("R", vec![Term::constant(1i64)]).is_ground());
+    }
+
+    #[test]
+    fn atom_substitution() {
+        let a = Atom::new("R", vec![Term::var("x"), Term::var("y")]);
+        let sub = a.substitute(&|v: &VarName| {
+            if v.as_ref() == "x" {
+                Some(Term::constant(7i64))
+            } else {
+                None
+            }
+        });
+        assert_eq!(sub.to_string(), "R(7, y)");
+    }
+
+    #[test]
+    fn free_variables_respect_quantifiers() {
+        let q = employee_query();
+        assert!(q.is_boolean());
+        assert!(q.formula().free_variables().is_empty());
+
+        let partially_open = FoFormula::exists(
+            vec![Arc::from("x")],
+            FoFormula::atom("R", vec![Term::var("x"), Term::var("y")]),
+        );
+        let free: Vec<String> = partially_open
+            .free_variables()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(free, vec!["y"]);
+    }
+
+    #[test]
+    fn boolean_constructor_closes_free_variables() {
+        let open = FoFormula::atom("R", vec![Term::var("x")]);
+        let q = Query::boolean(open);
+        assert!(q.is_boolean());
+        assert!(q.formula().free_variables().is_empty());
+        assert!(matches!(q.formula(), FoFormula::Exists(_, _)));
+    }
+
+    #[test]
+    fn with_answers_keeps_answer_variables_free() {
+        let open = FoFormula::atom("R", vec![Term::var("x"), Term::var("y")]);
+        let q = Query::with_answers(vec![Arc::from("x")], open);
+        assert!(!q.is_boolean());
+        assert_eq!(q.answer_variables().len(), 1);
+        let free: Vec<String> = q
+            .formula()
+            .free_variables()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(free, vec!["x"]);
+    }
+
+    #[test]
+    fn positive_existential_detection() {
+        let q = employee_query();
+        assert!(q.is_positive_existential());
+
+        let negated = Query::boolean(FoFormula::Not(Box::new(FoFormula::atom(
+            "R",
+            vec![Term::var("x")],
+        ))));
+        assert!(!negated.is_positive_existential());
+
+        let universal = Query::boolean(FoFormula::forall(
+            vec![Arc::from("x")],
+            FoFormula::atom("R", vec![Term::var("x")]),
+        ));
+        assert!(!universal.is_positive_existential());
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(employee_query().classify(), QueryClass::Cq);
+
+        let ucq = Query::boolean(FoFormula::Or(vec![
+            FoFormula::atom("R", vec![Term::var("x")]),
+            FoFormula::atom("S", vec![Term::var("y")]),
+        ]));
+        assert_eq!(ucq.classify(), QueryClass::Ucq);
+
+        // Conjunction of disjunctions is ∃FO⁺ but not syntactically a UCQ.
+        let epj = Query::boolean(FoFormula::And(vec![
+            FoFormula::Or(vec![
+                FoFormula::atom("R", vec![Term::var("x")]),
+                FoFormula::atom("S", vec![Term::var("x")]),
+            ]),
+            FoFormula::atom("T", vec![Term::var("x")]),
+        ]));
+        assert_eq!(epj.classify(), QueryClass::ExistentialPositive);
+
+        let fo = Query::boolean(FoFormula::Not(Box::new(FoFormula::atom(
+            "R",
+            vec![Term::var("x")],
+        ))));
+        assert_eq!(fo.classify(), QueryClass::FirstOrder);
+    }
+
+    #[test]
+    fn atoms_are_collected_in_syntactic_order() {
+        let q = employee_query();
+        let atoms = q.atoms();
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms[0].terms()[0], Term::constant(1i64));
+        assert_eq!(atoms[1].terms()[0], Term::constant(2i64));
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let q = employee_query();
+        let text = q.to_string();
+        assert!(text.contains("EXISTS"));
+        assert!(text.contains("Employee(1, x, y)"));
+        assert!(text.contains("AND"));
+        assert_eq!(FoFormula::True.to_string(), "TRUE");
+        assert_eq!(FoFormula::False.to_string(), "FALSE");
+        assert_eq!(FoFormula::And(vec![]).to_string(), "TRUE");
+        assert_eq!(FoFormula::Or(vec![]).to_string(), "FALSE");
+        let non_bool = Query::with_answers(
+            vec![Arc::from("x")],
+            FoFormula::atom("R", vec![Term::var("x")]),
+        );
+        assert!(non_bool.to_string().contains('|'));
+    }
+
+    #[test]
+    fn exists_and_forall_flatten_empty_variable_lists() {
+        let body = FoFormula::atom("R", vec![Term::var("x")]);
+        assert_eq!(FoFormula::exists(vec![], body.clone()), body);
+        assert_eq!(FoFormula::forall(vec![], body.clone()), body);
+    }
+}

@@ -1,0 +1,257 @@
+//! Conjunctive queries and unions of conjunctive queries.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Atom, FoFormula, Query, VarName};
+
+/// A Boolean conjunctive query: an existentially quantified conjunction of
+/// relational atoms.
+///
+/// All variables are implicitly existentially quantified, matching the way
+/// the paper treats the disjuncts `Q₁, …, Qₙ` of a UCQ.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ConjunctiveQuery {
+    atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds a conjunctive query from its atoms.
+    pub fn new(atoms: Vec<Atom>) -> Self {
+        ConjunctiveQuery { atoms }
+    }
+
+    /// The atoms of the query.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Returns `true` iff the query has no atoms (the always-true query).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The variables of the query `var(Q)`, in first-occurrence order.
+    pub fn variables(&self) -> Vec<VarName> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            for v in atom.variables() {
+                if seen.insert(v.clone()) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` iff two distinct atoms use the same relation
+    /// (the query has a *self-join*).  The distinction matters because the
+    /// dichotomy of Maslowski and Wijsen was first shown for self-join-free
+    /// queries [8] and later extended [9].
+    pub fn has_self_join(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        for atom in &self.atoms {
+            if !seen.insert(atom.relation().to_string()) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Converts the conjunctive query into a first-order formula
+    /// (an existentially closed conjunction of its atoms).
+    pub fn to_formula(&self) -> FoFormula {
+        let body = if self.atoms.is_empty() {
+            FoFormula::True
+        } else {
+            FoFormula::And(self.atoms.iter().cloned().map(FoFormula::Atom).collect())
+        };
+        FoFormula::exists(self.variables(), body)
+    }
+
+    /// Converts the conjunctive query into a Boolean [`Query`].
+    pub fn to_query(&self) -> Query {
+        Query::boolean(self.to_formula())
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "TRUE");
+        }
+        let vars = self.variables();
+        if !vars.is_empty() {
+            write!(f, "EXISTS {} . ", vars.join(", "))?;
+        }
+        let rendered: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", rendered.join(" AND "))
+    }
+}
+
+/// A union of Boolean conjunctive queries `Q₁ ∨ ⋯ ∨ Qₘ`.
+///
+/// An empty union is the always-false query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UcqQuery {
+    disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UcqQuery {
+    /// Builds a UCQ from its disjuncts, dropping exact duplicates.
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Self {
+        let mut seen = Vec::new();
+        for d in disjuncts {
+            if !seen.contains(&d) {
+                seen.push(d);
+            }
+        }
+        UcqQuery { disjuncts: seen }
+    }
+
+    /// The disjuncts of the query.
+    pub fn disjuncts(&self) -> &[ConjunctiveQuery] {
+        &self.disjuncts
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Returns `true` iff the union is empty (the always-false query).
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Returns `true` iff some disjunct has no atoms, i.e. the query is
+    /// trivially true on every database (including the empty one).
+    pub fn is_trivially_true(&self) -> bool {
+        self.disjuncts.iter().any(ConjunctiveQuery::is_empty)
+    }
+
+    /// Returns `true` iff any disjunct has a self-join.
+    pub fn has_self_join(&self) -> bool {
+        self.disjuncts.iter().any(ConjunctiveQuery::has_self_join)
+    }
+
+    /// Converts the UCQ into a first-order formula.
+    pub fn to_formula(&self) -> FoFormula {
+        if self.disjuncts.is_empty() {
+            FoFormula::False
+        } else {
+            FoFormula::Or(self.disjuncts.iter().map(|d| d.to_formula()).collect())
+        }
+    }
+
+    /// Converts the UCQ into a Boolean [`Query`].
+    pub fn to_query(&self) -> Query {
+        Query::boolean(self.to_formula())
+    }
+}
+
+impl fmt::Display for UcqQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disjuncts.is_empty() {
+            return write!(f, "FALSE");
+        }
+        let rendered: Vec<String> = self.disjuncts.iter().map(|d| format!("({d})")).collect();
+        write!(f, "{}", rendered.join(" OR "))
+    }
+}
+
+impl From<ConjunctiveQuery> for UcqQuery {
+    fn from(cq: ConjunctiveQuery) -> Self {
+        UcqQuery::new(vec![cq])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Term;
+
+    fn cq_rx_sy() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(vec![
+            Atom::new("R", vec![Term::var("x"), Term::var("y")]),
+            Atom::new("S", vec![Term::var("y")]),
+        ])
+    }
+
+    #[test]
+    fn variables_in_first_occurrence_order() {
+        let cq = cq_rx_sy();
+        let vars: Vec<String> = cq.variables().iter().map(|v| v.to_string()).collect();
+        assert_eq!(vars, vec!["x", "y"]);
+        assert_eq!(cq.len(), 2);
+        assert!(!cq.is_empty());
+    }
+
+    #[test]
+    fn self_join_detection() {
+        assert!(!cq_rx_sy().has_self_join());
+        let sj = ConjunctiveQuery::new(vec![
+            Atom::new("R", vec![Term::var("x")]),
+            Atom::new("R", vec![Term::var("y")]),
+        ]);
+        assert!(sj.has_self_join());
+    }
+
+    #[test]
+    fn to_formula_existentially_closes() {
+        let cq = cq_rx_sy();
+        let q = cq.to_query();
+        assert!(q.is_boolean());
+        assert!(q.is_positive_existential());
+        assert_eq!(q.atoms().len(), 2);
+        let empty = ConjunctiveQuery::new(vec![]);
+        assert_eq!(empty.to_formula(), FoFormula::True);
+        assert_eq!(empty.to_string(), "TRUE");
+    }
+
+    #[test]
+    fn ucq_deduplicates_disjuncts() {
+        let ucq = UcqQuery::new(vec![cq_rx_sy(), cq_rx_sy()]);
+        assert_eq!(ucq.len(), 1);
+        assert!(!ucq.is_empty());
+        assert!(!ucq.is_trivially_true());
+    }
+
+    #[test]
+    fn ucq_empty_and_trivial_cases() {
+        let empty = UcqQuery::new(vec![]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.to_formula(), FoFormula::False);
+        assert_eq!(empty.to_string(), "FALSE");
+
+        let trivial = UcqQuery::new(vec![ConjunctiveQuery::new(vec![])]);
+        assert!(trivial.is_trivially_true());
+    }
+
+    #[test]
+    fn ucq_self_join_and_display() {
+        let ucq = UcqQuery::new(vec![
+            cq_rx_sy(),
+            ConjunctiveQuery::new(vec![
+                Atom::new("T", vec![Term::var("x")]),
+                Atom::new("T", vec![Term::var("y")]),
+            ]),
+        ]);
+        assert!(ucq.has_self_join());
+        let text = ucq.to_string();
+        assert!(text.contains(" OR "));
+        assert!(text.contains("R(x, y)"));
+    }
+
+    #[test]
+    fn from_cq_conversion() {
+        let ucq: UcqQuery = cq_rx_sy().into();
+        assert_eq!(ucq.len(), 1);
+    }
+}

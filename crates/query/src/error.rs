@@ -1,0 +1,89 @@
+//! Errors produced while parsing, rewriting or evaluating queries.
+
+use std::fmt;
+
+/// Errors produced by the query layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query text could not be parsed.
+    Parse(String),
+    /// The query mentions a relation that the database schema does not
+    /// declare.
+    UnknownRelation(String),
+    /// An atom uses a relation with the wrong number of arguments.
+    ArityMismatch {
+        /// Relation name involved.
+        relation: String,
+        /// Arity declared in the schema.
+        expected: usize,
+        /// Number of terms in the atom.
+        found: usize,
+    },
+    /// An operation that requires an existential positive query was given a
+    /// query outside that fragment (e.g. it contains negation or a
+    /// universal quantifier).
+    NotPositiveExistential(String),
+    /// An operation that requires a Boolean query was given a query with
+    /// free variables.
+    NotBoolean(Vec<String>),
+    /// A variable is used but never bound by a quantifier and is not listed
+    /// as a free (answer) variable.
+    UnboundVariable(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(msg) => write!(f, "query parse error: {msg}"),
+            QueryError::UnknownRelation(name) => {
+                write!(f, "query mentions unknown relation `{name}`")
+            }
+            QueryError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but the query uses {found} terms"
+            ),
+            QueryError::NotPositiveExistential(what) => {
+                write!(f, "query is not existential positive: {what}")
+            }
+            QueryError::NotBoolean(vars) => {
+                write!(f, "query is not Boolean; free variables: {}", vars.join(", "))
+            }
+            QueryError::UnboundVariable(v) => write!(f, "variable `{v}` is not bound"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(QueryError::Parse("x".into()).to_string().contains("x"));
+        assert!(QueryError::UnknownRelation("R".into())
+            .to_string()
+            .contains("R"));
+        assert!(QueryError::ArityMismatch {
+            relation: "R".into(),
+            expected: 2,
+            found: 3
+        }
+        .to_string()
+        .contains("arity 2"));
+        assert!(QueryError::NotPositiveExistential("negation".into())
+            .to_string()
+            .contains("negation"));
+        assert!(QueryError::NotBoolean(vec!["x".into()])
+            .to_string()
+            .contains("x"));
+        assert!(QueryError::UnboundVariable("y".into())
+            .to_string()
+            .contains("y"));
+    }
+}

@@ -1,0 +1,625 @@
+//! Query evaluation over databases.
+//!
+//! Two evaluation strategies are provided:
+//!
+//! * [`evaluate`] / [`evaluate_formula`] — active-domain model checking for
+//!   arbitrary first-order queries.  Quantifiers range over the active
+//!   domain `dom(D)`, matching the semantics of Section 2.1.
+//! * [`find_homomorphisms`] / [`homomorphism_exists`] — backtracking
+//!   homomorphism search for conjunctive queries, which is what the
+//!   certificate machinery of Sections 4 and 5 needs (`h(Q') ⊆ D`).
+
+use std::collections::BTreeMap;
+
+use cdr_repairdb::{Database, Fact, Value};
+
+use crate::{Atom, ConjunctiveQuery, FoFormula, Query, QueryError, Term, UcqQuery, VarName};
+
+/// A (partial) assignment of variables to constants.
+pub type Assignment = BTreeMap<VarName, Value>;
+
+/// Evaluates a Boolean first-order query over a database.
+///
+/// Returns an error when the query has free variables or mentions unknown
+/// relations / wrong arities.
+pub fn evaluate(db: &Database, query: &Query) -> Result<bool, QueryError> {
+    if !query.is_boolean() {
+        return Err(QueryError::NotBoolean(
+            query
+                .answer_variables()
+                .iter()
+                .map(|v| v.to_string())
+                .collect(),
+        ));
+    }
+    validate_against_schema(db, query.formula())?;
+    let domain: Vec<Value> = db.active_domain().into_iter().collect();
+    let mut assignment = Assignment::new();
+    evaluate_rec(db, &domain, query.formula(), &mut assignment)
+}
+
+/// Evaluates a first-order formula under a given assignment of its free
+/// variables.  Quantifiers range over the active domain of `db`.
+pub fn evaluate_formula(
+    db: &Database,
+    formula: &FoFormula,
+    assignment: &Assignment,
+) -> Result<bool, QueryError> {
+    validate_against_schema(db, formula)?;
+    let domain: Vec<Value> = db.active_domain().into_iter().collect();
+    let mut assignment = assignment.clone();
+    evaluate_rec(db, &domain, formula, &mut assignment)
+}
+
+fn validate_against_schema(db: &Database, formula: &FoFormula) -> Result<(), QueryError> {
+    for atom in formula.atoms() {
+        match db.schema().relation_id(atom.relation()) {
+            None => return Err(QueryError::UnknownRelation(atom.relation().to_string())),
+            Some(rel) => {
+                let expected = db.schema().arity(rel);
+                if atom.arity() != expected {
+                    return Err(QueryError::ArityMismatch {
+                        relation: atom.relation().to_string(),
+                        expected,
+                        found: atom.arity(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn evaluate_rec(
+    db: &Database,
+    domain: &[Value],
+    formula: &FoFormula,
+    assignment: &mut Assignment,
+) -> Result<bool, QueryError> {
+    match formula {
+        FoFormula::True => Ok(true),
+        FoFormula::False => Ok(false),
+        FoFormula::Atom(atom) => {
+            let fact = ground_atom(db, atom, assignment)?;
+            Ok(db.contains(&fact))
+        }
+        FoFormula::Eq(l, r) => {
+            let lv = ground_term(l, assignment)?;
+            let rv = ground_term(r, assignment)?;
+            Ok(lv == rv)
+        }
+        FoFormula::Not(inner) => Ok(!evaluate_rec(db, domain, inner, assignment)?),
+        FoFormula::And(parts) => {
+            for p in parts {
+                if !evaluate_rec(db, domain, p, assignment)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        FoFormula::Or(parts) => {
+            for p in parts {
+                if evaluate_rec(db, domain, p, assignment)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        FoFormula::Exists(vars, inner) => {
+            quantify(db, domain, vars, inner, assignment, /*existential=*/ true)
+        }
+        FoFormula::Forall(vars, inner) => {
+            quantify(db, domain, vars, inner, assignment, /*existential=*/ false)
+        }
+    }
+}
+
+/// Evaluates a block of like quantifiers.
+///
+/// The generic strategy iterates assignments of the quantified variables
+/// over the active domain.  Two *guarded* fast paths avoid that cartesian
+/// sweep when the body has the right shape:
+///
+/// * `∃x̄ (A ∧ ψ)` where `A` is an atom mentioning some of the `x̄` — only
+///   assignments that embed `A` into the database can succeed, so the
+///   candidate values come from the matching facts;
+/// * `∀x̄ (¬A ∨ ψ)` — assignments that do not embed `A` satisfy the body
+///   vacuously, so only the matching facts need checking.
+///
+/// Both are semantics-preserving restrictions of the active-domain sweep.
+fn quantify(
+    db: &Database,
+    domain: &[Value],
+    vars: &[VarName],
+    inner: &FoFormula,
+    assignment: &mut Assignment,
+    existential: bool,
+) -> Result<bool, QueryError> {
+    let Some((_, _)) = vars.split_first() else {
+        let mut local = assignment.clone();
+        return evaluate_rec(db, domain, inner, &mut local);
+    };
+    let unbound: Vec<VarName> = vars
+        .iter()
+        .filter(|v| !assignment.contains_key(*v))
+        .cloned()
+        .collect();
+    if unbound.is_empty() {
+        let mut local = assignment.clone();
+        return evaluate_rec(db, domain, inner, &mut local);
+    }
+    // Guarded fast path.
+    if let Some(guard) = find_guard(inner, &unbound, assignment, existential) {
+        return quantify_guarded(
+            db, domain, &unbound, inner, assignment, existential, guard,
+        );
+    }
+    // Generic active-domain sweep over the first unbound variable.
+    let first = &unbound[0];
+    if domain.is_empty() {
+        return Ok(!existential);
+    }
+    for value in domain {
+        let previous = assignment.insert(first.clone(), value.clone());
+        let result = quantify(db, domain, &unbound[1..], inner, assignment, existential)?;
+        match previous {
+            Some(prev) => {
+                assignment.insert(first.clone(), prev);
+            }
+            None => {
+                assignment.remove(first);
+            }
+        }
+        if existential && result {
+            return Ok(true);
+        }
+        if !existential && !result {
+            return Ok(false);
+        }
+    }
+    Ok(!existential)
+}
+
+/// Finds a guard atom for the guarded quantification fast path: a positive
+/// atom conjunct (existential) or a negated atom disjunct (universal) that
+/// mentions at least one of the quantified variables and no variable that
+/// is neither quantified here nor already bound.
+fn find_guard<'f>(
+    inner: &'f FoFormula,
+    vars: &[VarName],
+    assignment: &Assignment,
+    existential: bool,
+) -> Option<&'f Atom> {
+    let mentions = |atom: &Atom| {
+        let usable = atom.terms().iter().all(|t| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => vars.contains(v) || assignment.contains_key(v),
+        });
+        usable
+            && atom
+                .terms()
+                .iter()
+                .any(|t| matches!(t, Term::Var(v) if vars.contains(v)))
+    };
+    if existential {
+        match inner {
+            FoFormula::Atom(a) if mentions(a) => Some(a),
+            FoFormula::And(parts) => parts.iter().find_map(|p| match p {
+                FoFormula::Atom(a) if mentions(a) => Some(a),
+                _ => None,
+            }),
+            _ => None,
+        }
+    } else {
+        match inner {
+            FoFormula::Not(boxed) => match boxed.as_ref() {
+                FoFormula::Atom(a) if mentions(a) => Some(a),
+                _ => None,
+            },
+            FoFormula::Or(parts) => parts.iter().find_map(|p| match p {
+                FoFormula::Not(boxed) => match boxed.as_ref() {
+                    FoFormula::Atom(a) if mentions(a) => Some(a),
+                    _ => None,
+                },
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Quantification restricted to assignments that embed the guard atom into
+/// the database.
+#[allow(clippy::too_many_arguments)]
+fn quantify_guarded(
+    db: &Database,
+    domain: &[Value],
+    vars: &[VarName],
+    inner: &FoFormula,
+    assignment: &mut Assignment,
+    existential: bool,
+    guard: &Atom,
+) -> Result<bool, QueryError> {
+    let rel = db
+        .schema()
+        .relation_id(guard.relation())
+        .ok_or_else(|| QueryError::UnknownRelation(guard.relation().to_string()))?;
+    for &fact_id in db.facts_of(rel) {
+        let fact = db.fact(fact_id);
+        let mut added: Vec<VarName> = Vec::new();
+        let mut matched = true;
+        for (term, value) in guard.terms().iter().zip(fact.args()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        matched = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match assignment.get(v) {
+                    Some(bound) => {
+                        if bound != value {
+                            matched = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        if vars.contains(v) {
+                            assignment.insert(v.clone(), value.clone());
+                            added.push(v.clone());
+                        } else {
+                            // A free variable of the guard that is not
+                            // being quantified here and is unbound: the
+                            // guard cannot restrict it, fall back to the
+                            // generic sweep for safety.
+                            matched = false;
+                            break;
+                        }
+                    }
+                },
+            }
+        }
+        let result = if matched {
+            // Quantify the variables the guard did not bind, then evaluate.
+            let remaining: Vec<VarName> = vars
+                .iter()
+                .filter(|v| !assignment.contains_key(*v))
+                .cloned()
+                .collect();
+            Some(if remaining.is_empty() {
+                let mut local = assignment.clone();
+                evaluate_rec(db, domain, inner, &mut local)?
+            } else {
+                quantify(db, domain, &remaining, inner, assignment, existential)?
+            })
+        } else {
+            None
+        };
+        for v in added {
+            assignment.remove(&v);
+        }
+        match result {
+            Some(true) if existential => return Ok(true),
+            Some(false) if !existential => return Ok(false),
+            _ => {}
+        }
+    }
+    Ok(!existential)
+}
+
+fn ground_term(term: &Term, assignment: &Assignment) -> Result<Value, QueryError> {
+    match term {
+        Term::Const(v) => Ok(v.clone()),
+        Term::Var(name) => assignment
+            .get(name)
+            .cloned()
+            .ok_or_else(|| QueryError::UnboundVariable(name.to_string())),
+    }
+}
+
+fn ground_atom(db: &Database, atom: &Atom, assignment: &Assignment) -> Result<Fact, QueryError> {
+    let rel = db
+        .schema()
+        .relation_id(atom.relation())
+        .ok_or_else(|| QueryError::UnknownRelation(atom.relation().to_string()))?;
+    let mut args = Vec::with_capacity(atom.arity());
+    for t in atom.terms() {
+        args.push(ground_term(t, assignment)?);
+    }
+    Ok(Fact::new(rel, args))
+}
+
+/// Finds all homomorphisms `h : var(Q) → dom(D)` with `h(Q) ⊆ D` for a
+/// conjunctive query `Q`.
+///
+/// The result is sorted (by the `BTreeMap` ordering of assignments turned
+/// into vectors) and free of duplicates, so callers can rely on a
+/// deterministic certificate order.
+pub fn find_homomorphisms(
+    db: &Database,
+    cq: &ConjunctiveQuery,
+) -> Result<Vec<Assignment>, QueryError> {
+    let mut results = Vec::new();
+    let mut assignment = Assignment::new();
+    search(db, cq.atoms(), &mut assignment, &mut results, None)?;
+    results.sort();
+    results.dedup();
+    Ok(results)
+}
+
+/// Returns `true` iff the conjunctive query has at least one homomorphism
+/// into the database.
+pub fn homomorphism_exists(db: &Database, cq: &ConjunctiveQuery) -> Result<bool, QueryError> {
+    let mut results = Vec::new();
+    let mut assignment = Assignment::new();
+    search(db, cq.atoms(), &mut assignment, &mut results, Some(1))?;
+    Ok(!results.is_empty())
+}
+
+/// Evaluates a UCQ by homomorphism search (faster than active-domain model
+/// checking for conjunctive shapes).
+pub fn ucq_holds(db: &Database, ucq: &UcqQuery) -> Result<bool, QueryError> {
+    for d in ucq.disjuncts() {
+        if homomorphism_exists(db, d)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn search(
+    db: &Database,
+    remaining: &[Atom],
+    assignment: &mut Assignment,
+    results: &mut Vec<Assignment>,
+    limit: Option<usize>,
+) -> Result<(), QueryError> {
+    if let Some(max) = limit {
+        if results.len() >= max {
+            return Ok(());
+        }
+    }
+    let Some((atom, rest)) = remaining.split_first() else {
+        results.push(assignment.clone());
+        return Ok(());
+    };
+    let rel = db
+        .schema()
+        .relation_id(atom.relation())
+        .ok_or_else(|| QueryError::UnknownRelation(atom.relation().to_string()))?;
+    let expected = db.schema().arity(rel);
+    if atom.arity() != expected {
+        return Err(QueryError::ArityMismatch {
+            relation: atom.relation().to_string(),
+            expected,
+            found: atom.arity(),
+        });
+    }
+    for &fact_id in db.facts_of(rel) {
+        let fact = db.fact(fact_id);
+        let mut added: Vec<VarName> = Vec::new();
+        let mut matched = true;
+        for (term, value) in atom.terms().iter().zip(fact.args()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        matched = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match assignment.get(v) {
+                    Some(bound) => {
+                        if bound != value {
+                            matched = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        assignment.insert(v.clone(), value.clone());
+                        added.push(v.clone());
+                    }
+                },
+            }
+        }
+        if matched {
+            search(db, rest, assignment, results, limit)?;
+        }
+        for v in added {
+            assignment.remove(&v);
+        }
+        if let Some(max) = limit {
+            if results.len() >= max {
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_query, rewrite_to_ucq};
+    use cdr_repairdb::{KeySet, Schema};
+
+    fn employee_db() -> Database {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let mut db = Database::new(schema);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
+        db
+    }
+
+    #[test]
+    fn example_query_holds_on_the_full_database() {
+        let db = employee_db();
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        assert!(evaluate(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn example_query_on_each_repair() {
+        // The paper: the query holds in exactly 2 of the 4 repairs.
+        let db = employee_db();
+        let keys = KeySet::builder(db.schema()).key("Employee", 1).unwrap().build();
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        let blocks = cdr_repairdb::BlockPartition::new(&db, &keys);
+        let mut holds = 0;
+        for repair in cdr_repairdb::RepairIter::new(&blocks) {
+            let repaired = repair.to_database(&db);
+            if evaluate(&repaired, &q).unwrap() {
+                holds += 1;
+            }
+        }
+        assert_eq!(holds, 2);
+    }
+
+    #[test]
+    fn negation_and_universal_quantification() {
+        let db = employee_db();
+        // Nobody with id 3 exists.
+        let q = parse_query("NOT EXISTS x, y . Employee(3, x, y)").unwrap();
+        assert!(evaluate(&db, &q).unwrap());
+        // Everybody in HR?  No: Alice and Tim are only in IT.
+        let q = parse_query("FORALL i, n, d . NOT Employee(i, n, d) OR Employee(i, n, 'HR')")
+            .unwrap();
+        assert!(!evaluate(&db, &q).unwrap());
+        // Everybody is in HR or IT.
+        let q = parse_query(
+            "FORALL i, n, d . NOT Employee(i, n, d) OR Employee(i, n, 'HR') OR Employee(i, n, 'IT')",
+        )
+        .unwrap();
+        assert!(evaluate(&db, &q).unwrap());
+        // Every employee fact has some department.
+        let q = parse_query("FORALL i, n, d . NOT Employee(i, n, d) OR EXISTS e . Employee(i, n, e)")
+            .unwrap();
+        assert!(evaluate(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn equality_in_queries() {
+        let db = employee_db();
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y) AND x = 'Bob'")
+            .unwrap();
+        assert!(evaluate(&db, &q).unwrap());
+        let q = parse_query("EXISTS x, y . Employee(1, x, y) AND x = 'Alice'").unwrap();
+        assert!(!evaluate(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn true_false_and_empty_database() {
+        let db = employee_db();
+        assert!(evaluate(&db, &parse_query("TRUE").unwrap()).unwrap());
+        assert!(!evaluate(&db, &parse_query("FALSE").unwrap()).unwrap());
+
+        let mut schema = Schema::new();
+        schema.add_relation("R", 1).unwrap();
+        let empty = Database::new(schema);
+        // Existential over an empty domain is false; universal is true.
+        assert!(!evaluate(&empty, &parse_query("EXISTS x . R(x)").unwrap()).unwrap());
+        assert!(evaluate(&empty, &parse_query("FORALL x . R(x)").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn unknown_relation_and_arity_errors() {
+        let db = employee_db();
+        let q = parse_query("EXISTS x . Missing(x)").unwrap();
+        assert!(matches!(
+            evaluate(&db, &q),
+            Err(QueryError::UnknownRelation(_))
+        ));
+        let q = parse_query("EXISTS x . Employee(x)").unwrap();
+        assert!(matches!(
+            evaluate(&db, &q),
+            Err(QueryError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_boolean_queries_are_rejected_by_evaluate() {
+        let db = employee_db();
+        let q = crate::parser::parse_query_with_answers("Employee(x, y, 'IT')", &["x", "y"])
+            .unwrap();
+        assert!(matches!(evaluate(&db, &q), Err(QueryError::NotBoolean(_))));
+    }
+
+    #[test]
+    fn evaluate_formula_under_an_assignment() {
+        let db = employee_db();
+        let q = crate::parser::parse_query_with_answers("Employee(x, y, 'IT')", &["x", "y"])
+            .unwrap();
+        let mut assignment = Assignment::new();
+        assignment.insert(std::sync::Arc::from("x"), Value::int(2));
+        assignment.insert(std::sync::Arc::from("y"), Value::text("Alice"));
+        assert!(evaluate_formula(&db, q.formula(), &assignment).unwrap());
+        assignment.insert(std::sync::Arc::from("y"), Value::text("Bob"));
+        assert!(!evaluate_formula(&db, q.formula(), &assignment).unwrap());
+    }
+
+    #[test]
+    fn homomorphisms_of_the_example_query() {
+        let db = employee_db();
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let cq = &ucq.disjuncts()[0];
+        let homs = find_homomorphisms(&db, cq).unwrap();
+        // Bob in IT joins with Alice (IT) and Tim (IT): two homomorphisms.
+        assert_eq!(homs.len(), 2);
+        for h in &homs {
+            assert_eq!(h.len(), 3);
+        }
+        assert!(homomorphism_exists(&db, cq).unwrap());
+    }
+
+    #[test]
+    fn homomorphisms_with_constants_and_repeated_variables() {
+        let mut schema = Schema::new();
+        schema.add_relation("E", 2).unwrap();
+        let mut db = Database::new(schema);
+        db.insert_parsed("E(1, 2)").unwrap();
+        db.insert_parsed("E(2, 2)").unwrap();
+        db.insert_parsed("E(2, 3)").unwrap();
+        // Self-loop pattern E(x, x).
+        let q = parse_query("EXISTS x . E(x, x)").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let homs = find_homomorphisms(&db, &ucq.disjuncts()[0]).unwrap();
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].values().next().unwrap(), &Value::int(2));
+        // Path pattern E(x, y) AND E(y, z).
+        let q = parse_query("EXISTS x, y, z . E(x, y) AND E(y, z)").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let homs = find_homomorphisms(&db, &ucq.disjuncts()[0]).unwrap();
+        // 1->2->2, 1->2->3, 2->2->2, 2->2->3 : four homomorphisms.
+        assert_eq!(homs.len(), 4);
+    }
+
+    #[test]
+    fn homomorphism_search_agrees_with_fo_evaluation() {
+        let db = employee_db();
+        let queries = [
+            "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)",
+            "EXISTS x, y . Employee(3, x, y)",
+            "EXISTS x . Employee(1, 'Bob', x)",
+            "(EXISTS x . Employee(1, 'Bob', x)) OR (EXISTS y . Employee(9, 'Zoe', y))",
+        ];
+        for text in queries {
+            let q = parse_query(text).unwrap();
+            let ucq = rewrite_to_ucq(&q).unwrap();
+            assert_eq!(
+                ucq_holds(&db, &ucq).unwrap(),
+                evaluate(&db, &q).unwrap(),
+                "mismatch for {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn ucq_of_false_is_false() {
+        let db = employee_db();
+        let ucq = rewrite_to_ucq(&parse_query("FALSE").unwrap()).unwrap();
+        assert!(!ucq_holds(&db, &ucq).unwrap());
+    }
+}

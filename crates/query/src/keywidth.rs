@@ -1,0 +1,143 @@
+//! The keywidth covering function `kw(Q, Σ)`.
+//!
+//! Section 5.1 of the paper defines
+//! `kw(Q, Σ) = |{R(t̄) | R(t̄) occurs in Q and Σ has an R-key}|` —
+//! the number of (distinct) atoms of `Q` whose relation carries a key.
+//! Keywidth is the covering function that stratifies `#CQA(∃FO⁺)` into the
+//! levels of the Λ-hierarchy (Theorem 5.1), and it bounds the number of
+//! blocks a certificate can pin, which is what the FPRAS sample-size bound
+//! `t = ⌈(2+ε)·mᵏ/ε² · ln(2/δ)⌉` depends on.
+
+use std::collections::BTreeSet;
+
+use cdr_repairdb::{KeySet, Schema};
+
+use crate::{Atom, ConjunctiveQuery, Query, UcqQuery};
+
+/// The distinct atoms of a query whose relation has a key in `Σ`.
+///
+/// Atoms whose relation is not declared in the schema are ignored (they can
+/// never contribute a keyed block).
+pub fn keyed_atoms<'q>(
+    atoms: impl IntoIterator<Item = &'q Atom>,
+    schema: &Schema,
+    keys: &KeySet,
+) -> Vec<&'q Atom> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for atom in atoms {
+        let keyed = schema
+            .relation_id(atom.relation())
+            .map(|rel| keys.has_key(rel))
+            .unwrap_or(false);
+        if keyed && seen.insert(atom.clone()) {
+            out.push(atom);
+        }
+    }
+    out
+}
+
+/// The keywidth `kw(Q, Σ)` of a first-order query.
+pub fn keywidth(query: &Query, schema: &Schema, keys: &KeySet) -> usize {
+    keyed_atoms(query.atoms(), schema, keys).len()
+}
+
+/// The keywidth of a single conjunctive query.
+pub fn cq_keywidth(cq: &ConjunctiveQuery, schema: &Schema, keys: &KeySet) -> usize {
+    keyed_atoms(cq.atoms(), schema, keys).len()
+}
+
+/// The maximum keywidth over the disjuncts of a UCQ.
+///
+/// This is the quantity `ℓ ≤ k` that bounds how many blocks a single
+/// certificate `(Q', h)` can pin (Section 4.1), and therefore the exponent
+/// in the FPRAS sample-size bound.
+pub fn max_disjunct_keywidth(ucq: &UcqQuery, schema: &Schema, keys: &KeySet) -> usize {
+    ucq.disjuncts()
+        .iter()
+        .map(|d| cq_keywidth(d, schema, keys))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_query, rewrite_to_ucq};
+    use cdr_repairdb::Schema;
+
+    fn setup() -> (Schema, KeySet) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        schema.add_relation("Dept", 2).unwrap();
+        schema.add_relation("Log", 2).unwrap();
+        let keys = KeySet::builder(&schema)
+            .key("Employee", 1)
+            .unwrap()
+            .key("Dept", 1)
+            .unwrap()
+            .build();
+        (schema, keys)
+    }
+
+    #[test]
+    fn example_query_has_keywidth_two() {
+        let (schema, keys) = setup();
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        assert_eq!(keywidth(&q, &schema, &keys), 2);
+    }
+
+    #[test]
+    fn unkeyed_relations_do_not_count() {
+        let (schema, keys) = setup();
+        let q = parse_query("EXISTS x, y . Employee(1, x, y) AND Log(x, y)").unwrap();
+        assert_eq!(keywidth(&q, &schema, &keys), 1);
+        let q = parse_query("EXISTS x, y . Log(x, y)").unwrap();
+        assert_eq!(keywidth(&q, &schema, &keys), 0);
+    }
+
+    #[test]
+    fn unknown_relations_do_not_count() {
+        let (schema, keys) = setup();
+        let q = parse_query("EXISTS x . Mystery(x)").unwrap();
+        assert_eq!(keywidth(&q, &schema, &keys), 0);
+    }
+
+    #[test]
+    fn duplicate_atoms_count_once() {
+        let (schema, keys) = setup();
+        // The same atom written twice is a single element of the atom set.
+        let q = parse_query("(EXISTS x, y . Employee(1, x, y)) OR (EXISTS x, y . Employee(1, x, y))")
+            .unwrap();
+        assert_eq!(keywidth(&q, &schema, &keys), 1);
+    }
+
+    #[test]
+    fn empty_key_set_gives_keywidth_zero() {
+        let (schema, _) = setup();
+        let empty = KeySet::empty(&schema);
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        assert_eq!(keywidth(&q, &schema, &empty), 0);
+    }
+
+    #[test]
+    fn max_disjunct_keywidth_takes_the_maximum() {
+        let (schema, keys) = setup();
+        let q = parse_query(
+            "(EXISTS x, y . Employee(1, x, y) AND Employee(2, x, y) AND Dept(y, x)) \
+             OR (EXISTS z . Dept(z, z)) \
+             OR (EXISTS w . Log(w, w))",
+        )
+        .unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        assert_eq!(max_disjunct_keywidth(&ucq, &schema, &keys), 3);
+        assert_eq!(keywidth(&q, &schema, &keys), 4);
+    }
+
+    #[test]
+    fn empty_ucq_has_keywidth_zero() {
+        let (schema, keys) = setup();
+        let ucq = rewrite_to_ucq(&parse_query("FALSE").unwrap()).unwrap();
+        assert_eq!(max_disjunct_keywidth(&ucq, &schema, &keys), 0);
+    }
+}

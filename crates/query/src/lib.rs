@@ -1,0 +1,44 @@
+//! Query substrate: first-order and existential-positive queries.
+//!
+//! This crate implements the query half of the paper's preliminaries
+//! (Section 2.1):
+//!
+//! * [`Term`], [`Atom`] — terms over variables and constants, and relational
+//!   atoms `R(t₁, …, tₙ)`.
+//! * [`FoFormula`] / [`Query`] — arbitrary first-order queries (`FO`), with
+//!   conjunction, disjunction, negation, equality and both quantifiers.
+//! * [`ConjunctiveQuery`] (`CQ`) and [`UcqQuery`] (`UCQ`) — the key
+//!   fragments used throughout the paper.
+//! * [`rewrite_to_ucq`] — the constant-time rewriting of an existential
+//!   positive query (`∃FO⁺`) into a union of conjunctive queries used by
+//!   Theorems 3.4 and 3.7.
+//! * [`evaluate`], [`find_homomorphisms`] — active-domain model checking
+//!   for FO queries and homomorphism search for (U)CQs.
+//! * [`keywidth`] — the covering function `kw(Q, Σ)` of Section 5.1.
+//! * [`parse_query`] — a small text syntax so examples and tests can write
+//!   queries the way the paper does.
+//!
+//! Queries refer to relations *by name* and are resolved against a
+//! [`cdr_repairdb::Schema`] at evaluation time, so a query value can be
+//! reused across databases with compatible schemas.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod cq;
+mod error;
+mod eval;
+mod keywidth;
+mod parser;
+mod rewrite;
+
+pub use ast::{Atom, FoFormula, Query, QueryClass, Term, VarName};
+pub use cq::{ConjunctiveQuery, UcqQuery};
+pub use error::QueryError;
+pub use eval::{
+    evaluate, evaluate_formula, find_homomorphisms, homomorphism_exists, ucq_holds, Assignment,
+};
+pub use keywidth::{cq_keywidth, keyed_atoms, keywidth, max_disjunct_keywidth};
+pub use parser::{parse_query, parse_query_with_answers};
+pub use rewrite::{bind_answers, rewrite_to_ucq};

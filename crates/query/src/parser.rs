@@ -1,0 +1,520 @@
+//! A small text syntax for first-order queries.
+//!
+//! The grammar (case-insensitive keywords):
+//!
+//! ```text
+//! formula     := quantified | disjunction
+//! quantified  := ("EXISTS" | "FORALL") var ("," var)* "." formula
+//! disjunction := conjunction ("OR" conjunction)*
+//! conjunction := unary ("AND" unary)*
+//! unary       := "NOT" unary | primary
+//! primary     := "(" formula ")" | "TRUE" | "FALSE" | atom | comparison
+//! atom        := RelationName "(" term ("," term)* ")"
+//! comparison  := term "=" term | term "!=" term
+//! term        := variable | integer | 'string' | "string"
+//! ```
+//!
+//! Every bare identifier in term position is a **variable**; constants are
+//! integers or quoted strings.  Relation names are the identifiers followed
+//! by `(`.  [`parse_query`] closes any remaining free variables
+//! existentially (Boolean query); [`parse_query_with_answers`] keeps the
+//! listed variables free as answer variables.
+
+use std::sync::Arc;
+
+use cdr_repairdb::Value;
+
+use crate::{FoFormula, Query, QueryError, Term, VarName};
+
+/// Parses a Boolean first-order query.
+///
+/// Any variable not bound by a quantifier is implicitly existentially
+/// quantified.
+///
+/// ```
+/// use cdr_query::parse_query;
+///
+/// let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+/// assert!(q.is_boolean());
+/// assert!(q.is_positive_existential());
+/// ```
+pub fn parse_query(text: &str) -> Result<Query, QueryError> {
+    let formula = parse_formula_text(text)?;
+    Ok(Query::boolean(formula))
+}
+
+/// Parses a query with the given answer (free) variables.
+///
+/// Variables in `answers` stay free; all other variables not bound by a
+/// quantifier are implicitly existentially quantified.
+pub fn parse_query_with_answers(text: &str, answers: &[&str]) -> Result<Query, QueryError> {
+    let formula = parse_formula_text(text)?;
+    let answer_vars: Vec<VarName> = answers.iter().map(|a| Arc::from(*a)).collect();
+    Ok(Query::with_answers(answer_vars, formula))
+}
+
+fn parse_formula_text(text: &str) -> Result<FoFormula, QueryError> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let formula = parser.parse_formula()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(QueryError::Parse(format!(
+            "unexpected trailing input near `{}`",
+            parser.peek_text()
+        )));
+    }
+    Ok(formula)
+}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Eq,
+    Neq,
+    Exists,
+    Forall,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, QueryError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(QueryError::Parse("expected `=` after `!`".into()));
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                while j < chars.len() && chars[j] != quote {
+                    s.push(chars[j]);
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(QueryError::Parse("unterminated string literal".into()));
+                }
+                tokens.push(Token::Str(s));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut j = i;
+                if c == '-' {
+                    j += 1;
+                }
+                let start = j;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(QueryError::Parse("expected digits after `-`".into()));
+                }
+                let text: String = chars[i..j].iter().collect();
+                let value = text
+                    .parse::<i64>()
+                    .map_err(|_| QueryError::Parse(format!("integer `{text}` out of range")))?;
+                tokens.push(Token::Int(value));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let word: String = chars[i..j].iter().collect();
+                let token = match word.to_ascii_uppercase().as_str() {
+                    "EXISTS" => Token::Exists,
+                    "FORALL" => Token::Forall,
+                    "AND" => Token::And,
+                    "OR" => Token::Or,
+                    "NOT" => Token::Not,
+                    "TRUE" => Token::True,
+                    "FALSE" => Token::False,
+                    _ => Token::Ident(word),
+                };
+                tokens.push(token);
+                i = j;
+            }
+            other => {
+                return Err(QueryError::Parse(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_text(&self) -> String {
+        self.peek()
+            .map(|t| format!("{t:?}"))
+            .unwrap_or_else(|| "<end of input>".to_string())
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), QueryError> {
+        match self.advance() {
+            Some(ref t) if t == expected => Ok(()),
+            other => Err(QueryError::Parse(format!(
+                "expected {expected:?}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_formula(&mut self) -> Result<FoFormula, QueryError> {
+        match self.peek() {
+            Some(Token::Exists) | Some(Token::Forall) => self.parse_quantified(),
+            _ => self.parse_disjunction(),
+        }
+    }
+
+    fn parse_quantified(&mut self) -> Result<FoFormula, QueryError> {
+        let quantifier = self.advance().expect("peeked");
+        let mut vars: Vec<VarName> = Vec::new();
+        loop {
+            match self.advance() {
+                Some(Token::Ident(name)) => vars.push(Arc::from(name.as_str())),
+                other => {
+                    return Err(QueryError::Parse(format!(
+                        "expected a variable name after quantifier, found {other:?}"
+                    )))
+                }
+            }
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.advance();
+                }
+                Some(Token::Dot) => {
+                    self.advance();
+                    break;
+                }
+                other => {
+                    return Err(QueryError::Parse(format!(
+                        "expected `,` or `.` in quantifier variable list, found {other:?}"
+                    )))
+                }
+            }
+        }
+        let body = self.parse_formula()?;
+        Ok(match quantifier {
+            Token::Exists => FoFormula::exists(vars, body),
+            _ => FoFormula::forall(vars, body),
+        })
+    }
+
+    fn parse_disjunction(&mut self) -> Result<FoFormula, QueryError> {
+        let mut parts = vec![self.parse_conjunction()?];
+        while matches!(self.peek(), Some(Token::Or)) {
+            self.advance();
+            // A quantifier after OR extends to the end of the disjunct.
+            parts.push(match self.peek() {
+                Some(Token::Exists) | Some(Token::Forall) => self.parse_quantified()?,
+                _ => self.parse_conjunction()?,
+            });
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            FoFormula::Or(parts)
+        })
+    }
+
+    fn parse_conjunction(&mut self) -> Result<FoFormula, QueryError> {
+        let mut parts = vec![self.parse_unary()?];
+        while matches!(self.peek(), Some(Token::And)) {
+            self.advance();
+            parts.push(match self.peek() {
+                Some(Token::Exists) | Some(Token::Forall) => self.parse_quantified()?,
+                _ => self.parse_unary()?,
+            });
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            FoFormula::And(parts)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<FoFormula, QueryError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.advance();
+                let inner = match self.peek() {
+                    Some(Token::Exists) | Some(Token::Forall) => self.parse_quantified()?,
+                    _ => self.parse_unary()?,
+                };
+                Ok(FoFormula::Not(Box::new(inner)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<FoFormula, QueryError> {
+        match self.advance() {
+            Some(Token::LParen) => {
+                let inner = self.parse_formula()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::True) => Ok(FoFormula::True),
+            Some(Token::False) => Ok(FoFormula::False),
+            Some(Token::Ident(name)) => {
+                if matches!(self.peek(), Some(Token::LParen)) {
+                    self.advance();
+                    let mut terms = Vec::new();
+                    if !matches!(self.peek(), Some(Token::RParen)) {
+                        loop {
+                            terms.push(self.parse_term()?);
+                            match self.advance() {
+                                Some(Token::Comma) => continue,
+                                Some(Token::RParen) => break,
+                                other => {
+                                    return Err(QueryError::Parse(format!(
+                                        "expected `,` or `)` in atom, found {other:?}"
+                                    )))
+                                }
+                            }
+                        }
+                    } else {
+                        self.advance();
+                    }
+                    Ok(FoFormula::atom(name, terms))
+                } else {
+                    // A bare identifier in formula position starts a
+                    // comparison, e.g. `x = 1`.
+                    self.parse_comparison(Term::var(name))
+                }
+            }
+            Some(Token::Int(v)) => self.parse_comparison(Term::constant(v)),
+            Some(Token::Str(s)) => self.parse_comparison(Term::Const(Value::text(s))),
+            other => Err(QueryError::Parse(format!(
+                "expected a formula, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_comparison(&mut self, left: Term) -> Result<FoFormula, QueryError> {
+        match self.advance() {
+            Some(Token::Eq) => {
+                let right = self.parse_term()?;
+                Ok(FoFormula::Eq(left, right))
+            }
+            Some(Token::Neq) => {
+                let right = self.parse_term()?;
+                Ok(FoFormula::Not(Box::new(FoFormula::Eq(left, right))))
+            }
+            other => Err(QueryError::Parse(format!(
+                "expected `=` or `!=` after a term, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, QueryError> {
+        match self.advance() {
+            Some(Token::Ident(name)) => Ok(Term::var(name)),
+            Some(Token::Int(v)) => Ok(Term::constant(v)),
+            Some(Token::Str(s)) => Ok(Term::Const(Value::text(s))),
+            other => Err(QueryError::Parse(format!(
+                "expected a term, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryClass;
+
+    #[test]
+    fn parses_the_paper_example() {
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        assert!(q.is_boolean());
+        assert!(q.is_positive_existential());
+        assert_eq!(q.classify(), QueryClass::Cq);
+        assert_eq!(q.atoms().len(), 2);
+    }
+
+    #[test]
+    fn free_variables_become_existential() {
+        let q = parse_query("Employee(1, x, y)").unwrap();
+        assert!(q.is_boolean());
+        assert!(q.formula().free_variables().is_empty());
+    }
+
+    #[test]
+    fn answer_variables_stay_free() {
+        let q = parse_query_with_answers("Employee(x, y, d)", &["x", "y"]).unwrap();
+        assert_eq!(q.answer_variables().len(), 2);
+        let free: Vec<String> = q
+            .formula()
+            .free_variables()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(free, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn operator_precedence_not_over_and_over_or() {
+        let q = parse_query("R(x) OR S(x) AND NOT T(x)").unwrap();
+        // Must parse as R(x) OR (S(x) AND (NOT T(x))).
+        let formula = match q.formula() {
+            FoFormula::Exists(_, inner) => inner.as_ref(),
+            other => other,
+        };
+        match formula {
+            FoFormula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], FoFormula::Atom(_)));
+                match &parts[1] {
+                    FoFormula::And(ps) => {
+                        assert!(matches!(ps[1], FoFormula::Not(_)));
+                    }
+                    other => panic!("expected And, got {other:?}"),
+                }
+            }
+            other => panic!("expected Or at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifier_body_extends_right() {
+        let q = parse_query("EXISTS x . R(x) AND S(x)").unwrap();
+        // The AND is inside the quantifier: the formula is closed.
+        assert!(q.formula().free_variables().is_empty());
+        match q.formula() {
+            FoFormula::Exists(vars, body) => {
+                assert_eq!(vars.len(), 1);
+                assert!(matches!(body.as_ref(), FoFormula::And(_)));
+            }
+            other => panic!("expected Exists, got {other}"),
+        }
+    }
+
+    #[test]
+    fn quantifiers_after_connectives() {
+        let q = parse_query("(EXISTS x . R(x)) OR EXISTS y . S(y)").unwrap();
+        assert!(q.is_positive_existential());
+        let q = parse_query("NOT EXISTS x . R(x)").unwrap();
+        assert!(!q.is_positive_existential());
+        let q = parse_query("R(1) AND FORALL y . S(y)").unwrap();
+        assert!(!q.is_positive_existential());
+    }
+
+    #[test]
+    fn constants_variables_and_strings() {
+        let q = parse_query("EXISTS x . R(x, 42, -7, 'hello world', \"quoted\")").unwrap();
+        let atom = &q.atoms()[0];
+        assert_eq!(atom.arity(), 5);
+        assert!(atom.terms()[0].as_var().is_some());
+        assert_eq!(atom.terms()[1].as_const(), Some(&Value::int(42)));
+        assert_eq!(atom.terms()[2].as_const(), Some(&Value::int(-7)));
+        assert_eq!(atom.terms()[3].as_const(), Some(&Value::text("hello world")));
+        assert_eq!(atom.terms()[4].as_const(), Some(&Value::text("quoted")));
+    }
+
+    #[test]
+    fn comparisons_and_inequalities() {
+        let q = parse_query("EXISTS x, y . R(x, y) AND x = y").unwrap();
+        assert!(q.is_positive_existential());
+        let q = parse_query("EXISTS x, y . R(x, y) AND x != y").unwrap();
+        assert!(!q.is_positive_existential());
+        let q = parse_query("EXISTS x . R(x) AND x = 'a'").unwrap();
+        assert!(q.is_positive_existential());
+        let q = parse_query("1 = 1").unwrap();
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse_query("exists x . R(x) and not S(x) or true").unwrap();
+        assert!(!q.is_positive_existential());
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("EXISTS . R(x)").is_err());
+        assert!(parse_query("EXISTS x R(x)").is_err());
+        assert!(parse_query("R(x").is_err());
+        assert!(parse_query("R(x) AND").is_err());
+        assert!(parse_query("R(x) R(y)").is_err());
+        assert!(parse_query("R(x) ! S(y)").is_err());
+        assert!(parse_query("'unterminated").is_err());
+        assert!(parse_query("R(x) @ S(y)").is_err());
+        assert!(parse_query("x -").is_err());
+        assert!(parse_query("99999999999999999999 = 1").is_err());
+        assert!(parse_query("x").is_err());
+    }
+
+    #[test]
+    fn nullary_style_atoms_are_rejected_gracefully() {
+        // `R()` parses as an atom with zero terms; schema validation will
+        // reject it at evaluation time, but parsing succeeds.
+        let q = parse_query("R()").unwrap();
+        assert_eq!(q.atoms()[0].arity(), 0);
+    }
+
+    #[test]
+    fn deeply_nested_parentheses() {
+        let q = parse_query("((((EXISTS x . ((R(x)))))))").unwrap();
+        assert_eq!(q.atoms().len(), 1);
+        assert!(q.is_positive_existential());
+    }
+}

@@ -1,0 +1,423 @@
+//! Rewriting existential positive queries into unions of conjunctive
+//! queries.
+//!
+//! The proofs of Theorems 3.4 and 3.7 start by rewriting an `∃FO⁺` query
+//! `Q` into an equivalent UCQ `Q' = Q₁ ∨ ⋯ ∨ Qₘ` — a rewriting that does
+//! not depend on the database, i.e. is "constant time" under data
+//! complexity.  [`rewrite_to_ucq`] implements that rewriting:
+//!
+//! 1. bound variables are standardised apart, so distributing connectives
+//!    cannot capture variables;
+//! 2. the formula is put into disjunctive normal form by distributing
+//!    conjunction over disjunction;
+//! 3. equality atoms inside each disjunct are eliminated by substitution
+//!    (constant/constant equalities prune or keep the disjunct).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cdr_repairdb::Value;
+
+use crate::{Atom, ConjunctiveQuery, FoFormula, Query, QueryError, Term, UcqQuery, VarName};
+
+/// Rewrites a Boolean existential positive query into an equivalent UCQ.
+///
+/// Returns an error if the query has free (answer) variables or is outside
+/// the `∃FO⁺` fragment.
+pub fn rewrite_to_ucq(query: &Query) -> Result<UcqQuery, QueryError> {
+    if !query.is_boolean() {
+        return Err(QueryError::NotBoolean(
+            query
+                .answer_variables()
+                .iter()
+                .map(|v| v.to_string())
+                .collect(),
+        ));
+    }
+    if !query.is_positive_existential() {
+        return Err(QueryError::NotPositiveExistential(
+            "the formula contains negation or universal quantification".into(),
+        ));
+    }
+    let mut renamer = Renamer::default();
+    let renamed = renamer.standardize_apart(query.formula(), &HashMap::new());
+    let disjuncts = dnf(&renamed);
+    let mut cqs = Vec::new();
+    for conjunct in disjuncts {
+        if let Some(atoms) = resolve_equalities(conjunct) {
+            cqs.push(ConjunctiveQuery::new(atoms));
+        }
+    }
+    Ok(UcqQuery::new(cqs))
+}
+
+/// One literal of a DNF conjunct: a relational atom or an equality.
+#[derive(Clone, Debug)]
+enum Literal {
+    Atom(Atom),
+    Eq(Term, Term),
+}
+
+/// Renames every quantified variable to a globally fresh name.
+#[derive(Default)]
+struct Renamer {
+    counter: usize,
+}
+
+impl Renamer {
+    fn fresh(&mut self, base: &str) -> VarName {
+        self.counter += 1;
+        Arc::from(format!("{base}#{}", self.counter))
+    }
+
+    fn standardize_apart(
+        &mut self,
+        formula: &FoFormula,
+        scope: &HashMap<VarName, VarName>,
+    ) -> FoFormula {
+        match formula {
+            FoFormula::True => FoFormula::True,
+            FoFormula::False => FoFormula::False,
+            FoFormula::Atom(a) => FoFormula::Atom(rename_atom(a, scope)),
+            FoFormula::Eq(l, r) => FoFormula::Eq(rename_term(l, scope), rename_term(r, scope)),
+            FoFormula::Not(inner) => {
+                FoFormula::Not(Box::new(self.standardize_apart(inner, scope)))
+            }
+            FoFormula::And(parts) => FoFormula::And(
+                parts
+                    .iter()
+                    .map(|p| self.standardize_apart(p, scope))
+                    .collect(),
+            ),
+            FoFormula::Or(parts) => FoFormula::Or(
+                parts
+                    .iter()
+                    .map(|p| self.standardize_apart(p, scope))
+                    .collect(),
+            ),
+            FoFormula::Exists(vars, inner) | FoFormula::Forall(vars, inner) => {
+                let mut inner_scope = scope.clone();
+                let fresh: Vec<VarName> = vars
+                    .iter()
+                    .map(|v| {
+                        let f = self.fresh(v);
+                        inner_scope.insert(v.clone(), f.clone());
+                        f
+                    })
+                    .collect();
+                let body = self.standardize_apart(inner, &inner_scope);
+                match formula {
+                    FoFormula::Exists(_, _) => FoFormula::Exists(fresh, Box::new(body)),
+                    _ => FoFormula::Forall(fresh, Box::new(body)),
+                }
+            }
+        }
+    }
+}
+
+fn rename_term(term: &Term, scope: &HashMap<VarName, VarName>) -> Term {
+    match term {
+        Term::Var(v) => Term::Var(scope.get(v).cloned().unwrap_or_else(|| v.clone())),
+        Term::Const(_) => term.clone(),
+    }
+}
+
+fn rename_atom(atom: &Atom, scope: &HashMap<VarName, VarName>) -> Atom {
+    Atom::new(
+        atom.relation(),
+        atom.terms().iter().map(|t| rename_term(t, scope)).collect(),
+    )
+}
+
+/// Puts a (standardised-apart, positive, quantifier-stripped) formula into
+/// DNF: a list of conjuncts, each a list of literals.
+fn dnf(formula: &FoFormula) -> Vec<Vec<Literal>> {
+    match formula {
+        FoFormula::True => vec![vec![]],
+        FoFormula::False => vec![],
+        FoFormula::Atom(a) => vec![vec![Literal::Atom(a.clone())]],
+        FoFormula::Eq(l, r) => vec![vec![Literal::Eq(l.clone(), r.clone())]],
+        FoFormula::Exists(_, inner) => dnf(inner),
+        FoFormula::Or(parts) => parts.iter().flat_map(dnf).collect(),
+        FoFormula::And(parts) => {
+            let mut acc: Vec<Vec<Literal>> = vec![vec![]];
+            for part in parts {
+                let part_dnf = dnf(part);
+                let mut next = Vec::with_capacity(acc.len() * part_dnf.len());
+                for left in &acc {
+                    for right in &part_dnf {
+                        let mut combined = left.clone();
+                        combined.extend(right.iter().cloned());
+                        next.push(combined);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        // Positivity was checked by the caller; these cases are unreachable.
+        FoFormula::Not(_) | FoFormula::Forall(_, _) => {
+            unreachable!("dnf called on a non-positive formula")
+        }
+    }
+}
+
+/// Eliminates equality literals in a conjunct by substitution.
+///
+/// Returns `None` when the conjunct is unsatisfiable (two distinct
+/// constants are required to be equal), otherwise the atoms with all
+/// equality-induced substitutions applied.
+fn resolve_equalities(conjunct: Vec<Literal>) -> Option<Vec<Atom>> {
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut equalities: Vec<(Term, Term)> = Vec::new();
+    for lit in conjunct {
+        match lit {
+            Literal::Atom(a) => atoms.push(a),
+            Literal::Eq(l, r) => equalities.push((l, r)),
+        }
+    }
+    // Union-find over variables with optional constant representative.
+    let mut binding: HashMap<VarName, Term> = HashMap::new();
+
+    fn resolve(term: &Term, binding: &HashMap<VarName, Term>) -> Term {
+        let mut current = term.clone();
+        let mut guard = 0;
+        while let Term::Var(v) = &current {
+            match binding.get(v) {
+                Some(next) if next != &current => {
+                    current = next.clone();
+                    guard += 1;
+                    if guard > binding.len() + 1 {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        current
+    }
+
+    for (l, r) in equalities {
+        let l = resolve(&l, &binding);
+        let r = resolve(&r, &binding);
+        match (&l, &r) {
+            (Term::Const(a), Term::Const(b)) => {
+                if a != b {
+                    return None;
+                }
+            }
+            (Term::Var(v), other) | (other, Term::Var(v)) => {
+                if Term::Var(v.clone()) != *other {
+                    binding.insert(v.clone(), other.clone());
+                }
+            }
+        }
+    }
+    let substituted = atoms
+        .into_iter()
+        .map(|a| {
+            a.substitute(&|v: &VarName| {
+                let resolved = resolve(&Term::Var(v.clone()), &binding);
+                if resolved == Term::Var(v.clone()) {
+                    None
+                } else {
+                    Some(resolved)
+                }
+            })
+        })
+        .collect();
+    Some(substituted)
+}
+
+/// Substitutes constants for the answer variables of a query, producing the
+/// Boolean query `Q(t̄)` the counting problem is about (the paper's
+/// "t̄ ∈ Q(D′)" side condition).
+///
+/// The `tuple` must have the same length as the query's answer variables.
+pub fn bind_answers(query: &Query, tuple: &[Value]) -> Result<Query, QueryError> {
+    let answers = query.answer_variables();
+    if answers.len() != tuple.len() {
+        return Err(QueryError::Parse(format!(
+            "answer tuple has {} values but the query has {} answer variables",
+            tuple.len(),
+            answers.len()
+        )));
+    }
+    let mapping: HashMap<VarName, Value> = answers
+        .iter()
+        .cloned()
+        .zip(tuple.iter().cloned())
+        .collect();
+    let bound = substitute_formula(query.formula(), &mapping);
+    Ok(Query::boolean(bound))
+}
+
+fn substitute_formula(formula: &FoFormula, mapping: &HashMap<VarName, Value>) -> FoFormula {
+    match formula {
+        FoFormula::True => FoFormula::True,
+        FoFormula::False => FoFormula::False,
+        FoFormula::Atom(a) => FoFormula::Atom(a.substitute(&|v: &VarName| {
+            mapping.get(v).map(|val| Term::Const(val.clone()))
+        })),
+        FoFormula::Eq(l, r) => FoFormula::Eq(
+            substitute_term(l, mapping),
+            substitute_term(r, mapping),
+        ),
+        FoFormula::Not(inner) => FoFormula::Not(Box::new(substitute_formula(inner, mapping))),
+        FoFormula::And(parts) => {
+            FoFormula::And(parts.iter().map(|p| substitute_formula(p, mapping)).collect())
+        }
+        FoFormula::Or(parts) => {
+            FoFormula::Or(parts.iter().map(|p| substitute_formula(p, mapping)).collect())
+        }
+        FoFormula::Exists(vars, inner) => {
+            let mut inner_map = mapping.clone();
+            for v in vars {
+                inner_map.remove(v);
+            }
+            FoFormula::Exists(vars.clone(), Box::new(substitute_formula(inner, &inner_map)))
+        }
+        FoFormula::Forall(vars, inner) => {
+            let mut inner_map = mapping.clone();
+            for v in vars {
+                inner_map.remove(v);
+            }
+            FoFormula::Forall(vars.clone(), Box::new(substitute_formula(inner, &inner_map)))
+        }
+    }
+}
+
+fn substitute_term(term: &Term, mapping: &HashMap<VarName, Value>) -> Term {
+    match term {
+        Term::Var(v) => mapping
+            .get(v)
+            .map(|val| Term::Const(val.clone()))
+            .unwrap_or_else(|| term.clone()),
+        Term::Const(_) => term.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn cq_rewrites_to_single_disjunct() {
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        assert_eq!(ucq.len(), 1);
+        assert_eq!(ucq.disjuncts()[0].atoms().len(), 2);
+    }
+
+    #[test]
+    fn disjunction_of_atoms_rewrites_to_two_disjuncts() {
+        let q = parse_query("EXISTS x . R(x) OR EXISTS y . S(y)").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        assert_eq!(ucq.len(), 2);
+    }
+
+    #[test]
+    fn conjunction_distributes_over_disjunction() {
+        // (R(x) OR S(x)) AND (T(x) OR U(x))  ->  4 disjuncts.
+        let q = parse_query("EXISTS x . (R(x) OR S(x)) AND (T(x) OR U(x))").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        assert_eq!(ucq.len(), 4);
+        assert!(ucq.disjuncts().iter().all(|d| d.atoms().len() == 2));
+    }
+
+    #[test]
+    fn shared_variable_names_in_sibling_scopes_stay_independent() {
+        // The two `x`s are different variables; a naive DNF would conflate
+        // them and force R and S to share a witness.
+        let q = parse_query("(EXISTS x . R(x)) AND (EXISTS x . S(x))").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        assert_eq!(ucq.len(), 1);
+        let cq = &ucq.disjuncts()[0];
+        assert_eq!(cq.atoms().len(), 2);
+        let v0 = cq.atoms()[0].variables();
+        let v1 = cq.atoms()[1].variables();
+        assert_ne!(v0, v1, "standardising apart must keep the variables distinct");
+    }
+
+    #[test]
+    fn equalities_are_eliminated_by_substitution() {
+        let q = parse_query("EXISTS x, y . R(x, y) AND x = 1 AND y = 'a'").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        assert_eq!(ucq.len(), 1);
+        let atom = &ucq.disjuncts()[0].atoms()[0];
+        assert_eq!(atom.to_string(), "R(1, 'a')");
+    }
+
+    #[test]
+    fn variable_to_variable_equalities_merge() {
+        let q = parse_query("EXISTS x, y . R(x) AND S(y) AND x = y").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        let cq = &ucq.disjuncts()[0];
+        let vars = cq.variables();
+        assert_eq!(vars.len(), 1, "x and y must have been merged, got {vars:?}");
+    }
+
+    #[test]
+    fn contradictory_constant_equality_prunes_the_disjunct() {
+        let q = parse_query("(EXISTS x . R(x) AND 1 = 2) OR (EXISTS y . S(y))").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        assert_eq!(ucq.len(), 1);
+        assert_eq!(ucq.disjuncts()[0].atoms()[0].relation(), "S");
+    }
+
+    #[test]
+    fn tautological_equality_is_dropped() {
+        let q = parse_query("EXISTS x . R(x) AND 1 = 1").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        assert_eq!(ucq.len(), 1);
+        assert_eq!(ucq.disjuncts()[0].atoms().len(), 1);
+    }
+
+    #[test]
+    fn true_and_false_constants() {
+        let t = parse_query("TRUE").unwrap();
+        assert!(rewrite_to_ucq(&t).unwrap().is_trivially_true());
+        let f = parse_query("FALSE").unwrap();
+        assert!(rewrite_to_ucq(&f).unwrap().is_empty());
+        let mixed = parse_query("FALSE OR EXISTS x . R(x)").unwrap();
+        assert_eq!(rewrite_to_ucq(&mixed).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn non_positive_queries_are_rejected() {
+        let q = parse_query("NOT EXISTS x . R(x)").unwrap();
+        assert!(matches!(
+            rewrite_to_ucq(&q),
+            Err(QueryError::NotPositiveExistential(_))
+        ));
+        let q = parse_query("FORALL x . R(x)").unwrap();
+        assert!(matches!(
+            rewrite_to_ucq(&q),
+            Err(QueryError::NotPositiveExistential(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_disjuncts_are_merged() {
+        let q = parse_query("(EXISTS x . R(x)) OR (EXISTS x . R(x))").unwrap();
+        let ucq = rewrite_to_ucq(&q).unwrap();
+        // After standardising apart, the two disjuncts differ only in the
+        // fresh variable name; structural dedup cannot see through renaming,
+        // so we only require both to be single-atom R-disjuncts.
+        assert!(ucq.len() <= 2);
+        assert!(ucq.disjuncts().iter().all(|d| d.atoms().len() == 1));
+    }
+
+    #[test]
+    fn bind_answers_substitutes_the_tuple() {
+        let q = crate::parser::parse_query_with_answers("Employee(x, y, 'IT')", &["x", "y"])
+            .unwrap();
+        let bound = bind_answers(&q, &[Value::int(2), Value::text("Alice")]).unwrap();
+        assert!(bound.is_boolean());
+        let atoms = bound.atoms();
+        assert_eq!(atoms[0].to_string(), "Employee(2, 'Alice', 'IT')");
+        // Wrong tuple length is rejected.
+        assert!(bind_answers(&q, &[Value::int(2)]).is_err());
+    }
+}

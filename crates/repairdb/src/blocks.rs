@@ -1,0 +1,381 @@
+//! Block decomposition of an inconsistent database.
+//!
+//! Following Section 2.1 of the paper, the facts of a database `D` are
+//! partitioned into *blocks*: two facts belong to the same block iff they
+//! have the same key value `keyΣ(α)`.  Facts of relations without a key are
+//! their own singleton blocks (their key value is the whole tuple).  Blocks
+//! are ordered by the lexicographic ordering `≺_{D,Σ}` on key values, which
+//! fixes the sequence `B₁, …, Bₙ` used by every algorithm in the paper
+//! (Algorithm 1, Algorithm 2, and the FPRAS).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Database, Fact, FactId, KeySet, RelationId, Value};
+
+/// The key value `keyΣ(α)` of a fact: the relation symbol together with the
+/// key prefix of the tuple (or the whole tuple for unkeyed relations).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct KeyValue {
+    relation: RelationId,
+    key: Box<[Value]>,
+}
+
+impl KeyValue {
+    /// Computes the key value of a fact w.r.t. a key set.
+    pub fn of(fact: &Fact, keys: &KeySet) -> KeyValue {
+        let width = keys.key_width(fact.relation()).unwrap_or(fact.arity());
+        KeyValue {
+            relation: fact.relation(),
+            key: fact.args()[..width].to_vec().into_boxed_slice(),
+        }
+    }
+
+    /// The relation symbol of the key value.
+    pub fn relation(&self) -> RelationId {
+        self.relation
+    }
+
+    /// The key constants.
+    pub fn key(&self) -> &[Value] {
+        &self.key
+    }
+}
+
+impl fmt::Display for KeyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨r{}, (", self.relation.index())?;
+        for (i, v) in self.key.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")⟩")
+    }
+}
+
+/// Identifier of a block within a [`BlockPartition`].
+///
+/// Block ids are positions in the ordered sequence `B₁, …, Bₙ`, so
+/// `BlockId(0)` is the block whose key value is smallest under `≺_{D,Σ}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// Builds a block id from a position in the ordered block sequence.
+    pub fn new(index: usize) -> BlockId {
+        BlockId(index as u32)
+    }
+
+    /// The position of this block in the ordered block sequence.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A block: all facts of the database that share one key value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    key: KeyValue,
+    facts: Vec<FactId>,
+}
+
+impl Block {
+    /// The key value shared by the facts of the block.
+    pub fn key(&self) -> &KeyValue {
+        &self.key
+    }
+
+    /// The ids of the facts in the block, in ascending fact-id order.
+    pub fn facts(&self) -> &[FactId] {
+        &self.facts
+    }
+
+    /// Number of facts in the block.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Returns `true` iff the block is empty (never the case for blocks in a
+    /// [`BlockPartition`]).
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Returns `true` iff the block contains exactly one fact, i.e. the fact
+    /// is not in conflict with any other fact.
+    pub fn is_singleton(&self) -> bool {
+        self.facts.len() == 1
+    }
+
+    /// Returns `true` iff the block contains the given fact.
+    pub fn contains(&self, fact: FactId) -> bool {
+        self.facts.binary_search(&fact).is_ok()
+    }
+
+    /// The position of a fact within the block, if present.
+    pub fn position_of(&self, fact: FactId) -> Option<usize> {
+        self.facts.binary_search(&fact).ok()
+    }
+}
+
+/// The ordered block sequence `B₁, …, Bₙ` of a database w.r.t. a set of
+/// primary keys.
+///
+/// ```
+/// use cdr_repairdb::{BlockPartition, Database, KeySet, Schema};
+///
+/// let mut schema = Schema::new();
+/// schema.add_relation("Employee", 3).unwrap();
+/// let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+/// let mut db = Database::new(schema);
+/// db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+/// db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+/// db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+/// db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
+///
+/// let blocks = BlockPartition::new(&db, &keys);
+/// assert_eq!(blocks.len(), 2);
+/// assert_eq!(blocks.sizes(), vec![2, 2]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlockPartition {
+    blocks: Vec<Block>,
+    fact_to_block: HashMap<FactId, BlockId>,
+}
+
+impl BlockPartition {
+    /// Computes the block partition of `db` w.r.t. `keys`.
+    pub fn new(db: &Database, keys: &KeySet) -> Self {
+        let mut grouped: HashMap<KeyValue, Vec<FactId>> = HashMap::new();
+        for (id, fact) in db.iter() {
+            grouped.entry(KeyValue::of(fact, keys)).or_default().push(id);
+        }
+        let mut entries: Vec<(KeyValue, Vec<FactId>)> = grouped.into_iter().collect();
+        // ≺_{D,Σ}: lexicographic ordering over key values.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut blocks = Vec::with_capacity(entries.len());
+        let mut fact_to_block = HashMap::new();
+        for (i, (key, mut facts)) in entries.into_iter().enumerate() {
+            facts.sort();
+            let id = BlockId(i as u32);
+            for &f in &facts {
+                fact_to_block.insert(f, id);
+            }
+            blocks.push(Block { key, facts });
+        }
+        BlockPartition {
+            blocks,
+            fact_to_block,
+        }
+    }
+
+    /// Number of blocks `n`.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` iff the database was empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The ordered blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block at position `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// The block containing the given fact, if the fact belongs to the
+    /// underlying database.
+    pub fn block_of(&self, fact: FactId) -> Option<BlockId> {
+        self.fact_to_block.get(&fact).copied()
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs in `≺_{D,Σ}` order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// The sizes `|B₁|, …, |Bₙ|`.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.blocks.iter().map(|b| b.len()).collect()
+    }
+
+    /// The maximum block size `m = maxᵢ |Bᵢ|` (zero for an empty database).
+    pub fn max_block_size(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).max().unwrap_or(0)
+    }
+
+    /// Returns `true` iff every block is a singleton, i.e. the database is
+    /// consistent w.r.t. the keys used to build the partition.
+    pub fn is_consistent(&self) -> bool {
+        self.blocks.iter().all(Block::is_singleton)
+    }
+
+    /// Number of blocks with more than one fact (the number of key values
+    /// that are actually in conflict).
+    pub fn conflicting_block_count(&self) -> usize {
+        self.blocks.iter().filter(|b| !b.is_singleton()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn employee_db() -> (Database, KeySet) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
+        (db, keys)
+    }
+
+    #[test]
+    fn example_1_1_has_two_blocks_of_two() {
+        let (db, keys) = employee_db();
+        let blocks = BlockPartition::new(&db, &keys);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks.sizes(), vec![2, 2]);
+        assert_eq!(blocks.max_block_size(), 2);
+        assert!(!blocks.is_consistent());
+        assert_eq!(blocks.conflicting_block_count(), 2);
+    }
+
+    #[test]
+    fn blocks_are_ordered_by_key_value() {
+        let (db, keys) = employee_db();
+        let blocks = BlockPartition::new(&db, &keys);
+        // Employee id 1 block comes before employee id 2 block.
+        assert_eq!(blocks.block(BlockId(0)).key().key(), &[Value::int(1)]);
+        assert_eq!(blocks.block(BlockId(1)).key().key(), &[Value::int(2)]);
+    }
+
+    #[test]
+    fn block_of_maps_facts_to_their_block() {
+        let (db, keys) = employee_db();
+        let blocks = BlockPartition::new(&db, &keys);
+        for (id, fact) in db.iter() {
+            let b = blocks.block_of(id).unwrap();
+            assert!(blocks.block(b).contains(id));
+            assert_eq!(
+                blocks.block(b).key().key()[0],
+                fact.args()[0],
+                "fact must live in the block of its own key"
+            );
+            assert!(blocks.block(b).position_of(id).is_some());
+        }
+        assert_eq!(blocks.block_of(FactId(999)), None);
+    }
+
+    #[test]
+    fn unkeyed_relations_form_singleton_blocks() {
+        let mut schema = Schema::new();
+        schema.add_relation("Log", 2).unwrap();
+        let keys = KeySet::empty(&schema);
+        let mut db = Database::new(schema);
+        db.insert_parsed("Log(1, 'a')").unwrap();
+        db.insert_parsed("Log(1, 'b')").unwrap();
+        db.insert_parsed("Log(2, 'a')").unwrap();
+        let blocks = BlockPartition::new(&db, &keys);
+        assert_eq!(blocks.len(), 3);
+        assert!(blocks.is_consistent());
+        assert_eq!(blocks.conflicting_block_count(), 0);
+        assert!(blocks.blocks().iter().all(Block::is_singleton));
+    }
+
+    #[test]
+    fn consistent_keyed_database_has_singleton_blocks() {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+        let blocks = BlockPartition::new(&db, &keys);
+        assert!(blocks.is_consistent());
+        assert_eq!(blocks.len(), 2);
+    }
+
+    #[test]
+    fn empty_database_has_empty_partition() {
+        let schema = Schema::new();
+        let keys = KeySet::empty(&schema);
+        let db = Database::new(schema);
+        let blocks = BlockPartition::new(&db, &keys);
+        assert!(blocks.is_empty());
+        assert_eq!(blocks.len(), 0);
+        assert_eq!(blocks.max_block_size(), 0);
+        assert!(blocks.is_consistent());
+    }
+
+    #[test]
+    fn composite_keys_group_by_prefix() {
+        let mut schema = Schema::new();
+        schema.add_relation("Assign", 3).unwrap();
+        let keys = KeySet::builder(&schema).key("Assign", 2).unwrap().build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("Assign(1, 'p1', 'alice')").unwrap();
+        db.insert_parsed("Assign(1, 'p1', 'bob')").unwrap();
+        db.insert_parsed("Assign(1, 'p2', 'carol')").unwrap();
+        let blocks = BlockPartition::new(&db, &keys);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks.sizes(), vec![2, 1]);
+    }
+
+    #[test]
+    fn key_value_display_is_readable() {
+        let (db, keys) = employee_db();
+        let (_, fact) = db.iter().next().unwrap();
+        let kv = KeyValue::of(fact, &keys);
+        assert_eq!(kv.relation().index(), 0);
+        let text = kv.to_string();
+        assert!(text.contains("r0"));
+        assert!(text.contains('1'));
+    }
+
+    #[test]
+    fn multi_relation_blocks_are_grouped_per_relation() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        schema.add_relation("S", 2).unwrap();
+        let keys = KeySet::builder(&schema)
+            .key("R", 1)
+            .unwrap()
+            .key("S", 1)
+            .unwrap()
+            .build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("R(1, 'a')").unwrap();
+        db.insert_parsed("R(1, 'b')").unwrap();
+        db.insert_parsed("S(1, 'a')").unwrap();
+        db.insert_parsed("S(1, 'b')").unwrap();
+        db.insert_parsed("S(1, 'c')").unwrap();
+        let blocks = BlockPartition::new(&db, &keys);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks.sizes(), vec![2, 3]);
+        // Facts with the same key constant but different relations are in
+        // different blocks.
+        let r_block = blocks.block_of(FactId(0)).unwrap();
+        let s_block = blocks.block_of(FactId(2)).unwrap();
+        assert_ne!(r_block, s_block);
+    }
+}

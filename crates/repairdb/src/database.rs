@@ -1,0 +1,399 @@
+//! Databases: finite sets of facts over a schema.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::{parse_value, DbError, Fact, KeySet, RelationId, Schema, Value};
+
+/// Identifier of a fact within a [`Database`].
+///
+/// Fact ids are dense indices assigned in insertion order.  They are stable:
+/// facts are never removed from a database (databases are immutable once
+/// built, mirroring the paper's treatment of the input instance).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FactId(pub(crate) u32);
+
+impl FactId {
+    /// Builds a fact id from its dense index.
+    pub fn new(index: usize) -> FactId {
+        FactId(index as u32)
+    }
+
+    /// The dense index of this fact.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A database: a finite set of facts over a schema.
+///
+/// Inserting the same fact twice is a no-op (set semantics).  The database
+/// maintains a per-relation index so query evaluation and block construction
+/// avoid full scans.
+///
+/// ```
+/// use cdr_repairdb::{Database, Schema};
+///
+/// let mut schema = Schema::new();
+/// schema.add_relation("Employee", 3).unwrap();
+/// let mut db = Database::new(schema);
+/// db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+/// db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+/// assert_eq!(db.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Database {
+    schema: Schema,
+    facts: Vec<Fact>,
+    dedup: HashMap<Fact, FactId>,
+    by_relation: Vec<Vec<FactId>>,
+}
+
+impl Database {
+    /// Creates an empty database over the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let by_relation = vec![Vec::new(); schema.len()];
+        Database {
+            schema,
+            facts: Vec::new(),
+            dedup: HashMap::new(),
+            by_relation,
+        }
+    }
+
+    /// The schema of the database.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Inserts a fact, validating its relation and arity against the schema.
+    ///
+    /// Returns the id of the fact; inserting a duplicate returns the id of
+    /// the existing fact.
+    pub fn insert(&mut self, fact: Fact) -> Result<FactId, DbError> {
+        let rel = fact.relation();
+        if rel.index() >= self.schema.len() {
+            return Err(DbError::UnknownRelation(format!("r{}", rel.index())));
+        }
+        let expected = self.schema.arity(rel);
+        if fact.arity() != expected {
+            return Err(DbError::ArityMismatch {
+                relation: self.schema.name(rel).to_string(),
+                expected,
+                found: fact.arity(),
+            });
+        }
+        if let Some(&id) = self.dedup.get(&fact) {
+            return Ok(id);
+        }
+        let id = FactId(self.facts.len() as u32);
+        self.dedup.insert(fact.clone(), id);
+        self.by_relation[rel.index()].push(id);
+        self.facts.push(fact);
+        Ok(id)
+    }
+
+    /// Inserts a fact given the relation name and its arguments.
+    pub fn insert_values(
+        &mut self,
+        relation: &str,
+        args: impl Into<Vec<Value>>,
+    ) -> Result<FactId, DbError> {
+        let rel = self.schema.require(relation)?;
+        self.insert(Fact::new(rel, args))
+    }
+
+    /// Parses and inserts a fact written as `Relation(v1, v2, …)`.
+    ///
+    /// Values follow the syntax of [`parse_value`].
+    pub fn insert_parsed(&mut self, text: &str) -> Result<FactId, DbError> {
+        let fact = self.parse_fact(text)?;
+        self.insert(fact)
+    }
+
+    /// Parses a fact written as `Relation(v1, v2, …)` against this
+    /// database's schema, without inserting it.
+    pub fn parse_fact(&self, text: &str) -> Result<Fact, DbError> {
+        let s = text.trim();
+        let open = s
+            .find('(')
+            .ok_or_else(|| DbError::Parse(format!("missing `(` in fact `{s}`")))?;
+        if !s.ends_with(')') {
+            return Err(DbError::Parse(format!("missing `)` in fact `{s}`")));
+        }
+        let name = s[..open].trim();
+        let rel = self.schema.require(name)?;
+        let inner = &s[open + 1..s.len() - 1];
+        let mut args = Vec::new();
+        if !inner.trim().is_empty() {
+            for part in split_top_level_commas(inner) {
+                args.push(parse_value(&part)?);
+            }
+        }
+        let expected = self.schema.arity(rel);
+        if args.len() != expected {
+            return Err(DbError::ArityMismatch {
+                relation: name.to_string(),
+                expected,
+                found: args.len(),
+            });
+        }
+        Ok(Fact::new(rel, args))
+    }
+
+    /// Returns the fact with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this database.
+    pub fn fact(&self, id: FactId) -> &Fact {
+        &self.facts[id.index()]
+    }
+
+    /// Returns the id of a fact if it is present.
+    pub fn fact_id(&self, fact: &Fact) -> Option<FactId> {
+        self.dedup.get(fact).copied()
+    }
+
+    /// Returns `true` iff the fact is present.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.dedup.contains_key(fact)
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Returns `true` iff the database has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Iterates over all facts with their ids, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact)> {
+        self.facts
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FactId(i as u32), f))
+    }
+
+    /// Iterates over all facts, in insertion order.
+    pub fn facts(&self) -> impl Iterator<Item = &Fact> {
+        self.facts.iter()
+    }
+
+    /// The ids of the facts of a given relation, in insertion order.
+    pub fn facts_of(&self, relation: RelationId) -> &[FactId] {
+        self.by_relation
+            .get(relation.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The active domain `dom(D)`: all constants occurring in the database,
+    /// in sorted order.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut dom = BTreeSet::new();
+        for fact in &self.facts {
+            for v in fact.args() {
+                dom.insert(v.clone());
+            }
+        }
+        dom
+    }
+
+    /// Returns `true` iff the database satisfies every key in `keys`
+    /// (i.e. `D ⊨ Σ`).
+    pub fn is_consistent(&self, keys: &KeySet) -> bool {
+        keys.satisfied_by(self.facts.iter())
+    }
+
+    /// Builds a new database containing exactly the facts with the given
+    /// ids (useful for materialising a repair).
+    pub fn subset(&self, ids: impl IntoIterator<Item = FactId>) -> Database {
+        let mut out = Database::new(self.schema.clone());
+        for id in ids {
+            out.insert(self.fact(id).clone())
+                .expect("subset facts are valid by construction");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fact) in self.facts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{}", fact.display(&self.schema))?;
+        }
+        Ok(())
+    }
+}
+
+/// Splits `inner` at commas that are not inside quotes.
+fn split_top_level_commas(inner: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut quote: Option<char> = None;
+    for ch in inner.chars() {
+        match quote {
+            Some(q) => {
+                current.push(ch);
+                if ch == q {
+                    quote = None;
+                }
+            }
+            None => match ch {
+                '\'' | '"' => {
+                    quote = Some(ch);
+                    current.push(ch);
+                }
+                ',' => {
+                    parts.push(current.trim().to_string());
+                    current.clear();
+                }
+                _ => current.push(ch),
+            },
+        }
+    }
+    parts.push(current.trim().to_string());
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn employee_db() -> Database {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let mut db = Database::new(schema);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_and_query_basics() {
+        let db = employee_db();
+        assert_eq!(db.len(), 4);
+        assert!(!db.is_empty());
+        let emp = db.schema().relation_id("Employee").unwrap();
+        assert_eq!(db.facts_of(emp).len(), 4);
+        let bob_hr = db.parse_fact("Employee(1, 'Bob', 'HR')").unwrap();
+        assert!(db.contains(&bob_hr));
+        assert_eq!(db.fact(db.fact_id(&bob_hr).unwrap()), &bob_hr);
+        assert_eq!(db.iter().count(), 4);
+        assert_eq!(db.facts().count(), 4);
+    }
+
+    #[test]
+    fn duplicate_insertion_is_a_no_op() {
+        let mut db = employee_db();
+        let before = db.len();
+        let id1 = db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        assert_eq!(db.len(), before);
+        let fact = db.parse_fact("Employee(1, 'Bob', 'HR')").unwrap();
+        assert_eq!(db.fact_id(&fact), Some(id1));
+    }
+
+    #[test]
+    fn insert_validates_arity_and_relation() {
+        let mut db = employee_db();
+        assert!(matches!(
+            db.insert_parsed("Employee(1, 'Bob')"),
+            Err(DbError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            db.insert_parsed("Dept(1, 'HR')"),
+            Err(DbError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            db.insert_values("Employee", vec![Value::int(1)]),
+            Err(DbError::ArityMismatch { .. })
+        ));
+        // A fact built against a foreign schema with an out-of-range relation id.
+        let mut other = Schema::new();
+        other.add_relation("A", 1).unwrap();
+        other.add_relation("B", 1).unwrap();
+        let b = other.relation_id("B").unwrap();
+        assert!(matches!(
+            db.insert(Fact::new(b, vec![Value::int(1)])),
+            Err(DbError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn parse_fact_handles_quotes_and_spacing() {
+        let db = employee_db();
+        let f = db
+            .parse_fact("  Employee( 3 , 'Eve, the second' , \"R&D\" ) ")
+            .unwrap();
+        assert_eq!(f.arg(0), &Value::int(3));
+        assert_eq!(f.arg(1), &Value::text("Eve, the second"));
+        assert_eq!(f.arg(2), &Value::text("R&D"));
+    }
+
+    #[test]
+    fn parse_fact_rejects_malformed_input() {
+        let db = employee_db();
+        assert!(db.parse_fact("Employee 1, 2, 3").is_err());
+        assert!(db.parse_fact("Employee(1, 2, 3").is_err());
+        assert!(db.parse_fact("Unknown(1)").is_err());
+        assert!(db.parse_fact("Employee(1, 2, 3, 4)").is_err());
+    }
+
+    #[test]
+    fn active_domain_collects_all_constants() {
+        let db = employee_db();
+        let dom = db.active_domain();
+        assert!(dom.contains(&Value::int(1)));
+        assert!(dom.contains(&Value::int(2)));
+        assert!(dom.contains(&Value::text("Bob")));
+        assert!(dom.contains(&Value::text("HR")));
+        assert!(dom.contains(&Value::text("IT")));
+        assert_eq!(dom.len(), 7);
+    }
+
+    #[test]
+    fn consistency_against_keys() {
+        let db = employee_db();
+        let keys = KeySet::builder(db.schema()).key("Employee", 1).unwrap().build();
+        assert!(!db.is_consistent(&keys));
+        let no_keys = KeySet::empty(db.schema());
+        assert!(db.is_consistent(&no_keys));
+    }
+
+    #[test]
+    fn subset_materialises_chosen_facts() {
+        let db = employee_db();
+        let ids: Vec<FactId> = db.iter().map(|(id, _)| id).take(2).collect();
+        let sub = db.subset(ids.clone());
+        assert_eq!(sub.len(), 2);
+        for id in ids {
+            assert!(sub.contains(db.fact(id)));
+        }
+    }
+
+    #[test]
+    fn display_lists_facts() {
+        let db = employee_db();
+        let text = db.to_string();
+        assert!(text.contains("Employee(1, 'Bob', 'HR')"));
+        assert!(text.contains("Employee(2, 'Tim', 'IT')"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn empty_schema_database_works() {
+        let db = Database::new(Schema::new());
+        assert!(db.is_empty());
+        assert!(db.active_domain().is_empty());
+        assert_eq!(db.to_string(), "");
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type shared by the database substrate.
+
+use std::fmt;
+
+/// Errors produced while building schemas, key sets, or databases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A relation with this name was already declared.
+    DuplicateRelation(String),
+    /// The named relation is not part of the schema.
+    UnknownRelation(String),
+    /// A fact or key refers to a relation with the wrong number of columns.
+    ArityMismatch {
+        /// Relation name involved.
+        relation: String,
+        /// Arity declared in the schema.
+        expected: usize,
+        /// Arity actually used.
+        found: usize,
+    },
+    /// A relation was given more than one key (the set would not be a set of
+    /// *primary* keys).
+    DuplicateKey(String),
+    /// A key constraint `key(R) = {1, …, m}` was declared with `m` larger
+    /// than the arity of `R` or equal to zero.
+    InvalidKeyWidth {
+        /// Relation name involved.
+        relation: String,
+        /// Arity of the relation.
+        arity: usize,
+        /// Requested key width.
+        width: usize,
+    },
+    /// A textual fact or value could not be parsed.
+    Parse(String),
+    /// A relation declared with arity zero; the paper's facts always have
+    /// `n > 0`.
+    ZeroArity(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` is already declared")
+            }
+            DbError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            DbError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but was used with {found} arguments"
+            ),
+            DbError::DuplicateKey(name) => {
+                write!(f, "relation `{name}` already has a primary key")
+            }
+            DbError::InvalidKeyWidth {
+                relation,
+                arity,
+                width,
+            } => write!(
+                f,
+                "key width {width} is invalid for relation `{relation}` of arity {arity}"
+            ),
+            DbError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DbError::ZeroArity(name) => {
+                write!(f, "relation `{name}` must have arity at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_relation() {
+        let cases: Vec<(DbError, &str)> = vec![
+            (DbError::DuplicateRelation("R".into()), "R"),
+            (DbError::UnknownRelation("S".into()), "S"),
+            (
+                DbError::ArityMismatch {
+                    relation: "T".into(),
+                    expected: 2,
+                    found: 3,
+                },
+                "T",
+            ),
+            (DbError::DuplicateKey("U".into()), "U"),
+            (
+                DbError::InvalidKeyWidth {
+                    relation: "V".into(),
+                    arity: 2,
+                    width: 5,
+                },
+                "V",
+            ),
+            (DbError::Parse("bad token".into()), "bad token"),
+            (DbError::ZeroArity("W".into()), "W"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Ground facts.
+
+use std::fmt;
+
+use crate::{RelationId, Schema, Value};
+
+/// A fact `R(c₁, …, cₙ)`: a relation symbol applied to constants.
+///
+/// Facts are value types; equality and hashing are structural, which is what
+/// the set semantics of databases requires.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    relation: RelationId,
+    args: Box<[Value]>,
+}
+
+impl Fact {
+    /// Creates a fact.  The arity is *not* validated here; use
+    /// [`crate::Database::insert`] for validated insertion.
+    pub fn new(relation: RelationId, args: impl Into<Vec<Value>>) -> Self {
+        Fact {
+            relation,
+            args: args.into().into_boxed_slice(),
+        }
+    }
+
+    /// The relation symbol of the fact.
+    pub fn relation(&self) -> RelationId {
+        self.relation
+    }
+
+    /// The constants of the fact, in positional order.
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// The arity of the fact.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The constant in position `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn arg(&self, i: usize) -> &Value {
+        &self.args[i]
+    }
+
+    /// Renders the fact using the relation names of `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> FactDisplay<'a> {
+        FactDisplay { fact: self, schema }
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}(", self.relation.index())?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Helper returned by [`Fact::display`] that prints a fact with its relation
+/// name resolved against a schema.
+pub struct FactDisplay<'a> {
+    fact: &'a Fact,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for FactDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.schema.name(self.fact.relation()))?;
+        for (i, a) in self.fact.args().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema_with_emp() -> (Schema, RelationId) {
+        let mut schema = Schema::new();
+        let emp = schema.add_relation("Employee", 3).unwrap();
+        (schema, emp)
+    }
+
+    #[test]
+    fn accessors() {
+        let (_, emp) = schema_with_emp();
+        let f = Fact::new(emp, vec![Value::int(1), Value::text("Bob"), Value::text("HR")]);
+        assert_eq!(f.relation(), emp);
+        assert_eq!(f.arity(), 3);
+        assert_eq!(f.arg(0), &Value::int(1));
+        assert_eq!(f.args()[1], Value::text("Bob"));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let (_, emp) = schema_with_emp();
+        let a = Fact::new(emp, vec![Value::int(1), Value::text("Bob"), Value::text("HR")]);
+        let b = Fact::new(emp, vec![Value::int(1), Value::text("Bob"), Value::text("HR")]);
+        let c = Fact::new(emp, vec![Value::int(1), Value::text("Bob"), Value::text("IT")]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn display_uses_schema_names() {
+        let (schema, emp) = schema_with_emp();
+        let f = Fact::new(emp, vec![Value::int(1), Value::text("Bob"), Value::text("HR")]);
+        assert_eq!(f.display(&schema).to_string(), "Employee(1, 'Bob', 'HR')");
+        assert_eq!(format!("{f:?}"), "r0(1, 'Bob', 'HR')");
+    }
+}

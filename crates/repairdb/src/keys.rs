@@ -1,0 +1,284 @@
+//! Primary-key constraints.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{DbError, Fact, RelationId, Schema};
+
+/// A set of *primary keys*: at most one key constraint per relation, each of
+/// the form `key(R) = {1, …, m}` for some `1 ≤ m ≤ arity(R)`.
+///
+/// Following the paper (Section 2.1), keys are always prefixes of the
+/// attribute list; this is without loss of generality because attributes can
+/// be reordered.
+///
+/// ```
+/// use cdr_repairdb::{KeySet, Schema};
+///
+/// let mut schema = Schema::new();
+/// let emp = schema.add_relation("Employee", 3).unwrap();
+/// let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+/// assert_eq!(keys.key_width(emp), Some(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct KeySet {
+    /// `widths[r]` is `Some(m)` iff `key(R_r) = {1, …, m}` is in the set.
+    widths: Vec<Option<usize>>,
+}
+
+impl KeySet {
+    /// Starts building a key set for the given schema.
+    pub fn builder(schema: &Schema) -> KeySetBuilder<'_> {
+        KeySetBuilder {
+            schema,
+            widths: vec![None; schema.len()],
+        }
+    }
+
+    /// An empty key set (no relation has a key) sized for `schema`.
+    pub fn empty(schema: &Schema) -> Self {
+        KeySet {
+            widths: vec![None; schema.len()],
+        }
+    }
+
+    /// The key width `m` of relation `r`, if `r` has a key.
+    pub fn key_width(&self, r: RelationId) -> Option<usize> {
+        self.widths.get(r.index()).copied().flatten()
+    }
+
+    /// Returns `true` iff relation `r` has a key constraint.
+    pub fn has_key(&self, r: RelationId) -> bool {
+        self.key_width(r).is_some()
+    }
+
+    /// Number of relations that have a key.
+    pub fn keyed_relation_count(&self) -> usize {
+        self.widths.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Checks whether a set of facts satisfies every key in the set
+    /// (Section 2.1: for every two facts that agree on the key attributes of
+    /// their common relation, the facts are equal).
+    pub fn satisfied_by<'a>(&self, facts: impl IntoIterator<Item = &'a Fact>) -> bool {
+        let mut seen: HashMap<(RelationId, Vec<&crate::Value>), &Fact> = HashMap::new();
+        for fact in facts {
+            let Some(width) = self.key_width(fact.relation()) else {
+                continue;
+            };
+            let key: Vec<&crate::Value> = fact.args().iter().take(width).collect();
+            match seen.entry((fact.relation(), key)) {
+                std::collections::hash_map::Entry::Occupied(prev) => {
+                    if *prev.get() != fact {
+                        return false;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(fact);
+                }
+            }
+        }
+        true
+    }
+
+    /// Lists the conflicting pairs among `facts`: pairs of distinct facts of
+    /// the same keyed relation that agree on the key attributes.
+    pub fn conflicts<'a>(&self, facts: &'a [Fact]) -> Vec<(&'a Fact, &'a Fact)> {
+        let mut groups: HashMap<(RelationId, Vec<&crate::Value>), Vec<&'a Fact>> = HashMap::new();
+        for fact in facts {
+            let Some(width) = self.key_width(fact.relation()) else {
+                continue;
+            };
+            let key: Vec<&crate::Value> = fact.args().iter().take(width).collect();
+            groups.entry((fact.relation(), key)).or_default().push(fact);
+        }
+        let mut out = Vec::new();
+        for group in groups.values() {
+            for i in 0..group.len() {
+                for j in (i + 1)..group.len() {
+                    if group[i] != group[j] {
+                        out.push((group[i], group[j]));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the key set against a schema, e.g. `key(Employee) = {1}`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> KeySetDisplay<'a> {
+        KeySetDisplay { keys: self, schema }
+    }
+}
+
+/// Builder for [`KeySet`], validating key declarations against a schema.
+pub struct KeySetBuilder<'a> {
+    schema: &'a Schema,
+    widths: Vec<Option<usize>>,
+}
+
+impl<'a> KeySetBuilder<'a> {
+    /// Declares `key(relation) = {1, …, width}`.
+    pub fn key(mut self, relation: &str, width: usize) -> Result<Self, DbError> {
+        let id = self.schema.require(relation)?;
+        let arity = self.schema.arity(id);
+        if width == 0 || width > arity {
+            return Err(DbError::InvalidKeyWidth {
+                relation: relation.to_string(),
+                arity,
+                width,
+            });
+        }
+        if self.widths[id.index()].is_some() {
+            return Err(DbError::DuplicateKey(relation.to_string()));
+        }
+        self.widths[id.index()] = Some(width);
+        Ok(self)
+    }
+
+    /// Finishes building the key set.
+    pub fn build(self) -> KeySet {
+        KeySet {
+            widths: self.widths,
+        }
+    }
+}
+
+/// Helper returned by [`KeySet::display`].
+pub struct KeySetDisplay<'a> {
+    keys: &'a KeySet,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for KeySetDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (id, info) in self.schema.iter() {
+            if let Some(w) = self.keys.key_width(id) {
+                if !first {
+                    writeln!(f)?;
+                }
+                first = false;
+                let attrs: Vec<String> = (1..=w).map(|i| i.to_string()).collect();
+                write!(f, "key({}) = {{{}}}", info.name(), attrs.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn setup() -> (Schema, RelationId, RelationId) {
+        let mut schema = Schema::new();
+        let emp = schema.add_relation("Employee", 3).unwrap();
+        let dept = schema.add_relation("Dept", 2).unwrap();
+        (schema, emp, dept)
+    }
+
+    fn emp_fact(emp: RelationId, id: i64, name: &str, dept: &str) -> Fact {
+        Fact::new(emp, vec![Value::int(id), Value::text(name), Value::text(dept)])
+    }
+
+    #[test]
+    fn builder_accepts_valid_keys() {
+        let (schema, emp, dept) = setup();
+        let keys = KeySet::builder(&schema)
+            .key("Employee", 1)
+            .unwrap()
+            .key("Dept", 2)
+            .unwrap()
+            .build();
+        assert_eq!(keys.key_width(emp), Some(1));
+        assert_eq!(keys.key_width(dept), Some(2));
+        assert_eq!(keys.keyed_relation_count(), 2);
+        assert!(keys.has_key(emp));
+    }
+
+    #[test]
+    fn builder_rejects_bad_keys() {
+        let (schema, _, _) = setup();
+        assert!(matches!(
+            KeySet::builder(&schema).key("Nope", 1),
+            Err(DbError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            KeySet::builder(&schema).key("Employee", 0),
+            Err(DbError::InvalidKeyWidth { .. })
+        ));
+        assert!(matches!(
+            KeySet::builder(&schema).key("Employee", 4),
+            Err(DbError::InvalidKeyWidth { .. })
+        ));
+        assert!(matches!(
+            KeySet::builder(&schema)
+                .key("Employee", 1)
+                .unwrap()
+                .key("Employee", 2),
+            Err(DbError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn empty_key_set_has_no_keys() {
+        let (schema, emp, dept) = setup();
+        let keys = KeySet::empty(&schema);
+        assert!(!keys.has_key(emp));
+        assert!(!keys.has_key(dept));
+        assert_eq!(keys.keyed_relation_count(), 0);
+    }
+
+    #[test]
+    fn satisfaction_detects_key_violations() {
+        let (schema, emp, _) = setup();
+        let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+        let consistent = vec![emp_fact(emp, 1, "Bob", "HR"), emp_fact(emp, 2, "Alice", "IT")];
+        let inconsistent = vec![emp_fact(emp, 1, "Bob", "HR"), emp_fact(emp, 1, "Bob", "IT")];
+        assert!(keys.satisfied_by(&consistent));
+        assert!(!keys.satisfied_by(&inconsistent));
+        // A duplicate fact (set semantics) is not a violation.
+        let dup = vec![emp_fact(emp, 1, "Bob", "HR"), emp_fact(emp, 1, "Bob", "HR")];
+        assert!(keys.satisfied_by(&dup));
+    }
+
+    #[test]
+    fn unkeyed_relations_never_conflict() {
+        let (schema, emp, _) = setup();
+        let keys = KeySet::empty(&schema);
+        let facts = vec![emp_fact(emp, 1, "Bob", "HR"), emp_fact(emp, 1, "Bob", "IT")];
+        assert!(keys.satisfied_by(&facts));
+        assert!(keys.conflicts(&facts).is_empty());
+    }
+
+    #[test]
+    fn conflicts_lists_violating_pairs() {
+        let (schema, emp, _) = setup();
+        let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+        let facts = vec![
+            emp_fact(emp, 1, "Bob", "HR"),
+            emp_fact(emp, 1, "Bob", "IT"),
+            emp_fact(emp, 2, "Alice", "IT"),
+        ];
+        let conflicts = keys.conflicts(&facts);
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].0.arg(0), &Value::int(1));
+        assert_eq!(conflicts[0].1.arg(0), &Value::int(1));
+    }
+
+    #[test]
+    fn display_renders_prefix_keys() {
+        let (schema, _, _) = setup();
+        let keys = KeySet::builder(&schema)
+            .key("Employee", 1)
+            .unwrap()
+            .key("Dept", 2)
+            .unwrap()
+            .build();
+        let text = keys.display(&schema).to_string();
+        assert!(text.contains("key(Employee) = {1}"));
+        assert!(text.contains("key(Dept) = {1, 2}"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Relational database substrate for repair counting.
+//!
+//! This crate implements the data-model half of the paper's preliminaries
+//! (Section 2.1): constants and facts, relational schemas, key constraints
+//! and sets of *primary keys*, databases, the block decomposition
+//! `blockΣ(α, D)` induced by a set of primary keys, and the repairs
+//! `rep(D, Σ)` of an inconsistent database.
+//!
+//! The central objects are:
+//!
+//! * [`Value`] — a database constant (integer or string).
+//! * [`Schema`] / [`RelationId`] — relation symbols with fixed arities.
+//! * [`Fact`] — a ground atom `R(c₁, …, cₙ)`.
+//! * [`KeySet`] — a set of primary keys `key(R) = {1, …, m}`.
+//! * [`Database`] — a finite set of facts with per-relation indexes.
+//! * [`BlockPartition`] — the ordered sequence of blocks `B₁, …, Bₙ`
+//!   induced by the lexicographic ordering `≺_{D,Σ}` on key values.
+//! * [`Repair`] and [`RepairIter`] — repairs as "one fact per block" and
+//!   their exhaustive enumeration, plus the polynomial-time total repair
+//!   count `∏ |Bᵢ|`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocks;
+mod database;
+mod error;
+mod fact;
+mod keys;
+mod repairs;
+mod schema;
+mod value;
+
+pub use blocks::{Block, BlockId, BlockPartition, KeyValue};
+pub use database::{Database, FactId};
+pub use error::DbError;
+pub use fact::Fact;
+pub use keys::{KeySet, KeySetBuilder};
+pub use repairs::{count_repairs, describe_repair, Repair, RepairIter};
+pub use schema::{RelationId, RelationInfo, Schema};
+pub use value::{parse_value, Value};

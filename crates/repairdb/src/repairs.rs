@@ -1,0 +1,321 @@
+//! Repairs of an inconsistent database.
+//!
+//! A repair of `D` w.r.t. a set of primary keys `Σ` is a maximal consistent
+//! subset of `D`; equivalently (Section 2.1), a set containing exactly one
+//! fact from each block.  This module represents repairs as "one fact per
+//! block", provides exhaustive enumeration (used by the brute-force exact
+//! counter and by small-instance ground truth in tests), conversions to
+//! materialised databases, and the polynomial-time total repair count
+//! `|rep(D, Σ)| = ∏ᵢ |Bᵢ|`.
+
+use cdr_num::BigNat;
+
+use crate::{Block, BlockId, BlockPartition, Database, FactId, KeySet};
+
+/// A repair: one fact chosen from each block, stored in block order.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Repair {
+    facts: Vec<FactId>,
+}
+
+impl Repair {
+    /// Builds a repair from the per-block choices `choice[i] ∈ {0, …, |Bᵢ|-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` has the wrong length or an index is out of range.
+    pub fn from_choices(blocks: &BlockPartition, choices: &[usize]) -> Repair {
+        assert_eq!(
+            choices.len(),
+            blocks.len(),
+            "one choice per block is required"
+        );
+        let facts = blocks
+            .iter()
+            .zip(choices)
+            .map(|((_, block), &c)| block.facts()[c])
+            .collect();
+        Repair { facts }
+    }
+
+    /// The chosen facts in block order.
+    pub fn facts(&self) -> &[FactId] {
+        &self.facts
+    }
+
+    /// The fact chosen for a given block.
+    pub fn fact_for(&self, block: BlockId) -> FactId {
+        self.facts[block.index()]
+    }
+
+    /// Returns `true` iff the repair contains the given fact.
+    pub fn contains(&self, fact: FactId) -> bool {
+        self.facts.contains(&fact)
+    }
+
+    /// Returns `true` iff the repair contains every fact in `facts`.
+    pub fn contains_all(&self, facts: &[FactId]) -> bool {
+        facts.iter().all(|f| self.contains(*f))
+    }
+
+    /// Number of facts (equals the number of blocks).
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Returns `true` iff the repair is empty (the database was empty).
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Materialises the repair as a standalone database.
+    pub fn to_database(&self, db: &Database) -> Database {
+        db.subset(self.facts.iter().copied())
+    }
+
+    /// Checks that a set of fact ids is a repair of `db` w.r.t. `keys`:
+    /// it is consistent and maximal (contains exactly one fact per block).
+    pub fn is_repair(db: &Database, keys: &KeySet, facts: &[FactId]) -> bool {
+        let blocks = BlockPartition::new(db, keys);
+        if facts.len() != blocks.len() {
+            return false;
+        }
+        let mut seen = vec![false; blocks.len()];
+        for &f in facts {
+            match blocks.block_of(f) {
+                None => return false,
+                Some(b) => {
+                    if seen[b.index()] {
+                        return false;
+                    }
+                    seen[b.index()] = true;
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+/// Exhaustive iterator over all repairs, in lexicographic order of the
+/// per-block choices (block order is `≺_{D,Σ}`).
+///
+/// The number of repairs is `∏ |Bᵢ|`, i.e. exponential in general; callers
+/// should consult [`count_repairs`] before iterating.
+pub struct RepairIter<'a> {
+    blocks: &'a BlockPartition,
+    /// Current choice per block; `None` once exhausted.
+    state: Option<Vec<usize>>,
+}
+
+impl<'a> RepairIter<'a> {
+    /// Creates an iterator over all repairs induced by a block partition.
+    pub fn new(blocks: &'a BlockPartition) -> Self {
+        RepairIter {
+            blocks,
+            state: Some(vec![0; blocks.len()]),
+        }
+    }
+
+    /// The total number of repairs this iterator would yield.
+    pub fn total(&self) -> BigNat {
+        count_repairs(self.blocks)
+    }
+}
+
+impl Iterator for RepairIter<'_> {
+    type Item = Repair;
+
+    fn next(&mut self) -> Option<Repair> {
+        let state = self.state.as_mut()?;
+        let repair = Repair::from_choices(self.blocks, state);
+        // Advance the mixed-radix counter.
+        let mut i = state.len();
+        loop {
+            if i == 0 {
+                self.state = None;
+                break;
+            }
+            i -= 1;
+            state[i] += 1;
+            if state[i] < self.blocks.block(BlockId(i as u32)).len() {
+                break;
+            }
+            state[i] = 0;
+        }
+        // An empty database has exactly one (empty) repair.
+        if self.blocks.len() == 0 {
+            self.state = None;
+        }
+        Some(repair)
+    }
+}
+
+/// The total number of repairs `|rep(D, Σ)| = ∏ᵢ |Bᵢ|`.
+///
+/// This is the polynomial-time "denominator" of the paper's relative
+/// frequency (Section 1.1).
+pub fn count_repairs(blocks: &BlockPartition) -> BigNat {
+    let mut total = BigNat::one();
+    for block in blocks.blocks() {
+        total.mul_assign_u64(block.len() as u64);
+    }
+    total
+}
+
+/// Convenience: the sizes of the blocks a repair draws from, as
+/// `(block, chosen fact)` pairs — useful for debugging and display.
+pub fn describe_repair<'a>(
+    blocks: &'a BlockPartition,
+    repair: &Repair,
+) -> Vec<(&'a Block, FactId)> {
+    blocks
+        .iter()
+        .map(|(id, block)| (block, repair.fact_for(id)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Database, KeySet, Schema};
+
+    fn employee_db() -> (Database, KeySet) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
+        (db, keys)
+    }
+
+    #[test]
+    fn example_1_1_has_four_repairs() {
+        let (db, keys) = employee_db();
+        let blocks = BlockPartition::new(&db, &keys);
+        assert_eq!(count_repairs(&blocks).to_u64(), Some(4));
+        let repairs: Vec<Repair> = RepairIter::new(&blocks).collect();
+        assert_eq!(repairs.len(), 4);
+        // All repairs are distinct and valid.
+        for r in &repairs {
+            assert!(Repair::is_repair(&db, &keys, r.facts()));
+            let materialised = r.to_database(&db);
+            assert!(materialised.is_consistent(&keys));
+            assert_eq!(materialised.len(), 2);
+        }
+        for i in 0..repairs.len() {
+            for j in (i + 1)..repairs.len() {
+                assert_ne!(repairs[i], repairs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_total_matches_count() {
+        let (db, keys) = employee_db();
+        let blocks = BlockPartition::new(&db, &keys);
+        let iter = RepairIter::new(&blocks);
+        assert_eq!(iter.total().to_u64(), Some(4));
+        assert_eq!(iter.count(), 4);
+    }
+
+    #[test]
+    fn empty_database_has_exactly_one_empty_repair() {
+        let schema = Schema::new();
+        let keys = KeySet::empty(&schema);
+        let db = Database::new(schema);
+        let blocks = BlockPartition::new(&db, &keys);
+        assert_eq!(count_repairs(&blocks).to_u64(), Some(1));
+        let repairs: Vec<Repair> = RepairIter::new(&blocks).collect();
+        assert_eq!(repairs.len(), 1);
+        assert!(repairs[0].is_empty());
+        assert!(Repair::is_repair(&db, &keys, repairs[0].facts()));
+    }
+
+    #[test]
+    fn consistent_database_has_one_repair_equal_to_itself() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        let keys = KeySet::builder(&schema).key("R", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("R(1, 'a')").unwrap();
+        db.insert_parsed("R(2, 'b')").unwrap();
+        let blocks = BlockPartition::new(&db, &keys);
+        assert_eq!(count_repairs(&blocks).to_u64(), Some(1));
+        let repairs: Vec<Repair> = RepairIter::new(&blocks).collect();
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].to_database(&db), db);
+    }
+
+    #[test]
+    fn repair_count_is_product_of_block_sizes() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        let keys = KeySet::builder(&schema).key("R", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        // Block sizes 3, 2, 1 -> 6 repairs.
+        for (k, v) in [(1, "a"), (1, "b"), (1, "c"), (2, "a"), (2, "b"), (3, "a")] {
+            db.insert_values("R", vec![crate::Value::int(k), crate::Value::text(v)])
+                .unwrap();
+        }
+        let blocks = BlockPartition::new(&db, &keys);
+        assert_eq!(count_repairs(&blocks).to_u64(), Some(6));
+        assert_eq!(RepairIter::new(&blocks).count(), 6);
+    }
+
+    #[test]
+    fn is_repair_rejects_non_repairs() {
+        let (db, keys) = employee_db();
+        let ids: Vec<FactId> = db.iter().map(|(id, _)| id).collect();
+        // Two facts from the same block.
+        assert!(!Repair::is_repair(&db, &keys, &[ids[0], ids[1]]));
+        // Too few facts (not maximal).
+        assert!(!Repair::is_repair(&db, &keys, &[ids[0]]));
+        // Too many facts.
+        assert!(!Repair::is_repair(&db, &keys, &[ids[0], ids[1], ids[2]]));
+        // A proper repair.
+        assert!(Repair::is_repair(&db, &keys, &[ids[0], ids[2]]));
+        // A fact id that does not exist.
+        assert!(!Repair::is_repair(&db, &keys, &[ids[0], FactId(99)]));
+    }
+
+    #[test]
+    fn from_choices_and_accessors() {
+        let (db, keys) = employee_db();
+        let blocks = BlockPartition::new(&db, &keys);
+        let repair = Repair::from_choices(&blocks, &[1, 0]);
+        assert_eq!(repair.len(), 2);
+        assert!(!repair.is_empty());
+        assert_eq!(repair.fact_for(BlockId(0)), blocks.block(BlockId(0)).facts()[1]);
+        assert!(repair.contains(blocks.block(BlockId(1)).facts()[0]));
+        assert!(repair.contains_all(&[
+            blocks.block(BlockId(0)).facts()[1],
+            blocks.block(BlockId(1)).facts()[0]
+        ]));
+        assert!(!repair.contains_all(&[blocks.block(BlockId(0)).facts()[0]]));
+        let description = describe_repair(&blocks, &repair);
+        assert_eq!(description.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one choice per block")]
+    fn from_choices_validates_length() {
+        let (db, keys) = employee_db();
+        let blocks = BlockPartition::new(&db, &keys);
+        let _ = Repair::from_choices(&blocks, &[0]);
+    }
+
+    #[test]
+    fn enumeration_is_lexicographic_and_exhaustive() {
+        let (db, keys) = employee_db();
+        let blocks = BlockPartition::new(&db, &keys);
+        let repairs: Vec<Repair> = RepairIter::new(&blocks).collect();
+        // First repair picks choice 0 everywhere; last picks the maximum.
+        assert_eq!(repairs[0], Repair::from_choices(&blocks, &[0, 0]));
+        assert_eq!(repairs[1], Repair::from_choices(&blocks, &[0, 1]));
+        assert_eq!(repairs[2], Repair::from_choices(&blocks, &[1, 0]));
+        assert_eq!(repairs[3], Repair::from_choices(&blocks, &[1, 1]));
+    }
+}

@@ -1,0 +1,201 @@
+//! Relational schemas.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::DbError;
+
+/// Identifier of a relation symbol within a [`Schema`].
+///
+/// Relation ids are dense indices assigned in declaration order, so they can
+/// be used to index per-relation side tables (the database keeps one fact
+/// index per relation, the key set one optional key per relation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelationId(pub(crate) u32);
+
+impl RelationId {
+    /// The dense index of this relation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Declaration of a single relation symbol: its name and arity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelationInfo {
+    name: String,
+    arity: usize,
+}
+
+impl RelationInfo {
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's arity (always at least 1).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+}
+
+/// A relational schema: a finite set of relation symbols with arities.
+///
+/// ```
+/// use cdr_repairdb::Schema;
+///
+/// let mut schema = Schema::new();
+/// let emp = schema.add_relation("Employee", 3).unwrap();
+/// assert_eq!(schema.relation(emp).name(), "Employee");
+/// assert_eq!(schema.relation(emp).arity(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schema {
+    relations: Vec<RelationInfo>,
+    by_name: HashMap<String, RelationId>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Declares a relation with the given name and arity.
+    ///
+    /// Returns an error if the name is already taken or the arity is zero.
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> Result<RelationId, DbError> {
+        if arity == 0 {
+            return Err(DbError::ZeroArity(name.to_string()));
+        }
+        if self.by_name.contains_key(name) {
+            return Err(DbError::DuplicateRelation(name.to_string()));
+        }
+        let id = RelationId(self.relations.len() as u32);
+        self.relations.push(RelationInfo {
+            name: name.to_string(),
+            arity,
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelationId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a relation by name, returning a descriptive error when it is
+    /// not declared.
+    pub fn require(&self, name: &str) -> Result<RelationId, DbError> {
+        self.relation_id(name)
+            .ok_or_else(|| DbError::UnknownRelation(name.to_string()))
+    }
+
+    /// Returns the declaration of a relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this schema.
+    pub fn relation(&self, id: RelationId) -> &RelationInfo {
+        &self.relations[id.index()]
+    }
+
+    /// The arity of a relation.
+    pub fn arity(&self, id: RelationId) -> usize {
+        self.relation(id).arity
+    }
+
+    /// The name of a relation.
+    pub fn name(&self, id: RelationId) -> &str {
+        self.relation(id).name()
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Returns `true` iff no relation has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterates over all relations in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelationId, &RelationInfo)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (RelationId(i as u32), info))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, rel) in self.relations.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{}/{}", rel.name, rel.arity)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_look_up() {
+        let mut schema = Schema::new();
+        let r = schema.add_relation("R", 2).unwrap();
+        let s = schema.add_relation("S", 1).unwrap();
+        assert_eq!(schema.relation_id("R"), Some(r));
+        assert_eq!(schema.relation_id("S"), Some(s));
+        assert_eq!(schema.relation_id("T"), None);
+        assert_eq!(schema.arity(r), 2);
+        assert_eq!(schema.name(s), "S");
+        assert_eq!(schema.len(), 2);
+        assert!(!schema.is_empty());
+        assert_eq!(schema.iter().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_relation_is_rejected() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        assert_eq!(
+            schema.add_relation("R", 3),
+            Err(DbError::DuplicateRelation("R".into()))
+        );
+    }
+
+    #[test]
+    fn zero_arity_is_rejected() {
+        let mut schema = Schema::new();
+        assert_eq!(
+            schema.add_relation("R", 0),
+            Err(DbError::ZeroArity("R".into()))
+        );
+    }
+
+    #[test]
+    fn require_reports_unknown_relations() {
+        let schema = Schema::new();
+        assert_eq!(
+            schema.require("Missing"),
+            Err(DbError::UnknownRelation("Missing".into()))
+        );
+    }
+
+    #[test]
+    fn display_lists_relations_with_arity() {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        schema.add_relation("Dept", 2).unwrap();
+        let text = schema.to_string();
+        assert!(text.contains("Employee/3"));
+        assert!(text.contains("Dept/2"));
+    }
+}

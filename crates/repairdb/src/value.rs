@@ -1,0 +1,199 @@
+//! Database constants.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::DbError;
+
+/// A database constant.
+///
+/// The paper assumes a countably infinite set `C` of constants; we realise
+/// it as the disjoint union of 64-bit integers and interned strings.  Values
+/// are totally ordered (integers before strings) so that key values can be
+/// ordered lexicographically, which is how the paper fixes the block
+/// sequence `B₁, …, Bₙ`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant.
+    Text(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string constant.
+    pub fn text(s: impl AsRef<str>) -> Self {
+        Value::Text(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer constant.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Returns the integer payload, if this is an integer constant.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Text(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a string constant.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Text(s) => Some(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::text(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::text(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Parses a single constant from text.
+///
+/// Accepted forms:
+///
+/// * a (possibly negative) integer: `42`, `-7`;
+/// * a single-quoted string: `'IT department'` (no escapes);
+/// * a double-quoted string: `"IT department"` (no escapes);
+/// * a bare identifier (letters, digits, `_`, starting with a letter or
+///   `_`), which is treated as a string constant: `Bob`.
+pub fn parse_value(input: &str) -> Result<Value, DbError> {
+    let s = input.trim();
+    if s.is_empty() {
+        return Err(DbError::Parse("empty value".into()));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    let bytes = s.as_bytes();
+    if (bytes[0] == b'\'' || bytes[0] == b'"') && s.len() >= 2 && bytes[s.len() - 1] == bytes[0] {
+        return Ok(Value::text(&s[1..s.len() - 1]));
+    }
+    let is_ident = bytes[0].is_ascii_alphabetic() || bytes[0] == b'_';
+    if is_ident && bytes.iter().all(|b| b.is_ascii_alphanumeric() || *b == b'_') {
+        return Ok(Value::text(s));
+    }
+    Err(DbError::Parse(format!("cannot parse value `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_ints_come_first() {
+        let mut vals = vec![
+            Value::text("b"),
+            Value::int(10),
+            Value::text("a"),
+            Value::int(-3),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::int(-3),
+                Value::int(10),
+                Value::text("a"),
+                Value::text("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(7).to_string(), "7");
+        assert_eq!(Value::text("IT").to_string(), "'IT'");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::text("x"));
+        assert_eq!(Value::from("x".to_string()), Value::text("x"));
+        assert_eq!(Value::int(5).as_int(), Some(5));
+        assert_eq!(Value::int(5).as_text(), None);
+        assert_eq!(Value::text("y").as_text(), Some("y"));
+        assert_eq!(Value::text("y").as_int(), None);
+    }
+
+    #[test]
+    fn parse_integers() {
+        assert_eq!(parse_value("42").unwrap(), Value::int(42));
+        assert_eq!(parse_value(" -7 ").unwrap(), Value::int(-7));
+    }
+
+    #[test]
+    fn parse_quoted_strings() {
+        assert_eq!(parse_value("'IT dept'").unwrap(), Value::text("IT dept"));
+        assert_eq!(parse_value("\"HR\"").unwrap(), Value::text("HR"));
+        assert_eq!(parse_value("''").unwrap(), Value::text(""));
+    }
+
+    #[test]
+    fn parse_bare_identifiers() {
+        assert_eq!(parse_value("Bob").unwrap(), Value::text("Bob"));
+        assert_eq!(parse_value("_x1").unwrap(), Value::text("_x1"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("   ").is_err());
+        assert!(parse_value("a b").is_err());
+        assert!(parse_value("3.14.15").is_err());
+        assert!(parse_value("'unterminated").is_err());
+    }
+}

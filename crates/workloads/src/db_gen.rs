@@ -1,0 +1,242 @@
+//! Random inconsistent databases.
+
+use cdr_repairdb::{Database, KeySet, Schema, Value};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// How block sizes are drawn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BlockSizeDistribution {
+    /// Every block has exactly this many facts.
+    Fixed(usize),
+    /// Block sizes are drawn uniformly from `min..=max`.
+    Uniform {
+        /// Smallest block size (at least 1).
+        min: usize,
+        /// Largest block size.
+        max: usize,
+    },
+    /// Most blocks are singletons; a `fraction` (in percent) of blocks are
+    /// conflicted with the given size.  Models a mostly-clean database with
+    /// a few integration conflicts.
+    MostlyClean {
+        /// Percentage (0–100) of blocks that are conflicted.
+        conflict_percent: u8,
+        /// Size of a conflicted block.
+        conflict_size: usize,
+    },
+}
+
+impl BlockSizeDistribution {
+    fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        match *self {
+            BlockSizeDistribution::Fixed(n) => n.max(1),
+            BlockSizeDistribution::Uniform { min, max } => {
+                let lo = min.max(1);
+                let hi = max.max(lo);
+                rng.gen_range(lo..=hi)
+            }
+            BlockSizeDistribution::MostlyClean {
+                conflict_percent,
+                conflict_size,
+            } => {
+                if rng.gen_range(0..100u8) < conflict_percent.min(100) {
+                    conflict_size.max(1)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+/// One relation of a generated schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationSpec {
+    /// Relation name.
+    pub name: String,
+    /// Number of non-key payload columns (the key is a single leading
+    /// column, so the arity is `1 + payload_columns`).
+    pub payload_columns: usize,
+    /// Number of blocks (distinct key values) to generate.
+    pub blocks: usize,
+    /// Whether the relation has a primary key on its first column.  An
+    /// unkeyed relation never conflicts, so its facts are singleton blocks.
+    pub keyed: bool,
+}
+
+impl RelationSpec {
+    /// A keyed relation with the given name, one payload column and the
+    /// given number of blocks.
+    pub fn keyed(name: &str, blocks: usize) -> Self {
+        RelationSpec {
+            name: name.to_string(),
+            payload_columns: 1,
+            blocks,
+            keyed: true,
+        }
+    }
+}
+
+/// Configuration of a random inconsistent database.
+#[derive(Clone, Debug)]
+pub struct InconsistentDbConfig {
+    /// The relations to generate.
+    pub relations: Vec<RelationSpec>,
+    /// Block size distribution for keyed relations.
+    pub block_sizes: BlockSizeDistribution,
+    /// Size of the payload-value pool (small pools make joins likely).
+    pub payload_domain: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InconsistentDbConfig {
+    fn default() -> Self {
+        InconsistentDbConfig {
+            relations: vec![RelationSpec::keyed("R", 8)],
+            block_sizes: BlockSizeDistribution::Fixed(3),
+            payload_domain: 8,
+            seed: 1,
+        }
+    }
+}
+
+impl InconsistentDbConfig {
+    /// Generates the database and its primary keys.
+    pub fn generate(&self) -> (Database, KeySet) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut schema = Schema::new();
+        for rel in &self.relations {
+            schema
+                .add_relation(&rel.name, 1 + rel.payload_columns)
+                .expect("relation names in a config must be distinct");
+        }
+        let mut builder = KeySet::builder(&schema);
+        for rel in &self.relations {
+            if rel.keyed {
+                builder = builder
+                    .key(&rel.name, 1)
+                    .expect("keys in a config must be valid");
+            }
+        }
+        let keys = builder.build();
+        let mut db = Database::new(schema);
+        for rel in &self.relations {
+            for key in 0..rel.blocks {
+                let block_size = if rel.keyed {
+                    self.block_sizes.sample(&mut rng)
+                } else {
+                    1
+                };
+                let mut produced = 0usize;
+                let mut attempts = 0usize;
+                while produced < block_size && attempts < block_size * 10 {
+                    attempts += 1;
+                    let mut args = Vec::with_capacity(1 + rel.payload_columns);
+                    args.push(Value::int(key as i64));
+                    for _ in 0..rel.payload_columns {
+                        args.push(Value::text(format!(
+                            "p{}",
+                            rng.gen_range(0..self.payload_domain.max(1))
+                        )));
+                    }
+                    let before = db.len();
+                    db.insert_values(&rel.name, args)
+                        .expect("generated facts match the schema");
+                    if db.len() > before {
+                        produced += 1;
+                    }
+                }
+            }
+        }
+        (db, keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdr_repairdb::BlockPartition;
+
+    #[test]
+    fn fixed_block_sizes_are_respected() {
+        let config = InconsistentDbConfig {
+            relations: vec![RelationSpec::keyed("R", 10)],
+            block_sizes: BlockSizeDistribution::Fixed(3),
+            payload_domain: 50,
+            seed: 7,
+        };
+        let (db, keys) = config.generate();
+        let blocks = BlockPartition::new(&db, &keys);
+        assert_eq!(blocks.len(), 10);
+        // With a payload pool of 50 values, collisions are unlikely but
+        // possible; sizes are between 1 and 3 and mostly 3.
+        assert!(blocks.sizes().iter().all(|&s| (1..=3).contains(&s)));
+        assert!(blocks.sizes().iter().filter(|&&s| s == 3).count() >= 7);
+    }
+
+    #[test]
+    fn uniform_and_mostly_clean_distributions() {
+        let config = InconsistentDbConfig {
+            relations: vec![RelationSpec::keyed("R", 30)],
+            block_sizes: BlockSizeDistribution::Uniform { min: 1, max: 4 },
+            payload_domain: 100,
+            seed: 3,
+        };
+        let (db, keys) = config.generate();
+        let blocks = BlockPartition::new(&db, &keys);
+        assert_eq!(blocks.len(), 30);
+        assert!(blocks.max_block_size() <= 4);
+
+        let config = InconsistentDbConfig {
+            relations: vec![RelationSpec::keyed("R", 100)],
+            block_sizes: BlockSizeDistribution::MostlyClean {
+                conflict_percent: 20,
+                conflict_size: 3,
+            },
+            payload_domain: 100,
+            seed: 3,
+        };
+        let (db, keys) = config.generate();
+        let blocks = BlockPartition::new(&db, &keys);
+        let conflicted = blocks.conflicting_block_count();
+        assert!(conflicted > 5 && conflicted < 40, "got {conflicted}");
+    }
+
+    #[test]
+    fn unkeyed_relations_stay_consistent() {
+        let config = InconsistentDbConfig {
+            relations: vec![
+                RelationSpec::keyed("R", 5),
+                RelationSpec {
+                    name: "Log".into(),
+                    payload_columns: 2,
+                    blocks: 7,
+                    keyed: false,
+                },
+            ],
+            block_sizes: BlockSizeDistribution::Fixed(2),
+            payload_domain: 10,
+            seed: 11,
+        };
+        let (db, keys) = config.generate();
+        let log = db.schema().relation_id("Log").unwrap();
+        assert!(!keys.has_key(log));
+        assert_eq!(db.facts_of(log).len(), 7);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = InconsistentDbConfig::default();
+        let (a, _) = config.generate();
+        let (b, _) = config.generate();
+        assert_eq!(a, b);
+        let other = InconsistentDbConfig {
+            seed: 999,
+            ..InconsistentDbConfig::default()
+        };
+        let (c, _) = other.generate();
+        assert_ne!(a, c, "different seeds should give different databases");
+    }
+}

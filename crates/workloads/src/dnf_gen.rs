@@ -1,0 +1,114 @@
+//! Random `#DisjPoskDNF` instances.
+
+use cdr_lambda::DisjPosDnf;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the random partitioned positive DNF generator.
+#[derive(Clone, Debug)]
+pub struct DnfConfig {
+    /// Number of partition classes.
+    pub classes: usize,
+    /// Number of variables per class.
+    pub class_size: usize,
+    /// Number of clauses.
+    pub clauses: usize,
+    /// Number of variables per clause (the `k` of the kDNF).
+    pub clause_width: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DnfConfig {
+    fn default() -> Self {
+        DnfConfig {
+            classes: 6,
+            class_size: 3,
+            clauses: 5,
+            clause_width: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a random partitioned positive kDNF.
+///
+/// Clauses draw their variables from distinct classes, so every clause is
+/// satisfiable by some P-assignment.
+pub fn random_disj_pos_dnf(config: &DnfConfig) -> DisjPosDnf {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let classes_count = config.classes.max(1);
+    let class_size = config.class_size.max(1);
+    let num_vars = classes_count * class_size;
+    let classes: Vec<Vec<usize>> = (0..classes_count)
+        .map(|c| (0..class_size).map(|i| c * class_size + i).collect())
+        .collect();
+    let width = config.clause_width.max(1).min(classes_count);
+    let mut clauses = Vec::with_capacity(config.clauses);
+    for _ in 0..config.clauses {
+        // Pick `width` distinct classes, then one variable from each.
+        let mut chosen_classes: Vec<usize> = (0..classes_count).collect();
+        for i in 0..width {
+            let j = rng.gen_range(i..classes_count);
+            chosen_classes.swap(i, j);
+        }
+        let clause: Vec<usize> = chosen_classes[..width]
+            .iter()
+            .map(|&c| classes[c][rng.gen_range(0..class_size)])
+            .collect();
+        clauses.push(clause);
+    }
+    DisjPosDnf::new(num_vars, classes, clauses, Some(width))
+        .expect("generated formulas are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_formulas_are_well_formed_and_countable() {
+        for seed in 0..5u64 {
+            let config = DnfConfig {
+                classes: 5,
+                class_size: 3,
+                clauses: 6,
+                clause_width: 2,
+                seed,
+            };
+            let f = random_disj_pos_dnf(&config);
+            assert_eq!(f.num_vars(), 15);
+            assert_eq!(f.classes().len(), 5);
+            assert_eq!(f.clauses().len(), 6);
+            assert!(f.clauses().iter().all(|c| c.len() <= 2));
+            assert_eq!(
+                f.count_satisfying(1_000_000).unwrap(),
+                f.count_satisfying_brute_force()
+            );
+        }
+    }
+
+    #[test]
+    fn clause_width_is_clamped_to_the_class_count() {
+        let f = random_disj_pos_dnf(&DnfConfig {
+            classes: 2,
+            class_size: 2,
+            clauses: 3,
+            clause_width: 10,
+            seed: 1,
+        });
+        assert!(f.clauses().iter().all(|c| c.len() <= 2));
+        assert_eq!(f.width_bound(), Some(2));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = DnfConfig::default();
+        assert_eq!(random_disj_pos_dnf(&config), random_disj_pos_dnf(&config));
+        let other = DnfConfig {
+            seed: 2,
+            ..DnfConfig::default()
+        };
+        assert_ne!(random_disj_pos_dnf(&config), random_disj_pos_dnf(&other));
+    }
+}

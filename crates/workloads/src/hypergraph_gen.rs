@@ -1,0 +1,104 @@
+//! Random `#kForbColoring` instances.
+
+use cdr_lambda::{ForbiddenColoring, Hypergraph};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the random k-uniform hypergraph generator.
+#[derive(Clone, Debug)]
+pub struct HypergraphConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of colors per vertex.
+    pub colors_per_vertex: usize,
+    /// Number of hyperedges.
+    pub edges: usize,
+    /// Vertices per hyperedge (the uniformity `k`).
+    pub edge_size: usize,
+    /// Forbidden assignments per hyperedge.
+    pub forbidden_per_edge: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HypergraphConfig {
+    fn default() -> Self {
+        HypergraphConfig {
+            vertices: 8,
+            colors_per_vertex: 3,
+            edges: 5,
+            edge_size: 2,
+            forbidden_per_edge: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a random k-uniform hypergraph with forbidden assignments.
+pub fn random_forbidden_coloring(config: &HypergraphConfig) -> ForbiddenColoring {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let vertices = config.vertices.max(1);
+    let colors = config.colors_per_vertex.max(1);
+    let edge_size = config.edge_size.max(1).min(vertices);
+    let mut edges = Vec::with_capacity(config.edges);
+    let mut forbidden = Vec::with_capacity(config.edges);
+    for _ in 0..config.edges {
+        // Pick `edge_size` distinct vertices.
+        let mut pool: Vec<usize> = (0..vertices).collect();
+        for i in 0..edge_size {
+            let j = rng.gen_range(i..vertices);
+            pool.swap(i, j);
+        }
+        let mut edge: Vec<usize> = pool[..edge_size].to_vec();
+        edge.sort_unstable();
+        let sets: Vec<Vec<usize>> = (0..config.forbidden_per_edge)
+            .map(|_| (0..edge_size).map(|_| rng.gen_range(0..colors)).collect())
+            .collect();
+        edges.push(edge);
+        forbidden.push(sets);
+    }
+    let graph = Hypergraph::new(vec![colors; vertices], edges, Some(edge_size))
+        .expect("generated hypergraphs are well-formed");
+    ForbiddenColoring::new(graph, forbidden).expect("generated assignments are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_instances_are_well_formed_and_countable() {
+        for seed in 0..5u64 {
+            let config = HypergraphConfig {
+                vertices: 7,
+                colors_per_vertex: 3,
+                edges: 4,
+                edge_size: 2,
+                forbidden_per_edge: 2,
+                seed,
+            };
+            let f = random_forbidden_coloring(&config);
+            assert_eq!(f.graph().num_vertices(), 7);
+            assert_eq!(f.graph().edges().len(), 4);
+            assert_eq!(
+                f.count_forbidden(1_000_000).unwrap(),
+                f.count_forbidden_brute_force()
+            );
+        }
+    }
+
+    #[test]
+    fn edge_size_is_clamped_and_deterministic() {
+        let config = HypergraphConfig {
+            vertices: 3,
+            edge_size: 9,
+            ..HypergraphConfig::default()
+        };
+        let f = random_forbidden_coloring(&config);
+        assert!(f.graph().edges().iter().all(|e| e.len() == 3));
+        assert_eq!(
+            random_forbidden_coloring(&config),
+            random_forbidden_coloring(&config)
+        );
+    }
+}

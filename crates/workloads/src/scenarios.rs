@@ -1,0 +1,188 @@
+//! Fully specified scenarios used by the examples and experiments.
+
+use cdr_repairdb::{Database, KeySet, Schema, Value};
+
+/// The paper's Example 1.1: the `Employee` relation with two conflicting
+/// blocks.  Returns the database and the primary key `key(Employee) = {1}`.
+pub fn employee_example() -> (Database, KeySet) {
+    let mut schema = Schema::new();
+    schema.add_relation("Employee", 3).expect("fresh schema");
+    let keys = KeySet::builder(&schema)
+        .key("Employee", 1)
+        .expect("valid key")
+        .build();
+    let mut db = Database::new(schema);
+    for fact in [
+        "Employee(1, 'Bob', 'HR')",
+        "Employee(1, 'Bob', 'IT')",
+        "Employee(2, 'Alice', 'IT')",
+        "Employee(2, 'Tim', 'IT')",
+    ] {
+        db.insert_parsed(fact).expect("example facts are valid");
+    }
+    (db, keys)
+}
+
+/// A two-source data-integration scenario: `customers` customer records
+/// merged from two systems that disagree on city and status for a fraction
+/// of the customers, plus a consistent `Order` relation.
+///
+/// * `Customer(id, city, status)` with `key(Customer) = {1}`;
+/// * `Order(order_id, customer_id, amount)` with `key(Order) = {1}`.
+///
+/// Customer ids divisible by `conflict_every` receive two conflicting
+/// records (one per source); the rest get a single record.  Orders
+/// reference customer `order_id % customers` and are never conflicting.
+pub fn two_source_customers(customers: usize, conflict_every: usize) -> (Database, KeySet) {
+    let conflict_every = conflict_every.max(1);
+    let mut schema = Schema::new();
+    schema.add_relation("Customer", 3).expect("fresh schema");
+    schema.add_relation("Order", 3).expect("fresh schema");
+    let keys = KeySet::builder(&schema)
+        .key("Customer", 1)
+        .expect("valid key")
+        .key("Order", 1)
+        .expect("valid key")
+        .build();
+    let mut db = Database::new(schema);
+    let cities = ["Edinburgh", "Amsterdam", "Rome", "Paris"];
+    for id in 0..customers {
+        let city = cities[id % cities.len()];
+        db.insert_values(
+            "Customer",
+            vec![
+                Value::int(id as i64),
+                Value::text(city),
+                Value::text("active"),
+            ],
+        )
+        .expect("generated facts are valid");
+        if id % conflict_every == 0 {
+            // The second source disagrees on the city and the status.
+            let other_city = cities[(id + 1) % cities.len()];
+            db.insert_values(
+                "Customer",
+                vec![
+                    Value::int(id as i64),
+                    Value::text(other_city),
+                    Value::text("dormant"),
+                ],
+            )
+            .expect("generated facts are valid");
+        }
+        // One order per customer, consistent.
+        db.insert_values(
+            "Order",
+            vec![
+                Value::int(1000 + id as i64),
+                Value::int(id as i64),
+                Value::int((id as i64 % 7 + 1) * 10),
+            ],
+        )
+        .expect("generated facts are valid");
+    }
+    (db, keys)
+}
+
+/// A sensor-deduplication scenario: `sensors` sensors each report one
+/// reading per tick, but for `duplicates_per_sensor` of the sensors the
+/// ingestion pipeline recorded several conflicting readings for the same
+/// tick.
+///
+/// * `Reading(sensor, tick, value)` with `key(Reading) = {1, 2}`
+///   (sensor and tick jointly identify a reading).
+pub fn sensor_readings(
+    sensors: usize,
+    ticks: usize,
+    duplicates_per_sensor: usize,
+) -> (Database, KeySet) {
+    let mut schema = Schema::new();
+    schema.add_relation("Reading", 3).expect("fresh schema");
+    let keys = KeySet::builder(&schema)
+        .key("Reading", 2)
+        .expect("valid key")
+        .build();
+    let mut db = Database::new(schema);
+    for s in 0..sensors {
+        for t in 0..ticks {
+            let base = (s * 31 + t * 7) % 100;
+            db.insert_values(
+                "Reading",
+                vec![
+                    Value::int(s as i64),
+                    Value::int(t as i64),
+                    Value::int(base as i64),
+                ],
+            )
+            .expect("generated facts are valid");
+            // Every third sensor has conflicting duplicates at tick 0..duplicates.
+            if s % 3 == 0 && t < duplicates_per_sensor {
+                for d in 1..=2usize {
+                    db.insert_values(
+                        "Reading",
+                        vec![
+                            Value::int(s as i64),
+                            Value::int(t as i64),
+                            Value::int((base + d * 5) as i64),
+                        ],
+                    )
+                    .expect("generated facts are valid");
+                }
+            }
+        }
+    }
+    (db, keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdr_core::RepairCounter;
+    use cdr_query::parse_query;
+    use cdr_repairdb::BlockPartition;
+
+    #[test]
+    fn employee_example_matches_the_paper() {
+        let (db, keys) = employee_example();
+        assert_eq!(db.len(), 4);
+        let counter = RepairCounter::new(&db, &keys);
+        assert_eq!(counter.total_repairs().to_u64(), Some(4));
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        assert_eq!(counter.frequency(&q).unwrap().to_string(), "1/2");
+    }
+
+    #[test]
+    fn two_source_scenario_has_the_expected_conflicts() {
+        let (db, keys) = two_source_customers(20, 4);
+        let blocks = BlockPartition::new(&db, &keys);
+        // 20 customer blocks + 20 order blocks.
+        assert_eq!(blocks.len(), 40);
+        // Customers 0, 4, 8, 12, 16 are conflicted: 5 blocks of size 2.
+        assert_eq!(blocks.conflicting_block_count(), 5);
+        let counter = RepairCounter::new(&db, &keys);
+        assert_eq!(counter.total_repairs().to_u64(), Some(32));
+    }
+
+    #[test]
+    fn sensor_scenario_keys_on_sensor_and_tick() {
+        let (db, keys) = sensor_readings(6, 4, 2);
+        let blocks = BlockPartition::new(&db, &keys);
+        assert_eq!(blocks.len(), 24, "one block per (sensor, tick) pair");
+        // Sensors 0 and 3 have duplicates at ticks 0 and 1: 4 conflicted
+        // blocks of size 3.
+        assert_eq!(blocks.conflicting_block_count(), 4);
+        assert_eq!(blocks.max_block_size(), 3);
+        let counter = RepairCounter::new(&db, &keys);
+        assert_eq!(counter.total_repairs().to_u64(), Some(81));
+    }
+
+    #[test]
+    fn degenerate_parameters_are_tolerated() {
+        let (db, keys) = two_source_customers(0, 0);
+        assert!(db.is_empty());
+        let blocks = BlockPartition::new(&db, &keys);
+        assert!(blocks.is_empty());
+        let (db, _) = sensor_readings(0, 0, 0);
+        assert!(db.is_empty());
+    }
+}

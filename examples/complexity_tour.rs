@@ -1,0 +1,103 @@
+//! A tour of the Λ-hierarchy machinery (Sections 4, 5 and 7 of the paper).
+//!
+//! The example builds a `#DisjPoskDNF` formula and a `#kForbColoring`
+//! instance, views both as k-compactors, counts their solutions four
+//! different ways (directly, through the compactor unfolding, through the
+//! natural reduction to `#CQA`, and through the Theorem 5.1 reduction to
+//! the fixed query `Q_k`), and finally runs the generic Λ[k] FPRAS on them.
+//!
+//! Run with: `cargo run --example complexity_tour`
+
+use repair_count::lambda::{
+    compactor_fpras, reduce_compactor_to_cqa, unfold_count, DisjPosDnf, ForbiddenColoring,
+    Hypergraph,
+};
+use repair_count::prelude::*;
+use repair_count::query::keywidth;
+
+fn main() {
+    println!("=== #DisjPos2DNF (Theorem 7.1, k = 2) ===\n");
+    // Variables x0..x8 partitioned into three classes of three; a positive
+    // 2DNF over them.
+    let dnf = DisjPosDnf::new(
+        9,
+        vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]],
+        vec![vec![0, 3], vec![1, 7], vec![4, 8], vec![2]],
+        Some(2),
+    )
+    .expect("well-formed formula");
+    println!(
+        "classes: {:?}\nclauses: {:?}",
+        dnf.classes(),
+        dnf.clauses()
+    );
+    println!("total P-assignments = {}", dnf.total_assignments());
+
+    let direct = dnf.count_satisfying(1_000_000).expect("counting succeeds");
+    let via_compactor = unfold_count(&dnf, 1_000_000).expect("counting succeeds");
+    let via_cqa = dnf.count_via_cqa(1_000_000).expect("counting succeeds");
+    let theorem_5_1 = reduce_compactor_to_cqa(&dnf)
+        .expect("bounded compactor")
+        .count(1_000_000)
+        .expect("counting succeeds");
+    println!("satisfying P-assignments, four ways:");
+    println!("  direct union-of-boxes          = {direct}");
+    println!("  compactor unfolding (Λ[2])     = {via_compactor}");
+    println!("  natural reduction to #CQA      = {via_cqa}");
+    println!("  Theorem 5.1 reduction to Q_2   = {theorem_5_1}");
+    assert!(direct == via_compactor && direct == via_cqa && direct == theorem_5_1);
+
+    let config = ApproxConfig {
+        epsilon: 0.1,
+        delta: 0.05,
+        ..ApproxConfig::default()
+    };
+    let approx = compactor_fpras(&dnf, &config).expect("FPRAS succeeds");
+    println!(
+        "  Λ[2] FPRAS estimate            = {} (error {:.4})\n",
+        approx.estimate,
+        approx.relative_error(&direct)
+    );
+
+    println!("=== #2ForbColoring (Theorem 7.2, k = 2) ===\n");
+    // A 5-cycle with 3 colors per vertex; monochromatic edges in color 0 or
+    // color 1 are forbidden.
+    let cycle_edges: Vec<Vec<usize>> = (0..5).map(|v| vec![v, (v + 1) % 5]).collect();
+    let graph =
+        Hypergraph::new(vec![3; 5], cycle_edges, Some(2)).expect("well-formed hypergraph");
+    let coloring = ForbiddenColoring::new(graph, vec![vec![vec![0, 0], vec![1, 1]]; 5])
+        .expect("well-formed instance");
+    println!(
+        "5-cycle, 3 colors per vertex, forbidden: monochromatic 0 or 1 edges"
+    );
+    println!("total colorings = {}", coloring.graph().total_colorings());
+
+    let direct = coloring.count_forbidden(1_000_000).expect("counting succeeds");
+    let via_compactor = unfold_count(&coloring, 1_000_000).expect("counting succeeds");
+    let via_cqa = coloring.count_via_cqa(1_000_000).expect("counting succeeds");
+    let instance = reduce_compactor_to_cqa(&coloring).expect("bounded compactor");
+    let theorem_5_1 = instance.count(1_000_000).expect("counting succeeds");
+    println!("forbidden colorings, four ways:");
+    println!("  direct union-of-boxes          = {direct}");
+    println!("  compactor unfolding (Λ[2])     = {via_compactor}");
+    println!("  natural reduction to #CQA      = {via_cqa}");
+    println!("  Theorem 5.1 reduction to Q_2   = {theorem_5_1}");
+    assert!(direct == via_compactor && direct == via_cqa && direct == theorem_5_1);
+
+    println!(
+        "\nThe Theorem 5.1 instance uses the fixed query Q_2 = {}",
+        instance.query
+    );
+    println!(
+        "with kw(Q_2, Sigma_2) = {} over a database of {} facts.",
+        keywidth(&instance.query, instance.db.schema(), &instance.keys),
+        instance.db.len()
+    );
+
+    let approx = compactor_fpras(&coloring, &config).expect("FPRAS succeeds");
+    println!(
+        "Λ[2] FPRAS estimate              = {} (error {:.4})",
+        approx.estimate,
+        approx.relative_error(&direct)
+    );
+}

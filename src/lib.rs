@@ -1,0 +1,62 @@
+//! # repair-count
+//!
+//! A library for **counting database repairs under primary keys**,
+//! reproducing the PODS 2019 paper *"Counting Database Repairs under
+//! Primary Keys Revisited"* by Calautti, Console and Pieris.
+//!
+//! The facade crate re-exports the public API of the workspace crates:
+//!
+//! * [`num`] — arbitrary-precision counts, log-domain numbers, exact ratios.
+//! * [`db`] — facts, schemas, primary keys, blocks and repairs.
+//! * [`query`] — FO / ∃FO⁺ / UCQ / CQ queries, parsing, evaluation, keywidth.
+//! * [`counting`] — exact counters, decision procedures, the Λ[k] FPRAS and
+//!   the Karp–Luby baseline, relative-frequency CQA.
+//! * [`lambda`] — the Λ-hierarchy machinery, companion problems and
+//!   hardness reductions.
+//! * [`workloads`] — seeded workload generators used by the examples,
+//!   integration tests and benchmarks.
+//!
+//! ## Quickstart
+//!
+//! The paper's Example 1.1 (the `Employee` relation) in a few lines:
+//!
+//! ```
+//! use repair_count::prelude::*;
+//!
+//! let mut schema = Schema::new();
+//! schema.add_relation("Employee", 3).unwrap();
+//! let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+//!
+//! let mut db = Database::new(schema.clone());
+//! db.insert_parsed("Employee(1, 'Bob',   'HR')").unwrap();
+//! db.insert_parsed("Employee(1, 'Bob',   'IT')").unwrap();
+//! db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+//! db.insert_parsed("Employee(2, 'Tim',   'IT')").unwrap();
+//!
+//! let q = parse_query(
+//!     "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+//!
+//! let freq = RepairCounter::new(&db, &keys).frequency(&q).unwrap();
+//! assert_eq!(freq.to_string(), "1/2");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cdr_core as counting;
+pub use cdr_lambda as lambda;
+pub use cdr_num as num;
+pub use cdr_query as query;
+pub use cdr_repairdb as db;
+pub use cdr_workloads as workloads;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use cdr_core::{
+        ApproxConfig, CountOutcome, ExactStrategy, FprasEstimator, KarpLubyEstimator,
+        RepairCounter,
+    };
+    pub use cdr_num::{BigNat, LogNum, Ratio};
+    pub use cdr_query::{parse_query, Query, UcqQuery};
+    pub use cdr_repairdb::{Database, Fact, KeySet, Schema, Value};
+}

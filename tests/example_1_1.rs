@@ -1,0 +1,105 @@
+//! End-to-end reproduction of the paper's Example 1.1 through the facade
+//! crate, exercising every public entry point on the same tiny instance.
+
+use repair_count::counting::ExactStrategy;
+use repair_count::db::{count_repairs, BlockPartition, Repair, RepairIter};
+use repair_count::lambda::{reduce_compactor_to_cqa, unfold_count, CqaCompactor};
+use repair_count::prelude::*;
+use repair_count::query::{evaluate, keywidth, rewrite_to_ucq};
+use repair_count::workloads::employee_example;
+
+fn query() -> Query {
+    parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap()
+}
+
+#[test]
+fn the_running_example_counts_two_of_four() {
+    let (db, keys) = employee_example();
+    let counter = RepairCounter::new(&db, &keys);
+    let q = query();
+
+    assert_eq!(counter.total_repairs().to_u64(), Some(4));
+    assert_eq!(counter.count(&q).unwrap().count.to_u64(), Some(2));
+    assert_eq!(counter.frequency(&q).unwrap().to_string(), "1/2");
+    assert_eq!(counter.keywidth(&q), 2);
+    assert!(counter.holds_in_some_repair(&q).unwrap());
+    assert!(!counter.holds_in_every_repair(&q).unwrap());
+}
+
+#[test]
+fn blocks_and_repairs_match_the_paper() {
+    let (db, keys) = employee_example();
+    let blocks = BlockPartition::new(&db, &keys);
+    assert_eq!(blocks.len(), 2);
+    assert_eq!(blocks.sizes(), vec![2, 2]);
+    assert_eq!(count_repairs(&blocks).to_u64(), Some(4));
+
+    let q = query();
+    let mut entailing = 0;
+    for repair in RepairIter::new(&blocks) {
+        assert!(Repair::is_repair(&db, &keys, repair.facts()));
+        let repaired = repair.to_database(&db);
+        assert!(repaired.is_consistent(&keys));
+        if evaluate(&repaired, &q).unwrap() {
+            entailing += 1;
+        }
+    }
+    assert_eq!(entailing, 2);
+}
+
+#[test]
+fn all_counting_routes_agree_on_the_example() {
+    let (db, keys) = employee_example();
+    let counter = RepairCounter::new(&db, &keys);
+    let q = query();
+    let ucq = rewrite_to_ucq(&q).unwrap();
+
+    let by_enumeration = counter
+        .count_with(&q, ExactStrategy::Enumeration)
+        .unwrap()
+        .count;
+    let by_boxes = counter
+        .count_with(&q, ExactStrategy::CertificateBoxes)
+        .unwrap()
+        .count;
+    let compactor = CqaCompactor::new(&db, &keys, &ucq).unwrap();
+    let by_compactor = unfold_count(&compactor, 1_000).unwrap();
+    let by_reduction = reduce_compactor_to_cqa(&compactor)
+        .unwrap()
+        .count(1_000_000)
+        .unwrap();
+    assert_eq!(by_enumeration.to_u64(), Some(2));
+    assert_eq!(by_boxes, by_enumeration);
+    assert_eq!(by_compactor, by_enumeration);
+    assert_eq!(by_reduction, by_enumeration);
+}
+
+#[test]
+fn approximations_bracket_the_exact_answer() {
+    let (db, keys) = employee_example();
+    let counter = RepairCounter::new(&db, &keys);
+    let q = query();
+    let exact = BigNat::from(2u64);
+    for seed in 0..5u64 {
+        let config = ApproxConfig {
+            epsilon: 0.1,
+            delta: 0.05,
+            seed,
+            ..ApproxConfig::default()
+        };
+        let fpras = counter.approximate(&q, &config).unwrap();
+        let kl = counter.approximate_karp_luby(&q, &config).unwrap();
+        assert!(fpras.relative_error(&exact) <= 0.1, "seed {seed}");
+        assert!(kl.relative_error(&exact) <= 0.1, "seed {seed}");
+    }
+}
+
+#[test]
+fn keywidth_of_the_example_query_is_two() {
+    let (db, keys) = employee_example();
+    let q = query();
+    assert_eq!(keywidth(&q, db.schema(), &keys), 2);
+    let ucq = rewrite_to_ucq(&q).unwrap();
+    assert_eq!(ucq.len(), 1);
+    assert!(!ucq.has_self_join() || ucq.has_self_join());
+}

@@ -1,0 +1,136 @@
+//! Parsimony of every reduction in the repository, on randomly generated
+//! instances: `#DisjPoskDNF` and `#kForbColoring` into `#CQA` (Theorems 7.1
+//! and 7.2), arbitrary k-compactors into `#CQA(Q_k, Σ_k)` (Theorem 5.1),
+//! and `#3SAT` into `#CQA(FO)` (Theorems 3.2/3.3).
+
+use repair_count::lambda::{
+    compactor_karp_luby, reduce_compactor_to_cqa, unfold_count, CompactOutput, ExplicitCompactor,
+};
+use repair_count::prelude::*;
+use repair_count::workloads::{
+    random_cnf3, random_disj_pos_dnf, random_forbidden_coloring, Cnf3Config, DnfConfig,
+    HypergraphConfig,
+};
+
+#[test]
+fn disj_pos_kdnf_reductions_are_parsimonious() {
+    for seed in 0..6u64 {
+        for width in 1..=3usize {
+            let f = random_disj_pos_dnf(&DnfConfig {
+                classes: 5,
+                class_size: 3,
+                clauses: 6,
+                clause_width: width,
+                seed,
+            });
+            let brute = f.count_satisfying_brute_force();
+            assert_eq!(f.count_satisfying(10_000_000).unwrap(), brute);
+            assert_eq!(f.count_via_cqa(10_000_000).unwrap(), brute, "natural reduction");
+            assert_eq!(unfold_count(&f, 10_000_000).unwrap(), brute, "compactor view");
+            let instance = reduce_compactor_to_cqa(&f).unwrap();
+            assert_eq!(instance.count(10_000_000).unwrap(), brute, "Theorem 5.1 reduction");
+        }
+    }
+}
+
+#[test]
+fn forbidden_coloring_reductions_are_parsimonious() {
+    for seed in 0..6u64 {
+        for edge_size in 1..=3usize {
+            let f = random_forbidden_coloring(&HypergraphConfig {
+                vertices: 6,
+                colors_per_vertex: 3,
+                edges: 4,
+                edge_size,
+                forbidden_per_edge: 2,
+                seed,
+            });
+            let brute = f.count_forbidden_brute_force();
+            assert_eq!(f.count_forbidden(10_000_000).unwrap(), brute);
+            assert_eq!(f.count_via_cqa(10_000_000).unwrap(), brute, "natural reduction");
+            assert_eq!(unfold_count(&f, 10_000_000).unwrap(), brute, "compactor view");
+            let instance = reduce_compactor_to_cqa(&f).unwrap();
+            assert_eq!(instance.count(10_000_000).unwrap(), brute, "Theorem 5.1 reduction");
+        }
+    }
+}
+
+#[test]
+fn three_sat_reduction_is_parsimonious() {
+    for seed in 0..5u64 {
+        let f = random_cnf3(&Cnf3Config {
+            variables: 6,
+            clauses: 7,
+            seed,
+        });
+        let brute = f.count_models_brute_force();
+        assert_eq!(f.count_models_via_cqa(10_000_000).unwrap(), brute, "seed {seed}");
+        assert_eq!(f.satisfiable_via_cqa().unwrap(), !brute.is_zero());
+    }
+}
+
+#[test]
+fn synthetic_compactors_reduce_parsimoniously_at_every_level() {
+    // Λ[k] for k = 0..4: random explicit compactors with k pins per box.
+    for k in 0..=4usize {
+        for variant in 0..4u64 {
+            let domains = vec![3usize; 6];
+            let mut outputs = Vec::new();
+            for c in 0..5u64 {
+                if (c + variant) % 4 == 0 {
+                    outputs.push(CompactOutput::Empty);
+                } else {
+                    let pins: Vec<(usize, usize)> = (0..k)
+                        .map(|i| {
+                            let domain = ((c as usize) + i * 2 + variant as usize) % domains.len();
+                            let element = ((c as usize) + i + variant as usize) % 3;
+                            (domain, element)
+                        })
+                        .collect();
+                    // Duplicate domains in `pins` collapse via the map; that
+                    // keeps the pin count ≤ k as required.
+                    outputs.push(CompactOutput::pins(pins));
+                }
+            }
+            let compactor = ExplicitCompactor::new(domains, outputs, Some(k));
+            let expected = unfold_count(&compactor, 10_000_000).unwrap();
+            let instance = reduce_compactor_to_cqa(&compactor).unwrap();
+            assert_eq!(
+                instance.count(10_000_000).unwrap(),
+                expected,
+                "k = {k}, variant = {variant}"
+            );
+            // The reduced instance's query has keywidth exactly k.
+            assert_eq!(
+                repair_count::query::keywidth(
+                    &instance.query,
+                    instance.db.schema(),
+                    &instance.keys
+                ),
+                k
+            );
+        }
+    }
+}
+
+#[test]
+fn unbounded_compactors_are_still_countable_and_approximable() {
+    // A SpanLL-style instance: clause width grows with the instance.
+    let f = random_disj_pos_dnf(&DnfConfig {
+        classes: 8,
+        class_size: 2,
+        clauses: 5,
+        clause_width: 6,
+        seed: 3,
+    });
+    let brute = f.count_satisfying_brute_force();
+    assert_eq!(f.count_satisfying(10_000_000).unwrap(), brute);
+    // Theorem 7.4: the Karp–Luby-style estimator handles the unbounded case.
+    let config = ApproxConfig {
+        epsilon: 0.1,
+        delta: 0.05,
+        ..ApproxConfig::default()
+    };
+    let approx = compactor_karp_luby(&f, &config).unwrap();
+    assert!(approx.relative_error(&brute) <= 0.1 || brute.is_zero());
+}

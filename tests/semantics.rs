@@ -1,0 +1,149 @@
+//! Semantic invariants of consistent query answering, checked across the
+//! whole stack: repairs are maximal consistent subsets, counting respects
+//! complementation for first-order queries, certain answers coincide with
+//! "count equals total", and the decision problem matches Lemma 3.5.
+
+use proptest::prelude::*;
+use repair_count::counting::ExactStrategy;
+use repair_count::db::{BlockPartition, RepairIter};
+use repair_count::prelude::*;
+use repair_count::query::FoFormula;
+use repair_count::workloads::{
+    employee_example, BlockSizeDistribution, InconsistentDbConfig, RelationSpec,
+};
+
+fn negate(q: &Query) -> Query {
+    Query::boolean(FoFormula::Not(Box::new(q.formula().clone())))
+}
+
+#[test]
+fn counts_of_a_query_and_its_negation_partition_the_repairs() {
+    let (db, keys) = employee_example();
+    let counter = RepairCounter::new(&db, &keys);
+    let total = counter.total_repairs();
+    for text in [
+        "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)",
+        "Employee(1, 'Bob', 'HR')",
+        "EXISTS n . Employee(2, n, 'IT')",
+        "EXISTS n, d . Employee(3, n, d)",
+    ] {
+        let q = parse_query(text).unwrap();
+        let count = counter.count(&q).unwrap().count;
+        let negated = counter
+            .count_with(&negate(&q), ExactStrategy::Enumeration)
+            .unwrap()
+            .count;
+        assert_eq!(&count + &negated, total, "complementation fails for {text}");
+    }
+}
+
+#[test]
+fn every_repair_is_a_maximal_consistent_subset() {
+    let (db, keys) = InconsistentDbConfig {
+        relations: vec![RelationSpec::keyed("R", 4), RelationSpec::keyed("S", 3)],
+        block_sizes: BlockSizeDistribution::Uniform { min: 1, max: 3 },
+        payload_domain: 5,
+        seed: 23,
+    }
+    .generate();
+    let blocks = BlockPartition::new(&db, &keys);
+    let mut seen = std::collections::BTreeSet::new();
+    for repair in RepairIter::new(&blocks) {
+        let repaired = repair.to_database(&db);
+        // Consistent.
+        assert!(repaired.is_consistent(&keys));
+        // Maximal: adding any fact of D \ repair breaks consistency or is
+        // already present.
+        for (id, fact) in db.iter() {
+            if repaired.contains(fact) {
+                continue;
+            }
+            let mut extended: Vec<_> = repaired.facts().cloned().collect();
+            extended.push(fact.clone());
+            assert!(
+                !keys.satisfied_by(extended.iter()),
+                "repair is not maximal: fact {id:?} could be added"
+            );
+        }
+        // Distinct from every other repair.
+        assert!(seen.insert(repair.facts().to_vec()));
+    }
+    assert_eq!(
+        BigNat::from(seen.len()),
+        RepairCounter::new(&db, &keys).total_repairs()
+    );
+}
+
+#[test]
+fn certain_answers_coincide_with_full_counts() {
+    let (db, keys) = employee_example();
+    let counter = RepairCounter::new(&db, &keys);
+    let total = counter.total_repairs();
+    for text in [
+        "EXISTS n . Employee(2, n, 'IT')",
+        "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)",
+        "EXISTS n, d . Employee(1, n, d)",
+        "Employee(2, 'Alice', 'IT')",
+    ] {
+        let q = parse_query(text).unwrap();
+        let count = counter.count(&q).unwrap().count;
+        assert_eq!(
+            counter.holds_in_every_repair(&q).unwrap(),
+            count == total,
+            "certain-answer mismatch for {text}"
+        );
+        assert_eq!(
+            counter.holds_in_some_repair(&q).unwrap(),
+            !count.is_zero(),
+            "possible-answer mismatch for {text}"
+        );
+    }
+}
+
+#[test]
+fn binding_answer_tuples_reduces_to_boolean_counting() {
+    // The non-Boolean query Q(x) = "customer x is dormant" evaluated at a
+    // tuple equals the Boolean specialisation, as in the problem statement
+    // of #CQA (the tuple t̄ is part of the input).
+    let (db, keys) = repair_count::workloads::two_source_customers(6, 2);
+    let counter = RepairCounter::new(&db, &keys);
+    let open = repair_count::query::parse_query_with_answers(
+        "EXISTS c . Customer(id, c, 'dormant')",
+        &["id"],
+    )
+    .unwrap();
+    for id in 0..6i64 {
+        let bound = repair_count::query::bind_answers(&open, &[Value::int(id)]).unwrap();
+        let direct = parse_query(&format!("EXISTS c . Customer({id}, c, 'dormant')")).unwrap();
+        assert_eq!(
+            counter.count(&bound).unwrap().count,
+            counter.count(&direct).unwrap().count,
+            "binding mismatch for id {id}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The total repair count always equals the product of the block sizes,
+    /// and materialising every repair (when small) finds exactly that many
+    /// distinct consistent databases.
+    #[test]
+    fn prop_total_repairs_is_block_product(seed in 0u64..500, blocks in 1usize..5) {
+        let (db, keys) = InconsistentDbConfig {
+            relations: vec![RelationSpec::keyed("R", blocks)],
+            block_sizes: BlockSizeDistribution::Uniform { min: 1, max: 3 },
+            payload_domain: 6,
+            seed,
+        }
+        .generate();
+        let partition = BlockPartition::new(&db, &keys);
+        let product: u64 = partition.sizes().iter().map(|&s| s as u64).product();
+        let total = RepairCounter::new(&db, &keys).total_repairs();
+        prop_assert_eq!(total.to_u64(), Some(product));
+        let distinct: std::collections::BTreeSet<_> =
+            RepairIter::new(&partition).map(|r| r.facts().to_vec()).collect();
+        prop_assert_eq!(distinct.len() as u64, product);
+    }
+}

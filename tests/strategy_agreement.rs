@@ -1,0 +1,131 @@
+//! Cross-crate agreement tests: on randomly generated inconsistent
+//! databases and queries, every counting route must report the same number
+//! — enumeration (Theorem 3.3's machine), certificate boxes, the Λ[k]
+//! compactor unfolding (Theorem 5.1 membership), and the Theorem 5.1
+//! hardness reduction back into `#CQA`.
+
+use proptest::prelude::*;
+use repair_count::counting::ExactStrategy;
+use repair_count::lambda::{reduce_compactor_to_cqa, unfold_count, CqaCompactor};
+use repair_count::prelude::*;
+use repair_count::query::rewrite_to_ucq;
+use repair_count::workloads::{
+    random_join_query, random_point_query_union, BlockSizeDistribution, InconsistentDbConfig,
+    QueryGenConfig, RelationSpec,
+};
+
+fn small_db(seed: u64, blocks: usize, block_size: usize) -> (Database, KeySet) {
+    InconsistentDbConfig {
+        relations: vec![
+            RelationSpec::keyed("R", blocks),
+            RelationSpec::keyed("S", blocks),
+        ],
+        block_sizes: BlockSizeDistribution::Fixed(block_size),
+        payload_domain: 4,
+        seed,
+    }
+    .generate()
+}
+
+fn assert_all_routes_agree(db: &Database, keys: &KeySet, q: &Query) {
+    let counter = RepairCounter::new(db, keys);
+    let by_enumeration = counter
+        .count_with(q, ExactStrategy::Enumeration)
+        .unwrap()
+        .count;
+    let by_boxes = counter
+        .count_with(q, ExactStrategy::CertificateBoxes)
+        .unwrap()
+        .count;
+    assert_eq!(by_boxes, by_enumeration, "boxes vs enumeration for {q}");
+
+    let ucq = rewrite_to_ucq(q).unwrap();
+    let compactor = CqaCompactor::new(db, keys, &ucq).unwrap();
+    let by_compactor = unfold_count(&compactor, 10_000_000).unwrap();
+    assert_eq!(by_compactor, by_enumeration, "compactor vs enumeration for {q}");
+
+    let by_reduction = reduce_compactor_to_cqa(&compactor)
+        .unwrap()
+        .count(10_000_000)
+        .unwrap();
+    assert_eq!(by_reduction, by_enumeration, "reduction vs enumeration for {q}");
+
+    // Consistency of the derived quantities.
+    let total = counter.total_repairs();
+    assert!(by_enumeration <= total);
+    let frequency = counter.frequency(q).unwrap();
+    let reconstructed = Ratio::new(by_enumeration.clone(), total);
+    assert_eq!(frequency, reconstructed);
+    assert_eq!(
+        counter.holds_in_some_repair(q).unwrap(),
+        !by_enumeration.is_zero(),
+        "decision vs counting for {q}"
+    );
+}
+
+#[test]
+fn join_queries_agree_across_strategies() {
+    for seed in 0..8u64 {
+        let (db, keys) = small_db(seed, 5, 2);
+        for size in 1..=3usize {
+            let q = random_join_query(&db, &keys, &QueryGenConfig { size, seed: seed * 10 + size as u64 });
+            assert_all_routes_agree(&db, &keys, &q);
+        }
+    }
+}
+
+#[test]
+fn point_query_unions_agree_across_strategies() {
+    for seed in 0..8u64 {
+        let (db, keys) = small_db(seed + 100, 6, 2);
+        for size in 1..=4usize {
+            let q = random_point_query_union(&db, &QueryGenConfig { size, seed: seed * 7 + size as u64 });
+            assert_all_routes_agree(&db, &keys, &q);
+        }
+    }
+}
+
+#[test]
+fn skewed_block_sizes_agree_across_strategies() {
+    for seed in 0..4u64 {
+        let (db, keys) = InconsistentDbConfig {
+            relations: vec![RelationSpec::keyed("R", 7)],
+            block_sizes: BlockSizeDistribution::Uniform { min: 1, max: 4 },
+            payload_domain: 5,
+            seed,
+        }
+        .generate();
+        let q = random_point_query_union(&db, &QueryGenConfig { size: 3, seed });
+        assert_all_routes_agree(&db, &keys, &q);
+        let q = random_join_query(&db, &keys, &QueryGenConfig { size: 2, seed });
+        assert_all_routes_agree(&db, &keys, &q);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: for every generated database and point-query union, the
+    /// certificate/box count equals the brute-force enumeration count.
+    #[test]
+    fn prop_counting_strategies_agree(seed in 0u64..1000, blocks in 2usize..6, size in 1usize..4) {
+        let (db, keys) = small_db(seed, blocks, 2);
+        let q = random_point_query_union(&db, &QueryGenConfig { size, seed });
+        let counter = RepairCounter::new(&db, &keys);
+        let a = counter.count_with(&q, ExactStrategy::Enumeration).unwrap().count;
+        let b = counter.count_with(&q, ExactStrategy::CertificateBoxes).unwrap().count;
+        prop_assert_eq!(a, b);
+    }
+
+    /// Property: the count never exceeds the total, and the decision
+    /// problem agrees with positivity of the count.
+    #[test]
+    fn prop_count_bounded_by_total(seed in 0u64..1000, blocks in 2usize..6) {
+        let (db, keys) = small_db(seed, blocks, 3);
+        let q = random_join_query(&db, &keys, &QueryGenConfig { size: 2, seed });
+        let counter = RepairCounter::new(&db, &keys);
+        let count = counter.count(&q).unwrap().count;
+        prop_assert!(count <= counter.total_repairs());
+        prop_assert_eq!(counter.holds_in_some_repair(&q).unwrap(), !count.is_zero());
+    }
+}
