@@ -1,19 +1,16 @@
 //! Criterion benches behind experiments E6 and E7: the paper's FPRAS vs
-//! the Karp–Luby baseline, across ε and database size.
+//! the Karp–Luby baseline, across ε and database size, driven through a
+//! warm [`RepairEngine`] so only the sampling itself is measured.
 
 use cdr_bench::union_workload;
-use cdr_core::{ApproxConfig, FprasEstimator, KarpLubyEstimator};
-use cdr_query::rewrite_to_ucq;
+use cdr_core::{CountRequest, RepairEngine, Strategy};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-fn config(epsilon: f64) -> ApproxConfig {
-    ApproxConfig {
-        epsilon,
-        delta: 0.05,
-        max_samples: 100_000,
-        seed: 7,
-    }
+fn request(q: &cdr_query::Query, epsilon: f64) -> CountRequest {
+    CountRequest::approximate(q.clone(), epsilon, 0.05)
+        .with_seed(7)
+        .with_sample_cap(100_000)
 }
 
 fn bench_fpras_vs_karp_luby(c: &mut Criterion) {
@@ -23,14 +20,14 @@ fn bench_fpras_vs_karp_luby(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for &blocks in &[50usize, 200, 800] {
         let (db, keys, q) = union_workload(blocks, 3, 3, 17);
-        let ucq = rewrite_to_ucq(&q).unwrap();
-        let fpras = FprasEstimator::new(&db, &keys, &ucq).unwrap();
-        let kl = KarpLubyEstimator::new(&db, &keys, &ucq).unwrap();
+        let engine = RepairEngine::new(db, keys);
+        let fpras = request(&q, 0.2);
+        let kl = request(&q, 0.2).with_strategy(Strategy::KarpLuby);
         group.bench_with_input(BenchmarkId::new("fpras", blocks), &blocks, |b, _| {
-            b.iter(|| fpras.estimate(&config(0.2)).unwrap());
+            b.iter(|| engine.run(&fpras).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("karp_luby", blocks), &blocks, |b, _| {
-            b.iter(|| kl.estimate(&config(0.2)).unwrap());
+            b.iter(|| engine.run(&kl).unwrap());
         });
     }
     group.finish();
@@ -42,16 +39,12 @@ fn bench_fpras_epsilon_sweep(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
     let (db, keys, q) = union_workload(100, 3, 3, 19);
-    let ucq = rewrite_to_ucq(&q).unwrap();
-    let fpras = FprasEstimator::new(&db, &keys, &ucq).unwrap();
+    let engine = RepairEngine::new(db, keys);
     for &epsilon in &[0.5f64, 0.2, 0.1] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(epsilon),
-            &epsilon,
-            |b, &eps| {
-                b.iter(|| fpras.estimate(&config(eps)).unwrap());
-            },
-        );
+        let req = request(&q, epsilon);
+        group.bench_with_input(BenchmarkId::from_parameter(epsilon), &epsilon, |b, _| {
+            b.iter(|| engine.run(&req).unwrap());
+        });
     }
     group.finish();
 }

@@ -2,7 +2,7 @@
 //! enumeration vs the certificate/box algorithm as the database grows.
 
 use cdr_bench::{uniform_workload, union_workload};
-use cdr_core::{count_by_boxes, count_by_enumeration, RepairCounter};
+use cdr_core::{count_by_boxes, count_by_enumeration, CountRequest, RepairEngine};
 use cdr_query::rewrite_to_ucq;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -15,13 +15,9 @@ fn bench_enumeration_vs_boxes(c: &mut Criterion) {
     for &blocks in &[6usize, 9, 12] {
         let (db, keys, q) = union_workload(blocks, 3, 3, 41);
         let ucq = rewrite_to_ucq(&q).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("enumeration", blocks),
-            &blocks,
-            |b, _| {
-                b.iter(|| count_by_enumeration(&db, &keys, &q, u64::MAX).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("enumeration", blocks), &blocks, |b, _| {
+            b.iter(|| count_by_enumeration(&db, &keys, &q, u64::MAX).unwrap());
+        });
         group.bench_with_input(BenchmarkId::new("boxes", blocks), &blocks, |b, _| {
             b.iter(|| count_by_boxes(&db, &keys, &ucq, u64::MAX).unwrap());
         });
@@ -36,13 +32,18 @@ fn bench_boxes_on_large_databases(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for &blocks in &[100usize, 400, 1600] {
         let (db, keys, q) = uniform_workload(blocks, 3, 3, 43);
-        let counter = RepairCounter::new(&db, &keys);
+        let engine = RepairEngine::new(db, keys);
+        let request = CountRequest::exact(q);
         group.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, _| {
-            b.iter(|| counter.count(&q).unwrap());
+            b.iter(|| engine.run(&request).unwrap());
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_enumeration_vs_boxes, bench_boxes_on_large_databases);
+criterion_group!(
+    benches,
+    bench_enumeration_vs_boxes,
+    bench_boxes_on_large_databases
+);
 criterion_main!(benches);

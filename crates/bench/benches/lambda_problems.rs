@@ -3,9 +3,7 @@
 //! through the Theorem 5.1 reduction to `#CQA(Q_k, Σ_k)`.
 
 use cdr_lambda::reduce_compactor_to_cqa;
-use cdr_workloads::{
-    random_disj_pos_dnf, random_forbidden_coloring, DnfConfig, HypergraphConfig,
-};
+use cdr_workloads::{random_disj_pos_dnf, random_forbidden_coloring, DnfConfig, HypergraphConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 

@@ -1,5 +1,9 @@
 //! Experiment harness: regenerates every table recorded in EXPERIMENTS.md.
 //!
+//! All `#CQA` operations run through the [`RepairEngine`] request/report
+//! API, so each experiment plans its queries once and repeated runs hit
+//! the engine's cache.
+//!
 //! Usage:
 //!
 //! ```text
@@ -10,15 +14,13 @@
 use std::time::Instant;
 
 use cdr_bench::{accuracy_point, header, row, uniform_workload, union_workload};
-use cdr_core::{
-    count_by_enumeration, ApproxConfig, ExactStrategy, FprasEstimator, KarpLubyEstimator,
-    RepairCounter,
-};
+use cdr_core::{count_by_enumeration, ApproxConfig, CountRequest, RepairEngine, Strategy};
 use cdr_lambda::{
-    compactor_fpras, reduce_compactor_to_cqa, unfold_count, CompactOutput, Compactor,
-    CqaCompactor, ExplicitCompactor,
+    compactor_fpras, reduce_compactor_to_cqa, unfold_count, CompactOutput, Compactor, CqaCompactor,
+    ExplicitCompactor,
 };
-use cdr_query::{keywidth, parse_query, rewrite_to_ucq};
+use cdr_num::BigNat;
+use cdr_query::{keywidth, parse_query, rewrite_to_ucq, Query};
 use cdr_workloads::{
     employee_example, random_cnf3, random_disj_pos_dnf, random_forbidden_coloring,
     random_point_query_union, sensor_readings, two_source_customers, Cnf3Config, DnfConfig,
@@ -67,20 +69,37 @@ fn main() {
     }
 }
 
+fn exact_count(engine: &RepairEngine, q: &Query) -> BigNat {
+    engine
+        .run(&CountRequest::exact(q.clone()))
+        .expect("exact count")
+        .answer
+        .as_count()
+        .expect("count")
+        .clone()
+}
+
 /// E1 — Example 1.1: 4 repairs, 2 entail the query, frequency 1/2.
 fn e1_example() {
     let (db, keys) = employee_example();
-    let counter = RepairCounter::new(&db, &keys);
+    let engine = RepairEngine::new(db, keys);
     let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
     header(
         "E1  Example 1.1 (Employee)",
         &["total repairs", "entailing Q", "frequency", "kw(Q,Sigma)"],
     );
+    let frequency = engine
+        .run(&CountRequest::frequency(q.clone()))
+        .unwrap()
+        .answer
+        .as_frequency()
+        .unwrap()
+        .clone();
     row(&[
-        counter.total_repairs().to_string(),
-        counter.count(&q).unwrap().count.to_string(),
-        counter.frequency(&q).unwrap().to_string(),
-        counter.keywidth(&q).to_string(),
+        engine.total_repairs().to_string(),
+        exact_count(&engine, &q).to_string(),
+        frequency.to_string(),
+        engine.keywidth(&q).to_string(),
     ]);
 }
 
@@ -89,26 +108,34 @@ fn e1_example() {
 /// and handles negation where the box counter cannot.
 fn e2_fo_exact() {
     let (db, keys) = employee_example();
-    let counter = RepairCounter::new(&db, &keys);
+    let engine = RepairEngine::new(db, keys);
     header(
         "E2  FO counting by repair enumeration (Theorem 3.3)",
         &["query", "enumeration", "boxes", "agree"],
     );
     for (label, text) in [
-        ("same department", "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)"),
+        (
+            "same department",
+            "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)",
+        ),
         ("nobody in HR", "NOT EXISTS i, n . Employee(i, n, 'HR')"),
         ("Bob certain", "EXISTS d . Employee(1, 'Bob', d)"),
     ] {
         let q = parse_query(text).unwrap();
-        let by_enum = counter
-            .count_with(&q, ExactStrategy::Enumeration)
+        let by_enum = engine
+            .run(&CountRequest::exact(q.clone()).with_strategy(Strategy::Enumeration))
             .unwrap()
-            .count;
+            .answer
+            .as_count()
+            .unwrap()
+            .clone();
         let by_boxes = if q.is_positive_existential() {
-            counter
-                .count_with(&q, ExactStrategy::CertificateBoxes)
+            engine
+                .run(&CountRequest::exact(q.clone()).with_strategy(Strategy::CertificateBoxes))
                 .unwrap()
-                .count
+                .answer
+                .as_count()
+                .unwrap()
                 .to_string()
         } else {
             "n/a (FO)".to_string()
@@ -132,11 +159,11 @@ fn e3_decision() {
     );
     for blocks in [50usize, 200, 800, 3200] {
         let (db, keys, q) = union_workload(blocks, 3, 3, 11);
-        let counter = RepairCounter::new(&db, &keys);
-        let started = Instant::now();
-        let holds = counter.holds_in_some_repair(&q).unwrap();
-        let elapsed = started.elapsed().as_secs_f64() * 1000.0;
-        let log10 = counter.total_repairs().ln() / std::f64::consts::LN_10;
+        let engine = RepairEngine::new(db, keys);
+        let report = engine.run(&CountRequest::decision(q)).unwrap();
+        let holds = report.answer.as_bool().unwrap();
+        let elapsed = report.duration.as_secs_f64() * 1000.0;
+        let log10 = engine.total_repairs().ln() / std::f64::consts::LN_10;
         row(&[
             blocks.to_string(),
             format!("{log10:.0}"),
@@ -154,10 +181,14 @@ fn e4_membership() {
         &["keywidth", "exact #CQA", "unfold count", "agree"],
     );
     let (db, keys) = two_source_customers(12, 2);
+    let engine = RepairEngine::new(db.clone(), keys.clone());
     let queries = [
         (0usize, "TRUE"),
         (1, "Customer(0, c, 'dormant')"),
-        (2, "EXISTS c, d . Customer(0, c, 'dormant') AND Customer(2, d, 'dormant')"),
+        (
+            2,
+            "EXISTS c, d . Customer(0, c, 'dormant') AND Customer(2, d, 'dormant')",
+        ),
         (
             3,
             "EXISTS c, d, e . Customer(0, c, 'dormant') AND Customer(2, d, 'dormant') \
@@ -167,7 +198,7 @@ fn e4_membership() {
     for (k, text) in queries {
         let q = parse_query(text).unwrap();
         let ucq = rewrite_to_ucq(&q).unwrap();
-        let exact = RepairCounter::new(&db, &keys).count(&q).unwrap().count;
+        let exact = exact_count(&engine, &q);
         let compactor = CqaCompactor::new(&db, &keys, &ucq).unwrap();
         let unfolded = unfold_count(&compactor, 10_000_000).unwrap();
         row(&[
@@ -219,23 +250,22 @@ fn e6_fpras() {
         &["epsilon", "requested t", "samples used", "rel. error"],
     );
     let (db, keys, q) = union_workload(10, 3, 3, 21);
-    let ucq = rewrite_to_ucq(&q).unwrap();
-    let estimator = FprasEstimator::new(&db, &keys, &ucq).unwrap();
-    let exact = RepairCounter::new(&db, &keys).count(&q).unwrap().count;
+    let engine = RepairEngine::new(db, keys);
+    let exact = exact_count(&engine, &q);
     for epsilon in [0.5, 0.2, 0.1, 0.05] {
-        let config = ApproxConfig {
-            epsilon,
-            delta: 0.05,
-            max_samples: 2_000_000,
-            seed: 99,
-        };
-        let requested = estimator.required_samples(&config).unwrap();
-        let outcome = estimator.estimate(&config).unwrap();
+        let report = engine
+            .run(
+                &CountRequest::approximate(q.clone(), epsilon, 0.05)
+                    .with_seed(99)
+                    .with_sample_cap(2_000_000),
+            )
+            .unwrap();
+        let estimate = report.answer.as_estimate().unwrap();
         row(&[
             format!("{epsilon}"),
-            requested.to_string(),
-            outcome.samples_used.to_string(),
-            format!("{:.4}", outcome.relative_error(&exact)),
+            report.samples_requested.to_string(),
+            report.samples_used.to_string(),
+            format!("{:.4}", estimate.relative_error(&exact)),
         ]);
     }
 }
@@ -276,34 +306,28 @@ fn e7_baseline() {
         },
     ];
     for (label, db, keys, q) in workloads {
-        let counter = RepairCounter::new(&db, &keys);
-        let exact = counter.count(&q).unwrap().count;
-        let ucq = rewrite_to_ucq(&q).unwrap();
-        let config = ApproxConfig {
-            epsilon: 0.1,
-            delta: 0.05,
-            max_samples: 300_000,
-            seed: 5,
-        };
-        let started = Instant::now();
-        let fpras = FprasEstimator::new(&db, &keys, &ucq)
-            .unwrap()
-            .estimate(&config)
+        let engine = RepairEngine::new(db, keys);
+        let exact = exact_count(&engine, &q);
+        let request = CountRequest::approximate(q.clone(), 0.1, 0.05)
+            .with_seed(5)
+            .with_sample_cap(300_000);
+        let fpras = engine.run(&request).unwrap();
+        let kl = engine
+            .run(&request.clone().with_strategy(Strategy::KarpLuby))
             .unwrap();
-        let fpras_ms = started.elapsed().as_secs_f64() * 1000.0;
-        let started = Instant::now();
-        let kl = KarpLubyEstimator::new(&db, &keys, &ucq)
-            .unwrap()
-            .estimate(&config)
-            .unwrap();
-        let kl_ms = started.elapsed().as_secs_f64() * 1000.0;
         row(&[
             label.to_string(),
             exact.to_string(),
-            format!("{:.4}", fpras.relative_error(&exact)),
-            format!("{:.4}", kl.relative_error(&exact)),
-            format!("{fpras_ms:.1}"),
-            format!("{kl_ms:.1}"),
+            format!(
+                "{:.4}",
+                fpras.answer.as_estimate().unwrap().relative_error(&exact)
+            ),
+            format!(
+                "{:.4}",
+                kl.answer.as_estimate().unwrap().relative_error(&exact)
+            ),
+            format!("{:.1}", fpras.duration.as_secs_f64() * 1000.0),
+            format!("{:.1}", kl.duration.as_secs_f64() * 1000.0),
         ]);
     }
 }
@@ -387,8 +411,8 @@ fn e10_scaling() {
     );
     for blocks in [8usize, 11, 14, 200, 1000] {
         let (db, keys, q) = union_workload(blocks, 3, 3, 41);
-        let counter = RepairCounter::new(&db, &keys);
-        let log10 = counter.total_repairs().ln() / std::f64::consts::LN_10;
+        let engine = RepairEngine::new(db.clone(), keys.clone());
+        let log10 = engine.total_repairs().ln() / std::f64::consts::LN_10;
 
         let enum_ms = if blocks <= 14 {
             let started = Instant::now();
@@ -397,13 +421,11 @@ fn e10_scaling() {
         } else {
             "infeasible".to_string()
         };
-        let started = Instant::now();
-        let exact = counter.count(&q).unwrap().count;
-        let boxes_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let report = engine.run(&CountRequest::exact(q.clone())).unwrap();
+        let boxes_ms = report.duration.as_secs_f64() * 1000.0;
         let started = Instant::now();
         let (_, fpras_err, _, _, _) = accuracy_point(&db, &keys, &q, 0.1, 3);
         let fpras_ms = started.elapsed().as_secs_f64() * 1000.0;
-        let _ = exact;
         row(&[
             blocks.to_string(),
             format!("{log10:.0}"),
@@ -426,12 +448,14 @@ fn e11_lower_bound() {
     for (blocks, size) in [(1_000usize, 3usize), (10_000, 3), (50_000, 5)] {
         let (db, keys, _) = uniform_workload(blocks, size, 0, 51);
         let started = Instant::now();
-        let total = RepairCounter::new(&db, &keys).total_repairs();
+        // The engine precomputes the total at construction; this measures
+        // exactly that polynomial-time pass.
+        let engine = RepairEngine::new(db, keys);
         let elapsed = started.elapsed().as_secs_f64() * 1000.0;
         row(&[
             blocks.to_string(),
             size.to_string(),
-            total.to_string().len().to_string(),
+            engine.total_repairs().to_string().len().to_string(),
             format!("{elapsed:.1}"),
         ]);
     }
@@ -490,5 +514,7 @@ fn e11_lower_bound() {
     // hardness for FO (the NP witness search still works on small inputs).
     let (db, keys) = employee_example();
     let q = random_point_query_union(&db, &QueryGenConfig { size: 2, seed: 71 });
-    let _ = RepairCounter::new(&db, &keys).holds_in_some_repair(&q).unwrap();
+    let _ = RepairEngine::new(db, keys)
+        .run(&CountRequest::decision(q))
+        .unwrap();
 }

@@ -12,13 +12,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cdr_core::{ApproxConfig, RepairCounter};
+use cdr_core::{CountRequest, RepairEngine, Strategy};
 use cdr_num::BigNat;
 use cdr_query::{parse_query, Query};
 use cdr_repairdb::{Database, KeySet};
-use cdr_workloads::{
-    BlockSizeDistribution, InconsistentDbConfig, QueryGenConfig, RelationSpec,
-};
+use cdr_workloads::{BlockSizeDistribution, InconsistentDbConfig, QueryGenConfig, RelationSpec};
 
 /// Prints a table row with `|`-separated cells, padding each cell.
 pub fn row(cells: &[String]) {
@@ -109,7 +107,10 @@ pub fn union_workload(
 /// the benches so they exercise less regular shapes too).
 pub fn random_workload(blocks: usize, block_size: usize, seed: u64) -> (Database, KeySet, Query) {
     let (db, keys) = InconsistentDbConfig {
-        relations: vec![RelationSpec::keyed("R", blocks), RelationSpec::keyed("S", blocks)],
+        relations: vec![
+            RelationSpec::keyed("R", blocks),
+            RelationSpec::keyed("S", blocks),
+        ],
         block_sizes: BlockSizeDistribution::Fixed(block_size),
         payload_domain: 6,
         seed,
@@ -119,7 +120,8 @@ pub fn random_workload(blocks: usize, block_size: usize, seed: u64) -> (Database
     (db, keys, query)
 }
 
-/// Runs the exact counter and both estimators on a workload and returns
+/// Runs the exact counter and both estimators on a workload through one
+/// [`RepairEngine`] (so the plan is computed once) and returns
 /// `(exact, fpras_error, kl_error, fpras_samples, kl_samples)`.
 pub fn accuracy_point(
     db: &Database,
@@ -128,22 +130,30 @@ pub fn accuracy_point(
     epsilon: f64,
     seed: u64,
 ) -> (BigNat, f64, f64, u64, u64) {
-    let counter = RepairCounter::new(db, keys);
-    let exact = counter.count(query).expect("exact count").count;
-    let config = ApproxConfig {
-        epsilon,
-        delta: 0.05,
-        seed,
-        ..ApproxConfig::default()
-    };
-    let fpras = counter.approximate(query, &config).expect("fpras");
-    let kl = counter
-        .approximate_karp_luby(query, &config)
+    let engine = RepairEngine::new(db.clone(), keys.clone());
+    let exact = engine
+        .run(&CountRequest::exact(query.clone()))
+        .expect("exact count")
+        .answer
+        .as_count()
+        .expect("count")
+        .clone();
+    let approx_request = CountRequest::approximate(query.clone(), epsilon, 0.05).with_seed(seed);
+    let fpras = engine.run(&approx_request).expect("fpras");
+    let kl = engine
+        .run(&approx_request.clone().with_strategy(Strategy::KarpLuby))
         .expect("karp-luby");
     (
         exact.clone(),
-        fpras.relative_error(&exact),
-        kl.relative_error(&exact),
+        fpras
+            .answer
+            .as_estimate()
+            .expect("estimate")
+            .relative_error(&exact),
+        kl.answer
+            .as_estimate()
+            .expect("estimate")
+            .relative_error(&exact),
         fpras.samples_used,
         kl.samples_used,
     )
@@ -153,22 +163,32 @@ pub fn accuracy_point(
 mod tests {
     use super::*;
 
+    fn engine_count(db: &Database, keys: &KeySet, q: &Query) -> Option<u64> {
+        RepairEngine::new(db.clone(), keys.clone())
+            .run(&CountRequest::exact(q.clone()))
+            .unwrap()
+            .answer
+            .as_count()
+            .unwrap()
+            .to_u64()
+    }
+
     #[test]
     fn uniform_workload_has_predictable_counts() {
         let (db, keys, q) = uniform_workload(6, 3, 2, 1);
-        let counter = RepairCounter::new(&db, &keys);
-        assert_eq!(counter.total_repairs().to_u64(), Some(3u64.pow(6)));
+        let engine = RepairEngine::new(db.clone(), keys.clone());
+        assert_eq!(engine.total_repairs().to_u64(), Some(3u64.pow(6)));
         // Two pinned blocks: 3^4 repairs entail the conjunction.
-        assert_eq!(counter.count(&q).unwrap().count.to_u64(), Some(3u64.pow(4)));
+        assert_eq!(engine_count(&db, &keys, &q), Some(3u64.pow(4)));
     }
 
     #[test]
     fn union_workload_has_predictable_counts() {
         let (db, keys, q) = union_workload(5, 2, 2, 1);
-        let counter = RepairCounter::new(&db, &keys);
-        assert_eq!(counter.total_repairs().to_u64(), Some(32));
+        let engine = RepairEngine::new(db.clone(), keys.clone());
+        assert_eq!(engine.total_repairs().to_u64(), Some(32));
         // |A ∪ B| = 16 + 16 - 8 = 24.
-        assert_eq!(counter.count(&q).unwrap().count.to_u64(), Some(24));
+        assert_eq!(engine_count(&db, &keys, &q), Some(24));
     }
 
     #[test]
@@ -184,7 +204,6 @@ mod tests {
     #[test]
     fn random_workload_is_well_formed() {
         let (db, keys, q) = random_workload(4, 2, 3);
-        let counter = RepairCounter::new(&db, &keys);
-        assert!(counter.count(&q).is_ok());
+        assert!(engine_count(&db, &keys, &q).is_some());
     }
 }

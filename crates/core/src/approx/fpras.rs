@@ -9,6 +9,8 @@
 //! Theorem 6.2); `m` is the maximum block size and `k` bounds the number of
 //! blocks a certificate can pin — the disjunct keywidth.
 
+use std::sync::Arc;
+
 use cdr_num::BigNat;
 use cdr_query::{max_disjunct_keywidth, UcqQuery};
 use cdr_repairdb::{count_repairs, BlockPartition, Database, KeySet};
@@ -44,8 +46,8 @@ use crate::{distinct_boxes, enumerate_certificates, CountError, SelectorBox};
 /// assert!(estimate >= 1 && estimate <= 3);
 /// ```
 pub struct FprasEstimator {
-    blocks: BlockPartition,
-    boxes: Vec<SelectorBox>,
+    blocks: Arc<BlockPartition>,
+    boxes: Arc<Vec<SelectorBox>>,
     /// `m`: the maximum block size.
     max_block_size: usize,
     /// `k`: the maximum number of blocks a certificate can pin.
@@ -64,13 +66,29 @@ impl FprasEstimator {
         let certificates = enumerate_certificates(db, keys, &blocks, ucq)?;
         let boxes = distinct_boxes(&certificates);
         let total_repairs = count_repairs(&blocks);
-        Ok(FprasEstimator {
+        Ok(FprasEstimator::from_parts(
+            Arc::new(blocks),
+            Arc::new(boxes),
+            max_disjunct_keywidth(ucq, db.schema(), keys),
+            total_repairs,
+        ))
+    }
+
+    /// Builds the estimator from artifacts an engine has already computed,
+    /// skipping the block/certificate recomputation of [`FprasEstimator::new`].
+    pub(crate) fn from_parts(
+        blocks: Arc<BlockPartition>,
+        boxes: Arc<Vec<SelectorBox>>,
+        keywidth: usize,
+        total_repairs: BigNat,
+    ) -> Self {
+        FprasEstimator {
             max_block_size: blocks.max_block_size().max(1),
-            keywidth: max_disjunct_keywidth(ucq, db.schema(), keys),
+            keywidth,
             blocks,
             boxes,
             total_repairs,
-        })
+        }
     }
 
     /// The sample-space size `|U| = ∏ |Bᵢ|` (the total number of repairs).
@@ -129,8 +147,7 @@ impl FprasEstimator {
                 positives += 1;
             }
         }
-        let (estimate, estimate_log) =
-            scale_by_fraction(&self.total_repairs, positives, samples);
+        let (estimate, estimate_log) = scale_by_fraction(&self.total_repairs, positives, samples);
         Ok(ApproxCount {
             estimate,
             estimate_log,

@@ -16,6 +16,8 @@
 //! estimate of `|⋃ᵢ boxᵢ|`, and because the union is at least `W/#boxes`,
 //! `t = ⌈(2+ε)·#boxes/ε² · ln(2/δ)⌉` samples give an (ε, δ) guarantee.
 
+use std::sync::Arc;
+
 use cdr_num::BigNat;
 use cdr_query::UcqQuery;
 use cdr_repairdb::{count_repairs, BlockId, BlockPartition, Database, FactId, KeySet};
@@ -27,8 +29,8 @@ use crate::{distinct_boxes, enumerate_certificates, CountError, SelectorBox};
 
 /// The Karp–Luby estimator over the certificate boxes of a UCQ.
 pub struct KarpLubyEstimator {
-    blocks: BlockPartition,
-    boxes: Vec<SelectorBox>,
+    blocks: Arc<BlockPartition>,
+    boxes: Arc<Vec<SelectorBox>>,
     /// `Σᵢ |boxᵢ|` — the size of the (certificate, completion) sample space.
     total_weight: BigNat,
     /// Per-box relative weights `|boxᵢ| / ∏ⱼ |Bⱼ|`, used for sampling; each
@@ -44,9 +46,24 @@ impl KarpLubyEstimator {
         let certificates = enumerate_certificates(db, keys, &blocks, ucq)?;
         let boxes = distinct_boxes(&certificates);
         let total_repairs = count_repairs(&blocks);
+        Ok(KarpLubyEstimator::from_parts(
+            Arc::new(blocks),
+            Arc::new(boxes),
+            total_repairs,
+        ))
+    }
+
+    /// Builds the estimator from artifacts an engine has already computed,
+    /// skipping the block/certificate recomputation of
+    /// [`KarpLubyEstimator::new`].
+    pub(crate) fn from_parts(
+        blocks: Arc<BlockPartition>,
+        boxes: Arc<Vec<SelectorBox>>,
+        total_repairs: BigNat,
+    ) -> Self {
         let mut total_weight = BigNat::zero();
         let mut relative_weights = Vec::with_capacity(boxes.len());
-        for b in &boxes {
+        for b in boxes.iter() {
             total_weight += b.size(&blocks);
             let mut w = 1.0f64;
             for (block, _) in b.pins() {
@@ -54,13 +71,13 @@ impl KarpLubyEstimator {
             }
             relative_weights.push(w);
         }
-        Ok(KarpLubyEstimator {
+        KarpLubyEstimator {
             blocks,
             boxes,
             total_weight,
             relative_weights,
             total_repairs,
-        })
+        }
     }
 
     /// The summed box weight `W = Σᵢ |boxᵢ|` (the sample-space size of the

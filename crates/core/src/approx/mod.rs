@@ -60,7 +60,7 @@ impl Default for ApproxConfig {
 impl ApproxConfig {
     /// Validates `ε` and `δ`.
     pub fn validate(&self) -> Result<(), CountError> {
-        if !(self.epsilon > 0.0) || !self.epsilon.is_finite() {
+        if self.epsilon <= 0.0 || !self.epsilon.is_finite() {
             return Err(CountError::InvalidApproxParameter(format!(
                 "epsilon must be a positive finite number, got {}",
                 self.epsilon
@@ -130,18 +130,15 @@ impl ApproxCount {
 
     /// The relative error of the estimate against a known exact count.
     pub fn relative_error(&self, exact: &BigNat) -> f64 {
-        self.estimate_log.relative_error(&LogNum::from_bignat(exact))
+        self.estimate_log
+            .relative_error(&LogNum::from_bignat(exact))
     }
 }
 
 /// Scales a sample-space size by an empirical success fraction
 /// `positives / samples`, returning both a rounded [`BigNat`] and the
 /// log-domain value.
-pub(crate) fn scale_by_fraction(
-    space: &BigNat,
-    positives: u64,
-    samples: u64,
-) -> (BigNat, LogNum) {
+pub(crate) fn scale_by_fraction(space: &BigNat, positives: u64, samples: u64) -> (BigNat, LogNum) {
     assert!(samples > 0, "cannot scale by an empty sample");
     if positives == 0 {
         return (BigNat::zero(), LogNum::zero());
@@ -161,10 +158,7 @@ pub(crate) fn scale_by_fraction(
 
 /// Draws a uniform repair: one fact chosen uniformly at random from every
 /// block, returned as a per-block choice vector indexed by block position.
-pub(crate) fn sample_repair_choice<R: Rng>(
-    blocks: &BlockPartition,
-    rng: &mut R,
-) -> Vec<FactId> {
+pub(crate) fn sample_repair_choice<R: Rng>(blocks: &BlockPartition, rng: &mut R) -> Vec<FactId> {
     blocks
         .iter()
         .map(|(_, block)| {

@@ -16,8 +16,8 @@
 use std::collections::BTreeMap;
 
 use cdr_num::BigNat;
-use cdr_repairdb::{BlockId, BlockPartition, Database, FactId, KeySet, Repair};
 use cdr_query::{find_homomorphisms, Assignment, Term, UcqQuery};
+use cdr_repairdb::{BlockId, BlockPartition, Database, FactId, KeySet, Repair};
 
 use crate::CountError;
 
@@ -145,9 +145,7 @@ pub fn enumerate_certificates(
             let mut image = Vec::with_capacity(disjunct.atoms().len());
             let mut image_facts = Vec::with_capacity(disjunct.atoms().len());
             for atom in disjunct.atoms() {
-                let grounded = atom.substitute(&|v| {
-                    hom.get(v).cloned().map(Term::Const)
-                });
+                let grounded = atom.substitute(&|v| hom.get(v).cloned().map(Term::Const));
                 debug_assert!(grounded.is_ground(), "homomorphism must ground the atom");
                 let rel = db
                     .schema()
@@ -278,8 +276,8 @@ mod tests {
         db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
         db.insert_parsed("Employee(1, 'Ann', 'IT')").unwrap();
         let blocks = BlockPartition::new(&db, &keys);
-        let q = parse_query("EXISTS d, e . Employee(1, 'Bob', d) AND Employee(1, 'Ann', e)")
-            .unwrap();
+        let q =
+            parse_query("EXISTS d, e . Employee(1, 'Bob', d) AND Employee(1, 'Ann', e)").unwrap();
         let ucq = rewrite_to_ucq(&q).unwrap();
         let certs = enumerate_certificates(&db, &keys, &blocks, &ucq).unwrap();
         assert!(certs.is_empty(), "no repair can contain both facts");
@@ -301,7 +299,11 @@ mod tests {
         let certs = enumerate_certificates(&db, &keys, &blocks, &ucq).unwrap();
         assert_eq!(certs.len(), 2);
         for c in &certs {
-            assert_eq!(c.selector.pin_count(), 1, "only the Employee atom is pinned");
+            assert_eq!(
+                c.selector.pin_count(),
+                1,
+                "only the Employee atom is pinned"
+            );
         }
     }
 

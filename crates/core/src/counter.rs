@@ -1,19 +1,20 @@
-//! The [`RepairCounter`] facade.
+//! The legacy [`RepairCounter`] facade.
 //!
-//! A `RepairCounter` bundles a database and a set of primary keys and
-//! exposes every operation the paper studies: the total repair count, the
-//! decision problem, exact counting (with a choice of algorithm), relative
-//! frequency, keywidth, and the two approximation schemes.
+//! **Deprecated path**: `RepairCounter` predates the owned, caching
+//! [`RepairEngine`](crate::RepairEngine) and is kept as a thin
+//! compatibility wrapper over it. Every method is expressible as one
+//! [`CountRequest`](crate::CountRequest); new code should construct a
+//! `RepairEngine` directly and use the request/report API, which shares
+//! plan caches across calls and across threads.
 
 use cdr_num::{BigNat, Ratio};
-use cdr_query::{
-    keywidth, max_disjunct_keywidth, rewrite_to_ucq, Query, QueryClass, UcqQuery,
-};
-use cdr_repairdb::{count_repairs, BlockPartition, Database, KeySet};
+use cdr_query::{Query, UcqQuery};
+use cdr_repairdb::{BlockPartition, Database, KeySet};
 
-use crate::approx::{ApproxConfig, ApproxCount, FprasEstimator, KarpLubyEstimator};
-use crate::exact::{count_by_enumeration, DEFAULT_EXACT_BUDGET};
-use crate::{holds_in_some_repair, relative_frequency, CountError};
+use crate::approx::{ApproxConfig, ApproxCount};
+use crate::engine::{CountRequest, RepairEngine, Strategy};
+use crate::exact::DEFAULT_EXACT_BUDGET;
+use crate::CountError;
 
 /// Which exact algorithm to use.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -29,6 +30,16 @@ pub enum ExactStrategy {
     CertificateBoxes,
 }
 
+impl From<ExactStrategy> for Strategy {
+    fn from(strategy: ExactStrategy) -> Strategy {
+        match strategy {
+            ExactStrategy::Auto => Strategy::Auto,
+            ExactStrategy::Enumeration => Strategy::Enumeration,
+            ExactStrategy::CertificateBoxes => Strategy::CertificateBoxes,
+        }
+    }
+}
+
 /// The result of an exact count.
 #[derive(Clone, Debug)]
 pub struct CountOutcome {
@@ -41,6 +52,10 @@ pub struct CountOutcome {
 }
 
 /// Counts repairs of a fixed database w.r.t. a fixed set of primary keys.
+///
+/// This is the legacy borrow-style facade; it snapshots the database and
+/// keys into an owned [`RepairEngine`] at construction and delegates every
+/// call. Prefer using the engine directly.
 ///
 /// ```
 /// use cdr_core::RepairCounter;
@@ -62,63 +77,81 @@ pub struct CountOutcome {
 /// assert_eq!(counter.count(&q).unwrap().count.to_u64(), Some(2));
 /// assert_eq!(counter.frequency(&q).unwrap().to_string(), "1/2");
 /// ```
-pub struct RepairCounter<'a> {
-    db: &'a Database,
-    keys: &'a KeySet,
-    budget: u64,
+pub struct RepairCounter {
+    engine: RepairEngine,
+    /// Explicit budget, if the caller set one. Counting paths default to
+    /// [`DEFAULT_EXACT_BUDGET`]; the decision path defaults to unbounded,
+    /// matching the historical facade behaviour.
+    budget: Option<u64>,
 }
 
-impl<'a> RepairCounter<'a> {
+impl RepairCounter {
     /// Creates a counter with the default exact budget.
-    pub fn new(db: &'a Database, keys: &'a KeySet) -> Self {
+    pub fn new(db: &Database, keys: &KeySet) -> Self {
         RepairCounter {
-            db,
-            keys,
-            budget: DEFAULT_EXACT_BUDGET,
+            engine: RepairEngine::new(db.clone(), keys.clone()),
+            budget: None,
         }
     }
 
     /// Sets the exact-counting budget (maximum number of repairs or
     /// per-component assignments that exact algorithms may enumerate).
     pub fn with_budget(mut self, budget: u64) -> Self {
-        self.budget = budget;
+        self.budget = Some(budget);
         self
+    }
+
+    fn counting_budget(&self) -> u64 {
+        self.budget.unwrap_or(DEFAULT_EXACT_BUDGET)
+    }
+
+    /// The underlying engine, for callers migrating to the request/report
+    /// API.
+    pub fn engine(&self) -> &RepairEngine {
+        &self.engine
     }
 
     /// The database being counted over.
     pub fn database(&self) -> &Database {
-        self.db
+        self.engine.database()
     }
 
     /// The primary keys in force.
     pub fn keys(&self) -> &KeySet {
-        self.keys
+        self.engine.keys()
     }
 
     /// The block partition `B₁, …, Bₙ` of the database.
     pub fn blocks(&self) -> BlockPartition {
-        BlockPartition::new(self.db, self.keys)
+        self.engine.blocks().clone()
     }
 
     /// The total number of repairs `∏ |Bᵢ|` (the paper's easy denominator).
     pub fn total_repairs(&self) -> BigNat {
-        count_repairs(&self.blocks())
+        self.engine.total_repairs().clone()
     }
 
     /// The keywidth `kw(Q, Σ)` of a query against this counter's keys.
     pub fn keywidth(&self, query: &Query) -> usize {
-        keywidth(query, self.db.schema(), self.keys)
+        self.engine.keywidth(query)
     }
 
     /// The decision problem `#CQA>0`: does some repair entail the query?
     pub fn holds_in_some_repair(&self, query: &Query) -> Result<bool, CountError> {
-        holds_in_some_repair(self.db, self.keys, query)
+        // The historical facade ran an unbounded witness search, so an
+        // unset budget maps to "no limit" here rather than the default.
+        let report = self.engine.run(
+            &CountRequest::decision(query.clone()).with_budget(self.budget.unwrap_or(u64::MAX)),
+        )?;
+        Ok(report.answer.as_bool().expect("decision reports a boolean"))
     }
 
     /// Certain-answer semantics: does *every* repair entail the query?
     pub fn holds_in_every_repair(&self, query: &Query) -> Result<bool, CountError> {
-        let outcome = self.count(query)?;
-        Ok(outcome.count == self.total_repairs())
+        let report = self.engine.run(
+            &CountRequest::certain_answer(query.clone()).with_budget(self.counting_budget()),
+        )?;
+        Ok(report.answer.as_bool().expect("decision reports a boolean"))
     }
 
     /// Counts the repairs entailing the query with the automatic strategy.
@@ -132,40 +165,35 @@ impl<'a> RepairCounter<'a> {
         query: &Query,
         strategy: ExactStrategy,
     ) -> Result<CountOutcome, CountError> {
-        let effective = match strategy {
-            ExactStrategy::Auto => {
-                if query.classify() == QueryClass::FirstOrder {
-                    ExactStrategy::Enumeration
-                } else {
-                    ExactStrategy::CertificateBoxes
-                }
-            }
-            other => other,
+        let report = self.engine.run(
+            &CountRequest::exact(query.clone())
+                .with_strategy(strategy.into())
+                .with_budget(self.counting_budget()),
+        )?;
+        let effective = match report.strategy {
+            Strategy::Enumeration => ExactStrategy::Enumeration,
+            Strategy::CertificateBoxes => ExactStrategy::CertificateBoxes,
+            _ => ExactStrategy::Auto,
         };
-        match effective {
-            ExactStrategy::Enumeration => {
-                let count = count_by_enumeration(self.db, self.keys, query, self.budget)?;
-                Ok(CountOutcome {
-                    count,
-                    strategy: ExactStrategy::Enumeration,
-                    certificates: None,
-                })
-            }
-            ExactStrategy::CertificateBoxes => {
-                let ucq = rewrite_to_ucq(query)?;
-                self.count_ucq(&ucq)
-            }
-            ExactStrategy::Auto => unreachable!("resolved above"),
-        }
+        Ok(CountOutcome {
+            count: report
+                .answer
+                .as_count()
+                .expect("exact semantics report a count")
+                .clone(),
+            strategy: effective,
+            certificates: report.certificates,
+        })
     }
 
     /// Counts the repairs entailing an already-rewritten UCQ with the
     /// certificate/box algorithm.
     pub fn count_ucq(&self, ucq: &UcqQuery) -> Result<CountOutcome, CountError> {
-        let blocks = self.blocks();
-        let certificates = crate::enumerate_certificates(self.db, self.keys, &blocks, ucq)?;
+        let blocks = self.engine.blocks();
+        let certificates =
+            crate::enumerate_certificates(self.engine.database(), self.engine.keys(), blocks, ucq)?;
         let boxes = crate::distinct_boxes(&certificates);
-        let count = crate::exact::count_union_of_boxes(&blocks, &boxes, self.budget)?;
+        let count = crate::exact::count_union_of_boxes(blocks, &boxes, self.counting_budget())?;
         Ok(CountOutcome {
             count,
             strategy: ExactStrategy::CertificateBoxes,
@@ -175,7 +203,14 @@ impl<'a> RepairCounter<'a> {
 
     /// The relative frequency of the query (Section 1.1).
     pub fn frequency(&self, query: &Query) -> Result<Ratio, CountError> {
-        relative_frequency(self.db, self.keys, query)
+        let report = self
+            .engine
+            .run(&CountRequest::frequency(query.clone()).with_budget(self.counting_budget()))?;
+        Ok(report
+            .answer
+            .as_frequency()
+            .expect("frequency semantics report a ratio")
+            .clone())
     }
 
     /// The paper's FPRAS (Theorem 6.2 / Corollary 6.4) for an existential
@@ -185,8 +220,7 @@ impl<'a> RepairCounter<'a> {
         query: &Query,
         config: &ApproxConfig,
     ) -> Result<ApproxCount, CountError> {
-        let ucq = rewrite_to_ucq(query)?;
-        FprasEstimator::new(self.db, self.keys, &ucq)?.estimate(config)
+        self.approximate_with(query, config, Strategy::Auto)
     }
 
     /// The Karp–Luby baseline estimator (the "[5]-style" scheme).
@@ -195,15 +229,37 @@ impl<'a> RepairCounter<'a> {
         query: &Query,
         config: &ApproxConfig,
     ) -> Result<ApproxCount, CountError> {
-        let ucq = rewrite_to_ucq(query)?;
-        KarpLubyEstimator::new(self.db, self.keys, &ucq)?.estimate(config)
+        self.approximate_with(query, config, Strategy::KarpLuby)
+    }
+
+    fn approximate_with(
+        &self,
+        query: &Query,
+        config: &ApproxConfig,
+        strategy: Strategy,
+    ) -> Result<ApproxCount, CountError> {
+        let request = CountRequest::new(
+            query.clone(),
+            crate::Semantics::Approximate {
+                epsilon: config.epsilon,
+                delta: config.delta,
+                seed: config.seed,
+            },
+        )
+        .with_strategy(strategy)
+        .with_sample_cap(config.max_samples);
+        let report = self.engine.run(&request)?;
+        Ok(report
+            .answer
+            .as_estimate()
+            .expect("approximate semantics report an estimate")
+            .clone())
     }
 
     /// The disjunct keywidth of the query, i.e. the exponent in the FPRAS
     /// sample-size bound.
     pub fn disjunct_keywidth(&self, query: &Query) -> Result<usize, CountError> {
-        let ucq = rewrite_to_ucq(query)?;
-        Ok(max_disjunct_keywidth(&ucq, self.db.schema(), self.keys))
+        self.engine.disjunct_keywidth(query)
     }
 }
 
@@ -328,5 +384,18 @@ mod tests {
         assert!(counter
             .count_with(&q, ExactStrategy::CertificateBoxes)
             .is_err());
+    }
+
+    #[test]
+    fn facade_methods_share_the_engine_plan_cache() {
+        let (db, keys) = employee();
+        let counter = RepairCounter::new(&db, &keys);
+        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        counter.count(&q).unwrap();
+        counter.frequency(&q).unwrap();
+        counter.holds_in_some_repair(&q).unwrap();
+        let stats = counter.engine().cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
     }
 }

@@ -56,7 +56,30 @@ pub fn holds_in_some_repair_fo(
     query: &Query,
 ) -> Result<bool, CountError> {
     let blocks = BlockPartition::new(db, keys);
-    for repair in RepairIter::new(&blocks) {
+    holds_in_some_repair_fo_bounded(db, &blocks, query, u64::MAX)
+}
+
+/// The witness search of [`holds_in_some_repair_fo`] over an
+/// already-computed block partition, visiting at most `budget` repairs
+/// before failing with [`CountError::ExactBudgetExceeded`].
+///
+/// This is the single implementation both the free function above and the
+/// [`crate::RepairEngine`] decision path share.
+pub fn holds_in_some_repair_fo_bounded(
+    db: &Database,
+    blocks: &BlockPartition,
+    query: &Query,
+    budget: u64,
+) -> Result<bool, CountError> {
+    let mut visited: u64 = 0;
+    for repair in RepairIter::new(blocks) {
+        visited += 1;
+        if visited > budget {
+            return Err(CountError::ExactBudgetExceeded {
+                what: "decision-problem repair enumeration".into(),
+                budget,
+            });
+        }
         let repaired = repair.to_database(db);
         if evaluate(&repaired, query)? {
             return Ok(true);

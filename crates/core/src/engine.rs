@@ -1,0 +1,1089 @@
+//! The [`RepairEngine`]: an owned, thread-safe, caching entry point for
+//! every operation the paper studies.
+//!
+//! The engine owns its database and key set (behind [`Arc`]s so clones are
+//! cheap to share across threads), computes the block partition `B₁, …, Bₙ`
+//! and the total repair count **once** at construction, and memoizes every
+//! per-query planning artifact — the UCQ rewrite, the query class, the
+//! keywidth and disjunct keywidth, the certificate boxes, and the prepared
+//! estimators — in an interior cache. Repeated runs of the same query skip
+//! all planning; the [`RepairEngine::cache_stats`] counters make the hits
+//! observable.
+//!
+//! All operations go through one request/report pair: a [`CountRequest`]
+//! names a query, a [`Semantics`] (exact count, approximation, decision,
+//! certain answer, relative frequency), a [`Strategy`], a budget and a
+//! sample cap; a [`CountReport`] carries the tagged [`Answer`] plus
+//! provenance (effective strategy, certificates found, samples requested
+//! and used, wall-clock duration, whether the plan came from the cache).
+//!
+//! The legacy [`crate::RepairCounter`] facade is a thin wrapper over this
+//! engine and is kept only for backwards compatibility.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use cdr_num::{BigNat, Ratio};
+use cdr_query::{
+    evaluate, keywidth, max_disjunct_keywidth, rewrite_to_ucq, Query, QueryClass, UcqQuery,
+};
+use cdr_repairdb::{count_repairs, BlockPartition, Database, FactId, KeySet, RepairIter};
+
+use crate::approx::{ApproxConfig, ApproxCount, FprasEstimator, KarpLubyEstimator};
+use crate::exact::{count_by_enumeration, count_union_of_boxes, DEFAULT_EXACT_BUDGET};
+use crate::{distinct_boxes, enumerate_certificates, CountError, SelectorBox};
+
+/// What question a [`CountRequest`] asks about its query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Semantics {
+    /// The exact number of repairs entailing the query (`#CQA`).
+    Exact,
+    /// An (ε, δ)-approximation of the exact count (Theorem 6.2).
+    Approximate {
+        /// Relative error bound `ε > 0`.
+        epsilon: f64,
+        /// Failure probability `δ ∈ (0, 1)`.
+        delta: f64,
+        /// Seed for the pseudo-random generator, for reproducible runs.
+        seed: u64,
+    },
+    /// The decision problem `#CQA>0`: does *some* repair entail the query?
+    Decision,
+    /// Certain-answer semantics: does *every* repair entail the query?
+    CertainAnswer,
+    /// The relative frequency of the query over the repairs (Section 1.1).
+    Frequency,
+}
+
+/// How the engine should compute the answer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Choose automatically from the query class and the semantics: the
+    /// certificate/box machinery for existential positive queries, repair
+    /// enumeration for arbitrary first-order queries, and the paper's
+    /// FPRAS for approximations.
+    #[default]
+    Auto,
+    /// Enumerate every repair (any first-order query; exponential).
+    Enumeration,
+    /// The certificate/box algorithm (existential positive queries only).
+    CertificateBoxes,
+    /// The Karp–Luby baseline estimator (approximate semantics only).
+    KarpLuby,
+}
+
+impl Strategy {
+    fn name(self) -> &'static str {
+        match self {
+            Strategy::Auto => "Auto",
+            Strategy::Enumeration => "Enumeration",
+            Strategy::CertificateBoxes => "CertificateBoxes",
+            Strategy::KarpLuby => "KarpLuby",
+        }
+    }
+}
+
+/// A single question for a [`RepairEngine`]: a query, the [`Semantics`] to
+/// apply, and the tuning knobs ([`Strategy`], budget, sample cap, seed).
+///
+/// ```
+/// use cdr_core::{CountRequest, Semantics, Strategy};
+/// use cdr_query::parse_query;
+///
+/// let q = parse_query("EXISTS n . Employee(2, n, 'IT')").unwrap();
+/// let request = CountRequest::exact(q.clone())
+///     .with_strategy(Strategy::CertificateBoxes)
+///     .with_budget(1_000_000);
+/// assert_eq!(request.semantics(), &Semantics::Exact);
+/// assert_eq!(request.strategy(), Strategy::CertificateBoxes);
+/// assert_eq!(request.budget(), Some(1_000_000));
+///
+/// let approx = CountRequest::approximate(q, 0.1, 0.05).with_seed(42);
+/// assert!(matches!(
+///     approx.semantics(),
+///     Semantics::Approximate { seed: 42, .. }
+/// ));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CountRequest {
+    query: Query,
+    semantics: Semantics,
+    strategy: Strategy,
+    budget: Option<u64>,
+    sample_cap: u64,
+}
+
+impl CountRequest {
+    /// A request with explicit semantics and default knobs.
+    pub fn new(query: Query, semantics: Semantics) -> Self {
+        CountRequest {
+            query,
+            semantics,
+            strategy: Strategy::Auto,
+            budget: None,
+            sample_cap: ApproxConfig::default().max_samples,
+        }
+    }
+
+    /// Asks for the exact repair count of the query.
+    pub fn exact(query: Query) -> Self {
+        CountRequest::new(query, Semantics::Exact)
+    }
+
+    /// Asks for an (ε, δ)-approximate count with the default seed.
+    pub fn approximate(query: Query, epsilon: f64, delta: f64) -> Self {
+        CountRequest::new(
+            query,
+            Semantics::Approximate {
+                epsilon,
+                delta,
+                seed: ApproxConfig::default().seed,
+            },
+        )
+    }
+
+    /// Asks whether some repair entails the query (`#CQA>0`).
+    pub fn decision(query: Query) -> Self {
+        CountRequest::new(query, Semantics::Decision)
+    }
+
+    /// Asks whether every repair entails the query (certain answers).
+    pub fn certain_answer(query: Query) -> Self {
+        CountRequest::new(query, Semantics::CertainAnswer)
+    }
+
+    /// Asks for the relative frequency of the query over the repairs.
+    pub fn frequency(query: Query) -> Self {
+        CountRequest::new(query, Semantics::Frequency)
+    }
+
+    /// Forces a particular [`Strategy`] instead of `Auto`.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Caps the number of repairs (or per-component assignments) exact
+    /// algorithms may enumerate; defaults to the engine's budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Caps the number of samples an approximation may draw.
+    pub fn with_sample_cap(mut self, sample_cap: u64) -> Self {
+        self.sample_cap = sample_cap;
+        self
+    }
+
+    /// Sets the random seed (only meaningful for approximate semantics).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        if let Semantics::Approximate { seed: s, .. } = &mut self.semantics {
+            *s = seed;
+        }
+        self
+    }
+
+    /// The query being asked about.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The semantics requested.
+    pub fn semantics(&self) -> &Semantics {
+        &self.semantics
+    }
+
+    /// The strategy requested (before `Auto` resolution).
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The explicit budget, if one was set.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// The sample cap for approximate semantics.
+    pub fn sample_cap(&self) -> u64 {
+        self.sample_cap
+    }
+}
+
+/// The tagged payload of a [`CountReport`].
+#[derive(Clone, Debug)]
+pub enum Answer {
+    /// An exact repair count.
+    Count(BigNat),
+    /// An approximate count with its sampling diagnostics.
+    Estimate(ApproxCount),
+    /// An exact relative frequency.
+    Frequency(Ratio),
+    /// A yes/no answer (decision or certain-answer semantics).
+    Decision(bool),
+}
+
+impl Answer {
+    /// The exact count, if this answer is one.
+    pub fn as_count(&self) -> Option<&BigNat> {
+        match self {
+            Answer::Count(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The estimate, if this answer is one.
+    pub fn as_estimate(&self) -> Option<&ApproxCount> {
+        match self {
+            Answer::Estimate(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The frequency, if this answer is one.
+    pub fn as_frequency(&self) -> Option<&Ratio> {
+        match self {
+            Answer::Frequency(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this answer is a decision.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Answer::Decision(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// The uniform result of [`RepairEngine::run`]: the [`Answer`] plus the
+/// provenance of how it was computed.
+#[derive(Clone, Debug)]
+pub struct CountReport {
+    /// The answer, tagged by kind.
+    pub answer: Answer,
+    /// The strategy that actually produced the answer (`Auto` resolved).
+    pub strategy: Strategy,
+    /// Number of certificates found, when the certificate machinery ran.
+    pub certificates: Option<usize>,
+    /// The sample size the approximation theory asked for (0 for exact
+    /// semantics).
+    pub samples_requested: u64,
+    /// The number of samples actually drawn (0 for exact semantics).
+    pub samples_used: u64,
+    /// Wall-clock time spent answering the request.
+    pub duration: Duration,
+    /// Whether the query plan came from the engine's cache.
+    pub plan_cached: bool,
+}
+
+/// Counters describing the engine's plan cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered with an already-planned query.
+    pub hits: u64,
+    /// Requests that had to plan the query from scratch.
+    pub misses: u64,
+    /// Number of plans currently cached.
+    pub entries: u64,
+}
+
+/// Everything the engine ever needs to know about one query, computed at
+/// most once. Certificate boxes and prepared estimators are filled lazily
+/// because not every semantics needs them.
+struct QueryPlan {
+    query: Query,
+    class: QueryClass,
+    keywidth: usize,
+    /// The UCQ rewrite, or the rewrite error for genuinely first-order
+    /// queries (kept so forced box strategies report the right error).
+    ucq: Result<UcqQuery, CountError>,
+    /// `max_disjunct_keywidth` of the rewrite (None for FO queries).
+    disjunct_keywidth: Option<usize>,
+    certificates: OnceLock<Result<CertSummary, CountError>>,
+    estimators: OnceLock<Result<Estimators, CountError>>,
+}
+
+/// The certificate boxes of a query over the engine's fixed database.
+struct CertSummary {
+    /// Total number of certificates (before box deduplication).
+    count: usize,
+    /// The distinct selector boxes, shared with the prepared estimators.
+    boxes: Arc<Vec<SelectorBox>>,
+    /// Whether some box pins nothing (covers every repair).
+    has_unconstrained: bool,
+}
+
+/// Both prepared estimators for a query, sharing the cached boxes.
+struct Estimators {
+    fpras: FprasEstimator,
+    karp_luby: KarpLubyEstimator,
+}
+
+impl QueryPlan {
+    fn build(query: &Query, db: &Database, keys: &KeySet) -> Self {
+        let class = query.classify();
+        let ucq = rewrite_to_ucq(query).map_err(CountError::from);
+        let disjunct_keywidth = ucq
+            .as_ref()
+            .ok()
+            .map(|u| max_disjunct_keywidth(u, db.schema(), keys));
+        QueryPlan {
+            query: query.clone(),
+            class,
+            keywidth: keywidth(query, db.schema(), keys),
+            ucq,
+            disjunct_keywidth,
+            certificates: OnceLock::new(),
+            estimators: OnceLock::new(),
+        }
+    }
+
+    fn cert_summary(&self, engine: &RepairEngine) -> Result<&CertSummary, CountError> {
+        self.certificates
+            .get_or_init(|| {
+                let ucq = self.ucq.as_ref().map_err(Clone::clone)?;
+                let certs = enumerate_certificates(&engine.db, &engine.keys, &engine.blocks, ucq)?;
+                let boxes = distinct_boxes(&certs);
+                Ok(CertSummary {
+                    count: certs.len(),
+                    has_unconstrained: boxes.iter().any(SelectorBox::is_unconstrained),
+                    boxes: Arc::new(boxes),
+                })
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    fn estimators(&self, engine: &RepairEngine) -> Result<&Estimators, CountError> {
+        self.estimators
+            .get_or_init(|| {
+                let certs = self.cert_summary(engine)?;
+                let disjunct_keywidth = self
+                    .disjunct_keywidth
+                    .expect("cert_summary succeeded, so the query rewrote to a UCQ");
+                Ok(Estimators {
+                    fpras: FprasEstimator::from_parts(
+                        Arc::clone(&engine.blocks),
+                        Arc::clone(&certs.boxes),
+                        disjunct_keywidth,
+                        engine.total_repairs.clone(),
+                    ),
+                    karp_luby: KarpLubyEstimator::from_parts(
+                        Arc::clone(&engine.blocks),
+                        Arc::clone(&certs.boxes),
+                        engine.total_repairs.clone(),
+                    ),
+                })
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+}
+
+/// An owned, `Send + Sync`, caching engine answering repair-counting
+/// requests over one fixed database and key set.
+///
+/// ```
+/// use cdr_core::{CountRequest, RepairEngine};
+/// use cdr_query::parse_query;
+/// use cdr_repairdb::{Database, KeySet, Schema};
+///
+/// let mut schema = Schema::new();
+/// schema.add_relation("Employee", 3).unwrap();
+/// let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+/// let mut db = Database::new(schema);
+/// db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+/// db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+/// db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+/// db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
+///
+/// let engine = RepairEngine::new(db, keys);
+/// let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+///
+/// assert_eq!(engine.total_repairs().to_u64(), Some(4));
+/// let exact = engine.run(&CountRequest::exact(q.clone())).unwrap();
+/// assert_eq!(exact.answer.as_count().unwrap().to_u64(), Some(2));
+/// let freq = engine.run(&CountRequest::frequency(q.clone())).unwrap();
+/// assert_eq!(freq.answer.as_frequency().unwrap().to_string(), "1/2");
+///
+/// // The second run reused the cached plan.
+/// assert!(freq.plan_cached);
+/// assert_eq!(engine.cache_stats().misses, 1);
+/// ```
+pub struct RepairEngine {
+    db: Arc<Database>,
+    keys: Arc<KeySet>,
+    blocks: Arc<BlockPartition>,
+    total_repairs: BigNat,
+    default_budget: u64,
+    plans: Mutex<HashMap<String, Arc<QueryPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RepairEngine {
+    /// Builds an engine that owns the database and key set.
+    ///
+    /// The block partition and the total repair count are computed here,
+    /// once, and shared by every subsequent request.
+    pub fn new(db: Database, keys: KeySet) -> Self {
+        RepairEngine::from_arcs(Arc::new(db), Arc::new(keys))
+    }
+
+    /// Builds an engine over shared handles, avoiding a copy when the
+    /// caller already holds the database in an [`Arc`].
+    pub fn from_arcs(db: Arc<Database>, keys: Arc<KeySet>) -> Self {
+        let blocks = Arc::new(BlockPartition::new(&db, &keys));
+        let total_repairs = count_repairs(&blocks);
+        RepairEngine {
+            db,
+            keys,
+            blocks,
+            total_repairs,
+            default_budget: DEFAULT_EXACT_BUDGET,
+            plans: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the budget used when a request does not carry its own.
+    pub fn with_default_budget(mut self, budget: u64) -> Self {
+        self.default_budget = budget;
+        self
+    }
+
+    /// The database being counted over.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// A shareable handle to the database.
+    pub fn database_arc(&self) -> Arc<Database> {
+        Arc::clone(&self.db)
+    }
+
+    /// The primary keys in force.
+    pub fn keys(&self) -> &KeySet {
+        &self.keys
+    }
+
+    /// A shareable handle to the key set.
+    pub fn keys_arc(&self) -> Arc<KeySet> {
+        Arc::clone(&self.keys)
+    }
+
+    /// The block partition `B₁, …, Bₙ`, computed once at construction.
+    pub fn blocks(&self) -> &BlockPartition {
+        &self.blocks
+    }
+
+    /// The total number of repairs `∏ |Bᵢ|`, computed once at construction.
+    pub fn total_repairs(&self) -> &BigNat {
+        &self.total_repairs
+    }
+
+    /// The engine's default exact budget.
+    pub fn default_budget(&self) -> u64 {
+        self.default_budget
+    }
+
+    /// Plan-cache counters: hits, misses and resident entries.
+    pub fn cache_stats(&self) -> CacheStats {
+        let entries = self
+            .plans
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len() as u64;
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// The keywidth `kw(Q, Σ)` of a query (cached with the query's plan).
+    pub fn keywidth(&self, query: &Query) -> usize {
+        self.plan(query).0.keywidth
+    }
+
+    /// The disjunct keywidth of a query — the exponent in the FPRAS
+    /// sample-size bound. Errors for genuinely first-order queries.
+    pub fn disjunct_keywidth(&self, query: &Query) -> Result<usize, CountError> {
+        let (plan, _) = self.plan(query);
+        plan.ucq.as_ref().map_err(Clone::clone)?;
+        Ok(plan
+            .disjunct_keywidth
+            .expect("rewrite succeeded, so the disjunct keywidth was computed"))
+    }
+
+    /// Answers one request.
+    pub fn run(&self, request: &CountRequest) -> Result<CountReport, CountError> {
+        let started = Instant::now();
+        let (plan, plan_cached) = self.plan(&request.query);
+        let budget = request.budget.unwrap_or(self.default_budget);
+        let mut report = CountReport {
+            answer: Answer::Decision(false),
+            strategy: request.strategy,
+            certificates: None,
+            samples_requested: 0,
+            samples_used: 0,
+            duration: Duration::ZERO,
+            plan_cached,
+        };
+        match &request.semantics {
+            Semantics::Exact => {
+                let (count, strategy) = self.exact_count(
+                    &plan,
+                    request.strategy,
+                    budget,
+                    "exact counting",
+                    &mut report,
+                )?;
+                report.strategy = strategy;
+                report.answer = Answer::Count(count);
+            }
+            Semantics::Frequency => {
+                let (count, strategy) = self.exact_count(
+                    &plan,
+                    request.strategy,
+                    budget,
+                    "relative frequency",
+                    &mut report,
+                )?;
+                report.strategy = strategy;
+                report.answer = Answer::Frequency(Ratio::new(count, self.total_repairs.clone()));
+            }
+            Semantics::Decision => {
+                let (holds, strategy) =
+                    self.decide_some(&plan, request.strategy, budget, &mut report)?;
+                report.strategy = strategy;
+                report.answer = Answer::Decision(holds);
+            }
+            Semantics::CertainAnswer => {
+                let (holds, strategy) =
+                    self.decide_every(&plan, request.strategy, budget, &mut report)?;
+                report.strategy = strategy;
+                report.answer = Answer::Decision(holds);
+            }
+            Semantics::Approximate {
+                epsilon,
+                delta,
+                seed,
+            } => {
+                let config = ApproxConfig {
+                    epsilon: *epsilon,
+                    delta: *delta,
+                    max_samples: request.sample_cap,
+                    seed: *seed,
+                };
+                let (estimate, strategy) =
+                    self.approximate(&plan, request.strategy, &config, &mut report)?;
+                report.strategy = strategy;
+                report.samples_requested = estimate.samples_requested;
+                report.samples_used = estimate.samples_used;
+                report.answer = Answer::Estimate(estimate);
+            }
+        }
+        report.duration = started.elapsed();
+        Ok(report)
+    }
+
+    /// Answers a batch of requests, sharing the plan cache across them.
+    pub fn run_batch(&self, requests: &[CountRequest]) -> Vec<Result<CountReport, CountError>> {
+        requests.iter().map(|request| self.run(request)).collect()
+    }
+
+    /// Fetches or builds the plan for a query. The boolean is `true` on a
+    /// cache hit.
+    fn plan(&self, query: &Query) -> (Arc<QueryPlan>, bool) {
+        let key = query.to_string();
+        {
+            let plans = self
+                .plans
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if let Some(plan) = plans.get(&key) {
+                // Display collisions are not expected, but equality is
+                // cheap insurance against serving a wrong plan.
+                if plan.query == *query {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (Arc::clone(plan), true);
+                }
+            }
+        }
+        let plan = Arc::new(QueryPlan::build(query, &self.db, &self.keys));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut plans = self
+            .plans
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let entry = plans.entry(key).or_insert_with(|| Arc::clone(&plan));
+        // If another thread planned the same query first, prefer the
+        // resident plan so lazily-computed artifacts are shared.
+        if entry.query == *query {
+            (Arc::clone(entry), false)
+        } else {
+            (plan, false)
+        }
+    }
+
+    /// Resolves `Auto` for exact semantics and rejects nonsensical
+    /// strategy/semantics combinations.
+    fn resolve_exact(
+        &self,
+        plan: &QueryPlan,
+        strategy: Strategy,
+        semantics: &'static str,
+    ) -> Result<Strategy, CountError> {
+        match strategy {
+            Strategy::Auto => Ok(if plan.class == QueryClass::FirstOrder {
+                Strategy::Enumeration
+            } else {
+                Strategy::CertificateBoxes
+            }),
+            Strategy::KarpLuby => Err(CountError::UnsupportedStrategy {
+                semantics,
+                strategy: strategy.name(),
+            }),
+            other => Ok(other),
+        }
+    }
+
+    fn exact_count(
+        &self,
+        plan: &QueryPlan,
+        strategy: Strategy,
+        budget: u64,
+        semantics: &'static str,
+        report: &mut CountReport,
+    ) -> Result<(BigNat, Strategy), CountError> {
+        let effective = self.resolve_exact(plan, strategy, semantics)?;
+        match effective {
+            Strategy::Enumeration => {
+                let count = count_by_enumeration(&self.db, &self.keys, &plan.query, budget)?;
+                Ok((count, Strategy::Enumeration))
+            }
+            Strategy::CertificateBoxes => {
+                let certs = plan.cert_summary(self)?;
+                report.certificates = Some(certs.count);
+                let count = count_union_of_boxes(&self.blocks, &certs.boxes, budget)?;
+                Ok((count, Strategy::CertificateBoxes))
+            }
+            _ => unreachable!("resolve_exact returns a concrete exact strategy"),
+        }
+    }
+
+    fn decide_some(
+        &self,
+        plan: &QueryPlan,
+        strategy: Strategy,
+        budget: u64,
+        report: &mut CountReport,
+    ) -> Result<(bool, Strategy), CountError> {
+        let effective = self.resolve_exact(plan, strategy, "the decision problem")?;
+        match effective {
+            Strategy::Enumeration => {
+                let holds = crate::decision::holds_in_some_repair_fo_bounded(
+                    &self.db,
+                    &self.blocks,
+                    &plan.query,
+                    budget,
+                )?;
+                Ok((holds, Strategy::Enumeration))
+            }
+            Strategy::CertificateBoxes => {
+                let certs = plan.cert_summary(self)?;
+                report.certificates = Some(certs.count);
+                Ok((certs.count > 0, Strategy::CertificateBoxes))
+            }
+            _ => unreachable!("resolve_exact returns a concrete exact strategy"),
+        }
+    }
+
+    fn decide_every(
+        &self,
+        plan: &QueryPlan,
+        strategy: Strategy,
+        budget: u64,
+        report: &mut CountReport,
+    ) -> Result<(bool, Strategy), CountError> {
+        let effective = self.resolve_exact(plan, strategy, "certain answers")?;
+        match effective {
+            Strategy::Enumeration => {
+                // Witness search for a refuting repair: stop at the first
+                // repair that does NOT entail the query.
+                let mut visited: u64 = 0;
+                for repair in RepairIter::new(&self.blocks) {
+                    visited += 1;
+                    if visited > budget {
+                        return Err(CountError::ExactBudgetExceeded {
+                            what: "certain-answer repair enumeration".into(),
+                            budget,
+                        });
+                    }
+                    let repaired = repair.to_database(&self.db);
+                    if !evaluate(&repaired, &plan.query)? {
+                        return Ok((false, Strategy::Enumeration));
+                    }
+                }
+                Ok((true, Strategy::Enumeration))
+            }
+            Strategy::CertificateBoxes => {
+                let certs = plan.cert_summary(self)?;
+                report.certificates = Some(certs.count);
+                if certs.has_unconstrained {
+                    // Some certificate covers every repair.
+                    return Ok((true, Strategy::CertificateBoxes));
+                }
+                if certs.boxes.is_empty() {
+                    // No repair entails the query; there is always at
+                    // least one repair (the empty database has one).
+                    return Ok((false, Strategy::CertificateBoxes));
+                }
+                if self.refuting_choice(&certs.boxes).is_some() {
+                    // Found block evidence: a repair avoiding every box.
+                    return Ok((false, Strategy::CertificateBoxes));
+                }
+                // Inconclusive cheap checks: fall back to the exact count.
+                let count = count_union_of_boxes(&self.blocks, &certs.boxes, budget)?;
+                Ok((count == self.total_repairs, Strategy::CertificateBoxes))
+            }
+            _ => unreachable!("resolve_exact returns a concrete exact strategy"),
+        }
+    }
+
+    /// Greedily builds a repair avoiding every box, processing one box at
+    /// a time and deviating on a pinned block. Sound but incomplete: a
+    /// `Some` result is a genuine refutation of certainty, a `None` means
+    /// the caller must fall back to exact counting.
+    fn refuting_choice(&self, boxes: &[SelectorBox]) -> Option<HashMap<usize, FactId>> {
+        let mut choice: HashMap<usize, FactId> = HashMap::new();
+        for b in boxes {
+            let already_avoided = b.pins().any(|(block, fact)| {
+                choice
+                    .get(&block.index())
+                    .is_some_and(|&chosen| chosen != fact)
+            });
+            if already_avoided {
+                continue;
+            }
+            let mut deviated = false;
+            for (block, fact) in b.pins() {
+                if choice.contains_key(&block.index()) {
+                    // Already matching this pin; deviating here would
+                    // disturb an earlier box's avoidance.
+                    continue;
+                }
+                if let Some(&alternative) = self
+                    .blocks
+                    .block(block)
+                    .facts()
+                    .iter()
+                    .find(|&&candidate| candidate != fact)
+                {
+                    choice.insert(block.index(), alternative);
+                    deviated = true;
+                    break;
+                }
+            }
+            if !deviated {
+                return None;
+            }
+        }
+        Some(choice)
+    }
+
+    fn approximate(
+        &self,
+        plan: &QueryPlan,
+        strategy: Strategy,
+        config: &ApproxConfig,
+        report: &mut CountReport,
+    ) -> Result<(ApproxCount, Strategy), CountError> {
+        let effective = match strategy {
+            Strategy::Auto => Strategy::CertificateBoxes,
+            Strategy::KarpLuby => Strategy::KarpLuby,
+            other => {
+                return Err(CountError::UnsupportedStrategy {
+                    semantics: "approximation",
+                    strategy: other.name(),
+                })
+            }
+        };
+        let estimators = plan.estimators(self)?;
+        if let Ok(certs) = plan.cert_summary(self) {
+            report.certificates = Some(certs.count);
+        }
+        let estimate = match effective {
+            Strategy::CertificateBoxes => estimators.fpras.estimate(config)?,
+            Strategy::KarpLuby => estimators.karp_luby.estimate(config)?,
+            _ => unreachable!("resolved above"),
+        };
+        Ok((estimate, effective))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdr_query::parse_query;
+    use cdr_repairdb::Schema;
+
+    fn employee_engine() -> RepairEngine {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
+        RepairEngine::new(db, keys)
+    }
+
+    fn example_query() -> Query {
+        parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap()
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RepairEngine>();
+        assert_send_sync::<CountRequest>();
+        assert_send_sync::<CountReport>();
+    }
+
+    #[test]
+    fn second_run_hits_the_plan_cache() {
+        let engine = employee_engine();
+        let request = CountRequest::exact(example_query());
+        let first = engine.run(&request).unwrap();
+        assert!(!first.plan_cached);
+        let second = engine.run(&request).unwrap();
+        assert!(second.plan_cached);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        // Different semantics over the same query still share the plan.
+        engine
+            .run(&CountRequest::frequency(example_query()))
+            .unwrap();
+        assert_eq!(engine.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn all_semantics_answer_the_running_example() {
+        let engine = employee_engine();
+        let q = example_query();
+        let reports = engine.run_batch(&[
+            CountRequest::exact(q.clone()),
+            CountRequest::frequency(q.clone()),
+            CountRequest::decision(q.clone()),
+            CountRequest::certain_answer(q.clone()),
+            CountRequest::approximate(q.clone(), 0.1, 0.05),
+        ]);
+        let reports: Vec<CountReport> = reports.into_iter().collect::<Result<_, _>>().unwrap();
+        assert_eq!(reports[0].answer.as_count().unwrap().to_u64(), Some(2));
+        assert_eq!(reports[1].answer.as_frequency().unwrap().to_string(), "1/2");
+        assert_eq!(reports[2].answer.as_bool(), Some(true));
+        assert_eq!(reports[3].answer.as_bool(), Some(false));
+        let estimate = reports[4].answer.as_estimate().unwrap();
+        assert!(estimate.relative_error(&BigNat::from(2u64)) <= 0.1);
+        assert!(reports[4].samples_used > 0);
+        // One planning miss, four hits.
+        assert_eq!(engine.cache_stats().misses, 1);
+        assert_eq!(engine.cache_stats().hits, 4);
+    }
+
+    #[test]
+    fn strategies_resolve_per_class() {
+        let engine = employee_engine();
+        let positive = parse_query("EXISTS n . Employee(2, n, 'IT')").unwrap();
+        let report = engine.run(&CountRequest::exact(positive)).unwrap();
+        assert_eq!(report.strategy, Strategy::CertificateBoxes);
+        assert!(report.certificates.is_some());
+        let negated = parse_query("NOT EXISTS i, n . Employee(i, n, 'HR')").unwrap();
+        let report = engine.run(&CountRequest::exact(negated)).unwrap();
+        assert_eq!(report.strategy, Strategy::Enumeration);
+        assert_eq!(report.answer.as_count().unwrap().to_u64(), Some(2));
+        assert!(report.certificates.is_none());
+    }
+
+    #[test]
+    fn unsupported_strategy_combinations_are_rejected() {
+        let engine = employee_engine();
+        let q = example_query();
+        let exact_kl = CountRequest::exact(q.clone()).with_strategy(Strategy::KarpLuby);
+        assert!(matches!(
+            engine.run(&exact_kl),
+            Err(CountError::UnsupportedStrategy { .. })
+        ));
+        let approx_enum =
+            CountRequest::approximate(q.clone(), 0.1, 0.05).with_strategy(Strategy::Enumeration);
+        assert!(matches!(
+            engine.run(&approx_enum),
+            Err(CountError::UnsupportedStrategy { .. })
+        ));
+        let fo = parse_query("NOT EXISTS i, n . Employee(i, n, 'HR')").unwrap();
+        let forced_boxes = CountRequest::exact(fo).with_strategy(Strategy::CertificateBoxes);
+        assert!(matches!(
+            engine.run(&forced_boxes),
+            Err(CountError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn certain_answers_match_the_counting_definition() {
+        let engine = employee_engine();
+        for (text, expected) in [
+            ("EXISTS n . Employee(2, n, 'IT')", true),
+            ("EXISTS n, d . Employee(1, n, d)", true),
+            ("Employee(1, 'Bob', 'HR')", false),
+            ("EXISTS n, d . Employee(3, n, d)", false),
+            ("TRUE", true),
+            ("FALSE", false),
+        ] {
+            let q = parse_query(text).unwrap();
+            let report = engine
+                .run(&CountRequest::certain_answer(q.clone()))
+                .unwrap();
+            assert_eq!(report.answer.as_bool(), Some(expected), "{text}");
+            // Cross-check against the definition: count == total.
+            let count = engine
+                .run(&CountRequest::exact(q))
+                .unwrap()
+                .answer
+                .as_count()
+                .unwrap()
+                .clone();
+            assert_eq!(count == *engine.total_repairs(), expected, "{text}");
+        }
+    }
+
+    #[test]
+    fn certain_answer_refutes_without_counting_via_block_evidence() {
+        // A single-box query over a large database: the greedy refutation
+        // must answer without touching the (budget-guarded) counter.
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        let keys = KeySet::builder(&schema).key("R", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        for k in 0..40i64 {
+            db.insert_parsed(&format!("R({k}, 'a')")).unwrap();
+            db.insert_parsed(&format!("R({k}, 'b')")).unwrap();
+        }
+        let engine = RepairEngine::new(db, keys);
+        let q = parse_query("R(0, 'a')").unwrap();
+        // 2^40 repairs: a full count would blow this budget immediately,
+        // so a false answer proves the refutation short-circuit ran.
+        let report = engine
+            .run(&CountRequest::certain_answer(q).with_budget(8))
+            .unwrap();
+        assert_eq!(report.answer.as_bool(), Some(false));
+    }
+
+    #[test]
+    fn decision_enumeration_strategy_is_exhaustive() {
+        let engine = employee_engine();
+        let q = parse_query("NOT EXISTS i, n . Employee(i, n, 'HR')").unwrap();
+        let report = engine.run(&CountRequest::decision(q)).unwrap();
+        assert_eq!(report.answer.as_bool(), Some(true));
+        assert_eq!(report.strategy, Strategy::Enumeration);
+        let q = parse_query("NOT EXISTS d . Employee(1, 'Bob', d)").unwrap();
+        let report = engine.run(&CountRequest::decision(q)).unwrap();
+        assert_eq!(report.answer.as_bool(), Some(false));
+    }
+
+    #[test]
+    fn budget_and_sample_cap_are_honoured() {
+        let engine = employee_engine();
+        let q = parse_query("TRUE").unwrap();
+        let strict = CountRequest::exact(q.clone())
+            .with_strategy(Strategy::Enumeration)
+            .with_budget(2);
+        assert!(matches!(
+            engine.run(&strict),
+            Err(CountError::ExactBudgetExceeded { .. })
+        ));
+        let capped = CountRequest::approximate(example_query(), 0.001, 0.05).with_sample_cap(100);
+        let report = engine.run(&capped).unwrap();
+        assert_eq!(report.samples_used, 100);
+        assert!(report.samples_requested > 100);
+    }
+
+    #[test]
+    fn decision_enumeration_honours_the_budget() {
+        let engine = employee_engine();
+        // A first-order query no repair satisfies forces the witness
+        // search to visit every repair — the budget must stop it.
+        let q = parse_query("NOT EXISTS d . Employee(1, 'Bob', d)").unwrap();
+        let strict = CountRequest::decision(q.clone()).with_budget(2);
+        assert!(matches!(
+            engine.run(&strict),
+            Err(CountError::ExactBudgetExceeded { .. })
+        ));
+        // A sufficient budget still answers.
+        let report = engine
+            .run(&CountRequest::decision(q).with_budget(4))
+            .unwrap();
+        assert_eq!(report.answer.as_bool(), Some(false));
+    }
+
+    #[test]
+    fn frequency_strategy_errors_name_the_semantics() {
+        let engine = employee_engine();
+        let err = engine
+            .run(&CountRequest::frequency(example_query()).with_strategy(Strategy::KarpLuby))
+            .unwrap_err();
+        assert!(err.to_string().contains("relative frequency"), "{err}");
+    }
+
+    #[test]
+    fn karp_luby_strategy_runs_through_the_engine() {
+        let engine = employee_engine();
+        let request = CountRequest::approximate(example_query(), 0.1, 0.05)
+            .with_strategy(Strategy::KarpLuby)
+            .with_seed(7);
+        let report = engine.run(&request).unwrap();
+        assert_eq!(report.strategy, Strategy::KarpLuby);
+        let estimate = report.answer.as_estimate().unwrap();
+        assert!(estimate.relative_error(&BigNat::from(2u64)) <= 0.1);
+    }
+
+    #[test]
+    fn engine_is_usable_across_threads() {
+        let engine = Arc::new(employee_engine());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                let report = engine.run(&CountRequest::exact(example_query())).unwrap();
+                report.answer.as_count().unwrap().to_u64()
+            }));
+        }
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), Some(2));
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 4);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn keywidths_are_served_from_the_plan() {
+        let engine = employee_engine();
+        let q = example_query();
+        assert_eq!(engine.keywidth(&q), 2);
+        assert_eq!(engine.disjunct_keywidth(&q).unwrap(), 2);
+        let fo = parse_query("NOT EXISTS i, n . Employee(i, n, 'HR')").unwrap();
+        assert!(engine.disjunct_keywidth(&fo).is_err());
+        // Three lookups, one plan.
+        assert_eq!(engine.cache_stats().entries, 2);
+    }
+}

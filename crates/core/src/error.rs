@@ -22,6 +22,14 @@ pub enum CountError {
     },
     /// An approximation parameter was invalid (e.g. `ε ≤ 0` or `δ ∉ (0,1)`).
     InvalidApproxParameter(String),
+    /// A [`crate::Strategy`] was requested for a [`crate::Semantics`] it
+    /// cannot serve (e.g. Karp–Luby for an exact count).
+    UnsupportedStrategy {
+        /// The semantics the request asked for.
+        semantics: &'static str,
+        /// The strategy that cannot serve it.
+        strategy: &'static str,
+    },
 }
 
 impl fmt::Display for CountError {
@@ -34,6 +42,12 @@ impl fmt::Display for CountError {
             }
             CountError::InvalidApproxParameter(msg) => {
                 write!(f, "invalid approximation parameter: {msg}")
+            }
+            CountError::UnsupportedStrategy {
+                semantics,
+                strategy,
+            } => {
+                write!(f, "the {strategy} strategy cannot serve {semantics}")
             }
         }
     }

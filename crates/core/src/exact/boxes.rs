@@ -128,8 +128,7 @@ pub fn count_union_generic(
         for &d in &touched {
             component_total.mul_assign_u64(domain_sizes[d] as u64);
         }
-        let covered =
-            count_component_union(domain_sizes, &component.boxes, &touched, budget)?;
+        let covered = count_component_union(domain_sizes, &component.boxes, &touched, budget)?;
         let uncovered = component_total
             .checked_sub(&covered)
             .expect("covered assignments cannot exceed the component total");
@@ -174,14 +173,14 @@ struct Component {
 fn connected_components(boxes: &[GenericBox]) -> Vec<Component> {
     let mut parent: Vec<usize> = (0..boxes.len()).collect();
 
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
         }
         x
     }
-    fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
+    fn union(parent: &mut [usize], a: usize, b: usize) {
         let ra = find(parent, a);
         let rb = find(parent, b);
         if ra != rb {
@@ -373,8 +372,11 @@ mod tests {
     #[test]
     fn example_1_1_counts_two() {
         let (db, keys) = employee();
-        let (boxes, enumeration) =
-            count_both_ways(&db, &keys, "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)");
+        let (boxes, enumeration) = count_both_ways(
+            &db,
+            &keys,
+            "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)",
+        );
         assert_eq!(boxes, 2);
         assert_eq!(enumeration, 2);
     }
@@ -594,8 +596,17 @@ mod tests {
         let t = rewrite_to_ucq(&parse_query("TRUE").unwrap()).unwrap();
         let f = rewrite_to_ucq(&parse_query("FALSE").unwrap()).unwrap();
         let r = rewrite_to_ucq(&parse_query("EXISTS x . R(x)").unwrap()).unwrap();
-        assert_eq!(count_by_boxes(&db, &keys, &t, 10).unwrap().to_u64(), Some(1));
-        assert_eq!(count_by_boxes(&db, &keys, &f, 10).unwrap().to_u64(), Some(0));
-        assert_eq!(count_by_boxes(&db, &keys, &r, 10).unwrap().to_u64(), Some(0));
+        assert_eq!(
+            count_by_boxes(&db, &keys, &t, 10).unwrap().to_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            count_by_boxes(&db, &keys, &f, 10).unwrap().to_u64(),
+            Some(0)
+        );
+        assert_eq!(
+            count_by_boxes(&db, &keys, &r, 10).unwrap().to_u64(),
+            Some(0)
+        );
     }
 }

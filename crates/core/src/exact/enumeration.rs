@@ -84,13 +84,17 @@ mod tests {
         // Employee 2 works in IT in every repair.
         let q = parse_query("EXISTS n . Employee(2, n, 'IT')").unwrap();
         assert_eq!(
-            count_by_enumeration(&db, &keys, &q, 1_000).unwrap().to_u64(),
+            count_by_enumeration(&db, &keys, &q, 1_000)
+                .unwrap()
+                .to_u64(),
             Some(4)
         );
         // Employee 3 never exists.
         let q = parse_query("EXISTS n, d . Employee(3, n, d)").unwrap();
         assert_eq!(
-            count_by_enumeration(&db, &keys, &q, 1_000).unwrap().to_u64(),
+            count_by_enumeration(&db, &keys, &q, 1_000)
+                .unwrap()
+                .to_u64(),
             Some(0)
         );
         // TRUE holds in every repair, FALSE in none.
@@ -115,15 +119,19 @@ mod tests {
         // i.e. 2 of the 4 repairs.
         let q = parse_query("NOT EXISTS i, n . Employee(i, n, 'HR')").unwrap();
         assert_eq!(
-            count_by_enumeration(&db, &keys, &q, 1_000).unwrap().to_u64(),
+            count_by_enumeration(&db, &keys, &q, 1_000)
+                .unwrap()
+                .to_u64(),
             Some(2)
         );
         // Repairs where employees 1 and 2 do NOT share a department: the
         // complement of the example count, 4 - 2 = 2.
-        let q = parse_query("NOT EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)")
-            .unwrap();
+        let q =
+            parse_query("NOT EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
         assert_eq!(
-            count_by_enumeration(&db, &keys, &q, 1_000).unwrap().to_u64(),
+            count_by_enumeration(&db, &keys, &q, 1_000)
+                .unwrap()
+                .to_u64(),
             Some(2)
         );
     }
@@ -133,7 +141,10 @@ mod tests {
         let (db, keys) = employee();
         let q = parse_query("TRUE").unwrap();
         let err = count_by_enumeration(&db, &keys, &q, 3).unwrap_err();
-        assert!(matches!(err, CountError::ExactBudgetExceeded { budget: 3, .. }));
+        assert!(matches!(
+            err,
+            CountError::ExactBudgetExceeded { budget: 3, .. }
+        ));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use cdr_num::Ratio;
 use cdr_query::Query;
-use cdr_repairdb::{count_repairs, BlockPartition, Database, KeySet};
+use cdr_repairdb::{Database, KeySet};
 
 use crate::counter::{ExactStrategy, RepairCounter};
 use crate::CountError;
@@ -35,8 +35,7 @@ pub fn relative_frequency_with(
         counter = counter.with_budget(b);
     }
     let outcome = counter.count_with(query, strategy)?;
-    let blocks = BlockPartition::new(db, keys);
-    let total = count_repairs(&blocks);
+    let total = counter.total_repairs();
     Ok(Ratio::new(outcome.count, total))
 }
 
@@ -73,11 +72,15 @@ mod tests {
         let certain = parse_query("EXISTS n . Employee(2, n, 'IT')").unwrap();
         assert!(relative_frequency(&db, &keys, &certain).unwrap().is_one());
         let impossible = parse_query("EXISTS n, d . Employee(3, n, d)").unwrap();
-        assert!(relative_frequency(&db, &keys, &impossible).unwrap().is_zero());
+        assert!(relative_frequency(&db, &keys, &impossible)
+            .unwrap()
+            .is_zero());
         // First-order query (negation) goes through the enumeration path.
         let negated = parse_query("NOT EXISTS i, n . Employee(i, n, 'HR')").unwrap();
         assert_eq!(
-            relative_frequency(&db, &keys, &negated).unwrap().to_string(),
+            relative_frequency(&db, &keys, &negated)
+                .unwrap()
+                .to_string(),
             "1/2"
         );
     }
@@ -91,13 +94,13 @@ mod tests {
             ExactStrategy::Enumeration,
             ExactStrategy::CertificateBoxes,
         ] {
-            let freq =
-                relative_frequency_with(&db, &keys, &q, strategy, Some(1_000_000)).unwrap();
+            let freq = relative_frequency_with(&db, &keys, &q, strategy, Some(1_000_000)).unwrap();
             assert_eq!(freq.to_string(), "1/2");
         }
         // A budget of 1 makes enumeration fail.
-        assert!(relative_frequency_with(&db, &keys, &q, ExactStrategy::Enumeration, Some(1))
-            .is_err());
+        assert!(
+            relative_frequency_with(&db, &keys, &q, ExactStrategy::Enumeration, Some(1)).is_err()
+        );
     }
 
     #[test]

@@ -5,10 +5,13 @@
 //! (exactly or approximately) the number of repairs of `D` w.r.t. `Σ` that
 //! entail `Q` — the problem `#CQA(Q, Σ)` of Section 2.1.
 //!
-//! The main entry point is [`RepairCounter`], which bundles:
+//! The main entry point is [`RepairEngine`]: an owned, `Send + Sync`,
+//! caching engine that answers [`CountRequest`]s with [`CountReport`]s and
+//! unifies every operation the paper studies behind one request/report
+//! surface:
 //!
 //! * the **decision** problem `#CQA>0` (Theorems 3.2 and 3.4) —
-//!   [`RepairCounter::holds_in_some_repair`];
+//!   [`Semantics::Decision`];
 //! * the **exact counters** — brute-force repair enumeration (the
 //!   `acceptM` machine of Theorem 3.3 made concrete) and the
 //!   certificate/box algorithm that mirrors the paper's "solutions via
@@ -21,6 +24,9 @@
 //!
 //! Lower-level building blocks — certificates, selectors and boxes — are
 //! exposed because the Λ-hierarchy machinery in `cdr-lambda` reuses them.
+//!
+//! The legacy [`RepairCounter`] facade remains as a thin wrapper over the
+//! engine for backwards compatibility.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +37,9 @@ mod decision;
 mod error;
 mod frequency;
 
+/// The owned, cached request/report engine.
+pub mod engine;
+
 /// Approximate counting: the Λ[k] FPRAS and the Karp–Luby baseline.
 pub mod approx;
 /// Exact counting algorithms.
@@ -39,7 +48,13 @@ pub mod exact;
 pub use approx::{ApproxConfig, ApproxCount, FprasEstimator, KarpLubyEstimator};
 pub use certificates::{distinct_boxes, enumerate_certificates, Certificate, SelectorBox};
 pub use counter::{CountOutcome, ExactStrategy, RepairCounter};
-pub use decision::{holds_in_some_repair, holds_in_some_repair_fo, holds_in_some_repair_ucq};
+pub use decision::{
+    holds_in_some_repair, holds_in_some_repair_fo, holds_in_some_repair_fo_bounded,
+    holds_in_some_repair_ucq,
+};
+pub use engine::{
+    Answer, CacheStats, CountReport, CountRequest, RepairEngine, Semantics, Strategy,
+};
 pub use error::CountError;
 pub use exact::{
     count_by_boxes, count_by_enumeration, count_union_generic, count_union_of_boxes, GenericBox,

@@ -90,10 +90,7 @@ pub fn compactor_fpras(
         for (i, &s) in sizes.iter().enumerate() {
             tuple[i] = rng.gen_range(0..s);
         }
-        if boxes
-            .iter()
-            .any(|b| b.iter().all(|(&d, &e)| tuple[d] == e))
-        {
+        if boxes.iter().any(|b| b.iter().all(|(&d, &e)| tuple[d] == e)) {
             positives += 1;
         }
     }
@@ -269,7 +266,10 @@ mod tests {
     fn degenerate_compactors_short_circuit() {
         let nothing = ExplicitCompactor::new(vec![4, 4], vec![CompactOutput::Empty], Some(1));
         let config = ApproxConfig::default();
-        assert!(compactor_fpras(&nothing, &config).unwrap().estimate.is_zero());
+        assert!(compactor_fpras(&nothing, &config)
+            .unwrap()
+            .estimate
+            .is_zero());
         assert!(compactor_karp_luby(&nothing, &config)
             .unwrap()
             .estimate

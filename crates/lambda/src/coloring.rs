@@ -303,8 +303,12 @@ mod tests {
     /// A triangle (3 vertices, 3 edges of size 2), 2 colors per vertex, and
     /// "both endpoints get color 0" forbidden on every edge.
     fn triangle() -> ForbiddenColoring {
-        let graph = Hypergraph::new(vec![2, 2, 2], vec![vec![0, 1], vec![1, 2], vec![0, 2]], Some(2))
-            .unwrap();
+        let graph = Hypergraph::new(
+            vec![2, 2, 2],
+            vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+            Some(2),
+        )
+        .unwrap();
         ForbiddenColoring::new(graph, vec![vec![vec![0, 0]]; 3]).unwrap()
     }
 

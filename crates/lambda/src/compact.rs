@@ -247,12 +247,13 @@ mod tests {
         ]);
         assert_eq!(all_full.unfolding_size().to_u64(), Some(2));
         assert_eq!(all_full.pinned_count(), 0);
-        let all_pinned = CompactString::Slots(vec![
-            Slot::Pinned("a".into()),
-            Slot::Pinned("c".into()),
-        ]);
+        let all_pinned =
+            CompactString::Slots(vec![Slot::Pinned("a".into()), Slot::Pinned("c".into())]);
         assert_eq!(all_pinned.unfolding_size().to_u64(), Some(1));
-        assert_eq!(all_pinned.unfold(), vec![vec!["a".to_string(), "c".to_string()]]);
+        assert_eq!(
+            all_pinned.unfold(),
+            vec![vec!["a".to_string(), "c".to_string()]]
+        );
     }
 
     #[test]

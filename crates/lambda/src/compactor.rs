@@ -88,9 +88,7 @@ pub trait Compactor {
                     .enumerate()
                     .map(|(d, &size)| match pins.get(&d) {
                         Some(&e) => Slot::Pinned(self.element_label(d, e)),
-                        None => Slot::Full(
-                            (0..size).map(|e| self.element_label(d, e)).collect(),
-                        ),
+                        None => Slot::Full((0..size).map(|e| self.element_label(d, e)).collect()),
                     })
                     .collect();
                 CompactString::Slots(slots)
@@ -138,7 +136,7 @@ pub fn enumerate_solutions(compactor: &dyn Compactor, limit: usize) -> Vec<Vec<u
     let sizes = compactor.domain_sizes();
     let boxes = collect_boxes(compactor);
     let mut solutions = Vec::new();
-    if boxes.is_empty() || sizes.iter().any(|&s| s == 0) {
+    if boxes.is_empty() || sizes.contains(&0) {
         return solutions;
     }
     let mut choice = vec![0usize; sizes.len()];
@@ -188,11 +186,7 @@ impl ExplicitCompactor {
     ///
     /// Panics if some output pins more domains than `pin_bound` allows, or
     /// pins an element outside its domain.
-    pub fn new(
-        domains: Vec<usize>,
-        outputs: Vec<CompactOutput>,
-        pin_bound: Option<usize>,
-    ) -> Self {
+    pub fn new(domains: Vec<usize>, outputs: Vec<CompactOutput>, pin_bound: Option<usize>) -> Self {
         for out in &outputs {
             if let CompactOutput::Boxed(b) = out {
                 if let Some(k) = pin_bound {

@@ -176,7 +176,10 @@ mod tests {
             let via_boxes = count_by_boxes(&db, &keys, &ucq, 1_000_000).unwrap();
             let via_enumeration = count_by_enumeration(&db, &keys, &q, 1_000_000).unwrap();
             assert_eq!(via_compactor, via_boxes, "compactor vs boxes on {text}");
-            assert_eq!(via_compactor, via_enumeration, "compactor vs enumeration on {text}");
+            assert_eq!(
+                via_compactor, via_enumeration,
+                "compactor vs enumeration on {text}"
+            );
         }
     }
 

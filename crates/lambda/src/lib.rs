@@ -38,9 +38,9 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod coloring;
 pub mod compact;
 pub mod compactor;
-pub mod coloring;
 pub mod cqa_compactor;
 pub mod disj_dnf;
 pub mod problems;
@@ -48,11 +48,11 @@ pub mod reduction;
 pub mod sat;
 
 pub use approx::{compactor_fpras, compactor_karp_luby};
+pub use coloring::{ForbiddenColoring, Hypergraph};
 pub use compact::{parse_compact, render_compact, CompactString, Slot};
 pub use compactor::{
     enumerate_solutions, unfold_count, CompactOutput, Compactor, ExplicitCompactor, PinBox,
 };
-pub use coloring::{ForbiddenColoring, Hypergraph};
 pub use cqa_compactor::CqaCompactor;
 pub use disj_dnf::DisjPosDnf;
 pub use problems::{Graph, GraphCounting, GraphProblem};

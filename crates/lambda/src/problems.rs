@@ -234,8 +234,20 @@ mod tests {
 
     fn petersen_like() -> Graph {
         // A 6-cycle plus two chords: small but not trivial.
-        Graph::new(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (1, 4)])
-            .unwrap()
+        Graph::new(
+            6,
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (0, 3),
+                (1, 4),
+            ],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -295,7 +307,11 @@ mod tests {
         ] {
             let p = GraphCounting::new(g.clone(), problem);
             let expected = p.count(1_000_000).unwrap();
-            assert_eq!(unfold_count(&p, 1_000_000).unwrap(), expected, "{problem:?}");
+            assert_eq!(
+                unfold_count(&p, 1_000_000).unwrap(),
+                expected,
+                "{problem:?}"
+            );
             let instance = reduce_compactor_to_cqa(&p).unwrap();
             assert_eq!(
                 instance.count(1_000_000).unwrap(),

@@ -130,8 +130,8 @@ pub fn reduce_compactor_to_cqa(compactor: &dyn Compactor) -> Result<CqaInstance,
             match pins.get(&d) {
                 Some(&e) => appears[d][e] = true,
                 None => {
-                    for e in 0..size {
-                        appears[d][e] = true;
+                    for slot in appears[d].iter_mut().take(size) {
+                        *slot = true;
                     }
                 }
             }
@@ -247,10 +247,7 @@ mod tests {
         // would pick it.
         let c = ExplicitCompactor::new(
             vec![3, 2],
-            vec![
-                CompactOutput::pins([(0, 0)]),
-                CompactOutput::pins([(0, 1)]),
-            ],
+            vec![CompactOutput::pins([(0, 0)]), CompactOutput::pins([(0, 1)])],
             Some(1),
         );
         assert_eq!(unfold_count(&c, 1_000).unwrap().to_u64(), Some(4));
@@ -271,8 +268,8 @@ mod tests {
                 db.insert_parsed(&format!("Works({k}, '{d}')")).unwrap();
             }
         }
-        let q = parse_query("Works(0, 'sales') OR (EXISTS x . Works(1, x) AND Works(2, x))")
-            .unwrap();
+        let q =
+            parse_query("Works(0, 'sales') OR (EXISTS x . Works(1, x) AND Works(2, x))").unwrap();
         let ucq = rewrite_to_ucq(&q).unwrap();
         let original = RepairCounter::new(&db, &keys).count(&q).unwrap().count;
         let compactor = CqaCompactor::new(&db, &keys, &ucq).unwrap();
@@ -283,7 +280,11 @@ mod tests {
 
     #[test]
     fn unbounded_compactors_are_rejected() {
-        let c = ExplicitCompactor::new(vec![2, 2], vec![CompactOutput::pins([(0, 0), (1, 0)])], None);
+        let c = ExplicitCompactor::new(
+            vec![2, 2],
+            vec![CompactOutput::pins([(0, 0), (1, 0)])],
+            None,
+        );
         assert!(reduce_compactor_to_cqa(&c).is_err());
     }
 }

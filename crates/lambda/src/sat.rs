@@ -73,18 +73,19 @@ impl Cnf3 {
     /// Evaluates the formula under an assignment given as a bit per
     /// variable.
     pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|clause| {
-            clause
-                .iter()
-                .any(|lit| assignment[lit.var] == lit.positive)
-        })
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|lit| assignment[lit.var] == lit.positive))
     }
 
     /// Brute-force model count (`#3SAT`), the ground truth for the
     /// reduction tests.  Exponential in the number of variables.
     pub fn count_models_brute_force(&self) -> BigNat {
         let n = self.num_vars;
-        assert!(n <= 24, "brute-force model counting is capped at 24 variables");
+        assert!(
+            n <= 24,
+            "brute-force model counting is capped at 24 variables"
+        );
         let mut count: u64 = 0;
         for bits in 0..(1u64 << n) {
             let assignment: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
@@ -218,7 +219,7 @@ mod tests {
     fn several_random_style_formulas_agree() {
         // A few handcrafted formulas with 4 variables exercise different
         // clause structures.
-        let formulas = vec![
+        let formulas = [
             Cnf3::new(
                 4,
                 vec![

@@ -397,8 +397,7 @@ impl Sub<&BigNat> for &BigNat {
     ///
     /// Panics if the result would be negative.
     fn sub(self, rhs: &BigNat) -> BigNat {
-        self.checked_sub(rhs)
-            .expect("BigNat subtraction underflow")
+        self.checked_sub(rhs).expect("BigNat subtraction underflow")
     }
 }
 

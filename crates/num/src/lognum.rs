@@ -43,7 +43,10 @@ impl LogNum {
     ///
     /// Panics if `v` is negative or NaN.
     pub fn from_f64(v: f64) -> Self {
-        assert!(v >= 0.0 && !v.is_nan(), "LogNum requires a non-negative value");
+        assert!(
+            v >= 0.0 && !v.is_nan(),
+            "LogNum requires a non-negative value"
+        );
         LogNum { ln: v.ln() }
     }
 
@@ -221,7 +224,10 @@ mod tests {
         let b = LogNum::from_f64(100.0);
         assert!(close(a.relative_error(&b), 0.1));
         assert!(close(b.relative_error(&b), 0.0));
-        assert_eq!(LogNum::from_f64(1.0).relative_error(&LogNum::zero()), f64::INFINITY);
+        assert_eq!(
+            LogNum::from_f64(1.0).relative_error(&LogNum::zero()),
+            f64::INFINITY
+        );
         assert_eq!(LogNum::zero().relative_error(&LogNum::zero()), 0.0);
     }
 

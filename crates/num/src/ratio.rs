@@ -202,8 +202,14 @@ mod tests {
     fn zero_and_one() {
         assert!(Ratio::zero().is_zero());
         assert!(Ratio::one().is_one());
-        assert_eq!(Ratio::new(BigNat::zero(), BigNat::from(7u64)), Ratio::zero());
-        assert_eq!(Ratio::new(BigNat::from(5u64), BigNat::from(5u64)), Ratio::one());
+        assert_eq!(
+            Ratio::new(BigNat::zero(), BigNat::from(7u64)),
+            Ratio::zero()
+        );
+        assert_eq!(
+            Ratio::new(BigNat::from(5u64), BigNat::from(5u64)),
+            Ratio::one()
+        );
         assert_eq!(Ratio::one().to_string(), "1");
     }
 

@@ -220,9 +220,7 @@ impl FoFormula {
                     p.collect_atoms(out);
                 }
             }
-            FoFormula::Exists(_, inner) | FoFormula::Forall(_, inner) => {
-                inner.collect_atoms(out)
-            }
+            FoFormula::Exists(_, inner) | FoFormula::Forall(_, inner) => inner.collect_atoms(out),
         }
     }
 
@@ -489,7 +487,12 @@ mod tests {
     fn atom_variables_and_display() {
         let a = Atom::new(
             "R",
-            vec![Term::var("x"), Term::constant("c"), Term::var("x"), Term::var("y")],
+            vec![
+                Term::var("x"),
+                Term::constant("c"),
+                Term::var("x"),
+                Term::var("y"),
+            ],
         );
         let vars: Vec<String> = a.variables().iter().map(|v| v.to_string()).collect();
         assert_eq!(vars, vec!["x", "y"]);

@@ -50,7 +50,11 @@ impl fmt::Display for QueryError {
                 write!(f, "query is not existential positive: {what}")
             }
             QueryError::NotBoolean(vars) => {
-                write!(f, "query is not Boolean; free variables: {}", vars.join(", "))
+                write!(
+                    f,
+                    "query is not Boolean; free variables: {}",
+                    vars.join(", ")
+                )
             }
             QueryError::UnboundVariable(v) => write!(f, "variable `{v}` is not bound"),
         }

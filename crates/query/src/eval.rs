@@ -106,10 +106,14 @@ fn evaluate_rec(
             Ok(false)
         }
         FoFormula::Exists(vars, inner) => {
-            quantify(db, domain, vars, inner, assignment, /*existential=*/ true)
+            quantify(
+                db, domain, vars, inner, assignment, /*existential=*/ true,
+            )
         }
         FoFormula::Forall(vars, inner) => {
-            quantify(db, domain, vars, inner, assignment, /*existential=*/ false)
+            quantify(
+                db, domain, vars, inner, assignment, /*existential=*/ false,
+            )
         }
     }
 }
@@ -150,9 +154,7 @@ fn quantify(
     }
     // Guarded fast path.
     if let Some(guard) = find_guard(inner, &unbound, assignment, existential) {
-        return quantify_guarded(
-            db, domain, &unbound, inner, assignment, existential, guard,
-        );
+        return quantify_guarded(db, domain, &unbound, inner, assignment, existential, guard);
     }
     // Generic active-domain sweep over the first unbound variable.
     let first = &unbound[0];
@@ -464,7 +466,10 @@ mod tests {
     fn example_query_on_each_repair() {
         // The paper: the query holds in exactly 2 of the 4 repairs.
         let db = employee_db();
-        let keys = KeySet::builder(db.schema()).key("Employee", 1).unwrap().build();
+        let keys = KeySet::builder(db.schema())
+            .key("Employee", 1)
+            .unwrap()
+            .build();
         let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
         let blocks = cdr_repairdb::BlockPartition::new(&db, &keys);
         let mut holds = 0;
@@ -484,8 +489,8 @@ mod tests {
         let q = parse_query("NOT EXISTS x, y . Employee(3, x, y)").unwrap();
         assert!(evaluate(&db, &q).unwrap());
         // Everybody in HR?  No: Alice and Tim are only in IT.
-        let q = parse_query("FORALL i, n, d . NOT Employee(i, n, d) OR Employee(i, n, 'HR')")
-            .unwrap();
+        let q =
+            parse_query("FORALL i, n, d . NOT Employee(i, n, d) OR Employee(i, n, 'HR')").unwrap();
         assert!(!evaluate(&db, &q).unwrap());
         // Everybody is in HR or IT.
         let q = parse_query(
@@ -494,16 +499,18 @@ mod tests {
         .unwrap();
         assert!(evaluate(&db, &q).unwrap());
         // Every employee fact has some department.
-        let q = parse_query("FORALL i, n, d . NOT Employee(i, n, d) OR EXISTS e . Employee(i, n, e)")
-            .unwrap();
+        let q =
+            parse_query("FORALL i, n, d . NOT Employee(i, n, d) OR EXISTS e . Employee(i, n, e)")
+                .unwrap();
         assert!(evaluate(&db, &q).unwrap());
     }
 
     #[test]
     fn equality_in_queries() {
         let db = employee_db();
-        let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y) AND x = 'Bob'")
-            .unwrap();
+        let q =
+            parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y) AND x = 'Bob'")
+                .unwrap();
         assert!(evaluate(&db, &q).unwrap());
         let q = parse_query("EXISTS x, y . Employee(1, x, y) AND x = 'Alice'").unwrap();
         assert!(!evaluate(&db, &q).unwrap());
@@ -541,16 +548,16 @@ mod tests {
     #[test]
     fn non_boolean_queries_are_rejected_by_evaluate() {
         let db = employee_db();
-        let q = crate::parser::parse_query_with_answers("Employee(x, y, 'IT')", &["x", "y"])
-            .unwrap();
+        let q =
+            crate::parser::parse_query_with_answers("Employee(x, y, 'IT')", &["x", "y"]).unwrap();
         assert!(matches!(evaluate(&db, &q), Err(QueryError::NotBoolean(_))));
     }
 
     #[test]
     fn evaluate_formula_under_an_assignment() {
         let db = employee_db();
-        let q = crate::parser::parse_query_with_answers("Employee(x, y, 'IT')", &["x", "y"])
-            .unwrap();
+        let q =
+            crate::parser::parse_query_with_answers("Employee(x, y, 'IT')", &["x", "y"]).unwrap();
         let mut assignment = Assignment::new();
         assignment.insert(std::sync::Arc::from("x"), Value::int(2));
         assignment.insert(std::sync::Arc::from("y"), Value::text("Alice"));

@@ -107,8 +107,9 @@ mod tests {
     fn duplicate_atoms_count_once() {
         let (schema, keys) = setup();
         // The same atom written twice is a single element of the atom set.
-        let q = parse_query("(EXISTS x, y . Employee(1, x, y)) OR (EXISTS x, y . Employee(1, x, y))")
-            .unwrap();
+        let q =
+            parse_query("(EXISTS x, y . Employee(1, x, y)) OR (EXISTS x, y . Employee(1, x, y))")
+                .unwrap();
         assert_eq!(keywidth(&q, &schema, &keys), 1);
     }
 

@@ -464,7 +464,10 @@ mod tests {
         assert!(atom.terms()[0].as_var().is_some());
         assert_eq!(atom.terms()[1].as_const(), Some(&Value::int(42)));
         assert_eq!(atom.terms()[2].as_const(), Some(&Value::int(-7)));
-        assert_eq!(atom.terms()[3].as_const(), Some(&Value::text("hello world")));
+        assert_eq!(
+            atom.terms()[3].as_const(),
+            Some(&Value::text("hello world"))
+        );
         assert_eq!(atom.terms()[4].as_const(), Some(&Value::text("quoted")));
     }
 

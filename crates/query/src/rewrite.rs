@@ -80,9 +80,7 @@ impl Renamer {
             FoFormula::False => FoFormula::False,
             FoFormula::Atom(a) => FoFormula::Atom(rename_atom(a, scope)),
             FoFormula::Eq(l, r) => FoFormula::Eq(rename_term(l, scope), rename_term(r, scope)),
-            FoFormula::Not(inner) => {
-                FoFormula::Not(Box::new(self.standardize_apart(inner, scope)))
-            }
+            FoFormula::Not(inner) => FoFormula::Not(Box::new(self.standardize_apart(inner, scope))),
             FoFormula::And(parts) => FoFormula::And(
                 parts
                     .iter()
@@ -243,11 +241,8 @@ pub fn bind_answers(query: &Query, tuple: &[Value]) -> Result<Query, QueryError>
             answers.len()
         )));
     }
-    let mapping: HashMap<VarName, Value> = answers
-        .iter()
-        .cloned()
-        .zip(tuple.iter().cloned())
-        .collect();
+    let mapping: HashMap<VarName, Value> =
+        answers.iter().cloned().zip(tuple.iter().cloned()).collect();
     let bound = substitute_formula(query.formula(), &mapping);
     Ok(Query::boolean(bound))
 }
@@ -256,33 +251,44 @@ fn substitute_formula(formula: &FoFormula, mapping: &HashMap<VarName, Value>) ->
     match formula {
         FoFormula::True => FoFormula::True,
         FoFormula::False => FoFormula::False,
-        FoFormula::Atom(a) => FoFormula::Atom(a.substitute(&|v: &VarName| {
-            mapping.get(v).map(|val| Term::Const(val.clone()))
-        })),
-        FoFormula::Eq(l, r) => FoFormula::Eq(
-            substitute_term(l, mapping),
-            substitute_term(r, mapping),
+        FoFormula::Atom(a) => FoFormula::Atom(
+            a.substitute(&|v: &VarName| mapping.get(v).map(|val| Term::Const(val.clone()))),
         ),
+        FoFormula::Eq(l, r) => {
+            FoFormula::Eq(substitute_term(l, mapping), substitute_term(r, mapping))
+        }
         FoFormula::Not(inner) => FoFormula::Not(Box::new(substitute_formula(inner, mapping))),
-        FoFormula::And(parts) => {
-            FoFormula::And(parts.iter().map(|p| substitute_formula(p, mapping)).collect())
-        }
-        FoFormula::Or(parts) => {
-            FoFormula::Or(parts.iter().map(|p| substitute_formula(p, mapping)).collect())
-        }
+        FoFormula::And(parts) => FoFormula::And(
+            parts
+                .iter()
+                .map(|p| substitute_formula(p, mapping))
+                .collect(),
+        ),
+        FoFormula::Or(parts) => FoFormula::Or(
+            parts
+                .iter()
+                .map(|p| substitute_formula(p, mapping))
+                .collect(),
+        ),
         FoFormula::Exists(vars, inner) => {
             let mut inner_map = mapping.clone();
             for v in vars {
                 inner_map.remove(v);
             }
-            FoFormula::Exists(vars.clone(), Box::new(substitute_formula(inner, &inner_map)))
+            FoFormula::Exists(
+                vars.clone(),
+                Box::new(substitute_formula(inner, &inner_map)),
+            )
         }
         FoFormula::Forall(vars, inner) => {
             let mut inner_map = mapping.clone();
             for v in vars {
                 inner_map.remove(v);
             }
-            FoFormula::Forall(vars.clone(), Box::new(substitute_formula(inner, &inner_map)))
+            FoFormula::Forall(
+                vars.clone(),
+                Box::new(substitute_formula(inner, &inner_map)),
+            )
         }
     }
 }
@@ -337,7 +343,10 @@ mod tests {
         assert_eq!(cq.atoms().len(), 2);
         let v0 = cq.atoms()[0].variables();
         let v1 = cq.atoms()[1].variables();
-        assert_ne!(v0, v1, "standardising apart must keep the variables distinct");
+        assert_ne!(
+            v0, v1,
+            "standardising apart must keep the variables distinct"
+        );
     }
 
     #[test]
@@ -411,8 +420,8 @@ mod tests {
 
     #[test]
     fn bind_answers_substitutes_the_tuple() {
-        let q = crate::parser::parse_query_with_answers("Employee(x, y, 'IT')", &["x", "y"])
-            .unwrap();
+        let q =
+            crate::parser::parse_query_with_answers("Employee(x, y, 'IT')", &["x", "y"]).unwrap();
         let bound = bind_answers(&q, &[Value::int(2), Value::text("Alice")]).unwrap();
         assert!(bound.is_boolean());
         let atoms = bound.atoms();

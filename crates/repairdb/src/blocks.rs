@@ -150,7 +150,10 @@ impl BlockPartition {
     pub fn new(db: &Database, keys: &KeySet) -> Self {
         let mut grouped: HashMap<KeyValue, Vec<FactId>> = HashMap::new();
         for (id, fact) in db.iter() {
-            grouped.entry(KeyValue::of(fact, keys)).or_default().push(id);
+            grouped
+                .entry(KeyValue::of(fact, keys))
+                .or_default()
+                .push(id);
         }
         let mut entries: Vec<(KeyValue, Vec<FactId>)> = grouped.into_iter().collect();
         // ≺_{D,Σ}: lexicographic ordering over key values.

@@ -363,7 +363,10 @@ mod tests {
     #[test]
     fn consistency_against_keys() {
         let db = employee_db();
-        let keys = KeySet::builder(db.schema()).key("Employee", 1).unwrap().build();
+        let keys = KeySet::builder(db.schema())
+            .key("Employee", 1)
+            .unwrap()
+            .build();
         assert!(!db.is_consistent(&keys));
         let no_keys = KeySet::empty(db.schema());
         assert!(db.is_consistent(&no_keys));

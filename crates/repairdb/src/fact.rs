@@ -100,7 +100,10 @@ mod tests {
     #[test]
     fn accessors() {
         let (_, emp) = schema_with_emp();
-        let f = Fact::new(emp, vec![Value::int(1), Value::text("Bob"), Value::text("HR")]);
+        let f = Fact::new(
+            emp,
+            vec![Value::int(1), Value::text("Bob"), Value::text("HR")],
+        );
         assert_eq!(f.relation(), emp);
         assert_eq!(f.arity(), 3);
         assert_eq!(f.arg(0), &Value::int(1));
@@ -110,9 +113,18 @@ mod tests {
     #[test]
     fn equality_is_structural() {
         let (_, emp) = schema_with_emp();
-        let a = Fact::new(emp, vec![Value::int(1), Value::text("Bob"), Value::text("HR")]);
-        let b = Fact::new(emp, vec![Value::int(1), Value::text("Bob"), Value::text("HR")]);
-        let c = Fact::new(emp, vec![Value::int(1), Value::text("Bob"), Value::text("IT")]);
+        let a = Fact::new(
+            emp,
+            vec![Value::int(1), Value::text("Bob"), Value::text("HR")],
+        );
+        let b = Fact::new(
+            emp,
+            vec![Value::int(1), Value::text("Bob"), Value::text("HR")],
+        );
+        let c = Fact::new(
+            emp,
+            vec![Value::int(1), Value::text("Bob"), Value::text("IT")],
+        );
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -120,7 +132,10 @@ mod tests {
     #[test]
     fn display_uses_schema_names() {
         let (schema, emp) = schema_with_emp();
-        let f = Fact::new(emp, vec![Value::int(1), Value::text("Bob"), Value::text("HR")]);
+        let f = Fact::new(
+            emp,
+            vec![Value::int(1), Value::text("Bob"), Value::text("HR")],
+        );
         assert_eq!(f.display(&schema).to_string(), "Employee(1, 'Bob', 'HR')");
         assert_eq!(format!("{f:?}"), "r0(1, 'Bob', 'HR')");
     }

@@ -180,7 +180,10 @@ mod tests {
     }
 
     fn emp_fact(emp: RelationId, id: i64, name: &str, dept: &str) -> Fact {
-        Fact::new(emp, vec![Value::int(id), Value::text(name), Value::text(dept)])
+        Fact::new(
+            emp,
+            vec![Value::int(id), Value::text(name), Value::text(dept)],
+        )
     }
 
     #[test]
@@ -235,7 +238,10 @@ mod tests {
     fn satisfaction_detects_key_violations() {
         let (schema, emp, _) = setup();
         let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
-        let consistent = vec![emp_fact(emp, 1, "Bob", "HR"), emp_fact(emp, 2, "Alice", "IT")];
+        let consistent = vec![
+            emp_fact(emp, 1, "Bob", "HR"),
+            emp_fact(emp, 2, "Alice", "IT"),
+        ];
         let inconsistent = vec![emp_fact(emp, 1, "Bob", "HR"), emp_fact(emp, 1, "Bob", "IT")];
         assert!(keys.satisfied_by(&consistent));
         assert!(!keys.satisfied_by(&inconsistent));

@@ -143,7 +143,7 @@ impl Iterator for RepairIter<'_> {
             state[i] = 0;
         }
         // An empty database has exactly one (empty) repair.
-        if self.blocks.len() == 0 {
+        if self.blocks.is_empty() {
             self.state = None;
         }
         Some(repair)
@@ -288,7 +288,10 @@ mod tests {
         let repair = Repair::from_choices(&blocks, &[1, 0]);
         assert_eq!(repair.len(), 2);
         assert!(!repair.is_empty());
-        assert_eq!(repair.fact_for(BlockId(0)), blocks.block(BlockId(0)).facts()[1]);
+        assert_eq!(
+            repair.fact_for(BlockId(0)),
+            blocks.block(BlockId(0)).facts()[1]
+        );
         assert!(repair.contains(blocks.block(BlockId(1)).facts()[0]));
         assert!(repair.contains_all(&[
             blocks.block(BlockId(0)).facts()[1],

@@ -121,7 +121,11 @@ pub fn parse_value(input: &str) -> Result<Value, DbError> {
         return Ok(Value::text(&s[1..s.len() - 1]));
     }
     let is_ident = bytes[0].is_ascii_alphabetic() || bytes[0] == b'_';
-    if is_ident && bytes.iter().all(|b| b.is_ascii_alphanumeric() || *b == b'_') {
+    if is_ident
+        && bytes
+            .iter()
+            .all(|b| b.is_ascii_alphanumeric() || *b == b'_')
+    {
         return Ok(Value::text(s));
     }
     Err(DbError::Parse(format!("cannot parse value `{s}`")))

@@ -1,0 +1,274 @@
+//! Offline subset of the [`proptest`](https://docs.rs/proptest/1) API.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the slice of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `arg in strategy` bindings and an
+//!   optional `#![proptest_config(...)]` header;
+//! * range strategies over the integer and float types the tests sample
+//!   (`0u64..1000`, `0u128..`, `0.0f64..1e100`, …);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (mapped to the std asserts);
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the generated inputs in the panic message instead. Cases are generated
+//! from a ChaCha8 stream seeded from the test's name, so every run of a
+//! given test is deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeFrom};
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic generator driving a [`proptest!`] test.
+#[derive(Clone, Debug)]
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Creates the generator for a named test, deterministically.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(ChaCha8Rng::seed_from_u64(hash))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A value generator: the `strategy` side of `arg in strategy`.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_uint_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                if self.start == 0 {
+                    return rng.gen_range(0..=<$t>::MAX);
+                }
+                rng.gen_range(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_uint_strategies!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty strategy range");
+        let span = self.end - self.start;
+        if let Ok(span) = u64::try_from(span) {
+            return self.start + rng.gen_range(0..span) as u128;
+        }
+        // Wide span: stitch two 64-bit draws and reduce. The tiny modulo
+        // bias is irrelevant for property generation.
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        self.start + wide % span
+    }
+}
+
+impl Strategy for RangeFrom<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if self.start == 0 {
+            return wide;
+        }
+        self.start + wide % (u128::MAX - self.start + 1)
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty strategy range");
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Property-test assertion; equivalent to [`assert!`] here.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Property-test equality assertion; equivalent to [`assert_eq!`] here.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Property-test inequality assertion; equivalent to [`assert_ne!`] here.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test that runs `body` over generated inputs.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     // In a test module this would carry `#[test]`.
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+///
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = format!(
+                    concat!("case ", "{}", $(concat!(", ", stringify!($arg), " = {:?}"),)+),
+                    case, $(&$arg),+
+                );
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || $body,
+                ));
+                if let Err(panic) = result {
+                    eprintln!("proptest case failed: {inputs}");
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 3u64..17, b in 5usize..6, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert_eq!(b, 5);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Open-ended ranges cover large values without panicking.
+        #[test]
+        fn open_ranges_generate(a in 0u64.., b in 1u32.., c in 0u128..) {
+            prop_assert!(b >= 1);
+            let _ = (a, c);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        let mut c = TestRng::for_test("beta");
+        let xs: Vec<u64> = (0..10).map(|_| (0u64..1000).generate(&mut a)).collect();
+        let ys: Vec<u64> = (0..10).map(|_| (0u64..1000).generate(&mut b)).collect();
+        let zs: Vec<u64> = (0..10).map(|_| (0u64..1000).generate(&mut c)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x >= 10, "x was {x}");
+            }
+        }
+        assert!(std::panic::catch_unwind(always_fails).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline subset of the [`rand`](https://docs.rs/rand/0.8) 0.8 API.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements exactly the surface the workspace uses:
+//!
+//! * [`RngCore`] — the raw 32/64-bit generator interface;
+//! * [`Rng`] — [`Rng::gen_range`] over half-open and inclusive integer
+//!   ranges and half-open `f64` ranges, plus [`Rng::gen_bool`];
+//! * [`SeedableRng`] — byte-seed construction and the SplitMix64-based
+//!   [`SeedableRng::seed_from_u64`] convenience, matching the upstream
+//!   seeding scheme so seeds remain stable if the real crate is restored.
+//!
+//! Integer sampling uses widening-multiply rejection (Lemire's method),
+//! the same unbiased approach upstream `rand` 0.8 uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw 32- and 64-bit output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-size byte seed the generator consumes.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 —
+    /// the same expansion upstream `rand` uses, so seeded streams stay
+    /// stable across the vendored and real implementations of this trait.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 (Steele, Lea, Flood 2014), as in rand_core.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dest, &src) in chunk.iter_mut().zip(z.to_le_bytes().iter()) {
+                *dest = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the given range.
+    ///
+    /// Supports `low..high` and `low..=high` over the integer types the
+    /// workspace uses, and `low..high` over `f64`. Panics if the range is
+    /// empty, like upstream `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        // 53 uniform mantissa bits, as upstream.
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        ((self.next_u64() >> 11) as f64) * scale < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that knows how to sample one value from itself.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased sampling of `x in [0, bound)` by widening multiplication with
+/// rejection (Lemire 2018).
+fn sample_below_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Threshold below which a draw would be biased and must be rejected.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+fn sample_below_u128<R: RngCore + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+    debug_assert!(bound > 0);
+    if let Ok(b) = u64::try_from(bound) {
+        return sample_below_u64(rng, b) as u128;
+    }
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        // 128x128 widening multiply via the high/low decomposition.
+        let (hi, lo) = widening_mul_128(x, bound);
+        if lo >= threshold {
+            return hi;
+        }
+    }
+}
+
+fn widening_mul_128(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = u64::MAX as u128;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (mid << 64) | (ll & MASK);
+    let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
+macro_rules! impl_uint_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + sample_below_u128(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                start + sample_below_u128(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add(sample_below_u128(rng, span as u128) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $u).wrapping_sub(start as $u) as u128 + 1;
+                start.wrapping_add(sample_below_u128(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        let unit = ((rng.next_u64() >> 11) as f64) * scale;
+        let sampled = self.start + unit * (self.end - self.start);
+        // Guard against `end` itself under rounding at the top of the range.
+        if sampled < self.end {
+            sampled
+        } else {
+            self.start
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StepRng(u64);
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 step: decent equidistribution for the tests below.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StepRng(1);
+        for _ in 0..2000 {
+            let a: usize = rng.gen_range(0..7);
+            assert!(a < 7);
+            let b: usize = rng.gen_range(2..=5);
+            assert!((2..=5).contains(&b));
+            let c: u8 = rng.gen_range(0..100u8);
+            assert!(c < 100);
+            let d: f64 = rng.gen_range(0.0..3.5);
+            assert!((0.0..3.5).contains(&d));
+            let e: i64 = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&e));
+        }
+    }
+
+    #[test]
+    fn every_value_of_a_small_range_is_hit() {
+        let mut rng = StepRng(7);
+        let mut seen = [false; 6];
+        for _ in 0..400 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not uniform-ish: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StepRng(3);
+        let hits = (0..4000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((800..1200).contains(&hits), "got {hits} of 4000");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StepRng(0);
+        let _: usize = rng.gen_range(3..3);
+    }
+
+    #[test]
+    fn widening_mul_matches_small_cases() {
+        let (hi, lo) = widening_mul_128(u128::MAX, 2);
+        assert_eq!(hi, 1);
+        assert_eq!(lo, u128::MAX - 1);
+        let (hi, lo) = widening_mul_128(1 << 127, 4);
+        assert_eq!(hi, 2);
+        assert_eq!(lo, 0);
+    }
+}

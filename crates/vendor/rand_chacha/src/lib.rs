@@ -1,0 +1,161 @@
+//! Offline subset of the [`rand_chacha`](https://docs.rs/rand_chacha/0.3)
+//! API: the [`ChaCha8Rng`] generator.
+//!
+//! Implements the genuine ChaCha stream cipher core (Bernstein 2008) with
+//! 8 rounds, keyed from a 32-byte seed with a zero nonce and a 64-bit
+//! block counter. The workspace only relies on the generator being a
+//! high-quality, deterministic-per-seed PRNG — which this is — not on
+//! byte-for-byte parity with the upstream crate's stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+/// `"expand 32-byte k"` as four little-endian words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+/// A cryptographically-strong PRNG based on the ChaCha stream cipher with
+/// 8 rounds, deterministic per seed.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key words (state words 4..12 of the ChaCha matrix).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14; nonce words are zero).
+    counter: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word within `block`; 16 means "refill needed".
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14], state[15]: zero nonce.
+
+        let mut working = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.block.iter_mut().zip(working.iter().zip(state.iter())) {
+            *out = w.wrapping_add(s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let first_100: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        assert!(first_100.iter().any(|&x| x != a.next_u64()));
+    }
+
+    #[test]
+    fn chacha_quarter_round_test_vector() {
+        // RFC 7539 §2.1.1 test vector for the quarter round.
+        let mut s = [0u32; 16];
+        s[0] = 0x1111_1111;
+        s[1] = 0x0102_0304;
+        s[2] = 0x9b8d_6f43;
+        s[3] = 0x0123_4567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a_92f4);
+        assert_eq!(s[1], 0xcb1c_f8ce);
+        assert_eq!(s[2], 0x4581_472e);
+        assert_eq!(s[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn output_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut buckets = [0usize; 8];
+        for _ in 0..8000 {
+            buckets[rng.gen_range(0..8usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "skewed buckets: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn blocks_advance_the_counter() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        // Drain more than one 16-word block and check non-repetition.
+        let words: Vec<u32> = (0..64).map(|_| rng.next_u32()).collect();
+        assert_ne!(&words[..16], &words[16..32]);
+        assert_ne!(&words[16..32], &words[32..48]);
+    }
+}

@@ -26,11 +26,7 @@ fn main() {
         Some(2),
     )
     .expect("well-formed formula");
-    println!(
-        "classes: {:?}\nclauses: {:?}",
-        dnf.classes(),
-        dnf.clauses()
-    );
+    println!("classes: {:?}\nclauses: {:?}", dnf.classes(), dnf.clauses());
     println!("total P-assignments = {}", dnf.total_assignments());
 
     let direct = dnf.count_satisfying(1_000_000).expect("counting succeeds");
@@ -63,18 +59,19 @@ fn main() {
     // A 5-cycle with 3 colors per vertex; monochromatic edges in color 0 or
     // color 1 are forbidden.
     let cycle_edges: Vec<Vec<usize>> = (0..5).map(|v| vec![v, (v + 1) % 5]).collect();
-    let graph =
-        Hypergraph::new(vec![3; 5], cycle_edges, Some(2)).expect("well-formed hypergraph");
+    let graph = Hypergraph::new(vec![3; 5], cycle_edges, Some(2)).expect("well-formed hypergraph");
     let coloring = ForbiddenColoring::new(graph, vec![vec![vec![0, 0], vec![1, 1]]; 5])
         .expect("well-formed instance");
-    println!(
-        "5-cycle, 3 colors per vertex, forbidden: monochromatic 0 or 1 edges"
-    );
+    println!("5-cycle, 3 colors per vertex, forbidden: monochromatic 0 or 1 edges");
     println!("total colorings = {}", coloring.graph().total_colorings());
 
-    let direct = coloring.count_forbidden(1_000_000).expect("counting succeeds");
+    let direct = coloring
+        .count_forbidden(1_000_000)
+        .expect("counting succeeds");
     let via_compactor = unfold_count(&coloring, 1_000_000).expect("counting succeeds");
-    let via_cqa = coloring.count_via_cqa(1_000_000).expect("counting succeeds");
+    let via_cqa = coloring
+        .count_via_cqa(1_000_000)
+        .expect("counting succeeds");
     let instance = reduce_compactor_to_cqa(&coloring).expect("bounded compactor");
     let theorem_5_1 = instance.count(1_000_000).expect("counting succeeds");
     println!("forbidden colorings, four ways:");
@@ -93,6 +90,19 @@ fn main() {
         keywidth(&instance.query, instance.db.schema(), &instance.keys),
         instance.db.len()
     );
+
+    // The reduced instance is an ordinary #CQA instance, so the serving
+    // engine answers it too — a fifth route to the same number.
+    let engine = RepairEngine::new(instance.db.clone(), instance.keys.clone());
+    let via_engine = engine
+        .run(&CountRequest::exact(instance.query.clone()))
+        .expect("engine counts the reduced instance")
+        .answer
+        .as_count()
+        .expect("exact semantics report a count")
+        .clone();
+    println!("  RepairEngine on the instance   = {via_engine}");
+    assert_eq!(via_engine, direct);
 
     let approx = compactor_fpras(&coloring, &config).expect("FPRAS succeeds");
     println!(

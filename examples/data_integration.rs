@@ -3,7 +3,8 @@
 //! Two customer databases were merged and disagree on the city and status
 //! of some customers.  Instead of the all-or-nothing certain answers, this
 //! example ranks Boolean questions by their *relative frequency* over the
-//! repairs (Section 1.1 of the paper), and cross-checks the exact counts
+//! repairs (Section 1.1 of the paper), submitting the whole question list
+//! to a [`RepairEngine`] as one batch and cross-checking the exact counts
 //! with the FPRAS.
 //!
 //! Run with: `cargo run --example data_integration`
@@ -15,27 +16,18 @@ fn main() {
     // 24 customers, every 3rd one has conflicting records from the two
     // sources; orders are consistent.
     let (db, keys) = two_source_customers(24, 3);
-    let counter = RepairCounter::new(&db, &keys);
+    let engine = RepairEngine::new(db, keys);
     println!(
         "Integrated database: {} facts, {} repairs\n",
-        db.len(),
-        counter.total_repairs()
+        engine.database().len(),
+        engine.total_repairs()
     );
 
     // Questions an analyst might ask about the merged data.
     let questions: Vec<(&str, &str)> = vec![
-        (
-            "customer 0 is still active",
-            "Customer(0, c, 'active')",
-        ),
-        (
-            "customer 0 is dormant",
-            "Customer(0, c, 'dormant')",
-        ),
-        (
-            "customer 3 lives in Paris",
-            "Customer(3, 'Paris', s)",
-        ),
+        ("customer 0 is still active", "Customer(0, c, 'active')"),
+        ("customer 0 is dormant", "Customer(0, c, 'dormant')"),
+        ("customer 3 lives in Paris", "Customer(3, 'Paris', s)"),
         (
             "some active customer lives in Rome",
             "EXISTS id, s . Customer(id, 'Rome', 'active')",
@@ -50,36 +42,73 @@ fn main() {
         ),
     ];
 
+    // One batch per semantics: the engine plans each query once and the
+    // frequency/certain/approximate passes reuse the cached plans.
+    let queries: Vec<Query> = questions
+        .iter()
+        .map(|(_, text)| parse_query(text).expect("valid query"))
+        .collect();
+    let counts = engine.run_batch(
+        &queries
+            .iter()
+            .map(|q| CountRequest::exact(q.clone()))
+            .collect::<Vec<_>>(),
+    );
+    let frequencies = engine.run_batch(
+        &queries
+            .iter()
+            .map(|q| CountRequest::frequency(q.clone()))
+            .collect::<Vec<_>>(),
+    );
+    let certains = engine.run_batch(
+        &queries
+            .iter()
+            .map(|q| CountRequest::certain_answer(q.clone()))
+            .collect::<Vec<_>>(),
+    );
+
     println!(
         "{:<66} {:>12} {:>10} {:>9}",
         "question", "count", "frequency", "certain?"
     );
-    let config = ApproxConfig {
-        epsilon: 0.1,
-        delta: 0.05,
-        ..ApproxConfig::default()
-    };
-    for (label, text) in &questions {
-        let q = parse_query(text).expect("valid query");
-        let outcome = counter.count(&q).expect("exact counting succeeds");
-        let freq = counter.frequency(&q).expect("frequency succeeds");
-        let certain = counter.holds_in_every_repair(&q).expect("decision succeeds");
+    for (i, (label, _)) in questions.iter().enumerate() {
+        let count = counts[i].as_ref().expect("exact counting succeeds");
+        let freq = frequencies[i].as_ref().expect("frequency succeeds");
+        let certain = certains[i].as_ref().expect("decision succeeds");
         println!(
             "{label:<66} {:>12} {:>10.4} {:>9}",
-            outcome.count.to_string(),
-            freq.to_f64(),
-            if certain { "yes" } else { "no" }
+            count.answer.as_count().expect("count").to_string(),
+            freq.answer.as_frequency().expect("frequency").to_f64(),
+            if certain.answer.as_bool().expect("boolean") {
+                "yes"
+            } else {
+                "no"
+            }
         );
 
         // Cross-check with the paper's FPRAS: the estimate must be within
         // epsilon of the exact count (with probability 1 - delta).
-        let approx = counter.approximate(&q, &config).expect("FPRAS succeeds");
-        let error = approx.relative_error(&outcome.count);
+        let approx = engine
+            .run(&CountRequest::approximate(queries[i].clone(), 0.1, 0.05))
+            .expect("FPRAS succeeds");
+        let exact_count = count.answer.as_count().expect("count");
+        let error = approx
+            .answer
+            .as_estimate()
+            .expect("estimate")
+            .relative_error(exact_count);
         assert!(
-            outcome.count.is_zero() || error <= 3.0 * config.epsilon,
+            exact_count.is_zero() || error <= 3.0 * 0.1,
             "FPRAS estimate drifted unexpectedly far: {error}"
         );
     }
 
+    let stats = engine.cache_stats();
     println!("\nAll FPRAS estimates agreed with the exact counts within tolerance.");
+    println!(
+        "plan cache: {} misses, {} hits across {} requests",
+        stats.misses,
+        stats.hits,
+        stats.misses + stats.hits
+    );
 }

@@ -1,16 +1,15 @@
-//! Quickstart: the paper's Example 1.1.
+//! Quickstart: the paper's Example 1.1 through the [`RepairEngine`].
 //!
-//! Builds the inconsistent `Employee` database, asks whether employees 1
-//! and 2 work in the same department, and reports every quantity the paper
-//! discusses for it: the blocks, the total number of repairs, the number of
-//! repairs entailing the query, the relative frequency, and the
-//! certain/possible answer status.
+//! Builds the inconsistent `Employee` database, constructs an engine, and
+//! answers every question the paper asks about the instance with one
+//! [`CountRequest`] each: the exact count, the relative frequency, the
+//! possible/certain answers, and the FPRAS estimate. The engine plans the
+//! query once and serves every subsequent request from its cache.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use repair_count::db::BlockPartition;
 use repair_count::prelude::*;
-use repair_count::query::keywidth;
 
 fn main() {
     // Schema: Employee(id, name, dept) with key(Employee) = {1}.
@@ -32,11 +31,18 @@ fn main() {
     }
     println!("Database D:\n{db}\n");
     println!("Primary keys:\n{}\n", keys.display(db.schema()));
-    println!("D is consistent w.r.t. the keys: {}\n", db.is_consistent(&keys));
+    println!(
+        "D is consistent w.r.t. the keys: {}\n",
+        db.is_consistent(&keys)
+    );
 
     // The block decomposition B1, ..., Bn.
     let blocks = BlockPartition::new(&db, &keys);
-    println!("Blocks ({} total, {} conflicting):", blocks.len(), blocks.conflicting_block_count());
+    println!(
+        "Blocks ({} total, {} conflicting):",
+        blocks.len(),
+        blocks.conflicting_block_count()
+    );
     for (id, block) in blocks.iter() {
         let facts: Vec<String> = block
             .facts()
@@ -47,35 +53,64 @@ fn main() {
     }
     println!();
 
+    // The engine owns the database and computes the partition once.
+    let engine = RepairEngine::new(db, keys);
+
     // The query of Example 1.1: do employees 1 and 2 share a department?
     let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)")
         .expect("valid query");
     println!("Query Q: {q}");
-    println!("keywidth kw(Q, Sigma) = {}\n", keywidth(&q, db.schema(), &keys));
+    println!("keywidth kw(Q, Sigma) = {}\n", engine.keywidth(&q));
 
-    let counter = RepairCounter::new(&db, &keys);
-    let total = counter.total_repairs();
-    let outcome = counter.count(&q).expect("counting succeeds");
-    let frequency = counter.frequency(&q).expect("counting succeeds");
+    let exact = engine
+        .run(&CountRequest::exact(q.clone()))
+        .expect("counting succeeds");
+    let frequency = engine
+        .run(&CountRequest::frequency(q.clone()))
+        .expect("counting succeeds");
+    let possible = engine
+        .run(&CountRequest::decision(q.clone()))
+        .expect("decision succeeds");
+    let certain = engine
+        .run(&CountRequest::certain_answer(q.clone()))
+        .expect("decision succeeds");
 
-    println!("|rep(D, Sigma)|                  = {total}");
-    println!("repairs entailing Q              = {}", outcome.count);
-    println!("relative frequency of Q          = {frequency}");
+    println!(
+        "|rep(D, Sigma)|                  = {}",
+        engine.total_repairs()
+    );
+    println!(
+        "repairs entailing Q              = {}",
+        exact.answer.as_count().expect("count")
+    );
+    println!(
+        "relative frequency of Q          = {}",
+        frequency.answer.as_frequency().expect("frequency")
+    );
     println!(
         "Q holds in some repair (possible) = {}",
-        counter.holds_in_some_repair(&q).expect("decision succeeds")
+        possible.answer.as_bool().expect("boolean")
     );
     println!(
         "Q holds in every repair (certain) = {}",
-        counter.holds_in_every_repair(&q).expect("decision succeeds")
+        certain.answer.as_bool().expect("boolean")
     );
 
     // The same number through the paper's FPRAS (Corollary 6.4).
-    let approx = counter
-        .approximate(&q, &ApproxConfig { epsilon: 0.1, ..ApproxConfig::default() })
+    let approx = engine
+        .run(&CountRequest::approximate(q, 0.1, 0.05))
         .expect("approximation succeeds");
+    let estimate = approx.answer.as_estimate().expect("estimate");
     println!(
         "\nFPRAS estimate (epsilon = 0.1)    = {} ({} samples, {} positive)",
-        approx.estimate, approx.samples_used, approx.positive_samples
+        estimate.estimate, approx.samples_used, estimate.positive_samples
     );
+
+    // Every request after the first reused the cached plan.
+    let stats = engine.cache_stats();
+    println!(
+        "\nplan cache: {} miss, {} hits ({} plans resident)",
+        stats.misses, stats.hits, stats.entries
+    );
+    assert_eq!(stats.misses, 1);
 }

@@ -6,7 +6,8 @@
 //! exact counting by enumeration is impossible — yet the paper's FPRAS
 //! (Theorem 6.2) answers "how often does this pattern hold across repairs"
 //! in seconds, and the certificate/box exact counter still works because
-//! only the touched blocks matter.
+//! only the touched blocks matter.  The [`RepairEngine`] plans the query
+//! once; the second estimator run reuses the cached certificates.
 //!
 //! Run with: `cargo run --release --example sensor_dedup`
 
@@ -18,9 +19,9 @@ fn main() {
     // 120 sensors x 20 ticks; every third sensor has duplicate readings on
     // its first 10 ticks -> 400 conflicted blocks of size 3.
     let (db, keys) = sensor_readings(120, 20, 10);
-    let counter = RepairCounter::new(&db, &keys);
-    let total = counter.total_repairs();
-    println!("Sensor database: {} facts", db.len());
+    let engine = RepairEngine::new(db, keys);
+    let total = engine.total_repairs();
+    println!("Sensor database: {} facts", engine.database().len());
     println!("Total repairs |rep(D, Sigma)| = {total}");
     println!("(about 10^{} repairs)\n", total.to_string().len() - 1);
 
@@ -31,52 +32,63 @@ fn main() {
     // Exact counting via certificates/boxes touches only the two relevant
     // blocks, so it is instantaneous even though enumeration would need to
     // visit ~10^190 repairs.
-    let started = Instant::now();
-    let exact = counter.count(&q).expect("exact counting succeeds");
+    let exact = engine
+        .run(&CountRequest::exact(q.clone()))
+        .expect("exact counting succeeds");
     println!(
         "exact count via certificate boxes = {} ({} certificates, {:?})",
-        exact.count,
+        exact.answer.as_count().expect("count"),
         exact.certificates.unwrap_or(0),
-        started.elapsed()
+        exact.duration
     );
-    let frequency = counter.frequency(&q).expect("frequency succeeds");
-    println!("relative frequency                = {frequency} = {:.6}", frequency.to_f64());
+    let frequency = engine
+        .run(&CountRequest::frequency(q.clone()))
+        .expect("frequency succeeds");
+    let freq = frequency.answer.as_frequency().expect("frequency");
+    println!(
+        "relative frequency                = {freq} = {:.6}",
+        freq.to_f64()
+    );
 
     // The FPRAS reproduces the frequency by sampling repairs uniformly.
-    let config = ApproxConfig {
-        epsilon: 0.1,
-        delta: 0.05,
-        max_samples: 200_000,
-        ..ApproxConfig::default()
-    };
-    let started = Instant::now();
-    let fpras = counter.approximate(&q, &config).expect("FPRAS succeeds");
+    let fpras_request = CountRequest::approximate(q.clone(), 0.1, 0.05).with_sample_cap(200_000);
+    let fpras = engine.run(&fpras_request).expect("FPRAS succeeds");
+    let fpras_estimate = fpras.answer.as_estimate().expect("estimate");
     println!(
         "\nFPRAS      : estimate {} (covered fraction {:.6}), {} samples in {:?}",
-        fpras.estimate, fpras.covered_fraction, fpras.samples_used, started.elapsed()
+        fpras_estimate.estimate,
+        fpras_estimate.covered_fraction,
+        fpras.samples_used,
+        fpras.duration
     );
 
     // The Karp-Luby baseline samples (certificate, completion) pairs — the
-    // "complex" sample space the paper contrasts its scheme with.
-    let started = Instant::now();
-    let kl = counter
-        .approximate_karp_luby(&q, &config)
-        .expect("Karp-Luby succeeds");
+    // "complex" sample space the paper contrasts its scheme with.  The
+    // engine serves it from the same cached plan (note the duration).
+    let kl_request = fpras_request.with_strategy(Strategy::KarpLuby);
+    let kl = engine.run(&kl_request).expect("Karp-Luby succeeds");
+    let kl_estimate = kl.answer.as_estimate().expect("estimate");
     println!(
         "Karp-Luby  : estimate {} (covered fraction {:.6}), {} samples in {:?}",
-        kl.estimate, kl.covered_fraction, kl.samples_used, started.elapsed()
+        kl_estimate.estimate, kl_estimate.covered_fraction, kl.samples_used, kl.duration
     );
+    assert!(kl.plan_cached, "second run must reuse the cached plan");
 
-    let fpras_err = fpras.relative_error(&exact.count);
-    let kl_err = kl.relative_error(&exact.count);
+    let exact_count = exact.answer.as_count().expect("count");
+    let fpras_err = fpras_estimate.relative_error(exact_count);
+    let kl_err = kl_estimate.relative_error(exact_count);
     println!("\nrelative error vs exact: FPRAS {fpras_err:.4}, Karp-Luby {kl_err:.4}");
-    assert!(fpras_err <= 3.0 * config.epsilon);
-    assert!(kl_err <= 3.0 * config.epsilon);
+    assert!(fpras_err <= 3.0 * 0.1);
+    assert!(kl_err <= 3.0 * 0.1);
 
     // Enumeration would be infeasible: demonstrate that the budget guard
     // refuses politely rather than running forever.
-    let err = counter
-        .count_with(&q, repair_count::counting::ExactStrategy::Enumeration)
+    let started = Instant::now();
+    let err = engine
+        .run(&CountRequest::exact(q).with_strategy(Strategy::Enumeration))
         .unwrap_err();
-    println!("\nenumeration strategy refused as expected: {err}");
+    println!(
+        "\nenumeration strategy refused as expected ({:?}): {err}",
+        started.elapsed()
+    );
 }

@@ -9,8 +9,9 @@
 //! * [`num`] — arbitrary-precision counts, log-domain numbers, exact ratios.
 //! * [`db`] — facts, schemas, primary keys, blocks and repairs.
 //! * [`query`] — FO / ∃FO⁺ / UCQ / CQ queries, parsing, evaluation, keywidth.
-//! * [`counting`] — exact counters, decision procedures, the Λ[k] FPRAS and
-//!   the Karp–Luby baseline, relative-frequency CQA.
+//! * [`counting`] — the [`RepairEngine`](prelude::RepairEngine), exact
+//!   counters, decision procedures, the Λ[k] FPRAS and the Karp–Luby
+//!   baseline, relative-frequency CQA.
 //! * [`lambda`] — the Λ-hierarchy machinery, companion problems and
 //!   hardness reductions.
 //! * [`workloads`] — seeded workload generators used by the examples,
@@ -18,7 +19,10 @@
 //!
 //! ## Quickstart
 //!
-//! The paper's Example 1.1 (the `Employee` relation) in a few lines:
+//! The paper's Example 1.1 (the `Employee` relation) through the
+//! [`RepairEngine`](prelude::RepairEngine): build the engine once, then
+//! answer any number of [`CountRequest`](prelude::CountRequest)s — repeat
+//! queries are served from the engine's plan cache.
 //!
 //! ```
 //! use repair_count::prelude::*;
@@ -36,8 +40,9 @@
 //! let q = parse_query(
 //!     "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
 //!
-//! let freq = RepairCounter::new(&db, &keys).frequency(&q).unwrap();
-//! assert_eq!(freq.to_string(), "1/2");
+//! let engine = RepairEngine::new(db, keys);
+//! let report = engine.run(&CountRequest::frequency(q)).unwrap();
+//! assert_eq!(report.answer.as_frequency().unwrap().to_string(), "1/2");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -53,8 +58,8 @@ pub use cdr_workloads as workloads;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use cdr_core::{
-        ApproxConfig, CountOutcome, ExactStrategy, FprasEstimator, KarpLubyEstimator,
-        RepairCounter,
+        Answer, ApproxConfig, CacheStats, CountOutcome, CountReport, CountRequest, ExactStrategy,
+        FprasEstimator, KarpLubyEstimator, RepairCounter, RepairEngine, Semantics, Strategy,
     };
     pub use cdr_num::{BigNat, LogNum, Ratio};
     pub use cdr_query::{parse_query, Query, UcqQuery};

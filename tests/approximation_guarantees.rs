@@ -1,9 +1,10 @@
 //! Empirical validation of the FPRAS guarantees (Theorem 6.2 and
 //! Corollary 6.4): across workloads, seeds and ε values, the estimators
 //! stay within the promised relative error of the exact count far more
-//! often than the δ failure probability allows.
+//! often than the δ failure probability allows. All runs go through the
+//! [`RepairEngine`], so repeated estimates reuse the cached certificates.
 
-use repair_count::counting::{FprasEstimator, KarpLubyEstimator};
+use repair_count::counting::{ApproxCount, FprasEstimator, Strategy as EngineStrategy};
 use repair_count::prelude::*;
 use repair_count::query::rewrite_to_ucq;
 use repair_count::workloads::{
@@ -11,8 +12,24 @@ use repair_count::workloads::{
     InconsistentDbConfig, QueryGenConfig, RelationSpec,
 };
 
-fn exact_count(db: &Database, keys: &KeySet, q: &Query) -> BigNat {
-    RepairCounter::new(db, keys).count(q).unwrap().count
+fn exact_count(engine: &RepairEngine, q: &Query) -> BigNat {
+    engine
+        .run(&CountRequest::exact(q.clone()))
+        .unwrap()
+        .answer
+        .as_count()
+        .unwrap()
+        .clone()
+}
+
+fn estimate(engine: &RepairEngine, request: &CountRequest) -> ApproxCount {
+    engine
+        .run(request)
+        .unwrap()
+        .answer
+        .as_estimate()
+        .unwrap()
+        .clone()
 }
 
 #[test]
@@ -24,24 +41,26 @@ fn fpras_respects_epsilon_on_generated_workloads() {
         seed: 17,
     }
     .generate();
+    let engine = RepairEngine::new(db, keys);
     let mut failures = 0usize;
     let mut trials = 0usize;
     for qseed in 0..4u64 {
-        let q = random_point_query_union(&db, &QueryGenConfig { size: 3, seed: qseed });
-        let exact = exact_count(&db, &keys, &q);
+        let q = random_point_query_union(
+            engine.database(),
+            &QueryGenConfig {
+                size: 3,
+                seed: qseed,
+            },
+        );
+        let exact = exact_count(&engine, &q);
         if exact.is_zero() {
             continue;
         }
-        let ucq = rewrite_to_ucq(&q).unwrap();
-        let estimator = FprasEstimator::new(&db, &keys, &ucq).unwrap();
         for seed in 0..5u64 {
-            let config = ApproxConfig {
-                epsilon: 0.15,
-                delta: 0.05,
-                seed,
-                ..ApproxConfig::default()
-            };
-            let approx = estimator.estimate(&config).unwrap();
+            let approx = estimate(
+                &engine,
+                &CountRequest::approximate(q.clone(), 0.15, 0.05).with_seed(seed),
+            );
             trials += 1;
             if approx.relative_error(&exact) > 0.15 {
                 failures += 1;
@@ -51,34 +70,30 @@ fn fpras_respects_epsilon_on_generated_workloads() {
     assert!(trials >= 10, "expected several non-trivial queries");
     // δ = 0.05 per trial: with ~20 trials, more than 3 failures would be
     // wildly improbable if the guarantee held.
-    assert!(failures <= 2, "{failures} of {trials} trials exceeded epsilon");
+    assert!(
+        failures <= 2,
+        "{failures} of {trials} trials exceeded epsilon"
+    );
 }
 
 #[test]
 fn karp_luby_and_fpras_agree_on_integration_scenario() {
     let (db, keys) = two_source_customers(18, 3);
+    let engine = RepairEngine::new(db, keys);
     let queries = [
         "Customer(0, c, 'dormant')",
         "EXISTS id, c . Customer(id, c, 'dormant') AND Order(1000, 0, 10)",
         "Customer(0, c, 'dormant') OR Customer(3, d, 'dormant') OR Customer(6, e, 'dormant')",
     ];
-    let config = ApproxConfig {
-        epsilon: 0.1,
-        delta: 0.05,
-        ..ApproxConfig::default()
-    };
     for text in queries {
         let q = parse_query(text).unwrap();
-        let exact = exact_count(&db, &keys, &q);
-        let ucq = rewrite_to_ucq(&q).unwrap();
-        let fpras = FprasEstimator::new(&db, &keys, &ucq)
-            .unwrap()
-            .estimate(&config)
-            .unwrap();
-        let kl = KarpLubyEstimator::new(&db, &keys, &ucq)
-            .unwrap()
-            .estimate(&config)
-            .unwrap();
+        let exact = exact_count(&engine, &q);
+        let fpras = estimate(&engine, &CountRequest::approximate(q.clone(), 0.1, 0.05));
+        let kl = estimate(
+            &engine,
+            &CountRequest::approximate(q.clone(), 0.1, 0.05)
+                .with_strategy(EngineStrategy::KarpLuby),
+        );
         if exact.is_zero() {
             assert!(fpras.estimate.is_zero());
             assert!(kl.estimate.is_zero());
@@ -94,33 +109,38 @@ fn estimators_work_when_exact_enumeration_is_impossible() {
     // ~3^133 repairs: enumeration is unthinkable, the estimators and the
     // box counter still agree with each other.
     let (db, keys) = sensor_readings(100, 10, 4);
+    let engine = RepairEngine::new(db, keys);
     // Each of these three (sensor, tick) blocks has readings {0, 5, 10};
     // the query fixes one choice per block, so exactly 1/27 of the repairs
     // restricted to those blocks entail it.
     let q = parse_query("Reading(0, 0, 5) AND Reading(3, 1, 10) AND Reading(6, 2, 0)").unwrap();
-    let counter = RepairCounter::new(&db, &keys);
-    let exact = counter.count(&q).unwrap().count;
-    let config = ApproxConfig {
-        epsilon: 0.1,
-        delta: 0.05,
-        max_samples: 400_000,
-        ..ApproxConfig::default()
-    };
-    let fpras = counter.approximate(&q, &config).unwrap();
-    let kl = counter.approximate_karp_luby(&q, &config).unwrap();
-    assert!(fpras.relative_error(&exact) <= 0.25, "FPRAS (capped samples)");
+    let exact = exact_count(&engine, &q);
+    let fpras_request = CountRequest::approximate(q.clone(), 0.1, 0.05).with_sample_cap(400_000);
+    let fpras_report = engine.run(&fpras_request).unwrap();
+    let fpras = fpras_report.answer.as_estimate().unwrap();
+    let kl = estimate(
+        &engine,
+        &fpras_request
+            .clone()
+            .with_strategy(EngineStrategy::KarpLuby),
+    );
+    assert!(
+        fpras.relative_error(&exact) <= 0.25,
+        "FPRAS (capped samples)"
+    );
     assert!(kl.relative_error(&exact) <= 0.1, "Karp-Luby");
     // The sample-space sizes are reported faithfully.
-    assert_eq!(fpras.sample_space_size, counter.total_repairs());
+    assert_eq!(&fpras.sample_space_size, engine.total_repairs());
 }
 
 #[test]
 fn sample_sizes_follow_the_paper_formula() {
     let (db, keys) = two_source_customers(12, 2);
-    let q = parse_query("EXISTS c . Customer(0, c, 'dormant') AND Customer(2, c, 'dormant')")
-        .unwrap();
+    let q =
+        parse_query("EXISTS c . Customer(0, c, 'dormant') AND Customer(2, c, 'dormant')").unwrap();
     let ucq = rewrite_to_ucq(&q).unwrap();
     let estimator = FprasEstimator::new(&db, &keys, &ucq).unwrap();
+    let engine = RepairEngine::new(db, keys);
     // m = 2 (largest block), k = 2 (two keyed atoms in the only disjunct).
     for (eps, delta) in [(0.5f64, 0.1f64), (0.2, 0.05), (0.1, 0.01)] {
         let expected = ((2.0 + eps) * 4.0 / (eps * eps) * (2.0f64 / delta).ln()).ceil() as u64;
@@ -132,21 +152,34 @@ fn sample_sizes_follow_the_paper_formula() {
             })
             .unwrap();
         assert_eq!(got, expected, "eps={eps}, delta={delta}");
+        // The engine reports the same requested sample size, unless the
+        // estimator short-circuited to an exact value (no sampling).
+        let report = engine
+            .run(&CountRequest::approximate(q.clone(), eps, delta))
+            .unwrap();
+        let short_circuited = report.answer.as_estimate().unwrap().exact;
+        assert!(
+            short_circuited || report.samples_requested == expected,
+            "eps={eps}, delta={delta}: requested {}",
+            report.samples_requested
+        );
     }
 }
 
 #[test]
-fn invalid_parameters_are_rejected_through_the_facade() {
+fn invalid_parameters_are_rejected_through_the_engine() {
     let (db, keys) = two_source_customers(4, 2);
-    let counter = RepairCounter::new(&db, &keys);
+    let engine = RepairEngine::new(db, keys);
     let q = parse_query("EXISTS c . Customer(0, c, 'dormant')").unwrap();
-    for config in [
-        ApproxConfig { epsilon: 0.0, ..ApproxConfig::default() },
-        ApproxConfig { delta: 0.0, ..ApproxConfig::default() },
-        ApproxConfig { delta: 1.0, ..ApproxConfig::default() },
-        ApproxConfig { max_samples: 0, ..ApproxConfig::default() },
+    for request in [
+        CountRequest::approximate(q.clone(), 0.0, 0.05),
+        CountRequest::approximate(q.clone(), 0.1, 0.0),
+        CountRequest::approximate(q.clone(), 0.1, 1.0),
+        CountRequest::approximate(q.clone(), 0.1, 0.05).with_sample_cap(0),
     ] {
-        assert!(counter.approximate(&q, &config).is_err());
-        assert!(counter.approximate_karp_luby(&q, &config).is_err());
+        assert!(engine.run(&request).is_err());
+        assert!(engine
+            .run(&request.clone().with_strategy(EngineStrategy::KarpLuby))
+            .is_err());
     }
 }

@@ -1,7 +1,8 @@
 //! End-to-end reproduction of the paper's Example 1.1 through the facade
-//! crate, exercising every public entry point on the same tiny instance.
+//! crate, exercising every public entry point on the same tiny instance
+//! via the [`RepairEngine`] request/report API.
 
-use repair_count::counting::ExactStrategy;
+use repair_count::counting::Strategy as EngineStrategy;
 use repair_count::db::{count_repairs, BlockPartition, Repair, RepairIter};
 use repair_count::lambda::{reduce_compactor_to_cqa, unfold_count, CqaCompactor};
 use repair_count::prelude::*;
@@ -12,18 +13,29 @@ fn query() -> Query {
     parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap()
 }
 
+fn engine() -> RepairEngine {
+    let (db, keys) = employee_example();
+    RepairEngine::new(db, keys)
+}
+
 #[test]
 fn the_running_example_counts_two_of_four() {
-    let (db, keys) = employee_example();
-    let counter = RepairCounter::new(&db, &keys);
+    let engine = engine();
     let q = query();
 
-    assert_eq!(counter.total_repairs().to_u64(), Some(4));
-    assert_eq!(counter.count(&q).unwrap().count.to_u64(), Some(2));
-    assert_eq!(counter.frequency(&q).unwrap().to_string(), "1/2");
-    assert_eq!(counter.keywidth(&q), 2);
-    assert!(counter.holds_in_some_repair(&q).unwrap());
-    assert!(!counter.holds_in_every_repair(&q).unwrap());
+    assert_eq!(engine.total_repairs().to_u64(), Some(4));
+    let count = engine.run(&CountRequest::exact(q.clone())).unwrap();
+    assert_eq!(count.answer.as_count().unwrap().to_u64(), Some(2));
+    let freq = engine.run(&CountRequest::frequency(q.clone())).unwrap();
+    assert_eq!(freq.answer.as_frequency().unwrap().to_string(), "1/2");
+    assert_eq!(engine.keywidth(&q), 2);
+    let possible = engine.run(&CountRequest::decision(q.clone())).unwrap();
+    assert_eq!(possible.answer.as_bool(), Some(true));
+    let certain = engine.run(&CountRequest::certain_answer(q)).unwrap();
+    assert_eq!(certain.answer.as_bool(), Some(false));
+    // Five requests, one planning pass.
+    assert_eq!(engine.cache_stats().misses, 1);
+    assert_eq!(engine.cache_stats().hits, 4);
 }
 
 #[test]
@@ -49,20 +61,25 @@ fn blocks_and_repairs_match_the_paper() {
 
 #[test]
 fn all_counting_routes_agree_on_the_example() {
-    let (db, keys) = employee_example();
-    let counter = RepairCounter::new(&db, &keys);
+    let engine = engine();
     let q = query();
     let ucq = rewrite_to_ucq(&q).unwrap();
 
-    let by_enumeration = counter
-        .count_with(&q, ExactStrategy::Enumeration)
+    let by_enumeration = engine
+        .run(&CountRequest::exact(q.clone()).with_strategy(EngineStrategy::Enumeration))
         .unwrap()
-        .count;
-    let by_boxes = counter
-        .count_with(&q, ExactStrategy::CertificateBoxes)
+        .answer
+        .as_count()
         .unwrap()
-        .count;
-    let compactor = CqaCompactor::new(&db, &keys, &ucq).unwrap();
+        .clone();
+    let by_boxes = engine
+        .run(&CountRequest::exact(q.clone()).with_strategy(EngineStrategy::CertificateBoxes))
+        .unwrap()
+        .answer
+        .as_count()
+        .unwrap()
+        .clone();
+    let compactor = CqaCompactor::new(engine.database(), engine.keys(), &ucq).unwrap();
     let by_compactor = unfold_count(&compactor, 1_000).unwrap();
     let by_reduction = reduce_compactor_to_cqa(&compactor)
         .unwrap()
@@ -76,22 +93,31 @@ fn all_counting_routes_agree_on_the_example() {
 
 #[test]
 fn approximations_bracket_the_exact_answer() {
-    let (db, keys) = employee_example();
-    let counter = RepairCounter::new(&db, &keys);
+    let engine = engine();
     let q = query();
     let exact = BigNat::from(2u64);
     for seed in 0..5u64 {
-        let config = ApproxConfig {
-            epsilon: 0.1,
-            delta: 0.05,
-            seed,
-            ..ApproxConfig::default()
-        };
-        let fpras = counter.approximate(&q, &config).unwrap();
-        let kl = counter.approximate_karp_luby(&q, &config).unwrap();
-        assert!(fpras.relative_error(&exact) <= 0.1, "seed {seed}");
-        assert!(kl.relative_error(&exact) <= 0.1, "seed {seed}");
+        let fpras = engine
+            .run(&CountRequest::approximate(q.clone(), 0.1, 0.05).with_seed(seed))
+            .unwrap();
+        let kl = engine
+            .run(
+                &CountRequest::approximate(q.clone(), 0.1, 0.05)
+                    .with_seed(seed)
+                    .with_strategy(EngineStrategy::KarpLuby),
+            )
+            .unwrap();
+        assert!(
+            fpras.answer.as_estimate().unwrap().relative_error(&exact) <= 0.1,
+            "seed {seed}"
+        );
+        assert!(
+            kl.answer.as_estimate().unwrap().relative_error(&exact) <= 0.1,
+            "seed {seed}"
+        );
     }
+    // All ten runs shared one plan.
+    assert_eq!(engine.cache_stats().misses, 1);
 }
 
 #[test]
@@ -101,5 +127,20 @@ fn keywidth_of_the_example_query_is_two() {
     assert_eq!(keywidth(&q, db.schema(), &keys), 2);
     let ucq = rewrite_to_ucq(&q).unwrap();
     assert_eq!(ucq.len(), 1);
-    assert!(!ucq.has_self_join() || ucq.has_self_join());
+    // Both atoms use the Employee relation, so the single disjunct is a
+    // self-join — exactly why the keywidth is 2, not 1.
+    assert!(ucq.has_self_join());
+}
+
+#[test]
+fn the_deprecated_facade_still_reproduces_the_example() {
+    let (db, keys) = employee_example();
+    let counter = RepairCounter::new(&db, &keys);
+    let q = query();
+    assert_eq!(counter.total_repairs().to_u64(), Some(4));
+    assert_eq!(counter.count(&q).unwrap().count.to_u64(), Some(2));
+    assert_eq!(counter.frequency(&q).unwrap().to_string(), "1/2");
+    assert_eq!(counter.keywidth(&q), 2);
+    assert!(counter.holds_in_some_repair(&q).unwrap());
+    assert!(!counter.holds_in_every_repair(&q).unwrap());
 }

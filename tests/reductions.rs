@@ -25,10 +25,22 @@ fn disj_pos_kdnf_reductions_are_parsimonious() {
             });
             let brute = f.count_satisfying_brute_force();
             assert_eq!(f.count_satisfying(10_000_000).unwrap(), brute);
-            assert_eq!(f.count_via_cqa(10_000_000).unwrap(), brute, "natural reduction");
-            assert_eq!(unfold_count(&f, 10_000_000).unwrap(), brute, "compactor view");
+            assert_eq!(
+                f.count_via_cqa(10_000_000).unwrap(),
+                brute,
+                "natural reduction"
+            );
+            assert_eq!(
+                unfold_count(&f, 10_000_000).unwrap(),
+                brute,
+                "compactor view"
+            );
             let instance = reduce_compactor_to_cqa(&f).unwrap();
-            assert_eq!(instance.count(10_000_000).unwrap(), brute, "Theorem 5.1 reduction");
+            assert_eq!(
+                instance.count(10_000_000).unwrap(),
+                brute,
+                "Theorem 5.1 reduction"
+            );
         }
     }
 }
@@ -47,10 +59,22 @@ fn forbidden_coloring_reductions_are_parsimonious() {
             });
             let brute = f.count_forbidden_brute_force();
             assert_eq!(f.count_forbidden(10_000_000).unwrap(), brute);
-            assert_eq!(f.count_via_cqa(10_000_000).unwrap(), brute, "natural reduction");
-            assert_eq!(unfold_count(&f, 10_000_000).unwrap(), brute, "compactor view");
+            assert_eq!(
+                f.count_via_cqa(10_000_000).unwrap(),
+                brute,
+                "natural reduction"
+            );
+            assert_eq!(
+                unfold_count(&f, 10_000_000).unwrap(),
+                brute,
+                "compactor view"
+            );
             let instance = reduce_compactor_to_cqa(&f).unwrap();
-            assert_eq!(instance.count(10_000_000).unwrap(), brute, "Theorem 5.1 reduction");
+            assert_eq!(
+                instance.count(10_000_000).unwrap(),
+                brute,
+                "Theorem 5.1 reduction"
+            );
         }
     }
 }
@@ -64,7 +88,11 @@ fn three_sat_reduction_is_parsimonious() {
             seed,
         });
         let brute = f.count_models_brute_force();
-        assert_eq!(f.count_models_via_cqa(10_000_000).unwrap(), brute, "seed {seed}");
+        assert_eq!(
+            f.count_models_via_cqa(10_000_000).unwrap(),
+            brute,
+            "seed {seed}"
+        );
         assert_eq!(f.satisfiable_via_cqa().unwrap(), !brute.is_zero());
     }
 }

@@ -4,7 +4,7 @@
 //! "count equals total", and the decision problem matches Lemma 3.5.
 
 use proptest::prelude::*;
-use repair_count::counting::ExactStrategy;
+use repair_count::counting::Strategy as EngineStrategy;
 use repair_count::db::{BlockPartition, RepairIter};
 use repair_count::prelude::*;
 use repair_count::query::FoFormula;
@@ -16,11 +16,21 @@ fn negate(q: &Query) -> Query {
     Query::boolean(FoFormula::Not(Box::new(q.formula().clone())))
 }
 
+fn exact_count(engine: &RepairEngine, q: &Query) -> BigNat {
+    engine
+        .run(&CountRequest::exact(q.clone()))
+        .unwrap()
+        .answer
+        .as_count()
+        .unwrap()
+        .clone()
+}
+
 #[test]
 fn counts_of_a_query_and_its_negation_partition_the_repairs() {
     let (db, keys) = employee_example();
-    let counter = RepairCounter::new(&db, &keys);
-    let total = counter.total_repairs();
+    let engine = RepairEngine::new(db, keys);
+    let total = engine.total_repairs().clone();
     for text in [
         "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)",
         "Employee(1, 'Bob', 'HR')",
@@ -28,11 +38,14 @@ fn counts_of_a_query_and_its_negation_partition_the_repairs() {
         "EXISTS n, d . Employee(3, n, d)",
     ] {
         let q = parse_query(text).unwrap();
-        let count = counter.count(&q).unwrap().count;
-        let negated = counter
-            .count_with(&negate(&q), ExactStrategy::Enumeration)
+        let count = exact_count(&engine, &q);
+        let negated = engine
+            .run(&CountRequest::exact(negate(&q)).with_strategy(EngineStrategy::Enumeration))
             .unwrap()
-            .count;
+            .answer
+            .as_count()
+            .unwrap()
+            .clone();
         assert_eq!(&count + &negated, total, "complementation fails for {text}");
     }
 }
@@ -70,15 +83,15 @@ fn every_repair_is_a_maximal_consistent_subset() {
     }
     assert_eq!(
         BigNat::from(seen.len()),
-        RepairCounter::new(&db, &keys).total_repairs()
+        *RepairEngine::new(db, keys).total_repairs()
     );
 }
 
 #[test]
 fn certain_answers_coincide_with_full_counts() {
     let (db, keys) = employee_example();
-    let counter = RepairCounter::new(&db, &keys);
-    let total = counter.total_repairs();
+    let engine = RepairEngine::new(db, keys);
+    let total = engine.total_repairs().clone();
     for text in [
         "EXISTS n . Employee(2, n, 'IT')",
         "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)",
@@ -86,14 +99,26 @@ fn certain_answers_coincide_with_full_counts() {
         "Employee(2, 'Alice', 'IT')",
     ] {
         let q = parse_query(text).unwrap();
-        let count = counter.count(&q).unwrap().count;
+        let count = exact_count(&engine, &q);
+        let certain = engine
+            .run(&CountRequest::certain_answer(q.clone()))
+            .unwrap()
+            .answer
+            .as_bool()
+            .unwrap();
         assert_eq!(
-            counter.holds_in_every_repair(&q).unwrap(),
+            certain,
             count == total,
             "certain-answer mismatch for {text}"
         );
+        let possible = engine
+            .run(&CountRequest::decision(q))
+            .unwrap()
+            .answer
+            .as_bool()
+            .unwrap();
         assert_eq!(
-            counter.holds_in_some_repair(&q).unwrap(),
+            possible,
             !count.is_zero(),
             "possible-answer mismatch for {text}"
         );
@@ -106,7 +131,7 @@ fn binding_answer_tuples_reduces_to_boolean_counting() {
     // tuple equals the Boolean specialisation, as in the problem statement
     // of #CQA (the tuple t̄ is part of the input).
     let (db, keys) = repair_count::workloads::two_source_customers(6, 2);
-    let counter = RepairCounter::new(&db, &keys);
+    let engine = RepairEngine::new(db, keys);
     let open = repair_count::query::parse_query_with_answers(
         "EXISTS c . Customer(id, c, 'dormant')",
         &["id"],
@@ -116,8 +141,8 @@ fn binding_answer_tuples_reduces_to_boolean_counting() {
         let bound = repair_count::query::bind_answers(&open, &[Value::int(id)]).unwrap();
         let direct = parse_query(&format!("EXISTS c . Customer({id}, c, 'dormant')")).unwrap();
         assert_eq!(
-            counter.count(&bound).unwrap().count,
-            counter.count(&direct).unwrap().count,
+            exact_count(&engine, &bound),
+            exact_count(&engine, &direct),
             "binding mismatch for id {id}"
         );
     }
@@ -140,8 +165,8 @@ proptest! {
         .generate();
         let partition = BlockPartition::new(&db, &keys);
         let product: u64 = partition.sizes().iter().map(|&s| s as u64).product();
-        let total = RepairCounter::new(&db, &keys).total_repairs();
-        prop_assert_eq!(total.to_u64(), Some(product));
+        let engine = RepairEngine::new(db, keys);
+        prop_assert_eq!(engine.total_repairs().to_u64(), Some(product));
         let distinct: std::collections::BTreeSet<_> =
             RepairIter::new(&partition).map(|r| r.facts().to_vec()).collect();
         prop_assert_eq!(distinct.len() as u64, product);

@@ -2,10 +2,11 @@
 //! databases and queries, every counting route must report the same number
 //! — enumeration (Theorem 3.3's machine), certificate boxes, the Λ[k]
 //! compactor unfolding (Theorem 5.1 membership), and the Theorem 5.1
-//! hardness reduction back into `#CQA`.
+//! hardness reduction back into `#CQA` — all driven through the
+//! [`RepairEngine`] request/report API.
 
 use proptest::prelude::*;
-use repair_count::counting::ExactStrategy;
+use repair_count::counting::Strategy as EngineStrategy;
 use repair_count::lambda::{reduce_compactor_to_cqa, unfold_count, CqaCompactor};
 use repair_count::prelude::*;
 use repair_count::query::rewrite_to_ucq;
@@ -27,37 +28,58 @@ fn small_db(seed: u64, blocks: usize, block_size: usize) -> (Database, KeySet) {
     .generate()
 }
 
-fn assert_all_routes_agree(db: &Database, keys: &KeySet, q: &Query) {
-    let counter = RepairCounter::new(db, keys);
-    let by_enumeration = counter
-        .count_with(q, ExactStrategy::Enumeration)
+fn count_with(engine: &RepairEngine, q: &Query, strategy: EngineStrategy) -> BigNat {
+    engine
+        .run(&CountRequest::exact(q.clone()).with_strategy(strategy))
         .unwrap()
-        .count;
-    let by_boxes = counter
-        .count_with(q, ExactStrategy::CertificateBoxes)
+        .answer
+        .as_count()
         .unwrap()
-        .count;
+        .clone()
+}
+
+fn assert_all_routes_agree(engine: &RepairEngine, q: &Query) {
+    let by_enumeration = count_with(engine, q, EngineStrategy::Enumeration);
+    let by_boxes = count_with(engine, q, EngineStrategy::CertificateBoxes);
     assert_eq!(by_boxes, by_enumeration, "boxes vs enumeration for {q}");
 
     let ucq = rewrite_to_ucq(q).unwrap();
-    let compactor = CqaCompactor::new(db, keys, &ucq).unwrap();
+    let compactor = CqaCompactor::new(engine.database(), engine.keys(), &ucq).unwrap();
     let by_compactor = unfold_count(&compactor, 10_000_000).unwrap();
-    assert_eq!(by_compactor, by_enumeration, "compactor vs enumeration for {q}");
+    assert_eq!(
+        by_compactor, by_enumeration,
+        "compactor vs enumeration for {q}"
+    );
 
     let by_reduction = reduce_compactor_to_cqa(&compactor)
         .unwrap()
         .count(10_000_000)
         .unwrap();
-    assert_eq!(by_reduction, by_enumeration, "reduction vs enumeration for {q}");
+    assert_eq!(
+        by_reduction, by_enumeration,
+        "reduction vs enumeration for {q}"
+    );
 
     // Consistency of the derived quantities.
-    let total = counter.total_repairs();
+    let total = engine.total_repairs().clone();
     assert!(by_enumeration <= total);
-    let frequency = counter.frequency(q).unwrap();
+    let frequency = engine
+        .run(&CountRequest::frequency(q.clone()))
+        .unwrap()
+        .answer
+        .as_frequency()
+        .unwrap()
+        .clone();
     let reconstructed = Ratio::new(by_enumeration.clone(), total);
     assert_eq!(frequency, reconstructed);
+    let decision = engine
+        .run(&CountRequest::decision(q.clone()))
+        .unwrap()
+        .answer
+        .as_bool()
+        .unwrap();
     assert_eq!(
-        counter.holds_in_some_repair(q).unwrap(),
+        decision,
         !by_enumeration.is_zero(),
         "decision vs counting for {q}"
     );
@@ -67,9 +89,17 @@ fn assert_all_routes_agree(db: &Database, keys: &KeySet, q: &Query) {
 fn join_queries_agree_across_strategies() {
     for seed in 0..8u64 {
         let (db, keys) = small_db(seed, 5, 2);
+        let engine = RepairEngine::new(db, keys);
         for size in 1..=3usize {
-            let q = random_join_query(&db, &keys, &QueryGenConfig { size, seed: seed * 10 + size as u64 });
-            assert_all_routes_agree(&db, &keys, &q);
+            let q = random_join_query(
+                engine.database(),
+                engine.keys(),
+                &QueryGenConfig {
+                    size,
+                    seed: seed * 10 + size as u64,
+                },
+            );
+            assert_all_routes_agree(&engine, &q);
         }
     }
 }
@@ -78,9 +108,16 @@ fn join_queries_agree_across_strategies() {
 fn point_query_unions_agree_across_strategies() {
     for seed in 0..8u64 {
         let (db, keys) = small_db(seed + 100, 6, 2);
+        let engine = RepairEngine::new(db, keys);
         for size in 1..=4usize {
-            let q = random_point_query_union(&db, &QueryGenConfig { size, seed: seed * 7 + size as u64 });
-            assert_all_routes_agree(&db, &keys, &q);
+            let q = random_point_query_union(
+                engine.database(),
+                &QueryGenConfig {
+                    size,
+                    seed: seed * 7 + size as u64,
+                },
+            );
+            assert_all_routes_agree(&engine, &q);
         }
     }
 }
@@ -95,10 +132,15 @@ fn skewed_block_sizes_agree_across_strategies() {
             seed,
         }
         .generate();
-        let q = random_point_query_union(&db, &QueryGenConfig { size: 3, seed });
-        assert_all_routes_agree(&db, &keys, &q);
-        let q = random_join_query(&db, &keys, &QueryGenConfig { size: 2, seed });
-        assert_all_routes_agree(&db, &keys, &q);
+        let engine = RepairEngine::new(db, keys);
+        let q = random_point_query_union(engine.database(), &QueryGenConfig { size: 3, seed });
+        assert_all_routes_agree(&engine, &q);
+        let q = random_join_query(
+            engine.database(),
+            engine.keys(),
+            &QueryGenConfig { size: 2, seed },
+        );
+        assert_all_routes_agree(&engine, &q);
     }
 }
 
@@ -111,9 +153,9 @@ proptest! {
     fn prop_counting_strategies_agree(seed in 0u64..1000, blocks in 2usize..6, size in 1usize..4) {
         let (db, keys) = small_db(seed, blocks, 2);
         let q = random_point_query_union(&db, &QueryGenConfig { size, seed });
-        let counter = RepairCounter::new(&db, &keys);
-        let a = counter.count_with(&q, ExactStrategy::Enumeration).unwrap().count;
-        let b = counter.count_with(&q, ExactStrategy::CertificateBoxes).unwrap().count;
+        let engine = RepairEngine::new(db, keys);
+        let a = count_with(&engine, &q, EngineStrategy::Enumeration);
+        let b = count_with(&engine, &q, EngineStrategy::CertificateBoxes);
         prop_assert_eq!(a, b);
     }
 
@@ -123,9 +165,15 @@ proptest! {
     fn prop_count_bounded_by_total(seed in 0u64..1000, blocks in 2usize..6) {
         let (db, keys) = small_db(seed, blocks, 3);
         let q = random_join_query(&db, &keys, &QueryGenConfig { size: 2, seed });
-        let counter = RepairCounter::new(&db, &keys);
-        let count = counter.count(&q).unwrap().count;
-        prop_assert!(count <= counter.total_repairs());
-        prop_assert_eq!(counter.holds_in_some_repair(&q).unwrap(), !count.is_zero());
+        let engine = RepairEngine::new(db, keys);
+        let count = count_with(&engine, &q, EngineStrategy::Auto);
+        prop_assert!(&count <= engine.total_repairs());
+        let decision = engine
+            .run(&CountRequest::decision(q))
+            .unwrap()
+            .answer
+            .as_bool()
+            .unwrap();
+        prop_assert_eq!(decision, !count.is_zero());
     }
 }
