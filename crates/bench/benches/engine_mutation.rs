@@ -1,0 +1,152 @@
+//! Criterion bench for mutable engine sessions: incremental
+//! [`RepairEngine::apply`] plus a warm re-query versus rebuilding the whole
+//! engine on the mutated database (the only option before the
+//! `EngineCommand` API).
+//!
+//! Three flavours on a 10k-fact database with single-block edits:
+//!
+//! * `untouched_plan` — the mutation hits a relation the query never
+//!   mentions, so the cached plan (and its certificate boxes) survives and
+//!   only the touched block and the running total move;
+//! * `touched_plan` — the mutation hits the query's own relation, so the
+//!   warm re-query lazily re-derives the certificate boxes;
+//! * `rebuild` — the pre-redesign baseline: a fresh engine per edit
+//!   (partition, total and plan recomputed from scratch).
+
+use std::sync::Arc;
+
+use cdr_core::{CountRequest, RepairEngine};
+use cdr_query::parse_query;
+use cdr_repairdb::{Database, Fact, KeySet, Mutation, Schema};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// A 2·`blocks`-fact database: `blocks` conflicting `R` blocks of two
+/// facts, plus a small consistent `Audit` relation the queries ignore.
+fn mutation_workload(blocks: usize) -> (Database, KeySet) {
+    let mut schema = Schema::new();
+    schema.add_relation("R", 2).expect("fresh schema");
+    schema.add_relation("Audit", 2).expect("fresh schema");
+    let keys = KeySet::builder(&schema)
+        .key("R", 1)
+        .expect("valid key")
+        .key("Audit", 1)
+        .expect("valid key")
+        .build();
+    let mut db = Database::new(schema);
+    for k in 0..blocks {
+        db.insert_parsed(&format!("R({k}, 'a')"))
+            .expect("valid fact");
+        db.insert_parsed(&format!("R({k}, 'b')"))
+            .expect("valid fact");
+    }
+    db.insert_parsed("Audit(0, 'boot')").expect("valid fact");
+    (db, keys)
+}
+
+/// One insert + warm query + one delete + warm query (self-resetting), so
+/// each iteration measures two single-block edits with their re-queries.
+fn edit_and_requery(engine: &mut RepairEngine, fact: &Fact, request: &CountRequest) {
+    engine
+        .apply(Mutation::Insert(fact.clone()))
+        .expect("insert applies");
+    engine.run(request).expect("query succeeds");
+    let id = engine
+        .database()
+        .fact_id(fact)
+        .expect("the fact was just inserted");
+    engine.apply(Mutation::Delete(id)).expect("delete applies");
+    engine.run(request).expect("query succeeds");
+}
+
+fn bench_incremental_vs_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/mutation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    // 5_000 R-blocks of 2 facts each: the 10k-fact database of the
+    // acceptance bar.
+    let blocks = 5_000usize;
+    let (db, keys) = mutation_workload(blocks);
+    let db = Arc::new(db);
+    let keys = Arc::new(keys);
+    let query = parse_query("R(0, 'a') OR R(1, 'a') OR R(2, 'a')").expect("valid query");
+    let request = CountRequest::exact(query);
+
+    // Incremental, plan untouched: edit the Audit relation.
+    {
+        let mut engine = RepairEngine::from_arcs(Arc::clone(&db), Arc::clone(&keys));
+        engine.run(&request).expect("warm the plan");
+        let fact = engine
+            .database()
+            .parse_fact("Audit(999, 'late')")
+            .expect("valid fact");
+        group.bench_function(
+            BenchmarkId::new("incremental_untouched_plan", blocks),
+            |b| {
+                b.iter(|| edit_and_requery(&mut engine, &fact, &request));
+            },
+        );
+    }
+
+    // Incremental, plan invalidated: edit the query's own relation.
+    {
+        let mut engine = RepairEngine::from_arcs(Arc::clone(&db), Arc::clone(&keys));
+        engine.run(&request).expect("warm the plan");
+        let fact = engine
+            .database()
+            .parse_fact("R(0, 'late')")
+            .expect("valid fact");
+        group.bench_function(BenchmarkId::new("incremental_touched_plan", blocks), |b| {
+            b.iter(|| edit_and_requery(&mut engine, &fact, &request));
+        });
+    }
+
+    // Full rebuild: a fresh engine (partition + total + plan) per edit,
+    // twice per iteration to match the two edits above.
+    group.bench_function(BenchmarkId::new("rebuild", blocks), |b| {
+        b.iter(|| {
+            for _ in 0..2 {
+                let engine = RepairEngine::from_arcs(Arc::clone(&db), Arc::clone(&keys));
+                engine.run(&request).expect("query succeeds");
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_apply_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/apply_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for &blocks in &[1_000usize, 5_000] {
+        let (db, keys) = mutation_workload(blocks);
+        let mut engine = RepairEngine::new(db, keys);
+        let fact = engine
+            .database()
+            .parse_fact("R(0, 'c')")
+            .expect("valid fact");
+        group.bench_with_input(
+            BenchmarkId::new("insert_delete_pair", blocks),
+            &blocks,
+            |b, _| {
+                b.iter(|| {
+                    engine
+                        .apply(Mutation::Insert(fact.clone()))
+                        .expect("insert applies");
+                    let id = engine.database().fact_id(&fact).expect("live");
+                    engine.apply(Mutation::Delete(id)).expect("delete applies");
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_incremental_vs_rebuild,
+    bench_apply_throughput
+);
+criterion_main!(benches);

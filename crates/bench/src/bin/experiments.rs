@@ -210,7 +210,7 @@ fn e4_membership() {
     }
 }
 
-/// E5 — Theorem 5.1 hardness: the reduction from synthetic Λ[k] functions
+/// E5 — Theorem 5.1 hardness: the reduction from synthetic Λ\[k\] functions
 /// to #CQA(Q_k, Σ_k) preserves counts for k = 0..4.
 fn e5_reduction() {
     header(
@@ -271,7 +271,7 @@ fn e6_fpras() {
 }
 
 /// E7 — Section 6 discussion: natural-sample-space FPRAS vs the
-/// Karp–Luby/[5]-style estimator — accuracy, samples and time.
+/// Karp–Luby/\[5\]-style estimator — accuracy, samples and time.
 fn e7_baseline() {
     header(
         "E7  FPRAS vs Karp-Luby baseline",

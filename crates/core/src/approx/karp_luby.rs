@@ -1,7 +1,7 @@
-//! The Karp–Luby union-of-boxes estimator (the "[5]-style" baseline).
+//! The Karp–Luby union-of-boxes estimator (the "\[5\]-style" baseline).
 //!
 //! Section 6 of the paper contrasts its own FPRAS with the one inherited
-//! from probabilistic databases [5]: the latter cannot sample from the
+//! from probabilistic databases \[5\]: the latter cannot sample from the
 //! natural space of possible worlds (repairs) directly — it must sample
 //! *pairs* of a witness (here: a certificate box) and a completion, and
 //! correct for over-counting with the classic Karp–Luby "am I the first box
@@ -125,7 +125,10 @@ impl KarpLubyEstimator {
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let weight_sum: f64 = self.relative_weights.iter().sum();
         let mut positives: u64 = 0;
-        let mut choice: Vec<FactId> = Vec::with_capacity(self.blocks.len());
+        // Indexed by block slot (`BlockId::index`); retired slots keep a
+        // placeholder that no live box pins.
+        let mut choice: Vec<FactId> =
+            vec![FactId::new(u32::MAX as usize); self.blocks.slot_count()];
         for _ in 0..samples {
             // Draw a box proportionally to its size.
             let mut target = rng.gen_range(0.0..weight_sum);
@@ -138,13 +141,12 @@ impl KarpLubyEstimator {
                 target -= w;
             }
             // Draw a uniform completion of the chosen box.
-            choice.clear();
             for (id, block) in self.blocks.iter() {
                 let fact = match self.boxes[chosen_box].pin_for(id) {
                     Some(f) => f,
                     None => block.facts()[rng.gen_range(0..block.len())],
                 };
-                choice.push(fact);
+                choice[id.index()] = fact;
             }
             // Count the sample only if no earlier box already covers it.
             let first_cover = self

@@ -11,7 +11,7 @@
 //!   `t = ⌈(2+ε)·mᵏ/ε² · ln(2/δ)⌉` where `m` is the maximum block size and
 //!   `k` the (disjunct) keywidth.
 //! * [`KarpLubyEstimator`] — the baseline inherited from probabilistic
-//!   databases [5]: a Karp–Luby union-of-sets estimator over the "complex"
+//!   databases \[5\]: a Karp–Luby union-of-sets estimator over the "complex"
 //!   sample space of (certificate, completion) pairs.  The paper's point is
 //!   that its own scheme is conceptually simpler; implementing both lets
 //!   the benchmarks compare them.
@@ -157,15 +157,21 @@ pub(crate) fn scale_by_fraction(space: &BigNat, positives: u64, samples: u64) ->
 }
 
 /// Draws a uniform repair: one fact chosen uniformly at random from every
-/// block, returned as a per-block choice vector indexed by block position.
+/// live block, returned as a choice vector indexed by block *slot*
+/// ([`cdr_repairdb::BlockId::index`]) so that
+/// [`crate::SelectorBox::contains_choice`] can look pins up directly.
+///
+/// Randomness is drawn in `≺_{D,Σ}` order, so two engines over the same
+/// live facts sample identical repairs for the same seed regardless of how
+/// their slots are numbered.  Retired slots keep a placeholder id that no
+/// live box pins.
 pub(crate) fn sample_repair_choice<R: Rng>(blocks: &BlockPartition, rng: &mut R) -> Vec<FactId> {
-    blocks
-        .iter()
-        .map(|(_, block)| {
-            let idx = rng.gen_range(0..block.len());
-            block.facts()[idx]
-        })
-        .collect()
+    let mut choice = vec![FactId::new(u32::MAX as usize); blocks.slot_count()];
+    for (id, block) in blocks.iter() {
+        let idx = rng.gen_range(0..block.len());
+        choice[id.index()] = block.facts()[idx];
+    }
+    choice
 }
 
 #[cfg(test)]

@@ -72,14 +72,21 @@ impl SelectorBox {
     }
 
     /// Returns `true` iff the repair lies inside the box.
+    ///
+    /// A repair holds exactly one fact from every block, so it matches a
+    /// pin `(B, α)` iff it contains `α` — no block lookup is needed.
     pub fn contains_repair(&self, repair: &Repair) -> bool {
-        self.pinned
-            .iter()
-            .all(|(&block, &fact)| repair.fact_for(block) == fact)
+        self.pinned.values().all(|&fact| repair.contains(fact))
     }
 
     /// Returns `true` iff a repair described by "fact chosen per block"
-    /// (indexed by block position) lies inside the box.
+    /// lies inside the box.
+    ///
+    /// `chosen` is indexed by block *slot* ([`BlockId::index`]), not by
+    /// `≺_{D,Σ}` position, and must span every slot
+    /// ([`BlockPartition::slot_count`] entries); after deletions retire
+    /// slots, the two numbering schemes diverge.  Entries for retired
+    /// slots are never read (no live box pins them).
     pub fn contains_choice(&self, chosen: &[FactId]) -> bool {
         self.pinned
             .iter()

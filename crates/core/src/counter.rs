@@ -223,7 +223,7 @@ impl RepairCounter {
         self.approximate_with(query, config, Strategy::Auto)
     }
 
-    /// The Karp–Luby baseline estimator (the "[5]-style" scheme).
+    /// The Karp–Luby baseline estimator (the "\[5\]-style" scheme).
     pub fn approximate_karp_luby(
         &self,
         query: &Query,

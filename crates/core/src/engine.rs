@@ -1,39 +1,63 @@
-//! The [`RepairEngine`]: an owned, thread-safe, caching entry point for
-//! every operation the paper studies.
+//! The [`RepairEngine`]: an owned, thread-safe, caching, *mutable* entry
+//! point for every operation the paper studies.
 //!
-//! The engine owns its database and key set (behind [`Arc`]s so clones are
+//! The engine owns its database and key set (behind [`Arc`](std::sync::Arc)s so clones are
 //! cheap to share across threads), computes the block partition `B₁, …, Bₙ`
-//! and the total repair count **once** at construction, and memoizes every
-//! per-query planning artifact — the UCQ rewrite, the query class, the
-//! keywidth and disjunct keywidth, the certificate boxes, and the prepared
-//! estimators — in an interior cache. Repeated runs of the same query skip
-//! all planning; the [`RepairEngine::cache_stats`] counters make the hits
-//! observable.
+//! and the total repair count **once** at construction, and then keeps both
+//! up to date **incrementally** as [`Mutation`](cdr_repairdb::Mutation)s arrive: an insert or
+//! delete rebuilds only the touched key-block
+//! ([`cdr_repairdb::BlockPartition::apply`]) and the total repair count is
+//! updated by dividing out the old block's contribution and multiplying in
+//! the new one — never by a full reproduct.
 //!
-//! All operations go through one request/report pair: a [`CountRequest`]
-//! names a query, a [`Semantics`] (exact count, approximation, decision,
-//! certain answer, relative frequency), a [`Strategy`], a budget and a
-//! sample cap; a [`CountReport`] carries the tagged [`Answer`] plus
-//! provenance (effective strategy, certificates found, samples requested
-//! and used, wall-clock duration, whether the plan came from the cache).
+//! All operations go through one command/response pair: an
+//! [`EngineCommand`] is either a [`CountRequest`] (a query, a
+//! [`Semantics`], a [`Strategy`], a budget and a sample cap) or a
+//! [`Mutation`](cdr_repairdb::Mutation) / batch of mutations; an [`EngineResponse`] is the matching
+//! [`CountReport`] or [`MutationReport`].  Queries remain `&self` (and
+//! [`RepairEngine::run_batch`] fans them out across
+//! [`std::thread::scope`] threads when a [`RepairEngine::with_parallelism`]
+//! knob allows); mutations take `&mut self`, which makes every mutation a
+//! natural barrier between parallel batches.
+//!
+//! Per-query planning artifacts — the UCQ rewrite, the query class, the
+//! keywidth and disjunct keywidth, the certificate boxes, and the prepared
+//! estimators — live in a bounded, generation-stamped LRU plan cache.  The
+//! engine maintains a monotonically increasing *generation* counter plus a
+//! per-relation last-mutation generation; a cached plan whose certificate
+//! boxes pin a block of a mutated relation is lazily re-derived on its next
+//! use, while plans over untouched relations survive the mutation (their
+//! boxes pin *stable* block slots, which mutations to other relations never
+//! renumber).  The [`RepairEngine::cache_stats`] counters — hits, misses,
+//! evictions, invalidations — make all of this observable.
 //!
 //! The legacy [`crate::RepairCounter`] facade is a thin wrapper over this
 //! engine and is kept only for backwards compatibility.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
 
 use cdr_num::{BigNat, Ratio};
 use cdr_query::{
     evaluate, keywidth, max_disjunct_keywidth, rewrite_to_ucq, Query, QueryClass, UcqQuery,
 };
-use cdr_repairdb::{count_repairs, BlockPartition, Database, FactId, KeySet, RepairIter};
+use cdr_repairdb::{
+    count_repairs, AppliedMutation, BlockDelta, BlockPartition, Database, FactId, KeySet, Mutation,
+    RepairIter,
+};
 
 use crate::approx::{ApproxConfig, ApproxCount, FprasEstimator, KarpLubyEstimator};
 use crate::exact::{count_by_enumeration, count_union_of_boxes, DEFAULT_EXACT_BUDGET};
 use crate::{distinct_boxes, enumerate_certificates, CountError, SelectorBox};
+
+/// Default capacity of the engine's LRU plan cache.
+///
+/// One plan is cached per distinct query text; the bound keeps an engine
+/// exposed to an untrusted query stream from growing without limit.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 1024;
 
 /// What question a [`CountRequest`] asks about its query.
 #[derive(Clone, Debug, PartialEq)]
@@ -212,6 +236,68 @@ impl CountRequest {
     }
 }
 
+/// One instruction for a [`RepairEngine`] session: ask a question or edit
+/// the database.
+///
+/// Commands are the uniform surface a serving loop speaks: parse the wire
+/// format into an `EngineCommand`, call [`RepairEngine::execute`], ship the
+/// [`EngineResponse`] back.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineCommand {
+    /// Answer one counting request.
+    Query(CountRequest),
+    /// Apply one database mutation.
+    Mutate(Mutation),
+    /// Apply a sequence of mutations as one atomic command: validated up
+    /// front, applied in order, one aggregated report — a rejected batch
+    /// changes nothing (see [`RepairEngine::apply_batch`]).
+    MutateBatch(Vec<Mutation>),
+}
+
+/// The uniform result of [`RepairEngine::execute`].
+#[derive(Clone, Debug)]
+pub enum EngineResponse {
+    /// The answer to a [`EngineCommand::Query`].
+    Report(CountReport),
+    /// The effect of a [`EngineCommand::Mutate`] / `MutateBatch`.
+    Applied(MutationReport),
+}
+
+impl EngineResponse {
+    /// The count report, if this response is one.
+    pub fn as_report(&self) -> Option<&CountReport> {
+        match self {
+            EngineResponse::Report(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The mutation report, if this response is one.
+    pub fn as_applied(&self) -> Option<&MutationReport> {
+        match self {
+            EngineResponse::Applied(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// What a mutation command did to the engine.
+#[derive(Clone, Debug)]
+pub struct MutationReport {
+    /// Number of mutations that actually changed the database.
+    pub applied: usize,
+    /// Number of mutations that were visible no-ops (duplicate inserts).
+    pub noops: usize,
+    /// The engine generation after the command (bumped once per applied
+    /// mutation, never for no-ops).
+    pub generation: u64,
+    /// The per-mutation block deltas, in application order (no entry for
+    /// no-ops).
+    pub deltas: Vec<BlockDelta>,
+    /// Wall-clock time spent applying the command.
+    pub duration: Duration,
+}
+
 /// The tagged payload of a [`CountReport`].
 #[derive(Clone, Debug)]
 pub enum Answer {
@@ -278,9 +364,12 @@ pub struct CountReport {
     pub duration: Duration,
     /// Whether the query plan came from the engine's cache.
     pub plan_cached: bool,
+    /// The engine generation the answer is valid for (the database state
+    /// this report describes).
+    pub generation: u64,
 }
 
-/// Counters describing the engine's plan cache.
+/// Counters describing the engine's generation-stamped LRU plan cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Requests answered with an already-planned query.
@@ -289,25 +378,74 @@ pub struct CacheStats {
     pub misses: u64,
     /// Number of plans currently cached.
     pub entries: u64,
+    /// Maximum number of resident plans before LRU eviction kicks in.
+    pub capacity: u64,
+    /// Number of plans evicted to keep the cache within capacity.
+    pub evictions: u64,
+    /// Number of times a cached plan's certificate boxes were re-derived
+    /// because a mutation had touched one of the query's relations.
+    pub invalidations: u64,
 }
 
-/// Everything the engine ever needs to know about one query, computed at
-/// most once. Certificate boxes and prepared estimators are filled lazily
-/// because not every semantics needs them.
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan cache: {}/{} entries, {} hits, {} misses, {} evictions, {} invalidations",
+            self.entries, self.capacity, self.hits, self.misses, self.evictions, self.invalidations
+        )
+    }
+}
+
+/// Locks a mutex, recovering from poisoning (the engine's caches hold no
+/// invariants a panicking thread could break mid-update that the rebuild
+/// paths cannot repair).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Everything the engine ever needs to know about one query.  The
+/// database-independent parts (rewrite, class, keywidths) are computed once
+/// per plan; the database-dependent parts (certificate boxes, prepared
+/// estimators) are generation-stamped and lazily re-derived after a
+/// mutation invalidates them.
 struct QueryPlan {
     query: Query,
     class: QueryClass,
     keywidth: usize,
+    /// The relation names the query mentions (sorted, deduplicated) — the
+    /// invalidation footprint: only mutations to these relations can change
+    /// the query's certificate set.
+    relations: Vec<String>,
     /// The UCQ rewrite, or the rewrite error for genuinely first-order
     /// queries (kept so forced box strategies report the right error).
     ucq: Result<UcqQuery, CountError>,
     /// `max_disjunct_keywidth` of the rewrite (None for FO queries).
     disjunct_keywidth: Option<usize>,
-    certificates: OnceLock<Result<CertSummary, CountError>>,
-    estimators: OnceLock<Result<Estimators, CountError>>,
+    certs: Mutex<Option<CertState>>,
+    estimators: Mutex<Option<EstState>>,
 }
 
-/// The certificate boxes of a query over the engine's fixed database.
+/// A generation-stamped certificate summary.
+struct CertState {
+    /// The maximum last-mutation generation over the plan's relations at
+    /// the time the summary was derived.
+    rel_generation: u64,
+    summary: Result<CertSummary, CountError>,
+}
+
+/// Generation-stamped prepared estimators.  Estimators embed the whole
+/// block partition and the total repair count, so *any* mutation makes them
+/// stale — but rebuilding them from a live certificate summary is cheap.
+struct EstState {
+    generation: u64,
+    estimators: Result<Arc<Estimators>, CountError>,
+}
+
+/// The certificate boxes of a query over the engine's current database.
+#[derive(Clone)]
 struct CertSummary {
     /// Total number of certificates (before box deduplication).
     count: usize,
@@ -331,66 +469,178 @@ impl QueryPlan {
             .as_ref()
             .ok()
             .map(|u| max_disjunct_keywidth(u, db.schema(), keys));
+        let mut relations: Vec<String> = query
+            .atoms()
+            .iter()
+            .map(|atom| atom.relation().to_string())
+            .collect();
+        relations.sort();
+        relations.dedup();
         QueryPlan {
             query: query.clone(),
             class,
             keywidth: keywidth(query, db.schema(), keys),
+            relations,
             ucq,
             disjunct_keywidth,
-            certificates: OnceLock::new(),
-            estimators: OnceLock::new(),
+            certs: Mutex::new(None),
+            estimators: Mutex::new(None),
         }
     }
 
-    fn cert_summary(&self, engine: &RepairEngine) -> Result<&CertSummary, CountError> {
-        self.certificates
-            .get_or_init(|| {
-                let ucq = self.ucq.as_ref().map_err(Clone::clone)?;
-                let certs = enumerate_certificates(&engine.db, &engine.keys, &engine.blocks, ucq)?;
-                let boxes = distinct_boxes(&certs);
-                Ok(CertSummary {
-                    count: certs.len(),
-                    has_unconstrained: boxes.iter().any(SelectorBox::is_unconstrained),
-                    boxes: Arc::new(boxes),
-                })
+    /// The certificate summary for the engine's *current* database,
+    /// re-deriving it iff a mutation has touched one of the query's
+    /// relations since it was last computed.
+    fn cert_summary(&self, engine: &RepairEngine) -> Result<CertSummary, CountError> {
+        let needed = engine.relations_generation(&self.relations);
+        let mut guard = lock(&self.certs);
+        if let Some(state) = guard.as_ref() {
+            if state.rel_generation == needed {
+                return state.summary.clone();
+            }
+            engine.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        let summary = (|| {
+            let ucq = self.ucq.as_ref().map_err(Clone::clone)?;
+            let certs = enumerate_certificates(&engine.db, &engine.keys, &engine.blocks, ucq)?;
+            let boxes = distinct_boxes(&certs);
+            Ok(CertSummary {
+                count: certs.len(),
+                has_unconstrained: boxes.iter().any(SelectorBox::is_unconstrained),
+                boxes: Arc::new(boxes),
             })
-            .as_ref()
-            .map_err(Clone::clone)
+        })();
+        *guard = Some(CertState {
+            rel_generation: needed,
+            summary: summary.clone(),
+        });
+        summary
     }
 
-    fn estimators(&self, engine: &RepairEngine) -> Result<&Estimators, CountError> {
-        self.estimators
-            .get_or_init(|| {
-                let certs = self.cert_summary(engine)?;
-                let disjunct_keywidth = self
-                    .disjunct_keywidth
-                    .expect("cert_summary succeeded, so the query rewrote to a UCQ");
-                Ok(Estimators {
-                    fpras: FprasEstimator::from_parts(
-                        Arc::clone(&engine.blocks),
-                        Arc::clone(&certs.boxes),
-                        disjunct_keywidth,
-                        engine.total_repairs.clone(),
-                    ),
-                    karp_luby: KarpLubyEstimator::from_parts(
-                        Arc::clone(&engine.blocks),
-                        Arc::clone(&certs.boxes),
-                        engine.total_repairs.clone(),
-                    ),
-                })
+    /// The prepared estimators for the engine's *current* generation,
+    /// rebuilt from the (possibly surviving) certificate summary whenever
+    /// any mutation has happened since they were prepared.
+    ///
+    /// The boolean is `true` when the estimators were (re)built by this
+    /// call — the caller must then register the plan with
+    /// [`RepairEngine::note_estimator_holder`] so the next mutation can
+    /// drop exactly the estimator states that exist.  The generation stamp
+    /// is the semantic staleness guard; the registered sweep exists so the
+    /// partition `Arc` is uniquely held again when a mutation wants to
+    /// update it in place.
+    fn estimators(&self, engine: &RepairEngine) -> Result<(Arc<Estimators>, bool), CountError> {
+        let generation = engine.generation;
+        let mut guard = lock(&self.estimators);
+        if let Some(state) = guard.as_ref() {
+            if state.generation == generation {
+                return state.estimators.clone().map(|e| (e, false));
+            }
+        }
+        let built = self.cert_summary(engine).map(|certs| {
+            let disjunct_keywidth = self
+                .disjunct_keywidth
+                .expect("cert_summary succeeded, so the query rewrote to a UCQ");
+            Arc::new(Estimators {
+                fpras: FprasEstimator::from_parts(
+                    Arc::clone(&engine.blocks),
+                    Arc::clone(&certs.boxes),
+                    disjunct_keywidth,
+                    engine.total_repairs.clone(),
+                ),
+                karp_luby: KarpLubyEstimator::from_parts(
+                    Arc::clone(&engine.blocks),
+                    Arc::clone(&certs.boxes),
+                    engine.total_repairs.clone(),
+                ),
             })
-            .as_ref()
-            .map_err(Clone::clone)
+        });
+        *guard = Some(EstState {
+            generation,
+            estimators: built.clone(),
+        });
+        built.map(|e| (e, true))
+    }
+}
+
+/// The engine's bounded plan cache: least-recently-used eviction over an
+/// access-ordered index.
+struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, CacheEntry>,
+    by_recency: BTreeMap<u64, String>,
+}
+
+struct CacheEntry {
+    plan: Arc<QueryPlan>,
+    tick: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+            by_recency: BTreeMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Fetches a plan, marking it most-recently-used.
+    fn get(&mut self, key: &str) -> Option<Arc<QueryPlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        // Move the owned key from the old recency entry to the new one so
+        // the warm path never re-allocates the query text.
+        let owned = self
+            .by_recency
+            .remove(&entry.tick)
+            .unwrap_or_else(|| key.to_string());
+        entry.tick = tick;
+        self.by_recency.insert(tick, owned);
+        Some(Arc::clone(&entry.plan))
+    }
+
+    /// Inserts a plan unless the key is already occupied, evicting the
+    /// least-recently-used plans to stay within capacity.  Returns the
+    /// number of evictions.
+    fn insert(&mut self, key: String, plan: Arc<QueryPlan>) -> u64 {
+        if self.entries.contains_key(&key) {
+            return 0;
+        }
+        let mut evicted = 0;
+        while self.entries.len() >= self.capacity {
+            let Some((_, victim)) = self.by_recency.pop_first() else {
+                break;
+            };
+            self.entries.remove(&victim);
+            evicted += 1;
+        }
+        self.tick += 1;
+        self.by_recency.insert(self.tick, key.clone());
+        self.entries.insert(
+            key,
+            CacheEntry {
+                plan,
+                tick: self.tick,
+            },
+        );
+        evicted
     }
 }
 
 /// An owned, `Send + Sync`, caching engine answering repair-counting
-/// requests over one fixed database and key set.
+/// requests over a database it keeps up to date under inserts and deletes.
 ///
 /// ```
-/// use cdr_core::{CountRequest, RepairEngine};
+/// use cdr_core::{CountRequest, EngineCommand, RepairEngine};
 /// use cdr_query::parse_query;
-/// use cdr_repairdb::{Database, KeySet, Schema};
+/// use cdr_repairdb::{Database, KeySet, Mutation, Schema};
 ///
 /// let mut schema = Schema::new();
 /// schema.add_relation("Employee", 3).unwrap();
@@ -401,7 +651,7 @@ impl QueryPlan {
 /// db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
 /// db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
 ///
-/// let engine = RepairEngine::new(db, keys);
+/// let mut engine = RepairEngine::new(db, keys);
 /// let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
 ///
 /// assert_eq!(engine.total_repairs().to_u64(), Some(4));
@@ -413,41 +663,77 @@ impl QueryPlan {
 /// // The second run reused the cached plan.
 /// assert!(freq.plan_cached);
 /// assert_eq!(engine.cache_stats().misses, 1);
+///
+/// // Mutations go through the same engine: only the touched block is
+/// // rebuilt, and the total is updated incrementally.
+/// let eve = engine.database().parse_fact("Employee(3, 'Eve', 'IT')").unwrap();
+/// let response = engine
+///     .execute(EngineCommand::Mutate(Mutation::Insert(eve)))
+///     .unwrap();
+/// assert_eq!(response.as_applied().unwrap().applied, 1);
+/// assert_eq!(engine.total_repairs().to_u64(), Some(4));
+/// let freq = engine.run(&CountRequest::frequency(q)).unwrap();
+/// assert_eq!(freq.answer.as_frequency().unwrap().to_string(), "1/2");
 /// ```
 pub struct RepairEngine {
     db: Arc<Database>,
     keys: Arc<KeySet>,
     blocks: Arc<BlockPartition>,
+    /// `∏ |Bᵢ|`, maintained incrementally under mutations.
     total_repairs: BigNat,
+    /// Bumped once per applied mutation; stamps reports and cached plans.
+    generation: u64,
+    /// Last generation at which each relation (by [`cdr_repairdb::RelationId`]
+    /// index) was mutated.
+    rel_generations: Vec<u64>,
     default_budget: u64,
-    plans: Mutex<HashMap<String, Arc<QueryPlan>>>,
+    /// Number of worker threads [`RepairEngine::run_batch`] may fan out to.
+    parallelism: usize,
+    plans: Mutex<PlanCache>,
+    /// Plans that currently hold prepared estimators (and therefore a
+    /// clone of the partition `Arc`); the next mutation drains exactly
+    /// these instead of sweeping the whole plan cache.
+    estimator_holders: Mutex<Vec<Weak<QueryPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl RepairEngine {
     /// Builds an engine that owns the database and key set.
     ///
     /// The block partition and the total repair count are computed here,
-    /// once, and shared by every subsequent request.
+    /// once; subsequent mutations maintain both incrementally.
     pub fn new(db: Database, keys: KeySet) -> Self {
         RepairEngine::from_arcs(Arc::new(db), Arc::new(keys))
     }
 
     /// Builds an engine over shared handles, avoiding a copy when the
     /// caller already holds the database in an [`Arc`].
+    ///
+    /// The handles are snapshots: once the engine applies a mutation it
+    /// copies-on-write, so the caller's handles keep describing the
+    /// pre-mutation state.
     pub fn from_arcs(db: Arc<Database>, keys: Arc<KeySet>) -> Self {
         let blocks = Arc::new(BlockPartition::new(&db, &keys));
         let total_repairs = count_repairs(&blocks);
+        let rel_generations = vec![0; db.schema().len()];
         RepairEngine {
             db,
             keys,
             blocks,
             total_repairs,
+            generation: 0,
+            rel_generations,
             default_budget: DEFAULT_EXACT_BUDGET,
-            plans: Mutex::new(HashMap::new()),
+            parallelism: 1,
+            plans: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+            estimator_holders: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -457,12 +743,27 @@ impl RepairEngine {
         self
     }
 
-    /// The database being counted over.
+    /// Sets how many threads [`RepairEngine::run_batch`] may fan out to
+    /// (clamped to at least 1; the default of 1 keeps batches sequential).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Bounds the LRU plan cache (clamped to at least 1 entry; the default
+    /// is [`DEFAULT_PLAN_CACHE_CAPACITY`]).  Resident plans beyond the new
+    /// capacity are evicted lazily on the next insertion.
+    pub fn with_plan_cache_capacity(self, capacity: usize) -> Self {
+        lock(&self.plans).capacity = capacity.max(1);
+        self
+    }
+
+    /// The database being counted over (the current, post-mutation state).
     pub fn database(&self) -> &Database {
         &self.db
     }
 
-    /// A shareable handle to the database.
+    /// A shareable snapshot handle to the current database state.
     pub fn database_arc(&self) -> Arc<Database> {
         Arc::clone(&self.db)
     }
@@ -477,14 +778,20 @@ impl RepairEngine {
         Arc::clone(&self.keys)
     }
 
-    /// The block partition `B₁, …, Bₙ`, computed once at construction.
+    /// The block partition `B₁, …, Bₙ`, maintained incrementally.
     pub fn blocks(&self) -> &BlockPartition {
         &self.blocks
     }
 
-    /// The total number of repairs `∏ |Bᵢ|`, computed once at construction.
+    /// The total number of repairs `∏ |Bᵢ|`, maintained incrementally.
     pub fn total_repairs(&self) -> &BigNat {
         &self.total_repairs
+    }
+
+    /// The engine's generation: how many mutations have been applied.
+    /// Reports carry the generation they were computed at.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The engine's default exact budget.
@@ -492,17 +799,25 @@ impl RepairEngine {
         self.default_budget
     }
 
-    /// Plan-cache counters: hits, misses and resident entries.
+    /// The batch fan-out width.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Plan-cache counters: hits, misses, resident entries, capacity,
+    /// evictions and invalidations.
     pub fn cache_stats(&self) -> CacheStats {
-        let entries = self
-            .plans
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .len() as u64;
+        let (entries, capacity) = {
+            let cache = lock(&self.plans);
+            (cache.len() as u64, cache.capacity as u64)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries,
+            capacity,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -521,6 +836,173 @@ impl RepairEngine {
             .expect("rewrite succeeded, so the disjunct keywidth was computed"))
     }
 
+    /// Executes one [`EngineCommand`], the uniform session entry point.
+    pub fn execute(&mut self, command: EngineCommand) -> Result<EngineResponse, CountError> {
+        match command {
+            EngineCommand::Query(request) => Ok(EngineResponse::Report(self.run(&request)?)),
+            EngineCommand::Mutate(mutation) => Ok(EngineResponse::Applied(self.apply(mutation)?)),
+            EngineCommand::MutateBatch(mutations) => {
+                Ok(EngineResponse::Applied(self.apply_batch(mutations)?))
+            }
+        }
+    }
+
+    /// Applies one mutation: the database gains/loses the fact, the touched
+    /// key-block is rebuilt in place, the total repair count is updated by
+    /// dividing out the old block size and multiplying in the new one, and
+    /// plans over the mutated relation are marked for lazy re-derivation.
+    ///
+    /// A duplicate insert is a visible no-op; deleting a missing fact is an
+    /// error that leaves the engine unchanged.
+    pub fn apply(&mut self, mutation: Mutation) -> Result<MutationReport, CountError> {
+        let started = Instant::now();
+        let (applied, delta) = self.apply_one(mutation)?;
+        Ok(MutationReport {
+            applied: usize::from(applied.changed()),
+            noops: usize::from(!applied.changed()),
+            generation: self.generation,
+            deltas: delta.into_iter().collect(),
+            duration: started.elapsed(),
+        })
+    }
+
+    /// Applies a sequence of mutations in order, aggregating one report.
+    ///
+    /// The batch is atomic: every mutation is validated up front, so a
+    /// rejected batch (unknown relation, wrong arity, or a delete naming a
+    /// fact that is not live before the batch or named by two deletes) is
+    /// an error that leaves the engine — and its generation — completely
+    /// unchanged, and no partially-applied report can be lost.  Deletes
+    /// must name facts that are live when the batch starts; a fact
+    /// inserted by the batch cannot be deleted by the same batch (its id
+    /// is only known once the report comes back).
+    pub fn apply_batch(
+        &mut self,
+        mutations: impl IntoIterator<Item = Mutation>,
+    ) -> Result<MutationReport, CountError> {
+        let started = Instant::now();
+        let mutations: Vec<Mutation> = mutations.into_iter().collect();
+        let mut pending_deletes = std::collections::HashSet::new();
+        for mutation in &mutations {
+            match mutation {
+                Mutation::Insert(fact) => self.db.validate(fact)?,
+                Mutation::Delete(id) => {
+                    if !self.db.is_live(*id) || !pending_deletes.insert(*id) {
+                        return Err(cdr_repairdb::DbError::MissingFact(id.index()).into());
+                    }
+                }
+            }
+        }
+        let mut report = MutationReport {
+            applied: 0,
+            noops: 0,
+            generation: self.generation,
+            deltas: Vec::new(),
+            duration: Duration::ZERO,
+        };
+        for mutation in mutations {
+            let (applied, delta) = self
+                .apply_one(mutation)
+                .expect("the whole batch was validated before applying");
+            if applied.changed() {
+                report.applied += 1;
+            } else {
+                report.noops += 1;
+            }
+            report.deltas.extend(delta);
+        }
+        report.generation = self.generation;
+        report.duration = started.elapsed();
+        Ok(report)
+    }
+
+    fn apply_one(
+        &mut self,
+        mutation: Mutation,
+    ) -> Result<(AppliedMutation, Option<BlockDelta>), CountError> {
+        // Settle no-ops and the common error before `Arc::make_mut`: when
+        // a caller holds a `database_arc` snapshot, copy-on-write must
+        // only pay for mutations that actually change something.  (An
+        // insert that fails schema validation still clones first — rare
+        // enough that the hot path keeps a single validation, in
+        // `Database::apply`.)
+        match &mutation {
+            Mutation::Insert(fact) => {
+                if let Some(id) = self.db.fact_id(fact) {
+                    return Ok((AppliedMutation::AlreadyPresent { id }, None));
+                }
+            }
+            Mutation::Delete(id) => {
+                if !self.db.is_live(*id) {
+                    return Err(cdr_repairdb::DbError::MissingFact(id.index()).into());
+                }
+            }
+        }
+        let applied = Arc::make_mut(&mut self.db).apply(mutation)?;
+        debug_assert!(applied.changed(), "no-ops were settled above");
+        // Prepared estimators embed the pre-mutation partition and total;
+        // drop them now so (a) they cannot be served stale and (b) the
+        // partition Arc is uniquely held again and mutates in place.
+        self.drop_prepared_estimators();
+        let delta = Arc::make_mut(&mut self.blocks).apply(&self.keys, &applied);
+        if delta.old_len > 0 {
+            let (quotient, remainder) = self.total_repairs.div_rem_u64(delta.old_len as u64);
+            debug_assert_eq!(remainder, 0, "block sizes divide the total exactly");
+            self.total_repairs = quotient;
+        }
+        if delta.new_len > 0 {
+            self.total_repairs.mul_assign_u64(delta.new_len as u64);
+        }
+        self.generation += 1;
+        let relation = match &applied {
+            AppliedMutation::Inserted { fact, .. } | AppliedMutation::Deleted { fact, .. } => {
+                fact.relation()
+            }
+            AppliedMutation::AlreadyPresent { .. } => {
+                unreachable!("no-ops returned early above")
+            }
+        };
+        if let Some(generation) = self.rel_generations.get_mut(relation.index()) {
+            *generation = self.generation;
+        }
+        Ok((applied, Some(delta)))
+    }
+
+    fn drop_prepared_estimators(&mut self) {
+        let holders = std::mem::take(
+            self.estimator_holders
+                .get_mut()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        );
+        for plan in holders {
+            if let Some(plan) = plan.upgrade() {
+                *lock(&plan.estimators) = None;
+            }
+        }
+    }
+
+    /// Records that a plan just built estimators (pairing with
+    /// [`RepairEngine::drop_prepared_estimators`]); called at most once
+    /// per plan per mutation epoch, because only a fresh build registers.
+    fn note_estimator_holder(&self, plan: &Arc<QueryPlan>) {
+        lock(&self.estimator_holders).push(Arc::downgrade(plan));
+    }
+
+    /// The maximum last-mutation generation over a set of relation names
+    /// (0 for relations never mutated or unknown to the schema).
+    fn relations_generation(&self, relations: &[String]) -> u64 {
+        relations
+            .iter()
+            .filter_map(|name| {
+                self.db
+                    .schema()
+                    .relation_id(name)
+                    .and_then(|rel| self.rel_generations.get(rel.index()).copied())
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Answers one request.
     pub fn run(&self, request: &CountRequest) -> Result<CountReport, CountError> {
         let started = Instant::now();
@@ -534,6 +1016,7 @@ impl RepairEngine {
             samples_used: 0,
             duration: Duration::ZERO,
             plan_cached,
+            generation: self.generation,
         };
         match &request.semantics {
             Semantics::Exact => {
@@ -593,9 +1076,36 @@ impl RepairEngine {
         Ok(report)
     }
 
-    /// Answers a batch of requests, sharing the plan cache across them.
+    /// Answers a batch of requests, sharing the plan cache across them and
+    /// fanning out across [`std::thread::scope`] worker threads when
+    /// [`RepairEngine::with_parallelism`] allows more than one.
+    ///
+    /// Reports come back in request order.  Batches sit between mutations
+    /// (which need `&mut self`), so every request of a batch sees the same
+    /// generation.
     pub fn run_batch(&self, requests: &[CountRequest]) -> Vec<Result<CountReport, CountError>> {
-        requests.iter().map(|request| self.run(request)).collect()
+        let workers = self.parallelism.min(requests.len()).max(1);
+        if workers == 1 {
+            return requests.iter().map(|request| self.run(request)).collect();
+        }
+        let chunk_size = requests.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|request| self.run(request))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("a run_batch worker panicked"))
+                .collect()
+        })
     }
 
     /// Fetches or builds the plan for a query. The boolean is `true` on a
@@ -603,33 +1113,31 @@ impl RepairEngine {
     fn plan(&self, query: &Query) -> (Arc<QueryPlan>, bool) {
         let key = query.to_string();
         {
-            let plans = self
-                .plans
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            if let Some(plan) = plans.get(&key) {
+            let mut cache = lock(&self.plans);
+            if let Some(plan) = cache.get(&key) {
                 // Display collisions are not expected, but equality is
                 // cheap insurance against serving a wrong plan.
                 if plan.query == *query {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return (Arc::clone(plan), true);
+                    return (plan, true);
                 }
             }
         }
         let plan = Arc::new(QueryPlan::build(query, &self.db, &self.keys));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut plans = self
-            .plans
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let entry = plans.entry(key).or_insert_with(|| Arc::clone(&plan));
-        // If another thread planned the same query first, prefer the
-        // resident plan so lazily-computed artifacts are shared.
-        if entry.query == *query {
-            (Arc::clone(entry), false)
-        } else {
-            (plan, false)
+        let mut cache = lock(&self.plans);
+        if let Some(existing) = cache.get(&key) {
+            // If another thread planned the same query first, prefer the
+            // resident plan so lazily-computed artifacts are shared.
+            if existing.query == *query {
+                return (existing, false);
+            }
+            // A genuine display collision: serve the fresh plan uncached.
+            return (plan, false);
         }
+        let evicted = cache.insert(key, Arc::clone(&plan));
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        (plan, false)
     }
 
     /// Resolves `Auto` for exact semantics and rejects nonsensical
@@ -800,7 +1308,7 @@ impl RepairEngine {
 
     fn approximate(
         &self,
-        plan: &QueryPlan,
+        plan: &Arc<QueryPlan>,
         strategy: Strategy,
         config: &ApproxConfig,
         report: &mut CountReport,
@@ -815,7 +1323,10 @@ impl RepairEngine {
                 })
             }
         };
-        let estimators = plan.estimators(self)?;
+        let (estimators, freshly_built) = plan.estimators(self)?;
+        if freshly_built {
+            self.note_estimator_holder(plan);
+        }
         if let Ok(certs) = plan.cert_summary(self) {
             report.certificates = Some(certs.count);
         }
@@ -850,12 +1361,36 @@ mod tests {
         parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap()
     }
 
+    fn insert(engine: &mut RepairEngine, text: &str) -> MutationReport {
+        let fact = engine.database().parse_fact(text).unwrap();
+        engine.apply(Mutation::Insert(fact)).unwrap()
+    }
+
+    fn delete(engine: &mut RepairEngine, text: &str) -> MutationReport {
+        let fact = engine.database().parse_fact(text).unwrap();
+        let id = engine.database().fact_id(&fact).unwrap();
+        engine.apply(Mutation::Delete(id)).unwrap()
+    }
+
+    fn exact_count(engine: &RepairEngine, query: &Query) -> u64 {
+        engine
+            .run(&CountRequest::exact(query.clone()))
+            .unwrap()
+            .answer
+            .as_count()
+            .unwrap()
+            .to_u64()
+            .unwrap()
+    }
+
     #[test]
     fn engine_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<RepairEngine>();
         assert_send_sync::<CountRequest>();
         assert_send_sync::<CountReport>();
+        assert_send_sync::<EngineCommand>();
+        assert_send_sync::<EngineResponse>();
     }
 
     #[test]
@@ -1085,5 +1620,325 @@ mod tests {
         assert!(engine.disjunct_keywidth(&fo).is_err());
         // Three lookups, one plan.
         assert_eq!(engine.cache_stats().entries, 2);
+    }
+
+    #[test]
+    fn mutations_update_the_total_incrementally() {
+        let mut engine = employee_engine();
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.total_repairs().to_u64(), Some(4));
+
+        // Growing an existing block: 4 → 6.
+        let report = insert(&mut engine, "Employee(1, 'Bob', 'Sales')");
+        assert_eq!(report.applied, 1);
+        assert_eq!(report.deltas.len(), 1);
+        assert_eq!((report.deltas[0].old_len, report.deltas[0].new_len), (2, 3));
+        assert_eq!(engine.total_repairs().to_u64(), Some(6));
+        assert_eq!(engine.generation(), 1);
+
+        // Creating a block: 6 → 6 (a singleton multiplies by 1).
+        let report = insert(&mut engine, "Employee(3, 'Eve', 'R&D')");
+        assert!(report.deltas[0].created());
+        assert_eq!(engine.total_repairs().to_u64(), Some(6));
+
+        // Shrinking and retiring blocks.
+        delete(&mut engine, "Employee(1, 'Bob', 'Sales')");
+        assert_eq!(engine.total_repairs().to_u64(), Some(4));
+        let report = delete(&mut engine, "Employee(3, 'Eve', 'R&D')");
+        assert!(report.deltas[0].removed());
+        assert_eq!(engine.total_repairs().to_u64(), Some(4));
+        assert_eq!(engine.generation(), 4);
+
+        // The engine now matches a fresh one on the same database.
+        let fresh = RepairEngine::new(engine.database().clone(), engine.keys().clone());
+        assert_eq!(engine.total_repairs(), fresh.total_repairs());
+    }
+
+    #[test]
+    fn noop_insert_does_not_bump_the_generation() {
+        let mut engine = employee_engine();
+        let report = insert(&mut engine, "Employee(1, 'Bob', 'HR')");
+        assert_eq!(report.applied, 0);
+        assert_eq!(report.noops, 1);
+        assert!(report.deltas.is_empty());
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.total_repairs().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn deleting_a_missing_fact_is_an_error_and_leaves_the_engine_unchanged() {
+        let mut engine = employee_engine();
+        let err = engine.apply(Mutation::Delete(FactId::new(99))).unwrap_err();
+        assert!(matches!(err, CountError::Db(_)));
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.total_repairs().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn queries_after_mutations_see_the_new_database() {
+        let mut engine = employee_engine();
+        let q = example_query();
+        assert_eq!(exact_count(&engine, &q), 2);
+        // Give employee 1 a third department that also matches IT: the
+        // count over the query's own relation must be re-derived.
+        insert(&mut engine, "Employee(1, 'Bob', 'Sales')");
+        assert_eq!(exact_count(&engine, &q), 2);
+        assert_eq!(engine.cache_stats().invalidations, 1);
+        delete(&mut engine, "Employee(1, 'Bob', 'HR')");
+        // Blocks: employee 1 = {IT, Sales}, employee 2 = {Alice, Tim}.
+        assert_eq!(engine.total_repairs().to_u64(), Some(4));
+        assert_eq!(exact_count(&engine, &q), 2);
+        // Certain answers and decisions track the mutations too.
+        delete(&mut engine, "Employee(1, 'Bob', 'Sales')");
+        // Employee 1 only has IT now: the join is certain.
+        let report = engine
+            .run(&CountRequest::certain_answer(q.clone()))
+            .unwrap();
+        assert_eq!(report.answer.as_bool(), Some(true));
+        assert_eq!(report.generation, engine.generation());
+    }
+
+    #[test]
+    fn untouched_relations_keep_their_plans_but_see_the_new_total() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        schema.add_relation("S", 2).unwrap();
+        let keys = KeySet::builder(&schema)
+            .key("R", 1)
+            .unwrap()
+            .key("S", 1)
+            .unwrap()
+            .build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("R(1, 'a')").unwrap();
+        db.insert_parsed("R(1, 'b')").unwrap();
+        db.insert_parsed("S(1, 'x')").unwrap();
+        let mut engine = RepairEngine::new(db, keys);
+        let q = parse_query("R(1, 'a')").unwrap();
+        assert_eq!(exact_count(&engine, &q), 1);
+
+        // Mutate S only: the R plan must survive (no invalidation), while
+        // both the count and the total move with the larger S block.
+        let fact = engine.database().parse_fact("S(1, 'y')").unwrap();
+        engine.apply(Mutation::Insert(fact)).unwrap();
+        assert_eq!(engine.total_repairs().to_u64(), Some(4));
+        let report = engine.run(&CountRequest::frequency(q.clone())).unwrap();
+        assert!(report.plan_cached);
+        // 2 of the 4 repairs pick R(1, 'a'): same 1/2 ratio, new absolutes.
+        assert_eq!(report.answer.as_frequency().unwrap().to_string(), "1/2");
+        assert_eq!(exact_count(&engine, &q), 2);
+        assert_eq!(engine.cache_stats().invalidations, 0);
+
+        // Mutating R does invalidate the plan on its next use.
+        let fact = engine.database().parse_fact("R(2, 'c')").unwrap();
+        engine.apply(Mutation::Insert(fact)).unwrap();
+        assert_eq!(exact_count(&engine, &q), 2);
+        assert_eq!(engine.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn estimates_follow_mutations_and_match_a_fresh_engine() {
+        let mut engine = employee_engine();
+        let q = example_query();
+        let request = CountRequest::approximate(q, 0.1, 0.05).with_seed(99);
+        let before = engine.run(&request).unwrap();
+        assert!(!before.answer.as_estimate().unwrap().estimate.is_zero());
+
+        insert(&mut engine, "Employee(2, 'Ada', 'HR')");
+        let after = engine.run(&request).unwrap();
+        let fresh = RepairEngine::new(engine.database().clone(), engine.keys().clone());
+        let expected = fresh.run(&request).unwrap();
+        assert_eq!(
+            after.answer.as_estimate().unwrap().estimate,
+            expected.answer.as_estimate().unwrap().estimate,
+            "a mutated engine and a fresh engine share the sample path"
+        );
+    }
+
+    #[test]
+    fn execute_speaks_commands_and_responses() {
+        let mut engine = employee_engine();
+        let q = example_query();
+        let fact = engine
+            .database()
+            .parse_fact("Employee(3, 'Eve', 'IT')")
+            .unwrap();
+        let fact_again = fact.clone();
+        let response = engine
+            .execute(EngineCommand::Mutate(Mutation::Insert(fact)))
+            .unwrap();
+        let applied = response.as_applied().unwrap();
+        assert_eq!(applied.applied, 1);
+        assert_eq!(applied.generation, 1);
+        assert!(response.as_report().is_none());
+
+        let response = engine
+            .execute(EngineCommand::Query(CountRequest::exact(q.clone())))
+            .unwrap();
+        assert_eq!(
+            response
+                .as_report()
+                .unwrap()
+                .answer
+                .as_count()
+                .unwrap()
+                .to_u64(),
+            Some(2)
+        );
+        assert!(response.as_applied().is_none());
+
+        // A batch: one duplicate no-op, one delete.
+        let id = engine.database().fact_id(&fact_again).unwrap();
+        let response = engine
+            .execute(EngineCommand::MutateBatch(vec![
+                Mutation::Insert(fact_again),
+                Mutation::Delete(id),
+            ]))
+            .unwrap();
+        let applied = response.as_applied().unwrap();
+        assert_eq!(applied.applied, 1);
+        assert_eq!(applied.noops, 1);
+        assert_eq!(applied.deltas.len(), 1);
+        assert_eq!(engine.total_repairs().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn rejected_batches_are_atomic() {
+        let mut engine = employee_engine();
+        let good = engine
+            .database()
+            .parse_fact("Employee(3, 'Eve', 'IT')")
+            .unwrap();
+        let live = engine.database().fact_id(
+            &engine
+                .database()
+                .parse_fact("Employee(1, 'Bob', 'HR')")
+                .unwrap(),
+        );
+        // A batch with a valid insert, a valid delete, and a delete of a
+        // fact that is not live: nothing may be applied.
+        let err = engine
+            .apply_batch(vec![
+                Mutation::Insert(good.clone()),
+                Mutation::Delete(live.unwrap()),
+                Mutation::Delete(FactId::new(999)),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, CountError::Db(_)));
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.total_repairs().to_u64(), Some(4));
+        assert!(!engine.database().contains(&good));
+        assert!(engine.database().fact_id(&good).is_none());
+        // Two deletes of the same fact are also rejected up front.
+        let err = engine
+            .apply_batch(vec![
+                Mutation::Delete(live.unwrap()),
+                Mutation::Delete(live.unwrap()),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, CountError::Db(_)));
+        assert_eq!(engine.generation(), 0);
+        // The valid prefix alone goes through.
+        let report = engine
+            .apply_batch(vec![
+                Mutation::Insert(good),
+                Mutation::Delete(live.unwrap()),
+            ])
+            .unwrap();
+        assert_eq!(report.applied, 2);
+        assert_eq!(engine.generation(), 2);
+    }
+
+    #[test]
+    fn churn_on_one_key_does_not_grow_the_slot_table() {
+        let mut engine = employee_engine();
+        let slots = engine.blocks().slot_count();
+        for _ in 0..50 {
+            insert(&mut engine, "Employee(9, 'Flux', 'Ops')");
+            delete(&mut engine, "Employee(9, 'Flux', 'Ops')");
+        }
+        assert_eq!(
+            engine.blocks().slot_count(),
+            slots + 1,
+            "the revived slot is reused across all 50 cycles"
+        );
+        assert_eq!(engine.total_repairs().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn lru_cache_evicts_and_counts() {
+        let engine = employee_engine().with_plan_cache_capacity(2);
+        let q1 = parse_query("EXISTS n . Employee(1, n, 'HR')").unwrap();
+        let q2 = parse_query("EXISTS n . Employee(1, n, 'IT')").unwrap();
+        let q3 = parse_query("EXISTS n . Employee(2, n, 'IT')").unwrap();
+        engine.run(&CountRequest::exact(q1.clone())).unwrap();
+        engine.run(&CountRequest::exact(q2.clone())).unwrap();
+        // Touch q1 so q2 is the LRU victim when q3 arrives.
+        engine.run(&CountRequest::exact(q1.clone())).unwrap();
+        engine.run(&CountRequest::exact(q3.clone())).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.evictions, 1);
+        // q1 survived (it was recently used), q2 was evicted.
+        assert!(engine.run(&CountRequest::exact(q1)).unwrap().plan_cached);
+        assert!(!engine.run(&CountRequest::exact(q2)).unwrap().plan_cached);
+        assert_eq!(engine.cache_stats().evictions, 2);
+    }
+
+    #[test]
+    fn cache_stats_display_is_readable() {
+        let engine = employee_engine();
+        engine.run(&CountRequest::exact(example_query())).unwrap();
+        let text = engine.cache_stats().to_string();
+        assert!(text.contains("1/1024 entries"), "{text}");
+        assert!(text.contains("0 hits"), "{text}");
+        assert!(text.contains("1 miss"), "{text}");
+        assert!(text.contains("0 evictions"), "{text}");
+        assert!(text.contains("0 invalidations"), "{text}");
+    }
+
+    #[test]
+    fn parallel_run_batch_matches_sequential() {
+        let sequential = employee_engine();
+        let parallel = employee_engine().with_parallelism(4);
+        assert_eq!(parallel.parallelism(), 4);
+        let mut requests = Vec::new();
+        for text in [
+            "EXISTS n . Employee(1, n, 'HR')",
+            "EXISTS n . Employee(1, n, 'IT')",
+            "EXISTS n . Employee(2, n, 'IT')",
+            "Employee(1, 'Bob', 'HR')",
+            "TRUE",
+            "FALSE",
+        ] {
+            let q = parse_query(text).unwrap();
+            requests.push(CountRequest::exact(q.clone()));
+            requests.push(CountRequest::frequency(q.clone()));
+            requests.push(CountRequest::decision(q));
+        }
+        let expected: Vec<Option<u64>> = sequential
+            .run_batch(&requests)
+            .into_iter()
+            .map(|r| match r.unwrap().answer {
+                Answer::Count(c) => c.to_u64(),
+                Answer::Decision(b) => Some(b as u64),
+                Answer::Frequency(f) => Some(f.to_string().len() as u64),
+                Answer::Estimate(_) => None,
+            })
+            .collect();
+        let got: Vec<Option<u64>> = parallel
+            .run_batch(&requests)
+            .into_iter()
+            .map(|r| match r.unwrap().answer {
+                Answer::Count(c) => c.to_u64(),
+                Answer::Decision(b) => Some(b as u64),
+                Answer::Frequency(f) => Some(f.to_string().len() as u64),
+                Answer::Estimate(_) => None,
+            })
+            .collect();
+        assert_eq!(expected, got, "parallel batches preserve request order");
+        let stats = parallel.cache_stats();
+        assert_eq!(stats.hits + stats.misses, requests.len() as u64);
     }
 }

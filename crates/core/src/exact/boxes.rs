@@ -53,7 +53,11 @@ pub fn count_union_of_boxes(
     boxes: &[SelectorBox],
     budget: u64,
 ) -> Result<BigNat, CountError> {
-    let sizes: Vec<usize> = blocks.iter().map(|(_, b)| b.len()).collect();
+    // Domains are indexed by block *slot* (`BlockId::index`), because that
+    // is what box pins name.  Retired slots (emptied by deletions) become
+    // neutral size-1 domains: they multiply nothing into the total and no
+    // live box pins them.
+    let sizes: Vec<usize> = blocks.slot_sizes().into_iter().map(|s| s.max(1)).collect();
     let generic: Vec<GenericBox> = boxes
         .iter()
         .map(|b| {

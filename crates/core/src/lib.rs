@@ -40,7 +40,7 @@ mod frequency;
 /// The owned, cached request/report engine.
 pub mod engine;
 
-/// Approximate counting: the Λ[k] FPRAS and the Karp–Luby baseline.
+/// Approximate counting: the Λ\[k\] FPRAS and the Karp–Luby baseline.
 pub mod approx;
 /// Exact counting algorithms.
 pub mod exact;
@@ -53,7 +53,8 @@ pub use decision::{
     holds_in_some_repair_ucq,
 };
 pub use engine::{
-    Answer, CacheStats, CountReport, CountRequest, RepairEngine, Semantics, Strategy,
+    Answer, CacheStats, CountReport, CountRequest, EngineCommand, EngineResponse, MutationReport,
+    RepairEngine, Semantics, Strategy, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use error::CountError;
 pub use exact::{

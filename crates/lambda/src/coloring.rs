@@ -5,7 +5,7 @@
 //! of *forbidden* assignments of colors to the vertices of `e`.  A coloring
 //! `µ` of `V` is forbidden iff some hyperedge `e` has an assignment
 //! `ν ∈ F_e` that `µ` extends.  Theorem 7.2: `#kForbColoring` is
-//! Λ[k]-complete; its unbounded version is SpanLL-complete (Theorem 7.5).
+//! Λ\[k\]-complete; its unbounded version is SpanLL-complete (Theorem 7.5).
 //!
 //! Structurally this is again a union of boxes: the solution domains are
 //! the vertices (their color lists), and each pair `(e, ν)` is a box

@@ -170,7 +170,7 @@ pub fn enumerate_solutions(compactor: &dyn Compactor, limit: usize) -> Vec<Vec<u
 }
 
 /// A compactor given by explicit data: domains, and one output per
-/// candidate certificate.  Used to build synthetic Λ[k] functions in tests,
+/// candidate certificate.  Used to build synthetic Λ\[k\] functions in tests,
 /// benchmarks and the hardness-reduction experiments.
 #[derive(Clone, Debug)]
 pub struct ExplicitCompactor {

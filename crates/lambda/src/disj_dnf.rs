@@ -5,7 +5,7 @@
 //! clauses are conjunctions of at most `k` variables.  A *P-assignment*
 //! sets exactly one variable of each class to true; the problem asks how
 //! many P-assignments satisfy `φ`.  Theorem 7.1: `#DisjPoskDNF` is
-//! Λ[k]-complete, and its unbounded version `#DisjPosDNF` is
+//! Λ\[k\]-complete, and its unbounded version `#DisjPosDNF` is
 //! SpanLL-complete (Theorem 7.5).
 //!
 //! The structure is exactly a union of boxes: the solution domains are the

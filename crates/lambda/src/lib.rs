@@ -7,7 +7,7 @@
 //! empty string or a compact representation of a cartesian box
 //! `[S₁, …, Sₙ]_σ` that pins at most `k` solution domains.  The function
 //! computed by a compactor is the size of the union of the unfoldings of
-//! its outputs, and `Λ[k]` is the class of all such functions.
+//! its outputs, and `Λ\[k\]` is the class of all such functions.
 //!
 //! A logspace machine cannot be represented faithfully in a library, but
 //! the *functions* the paper builds from them can: this crate models a
@@ -25,12 +25,12 @@
 //! * [`cqa_compactor`] — Algorithm 2: `#CQA(Q, Σ)` as a `kw(Q, Σ)`-compactor
 //!   (the membership half of Theorem 5.1).
 //! * [`reduction`] — the hardness half of Theorem 5.1: the many-one
-//!   reduction from any Λ[k] function to `#CQA(Q_k, Σ_k)` via the
+//!   reduction from any Λ\[k\] function to `#CQA(Q_k, Σ_k)` via the
 //!   `Selector`/`Element` encoding.
 //! * [`disj_dnf`] / [`coloring`] — the companion problems `#DisjPoskDNF`
-//!   and `#kForbColoring` of Section 7, both Λ[k]-complete.
+//!   and `#kForbColoring` of Section 7, both Λ\[k\]-complete.
 //! * [`sat`] — `#3SAT` and its reduction to `#CQA(FO)` (Theorems 3.2/3.3).
-//! * [`approx`] — the generic FPRAS for every function in Λ[k]
+//! * [`approx`] — the generic FPRAS for every function in Λ\[k\]
 //!   (Theorem 6.2) and the Karp–Luby-style estimator that also covers the
 //!   unbounded compactors of SpanLL (Theorem 7.4).
 

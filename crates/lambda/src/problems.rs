@@ -14,7 +14,7 @@
 //! Each of the graph problems is implemented here both directly (as a
 //! union of boxes over the natural solution domains) and as a
 //! [`Compactor`], so it plugs into the unfolding counter, the generic
-//! FPRAS, and the Theorem 5.1 reduction like every other Λ[2] member.
+//! FPRAS, and the Theorem 5.1 reduction like every other Λ\[2\] member.
 
 use cdr_core::{count_union_generic, CountError};
 use cdr_num::BigNat;

@@ -53,7 +53,7 @@ impl ConjunctiveQuery {
     /// Returns `true` iff two distinct atoms use the same relation
     /// (the query has a *self-join*).  The distinction matters because the
     /// dichotomy of Maslowski and Wijsen was first shown for self-join-free
-    /// queries [8] and later extended [9].
+    /// queries \[8\] and later extended \[9\].
     pub fn has_self_join(&self) -> bool {
         let mut seen = BTreeSet::new();
         for atom in &self.atoms {

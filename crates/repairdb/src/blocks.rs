@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::{Database, Fact, FactId, KeySet, RelationId, Value};
+use crate::{AppliedMutation, Database, Fact, FactId, KeySet, RelationId, Value};
 
 /// The key value `keyΣ(α)` of a fact: the relation symbol together with the
 /// key prefix of the tuple (or the whole tuple for unkeyed relations).
@@ -57,8 +57,16 @@ impl fmt::Display for KeyValue {
 
 /// Identifier of a block within a [`BlockPartition`].
 ///
-/// Block ids are positions in the ordered sequence `B₁, …, Bₙ`, so
-/// `BlockId(0)` is the block whose key value is smallest under `≺_{D,Σ}`.
+/// Block ids are *stable slots*: once a key value is assigned a slot, every
+/// mutation applied through [`BlockPartition::apply`] keeps that assignment,
+/// so cached artifacts that name blocks (certificate boxes, selectors)
+/// survive edits to unrelated blocks.  On a freshly built partition the
+/// slot order coincides with the ordered sequence `B₁, …, Bₙ`, i.e.
+/// `BlockId(0)` is the block whose key value is smallest under `≺_{D,Σ}`;
+/// blocks created by later insertions revive the retired slot their key
+/// previously occupied, or take the next free slot, regardless of where
+/// their key value sorts.  Use [`BlockPartition::iter`] (or
+/// [`BlockPartition::position_of_block`]) for the `≺_{D,Σ}` order.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct BlockId(pub(crate) u32);
 
@@ -118,6 +126,60 @@ impl Block {
     pub fn position_of(&self, fact: FactId) -> Option<usize> {
         self.facts.binary_search(&fact).ok()
     }
+
+    /// Inserts a fact id, keeping the ascending order.
+    fn insert_fact(&mut self, fact: FactId) {
+        if let Err(pos) = self.facts.binary_search(&fact) {
+            self.facts.insert(pos, fact);
+        }
+    }
+
+    /// Removes a fact id if present; returns whether it was.
+    fn remove_fact(&mut self, fact: FactId) -> bool {
+        match self.facts.binary_search(&fact) {
+            Ok(pos) => {
+                self.facts.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// What one mutation did to a [`BlockPartition`]: which block slot changed
+/// and how its size moved.
+///
+/// `old_len == 0` means the block was created by the mutation;
+/// `new_len == 0` means the block was emptied and retired from the live
+/// sequence.  The total repair count `∏ |Bᵢ|` can be maintained
+/// incrementally from the delta alone: divide out `old_len` (when
+/// non-zero) and multiply in `new_len` (when non-zero).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockDelta {
+    /// The slot of the block the mutation touched.
+    pub block: BlockId,
+    /// Size of the block before the mutation (0 if it did not exist).
+    pub old_len: usize,
+    /// Size of the block after the mutation (0 if it was emptied).
+    pub new_len: usize,
+}
+
+impl BlockDelta {
+    /// Returns `true` iff the mutation created the block.
+    pub fn created(&self) -> bool {
+        self.old_len == 0 && self.new_len > 0
+    }
+
+    /// Returns `true` iff the mutation emptied (retired) the block.
+    pub fn removed(&self) -> bool {
+        self.old_len > 0 && self.new_len == 0
+    }
+
+    /// Returns `true` iff the block's size changed at all (a duplicate
+    /// insertion changes nothing).
+    pub fn changed(&self) -> bool {
+        self.old_len != self.new_len
+    }
 }
 
 /// The ordered block sequence `B₁, …, Bₙ` of a database w.r.t. a set of
@@ -141,12 +203,25 @@ impl Block {
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BlockPartition {
+    /// Block slots.  A slot whose block is empty has been retired by a
+    /// deletion; it stays in place so every other slot keeps its id.
     blocks: Vec<Block>,
+    /// The live (non-empty) slots in `≺_{D,Σ}` order of their key values.
+    order: Vec<BlockId>,
     fact_to_block: HashMap<FactId, BlockId>,
+    /// Key value → live slot.  When a block empties its key moves to
+    /// `retired`, and re-inserting the key later *revives* its original
+    /// slot, so slot growth is bounded by the number of distinct key
+    /// values ever live (not by insert/delete churn).
+    key_to_block: HashMap<KeyValue, BlockId>,
+    /// Key value → retired (empty) slot awaiting possible revival.
+    retired: HashMap<KeyValue, BlockId>,
 }
 
 impl BlockPartition {
     /// Computes the block partition of `db` w.r.t. `keys`.
+    ///
+    /// On a fresh partition, slot ids coincide with `≺_{D,Σ}` positions.
     pub fn new(db: &Database, keys: &KeySet) -> Self {
         let mut grouped: HashMap<KeyValue, Vec<FactId>> = HashMap::new();
         for (id, fact) in db.iter() {
@@ -160,36 +235,150 @@ impl BlockPartition {
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         let mut blocks = Vec::with_capacity(entries.len());
         let mut fact_to_block = HashMap::new();
+        let mut key_to_block = HashMap::new();
         for (i, (key, mut facts)) in entries.into_iter().enumerate() {
             facts.sort();
             let id = BlockId(i as u32);
             for &f in &facts {
                 fact_to_block.insert(f, id);
             }
+            key_to_block.insert(key.clone(), id);
             blocks.push(Block { key, facts });
         }
+        let order = (0..blocks.len()).map(|i| BlockId(i as u32)).collect();
         BlockPartition {
             blocks,
+            order,
             fact_to_block,
+            key_to_block,
+            retired: HashMap::new(),
         }
     }
 
-    /// Number of blocks `n`.
+    /// Applies one database mutation incrementally, rebuilding only the
+    /// touched key-block, and reports which block changed and how.
+    ///
+    /// The caller is responsible for feeding every [`AppliedMutation`] the
+    /// database reports (in order) with the same `keys` the partition was
+    /// built with; the partition then stays equal, block for block, to what
+    /// a fresh recomputation over the live facts would produce — up to slot
+    /// numbering, which is intentionally kept stable instead of re-sorted.
+    pub fn apply(&mut self, keys: &KeySet, applied: &AppliedMutation) -> BlockDelta {
+        match applied {
+            AppliedMutation::AlreadyPresent { id } => {
+                let block = self
+                    .block_of(*id)
+                    .expect("a duplicate insertion names a live fact");
+                let len = self.blocks[block.index()].len();
+                BlockDelta {
+                    block,
+                    old_len: len,
+                    new_len: len,
+                }
+            }
+            AppliedMutation::Inserted { id, fact } => {
+                let key = KeyValue::of(fact, keys);
+                match self.key_to_block.get(&key) {
+                    Some(&block) => {
+                        let slot = &mut self.blocks[block.index()];
+                        let old_len = slot.len();
+                        slot.insert_fact(*id);
+                        self.fact_to_block.insert(*id, block);
+                        BlockDelta {
+                            block,
+                            old_len,
+                            new_len: old_len + 1,
+                        }
+                    }
+                    None => {
+                        // Revive the key's retired slot if it ever had
+                        // one; otherwise allocate the next fresh slot.
+                        // Either way slot ids stay stable, and revival
+                        // keeps churn from growing the slot table.
+                        let block = match self.retired.remove(&key) {
+                            Some(block) => block,
+                            None => {
+                                let block = BlockId(self.blocks.len() as u32);
+                                self.blocks.push(Block {
+                                    key: key.clone(),
+                                    facts: Vec::new(),
+                                });
+                                block
+                            }
+                        };
+                        let position = self
+                            .order
+                            .binary_search_by(|&b| self.blocks[b.index()].key().cmp(&key))
+                            .expect_err("a fresh key value is not in the live order");
+                        self.blocks[block.index()].facts.push(*id);
+                        self.order.insert(position, block);
+                        self.key_to_block.insert(key, block);
+                        self.fact_to_block.insert(*id, block);
+                        BlockDelta {
+                            block,
+                            old_len: 0,
+                            new_len: 1,
+                        }
+                    }
+                }
+            }
+            AppliedMutation::Deleted { id, .. } => {
+                let block = self
+                    .fact_to_block
+                    .remove(id)
+                    .expect("a deletion names a fact the partition knows");
+                let slot = &mut self.blocks[block.index()];
+                let old_len = slot.len();
+                let removed = slot.remove_fact(*id);
+                debug_assert!(removed, "fact_to_block and block contents agree");
+                let new_len = old_len - 1;
+                if new_len == 0 {
+                    // Retire the slot: evict it from the live order and
+                    // the key index, but keep the slot itself (parked in
+                    // `retired`) so ids stay stable and a later re-insert
+                    // of the key revives it.
+                    let key = slot.key.clone();
+                    self.key_to_block.remove(&key);
+                    self.retired.insert(key.clone(), block);
+                    let position = self
+                        .order
+                        .binary_search_by(|&b| self.blocks[b.index()].key().cmp(&key))
+                        .expect("a retiring block is in the live order");
+                    self.order.remove(position);
+                }
+                BlockDelta {
+                    block,
+                    old_len,
+                    new_len,
+                }
+            }
+        }
+    }
+
+    /// Number of live blocks `n`.
     pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` iff the database has no live facts.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Number of slots ever allocated (live blocks plus retired ones).
+    ///
+    /// Choice vectors indexed by [`BlockId::index`] must have this length.
+    pub fn slot_count(&self) -> usize {
         self.blocks.len()
     }
 
-    /// Returns `true` iff the database was empty.
-    pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+    /// The live blocks in `≺_{D,Σ}` order.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.order.iter().map(|&b| &self.blocks[b.index()])
     }
 
-    /// The ordered blocks.
-    pub fn blocks(&self) -> &[Block] {
-        &self.blocks
-    }
-
-    /// The block at position `id`.
+    /// The block in slot `id` (possibly empty, if the slot was retired by a
+    /// deletion).
     ///
     /// # Panics
     ///
@@ -204,41 +393,68 @@ impl BlockPartition {
         self.fact_to_block.get(&fact).copied()
     }
 
-    /// Iterates over `(BlockId, &Block)` pairs in `≺_{D,Σ}` order.
-    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| (BlockId(i as u32), b))
+    /// The position of a live block in the `≺_{D,Σ}` sequence, or `None`
+    /// for retired slots.
+    pub fn position_of_block(&self, id: BlockId) -> Option<usize> {
+        let key = self.blocks.get(id.index())?.key();
+        let position = self
+            .order
+            .binary_search_by(|&b| self.blocks[b.index()].key().cmp(key))
+            .ok()?;
+        // Defensive: only report a position for the slot that is actually
+        // live under this key (a revived key always reuses its slot, so
+        // this can only differ if the slot itself is retired).
+        (self.order[position] == id).then_some(position)
     }
 
-    /// The sizes `|B₁|, …, |Bₙ|`.
+    /// The live block at a given `≺_{D,Σ}` position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= self.len()`.
+    pub fn block_at(&self, position: usize) -> (BlockId, &Block) {
+        let id = self.order[position];
+        (id, &self.blocks[id.index()])
+    }
+
+    /// Iterates over the live `(BlockId, &Block)` pairs in `≺_{D,Σ}` order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.order.iter().map(|&b| (b, &self.blocks[b.index()]))
+    }
+
+    /// The sizes `|B₁|, …, |Bₙ|` of the live blocks in `≺_{D,Σ}` order.
     pub fn sizes(&self) -> Vec<usize> {
+        self.blocks().map(|b| b.len()).collect()
+    }
+
+    /// The per-slot sizes, indexed by [`BlockId::index`]; retired slots
+    /// have size 0.
+    pub fn slot_sizes(&self) -> Vec<usize> {
         self.blocks.iter().map(|b| b.len()).collect()
     }
 
     /// The maximum block size `m = maxᵢ |Bᵢ|` (zero for an empty database).
     pub fn max_block_size(&self) -> usize {
-        self.blocks.iter().map(|b| b.len()).max().unwrap_or(0)
+        self.blocks().map(|b| b.len()).max().unwrap_or(0)
     }
 
-    /// Returns `true` iff every block is a singleton, i.e. the database is
-    /// consistent w.r.t. the keys used to build the partition.
+    /// Returns `true` iff every live block is a singleton, i.e. the
+    /// database is consistent w.r.t. the keys used to build the partition.
     pub fn is_consistent(&self) -> bool {
-        self.blocks.iter().all(Block::is_singleton)
+        self.blocks().all(Block::is_singleton)
     }
 
-    /// Number of blocks with more than one fact (the number of key values
-    /// that are actually in conflict).
+    /// Number of live blocks with more than one fact (the number of key
+    /// values that are actually in conflict).
     pub fn conflicting_block_count(&self) -> usize {
-        self.blocks.iter().filter(|b| !b.is_singleton()).count()
+        self.blocks().filter(|b| !b.is_singleton()).count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Schema;
+    use crate::{Mutation, Schema};
 
     fn employee_db() -> (Database, KeySet) {
         let mut schema = Schema::new();
@@ -302,7 +518,7 @@ mod tests {
         assert_eq!(blocks.len(), 3);
         assert!(blocks.is_consistent());
         assert_eq!(blocks.conflicting_block_count(), 0);
-        assert!(blocks.blocks().iter().all(Block::is_singleton));
+        assert!(blocks.blocks().all(Block::is_singleton));
     }
 
     #[test]
@@ -353,6 +569,167 @@ mod tests {
         let text = kv.to_string();
         assert!(text.contains("r0"));
         assert!(text.contains('1'));
+    }
+
+    /// Asserts that an incrementally maintained partition is equal, block
+    /// for block in `≺_{D,Σ}` order, to a fresh recomputation (slot
+    /// numbering may differ, which is the point of stable slots).
+    fn assert_matches_fresh(blocks: &BlockPartition, db: &Database, keys: &KeySet) {
+        let fresh = BlockPartition::new(db, keys);
+        let live: Vec<(&KeyValue, &[FactId])> =
+            blocks.iter().map(|(_, b)| (b.key(), b.facts())).collect();
+        let expected: Vec<(&KeyValue, &[FactId])> =
+            fresh.iter().map(|(_, b)| (b.key(), b.facts())).collect();
+        assert_eq!(live, expected);
+        assert_eq!(blocks.len(), fresh.len());
+        assert_eq!(blocks.sizes(), fresh.sizes());
+        assert_eq!(blocks.max_block_size(), fresh.max_block_size());
+        assert_eq!(blocks.is_consistent(), fresh.is_consistent());
+        for (id, b) in blocks.iter() {
+            for &f in b.facts() {
+                assert_eq!(blocks.block_of(f), Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_insert_into_existing_block_resizes_it() {
+        let (mut db, keys) = employee_db();
+        let mut blocks = BlockPartition::new(&db, &keys);
+        let applied = db
+            .apply(Mutation::Insert(
+                db.parse_fact("Employee(1, 'Bob', 'Sales')").unwrap(),
+            ))
+            .unwrap();
+        let delta = blocks.apply(&keys, &applied);
+        assert_eq!(delta.old_len, 2);
+        assert_eq!(delta.new_len, 3);
+        assert!(delta.changed() && !delta.created() && !delta.removed());
+        assert_eq!(delta.block, BlockId(0), "employee 1 lives in slot 0");
+        assert_matches_fresh(&blocks, &db, &keys);
+    }
+
+    #[test]
+    fn apply_insert_with_fresh_key_creates_block_in_order() {
+        let (mut db, keys) = employee_db();
+        let mut blocks = BlockPartition::new(&db, &keys);
+        // Key 0 sorts before both existing blocks, but takes the next slot.
+        let applied = db
+            .apply(Mutation::Insert(
+                db.parse_fact("Employee(0, 'Zoe', 'HR')").unwrap(),
+            ))
+            .unwrap();
+        let delta = blocks.apply(&keys, &applied);
+        assert!(delta.created());
+        assert_eq!(delta.block, BlockId(2), "new blocks take the next slot");
+        assert_eq!(blocks.position_of_block(delta.block), Some(0));
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks.slot_count(), 3);
+        assert_matches_fresh(&blocks, &db, &keys);
+    }
+
+    #[test]
+    fn apply_delete_retires_emptied_blocks_and_keeps_slots_stable() {
+        let (mut db, keys) = employee_db();
+        let mut blocks = BlockPartition::new(&db, &keys);
+        // Delete both facts of employee 1: the block retires.
+        for text in ["Employee(1, 'Bob', 'HR')", "Employee(1, 'Bob', 'IT')"] {
+            let id = db.fact_id(&db.parse_fact(text).unwrap()).unwrap();
+            let applied = db.apply(Mutation::Delete(id)).unwrap();
+            let delta = blocks.apply(&keys, &applied);
+            assert_eq!(delta.block, BlockId(0));
+        }
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks.slot_count(), 2, "the retired slot stays");
+        assert!(blocks.block(BlockId(0)).is_empty());
+        assert_eq!(blocks.position_of_block(BlockId(0)), None);
+        // Employee 2 keeps its slot id and is now first in ≺ order.
+        assert_eq!(blocks.position_of_block(BlockId(1)), Some(0));
+        assert_eq!(blocks.slot_sizes(), vec![0, 2]);
+        assert_matches_fresh(&blocks, &db, &keys);
+        // Re-inserting employee 1 revives its original slot: churn on one
+        // key never grows the slot table.
+        let applied = db
+            .apply(Mutation::Insert(
+                db.parse_fact("Employee(1, 'Bob', 'HR')").unwrap(),
+            ))
+            .unwrap();
+        let delta = blocks.apply(&keys, &applied);
+        assert!(delta.created());
+        assert_eq!(delta.block, BlockId(0));
+        assert_eq!(blocks.slot_count(), 2);
+        assert_eq!(blocks.position_of_block(BlockId(0)), Some(0));
+        assert_matches_fresh(&blocks, &db, &keys);
+        // A genuinely new key still allocates a fresh slot.
+        let applied = db
+            .apply(Mutation::Insert(
+                db.parse_fact("Employee(3, 'Ann', 'IT')").unwrap(),
+            ))
+            .unwrap();
+        let delta = blocks.apply(&keys, &applied);
+        assert!(delta.created());
+        assert_eq!(delta.block, BlockId(2));
+        assert_eq!(blocks.slot_count(), 3);
+        assert_matches_fresh(&blocks, &db, &keys);
+    }
+
+    #[test]
+    fn apply_duplicate_insertion_is_a_visible_noop() {
+        let (mut db, keys) = employee_db();
+        let mut blocks = BlockPartition::new(&db, &keys);
+        let applied = db
+            .apply(Mutation::Insert(
+                db.parse_fact("Employee(1, 'Bob', 'HR')").unwrap(),
+            ))
+            .unwrap();
+        let delta = blocks.apply(&keys, &applied);
+        assert!(!delta.changed());
+        assert_eq!(delta.old_len, 2);
+        assert_eq!(delta.new_len, 2);
+        assert_matches_fresh(&blocks, &db, &keys);
+    }
+
+    #[test]
+    fn random_mutation_interleavings_match_fresh_recomputation() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        schema.add_relation("S", 2).unwrap();
+        let keys = KeySet::builder(&schema)
+            .key("R", 1)
+            .unwrap()
+            .key("S", 1)
+            .unwrap()
+            .build();
+        let mut db = Database::new(schema);
+        let mut blocks = BlockPartition::new(&db, &keys);
+        // A deterministic pseudo-random walk of inserts and deletes.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        for step in 0..200 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let relation = if state & 1 == 0 { "R" } else { "S" };
+            let key = (state >> 8) % 6;
+            let payload = (state >> 16) % 3;
+            let delete = step > 40 && (state >> 24).is_multiple_of(3);
+            let applied = if delete {
+                let victim = db
+                    .iter()
+                    .nth((state >> 32) as usize % db.len().max(1))
+                    .map(|(id, _)| id);
+                match victim {
+                    Some(id) => db.apply(Mutation::Delete(id)).unwrap(),
+                    None => continue,
+                }
+            } else {
+                let fact = db
+                    .parse_fact(&format!("{relation}({key}, 'p{payload}')"))
+                    .unwrap();
+                db.apply(Mutation::Insert(fact)).unwrap()
+            };
+            blocks.apply(&keys, &applied);
+        }
+        assert_matches_fresh(&blocks, &db, &keys);
     }
 
     #[test]

@@ -8,8 +8,10 @@ use crate::{parse_value, DbError, Fact, KeySet, RelationId, Schema, Value};
 /// Identifier of a fact within a [`Database`].
 ///
 /// Fact ids are dense indices assigned in insertion order.  They are stable:
-/// facts are never removed from a database (databases are immutable once
-/// built, mirroring the paper's treatment of the input instance).
+/// deleting a fact tombstones its slot and the id is never reused, so ids
+/// handed out before a mutation remain valid names for the facts that
+/// survive it.  Re-inserting previously deleted content allocates a fresh
+/// id.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct FactId(pub(crate) u32);
 
@@ -25,11 +27,68 @@ impl FactId {
     }
 }
 
+/// An edit to a [`Database`]: the unit of change the mutable engine
+/// sessions speak.
+///
+/// Mutations are applied through [`Database::apply`], which reports what
+/// actually happened as an [`AppliedMutation`] so downstream structures
+/// (the block partition, the engine's plan cache) can update incrementally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Add a fact (a no-op if the fact is already present).
+    Insert(Fact),
+    /// Remove the fact with the given id (an error if it is not live).
+    Delete(FactId),
+}
+
+/// What a [`Mutation`] actually did to a [`Database`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AppliedMutation {
+    /// The fact was new and got a fresh id.
+    Inserted {
+        /// The id assigned to the fact.
+        id: FactId,
+        /// The inserted fact.
+        fact: Fact,
+    },
+    /// The fact was already present: the database did not change.
+    AlreadyPresent {
+        /// The id of the pre-existing identical fact.
+        id: FactId,
+    },
+    /// The fact was tombstoned; its id will never be reused.
+    Deleted {
+        /// The id that was removed.
+        id: FactId,
+        /// The removed fact.
+        fact: Fact,
+    },
+}
+
+impl AppliedMutation {
+    /// The id of the fact the mutation touched (or found).
+    pub fn fact_id(&self) -> FactId {
+        match self {
+            AppliedMutation::Inserted { id, .. }
+            | AppliedMutation::AlreadyPresent { id }
+            | AppliedMutation::Deleted { id, .. } => *id,
+        }
+    }
+
+    /// Returns `true` iff the database changed (i.e. not a duplicate
+    /// insertion).
+    pub fn changed(&self) -> bool {
+        !matches!(self, AppliedMutation::AlreadyPresent { .. })
+    }
+}
+
 /// A database: a finite set of facts over a schema.
 ///
-/// Inserting the same fact twice is a no-op (set semantics).  The database
-/// maintains a per-relation index so query evaluation and block construction
-/// avoid full scans.
+/// Inserting the same fact twice is a no-op (set semantics), and facts can
+/// be removed again with [`Database::remove`] (or the uniform
+/// [`Database::apply`]): deletion tombstones the fact's slot so every other
+/// fact keeps its id.  The database maintains a per-relation index so query
+/// evaluation and block construction avoid full scans.
 ///
 /// ```
 /// use cdr_repairdb::{Database, Schema};
@@ -45,6 +104,9 @@ impl FactId {
 pub struct Database {
     schema: Schema,
     facts: Vec<Fact>,
+    /// `live[i]` is `false` iff fact `i` has been tombstoned by a delete.
+    live: Vec<bool>,
+    live_count: usize,
     dedup: HashMap<Fact, FactId>,
     by_relation: Vec<Vec<FactId>>,
 }
@@ -56,6 +118,8 @@ impl Database {
         Database {
             schema,
             facts: Vec::new(),
+            live: Vec::new(),
+            live_count: 0,
             dedup: HashMap::new(),
             by_relation,
         }
@@ -71,6 +135,37 @@ impl Database {
     /// Returns the id of the fact; inserting a duplicate returns the id of
     /// the existing fact.
     pub fn insert(&mut self, fact: Fact) -> Result<FactId, DbError> {
+        self.validate(&fact)?;
+        if let Some(&id) = self.dedup.get(&fact) {
+            return Ok(id);
+        }
+        Ok(self.insert_new(fact))
+    }
+
+    /// Appends a fact already known to be valid and absent (the caller has
+    /// run [`Database::validate`] and checked the dedup index), so the hot
+    /// mutation path hashes the fact only once more, for the index insert.
+    fn insert_new(&mut self, fact: Fact) -> FactId {
+        // Ids are never reused (deletes tombstone their slot), so the id
+        // space is consumed by cumulative inserts; fail loudly instead of
+        // wrapping into a colliding id.
+        assert!(
+            self.facts.len() < u32::MAX as usize,
+            "fact-id space exhausted after 2^32 - 1 inserts; compact the database first"
+        );
+        let id = FactId(self.facts.len() as u32);
+        self.dedup.insert(fact.clone(), id);
+        self.by_relation[fact.relation().index()].push(id);
+        self.facts.push(fact);
+        self.live.push(true);
+        self.live_count += 1;
+        id
+    }
+
+    /// Checks a fact against the schema (known relation, right arity)
+    /// without inserting it — the validation [`Database::insert`] performs,
+    /// exposed so callers can vet a whole batch before applying any of it.
+    pub fn validate(&self, fact: &Fact) -> Result<(), DbError> {
         let rel = fact.relation();
         if rel.index() >= self.schema.len() {
             return Err(DbError::UnknownRelation(format!("r{}", rel.index())));
@@ -83,14 +178,59 @@ impl Database {
                 found: fact.arity(),
             });
         }
-        if let Some(&id) = self.dedup.get(&fact) {
-            return Ok(id);
+        Ok(())
+    }
+
+    /// Removes (tombstones) the fact with the given id, returning it.
+    ///
+    /// The id is never reused; re-inserting the same content later yields a
+    /// fresh id.  Removing an id that was never assigned or is already
+    /// tombstoned fails with [`DbError::MissingFact`].
+    pub fn remove(&mut self, id: FactId) -> Result<Fact, DbError> {
+        if !self.is_live(id) {
+            return Err(DbError::MissingFact(id.index()));
         }
-        let id = FactId(self.facts.len() as u32);
-        self.dedup.insert(fact.clone(), id);
-        self.by_relation[rel.index()].push(id);
-        self.facts.push(fact);
-        Ok(id)
+        let fact = self.facts[id.index()].clone();
+        self.live[id.index()] = false;
+        self.live_count -= 1;
+        self.dedup.remove(&fact);
+        // Ids are handed out in increasing order and deletes preserve the
+        // order, so the per-relation index stays sorted: binary search
+        // instead of a full scan keeps deletes cheap on large relations.
+        let index = &mut self.by_relation[fact.relation().index()];
+        let position = index
+            .binary_search(&id)
+            .expect("a live fact is in its relation index");
+        index.remove(position);
+        Ok(fact)
+    }
+
+    /// Applies one [`Mutation`], reporting what actually happened.
+    ///
+    /// Inserting an already-present fact is a no-op
+    /// ([`AppliedMutation::AlreadyPresent`]); deleting a missing fact is an
+    /// error.
+    pub fn apply(&mut self, mutation: Mutation) -> Result<AppliedMutation, DbError> {
+        match mutation {
+            Mutation::Insert(fact) => {
+                self.validate(&fact)?;
+                if let Some(&id) = self.dedup.get(&fact) {
+                    return Ok(AppliedMutation::AlreadyPresent { id });
+                }
+                let id = self.insert_new(fact.clone());
+                Ok(AppliedMutation::Inserted { id, fact })
+            }
+            Mutation::Delete(id) => {
+                let fact = self.remove(id)?;
+                Ok(AppliedMutation::Deleted { id, fact })
+            }
+        }
+    }
+
+    /// Returns `true` iff the id names a fact that is present (assigned and
+    /// not tombstoned).
+    pub fn is_live(&self, id: FactId) -> bool {
+        self.live.get(id.index()).copied().unwrap_or(false)
     }
 
     /// Inserts a fact given the relation name and its arguments.
@@ -145,8 +285,14 @@ impl Database {
     ///
     /// # Panics
     ///
-    /// Panics if `id` does not belong to this database.
+    /// Panics if `id` was never assigned by this database or has been
+    /// tombstoned by [`Database::remove`].
     pub fn fact(&self, id: FactId) -> &Fact {
+        assert!(
+            self.is_live(id),
+            "fact id {} is not live in this database",
+            id.index()
+        );
         &self.facts[id.index()]
     }
 
@@ -160,27 +306,28 @@ impl Database {
         self.dedup.contains_key(fact)
     }
 
-    /// Number of facts.
+    /// Number of (live) facts.
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.live_count
     }
 
-    /// Returns `true` iff the database has no facts.
+    /// Returns `true` iff the database has no live facts.
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
+        self.live_count == 0
     }
 
-    /// Iterates over all facts with their ids, in insertion order.
+    /// Iterates over all live facts with their ids, in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact)> {
         self.facts
             .iter()
             .enumerate()
+            .filter(|&(i, _)| self.live[i])
             .map(|(i, f)| (FactId(i as u32), f))
     }
 
-    /// Iterates over all facts, in insertion order.
+    /// Iterates over all live facts, in insertion order.
     pub fn facts(&self) -> impl Iterator<Item = &Fact> {
-        self.facts.iter()
+        self.iter().map(|(_, f)| f)
     }
 
     /// The ids of the facts of a given relation, in insertion order.
@@ -195,7 +342,7 @@ impl Database {
     /// in sorted order.
     pub fn active_domain(&self) -> BTreeSet<Value> {
         let mut dom = BTreeSet::new();
-        for fact in &self.facts {
+        for fact in self.facts() {
             for v in fact.args() {
                 dom.insert(v.clone());
             }
@@ -206,7 +353,7 @@ impl Database {
     /// Returns `true` iff the database satisfies every key in `keys`
     /// (i.e. `D ⊨ Σ`).
     pub fn is_consistent(&self, keys: &KeySet) -> bool {
-        keys.satisfied_by(self.facts.iter())
+        keys.satisfied_by(self.facts())
     }
 
     /// Builds a new database containing exactly the facts with the given
@@ -223,7 +370,7 @@ impl Database {
 
 impl fmt::Display for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, fact) in self.facts.iter().enumerate() {
+        for (i, fact) in self.facts().enumerate() {
             if i > 0 {
                 writeln!(f)?;
             }
@@ -390,6 +537,91 @@ mod tests {
         assert!(text.contains("Employee(1, 'Bob', 'HR')"));
         assert!(text.contains("Employee(2, 'Tim', 'IT')"));
         assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn remove_tombstones_without_disturbing_other_ids() {
+        let mut db = employee_db();
+        let bob_it = db.parse_fact("Employee(1, 'Bob', 'IT')").unwrap();
+        let id = db.fact_id(&bob_it).unwrap();
+        let removed = db.remove(id).unwrap();
+        assert_eq!(removed, bob_it);
+        assert_eq!(db.len(), 3);
+        assert!(!db.is_live(id));
+        assert!(!db.contains(&bob_it));
+        assert_eq!(db.fact_id(&bob_it), None);
+        // The other facts keep their ids and the relation index shrinks.
+        let bob_hr = db.parse_fact("Employee(1, 'Bob', 'HR')").unwrap();
+        let hr_id = db.fact_id(&bob_hr).unwrap();
+        assert!(db.is_live(hr_id));
+        let emp = db.schema().relation_id("Employee").unwrap();
+        assert_eq!(db.facts_of(emp).len(), 3);
+        assert!(!db.facts_of(emp).contains(&id));
+        // Iteration, display and the active domain skip the tombstone.
+        assert_eq!(db.iter().count(), 3);
+        assert_eq!(db.to_string().lines().count(), 3);
+        // Double delete and unknown ids fail.
+        assert_eq!(db.remove(id), Err(DbError::MissingFact(id.index())));
+        assert!(matches!(
+            db.remove(FactId(99)),
+            Err(DbError::MissingFact(_))
+        ));
+    }
+
+    #[test]
+    fn reinsertion_after_delete_gets_a_fresh_id() {
+        let mut db = employee_db();
+        let fact = db.parse_fact("Employee(2, 'Tim', 'IT')").unwrap();
+        let old_id = db.fact_id(&fact).unwrap();
+        db.remove(old_id).unwrap();
+        let new_id = db.insert(fact.clone()).unwrap();
+        assert_ne!(old_id, new_id);
+        assert!(new_id > old_id, "ids are monotonically increasing");
+        assert!(db.is_live(new_id));
+        assert!(!db.is_live(old_id));
+        assert_eq!(db.len(), 4);
+    }
+
+    #[test]
+    fn apply_reports_what_happened() {
+        let mut db = employee_db();
+        let fact = db.parse_fact("Employee(3, 'Eve', 'R&D')").unwrap();
+        let applied = db.apply(Mutation::Insert(fact.clone())).unwrap();
+        let id = match applied {
+            AppliedMutation::Inserted { id, fact: f } => {
+                assert_eq!(f, fact);
+                id
+            }
+            other => panic!("expected Inserted, got {other:?}"),
+        };
+        assert!(applied_changed(&db, id));
+        // A duplicate insertion is a visible no-op.
+        let again = db.apply(Mutation::Insert(fact.clone())).unwrap();
+        assert_eq!(again, AppliedMutation::AlreadyPresent { id });
+        assert!(!again.changed());
+        assert_eq!(again.fact_id(), id);
+        // Deletion round-trips the fact.
+        let deleted = db.apply(Mutation::Delete(id)).unwrap();
+        assert_eq!(deleted, AppliedMutation::Deleted { id, fact });
+        assert!(deleted.changed());
+        // Deleting again is an error.
+        assert!(matches!(
+            db.apply(Mutation::Delete(id)),
+            Err(DbError::MissingFact(_))
+        ));
+    }
+
+    fn applied_changed(db: &Database, id: FactId) -> bool {
+        db.is_live(id)
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn fact_panics_on_tombstoned_ids() {
+        let mut db = employee_db();
+        let id = db.iter().next().unwrap().0;
+        db.remove(id).unwrap();
+        let _ = db.fact(id);
     }
 
     #[test]

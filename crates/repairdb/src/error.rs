@@ -36,6 +36,9 @@ pub enum DbError {
     /// A relation declared with arity zero; the paper's facts always have
     /// `n > 0`.
     ZeroArity(String),
+    /// A deletion named a fact id that was never assigned or is already
+    /// tombstoned.
+    MissingFact(usize),
 }
 
 impl fmt::Display for DbError {
@@ -67,6 +70,12 @@ impl fmt::Display for DbError {
             DbError::Parse(msg) => write!(f, "parse error: {msg}"),
             DbError::ZeroArity(name) => {
                 write!(f, "relation `{name}` must have arity at least 1")
+            }
+            DbError::MissingFact(id) => {
+                write!(
+                    f,
+                    "fact id {id} is not live (never assigned or already deleted)"
+                )
             }
         }
     }
@@ -102,6 +111,7 @@ mod tests {
             ),
             (DbError::Parse("bad token".into()), "bad token"),
             (DbError::ZeroArity("W".into()), "W"),
+            (DbError::MissingFact(7), "7"),
         ];
         for (err, needle) in cases {
             assert!(

@@ -31,8 +31,8 @@ mod repairs;
 mod schema;
 mod value;
 
-pub use blocks::{Block, BlockId, BlockPartition, KeyValue};
-pub use database::{Database, FactId};
+pub use blocks::{Block, BlockDelta, BlockId, BlockPartition, KeyValue};
+pub use database::{AppliedMutation, Database, FactId, Mutation};
 pub use error::DbError;
 pub use fact::Fact;
 pub use keys::{KeySet, KeySetBuilder};

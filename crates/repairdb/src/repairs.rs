@@ -10,16 +10,18 @@
 
 use cdr_num::BigNat;
 
-use crate::{Block, BlockId, BlockPartition, Database, FactId, KeySet};
+use crate::{Block, BlockPartition, Database, FactId, KeySet};
 
-/// A repair: one fact chosen from each block, stored in block order.
+/// A repair: one fact chosen from each live block, stored in `≺_{D,Σ}`
+/// order (the order of [`BlockPartition::iter`]).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Repair {
     facts: Vec<FactId>,
 }
 
 impl Repair {
-    /// Builds a repair from the per-block choices `choice[i] ∈ {0, …, |Bᵢ|-1}`.
+    /// Builds a repair from the per-block choices `choice[i] ∈ {0, …, |Bᵢ|-1}`,
+    /// indexed by `≺_{D,Σ}` position.
     ///
     /// # Panics
     ///
@@ -38,14 +40,17 @@ impl Repair {
         Repair { facts }
     }
 
-    /// The chosen facts in block order.
+    /// The chosen facts in `≺_{D,Σ}` block order.
     pub fn facts(&self) -> &[FactId] {
         &self.facts
     }
 
-    /// The fact chosen for a given block.
-    pub fn fact_for(&self, block: BlockId) -> FactId {
-        self.facts[block.index()]
+    /// The fact chosen for the block at a given `≺_{D,Σ}` position (see
+    /// [`BlockPartition::position_of_block`] to map a
+    /// [`BlockId`](crate::BlockId) to its
+    /// position).
+    pub fn fact_at(&self, position: usize) -> FactId {
+        self.facts[position]
     }
 
     /// Returns `true` iff the repair contains the given fact.
@@ -137,7 +142,7 @@ impl Iterator for RepairIter<'_> {
             }
             i -= 1;
             state[i] += 1;
-            if state[i] < self.blocks.block(BlockId(i as u32)).len() {
+            if state[i] < self.blocks.block_at(i).1.len() {
                 break;
             }
             state[i] = 0;
@@ -170,14 +175,15 @@ pub fn describe_repair<'a>(
 ) -> Vec<(&'a Block, FactId)> {
     blocks
         .iter()
-        .map(|(id, block)| (block, repair.fact_for(id)))
+        .zip(repair.facts())
+        .map(|((_, block), &fact)| (block, fact))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Database, KeySet, Schema};
+    use crate::{BlockId, Database, KeySet, Schema};
 
     fn employee_db() -> (Database, KeySet) {
         let mut schema = Schema::new();
@@ -288,10 +294,8 @@ mod tests {
         let repair = Repair::from_choices(&blocks, &[1, 0]);
         assert_eq!(repair.len(), 2);
         assert!(!repair.is_empty());
-        assert_eq!(
-            repair.fact_for(BlockId(0)),
-            blocks.block(BlockId(0)).facts()[1]
-        );
+        assert_eq!(repair.fact_at(0), blocks.block(BlockId(0)).facts()[1]);
+        assert_eq!(blocks.position_of_block(BlockId(0)), Some(0));
         assert!(repair.contains(blocks.block(BlockId(1)).facts()[0]));
         assert!(repair.contains_all(&[
             blocks.block(BlockId(0)).facts()[1],

@@ -1,6 +1,8 @@
 //! Fully specified scenarios used by the examples and experiments.
 
-use cdr_repairdb::{Database, KeySet, Schema, Value};
+use std::collections::HashSet;
+
+use cdr_repairdb::{Database, KeySet, Mutation, Schema, Value};
 
 /// The paper's Example 1.1: the `Employee` relation with two conflicting
 /// blocks.  Returns the database and the primary key `key(Employee) = {1}`.
@@ -134,6 +136,60 @@ pub fn sensor_readings(
     (db, keys)
 }
 
+/// A mutation-heavy streaming scenario on top of [`sensor_readings`]: the
+/// base database plus a deterministic stream of `updates` mutations — late
+/// arriving conflicting readings ([`Mutation::Insert`], occasionally a
+/// duplicate of an earlier arrival, i.e. a visible no-op) interleaved with
+/// retractions of duplicates recorded at ingestion time
+/// ([`Mutation::Delete`], roughly one mutation in three).
+///
+/// The stream is constructed so that applying it in order never errors:
+/// every delete names a base fact that is still live when it is reached.
+/// The same parameters always produce the same stream, so benchmarks and
+/// tests are reproducible.
+pub fn streaming_sensor_updates(
+    sensors: usize,
+    ticks: usize,
+    updates: usize,
+) -> (Database, KeySet, Vec<Mutation>) {
+    let duplicates_per_sensor = ticks.min(2);
+    let (db, keys) = sensor_readings(sensors, ticks, duplicates_per_sensor);
+    // The retractable facts are discovered from the built database — every
+    // fact of a conflicting block except its first — so the stream stays
+    // delete-bearing no matter how `sensor_readings` shapes its values.
+    let blocks = cdr_repairdb::BlockPartition::new(&db, &keys);
+    let retractable: Vec<_> = blocks
+        .iter()
+        .filter(|(_, block)| !block.is_singleton())
+        .flat_map(|(_, block)| block.facts()[1..].iter().copied())
+        .collect();
+    let mut stream = Vec::with_capacity(updates);
+    let mut retracted = HashSet::new();
+    let mut state: u64 = 0x5EED_CAFE_F00D_D00D;
+    for step in 0..updates {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let sensor = (state >> 8) as usize % sensors.max(1);
+        let tick = (state >> 24) as usize % ticks.max(1);
+        if step % 3 == 2 && !retractable.is_empty() {
+            // Retract one of the duplicates recorded at ingestion time.
+            let id = retractable[(state >> 40) as usize % retractable.len()];
+            if retracted.insert(id) {
+                stream.push(Mutation::Delete(id));
+                continue;
+            }
+        }
+        // A late-arriving reading that conflicts with the recorded one.
+        let value = 100 + (state >> 48) as usize % 23;
+        let fact = db
+            .parse_fact(&format!("Reading({sensor}, {tick}, {value})"))
+            .expect("generated readings are well-formed");
+        stream.push(Mutation::Insert(fact));
+    }
+    (db, keys, stream)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +230,31 @@ mod tests {
         assert_eq!(blocks.max_block_size(), 3);
         let counter = RepairCounter::new(&db, &keys);
         assert_eq!(counter.total_repairs().to_u64(), Some(81));
+    }
+
+    #[test]
+    fn streaming_updates_apply_cleanly_and_deterministically() {
+        let (db, keys, stream) = streaming_sensor_updates(6, 4, 60);
+        let (_, _, again) = streaming_sensor_updates(6, 4, 60);
+        assert_eq!(stream, again, "same parameters, same stream");
+        assert_eq!(stream.len(), 60);
+        let deletes = stream
+            .iter()
+            .filter(|m| matches!(m, Mutation::Delete(_)))
+            .count();
+        assert!(deletes > 0, "the stream retracts some duplicates");
+        assert!(deletes < stream.len(), "the stream also inserts");
+        // Applying the stream in order never errors, and the incremental
+        // partition tracks a fresh recomputation.
+        let mut mutated = db.clone();
+        let mut blocks = BlockPartition::new(&mutated, &keys);
+        for mutation in stream {
+            let applied = mutated.apply(mutation).expect("stream applies cleanly");
+            blocks.apply(&keys, &applied);
+        }
+        let fresh = BlockPartition::new(&mutated, &keys);
+        assert_eq!(blocks.sizes(), fresh.sizes());
+        assert!(blocks.conflicting_block_count() > 0);
     }
 
     #[test]

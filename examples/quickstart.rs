@@ -4,7 +4,10 @@
 //! answers every question the paper asks about the instance with one
 //! [`CountRequest`] each: the exact count, the relative frequency, the
 //! possible/certain answers, and the FPRAS estimate. The engine plans the
-//! query once and serves every subsequent request from its cache.
+//! query once and serves every subsequent request from its cache, then the
+//! example turns into a mutable session: [`EngineCommand`]s insert and
+//! delete facts, rebuilding only the touched block and updating the total
+//! repair count incrementally.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -53,8 +56,9 @@ fn main() {
     }
     println!();
 
-    // The engine owns the database and computes the partition once.
-    let engine = RepairEngine::new(db, keys);
+    // The engine owns the database and computes the partition once;
+    // `mut` because the session below edits the database through it.
+    let mut engine = RepairEngine::new(db, keys);
 
     // The query of Example 1.1: do employees 1 and 2 share a department?
     let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)")
@@ -107,10 +111,52 @@ fn main() {
     );
 
     // Every request after the first reused the cached plan.
-    let stats = engine.cache_stats();
+    println!("\n{}", engine.cache_stats());
+    assert_eq!(engine.cache_stats().misses, 1);
+
+    // --- A mutable session: insert → query → delete → query. -------------
+    println!("\n== streaming updates ==");
+    let q = parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)")
+        .expect("valid query");
+    let eve = engine
+        .database()
+        .parse_fact("Employee(2, 'Eve', 'Finance')")
+        .expect("valid fact");
+
+    // Insert: the employee-2 block grows from 2 to 3 facts, and the total
+    // repair count is updated by dividing out 2 and multiplying in 3.
+    let response = engine
+        .execute(EngineCommand::Mutate(Mutation::Insert(eve.clone())))
+        .expect("mutation applies");
+    let applied = response.as_applied().expect("mutation report");
     println!(
-        "\nplan cache: {} miss, {} hits ({} plans resident)",
-        stats.misses, stats.hits, stats.entries
+        "insert Employee(2, 'Eve', 'Finance'): generation {}, block delta {} -> {}",
+        applied.generation, applied.deltas[0].old_len, applied.deltas[0].new_len
     );
-    assert_eq!(stats.misses, 1);
+    println!(
+        "|rep(D, Sigma)| is now           = {}",
+        engine.total_repairs()
+    );
+    let frequency = engine
+        .run(&CountRequest::frequency(q.clone()))
+        .expect("counting succeeds");
+    println!(
+        "relative frequency of Q          = {}",
+        frequency.answer.as_frequency().expect("frequency")
+    );
+
+    // Delete: the engine is back to the original four repairs.
+    let id = engine.database().fact_id(&eve).expect("eve is live");
+    engine
+        .execute(EngineCommand::Mutate(Mutation::Delete(id)))
+        .expect("mutation applies");
+    let frequency = engine
+        .run(&CountRequest::frequency(q))
+        .expect("counting succeeds");
+    println!(
+        "after delete, frequency of Q     = {} over {} repairs",
+        frequency.answer.as_frequency().expect("frequency"),
+        engine.total_repairs()
+    );
+    println!("{}", engine.cache_stats());
 }

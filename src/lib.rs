@@ -10,7 +10,7 @@
 //! * [`db`] — facts, schemas, primary keys, blocks and repairs.
 //! * [`query`] — FO / ∃FO⁺ / UCQ / CQ queries, parsing, evaluation, keywidth.
 //! * [`counting`] — the [`RepairEngine`](prelude::RepairEngine), exact
-//!   counters, decision procedures, the Λ[k] FPRAS and the Karp–Luby
+//!   counters, decision procedures, the Λ\[k\] FPRAS and the Karp–Luby
 //!   baseline, relative-frequency CQA.
 //! * [`lambda`] — the Λ-hierarchy machinery, companion problems and
 //!   hardness reductions.
@@ -19,10 +19,11 @@
 //!
 //! ## Quickstart
 //!
-//! The paper's Example 1.1 (the `Employee` relation) through the
-//! [`RepairEngine`](prelude::RepairEngine): build the engine once, then
-//! answer any number of [`CountRequest`](prelude::CountRequest)s — repeat
-//! queries are served from the engine's plan cache.
+//! The paper's Example 1.1 (the `Employee` relation) through a mutable
+//! [`RepairEngine`](prelude::RepairEngine) session: build the engine once,
+//! then drive it with [`EngineCommand`](prelude::EngineCommand)s — queries
+//! are served from the generation-stamped plan cache, and mutations rebuild
+//! only the block they touch.
 //!
 //! ```
 //! use repair_count::prelude::*;
@@ -40,9 +41,19 @@
 //! let q = parse_query(
 //!     "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
 //!
-//! let engine = RepairEngine::new(db, keys);
-//! let report = engine.run(&CountRequest::frequency(q)).unwrap();
+//! let mut engine = RepairEngine::new(db, keys);
+//! let report = engine.run(&CountRequest::frequency(q.clone())).unwrap();
 //! assert_eq!(report.answer.as_frequency().unwrap().to_string(), "1/2");
+//!
+//! // Insert a conflicting record: the touched block is rebuilt in place
+//! // and the total repair count is updated incrementally (4 → 6).
+//! let eve = engine.database().parse_fact("Employee(2, 'Eve', 'Finance')").unwrap();
+//! engine
+//!     .execute(EngineCommand::Mutate(Mutation::Insert(eve)))
+//!     .unwrap();
+//! assert_eq!(engine.total_repairs().to_u64(), Some(6));
+//! let report = engine.run(&CountRequest::frequency(q)).unwrap();
+//! assert_eq!(report.answer.as_frequency().unwrap().to_string(), "1/3");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,10 +69,11 @@ pub use cdr_workloads as workloads;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use cdr_core::{
-        Answer, ApproxConfig, CacheStats, CountOutcome, CountReport, CountRequest, ExactStrategy,
-        FprasEstimator, KarpLubyEstimator, RepairCounter, RepairEngine, Semantics, Strategy,
+        Answer, ApproxConfig, CacheStats, CountOutcome, CountReport, CountRequest, EngineCommand,
+        EngineResponse, ExactStrategy, FprasEstimator, KarpLubyEstimator, MutationReport,
+        RepairCounter, RepairEngine, Semantics, Strategy,
     };
     pub use cdr_num::{BigNat, LogNum, Ratio};
     pub use cdr_query::{parse_query, Query, UcqQuery};
-    pub use cdr_repairdb::{Database, Fact, KeySet, Schema, Value};
+    pub use cdr_repairdb::{BlockDelta, Database, Fact, KeySet, Mutation, Schema, Value};
 }

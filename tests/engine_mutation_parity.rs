@@ -1,0 +1,258 @@
+//! Mutation-parity suite for the [`RepairEngine`]: after any interleaving
+//! of inserts, deletes and queries, every report the mutated engine
+//! produces must equal the report of a *fresh* engine built on the final
+//! database state, and the incrementally maintained `total_repairs` must
+//! match the recomputed product `∏ |Bᵢ|`.  Checked on the named scenarios
+//! (including the streaming sensor-update stream) and, property-style, on
+//! random interleavings over generated databases.
+
+use proptest::prelude::*;
+use repair_count::db::{count_repairs, BlockPartition};
+use repair_count::prelude::*;
+use repair_count::workloads::{
+    employee_example, random_join_query, random_point_query_union, streaming_sensor_updates,
+    BlockSizeDistribution, InconsistentDbConfig, QueryGenConfig, RelationSpec,
+};
+
+/// Rebuilds a database containing exactly the live facts of `db`, inserted
+/// in live id order — the state a cold restart would load.
+fn fresh_copy(db: &Database) -> Database {
+    let mut out = Database::new(db.schema().clone());
+    for (_, fact) in db.iter() {
+        out.insert(fact.clone()).expect("live facts are valid");
+    }
+    out
+}
+
+/// Asserts that the mutated engine and a fresh engine over the same live
+/// facts agree on every semantics for every query, and that the mutated
+/// engine's incrementally maintained total matches a recomputed product.
+fn assert_parity(engine: &RepairEngine, queries: &[Query]) {
+    let fresh = RepairEngine::new(fresh_copy(engine.database()), engine.keys().clone());
+
+    // total_repairs: incremental divide-out/multiply-in vs full reproduct.
+    assert_eq!(engine.total_repairs(), fresh.total_repairs());
+    let recomputed = count_repairs(&BlockPartition::new(engine.database(), engine.keys()));
+    assert_eq!(*engine.total_repairs(), recomputed);
+
+    for q in queries {
+        let exact = engine
+            .run(&CountRequest::exact(q.clone()))
+            .unwrap()
+            .answer
+            .as_count()
+            .unwrap()
+            .clone();
+        let fresh_exact = fresh
+            .run(&CountRequest::exact(q.clone()))
+            .unwrap()
+            .answer
+            .as_count()
+            .unwrap()
+            .clone();
+        assert_eq!(exact, fresh_exact, "exact count for {q}");
+
+        let frequency = engine
+            .run(&CountRequest::frequency(q.clone()))
+            .unwrap()
+            .answer
+            .as_frequency()
+            .unwrap()
+            .clone();
+        assert_eq!(
+            frequency,
+            Ratio::new(exact.clone(), engine.total_repairs().clone()),
+            "frequency for {q}"
+        );
+
+        let decision = engine
+            .run(&CountRequest::decision(q.clone()))
+            .unwrap()
+            .answer
+            .as_bool()
+            .unwrap();
+        assert_eq!(decision, !exact.is_zero(), "decision for {q}");
+
+        let certain = engine
+            .run(&CountRequest::certain_answer(q.clone()))
+            .unwrap()
+            .answer
+            .as_bool()
+            .unwrap();
+        assert_eq!(
+            certain,
+            exact == *engine.total_repairs(),
+            "certain answer for {q}"
+        );
+
+        // Approximations share the sample path: same seed, same estimate.
+        let request = CountRequest::approximate(q.clone(), 0.25, 0.1)
+            .with_seed(4242)
+            .with_sample_cap(2_000);
+        let estimate = engine.run(&request).unwrap();
+        let fresh_estimate = fresh.run(&request).unwrap();
+        assert_eq!(
+            estimate.answer.as_estimate().unwrap().estimate,
+            fresh_estimate.answer.as_estimate().unwrap().estimate,
+            "estimate for {q}"
+        );
+        assert_eq!(
+            estimate.samples_used, fresh_estimate.samples_used,
+            "sample counts for {q}"
+        );
+    }
+}
+
+#[test]
+fn employee_session_stays_in_parity_step_by_step() {
+    let (db, keys) = employee_example();
+    let mut engine = RepairEngine::new(db, keys);
+    let queries: Vec<Query> = [
+        "EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)",
+        "EXISTS n . Employee(2, n, 'IT')",
+        "Employee(1, 'Bob', 'HR')",
+        "EXISTS n, d . Employee(3, n, d)",
+        "TRUE",
+        "FALSE",
+    ]
+    .into_iter()
+    .map(|text| parse_query(text).unwrap())
+    .collect();
+
+    // A session that grows a block, creates a block, retires a block, and
+    // re-creates it — parity must hold after every step.
+    let steps: Vec<(&str, bool)> = vec![
+        ("Employee(2, 'Eve', 'Finance')", true),  // grow block 2
+        ("Employee(3, 'Ann', 'IT')", true),       // create a block
+        ("Employee(1, 'Bob', 'HR')", false),      // shrink block 1
+        ("Employee(1, 'Bob', 'IT')", false),      // retire block 1
+        ("Employee(1, 'Bob', 'Support')", true),  // re-create employee 1
+        ("Employee(3, 'Ann', 'IT')", false),      // retire block 3 again
+        ("Employee(2, 'Eve', 'Finance')", false), // back towards the start
+    ];
+    for (text, is_insert) in steps {
+        let fact = engine.database().parse_fact(text).unwrap();
+        let mutation = if is_insert {
+            Mutation::Insert(fact)
+        } else {
+            Mutation::Delete(engine.database().fact_id(&fact).unwrap())
+        };
+        engine.apply(mutation).unwrap();
+        assert_parity(&engine, &queries);
+    }
+}
+
+#[test]
+fn streaming_sensor_updates_stay_in_parity() {
+    let (db, keys, stream) = streaming_sensor_updates(6, 3, 45);
+    let mut engine = RepairEngine::new(db, keys).with_parallelism(3);
+    // Existential positive probes (the certificate path is polynomial even
+    // though this database has far too many repairs to enumerate).
+    let queries: Vec<Query> = [
+        "EXISTS v . Reading(0, 0, v)",
+        "EXISTS s, v . Reading(s, 1, v) AND Reading(s, 2, v)",
+        "EXISTS v . Reading(3, 0, v) AND Reading(3, 1, v)",
+    ]
+    .into_iter()
+    .map(|text| parse_query(text).unwrap())
+    .collect();
+
+    for chunk in stream.chunks(9) {
+        let report = engine.apply_batch(chunk.to_vec()).unwrap();
+        assert_eq!(report.applied + report.noops, chunk.len());
+        // Queries between mutation barriers go through the parallel batch.
+        let requests: Vec<CountRequest> = queries
+            .iter()
+            .map(|q| CountRequest::exact(q.clone()))
+            .collect();
+        let batched = engine.run_batch(&requests);
+        let fresh = RepairEngine::new(fresh_copy(engine.database()), engine.keys().clone());
+        for (request, report) in requests.iter().zip(batched) {
+            let got = report.unwrap();
+            let expected = fresh.run(request).unwrap();
+            assert_eq!(
+                got.answer.as_count().unwrap(),
+                expected.answer.as_count().unwrap(),
+                "batched count for {}",
+                request.query()
+            );
+        }
+        let recomputed = count_repairs(&BlockPartition::new(engine.database(), engine.keys()));
+        assert_eq!(*engine.total_repairs(), recomputed);
+    }
+}
+
+/// One pseudo-random session step: an insert, a delete of a live fact, or
+/// nothing (when the coin asks for a delete on an empty database).
+fn random_mutation(db: &Database, state: u64) -> Option<Mutation> {
+    let relation = if state & 1 == 0 { "R" } else { "S" };
+    let key = (state >> 8) % 5;
+    let payload = (state >> 16) % 3;
+    if (state >> 24).is_multiple_of(3) {
+        let victim = db
+            .iter()
+            .nth((state >> 32) as usize % db.len().max(1))
+            .map(|(id, _)| id)?;
+        Some(Mutation::Delete(victim))
+    } else {
+        let fact = db
+            .parse_fact(&format!("{relation}({key}, 'p{payload}')"))
+            .expect("generated facts are well-formed");
+        Some(Mutation::Insert(fact))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Property: after any random interleaving of inserts, deletes and
+    /// queries, every report equals one from a fresh engine built on the
+    /// final database state, and `total_repairs` matches the recomputed
+    /// product.
+    #[test]
+    fn prop_mutated_engine_matches_fresh_engine(
+        seed in 0u64..500,
+        blocks in 2usize..4,
+        steps in 4usize..12,
+    ) {
+        let (db, keys) = InconsistentDbConfig {
+            relations: vec![RelationSpec::keyed("R", blocks), RelationSpec::keyed("S", blocks)],
+            block_sizes: BlockSizeDistribution::Fixed(2),
+            payload_domain: 3,
+            seed,
+        }
+        .generate();
+        let mut engine = RepairEngine::new(db.clone(), keys);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for step in 0..steps {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if let Some(mutation) = random_mutation(engine.database(), state) {
+                engine.apply(mutation).unwrap();
+            }
+            // Interleave queries so plans are cached (and later re-derived)
+            // mid-session, not only at the end.
+            let q = random_point_query_union(
+                engine.database(),
+                &QueryGenConfig { size: 2, seed: state },
+            );
+            engine.run(&CountRequest::exact(q)).unwrap();
+            if step % 3 == 1 {
+                let q = random_join_query(
+                    engine.database(),
+                    engine.keys(),
+                    &QueryGenConfig { size: 2, seed: state },
+                );
+                engine.run(&CountRequest::decision(q)).unwrap();
+            }
+        }
+        let final_queries: Vec<Query> = vec![
+            random_point_query_union(engine.database(), &QueryGenConfig { size: 2, seed }),
+            random_join_query(engine.database(), engine.keys(), &QueryGenConfig { size: 2, seed }),
+            parse_query("TRUE").unwrap(),
+            parse_query("FALSE").unwrap(),
+        ];
+        assert_parity(&engine, &final_queries);
+    }
+}
