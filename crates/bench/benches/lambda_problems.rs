@@ -7,12 +7,22 @@ use cdr_workloads::{random_disj_pos_dnf, random_forbidden_coloring, DnfConfig, H
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
+/// Smoke runs verify each benchmark works; the larger instances are for
+/// real measurement only (a single large iteration takes minutes).
+fn sizes(smoke: &'static [usize]) -> &'static [usize] {
+    if criterion::is_smoke() {
+        smoke
+    } else {
+        &[20, 60, 180]
+    }
+}
+
 fn bench_disj_pos_dnf(c: &mut Criterion) {
     let mut group = c.benchmark_group("lambda/disj_pos_kdnf");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
-    for &classes in &[20usize, 60, 180] {
+    for &classes in sizes(&[20, 60]) {
         let f = random_disj_pos_dnf(&DnfConfig {
             classes,
             class_size: 3,
@@ -44,7 +54,7 @@ fn bench_forbidden_coloring(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
-    for &vertices in &[20usize, 60, 180] {
+    for &vertices in sizes(&[20]) {
         let f = random_forbidden_coloring(&HypergraphConfig {
             vertices,
             colors_per_vertex: 3,

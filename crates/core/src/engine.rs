@@ -883,14 +883,38 @@ impl RepairEngine {
         let started = Instant::now();
         let mutations: Vec<Mutation> = mutations.into_iter().collect();
         let mut pending_deletes = std::collections::HashSet::new();
-        for mutation in &mutations {
-            match mutation {
-                Mutation::Insert(fact) => self.db.validate(fact)?,
-                Mutation::Delete(id) => {
-                    if !self.db.is_live(*id) || !pending_deletes.insert(*id) {
-                        return Err(cdr_repairdb::DbError::MissingFact(id.index()).into());
+        {
+            // Presence overlay simulating the batch: counts exactly how
+            // many fresh fact ids the batch will consume (a delete + re-
+            // insert of the same content consumes a new id), so a batch
+            // that would exhaust the id space is rejected before any of it
+            // is applied.
+            let mut overlay: HashMap<&cdr_repairdb::Fact, bool> = HashMap::new();
+            let mut fresh_ids: u64 = 0;
+            for mutation in &mutations {
+                match mutation {
+                    Mutation::Insert(fact) => {
+                        self.db.validate(fact)?;
+                        let present = overlay
+                            .get(fact)
+                            .copied()
+                            .unwrap_or_else(|| self.db.contains(fact));
+                        if !present {
+                            fresh_ids += 1;
+                            overlay.insert(fact, true);
+                        }
+                    }
+                    Mutation::Delete(id) => {
+                        if !self.db.is_live(*id) || !pending_deletes.insert(*id) {
+                            return Err(cdr_repairdb::DbError::MissingFact(id.index()).into());
+                        }
+                        overlay.insert(self.db.fact(*id), false);
                     }
                 }
+            }
+            let capacity = self.db.fact_id_capacity();
+            if u64::from(self.db.fact_ids_assigned()) + fresh_ids > u64::from(capacity) {
+                return Err(cdr_repairdb::DbError::FactIdsExhausted { capacity }.into());
             }
         }
         let mut report = MutationReport {

@@ -44,6 +44,8 @@ pub mod engine;
 pub mod approx;
 /// Exact counting algorithms.
 pub mod exact;
+/// The text wire format serving front ends parse into [`EngineCommand`]s.
+pub mod wire;
 
 pub use approx::{ApproxConfig, ApproxCount, FprasEstimator, KarpLubyEstimator};
 pub use certificates::{distinct_boxes, enumerate_certificates, Certificate, SelectorBox};
@@ -61,3 +63,4 @@ pub use exact::{
     count_by_boxes, count_by_enumeration, count_union_generic, count_union_of_boxes, GenericBox,
 };
 pub use frequency::{relative_frequency, relative_frequency_with};
+pub use wire::{parse_count_request, parse_engine_command, parse_mutation, WireError};

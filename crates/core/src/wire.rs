@@ -1,0 +1,404 @@
+//! The text wire format for [`EngineCommand`]s.
+//!
+//! The serving front end (`cdr-server`) speaks a line protocol: one
+//! command per line, one (or, for query batches, a framed sequence of)
+//! single-line replies back.  This module is the *parsing half* of that
+//! protocol, kept in `cdr-core` so any front end — TCP server, REPL,
+//! replay tool — turns wire lines into [`EngineCommand`]s with the same
+//! grammar:
+//!
+//! ```text
+//! INSERT <Relation>(<v1>, …, <vn>)      — add a fact
+//! DELETE <fact-id>                      — retract a fact by id
+//! COUNT <strategy> <query>              — exact repair count
+//! CERTAIN <query>                       — does every repair entail it?
+//! DECIDE <query>                        — does some repair entail it?
+//! FREQ <query>                          — relative frequency
+//! APPROX <epsilon> <delta> [seed] <query> — (ε, δ)-approximate count
+//! ```
+//!
+//! `<strategy>` is one of `auto`, `enumeration` (or `enum`), `boxes`
+//! (or `certificate-boxes`), `karp-luby`; verbs and strategy tokens are
+//! case-insensitive.  Queries use the [`cdr_query::parse_query`] syntax
+//! and extend to the end of the line.  Framing verbs (`BATCH`/`END`,
+//! `STATS`, `QUIT`, …) belong to the serving layer, which reports them
+//! here as [`WireError::UnknownVerb`] and handles them itself.
+//!
+//! ```
+//! use cdr_core::wire::parse_engine_command;
+//! use cdr_core::{EngineCommand, Semantics};
+//! use cdr_repairdb::{Database, Schema};
+//!
+//! let mut schema = Schema::new();
+//! schema.add_relation("Employee", 3).unwrap();
+//! let db = Database::new(schema);
+//!
+//! let command = parse_engine_command("INSERT Employee(1, 'Bob', 'HR')", &db).unwrap();
+//! assert!(matches!(command, EngineCommand::Mutate(_)));
+//!
+//! let command = parse_engine_command("COUNT auto EXISTS n, d . Employee(1, n, d)", &db).unwrap();
+//! match command {
+//!     EngineCommand::Query(request) => assert_eq!(request.semantics(), &Semantics::Exact),
+//!     other => panic!("expected a query, got {other:?}"),
+//! }
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use cdr_query::parse_query;
+use cdr_repairdb::{Database, FactId, Mutation};
+
+use crate::{CountError, CountRequest, EngineCommand, Strategy};
+
+/// Why a wire line did not parse into an [`EngineCommand`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// The line was blank or a `#` comment: nothing to execute.
+    Empty,
+    /// The first token is not a verb this module knows.  The serving
+    /// layer's own framing verbs (`BATCH`, `STATS`, …) land here.
+    UnknownVerb(String),
+    /// The verb was recognised but its operands were malformed.
+    Syntax {
+        /// The verb whose operands failed to parse.
+        verb: &'static str,
+        /// What was wrong with them.
+        message: String,
+    },
+    /// The strategy token of a `COUNT` line is not a known [`Strategy`].
+    UnknownStrategy(String),
+    /// The operands parsed but the underlying layer rejected them (e.g. a
+    /// fact over an unknown relation, or a malformed query).
+    Count(CountError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Empty => write!(f, "empty command line"),
+            WireError::UnknownVerb(verb) => write!(f, "unknown verb `{verb}`"),
+            WireError::Syntax { verb, message } => write!(f, "{verb}: {message}"),
+            WireError::UnknownStrategy(token) => write!(
+                f,
+                "unknown strategy `{token}` (expected auto, enumeration, boxes or karp-luby)"
+            ),
+            WireError::Count(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Count(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CountError> for WireError {
+    fn from(e: CountError) -> Self {
+        WireError::Count(e)
+    }
+}
+
+impl FromStr for Strategy {
+    type Err = WireError;
+
+    /// Parses a wire strategy token, case-insensitively.
+    fn from_str(token: &str) -> Result<Self, Self::Err> {
+        match token.to_ascii_lowercase().as_str() {
+            "auto" => Ok(Strategy::Auto),
+            "enumeration" | "enum" => Ok(Strategy::Enumeration),
+            "boxes" | "certificate-boxes" | "certificateboxes" => Ok(Strategy::CertificateBoxes),
+            "karp-luby" | "karpluby" => Ok(Strategy::KarpLuby),
+            _ => Err(WireError::UnknownStrategy(token.to_string())),
+        }
+    }
+}
+
+/// Splits a line into its verb and the rest (which may be empty).
+fn split_verb(line: &str) -> Result<(&str, &str), WireError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Err(WireError::Empty);
+    }
+    match line.split_once(char::is_whitespace) {
+        Some((verb, rest)) => Ok((verb, rest.trim())),
+        None => Ok((line, "")),
+    }
+}
+
+fn require_operand(verb: &'static str, rest: &str, what: &str) -> Result<(), WireError> {
+    if rest.is_empty() {
+        return Err(WireError::Syntax {
+            verb,
+            message: format!("missing {what}"),
+        });
+    }
+    Ok(())
+}
+
+/// Parses one `INSERT`/`DELETE` line into a [`Mutation`].
+///
+/// `INSERT` resolves the fact against `db`'s schema (the schema is fixed
+/// at engine construction, so parsing against any snapshot of the served
+/// database is safe); `DELETE` takes the decimal fact id — liveness is
+/// checked when the mutation is applied, not here.
+pub fn parse_mutation(line: &str, db: &Database) -> Result<Mutation, WireError> {
+    let (verb, rest) = split_verb(line)?;
+    match verb.to_ascii_uppercase().as_str() {
+        "INSERT" => {
+            require_operand("INSERT", rest, "fact (expected `INSERT Relation(v1, …)`)")?;
+            let fact = db.parse_fact(rest).map_err(CountError::from)?;
+            Ok(Mutation::Insert(fact))
+        }
+        "DELETE" => {
+            require_operand("DELETE", rest, "fact id (expected `DELETE <id>`)")?;
+            let id: u32 = rest.parse().map_err(|_| WireError::Syntax {
+                verb: "DELETE",
+                message: format!("`{rest}` is not a fact id"),
+            })?;
+            Ok(Mutation::Delete(FactId::new(id as usize)))
+        }
+        _ => Err(WireError::UnknownVerb(verb.to_string())),
+    }
+}
+
+/// Parses one `COUNT`/`CERTAIN`/`DECIDE`/`FREQ`/`APPROX` line into a
+/// [`CountRequest`].
+pub fn parse_count_request(line: &str) -> Result<CountRequest, WireError> {
+    let (verb, rest) = split_verb(line)?;
+    match verb.to_ascii_uppercase().as_str() {
+        "COUNT" => {
+            require_operand("COUNT", rest, "strategy and query")?;
+            let (token, query_text) =
+                rest.split_once(char::is_whitespace)
+                    .ok_or_else(|| WireError::Syntax {
+                        verb: "COUNT",
+                        message: "missing query (expected `COUNT <strategy> <query>`)".to_string(),
+                    })?;
+            let strategy: Strategy = token.parse()?;
+            let query = parse_query(query_text.trim()).map_err(CountError::from)?;
+            Ok(CountRequest::exact(query).with_strategy(strategy))
+        }
+        "CERTAIN" => {
+            require_operand("CERTAIN", rest, "query")?;
+            let query = parse_query(rest).map_err(CountError::from)?;
+            Ok(CountRequest::certain_answer(query))
+        }
+        "DECIDE" => {
+            require_operand("DECIDE", rest, "query")?;
+            let query = parse_query(rest).map_err(CountError::from)?;
+            Ok(CountRequest::decision(query))
+        }
+        "FREQ" => {
+            require_operand("FREQ", rest, "query")?;
+            let query = parse_query(rest).map_err(CountError::from)?;
+            Ok(CountRequest::frequency(query))
+        }
+        "APPROX" => {
+            require_operand("APPROX", rest, "epsilon, delta and query")?;
+            let (epsilon, rest) = next_token(rest);
+            let epsilon = parse_f64("APPROX", "epsilon", epsilon)?;
+            let (delta, rest) = next_token(rest);
+            let delta = parse_f64("APPROX", "delta", delta)?;
+            require_operand("APPROX", rest, "query")?;
+            // An optional integer seed may precede the query; queries never
+            // start with a bare integer token, so try-parsing is unambiguous.
+            let (first, tail) = next_token(rest);
+            let (seed, query_text) = match first.and_then(|t| t.parse::<u64>().ok()) {
+                Some(seed) if !tail.is_empty() => (Some(seed), tail),
+                _ => (None, rest),
+            };
+            require_operand("APPROX", query_text, "query")?;
+            let query = parse_query(query_text).map_err(CountError::from)?;
+            let mut request = CountRequest::approximate(query, epsilon, delta);
+            if let Some(seed) = seed {
+                request = request.with_seed(seed);
+            }
+            Ok(request)
+        }
+        _ => Err(WireError::UnknownVerb(verb.to_string())),
+    }
+}
+
+/// Splits off the next whitespace-delimited token, tolerating runs of
+/// whitespace (so `APPROX 0.25  0.1 TRUE` parses like the single-spaced
+/// form).  Returns `None` when the text is exhausted.
+fn next_token(text: &str) -> (Option<&str>, &str) {
+    let text = text.trim_start();
+    if text.is_empty() {
+        return (None, "");
+    }
+    match text.split_once(char::is_whitespace) {
+        Some((token, rest)) => (Some(token), rest.trim_start()),
+        None => (Some(text), ""),
+    }
+}
+
+fn parse_f64(verb: &'static str, what: &str, token: Option<&str>) -> Result<f64, WireError> {
+    let token = token.ok_or_else(|| WireError::Syntax {
+        verb,
+        message: format!("missing {what}"),
+    })?;
+    token.parse().map_err(|_| WireError::Syntax {
+        verb,
+        message: format!("`{token}` is not a valid {what}"),
+    })
+}
+
+/// Parses one wire line into an [`EngineCommand`]: a mutation verb
+/// (`INSERT`/`DELETE`) or a query verb (`COUNT`/`CERTAIN`/`DECIDE`/
+/// `FREQ`/`APPROX`).
+///
+/// Serving-layer framing verbs (`BATCH`, `END`, `STATS`, `QUIT`, …) come
+/// back as [`WireError::UnknownVerb`] so the caller can layer its own
+/// grammar on top.
+pub fn parse_engine_command(line: &str, db: &Database) -> Result<EngineCommand, WireError> {
+    let (verb, _) = split_verb(line)?;
+    match verb.to_ascii_uppercase().as_str() {
+        "INSERT" | "DELETE" => Ok(EngineCommand::Mutate(parse_mutation(line, db)?)),
+        "COUNT" | "CERTAIN" | "DECIDE" | "FREQ" | "APPROX" => {
+            Ok(EngineCommand::Query(parse_count_request(line)?))
+        }
+        _ => Err(WireError::UnknownVerb(verb.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Semantics;
+    use cdr_repairdb::Schema;
+
+    fn employee_db() -> Database {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let mut db = Database::new(schema);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        db
+    }
+
+    #[test]
+    fn mutations_parse() {
+        let db = employee_db();
+        let m = parse_mutation("INSERT Employee(2, 'Eve', 'IT')", &db).unwrap();
+        assert!(matches!(m, Mutation::Insert(_)));
+        let m = parse_mutation("delete 7", &db).unwrap();
+        assert_eq!(m, Mutation::Delete(FactId::new(7)));
+    }
+
+    #[test]
+    fn count_requests_parse_with_strategies_and_semantics() {
+        let q = "EXISTS n, d . Employee(1, n, d)";
+        let r = parse_count_request(&format!("COUNT enum {q}")).unwrap();
+        assert_eq!(r.semantics(), &Semantics::Exact);
+        assert_eq!(r.strategy(), Strategy::Enumeration);
+        let r = parse_count_request(&format!("COUNT boxes {q}")).unwrap();
+        assert_eq!(r.strategy(), Strategy::CertificateBoxes);
+        let r = parse_count_request(&format!("CERTAIN {q}")).unwrap();
+        assert_eq!(r.semantics(), &Semantics::CertainAnswer);
+        let r = parse_count_request(&format!("DECIDE {q}")).unwrap();
+        assert_eq!(r.semantics(), &Semantics::Decision);
+        let r = parse_count_request(&format!("FREQ {q}")).unwrap();
+        assert_eq!(r.semantics(), &Semantics::Frequency);
+        let r = parse_count_request(&format!("APPROX 0.25 0.1 42 {q}")).unwrap();
+        match r.semantics() {
+            Semantics::Approximate {
+                epsilon,
+                delta,
+                seed,
+            } => {
+                assert_eq!(*epsilon, 0.25);
+                assert_eq!(*delta, 0.1);
+                assert_eq!(*seed, 42);
+            }
+            other => panic!("expected approximate semantics, got {other:?}"),
+        }
+        // The seed is optional.
+        let r = parse_count_request(&format!("APPROX 0.25 0.1 {q}")).unwrap();
+        assert!(matches!(r.semantics(), Semantics::Approximate { .. }));
+        // Runs of whitespace between operands are tolerated, as in every
+        // other verb.
+        let r = parse_count_request(&format!("APPROX  0.25   0.1  7  {q}")).unwrap();
+        match r.semantics() {
+            Semantics::Approximate { seed, .. } => assert_eq!(*seed, 7),
+            other => panic!("expected approximate semantics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_commands_dispatch_by_verb() {
+        let db = employee_db();
+        assert!(matches!(
+            parse_engine_command("INSERT Employee(3, 'Ann', 'IT')", &db),
+            Ok(EngineCommand::Mutate(_))
+        ));
+        assert!(matches!(
+            parse_engine_command("FREQ Employee(1, 'Bob', 'HR')", &db),
+            Ok(EngineCommand::Query(_))
+        ));
+        assert!(matches!(
+            parse_engine_command("STATS", &db),
+            Err(WireError::UnknownVerb(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_report_what_went_wrong() {
+        let db = employee_db();
+        assert_eq!(parse_engine_command("", &db), Err(WireError::Empty));
+        assert_eq!(
+            parse_engine_command("   # comment", &db),
+            Err(WireError::Empty)
+        );
+        assert!(matches!(
+            parse_engine_command("INSERT", &db),
+            Err(WireError::Syntax { verb: "INSERT", .. })
+        ));
+        assert!(matches!(
+            parse_engine_command("DELETE not-a-number", &db),
+            Err(WireError::Syntax { verb: "DELETE", .. })
+        ));
+        assert!(matches!(
+            parse_engine_command("COUNT warp EXISTS n, d . Employee(1, n, d)", &db),
+            Err(WireError::UnknownStrategy(_))
+        ));
+        assert!(matches!(
+            parse_engine_command("COUNT auto", &db),
+            Err(WireError::Syntax { verb: "COUNT", .. })
+        ));
+        assert!(matches!(
+            parse_engine_command("APPROX zero 0.1 TRUE", &db),
+            Err(WireError::Syntax { verb: "APPROX", .. })
+        ));
+        assert!(matches!(
+            parse_engine_command("INSERT Unknown(1)", &db),
+            Err(WireError::Count(_))
+        ));
+        // Display strings mention the offending token.
+        let err = parse_engine_command("COUNT warp TRUE", &db).unwrap_err();
+        assert!(err.to_string().contains("warp"));
+        let err = parse_engine_command("NONSENSE", &db).unwrap_err();
+        assert!(err.to_string().contains("NONSENSE"));
+    }
+
+    #[test]
+    fn strategy_tokens_round_trip() {
+        for (token, expected) in [
+            ("auto", Strategy::Auto),
+            ("AUTO", Strategy::Auto),
+            ("enumeration", Strategy::Enumeration),
+            ("enum", Strategy::Enumeration),
+            ("boxes", Strategy::CertificateBoxes),
+            ("certificate-boxes", Strategy::CertificateBoxes),
+            ("karp-luby", Strategy::KarpLuby),
+            ("KarpLuby", Strategy::KarpLuby),
+        ] {
+            assert_eq!(token.parse::<Strategy>().unwrap(), expected, "{token}");
+        }
+        assert!("warp".parse::<Strategy>().is_err());
+    }
+}

@@ -109,6 +109,9 @@ pub struct Database {
     live_count: usize,
     dedup: HashMap<Fact, FactId>,
     by_relation: Vec<Vec<FactId>>,
+    /// How many ids may ever be assigned.  Ids are never reused, so this
+    /// caps *cumulative* inserts, not live facts; at most `u32::MAX`.
+    fact_id_capacity: u32,
 }
 
 impl Database {
@@ -122,7 +125,33 @@ impl Database {
             live_count: 0,
             dedup: HashMap::new(),
             by_relation,
+            fact_id_capacity: u32::MAX,
         }
+    }
+
+    /// Caps the number of fact ids this database may ever assign (clamped
+    /// to at most `u32::MAX`, the width of a [`FactId`]).
+    ///
+    /// Ids are never reused, so the cap bounds *cumulative* inserts over the
+    /// database's lifetime — a memory guardrail for long-lived serving
+    /// sessions.  Once the cap is reached, [`Database::insert`] and
+    /// [`Database::apply`] fail with [`DbError::FactIdsExhausted`] instead
+    /// of panicking, so a server can surface the condition as an error
+    /// reply and keep running.
+    pub fn with_fact_id_capacity(mut self, capacity: u32) -> Self {
+        self.fact_id_capacity = capacity;
+        self
+    }
+
+    /// The fact-id capacity: how many ids may ever be assigned.
+    pub fn fact_id_capacity(&self) -> u32 {
+        self.fact_id_capacity
+    }
+
+    /// How many fact ids have been assigned so far (live facts plus
+    /// tombstones): the portion of the id space already consumed.
+    pub fn fact_ids_assigned(&self) -> u32 {
+        self.facts.len() as u32
     }
 
     /// The schema of the database.
@@ -139,27 +168,28 @@ impl Database {
         if let Some(&id) = self.dedup.get(&fact) {
             return Ok(id);
         }
-        Ok(self.insert_new(fact))
+        self.insert_new(fact)
     }
 
     /// Appends a fact already known to be valid and absent (the caller has
     /// run [`Database::validate`] and checked the dedup index), so the hot
     /// mutation path hashes the fact only once more, for the index insert.
-    fn insert_new(&mut self, fact: Fact) -> FactId {
+    fn insert_new(&mut self, fact: Fact) -> Result<FactId, DbError> {
         // Ids are never reused (deletes tombstone their slot), so the id
-        // space is consumed by cumulative inserts; fail loudly instead of
-        // wrapping into a colliding id.
-        assert!(
-            self.facts.len() < u32::MAX as usize,
-            "fact-id space exhausted after 2^32 - 1 inserts; compact the database first"
-        );
+        // space is consumed by cumulative inserts; fail with an error the
+        // serving layer can report instead of wrapping into a colliding id.
+        if self.facts.len() >= self.fact_id_capacity as usize {
+            return Err(DbError::FactIdsExhausted {
+                capacity: self.fact_id_capacity,
+            });
+        }
         let id = FactId(self.facts.len() as u32);
         self.dedup.insert(fact.clone(), id);
         self.by_relation[fact.relation().index()].push(id);
         self.facts.push(fact);
         self.live.push(true);
         self.live_count += 1;
-        id
+        Ok(id)
     }
 
     /// Checks a fact against the schema (known relation, right arity)
@@ -217,7 +247,7 @@ impl Database {
                 if let Some(&id) = self.dedup.get(&fact) {
                     return Ok(AppliedMutation::AlreadyPresent { id });
                 }
-                let id = self.insert_new(fact.clone());
+                let id = self.insert_new(fact.clone())?;
                 Ok(AppliedMutation::Inserted { id, fact })
             }
             Mutation::Delete(id) => {
@@ -622,6 +652,31 @@ mod tests {
         let id = db.iter().next().unwrap().0;
         db.remove(id).unwrap();
         let _ = db.fact(id);
+    }
+
+    #[test]
+    fn fact_id_exhaustion_is_an_error_not_a_panic() {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let mut db = Database::new(schema).with_fact_id_capacity(2);
+        assert_eq!(db.fact_id_capacity(), 2);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        let id = db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+        assert_eq!(db.fact_ids_assigned(), 2);
+        // A duplicate insert is still a no-op, not an exhaustion error.
+        assert!(db.insert_parsed("Employee(1, 'Bob', 'HR')").is_ok());
+        // A fresh insert fails loudly and leaves the database unchanged.
+        let err = db.insert_parsed("Employee(2, 'Eve', 'IT')").unwrap_err();
+        assert_eq!(err, DbError::FactIdsExhausted { capacity: 2 });
+        assert_eq!(db.len(), 2);
+        // Deletes do not reclaim id space: the next insert still fails.
+        db.remove(id).unwrap();
+        let fact = db.parse_fact("Employee(1, 'Bob', 'IT')").unwrap();
+        assert!(matches!(
+            db.apply(Mutation::Insert(fact)),
+            Err(DbError::FactIdsExhausted { .. })
+        ));
+        assert_eq!(db.fact_ids_assigned(), 2);
     }
 
     #[test]

@@ -39,6 +39,15 @@ pub enum DbError {
     /// A deletion named a fact id that was never assigned or is already
     /// tombstoned.
     MissingFact(usize),
+    /// An insertion would exceed the database's fact-id capacity.  Ids are
+    /// never reused (deletes tombstone their slot), so the id space is
+    /// consumed by *cumulative* inserts; a long-lived session that hits the
+    /// cap must compact the database (or restart from its live facts)
+    /// before inserting again.
+    FactIdsExhausted {
+        /// The configured capacity (at most `u32::MAX`).
+        capacity: u32,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -77,6 +86,13 @@ impl fmt::Display for DbError {
                     "fact id {id} is not live (never assigned or already deleted)"
                 )
             }
+            DbError::FactIdsExhausted { capacity } => {
+                write!(
+                    f,
+                    "fact-id space exhausted after {capacity} cumulative inserts; \
+                     compact the database before inserting again"
+                )
+            }
         }
     }
 }
@@ -112,6 +128,7 @@ mod tests {
             (DbError::Parse("bad token".into()), "bad token"),
             (DbError::ZeroArity("W".into()), "W"),
             (DbError::MissingFact(7), "7"),
+            (DbError::FactIdsExhausted { capacity: 12 }, "12"),
         ];
         for (err, needle) in cases {
             assert!(

@@ -1,0 +1,106 @@
+//! `cdr-replay`: replay the deterministic `serving_session` trace against
+//! a running `cdr-serve` and verify every reply — the CI smoke client.
+//!
+//! Boot the server on the matching base database first:
+//!
+//! ```text
+//! cdr-serve --addr 127.0.0.1:7878 --scenario serving --sensors 6 --ticks 3 &
+//! cdr-replay --addr 127.0.0.1:7878 --sensors 6 --ticks 3 --ops 60 --shutdown
+//! ```
+//!
+//! Exits 0 iff every trace line drew an `OK` reply (the trace is valid by
+//! construction against the matching base).  `--shutdown` additionally
+//! sends `SHUTDOWN` so the server drains and exits 0 itself.
+
+use std::process::exit;
+
+use cdr_server::client::Client;
+use cdr_workloads::serving_session;
+
+const USAGE: &str = "\
+cdr-replay — serving-session smoke client
+
+USAGE:
+  cdr-replay --addr <host:port> [--sensors <n>] [--ticks <n>] [--ops <n>] [--shutdown]
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("cdr-replay: {message}");
+    eprintln!("{USAGE}");
+    exit(2)
+}
+
+fn main() {
+    let mut addr = String::new();
+    let mut sensors = 6usize;
+    let mut ticks = 3usize;
+    let mut ops = 60usize;
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0)
+            }
+            "--addr" => addr = value(),
+            "--sensors" => sensors = parse(&value()),
+            "--ticks" => ticks = parse(&value()),
+            "--ops" => ops = parse(&value()),
+            "--shutdown" => shutdown = true,
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    if addr.is_empty() {
+        fail("--addr is required");
+    }
+
+    let (_db, _keys, trace) = serving_session(sensors, ticks, ops);
+    let mut client = match Client::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cdr-replay: cannot connect to {addr}: {e}");
+            exit(1)
+        }
+    };
+    let mut ok = 0usize;
+    for line in &trace {
+        match client.send(line) {
+            Ok(reply) if reply.starts_with("OK ") => ok += 1,
+            Ok(reply) => {
+                eprintln!("cdr-replay: line `{line}` drew `{reply}`");
+                exit(1)
+            }
+            Err(e) => {
+                eprintln!("cdr-replay: io error on `{line}`: {e}");
+                exit(1)
+            }
+        }
+    }
+    println!(
+        "cdr-replay: {ok}/{} trace lines OK against {addr}",
+        trace.len()
+    );
+    if shutdown {
+        match client.send("SHUTDOWN") {
+            Ok(reply) if reply == "OK SHUTDOWN" => println!("cdr-replay: server shutting down"),
+            Ok(reply) => {
+                eprintln!("cdr-replay: SHUTDOWN drew `{reply}`");
+                exit(1)
+            }
+            Err(e) => {
+                eprintln!("cdr-replay: io error on SHUTDOWN: {e}");
+                exit(1)
+            }
+        }
+    }
+}
+
+fn parse(text: &str) -> usize {
+    text.parse()
+        .unwrap_or_else(|_| fail(&format!("`{text}` is not a number")))
+}

@@ -1,0 +1,87 @@
+//! A minimal blocking client for the line protocol, used by the
+//! integration tests, the `cdr-replay` smoke binary and the examples.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a `cdr-server`.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects, with a 30-second read timeout so a wedged server fails a
+    /// test instead of hanging it.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends one command line (the newline is added here).
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")
+    }
+
+    /// Sends raw bytes verbatim — for tests exercising partial writes and
+    /// malformed framing.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads one reply line (newline stripped).  EOF is an error: the
+    /// protocol always replies to a command unless the peer vanished.
+    pub fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends one command and reads its single-line reply.
+    pub fn send(&mut self, line: &str) -> io::Result<String> {
+        self.send_line(line)?;
+        self.read_line()
+    }
+
+    /// Sends a `BATCH … END` and reads the framed replies: the header
+    /// line first, then — when the header is `OK BATCH <n>` — the `n`
+    /// per-item lines.  An error or busy reply comes back as the single
+    /// header line.
+    pub fn send_batch(&mut self, items: &[&str]) -> io::Result<Vec<String>> {
+        self.send_line("BATCH")?;
+        for item in items {
+            self.send_line(item)?;
+        }
+        self.send_line("END")?;
+        let header = self.read_line()?;
+        let mut replies = vec![header];
+        if let Some(n) = replies[0]
+            .strip_prefix("OK BATCH ")
+            .and_then(|rest| rest.parse::<usize>().ok())
+        {
+            for _ in 0..n {
+                replies.push(self.read_line()?);
+            }
+        }
+        Ok(replies)
+    }
+
+    /// The underlying stream (for shutdown/linger tweaks in tests).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}

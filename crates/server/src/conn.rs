@@ -1,0 +1,209 @@
+//! One TCP connection: a bounded line reader and the command loop.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+
+use crate::scheduler::Shared;
+use crate::session::{Session, Step};
+
+/// What one attempt to pull a line produced.
+pub(crate) enum ReadLine {
+    /// A complete line (newline stripped, `\r\n` tolerated, lossy UTF-8).
+    Line(String),
+    /// A line longer than the configured cap was discarded up to its
+    /// newline; the protocol continues at the next line.
+    TooLong,
+    /// The read timed out (poll tick) — check for shutdown and retry.
+    Timeout,
+    /// The peer closed the connection.
+    Eof,
+}
+
+/// Accumulates socket reads and hands lines out one at a time, discarding
+/// overlong lines instead of buffering them without bound.
+pub(crate) struct LineReader {
+    pending: Vec<u8>,
+    discarding: bool,
+}
+
+impl LineReader {
+    pub(crate) fn new() -> Self {
+        LineReader {
+            pending: Vec::new(),
+            discarding: false,
+        }
+    }
+
+    pub(crate) fn read_line(
+        &mut self,
+        stream: &mut impl Read,
+        max_line_bytes: usize,
+    ) -> io::Result<ReadLine> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                if self.discarding || line.len() > max_line_bytes {
+                    self.discarding = false;
+                    return Ok(ReadLine::TooLong);
+                }
+                return Ok(ReadLine::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            if self.pending.len() > max_line_bytes {
+                // Too much data without a newline: drop what we have and
+                // skip ahead to the next line boundary.
+                self.pending.clear();
+                self.discarding = true;
+            }
+            let mut buf = [0u8; 4096];
+            match stream.read(&mut buf) {
+                Ok(0) => return Ok(ReadLine::Eof),
+                Ok(n) if self.discarding => {
+                    if let Some(pos) = buf[..n].iter().position(|&b| b == b'\n') {
+                        self.pending.extend_from_slice(&buf[pos..n]);
+                    }
+                }
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(ReadLine::Timeout)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+pub(crate) fn write_lines(stream: &mut TcpStream, lines: &[String]) -> io::Result<()> {
+    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for line in lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    stream.write_all(out.as_bytes())
+}
+
+/// Serves one connection to completion (peer quit/disconnect or server
+/// shutdown).  Panics unwind to the worker, which counts and recovers.
+pub(crate) fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let max_line_bytes = shared.config.max_line_bytes;
+    let mut reader = LineReader::new();
+    let mut session = Session::new();
+    loop {
+        if shared.shutting_down() {
+            break;
+        }
+        match reader.read_line(&mut stream, max_line_bytes) {
+            Ok(ReadLine::Line(line)) => {
+                shared.commands.fetch_add(1, Ordering::Relaxed);
+                match session.feed(shared, &line) {
+                    Step::Silent => {}
+                    Step::Replies(replies) => {
+                        if write_lines(&mut stream, &replies).is_err() {
+                            break;
+                        }
+                    }
+                    Step::Quit(reply) => {
+                        let _ = write_lines(&mut stream, &[reply]);
+                        break;
+                    }
+                    Step::Shutdown(reply) => {
+                        let _ = write_lines(&mut stream, &[reply]);
+                        shared.begin_shutdown();
+                        break;
+                    }
+                }
+            }
+            Ok(ReadLine::TooLong) => {
+                let reply = format!("ERR LINE line exceeds {max_line_bytes} bytes; discarded");
+                if write_lines(&mut stream, &[reply]).is_err() {
+                    break;
+                }
+            }
+            Ok(ReadLine::Timeout) => continue,
+            Ok(ReadLine::Eof) | Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader fed from a script of chunks, then EOF.
+    struct Chunks(Vec<Vec<u8>>);
+
+    impl Read for Chunks {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.0.is_empty() {
+                return Ok(0);
+            }
+            let chunk = self.0.remove(0);
+            assert!(chunk.len() <= buf.len(), "test chunks fit the buffer");
+            buf[..chunk.len()].copy_from_slice(&chunk);
+            Ok(chunk.len())
+        }
+    }
+
+    fn lines_of(mut source: Chunks, max: usize) -> Vec<ReadLine> {
+        let mut reader = LineReader::new();
+        let mut out = Vec::new();
+        loop {
+            match reader.read_line(&mut source, max).unwrap() {
+                ReadLine::Eof => return out,
+                step => out.push(step),
+            }
+        }
+    }
+
+    #[test]
+    fn split_writes_reassemble_into_lines() {
+        let source = Chunks(vec![
+            b"STA".to_vec(),
+            b"TS\r\nCOUNT auto ".to_vec(),
+            b"TRUE\nQ".to_vec(),
+            b"UIT\n".to_vec(),
+        ]);
+        let lines = lines_of(source, 1024);
+        let texts: Vec<&str> = lines
+            .iter()
+            .map(|l| match l {
+                ReadLine::Line(s) => s.as_str(),
+                _ => panic!("expected only complete lines"),
+            })
+            .collect();
+        assert_eq!(texts, ["STATS", "COUNT auto TRUE", "QUIT"]);
+    }
+
+    #[test]
+    fn overlong_lines_are_discarded_not_buffered() {
+        let mut source = vec![b"x".repeat(4096); 3];
+        source.push(b"tail\nSTATS\n".to_vec());
+        let lines = lines_of(Chunks(source), 1000);
+        assert!(matches!(lines[0], ReadLine::TooLong));
+        match &lines[1] {
+            ReadLine::Line(s) => assert_eq!(s, "STATS"),
+            _ => panic!("the protocol resumes on the next line"),
+        }
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn non_utf8_bytes_survive_lossily() {
+        let source = Chunks(vec![vec![0xFF, 0xFE, b'A', b'\n']]);
+        let lines = lines_of(source, 1024);
+        match &lines[0] {
+            ReadLine::Line(s) => assert!(s.ends_with('A')),
+            _ => panic!("lossy decoding still yields a line"),
+        }
+    }
+}

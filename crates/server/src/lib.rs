@@ -1,0 +1,123 @@
+//! The serving front end: a line-protocol TCP server over the
+//! [`RepairEngine`](cdr_core::RepairEngine) command API.
+//!
+//! PR 2 made [`EngineCommand`](cdr_core::EngineCommand) /
+//! [`EngineResponse`](cdr_core::EngineResponse) *be* the protocol; this
+//! crate adds the network loop that speaks it.  Clients connect over TCP
+//! and send one command per line in the [`cdr_core::wire`] grammar
+//! (`INSERT`, `DELETE`, `COUNT`, `CERTAIN`, `DECIDE`, `FREQ`, `APPROX`)
+//! plus the serving-layer framing this crate defines (`BATCH … END`,
+//! `STATS`, `SLEEP`, `QUIT`, `SHUTDOWN`); the server streams single-line
+//! replies back (`OK …` on success, `ERR <code> <message>` on failure).
+//!
+//! # The scheduler
+//!
+//! The engine answers queries through `&self` but applies mutations
+//! through `&mut self`, so the serving loop's real job is the scheduler
+//! around that barrier.  This crate uses an
+//! [`RwLock<RepairEngine>`](std::sync::RwLock): queries run concurrently
+//! under read guards, and a mutation's write guard *drains* all in-flight
+//! queries and applies atomically.  The alternative — an mpsc command
+//! actor owning the engine on one thread — was rejected because it
+//! serialises queries too: the engine's whole design (generation-stamped
+//! shared plan cache, `Send + Sync` reports) exists so concurrent readers
+//! scale, and an actor would also add a per-command channel hop on the
+//! hot read path.  The costs of the lock — writer starvation under heavy
+//! read load and poisoning on a panicking holder — are bounded here by
+//! keeping guard scopes to a single command and by recovering poisoned
+//! guards (a panicking handler cannot leave the engine mid-mutation
+//! unless the engine itself panicked inside `apply`, which the fact-id
+//! exhaustion fix removed the last known cause of).
+//!
+//! `BATCH` fan-outs (which occupy engine worker threads, not just a
+//! guard) are admitted through a bounded permit pool: when every permit
+//! is in use the server answers `ERR BUSY SERVER BUSY …` immediately
+//! instead of buffering without bound.  Connections are thread-per-
+//! connection over a bounded worker pool: a worker serves one connection
+//! for its whole lifetime, up to `backlog` further connections wait for
+//! a free worker, and arrivals beyond that are answered
+//! `ERR BUSY SERVER BUSY …` and closed.
+//!
+//! # In-process use
+//!
+//! [`Server::start`] boots a server on any listener address (port 0
+//! picks an ephemeral port) and returns a handle; [`client::Client`] is
+//! a minimal blocking client used by the integration tests and the
+//! `cdr-replay` smoke binary.  [`Oracle`] executes the same wire lines
+//! against a bare engine with the same parsing and rendering code and no
+//! sockets or scheduler — the single-threaded replay that concurrency
+//! tests compare server replies against, line for line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod conn;
+mod reply;
+mod scheduler;
+mod server;
+mod session;
+
+pub use reply::{error_code, render_count_error, render_wire_error};
+pub use server::{Server, ServerStats};
+pub use session::Oracle;
+
+use std::time::Duration;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Size of the connection worker pool (thread-per-connection, at most
+    /// this many concurrent connections are served).
+    pub workers: usize,
+    /// Bounded accept backlog.  While every worker is occupied (a worker
+    /// serves one connection for its whole lifetime), up to this many
+    /// accepted connections wait silently for a free worker; connections
+    /// beyond that are answered `ERR BUSY SERVER BUSY …` and closed
+    /// instead of queueing without bound.  Size `workers` for the
+    /// long-lived sessions you expect and `backlog` for tolerable
+    /// wait-queue depth.
+    pub backlog: usize,
+    /// Number of `BATCH` query fan-outs that may run concurrently; further
+    /// batches are refused with `ERR BUSY SERVER BUSY …` until a permit
+    /// frees up.
+    pub batch_permits: usize,
+    /// Longest accepted command line in bytes; longer lines are discarded
+    /// up to their newline and answered `ERR LINE …`.
+    pub max_line_bytes: usize,
+    /// Most commands a single `BATCH … END` may carry.
+    pub max_batch_commands: usize,
+    /// Socket read poll interval: how quickly an idle connection notices
+    /// a server shutdown.
+    pub poll_interval: Duration,
+    /// Enables the chaos verbs (`PANIC`) used by the crash-recovery
+    /// regression tests.  Never enable in production.
+    pub chaos: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            backlog: 16,
+            batch_permits: 2,
+            max_line_bytes: 64 * 1024,
+            max_batch_commands: 4096,
+            poll_interval: Duration::from_millis(100),
+            chaos: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config bound to the given address, otherwise default.
+    pub fn bind(addr: impl Into<String>) -> Self {
+        ServerConfig {
+            addr: addr.into(),
+            ..ServerConfig::default()
+        }
+    }
+}

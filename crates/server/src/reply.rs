@@ -1,0 +1,185 @@
+//! Rendering engine results and errors as single-line wire replies.
+//!
+//! Replies are deterministic functions of the engine's state and the
+//! command sequence — durations and other wall-clock provenance never
+//! appear on the wire — so a concurrent server session can be checked
+//! reply-for-reply against an [`Oracle`](crate::Oracle) replay.
+
+use cdr_core::{
+    Answer, CountError, CountReport, MutationReport, RepairEngine, Semantics, WireError,
+};
+use cdr_num::BigNat;
+use cdr_repairdb::{DbError, FactId};
+
+/// Collapses an error message onto one bounded line so a multi-line or
+/// hostile message cannot break the line protocol.
+fn single_line(message: &str) -> String {
+    let mut out: String = message
+        .chars()
+        .map(|c| if c.is_control() { ' ' } else { c })
+        .collect();
+    const MAX: usize = 300;
+    if out.chars().count() > MAX {
+        out = out.chars().take(MAX).collect::<String>() + "…";
+    }
+    out
+}
+
+/// The wire error code of a counting-layer error.
+pub fn error_code(error: &CountError) -> &'static str {
+    match error {
+        CountError::Query(_) => "QUERY",
+        CountError::Db(db) => match db {
+            DbError::UnknownRelation(_) => "RELATION",
+            DbError::ArityMismatch { .. } => "ARITY",
+            DbError::MissingFact(_) => "MISSING",
+            DbError::FactIdsExhausted { .. } => "EXHAUSTED",
+            DbError::Parse(_) => "PARSE",
+            _ => "DB",
+        },
+        CountError::ExactBudgetExceeded { .. } => "BUDGET",
+        CountError::InvalidApproxParameter(_) => "APPROX",
+        CountError::UnsupportedStrategy { .. } => "STRATEGY",
+    }
+}
+
+/// Renders a counting-layer error as an `ERR <code> <message>` reply.
+pub fn render_count_error(error: &CountError) -> String {
+    format!(
+        "ERR {} {}",
+        error_code(error),
+        single_line(&error.to_string())
+    )
+}
+
+/// Renders a wire parse error as an `ERR <code> <message>` reply.
+pub fn render_wire_error(error: &WireError) -> String {
+    let code = match error {
+        WireError::Empty => "EMPTY",
+        WireError::UnknownVerb(_) => "UNKNOWN",
+        WireError::Syntax { .. } | WireError::UnknownStrategy(_) => "PARSE",
+        WireError::Count(inner) => error_code(inner),
+    };
+    format!("ERR {code} {}", single_line(&error.to_string()))
+}
+
+/// The `SERVER BUSY` backpressure reply.
+pub(crate) fn busy(what: &str) -> String {
+    format!("ERR BUSY SERVER BUSY: {what}")
+}
+
+pub(crate) fn render_report(semantics: &Semantics, report: &CountReport) -> String {
+    let provenance = format!(
+        "strategy={:?} cached={} gen={}",
+        report.strategy,
+        u8::from(report.plan_cached),
+        report.generation
+    );
+    match (semantics, &report.answer) {
+        (Semantics::Exact, Answer::Count(count)) => format!("OK COUNT {count} {provenance}"),
+        (Semantics::Decision, Answer::Decision(holds)) => {
+            format!("OK DECIDE {holds} {provenance}")
+        }
+        (Semantics::CertainAnswer, Answer::Decision(holds)) => {
+            format!("OK CERTAIN {holds} {provenance}")
+        }
+        (Semantics::Frequency, Answer::Frequency(ratio)) => {
+            format!("OK FREQ {ratio} {provenance}")
+        }
+        (Semantics::Approximate { .. }, Answer::Estimate(estimate)) => format!(
+            "OK APPROX {} samples={}/{} exact={} {provenance}",
+            estimate.estimate,
+            report.samples_used,
+            report.samples_requested,
+            u8::from(estimate.exact),
+        ),
+        // The engine always pairs semantics with the matching answer kind;
+        // render something inspectable rather than panicking a worker.
+        (_, answer) => format!("OK ANSWER {answer:?} {provenance}"),
+    }
+}
+
+pub(crate) fn render_insert(
+    id: FactId,
+    applied: bool,
+    report: &MutationReport,
+    total: &BigNat,
+) -> String {
+    format!(
+        "OK INSERT id={} applied={} gen={} total={total}",
+        id.index(),
+        u8::from(applied),
+        report.generation
+    )
+}
+
+pub(crate) fn render_delete(id: FactId, report: &MutationReport, total: &BigNat) -> String {
+    format!(
+        "OK DELETE id={} gen={} total={total}",
+        id.index(),
+        report.generation
+    )
+}
+
+pub(crate) fn render_batch_mutation(report: &MutationReport, total: &BigNat) -> String {
+    format!(
+        "OK BATCH applied={} noops={} gen={} total={total}",
+        report.applied, report.noops, report.generation
+    )
+}
+
+pub(crate) fn render_stats(engine: &RepairEngine) -> String {
+    let db = engine.database();
+    let blocks = engine.blocks();
+    format!(
+        "OK STATS facts={} ids={} blocks={} conflicts={} total={} gen={} | {}",
+        db.len(),
+        db.fact_ids_assigned(),
+        blocks.len(),
+        blocks.conflicting_block_count(),
+        engine.total_repairs(),
+        engine.generation(),
+        engine.cache_stats()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdr_query::QueryError;
+
+    #[test]
+    fn error_replies_carry_codes_and_stay_on_one_line() {
+        let err = CountError::Db(DbError::FactIdsExhausted { capacity: 9 });
+        let line = render_count_error(&err);
+        assert!(line.starts_with("ERR EXHAUSTED "), "{line}");
+        assert!(!line.contains('\n'));
+
+        let err = CountError::Query(QueryError::Parse("bad\nmulti\nline".into()));
+        let line = render_count_error(&err);
+        assert!(line.starts_with("ERR QUERY "), "{line}");
+        assert!(!line.contains('\n'), "{line}");
+
+        let err = WireError::UnknownVerb("NONSENSE".into());
+        let line = render_wire_error(&err);
+        assert!(line.starts_with("ERR UNKNOWN "), "{line}");
+
+        let long = "x".repeat(1000);
+        let err = WireError::Syntax {
+            verb: "INSERT",
+            message: long,
+        };
+        let line = render_wire_error(&err);
+        assert!(
+            line.len() < 400,
+            "long messages are truncated: {}",
+            line.len()
+        );
+    }
+
+    #[test]
+    fn busy_replies_name_server_busy() {
+        let line = busy("batch queue full");
+        assert!(line.starts_with("ERR BUSY SERVER BUSY"), "{line}");
+    }
+}

@@ -1,0 +1,132 @@
+//! The shared serving state: the engine behind its read/write lock, the
+//! bounded batch-permit pool, shutdown signalling and counters.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Duration;
+
+use cdr_core::RepairEngine;
+
+use crate::session::EngineHost;
+use crate::ServerConfig;
+
+/// Everything worker threads share.
+///
+/// The engine sits behind an [`RwLock`]: queries take read guards and run
+/// concurrently; a mutation's write guard drains every in-flight query and
+/// applies atomically (the engine's `&mut self` mutation barrier, realised
+/// at the network layer).  Both guard helpers *recover* from poisoning —
+/// a panicking handler is caught by its worker, counted, and must not
+/// wedge the whole server.  Recovery is sound because handlers only panic
+/// outside engine mutation paths (the engine's own `apply` returns errors
+/// rather than panicking since the fact-id exhaustion fix), so a poisoned
+/// lock still guards a consistent engine.
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    engine: RwLock<RepairEngine>,
+    /// Remaining `BATCH` fan-out permits (see [`ServerConfig::batch_permits`]).
+    batch_permits: Mutex<usize>,
+    shutdown: AtomicBool,
+    /// Where the accept loop listens — used to wake it on shutdown.
+    addr: SocketAddr,
+    pub(crate) connections: AtomicU64,
+    pub(crate) commands: AtomicU64,
+    pub(crate) busy_rejections: AtomicU64,
+    pub(crate) recovered_panics: AtomicU64,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Shared {
+    pub(crate) fn new(engine: RepairEngine, config: ServerConfig, addr: SocketAddr) -> Self {
+        Shared {
+            batch_permits: Mutex::new(config.batch_permits),
+            config,
+            engine: RwLock::new(engine),
+            shutdown: AtomicBool::new(false),
+            addr,
+            connections: AtomicU64::new(0),
+            commands: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            recovered_panics: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flags shutdown and pokes the accept loop awake with a throwaway
+    /// connection so it notices without waiting for outside traffic.
+    pub(crate) fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // An unspecified bind address (0.0.0.0 / ::) is not connectable on
+        // every platform; the loopback of the same family always reaches
+        // the listener.
+        let mut addr = self.addr;
+        if addr.ip().is_unspecified() {
+            addr.set_ip(match addr {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+    }
+}
+
+/// Puts a taken batch permit back even if the batch panics.
+struct PermitGuard<'a>(&'a Mutex<usize>);
+
+impl Drop for PermitGuard<'_> {
+    fn drop(&mut self) {
+        *lock(self.0) += 1;
+    }
+}
+
+impl EngineHost for Shared {
+    fn with_read<R>(&self, f: impl FnOnce(&RepairEngine) -> R) -> R {
+        let guard = self
+            .engine
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        f(&guard)
+    }
+
+    fn with_write<R>(&self, f: impl FnOnce(&mut RepairEngine) -> R) -> R {
+        let mut guard = self
+            .engine
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        f(&mut guard)
+    }
+
+    fn with_batch_permit<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
+        {
+            let mut permits = lock(&self.batch_permits);
+            if *permits == 0 {
+                self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            *permits -= 1;
+        }
+        let guard = PermitGuard(&self.batch_permits);
+        let result = f();
+        drop(guard);
+        Some(result)
+    }
+
+    fn chaos(&self) -> bool {
+        self.config.chaos
+    }
+
+    fn max_batch_commands(&self) -> usize {
+        self.config.max_batch_commands
+    }
+}

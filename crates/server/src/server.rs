@@ -1,0 +1,193 @@
+//! The listener: a bounded worker pool serving thread-per-connection.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use cdr_core::RepairEngine;
+
+use crate::conn::handle_connection;
+use crate::scheduler::Shared;
+use crate::{reply, ServerConfig};
+
+/// Counters a [`Server`] accumulates over its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted (including ones refused for backlog overflow).
+    pub connections: u64,
+    /// Command lines received across all connections.
+    pub commands: u64,
+    /// `SERVER BUSY` replies sent (batch permits or backlog exhausted).
+    pub busy_rejections: u64,
+    /// Worker panics caught and recovered from.
+    pub recovered_panics: u64,
+}
+
+/// The bounded queue of accepted connections awaiting a worker.
+#[derive(Default)]
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+/// A running line-protocol server over one [`RepairEngine`].
+///
+/// ```no_run
+/// use cdr_core::RepairEngine;
+/// use cdr_server::{client::Client, Server, ServerConfig};
+/// use cdr_workloads::employee_example;
+///
+/// let (db, keys) = employee_example();
+/// let server = Server::start(RepairEngine::new(db, keys), ServerConfig::default()).unwrap();
+/// let mut client = Client::connect(server.addr()).unwrap();
+/// let reply = client.send("COUNT auto EXISTS n . Employee(2, n, 'IT')").unwrap();
+/// assert!(reply.starts_with("OK COUNT 4 "));
+/// server.shutdown();
+/// server.join();
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` (port 0 picks an ephemeral port), spawns the
+    /// worker pool and the accept loop, and returns the running server.
+    pub fn start(engine: RepairEngine, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let worker_count = config.workers.max(1);
+        let shared = Arc::new(Shared::new(engine, config, addr));
+        let queue = Arc::new(ConnQueue::default());
+
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("cdr-server-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &queue))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("cdr-server-accept".to_string())
+                .spawn(move || accept_loop(&shared, &queue, listener))
+                .expect("spawning the accept thread")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            commands: self.shared.commands.load(Ordering::Relaxed),
+            busy_rejections: self.shared.busy_rejections.load(Ordering::Relaxed),
+            recovered_panics: self.shared.recovered_panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Initiates shutdown: the accept loop stops, workers drain their
+    /// queue and idle connections close at the next poll tick.  Clients
+    /// can trigger the same path with the `SHUTDOWN` command.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for every server thread to exit and returns the final
+    /// counters.  Call [`Server::shutdown`] (or have a client send
+    /// `SHUTDOWN`) first, or this blocks until one does.
+    pub fn join(mut self) -> ServerStats {
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.stats()
+    }
+}
+
+fn accept_loop(shared: &Shared, queue: &ConnQueue, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let mut q = queue
+            .queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if q.len() >= shared.config.backlog {
+            drop(q);
+            shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = stream.write_all(
+                format!("{}\n", reply::busy("connection backlog full, retry later")).as_bytes(),
+            );
+            continue;
+        }
+        q.push_back(stream);
+        drop(q);
+        queue.ready.notify_one();
+    }
+    queue.ready.notify_all();
+}
+
+fn worker_loop(shared: &Shared, queue: &ConnQueue) {
+    loop {
+        let job = {
+            let mut q = queue
+                .queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            loop {
+                if let Some(stream) = q.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                // A timed wait doubles as the shutdown poll, so workers
+                // never need an explicit wake-up to exit.
+                let (guard, _) = queue
+                    .ready
+                    .wait_timeout(q, shared.config.poll_interval)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                q = guard;
+            }
+        };
+        let Some(stream) = job else { break };
+        // A panicking handler loses its connection, never its worker: the
+        // panic is counted, the engine lock is poison-recovered by the
+        // next guard, and the worker moves on to the next connection.
+        let caught = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, stream)));
+        if caught.is_err() {
+            shared.recovered_panics.fetch_add(1, Ordering::Relaxed);
+            eprintln!("cdr-server: worker recovered from a connection handler panic");
+        }
+    }
+}

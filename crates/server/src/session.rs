@@ -1,0 +1,460 @@
+//! One protocol session: the line-at-a-time state machine shared by the
+//! live TCP connection handler and the single-threaded [`Oracle`] replay.
+//!
+//! Keeping the server and the oracle on literally the same parsing,
+//! scheduling-surface and rendering code is what makes the concurrency
+//! tests meaningful: a socket reply can be compared byte-for-byte against
+//! the oracle's reply for the same command sequence.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use cdr_core::{wire, CountRequest, EngineCommand, RepairEngine, WireError};
+use cdr_repairdb::{Database, Mutation};
+
+use crate::reply;
+
+/// Longest `SLEEP` a client may request, in milliseconds (the verb exists
+/// for diagnostics and backpressure tests, not for parking workers).
+const MAX_SLEEP_MS: u64 = 5_000;
+
+/// How a [`Session`] reaches the engine.  The live server implements this
+/// over an `RwLock` plus a bounded batch-permit pool; the [`Oracle`]
+/// implements it over a bare engine with admission always granted.
+pub(crate) trait EngineHost {
+    /// Runs `f` under shared (query) access.
+    fn with_read<R>(&self, f: impl FnOnce(&RepairEngine) -> R) -> R;
+    /// Runs `f` under exclusive (mutation) access.
+    fn with_write<R>(&self, f: impl FnOnce(&mut RepairEngine) -> R) -> R;
+    /// Runs `f` while holding a batch fan-out permit, or returns `None`
+    /// immediately when every permit is in use (the `SERVER BUSY` path).
+    fn with_batch_permit<R>(&self, f: impl FnOnce() -> R) -> Option<R>;
+    /// Whether the chaos verbs are enabled.
+    fn chaos(&self) -> bool;
+    /// Most commands one `BATCH … END` may carry.
+    fn max_batch_commands(&self) -> usize;
+}
+
+/// What one fed line produced.
+#[derive(Debug)]
+pub(crate) enum Step {
+    /// Nothing to send (blank lines, comments, open-batch collection).
+    Silent,
+    /// One or more reply lines to send, in order.
+    Replies(Vec<String>),
+    /// Send the line, then close this connection.
+    Quit(String),
+    /// Send the line, close this connection, and shut the server down.
+    Shutdown(String),
+}
+
+/// One item of a query `BATCH`.
+enum BatchItem {
+    Request(CountRequest),
+    Sleep(u64),
+}
+
+/// The per-connection protocol state machine.
+#[derive(Default)]
+pub(crate) struct Session {
+    /// Collected lines of an open `BATCH … END`, if one is open.
+    batch: Option<Vec<String>>,
+}
+
+impl Session {
+    pub(crate) fn new() -> Self {
+        Session::default()
+    }
+
+    /// Feeds one decoded line and says what to send back.
+    pub(crate) fn feed<H: EngineHost>(&mut self, host: &H, line: &str) -> Step {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Step::Silent;
+        }
+        let verb = trimmed
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_ascii_uppercase();
+        if self.batch.is_some() {
+            return match verb.as_str() {
+                "END" => {
+                    let lines = self.batch.take().expect("batch is open");
+                    execute_batch(host, &lines)
+                }
+                "BATCH" => {
+                    self.batch = None;
+                    Step::Replies(vec![
+                        "ERR BATCH nested BATCH; the open batch was discarded".to_string()
+                    ])
+                }
+                _ => {
+                    let batch = self.batch.as_mut().expect("batch is open");
+                    if batch.len() >= host.max_batch_commands() {
+                        self.batch = None;
+                        Step::Replies(vec![format!(
+                            "ERR BATCH batch exceeds {} commands; discarded",
+                            host.max_batch_commands()
+                        )])
+                    } else {
+                        batch.push(trimmed.to_string());
+                        Step::Silent
+                    }
+                }
+            };
+        }
+        match verb.as_str() {
+            "BATCH" => {
+                self.batch = Some(Vec::new());
+                Step::Silent
+            }
+            "END" => Step::Replies(vec!["ERR BATCH END without an open BATCH".to_string()]),
+            "STATS" => Step::Replies(vec![host.with_read(reply::render_stats)]),
+            "SLEEP" => Step::Replies(vec![execute_sleep(trimmed)]),
+            "PANIC" if host.chaos() => {
+                // Crash-recovery regression hook: panic while holding the
+                // write lock, poisoning it for every later guard.
+                host.with_write(|_| -> Step { panic!("chaos: PANIC verb") })
+            }
+            "QUIT" => Step::Quit("OK BYE".to_string()),
+            "SHUTDOWN" => Step::Shutdown("OK SHUTDOWN".to_string()),
+            _ => Step::Replies(vec![execute_command(host, trimmed)]),
+        }
+    }
+}
+
+fn execute_sleep(line: &str) -> String {
+    let operand = line.split_whitespace().nth(1).unwrap_or("");
+    match operand.parse::<u64>() {
+        Ok(ms) if ms <= MAX_SLEEP_MS => {
+            thread::sleep(Duration::from_millis(ms));
+            format!("OK SLEPT {ms}")
+        }
+        Ok(ms) => format!("ERR PARSE SLEEP {ms} exceeds the {MAX_SLEEP_MS} ms cap"),
+        Err(_) => format!("ERR PARSE `{operand}` is not a sleep duration in ms"),
+    }
+}
+
+/// Parses against a snapshot of the served database: the schema is fixed
+/// at engine construction, so command parsing never needs to hold a lock.
+fn database_snapshot<H: EngineHost>(host: &H) -> Arc<Database> {
+    host.with_read(|engine| engine.database_arc())
+}
+
+/// Executes one engine command line: queries under a read guard,
+/// mutations under the write barrier.
+fn execute_command<H: EngineHost>(host: &H, line: &str) -> String {
+    let db = database_snapshot(host);
+    match wire::parse_engine_command(line, &db) {
+        Ok(EngineCommand::Query(request)) => host.with_read(|engine| match engine.run(&request) {
+            Ok(report) => reply::render_report(request.semantics(), &report),
+            Err(e) => reply::render_count_error(&e),
+        }),
+        Ok(EngineCommand::Mutate(mutation)) => {
+            host.with_write(|engine| apply_mutation(engine, mutation))
+        }
+        Ok(EngineCommand::MutateBatch(mutations)) => {
+            host.with_write(|engine| match engine.apply_batch(mutations) {
+                Ok(report) => reply::render_batch_mutation(&report, engine.total_repairs()),
+                Err(e) => reply::render_count_error(&e),
+            })
+        }
+        Err(e) => reply::render_wire_error(&e),
+    }
+}
+
+fn apply_mutation(engine: &mut RepairEngine, mutation: Mutation) -> String {
+    match mutation {
+        Mutation::Insert(fact) => match engine.apply(Mutation::Insert(fact.clone())) {
+            Ok(report) => {
+                let id = engine
+                    .database()
+                    .fact_id(&fact)
+                    .expect("an applied or no-op insert leaves the fact present");
+                reply::render_insert(id, report.applied == 1, &report, engine.total_repairs())
+            }
+            Err(e) => reply::render_count_error(&e),
+        },
+        Mutation::Delete(id) => match engine.apply(Mutation::Delete(id)) {
+            Ok(report) => reply::render_delete(id, &report, engine.total_repairs()),
+            Err(e) => reply::render_count_error(&e),
+        },
+    }
+}
+
+/// Executes a closed `BATCH … END`.
+///
+/// A batch is either *mutations only* — applied atomically through
+/// [`RepairEngine::apply_batch`], one aggregated reply — or *queries only*
+/// (plus `SLEEP` diagnostics) — admitted through the bounded batch-permit
+/// pool and fanned out with [`RepairEngine::run_batch`], one reply line
+/// per item after an `OK BATCH <n>` header.  Mixing kinds is an error:
+/// the engine's scheduler treats every mutation as a barrier, so a mixed
+/// batch has no single atomic meaning.
+fn execute_batch<H: EngineHost>(host: &H, lines: &[String]) -> Step {
+    let db = database_snapshot(host);
+    let mut mutations: Vec<Mutation> = Vec::new();
+    let mut items: Vec<BatchItem> = Vec::new();
+    for line in lines {
+        let verb = line
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_ascii_uppercase();
+        let parsed: Result<(), WireError> = match verb.as_str() {
+            "INSERT" | "DELETE" => wire::parse_mutation(line, &db).map(|m| mutations.push(m)),
+            "SLEEP" => match line.split_whitespace().nth(1).unwrap_or("").parse::<u64>() {
+                Ok(ms) if ms <= MAX_SLEEP_MS => {
+                    items.push(BatchItem::Sleep(ms));
+                    Ok(())
+                }
+                _ => Err(WireError::Syntax {
+                    verb: "SLEEP",
+                    message: format!("bad duration in `{line}`"),
+                }),
+            },
+            _ => wire::parse_count_request(line).map(|r| items.push(BatchItem::Request(r))),
+        };
+        if let Err(e) = parsed {
+            return Step::Replies(vec![reply::render_wire_error(&e)]);
+        }
+    }
+    if !mutations.is_empty() && !items.is_empty() {
+        return Step::Replies(vec![
+            "ERR BATCH a batch must be all mutations or all queries".to_string(),
+        ]);
+    }
+    if !mutations.is_empty() {
+        let line = host.with_write(|engine| match engine.apply_batch(mutations) {
+            Ok(report) => reply::render_batch_mutation(&report, engine.total_repairs()),
+            Err(e) => reply::render_count_error(&e),
+        });
+        return Step::Replies(vec![line]);
+    }
+    match host.with_batch_permit(|| run_query_batch(host, &items)) {
+        Some(mut replies) => {
+            let mut lines = Vec::with_capacity(replies.len() + 1);
+            lines.push(format!("OK BATCH {}", replies.len()));
+            lines.append(&mut replies);
+            Step::Replies(lines)
+        }
+        None => Step::Replies(vec![reply::busy("batch fan-out permits exhausted")]),
+    }
+}
+
+/// Runs the items of an admitted query batch in order, fanning each
+/// maximal run of consecutive requests out through `run_batch`.
+fn run_query_batch<H: EngineHost>(host: &H, items: &[BatchItem]) -> Vec<String> {
+    let mut replies = Vec::with_capacity(items.len());
+    let mut pending: Vec<&CountRequest> = Vec::new();
+    let flush = |pending: &mut Vec<&CountRequest>, replies: &mut Vec<String>| {
+        if pending.is_empty() {
+            return;
+        }
+        let requests: Vec<CountRequest> = pending.iter().map(|&r| r.clone()).collect();
+        let reports = host.with_read(|engine| engine.run_batch(&requests));
+        for (request, report) in requests.iter().zip(reports) {
+            replies.push(match report {
+                Ok(report) => reply::render_report(request.semantics(), &report),
+                Err(e) => reply::render_count_error(&e),
+            });
+        }
+        pending.clear();
+    };
+    for item in items {
+        match item {
+            BatchItem::Request(request) => pending.push(request),
+            BatchItem::Sleep(ms) => {
+                flush(&mut pending, &mut replies);
+                thread::sleep(Duration::from_millis(*ms));
+                replies.push(format!("OK SLEPT {ms}"));
+            }
+        }
+    }
+    flush(&mut pending, &mut replies);
+    replies
+}
+
+/// A single-threaded reference server: the same parsing, scheduling
+/// surface and rendering as the TCP front end, over a bare engine with no
+/// sockets, no locks and batch admission always granted.
+///
+/// Because wire replies are deterministic functions of the engine state
+/// and the command sequence (never of wall-clock time), replaying a
+/// recorded command interleaving through an `Oracle` reproduces the
+/// server's replies byte for byte — the integration tests' ground truth.
+///
+/// ```
+/// use cdr_core::RepairEngine;
+/// use cdr_server::Oracle;
+/// use cdr_workloads::employee_example;
+///
+/// let (db, keys) = employee_example();
+/// let mut oracle = Oracle::new(RepairEngine::new(db, keys));
+/// let replies = oracle.feed("COUNT auto EXISTS n . Employee(2, n, 'IT')");
+/// assert!(replies[0].starts_with("OK COUNT 4 "));
+/// ```
+pub struct Oracle {
+    engine: RefCell<RepairEngine>,
+    session: Session,
+}
+
+struct OracleHost<'a>(&'a RefCell<RepairEngine>);
+
+impl EngineHost for OracleHost<'_> {
+    fn with_read<R>(&self, f: impl FnOnce(&RepairEngine) -> R) -> R {
+        f(&self.0.borrow())
+    }
+    fn with_write<R>(&self, f: impl FnOnce(&mut RepairEngine) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+    fn with_batch_permit<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
+        Some(f())
+    }
+    fn chaos(&self) -> bool {
+        false
+    }
+    fn max_batch_commands(&self) -> usize {
+        usize::MAX
+    }
+}
+
+impl Oracle {
+    /// A reference session over the given engine.
+    pub fn new(engine: RepairEngine) -> Self {
+        Oracle {
+            engine: RefCell::new(engine),
+            session: Session::new(),
+        }
+    }
+
+    /// Executes one wire line, returning the reply lines it produced
+    /// (empty for blank lines, comments and open-batch collection).
+    pub fn feed(&mut self, line: &str) -> Vec<String> {
+        let host = OracleHost(&self.engine);
+        match self.session.feed(&host, line) {
+            Step::Silent => Vec::new(),
+            Step::Replies(replies) => replies,
+            Step::Quit(reply) | Step::Shutdown(reply) => vec![reply],
+        }
+    }
+
+    /// Shared access to the underlying engine (for end-state assertions).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&RepairEngine) -> R) -> R {
+        f(&self.engine.borrow())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdr_workloads::employee_example;
+
+    fn oracle() -> Oracle {
+        let (db, keys) = employee_example();
+        Oracle::new(RepairEngine::new(db, keys))
+    }
+
+    #[test]
+    fn single_command_session() {
+        let mut oracle = oracle();
+        let replies = oracle.feed("FREQ EXISTS n . Employee(2, n, 'IT')");
+        assert_eq!(replies.len(), 1);
+        assert!(replies[0].starts_with("OK FREQ 1 "), "{}", replies[0]);
+        let replies = oracle.feed("INSERT Employee(2, 'Eve', 'Sales')");
+        assert_eq!(
+            replies,
+            vec!["OK INSERT id=4 applied=1 gen=1 total=6".to_string()]
+        );
+        let replies = oracle.feed("FREQ EXISTS n . Employee(2, n, 'IT')");
+        assert!(replies[0].starts_with("OK FREQ 2/3 "), "{}", replies[0]);
+        let replies = oracle.feed("DELETE 4");
+        assert_eq!(replies, vec!["OK DELETE id=4 gen=2 total=4".to_string()]);
+        // Deleting again is a MISSING error, not a dead session.
+        let replies = oracle.feed("DELETE 4");
+        assert!(replies[0].starts_with("ERR MISSING "), "{}", replies[0]);
+        let replies = oracle.feed("STATS");
+        assert!(
+            replies[0].starts_with("OK STATS facts=4 ids=5 "),
+            "{}",
+            replies[0]
+        );
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_silent() {
+        let mut oracle = oracle();
+        assert!(oracle.feed("").is_empty());
+        assert!(oracle.feed("   ").is_empty());
+        assert!(oracle.feed("# comment").is_empty());
+    }
+
+    #[test]
+    fn mutation_batches_are_atomic() {
+        let mut oracle = oracle();
+        oracle.feed("BATCH");
+        assert!(oracle.feed("INSERT Employee(3, 'Ann', 'IT')").is_empty());
+        assert!(oracle.feed("INSERT Employee(3, 'Kim', 'HR')").is_empty());
+        let replies = oracle.feed("END");
+        assert_eq!(
+            replies,
+            vec!["OK BATCH applied=2 noops=0 gen=2 total=8".to_string()]
+        );
+        // A batch with one bad delete changes nothing.
+        oracle.feed("BATCH");
+        oracle.feed("INSERT Employee(4, 'Joe', 'IT')");
+        oracle.feed("DELETE 99");
+        let replies = oracle.feed("END");
+        assert!(replies[0].starts_with("ERR MISSING "), "{}", replies[0]);
+        let stats = oracle.feed("STATS");
+        assert!(stats[0].contains("facts=6 "), "{}", stats[0]);
+    }
+
+    #[test]
+    fn query_batches_reply_per_item_in_order() {
+        let mut oracle = oracle();
+        oracle.feed("BATCH");
+        oracle.feed("COUNT auto EXISTS n . Employee(2, n, 'IT')");
+        oracle.feed("CERTAIN EXISTS n . Employee(2, n, 'IT')");
+        oracle.feed("DECIDE EXISTS n . Employee(9, n, 'IT')");
+        let replies = oracle.feed("END");
+        assert_eq!(replies.len(), 4);
+        assert_eq!(replies[0], "OK BATCH 3");
+        assert!(replies[1].starts_with("OK COUNT 4 "), "{}", replies[1]);
+        assert!(replies[2].starts_with("OK CERTAIN true "), "{}", replies[2]);
+        assert!(replies[3].starts_with("OK DECIDE false "), "{}", replies[3]);
+    }
+
+    #[test]
+    fn mixed_batches_and_stray_end_are_errors() {
+        let mut oracle = oracle();
+        oracle.feed("BATCH");
+        oracle.feed("INSERT Employee(3, 'Ann', 'IT')");
+        oracle.feed("COUNT auto TRUE");
+        let replies = oracle.feed("END");
+        assert!(replies[0].starts_with("ERR BATCH "), "{}", replies[0]);
+        let replies = oracle.feed("END");
+        assert!(replies[0].starts_with("ERR BATCH "), "{}", replies[0]);
+        // The failed batch applied nothing.
+        assert!(oracle.feed("STATS")[0].contains("facts=4 "));
+    }
+
+    #[test]
+    fn unknown_verbs_and_parse_errors_keep_the_session_alive() {
+        let mut oracle = oracle();
+        assert!(oracle.feed("NONSENSE 1 2 3")[0].starts_with("ERR UNKNOWN "));
+        assert!(oracle.feed("COUNT warp TRUE")[0].starts_with("ERR PARSE "));
+        assert!(oracle.feed("INSERT Unknown(1)")[0].starts_with("ERR RELATION "));
+        assert!(oracle.feed("DELETE x")[0].starts_with("ERR PARSE "));
+        assert!(oracle.feed("STATS")[0].starts_with("OK STATS "));
+    }
+
+    #[test]
+    fn quit_replies_bye() {
+        let mut oracle = oracle();
+        assert_eq!(oracle.feed("QUIT"), vec!["OK BYE".to_string()]);
+    }
+}

@@ -12,28 +12,75 @@
 //! sizing iterations-per-sample so a sample costs roughly
 //! `measurement_time / sample_size`, and prints the mean, minimum and
 //! maximum time per iteration.
+//!
+//! Two extra behaviours support CI:
+//!
+//! * **Smoke mode** — mirroring real criterion's `--test` flag (also
+//!   enabled by `CDR_BENCH_SMOKE=1`): every benchmark runs with a tiny
+//!   sample budget and per-group overrides are ignored, so the whole
+//!   bench suite completes in seconds as a correctness smoke test.
+//! * **JSON reports** — every run appends its results to an in-process
+//!   registry and `criterion_main!` writes them to `BENCH_<binary>.json`
+//!   (in `CDR_BENCH_OUT_DIR`, or the working directory), so CI can
+//!   archive the perf trajectory per PR.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One measured benchmark, as recorded for the JSON report.
+struct Record {
+    label: String,
+    mean_s: f64,
+    min_s: f64,
+    max_s: f64,
+    samples: usize,
+    iterations: u64,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Whether this process runs in smoke mode: criterion's `--test` flag on
+/// the bench binary's command line, or `CDR_BENCH_SMOKE=1` in the
+/// environment.
+///
+/// Public so benches can skip their largest inputs in smoke mode — a
+/// smoke run verifies every benchmark *works*, not how fast it is.
+pub fn is_smoke() -> bool {
+    std::env::args().any(|arg| arg == "--test")
+        || std::env::var("CDR_BENCH_SMOKE").is_ok_and(|v| v == "1" || v == "true")
+}
 
 /// The benchmark driver handed to every `criterion_group!` function.
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion {
-            sample_size: 10,
-            measurement_time: Duration::from_secs(2),
-            warm_up_time: Duration::from_millis(300),
+        let smoke = is_smoke();
+        if smoke {
+            Criterion {
+                sample_size: 2,
+                measurement_time: Duration::from_millis(20),
+                warm_up_time: Duration::from_millis(2),
+                smoke,
+            }
+        } else {
+            Criterion {
+                sample_size: 10,
+                measurement_time: Duration::from_secs(2),
+                warm_up_time: Duration::from_millis(300),
+                smoke,
+            }
         }
     }
 }
@@ -48,6 +95,7 @@ impl Criterion {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
             warm_up_time: self.warm_up_time,
+            smoke: self.smoke,
             _criterion: self,
         }
     }
@@ -74,25 +122,35 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    smoke: bool,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of samples collected per benchmark.
+    /// Sets the number of samples collected per benchmark (ignored in
+    /// smoke mode, which pins a tiny budget).
     pub fn sample_size(&mut self, samples: usize) -> &mut Self {
-        self.sample_size = samples.max(1);
+        if !self.smoke {
+            self.sample_size = samples.max(1);
+        }
         self
     }
 
-    /// Sets the wall-clock budget for the measurement phase.
+    /// Sets the wall-clock budget for the measurement phase (ignored in
+    /// smoke mode).
     pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
-        self.measurement_time = time;
+        if !self.smoke {
+            self.measurement_time = time;
+        }
         self
     }
 
-    /// Sets the wall-clock budget for the warm-up phase.
+    /// Sets the wall-clock budget for the warm-up phase (ignored in
+    /// smoke mode).
     pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
-        self.warm_up_time = time;
+        if !self.smoke {
+            self.warm_up_time = time;
+        }
         self
     }
 
@@ -247,6 +305,87 @@ fn run_benchmark<F>(
         samples.len(),
     );
     println!("{line}");
+    let mut records = RECORDS
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    records.push(Record {
+        label: label.to_string(),
+        mean_s: mean,
+        min_s: min,
+        max_s: max,
+        samples: samples.len(),
+        iterations,
+    });
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes every recorded benchmark of this process to
+/// `BENCH_<binary>.json` — in `CDR_BENCH_OUT_DIR` when set, else the
+/// working directory — so CI can archive the perf trajectory.  Called by
+/// [`criterion_main!`] after the groups run; harmless when nothing ran.
+pub fn write_json_report() {
+    let records = RECORDS
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if records.is_empty() {
+        return;
+    }
+    // `cargo bench` binaries are named `<bench>-<hash>`; strip the hash so
+    // reports get stable names across builds.
+    let binary = std::env::args()
+        .next()
+        .and_then(|path| {
+            std::path::Path::new(&path)
+                .file_stem()
+                .map(|stem| stem.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    let stem = match binary.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => binary,
+    };
+    let dir = std::env::var("CDR_BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{stem}.json"));
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "  \"suite\": \"{}\",", json_escape(&stem));
+    let _ = writeln!(body, "  \"smoke\": {},", is_smoke());
+    body.push_str("  \"benchmarks\": [\n");
+    for (i, record) in records.iter().enumerate() {
+        let _ = writeln!(
+            body,
+            "    {{\"name\": \"{}\", \"mean_s\": {:.9e}, \"min_s\": {:.9e}, \"max_s\": {:.9e}, \"samples\": {}, \"iterations\": {}}}{}",
+            json_escape(&record.label),
+            record.mean_s,
+            record.min_s,
+            record.max_s,
+            record.samples,
+            record.iterations,
+            if i + 1 == records.len() { "" } else { "," },
+        );
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("criterion: cannot write {}: {e}", path.display());
+    } else {
+        println!("\nwrote {}", path.display());
+    }
 }
 
 fn format_time(seconds: f64) -> String {
@@ -272,12 +411,13 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` to run the listed groups.
+/// Declares `main` to run the listed groups, then write the JSON report.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }

@@ -136,6 +136,25 @@ pub fn sensor_readings(
     (db, keys)
 }
 
+/// The retractable facts of a sensor base, discovered from the built
+/// database: every fact of a conflicting block *except its first*, so a
+/// scenario deleting only these stays delete-bearing (and valid) no matter
+/// how [`sensor_readings`] shapes its values.
+fn retractable_duplicates(db: &Database, keys: &KeySet) -> Vec<cdr_repairdb::FactId> {
+    cdr_repairdb::BlockPartition::new(db, keys)
+        .iter()
+        .filter(|(_, block)| !block.is_singleton())
+        .flat_map(|(_, block)| block.facts()[1..].iter().copied())
+        .collect()
+}
+
+/// One step of the scenarios' deterministic LCG (Knuth's MMIX constants).
+fn lcg_step(state: &mut u64) {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+}
+
 /// A mutation-heavy streaming scenario on top of [`sensor_readings`]: the
 /// base database plus a deterministic stream of `updates` mutations — late
 /// arriving conflicting readings ([`Mutation::Insert`], occasionally a
@@ -154,22 +173,12 @@ pub fn streaming_sensor_updates(
 ) -> (Database, KeySet, Vec<Mutation>) {
     let duplicates_per_sensor = ticks.min(2);
     let (db, keys) = sensor_readings(sensors, ticks, duplicates_per_sensor);
-    // The retractable facts are discovered from the built database — every
-    // fact of a conflicting block except its first — so the stream stays
-    // delete-bearing no matter how `sensor_readings` shapes its values.
-    let blocks = cdr_repairdb::BlockPartition::new(&db, &keys);
-    let retractable: Vec<_> = blocks
-        .iter()
-        .filter(|(_, block)| !block.is_singleton())
-        .flat_map(|(_, block)| block.facts()[1..].iter().copied())
-        .collect();
+    let retractable = retractable_duplicates(&db, &keys);
     let mut stream = Vec::with_capacity(updates);
     let mut retracted = HashSet::new();
     let mut state: u64 = 0x5EED_CAFE_F00D_D00D;
     for step in 0..updates {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        lcg_step(&mut state);
         let sensor = (state >> 8) as usize % sensors.max(1);
         let tick = (state >> 24) as usize % ticks.max(1);
         if step % 3 == 2 && !retractable.is_empty() {
@@ -188,6 +197,80 @@ pub fn streaming_sensor_updates(
         stream.push(Mutation::Insert(fact));
     }
     (db, keys, stream)
+}
+
+/// A serving-session trace over the [`sensor_readings`] base: the database
+/// and keys a server should boot with, plus a deterministic sequence of
+/// *wire lines* (the `cdr_core::wire` grammar) mixing inserts, deletes,
+/// exact counts, certain-answer and frequency probes, and `STATS` checks —
+/// the trace a line-protocol client replays over a real socket.
+///
+/// The trace is valid by construction when replayed against a server booted
+/// on exactly the returned database:
+///
+/// * the base facts receive ids `0..n` in insertion order, and every fact
+///   the trace inserts is fresh (its value range is disjoint from the
+///   base), so ids assigned during the session are predictable;
+/// * every `DELETE` names an id that is live when the line is reached —
+///   either a duplicate recorded at ingestion time (never the first fact
+///   of its block) or a fact the trace itself inserted earlier.
+///
+/// The same parameters always produce the same trace, so socket tests and
+/// the CI smoke job are reproducible.
+pub fn serving_session(
+    sensors: usize,
+    ticks: usize,
+    ops: usize,
+) -> (Database, KeySet, Vec<String>) {
+    let duplicates_per_sensor = ticks.min(2);
+    let (db, keys) = sensor_readings(sensors, ticks, duplicates_per_sensor);
+    let retractable = retractable_duplicates(&db, &keys);
+    let mut next_id = db.fact_ids_assigned() as usize;
+    let mut session_ids: Vec<usize> = Vec::new();
+    let mut retracted = HashSet::new();
+    let mut trace = Vec::with_capacity(ops);
+    let mut state: u64 = 0xC0FF_EE00_5E55_1011;
+    for step in 0..ops {
+        lcg_step(&mut state);
+        let sensor = (state >> 8) as usize % sensors.max(1);
+        let tick = (state >> 24) as usize % ticks.max(1);
+        match step % 7 {
+            // Queries keep the plan cache warm and cross mutation barriers.
+            1 => trace.push(format!(
+                "COUNT auto EXISTS v . Reading({sensor}, {tick}, v)"
+            )),
+            3 => trace.push(format!("CERTAIN EXISTS v . Reading({sensor}, {tick}, v)")),
+            5 => trace.push(format!(
+                "FREQ EXISTS s, v . Reading(s, {tick}, v) AND Reading(s, {t2}, v)",
+                t2 = (tick + 1) % ticks.max(1)
+            )),
+            6 if step % 2 == 0 => trace.push("STATS".to_string()),
+            // Roughly one mutation in three is a retraction.
+            2 => {
+                let deleted = if step % 6 == 2 && !retractable.is_empty() {
+                    let id = retractable[(state >> 40) as usize % retractable.len()];
+                    retracted.insert(id.index()).then(|| id.index())
+                } else {
+                    session_ids.pop()
+                };
+                match deleted {
+                    Some(id) => trace.push(format!("DELETE {id}")),
+                    None => trace.push(format!("DECIDE EXISTS v . Reading({sensor}, {tick}, v)")),
+                }
+            }
+            // Fresh late-arriving conflicting readings: values start at
+            // 1000 + step, far above anything the base generator emits, so
+            // every insert allocates a new id.
+            _ => {
+                let value = 1000 + step;
+                trace.push(format!("INSERT Reading({sensor}, {tick}, {value})"));
+                session_ids.push(next_id);
+                next_id += 1;
+            }
+        }
+    }
+    trace.push("STATS".to_string());
+    (db, keys, trace)
 }
 
 #[cfg(test)]
@@ -255,6 +338,38 @@ mod tests {
         let fresh = BlockPartition::new(&mutated, &keys);
         assert_eq!(blocks.sizes(), fresh.sizes());
         assert!(blocks.conflicting_block_count() > 0);
+    }
+
+    #[test]
+    fn serving_session_trace_replays_cleanly() {
+        let (db, keys, trace) = serving_session(5, 3, 56);
+        let (_, _, again) = serving_session(5, 3, 56);
+        assert_eq!(trace, again, "same parameters, same trace");
+        assert_eq!(trace.len(), 57, "ops lines plus the final STATS");
+        let mut engine = cdr_core::RepairEngine::new(db, keys);
+        let mut mutations = 0usize;
+        let mut queries = 0usize;
+        let mut stats = 0usize;
+        for line in &trace {
+            if line == "STATS" {
+                stats += 1;
+                continue;
+            }
+            let command = cdr_core::parse_engine_command(line, engine.database())
+                .unwrap_or_else(|e| panic!("trace line `{line}` must parse: {e}"));
+            match &command {
+                cdr_core::EngineCommand::Query(_) => queries += 1,
+                _ => mutations += 1,
+            }
+            engine
+                .execute(command)
+                .unwrap_or_else(|e| panic!("trace line `{line}` must apply: {e}"));
+        }
+        assert!(mutations > 0, "the trace mutates");
+        assert!(queries > 0, "the trace queries");
+        assert!(stats > 0, "the trace checks STATS");
+        let deletes = trace.iter().filter(|l| l.starts_with("DELETE")).count();
+        assert!(deletes > 0, "the trace retracts some facts");
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   hardness reductions.
 //! * [`workloads`] — seeded workload generators used by the examples,
 //!   integration tests and benchmarks.
+//! * [`server`] — the serving front end: a line-protocol TCP server over
+//!   [`EngineCommand`](prelude::EngineCommand)s (read/write scheduler,
+//!   bounded worker pool, batch backpressure), its test client, and the
+//!   single-threaded [`Oracle`](prelude::Oracle) replay.
 //!
 //! ## Quickstart
 //!
@@ -64,10 +68,14 @@ pub use cdr_lambda as lambda;
 pub use cdr_num as num;
 pub use cdr_query as query;
 pub use cdr_repairdb as db;
+pub use cdr_server as server;
 pub use cdr_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
+    pub use cdr_core::wire::{
+        parse_count_request, parse_engine_command, parse_mutation, WireError,
+    };
     pub use cdr_core::{
         Answer, ApproxConfig, CacheStats, CountOutcome, CountReport, CountRequest, EngineCommand,
         EngineResponse, ExactStrategy, FprasEstimator, KarpLubyEstimator, MutationReport,
@@ -76,4 +84,5 @@ pub mod prelude {
     pub use cdr_num::{BigNat, LogNum, Ratio};
     pub use cdr_query::{parse_query, Query, UcqQuery};
     pub use cdr_repairdb::{BlockDelta, Database, Fact, KeySet, Mutation, Schema, Value};
+    pub use cdr_server::{client::Client, Oracle, Server, ServerConfig, ServerStats};
 }

@@ -1,0 +1,237 @@
+//! Protocol robustness: arbitrary byte lines — garbage verbs, overlong
+//! lines, partial writes, abrupt disconnects, interleaved mutations from
+//! two clients — must never panic a server thread, and after any session
+//! the served engine must be bit-for-bit equal to a fresh engine built on
+//! the final fact set (the `engine_mutation_parity` harness's criterion,
+//! checked here through the wire).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use repair_count::db::{count_repairs, BlockPartition};
+use repair_count::prelude::*;
+use repair_count::workloads::sensor_readings;
+
+fn start_server(engine: RepairEngine, chaos_free_config: impl FnOnce(&mut ServerConfig)) -> Server {
+    let mut config = ServerConfig::bind("127.0.0.1:0");
+    config.poll_interval = Duration::from_millis(25);
+    config.max_line_bytes = 512;
+    chaos_free_config(&mut config);
+    Server::start(engine, config).expect("binding an ephemeral loopback port")
+}
+
+fn base() -> (Database, KeySet) {
+    sensor_readings(4, 3, 2)
+}
+
+/// Rebuilds the state a cold restart would load: exactly the live facts,
+/// in id order (the `engine_mutation_parity` notion of the "final fact
+/// set").
+fn fresh_engine(live: &BTreeMap<usize, String>) -> RepairEngine {
+    let (db, keys) = base();
+    let mut facts: Vec<Fact> = Vec::new();
+    for text in live.values() {
+        facts.push(db.parse_fact(text).expect("tracked facts are valid"));
+    }
+    let mut rebuilt = Database::new(db.schema().clone());
+    for fact in facts {
+        rebuilt.insert(fact).expect("tracked facts are valid");
+    }
+    RepairEngine::new(rebuilt, keys)
+}
+
+/// The parity criterion: totals and exact counts of the served engine
+/// (observed through the wire) equal a fresh engine on the live facts.
+fn assert_served_parity(client: &mut Client, live: &BTreeMap<usize, String>) {
+    let fresh = fresh_engine(live);
+    let stats = client.send("STATS").expect("STATS");
+    let expected = format!("OK STATS facts={} ids=", fresh.database().len());
+    assert!(stats.starts_with(&expected), "{stats} vs {expected}");
+    let total = format!(" total={} gen=", fresh.total_repairs());
+    assert!(stats.contains(&total), "{stats} vs {total}");
+    let recomputed = count_repairs(&BlockPartition::new(fresh.database(), fresh.keys()));
+    assert_eq!(*fresh.total_repairs(), recomputed);
+    for (sensor, tick) in [(0, 0), (1, 2), (3, 1)] {
+        let query = format!("EXISTS v . Reading({sensor}, {tick}, v)");
+        let reply = client.send(&format!("COUNT auto {query}")).expect("COUNT");
+        let request = CountRequest::exact(parse_query(&query).unwrap());
+        let count = fresh
+            .run(&request)
+            .unwrap()
+            .answer
+            .as_count()
+            .unwrap()
+            .clone();
+        let expected = format!("OK COUNT {count} ");
+        assert!(reply.starts_with(&expected), "{reply} vs {expected}");
+    }
+}
+
+/// One xorshift step: the deterministic chaos source for a case.
+fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: any interleaving of valid mutations, valid queries and
+    /// hostile garbage from two concurrent client connections leaves the
+    /// server alive (every line answered, no worker panics) and the
+    /// engine in parity with a fresh engine on the final fact set.
+    #[test]
+    fn arbitrary_lines_never_panic_the_server(seed in 0u64..300, steps in 20usize..48) {
+        let (db, keys) = base();
+        // Track live facts by id: the base assigned 0..n in insertion order.
+        let mut live: BTreeMap<usize, String> = db
+            .iter()
+            .map(|(id, fact)| (id.index(), fact.display(db.schema()).to_string()))
+            .collect();
+        let mut next_id = live.len();
+
+        let server = start_server(RepairEngine::new(db, keys), |_| {});
+        let mut clients = [
+            Client::connect(server.addr()).expect("connect"),
+            Client::connect(server.addr()).expect("connect"),
+        ];
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(11);
+        for step in 0..steps {
+            let who = (next(&mut state) >> 7) as usize % 2;
+            let client = &mut clients[who];
+            match next(&mut state) % 8 {
+                // Fresh insert (values disjoint from the base generator).
+                0 | 1 => {
+                    let sensor = next(&mut state) % 4;
+                    let tick = next(&mut state) % 3;
+                    let value = 1000 + step;
+                    let line = format!("INSERT Reading({sensor}, {tick}, {value})");
+                    let reply = client.send(&line).expect("insert reply");
+                    prop_assert!(reply.starts_with("OK INSERT id="), "{}", reply);
+                    live.insert(next_id, format!("Reading({sensor}, {tick}, {value})"));
+                    next_id += 1;
+                }
+                // Delete a live fact (or draw MISSING on an exhausted id).
+                2 => {
+                    let target = live
+                        .keys()
+                        .nth(next(&mut state) as usize % live.len().max(1))
+                        .copied();
+                    if let Some(id) = target {
+                        let reply = client.send(&format!("DELETE {id}")).expect("delete reply");
+                        prop_assert!(reply.starts_with("OK DELETE id="), "{}", reply);
+                        live.remove(&id);
+                    }
+                }
+                // Valid queries.
+                3 => {
+                    let sensor = next(&mut state) % 4;
+                    let tick = next(&mut state) % 3;
+                    let reply = client
+                        .send(&format!("COUNT auto EXISTS v . Reading({sensor}, {tick}, v)"))
+                        .expect("count reply");
+                    prop_assert!(reply.starts_with("OK COUNT "), "{}", reply);
+                }
+                4 => {
+                    let sensor = next(&mut state) % 4;
+                    let reply = client
+                        .send(&format!("CERTAIN EXISTS t, v . Reading({sensor}, t, v)"))
+                        .expect("certain reply");
+                    prop_assert!(reply.starts_with("OK CERTAIN "), "{}", reply);
+                }
+                // Garbage bytes (newline-free, then terminated): comments
+                // and blank lines are silently skipped by design, anything
+                // else draws one reply — either way the session survives,
+                // which the `OK SLEPT 0` marker probe proves.
+                5 => {
+                    let len = 1 + next(&mut state) as usize % 40;
+                    let junk: Vec<u8> = (0..len)
+                        .map(|_| {
+                            let b = (next(&mut state) % 255) as u8 + 1;
+                            if b == b'\n' || b == b'\r' { b'?' } else { b }
+                        })
+                        .collect();
+                    client.send_raw(&junk).expect("send junk");
+                    client.send_raw(b"\nSLEEP 0\n").expect("terminate junk");
+                    let mut lines = 0;
+                    loop {
+                        let reply = client.read_line().expect("session stays alive");
+                        lines += 1;
+                        prop_assert!(lines <= 2, "junk drew more than one reply");
+                        if reply == "OK SLEPT 0" {
+                            break;
+                        }
+                    }
+                }
+                // An overlong line: discarded, answered, session continues.
+                6 => {
+                    let line = format!("INSERT Reading(0, 0, {})", "9".repeat(600));
+                    let reply = client.send(&line).expect("overlong reply");
+                    prop_assert!(reply.starts_with("ERR LINE "), "{}", reply);
+                }
+                // A partial write split across flushes, completed later.
+                _ => {
+                    client.send_raw(b"STA").expect("partial write");
+                    std::thread::sleep(Duration::from_millis(2));
+                    client.send_raw(b"TS\n").expect("completion");
+                    let reply = client.read_line().expect("reassembled line");
+                    prop_assert!(reply.starts_with("OK STATS "), "{}", reply);
+                }
+            }
+        }
+
+        // An abrupt mid-line disconnect must not disturb the others.
+        let mut rude = Client::connect(server.addr()).expect("connect");
+        rude.send_raw(b"INSERT Reading(0, 0, 55").expect("half a line");
+        drop(rude);
+
+        assert_served_parity(&mut clients[0], &live);
+        assert_served_parity(&mut clients[1], &live);
+
+        server.shutdown();
+        let stats = server.join();
+        prop_assert_eq!(stats.recovered_panics, 0, "no worker ever panicked");
+    }
+}
+
+/// Deterministic edge cases that deserve names of their own.
+#[test]
+fn overlong_line_then_valid_command() {
+    let (db, keys) = base();
+    let server = start_server(RepairEngine::new(db, keys), |_| {});
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut junk = vec![b'x'; 2000];
+    junk.push(b'\n');
+    client.send_raw(&junk).expect("oversized line");
+    let reply = client.read_line().expect("reply");
+    assert!(reply.starts_with("ERR LINE "), "{reply}");
+    let reply = client.send("STATS").expect("next command");
+    assert!(reply.starts_with("OK STATS "), "{reply}");
+    server.shutdown();
+    assert_eq!(server.join().recovered_panics, 0);
+}
+
+#[test]
+fn abrupt_disconnect_mid_batch_leaves_engine_untouched() {
+    let (db, keys) = base();
+    let total = RepairEngine::new(db.clone(), keys.clone())
+        .total_repairs()
+        .clone();
+    let server = start_server(RepairEngine::new(db, keys), |_| {});
+    let mut rude = Client::connect(server.addr()).expect("connect");
+    rude.send_line("BATCH").expect("open a batch");
+    rude.send_line("INSERT Reading(0, 0, 777)")
+        .expect("queue a mutation");
+    drop(rude); // vanish without END
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let reply = client.send("STATS").expect("STATS");
+    assert!(
+        reply.contains(&format!(" total={total} gen=0 ")),
+        "an unterminated batch applied nothing: {reply}"
+    );
+    server.shutdown();
+    assert_eq!(server.join().recovered_panics, 0);
+}
