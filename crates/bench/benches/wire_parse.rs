@@ -1,0 +1,81 @@
+//! Criterion bench for the server's parse path:
+//! [`cdr_core::wire::parse_engine_command`] on the line shapes a serving
+//! session is made of.  INSERT lines dominate ingest-heavy workloads, and
+//! their cost is value parsing plus fact construction — exactly the path
+//! symbol interning accelerates — so the suite tracks them alongside the
+//! query verbs.
+
+use cdr_core::wire::parse_engine_command;
+use cdr_repairdb::{Database, Schema};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn serving_database() -> Database {
+    let mut schema = Schema::new();
+    schema.add_relation("Reading", 3).expect("fresh schema");
+    schema.add_relation("Employee", 3).expect("fresh schema");
+    Database::new(schema)
+}
+
+/// A deterministic block of INSERT lines shaped like the streaming-sensor
+/// serving workload: integer keys, short quoted string payloads.
+fn insert_lines(count: usize) -> Vec<String> {
+    (0..count)
+        .map(|i| {
+            format!(
+                "INSERT Reading({}, 'sensor_{}', 'v{}')",
+                i % 97,
+                i % 13,
+                (i * 31) % 1000
+            )
+        })
+        .collect()
+}
+
+fn bench_parse_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/parse_insert");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    let db = serving_database();
+    for &batch in &[64usize, 512] {
+        let lines = insert_lines(batch);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| {
+                for line in &lines {
+                    criterion::black_box(parse_engine_command(line, &db).expect("valid line"));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_query_verbs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/parse_query");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    let db = serving_database();
+    let lines = [
+        ("count", "COUNT boxes EXISTS n, d . Employee(1, n, d)"),
+        (
+            "decide",
+            "DECIDE Employee(1, 'Bob', 'HR') OR Employee(2, 'Eve', 'IT')",
+        ),
+        (
+            "approx",
+            "APPROX 0.1 0.05 42 EXISTS n . Reading(3, n, 'v7')",
+        ),
+        ("delete", "DELETE 123456"),
+    ];
+    for (name, line) in lines {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| criterion::black_box(parse_engine_command(line, &db).expect("valid line")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_inserts, bench_parse_query_verbs);
+criterion_main!(benches);

@@ -17,7 +17,7 @@ use cdr_repairdb::{count_repairs, BlockPartition, Database, KeySet};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::approx::{sample_repair_choice, scale_by_fraction, ApproxConfig, ApproxCount};
+use crate::approx::{scale_by_fraction, ApproxConfig, ApproxCount, LiveBlockSampler};
 use crate::{distinct_boxes, enumerate_certificates, CountError, SelectorBox};
 
 /// The FPRAS of Theorem 6.2, specialised to `#CQA(Q, Σ)` as in
@@ -46,8 +46,10 @@ use crate::{distinct_boxes, enumerate_certificates, CountError, SelectorBox};
 /// assert!(estimate >= 1 && estimate <= 3);
 /// ```
 pub struct FprasEstimator {
-    blocks: Arc<BlockPartition>,
     boxes: Arc<Vec<SelectorBox>>,
+    /// The live blocks flattened for the sampling hot loop (shared with
+    /// every estimator over the same partition generation).
+    sampler: Arc<LiveBlockSampler>,
     /// `m`: the maximum block size.
     max_block_size: usize,
     /// `k`: the maximum number of blocks a certificate can pin.
@@ -66,9 +68,11 @@ impl FprasEstimator {
         let certificates = enumerate_certificates(db, keys, &blocks, ucq)?;
         let boxes = distinct_boxes(&certificates);
         let total_repairs = count_repairs(&blocks);
+        let sampler = Arc::new(LiveBlockSampler::new(&blocks));
         Ok(FprasEstimator::from_parts(
             Arc::new(blocks),
             Arc::new(boxes),
+            sampler,
             max_disjunct_keywidth(ucq, db.schema(), keys),
             total_repairs,
         ))
@@ -79,13 +83,14 @@ impl FprasEstimator {
     pub(crate) fn from_parts(
         blocks: Arc<BlockPartition>,
         boxes: Arc<Vec<SelectorBox>>,
+        sampler: Arc<LiveBlockSampler>,
         keywidth: usize,
         total_repairs: BigNat,
     ) -> Self {
         FprasEstimator {
             max_block_size: blocks.max_block_size().max(1),
+            sampler,
             keywidth,
-            blocks,
             boxes,
             total_repairs,
         }
@@ -141,8 +146,12 @@ impl FprasEstimator {
         let samples = requested.min(config.max_samples).max(1);
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let mut positives: u64 = 0;
+        // One scratch choice vector for the whole run: the sampling loop
+        // allocates nothing.
+        let mut choice: Vec<cdr_repairdb::FactId> = Vec::new();
+        self.sampler.init_choice(&mut choice);
         for _ in 0..samples {
-            let choice = sample_repair_choice(&self.blocks, &mut rng);
+            self.sampler.sample_repair_into(&mut rng, &mut choice);
             if self.boxes.iter().any(|b| b.contains_choice(&choice)) {
                 positives += 1;
             }

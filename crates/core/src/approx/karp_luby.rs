@@ -24,7 +24,7 @@ use cdr_repairdb::{count_repairs, BlockId, BlockPartition, Database, FactId, Key
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::approx::{scale_by_fraction, ApproxConfig, ApproxCount};
+use crate::approx::{scale_by_fraction, ApproxConfig, ApproxCount, LiveBlockSampler};
 use crate::{distinct_boxes, enumerate_certificates, CountError, SelectorBox};
 
 /// The Karp–Luby estimator over the certificate boxes of a UCQ.
@@ -36,7 +36,68 @@ pub struct KarpLubyEstimator {
     /// Per-box relative weights `|boxᵢ| / ∏ⱼ |Bⱼ|`, used for sampling; each
     /// equals `∏_{pinned j} 1/|Bⱼ| ∈ (0, 1]`, so they are safe in `f64`.
     relative_weights: Vec<f64>,
+    /// `Σ relative_weights` (left-to-right), the scale of each box draw.
+    weight_sum: f64,
+    /// Precomputed selection thresholds: `thresholds[j]` is the smallest
+    /// `f64` target that the historical sequential-subtraction scan maps
+    /// past box `j`, so a binary search (`partition_point`) replaces the
+    /// per-sample linear scan *bit-for-bit* (see [`selection_thresholds`]).
+    thresholds: Box<[f64]>,
+    /// The live blocks flattened for the sampling hot loop (shared with
+    /// every estimator over the same partition generation).
+    sampler: Arc<LiveBlockSampler>,
     total_repairs: BigNat,
+}
+
+/// The box index the pre-refactor per-sample scan assigned to `target`:
+/// subtract weights left to right and stop at the first box whose weight
+/// exceeds what remains.  Kept as the ground truth the precomputed
+/// thresholds are verified against.
+fn sequential_pick(weights: &[f64], mut target: f64) -> usize {
+    let mut chosen = weights.len() - 1;
+    for (i, w) in weights.iter().enumerate() {
+        if target < *w {
+            chosen = i;
+            break;
+        }
+        target -= w;
+    }
+    chosen
+}
+
+/// For every box boundary `j`, the smallest non-negative `f64` whose
+/// [`sequential_pick`] lands past box `j` (`f64::INFINITY` if none does).
+///
+/// `sequential_pick` is monotone in its target — floating-point
+/// subtraction of a constant is monotone, so a larger target survives at
+/// least as many boxes — and non-negative floats are ordered like their
+/// bit patterns, so each threshold is found by a 63-step bisection over
+/// the bit space *against `sequential_pick` itself*.  Sampling via
+/// `partition_point` over these thresholds therefore selects **the exact
+/// box the linear scan would have selected for every representable
+/// target**, including targets within rounding distance of a boundary —
+/// this is what keeps seeded estimates bit-for-bit stable across the
+/// representation change.
+fn selection_thresholds(weights: &[f64]) -> Box<[f64]> {
+    let boundaries = weights.len().saturating_sub(1);
+    let mut thresholds = Vec::with_capacity(boundaries);
+    for j in 0..boundaries {
+        // Smallest bit pattern (≡ smallest non-negative float, +∞
+        // included) whose pick exceeds j; every weight is positive, so
+        // 0.0 always picks box 0 and +∞ always survives to the last box.
+        let mut lo = 0u64;
+        let mut hi = f64::INFINITY.to_bits();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if sequential_pick(weights, f64::from_bits(mid)) > j {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        thresholds.push(f64::from_bits(lo));
+    }
+    thresholds.into_boxed_slice()
 }
 
 impl KarpLubyEstimator {
@@ -46,9 +107,11 @@ impl KarpLubyEstimator {
         let certificates = enumerate_certificates(db, keys, &blocks, ucq)?;
         let boxes = distinct_boxes(&certificates);
         let total_repairs = count_repairs(&blocks);
+        let sampler = Arc::new(LiveBlockSampler::new(&blocks));
         Ok(KarpLubyEstimator::from_parts(
             Arc::new(blocks),
             Arc::new(boxes),
+            sampler,
             total_repairs,
         ))
     }
@@ -59,23 +122,31 @@ impl KarpLubyEstimator {
     pub(crate) fn from_parts(
         blocks: Arc<BlockPartition>,
         boxes: Arc<Vec<SelectorBox>>,
+        sampler: Arc<LiveBlockSampler>,
         total_repairs: BigNat,
     ) -> Self {
         let mut total_weight = BigNat::zero();
         let mut relative_weights = Vec::with_capacity(boxes.len());
         for b in boxes.iter() {
-            total_weight += b.size(&blocks);
+            // |boxᵢ| by dividing the precomputed total — O(pins) instead
+            // of a walk over every block.
+            total_weight += b.size_with_total(&blocks, &total_repairs);
             let mut w = 1.0f64;
             for (block, _) in b.pins() {
                 w /= blocks.block(block).len() as f64;
             }
             relative_weights.push(w);
         }
+        let weight_sum: f64 = relative_weights.iter().sum();
+        let thresholds = selection_thresholds(&relative_weights);
         KarpLubyEstimator {
+            sampler,
             blocks,
             boxes,
             total_weight,
             relative_weights,
+            weight_sum,
+            thresholds,
             total_repairs,
         }
     }
@@ -123,31 +194,28 @@ impl KarpLubyEstimator {
         let requested = self.required_samples(config)?;
         let samples = requested.min(config.max_samples).max(1);
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-        let weight_sum: f64 = self.relative_weights.iter().sum();
         let mut positives: u64 = 0;
         // Indexed by block slot (`BlockId::index`); retired slots keep a
-        // placeholder that no live box pins.
-        let mut choice: Vec<FactId> =
-            vec![FactId::new(u32::MAX as usize); self.blocks.slot_count()];
+        // placeholder that no live box pins.  One scratch vector for the
+        // whole run — the sampling loop allocates nothing.
+        let mut choice: Vec<FactId> = Vec::new();
+        self.sampler.init_choice(&mut choice);
         for _ in 0..samples {
-            // Draw a box proportionally to its size.
-            let mut target = rng.gen_range(0.0..weight_sum);
-            let mut chosen_box = self.boxes.len() - 1;
-            for (i, w) in self.relative_weights.iter().enumerate() {
-                if target < *w {
-                    chosen_box = i;
-                    break;
-                }
-                target -= w;
-            }
-            // Draw a uniform completion of the chosen box.
-            for (id, block) in self.blocks.iter() {
-                let fact = match self.boxes[chosen_box].pin_for(id) {
-                    Some(f) => f,
-                    None => block.facts()[rng.gen_range(0..block.len())],
-                };
-                choice[id.index()] = fact;
-            }
+            // Draw a box proportionally to its size: a binary search over
+            // the precomputed thresholds, selecting exactly the box the
+            // historical sequential scan would have picked.
+            let target = rng.gen_range(0.0..self.weight_sum);
+            let chosen_box = self.thresholds.partition_point(|&t| target >= t);
+            debug_assert_eq!(
+                chosen_box,
+                sequential_pick(&self.relative_weights, target),
+                "threshold selection must replicate the sequential scan"
+            );
+            // Draw a uniform completion of the chosen box over the
+            // flattened live blocks: precomputed rejection thresholds
+            // (no division) and sequential memory (no pointer chasing).
+            self.sampler
+                .sample_completion_into(&self.boxes[chosen_box], &mut rng, &mut choice);
             // Count the sample only if no earlier box already covers it.
             let first_cover = self
                 .boxes
@@ -276,6 +344,49 @@ mod tests {
             ..ApproxConfig::default()
         };
         assert!(est.estimate(&bad).is_err());
+    }
+
+    /// The precomputed thresholds must replicate the historical
+    /// sequential-subtraction scan for *every* probed target, including
+    /// bit-neighbours of each boundary — that equivalence is what keeps
+    /// seeded estimates identical across the representation change.
+    #[test]
+    fn threshold_selection_replicates_the_sequential_scan() {
+        let weight_sets: Vec<Vec<f64>> = vec![
+            vec![1.0],
+            vec![0.5, 0.5],
+            vec![1.0 / 3.0; 9],
+            // Mixed magnitudes: tiny weights are absorbed by the running
+            // subtraction, which the thresholds must reproduce.
+            vec![1e-300, 1.0, 1e-300, 0.25, 1e-16],
+            vec![0.125; 64],
+            (1..40).map(|i| 1.0 / (i as f64)).collect(),
+        ];
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for weights in &weight_sets {
+            let thresholds = selection_thresholds(weights);
+            assert_eq!(thresholds.len(), weights.len() - 1);
+            let sum: f64 = weights.iter().sum();
+            let mut probes: Vec<f64> = vec![0.0, sum, sum * 0.5];
+            for &t in thresholds.iter().filter(|t| t.is_finite()) {
+                probes.push(t);
+                probes.push(f64::from_bits(t.to_bits().saturating_sub(1)));
+                probes.push(f64::from_bits(t.to_bits() + 1));
+            }
+            for _ in 0..300 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                probes.push(sum * ((state >> 11) as f64 / (1u64 << 53) as f64));
+            }
+            for &target in probes.iter().filter(|p| p.is_finite() && **p >= 0.0) {
+                assert_eq!(
+                    thresholds.partition_point(|&t| target >= t),
+                    sequential_pick(weights, target),
+                    "divergence at target {target:e} for weights {weights:?}"
+                );
+            }
+        }
     }
 
     #[test]

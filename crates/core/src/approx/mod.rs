@@ -27,7 +27,8 @@ pub use karp_luby::KarpLubyEstimator;
 
 use cdr_num::{BigNat, LogNum};
 use cdr_repairdb::{BlockPartition, FactId};
-use rand::Rng;
+use rand::distributions::{Distribution, Uniform};
+use rand::RngCore;
 
 use crate::CountError;
 
@@ -156,22 +157,95 @@ pub(crate) fn scale_by_fraction(space: &BigNat, positives: u64, samples: u64) ->
     (rounded, log)
 }
 
-/// Draws a uniform repair: one fact chosen uniformly at random from every
-/// live block, returned as a choice vector indexed by block *slot*
-/// ([`cdr_repairdb::BlockId::index`]) so that
-/// [`crate::SelectorBox::contains_choice`] can look pins up directly.
+/// The live blocks of a partition flattened for the sampling hot loop.
 ///
-/// Randomness is drawn in `≺_{D,Σ}` order, so two engines over the same
-/// live facts sample identical repairs for the same seed regardless of how
-/// their slots are numbered.  Retired slots keep a placeholder id that no
-/// live box pins.
-pub(crate) fn sample_repair_choice<R: Rng>(blocks: &BlockPartition, rng: &mut R) -> Vec<FactId> {
-    let mut choice = vec![FactId::new(u32::MAX as usize); blocks.slot_count()];
-    for (id, block) in blocks.iter() {
-        let idx = rng.gen_range(0..block.len());
-        choice[id.index()] = block.facts()[idx];
+/// Built once per estimator, this carries everything a per-sample
+/// completion walk needs in parallel, cache-friendly arrays laid out in
+/// `≺_{D,Σ}` order: the block's slot (the index into the choice vector),
+/// a [`Uniform`] sampler with the block's Lemire rejection threshold — an
+/// integer division — precomputed, and the block's facts concatenated
+/// into one slice.  The old loop chased `order → Block → facts` pointers
+/// and re-derived the threshold per draw; this walk touches only
+/// sequential memory and the generator.  Sampled values are draw-for-draw
+/// identical to the `blocks.iter()` + `gen_range` formulation (the
+/// vendored `Uniform` guarantees value equality with `gen_range`).
+pub(crate) struct LiveBlockSampler {
+    slot_count: usize,
+    /// Per live block, in `≺_{D,Σ}` order: its slot index.
+    slots: Box<[u32]>,
+    /// Per live block: a `0..len` sampler with precomputed threshold.
+    samplers: Box<[Uniform]>,
+    /// Per live block: offset of its facts within `facts`.
+    offsets: Box<[u32]>,
+    /// Every live block's facts, concatenated in `≺_{D,Σ}` order.
+    facts: Box<[FactId]>,
+}
+
+impl LiveBlockSampler {
+    pub(crate) fn new(blocks: &BlockPartition) -> LiveBlockSampler {
+        let live = blocks.len();
+        let mut slots = Vec::with_capacity(live);
+        let mut samplers = Vec::with_capacity(live);
+        let mut offsets = Vec::with_capacity(live);
+        let mut facts = Vec::new();
+        for (id, block) in blocks.iter() {
+            slots.push(id.index() as u32);
+            samplers.push(Uniform::from(0..block.len()));
+            offsets.push(facts.len() as u32);
+            facts.extend_from_slice(block.facts());
+        }
+        LiveBlockSampler {
+            slot_count: blocks.slot_count(),
+            slots: slots.into_boxed_slice(),
+            samplers: samplers.into_boxed_slice(),
+            offsets: offsets.into_boxed_slice(),
+            facts: facts.into_boxed_slice(),
+        }
     }
-    choice
+
+    /// Initialises the reusable `choice` vector: placeholders spanning
+    /// every slot.  Every live slot is overwritten by each sample; retired
+    /// slots keep the placeholder (no live box pins them), so one reset
+    /// before the sampling loop suffices.
+    pub(crate) fn init_choice(&self, choice: &mut Vec<FactId>) {
+        choice.clear();
+        choice.resize(self.slot_count, FactId::new(u32::MAX as usize));
+    }
+
+    /// Draws a uniform repair into the reusable `choice` vector, indexed
+    /// by block slot so [`crate::SelectorBox::contains_choice`] can look
+    /// pins up directly.  Randomness is drawn in `≺_{D,Σ}` order, so two
+    /// engines over the same live facts sample identical repairs for the
+    /// same seed regardless of how their slots are numbered.
+    pub(crate) fn sample_repair_into<R: RngCore>(&self, rng: &mut R, choice: &mut [FactId]) {
+        for i in 0..self.slots.len() {
+            let idx = self.samplers[i].sample(rng);
+            choice[self.slots[i] as usize] = self.facts[self.offsets[i] as usize + idx];
+        }
+    }
+
+    /// Draws a uniform completion of `pinned` into `choice`: pinned blocks
+    /// contribute their pinned fact, every other live block draws
+    /// uniformly — consuming randomness exactly as a full walk that skips
+    /// pinned blocks, in `≺_{D,Σ}` order.
+    pub(crate) fn sample_completion_into<R: RngCore>(
+        &self,
+        pinned: &crate::SelectorBox,
+        rng: &mut R,
+        choice: &mut [FactId],
+    ) {
+        for i in 0..self.slots.len() {
+            let slot = self.slots[i] as usize;
+            let fact = match pinned.pin_for(cdr_repairdb::BlockId::new(slot)) {
+                Some(fact) => fact,
+                None => {
+                    let idx = self.samplers[i].sample(rng);
+                    self.facts[self.offsets[i] as usize + idx]
+                }
+            };
+            choice[slot] = fact;
+        }
+    }
 }
 
 #[cfg(test)]

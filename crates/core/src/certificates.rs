@@ -13,8 +13,6 @@
 //! The exact counters, the FPRAS and the Λ-hierarchy compactors all consume
 //! this module.
 
-use std::collections::BTreeMap;
-
 use cdr_num::BigNat;
 use cdr_query::{find_homomorphisms, Assignment, Term, UcqQuery};
 use cdr_repairdb::{BlockId, BlockPartition, Database, FactId, KeySet, Repair};
@@ -36,23 +34,37 @@ pub struct Certificate {
 
 /// A selector box `[B₁, …, Bₙ]_σ`: a set of repairs described by pinning
 /// at most `k` blocks to specific facts.
+///
+/// Pins are stored as a flat slice sorted by block slot — boxes are tiny
+/// (at most the query's keywidth entries), so linear merges and binary
+/// searches beat a tree both in time and in allocation count, and the
+/// derived ordering/hashing coincide with the old sorted-map
+/// representation.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct SelectorBox {
-    /// The pinned blocks, as a sorted map `block ↦ fact`.
-    pinned: BTreeMap<BlockId, FactId>,
+    /// The pins `(block, fact)`, sorted by block slot, one pin per block.
+    pinned: Box<[(BlockId, FactId)]>,
 }
 
 impl SelectorBox {
-    /// Creates a box from explicit pins.
+    /// Creates a box from explicit pins.  Pinning the same block twice
+    /// keeps the last pin (map-insertion semantics).
     pub fn new(pins: impl IntoIterator<Item = (BlockId, FactId)>) -> Self {
+        let mut pinned: Vec<(BlockId, FactId)> = pins.into_iter().collect();
+        pinned.sort_by_key(|&(block, _)| block);
+        // Keep the *last* pin of every equal-block run.
+        pinned.reverse();
+        pinned.dedup_by_key(|&mut (block, _)| block);
+        pinned.reverse();
         SelectorBox {
-            pinned: pins.into_iter().collect(),
+            pinned: pinned.into_boxed_slice(),
         }
     }
 
-    /// The pinned blocks and the fact each one is pinned to.
+    /// The pinned blocks and the fact each one is pinned to, in ascending
+    /// block-slot order.
     pub fn pins(&self) -> impl Iterator<Item = (BlockId, FactId)> + '_ {
-        self.pinned.iter().map(|(&b, &f)| (b, f))
+        self.pinned.iter().copied()
     }
 
     /// Number of pinned blocks (the `ℓ` of an ℓ-selector).
@@ -68,7 +80,10 @@ impl SelectorBox {
 
     /// The fact the given block is pinned to, if any.
     pub fn pin_for(&self, block: BlockId) -> Option<FactId> {
-        self.pinned.get(&block).copied()
+        self.pinned
+            .binary_search_by_key(&block, |&(b, _)| b)
+            .ok()
+            .map(|i| self.pinned[i].1)
     }
 
     /// Returns `true` iff the repair lies inside the box.
@@ -76,7 +91,7 @@ impl SelectorBox {
     /// A repair holds exactly one fact from every block, so it matches a
     /// pin `(B, α)` iff it contains `α` — no block lookup is needed.
     pub fn contains_repair(&self, repair: &Repair) -> bool {
-        self.pinned.values().all(|&fact| repair.contains(fact))
+        self.pinned.iter().all(|&(_, fact)| repair.contains(fact))
     }
 
     /// Returns `true` iff a repair described by "fact chosen per block"
@@ -90,7 +105,7 @@ impl SelectorBox {
     pub fn contains_choice(&self, chosen: &[FactId]) -> bool {
         self.pinned
             .iter()
-            .all(|(&block, &fact)| chosen[block.index()] == fact)
+            .all(|&(block, fact)| chosen[block.index()] == fact)
     }
 
     /// The number of repairs inside the box: `∏` over unpinned blocks of
@@ -98,9 +113,30 @@ impl SelectorBox {
     pub fn size(&self, blocks: &BlockPartition) -> BigNat {
         let mut size = BigNat::one();
         for (id, block) in blocks.iter() {
-            if !self.pinned.contains_key(&id) {
+            if self.pin_for(id).is_none() {
                 size.mul_assign_u64(block.len() as u64);
             }
+        }
+        size
+    }
+
+    /// [`SelectorBox::size`] computed by *division*: `total / ∏` over
+    /// pinned blocks of `|Bᵢ|`, where `total = ∏ |Bᵢ|` is the caller's
+    /// precomputed total repair count.  Exact (every pinned block's size
+    /// divides the total) and `O(pins)` instead of `O(blocks)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pinned block is empty (a live box never pins a retired
+    /// slot) — the division would otherwise be by zero.
+    pub fn size_with_total(&self, blocks: &BlockPartition, total: &BigNat) -> BigNat {
+        let mut size = total.clone();
+        for &(block, _) in self.pinned.iter() {
+            let len = blocks.block(block).len() as u64;
+            assert!(len > 0, "a live box never pins a retired block slot");
+            let (quotient, remainder) = size.div_rem_u64(len);
+            debug_assert_eq!(remainder, 0, "block sizes divide the total exactly");
+            size = quotient;
         }
         size
     }
@@ -108,25 +144,65 @@ impl SelectorBox {
     /// The intersection of two boxes: a box, unless they pin the same block
     /// to different facts, in which case the intersection is empty.
     pub fn intersect(&self, other: &SelectorBox) -> Option<SelectorBox> {
-        let mut pinned = self.pinned.clone();
-        for (&block, &fact) in &other.pinned {
-            match pinned.get(&block) {
-                Some(&existing) if existing != fact => return None,
-                _ => {
-                    pinned.insert(block, fact);
+        let mut pinned = Vec::with_capacity(self.pinned.len() + other.pinned.len());
+        let (mut left, mut right) = (
+            self.pinned.iter().peekable(),
+            other.pinned.iter().peekable(),
+        );
+        loop {
+            match (left.peek(), right.peek()) {
+                (Some(&&(lb, lf)), Some(&&(rb, rf))) => {
+                    if lb == rb {
+                        if lf != rf {
+                            return None;
+                        }
+                        pinned.push((lb, lf));
+                        left.next();
+                        right.next();
+                    } else if lb < rb {
+                        pinned.push((lb, lf));
+                        left.next();
+                    } else {
+                        pinned.push((rb, rf));
+                        right.next();
+                    }
                 }
+                (Some(&&pin), None) => {
+                    pinned.push(pin);
+                    left.next();
+                }
+                (None, Some(&&pin)) => {
+                    pinned.push(pin);
+                    right.next();
+                }
+                (None, None) => break,
             }
         }
-        Some(SelectorBox { pinned })
+        Some(SelectorBox {
+            pinned: pinned.into_boxed_slice(),
+        })
     }
 
     /// Returns `true` iff every repair in `self` is also in `other`
-    /// (i.e. `other`'s pins are a subset of `self`'s pins).
+    /// (i.e. `other`'s pins are a subset of `self`'s pins) — a linear
+    /// merge over the two sorted pin slices.
     pub fn is_subset_of(&self, other: &SelectorBox) -> bool {
-        other
-            .pinned
-            .iter()
-            .all(|(block, fact)| self.pinned.get(block) == Some(fact))
+        let mut mine = self.pinned.iter();
+        'outer: for &(block, fact) in other.pinned.iter() {
+            for &(candidate_block, candidate_fact) in mine.by_ref() {
+                if candidate_block == block {
+                    if candidate_fact != fact {
+                        return false;
+                    }
+                    continue 'outer;
+                }
+                if candidate_block > block {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
     }
 }
 
@@ -179,24 +255,23 @@ pub fn enumerate_certificates(
             }
             // Derive the selector: pin block Bᵢ to R(t̄) iff
             // h(Q') ∩ Bᵢ = {R(t̄)} and Σ has an R-key.
-            let mut pins = BTreeMap::new();
-            for &fact_id in &image {
+            // h(Q') ⊨ Σ guarantees at most one image fact per keyed
+            // block, so collecting never produces conflicting pins.
+            let pins = image.iter().filter_map(|&fact_id| {
                 let fact = db.fact(fact_id);
                 if !keys.has_key(fact.relation()) {
-                    continue;
+                    return None;
                 }
                 let block = blocks
                     .block_of(fact_id)
                     .expect("facts of D belong to a block");
-                // h(Q') ⊨ Σ guarantees at most one image fact per keyed
-                // block, so inserting never conflicts.
-                pins.insert(block, fact_id);
-            }
+                Some((block, fact_id))
+            });
             certificates.push(Certificate {
                 disjunct: disjunct_index,
                 homomorphism: hom,
+                selector: SelectorBox::new(pins),
                 image,
-                selector: SelectorBox { pinned: pins },
             });
         }
     }

@@ -49,8 +49,9 @@ use cdr_repairdb::{
     RepairIter,
 };
 
+use crate::approx::LiveBlockSampler;
 use crate::approx::{ApproxConfig, ApproxCount, FprasEstimator, KarpLubyEstimator};
-use crate::exact::{count_by_enumeration, count_union_of_boxes, DEFAULT_EXACT_BUDGET};
+use crate::exact::{count_by_enumeration, count_union_of_boxes_with_total, DEFAULT_EXACT_BUDGET};
 use crate::{distinct_boxes, enumerate_certificates, CountError, SelectorBox};
 
 /// Default capacity of the engine's LRU plan cache.
@@ -540,16 +541,23 @@ impl QueryPlan {
             let disjunct_keywidth = self
                 .disjunct_keywidth
                 .expect("cert_summary succeeded, so the query rewrote to a UCQ");
+            // One flattened live-block sampler per partition generation,
+            // shared across every plan's estimators — its fact arrays are
+            // O(database), so per-plan copies would multiply that by the
+            // plan-cache size.
+            let sampler = engine.live_block_sampler();
             Arc::new(Estimators {
                 fpras: FprasEstimator::from_parts(
                     Arc::clone(&engine.blocks),
                     Arc::clone(&certs.boxes),
+                    Arc::clone(&sampler),
                     disjunct_keywidth,
                     engine.total_repairs.clone(),
                 ),
                 karp_luby: KarpLubyEstimator::from_parts(
                     Arc::clone(&engine.blocks),
                     Arc::clone(&certs.boxes),
+                    sampler,
                     engine.total_repairs.clone(),
                 ),
             })
@@ -694,6 +702,10 @@ pub struct RepairEngine {
     /// clone of the partition `Arc`); the next mutation drains exactly
     /// these instead of sweeping the whole plan cache.
     estimator_holders: Mutex<Vec<Weak<QueryPlan>>>,
+    /// The flattened live-block sampler shared by every plan's prepared
+    /// estimators, rebuilt lazily after each mutation (its fact arrays
+    /// are a full copy of the live database).
+    repair_sampler: Mutex<Option<Arc<LiveBlockSampler>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -730,6 +742,7 @@ impl RepairEngine {
             parallelism: 1,
             plans: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
             estimator_holders: Mutex::new(Vec::new()),
+            repair_sampler: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -1003,6 +1016,27 @@ impl RepairEngine {
                 *lock(&plan.estimators) = None;
             }
         }
+        // The shared sampler snapshots the pre-mutation blocks; the next
+        // approximate query rebuilds it from the mutated partition.
+        *self
+            .repair_sampler
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = None;
+    }
+
+    /// The flattened live-block sampler for the current partition state,
+    /// built on first use after a mutation and shared (one copy of the
+    /// live fact table) by every plan's prepared estimators.
+    fn live_block_sampler(&self) -> Arc<LiveBlockSampler> {
+        let mut guard = lock(&self.repair_sampler);
+        match guard.as_ref() {
+            Some(sampler) => Arc::clone(sampler),
+            None => {
+                let sampler = Arc::new(LiveBlockSampler::new(&self.blocks));
+                *guard = Some(Arc::clone(&sampler));
+                sampler
+            }
+        }
     }
 
     /// Records that a plan just built estimators (pairing with
@@ -1203,7 +1237,14 @@ impl RepairEngine {
             Strategy::CertificateBoxes => {
                 let certs = plan.cert_summary(self)?;
                 report.certificates = Some(certs.count);
-                let count = count_union_of_boxes(&self.blocks, &certs.boxes, budget)?;
+                // The engine maintains ∏ |Bᵢ| incrementally; handing it to
+                // the union counter spares an O(blocks) re-product per query.
+                let count = count_union_of_boxes_with_total(
+                    &self.blocks,
+                    &certs.boxes,
+                    budget,
+                    self.total_repairs.clone(),
+                )?;
                 Ok((count, Strategy::CertificateBoxes))
             }
             _ => unreachable!("resolve_exact returns a concrete exact strategy"),
@@ -1282,7 +1323,12 @@ impl RepairEngine {
                     return Ok((false, Strategy::CertificateBoxes));
                 }
                 // Inconclusive cheap checks: fall back to the exact count.
-                let count = count_union_of_boxes(&self.blocks, &certs.boxes, budget)?;
+                let count = count_union_of_boxes_with_total(
+                    &self.blocks,
+                    &certs.boxes,
+                    budget,
+                    self.total_repairs.clone(),
+                )?;
                 Ok((count == self.total_repairs, Strategy::CertificateBoxes))
             }
             _ => unreachable!("resolve_exact returns a concrete exact strategy"),

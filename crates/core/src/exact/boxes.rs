@@ -17,12 +17,16 @@
 //!    fails to entail the query iff it avoids every box of every component,
 //!    and components constrain disjoint blocks:
 //!    `#non-entailing = (∏ free |Bᵢ|) · ∏_components (totalᵢ − coveredᵢ)`.
-
-use std::collections::{BTreeMap, BTreeSet};
+//!
+//! The implementation is a flat-representation hot path: boxes are sorted
+//! pin slices (no per-box tree allocations), subsumption pruning and
+//! component grouping work on *references* with a pin-count pre-sort, and
+//! the free-block product is obtained by dividing the (precomputed) total
+//! instead of multiplying over every untouched block.
 
 use cdr_num::BigNat;
 use cdr_query::UcqQuery;
-use cdr_repairdb::{BlockPartition, Database, KeySet};
+use cdr_repairdb::{count_repairs, BlockPartition, Database, KeySet};
 
 use crate::{distinct_boxes, enumerate_certificates, CountError, SelectorBox};
 
@@ -53,31 +57,153 @@ pub fn count_union_of_boxes(
     boxes: &[SelectorBox],
     budget: u64,
 ) -> Result<BigNat, CountError> {
+    count_union_of_boxes_with_total(blocks, boxes, budget, count_repairs(blocks))
+}
+
+/// [`count_union_of_boxes`] with the total repair count `∏ |Bᵢ|` supplied
+/// by the caller (the engine maintains it incrementally across mutations),
+/// so the union count never re-multiplies every block size per query.
+pub fn count_union_of_boxes_with_total(
+    blocks: &BlockPartition,
+    boxes: &[SelectorBox],
+    budget: u64,
+    total: BigNat,
+) -> Result<BigNat, CountError> {
     // Domains are indexed by block *slot* (`BlockId::index`), because that
     // is what box pins name.  Retired slots (emptied by deletions) become
-    // neutral size-1 domains: they multiply nothing into the total and no
-    // live box pins them.
-    let sizes: Vec<usize> = blocks.slot_sizes().into_iter().map(|s| s.max(1)).collect();
+    // neutral size-1 domains — `SlotSizes` clamps on access, borrowing
+    // straight from the partition instead of materialising a sizes vector.
     let generic: Vec<GenericBox> = boxes
         .iter()
         .map(|b| {
-            b.pins()
-                .map(|(block, fact)| {
-                    let position = blocks
-                        .block(block)
-                        .position_of(fact)
-                        .expect("a box only pins facts of its own block");
-                    (block.index(), position)
-                })
-                .collect()
+            // A selector's pins are sorted by block slot, so the mapped
+            // pins arrive already sorted by domain.
+            GenericBox::from_sorted(
+                b.pins()
+                    .map(|(block, fact)| {
+                        let position = blocks
+                            .block(block)
+                            .position_of(fact)
+                            .expect("a box only pins facts of its own block");
+                        (block.index() as u32, position as u32)
+                    })
+                    .collect(),
+            )
         })
         .collect();
-    count_union_generic(&sizes, &generic, budget)
+    count_union_impl(&SlotSizes(blocks), &generic, budget, total)
 }
 
-/// A box over abstract solution domains: a partial map from domain index to
-/// the index of the pinned element within that domain.
-pub type GenericBox = BTreeMap<usize, usize>;
+/// A box over abstract solution domains: a partial map from domain index
+/// to the index of the pinned element within that domain, stored as a flat
+/// slice of `(domain, element)` pairs sorted by domain.
+///
+/// Subset tests are linear merges over the sorted pins and lookups are
+/// binary searches; compared to the previous `BTreeMap` representation a
+/// box is one allocation and hashing/equality touch contiguous memory.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct GenericBox {
+    pins: Box<[(u32, u32)]>,
+}
+
+impl GenericBox {
+    /// The empty (unconstrained) box, covering every tuple.
+    pub fn new() -> GenericBox {
+        GenericBox::default()
+    }
+
+    /// Builds a box from pins already sorted by strictly increasing
+    /// domain index.
+    pub fn from_sorted(pins: Vec<(u32, u32)>) -> GenericBox {
+        debug_assert!(
+            pins.windows(2).all(|w| w[0].0 < w[1].0),
+            "pins must be sorted by strictly increasing domain"
+        );
+        GenericBox {
+            pins: pins.into_boxed_slice(),
+        }
+    }
+
+    /// Number of pinned domains.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Returns `true` iff no domain is pinned (the box covers everything).
+    pub fn is_empty(&self) -> bool {
+        self.pins.is_empty()
+    }
+
+    /// The element the given domain is pinned to, if any.
+    pub fn get(&self, domain: usize) -> Option<usize> {
+        u32::try_from(domain).ok().and_then(|d| {
+            self.pins
+                .binary_search_by_key(&d, |&(pin_domain, _)| pin_domain)
+                .ok()
+                .map(|i| self.pins[i].1 as usize)
+        })
+    }
+
+    /// The pins `(domain, element)` in ascending domain order.
+    pub fn pins(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pins.iter().map(|&(d, e)| (d as usize, e as usize))
+    }
+
+    /// The raw sorted pin slice.
+    pub fn as_slice(&self) -> &[(u32, u32)] {
+        &self.pins
+    }
+
+    /// Returns `true` iff every tuple covered by `self` is covered by
+    /// `other`, i.e. `other`'s pins are a subset of `self`'s pins — a
+    /// linear merge with early exit.
+    pub fn is_subset_of(&self, other: &GenericBox) -> bool {
+        if other.pins.len() > self.pins.len() {
+            return false;
+        }
+        let mut mine = self.pins.iter();
+        'outer: for &(domain, element) in other.pins.iter() {
+            for &(candidate_domain, candidate_element) in mine.by_ref() {
+                if candidate_domain == domain {
+                    if candidate_element != element {
+                        return false;
+                    }
+                    continue 'outer;
+                }
+                if candidate_domain > domain {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+impl FromIterator<(usize, usize)> for GenericBox {
+    /// Collects pins, sorting by domain; pinning the same domain twice
+    /// keeps the last pin (map-insertion semantics).
+    fn from_iter<I: IntoIterator<Item = (usize, usize)>>(iter: I) -> GenericBox {
+        let mut pins: Vec<(u32, u32)> = iter
+            .into_iter()
+            .map(|(d, e)| {
+                (
+                    u32::try_from(d).expect("domain index fits in u32"),
+                    u32::try_from(e).expect("element index fits in u32"),
+                )
+            })
+            .collect();
+        pins.sort_by_key(|&(d, _)| d);
+        // Keep the *last* pin of every equal-domain run.
+        pins.reverse();
+        pins.dedup_by_key(|&mut (d, _)| d);
+        pins.reverse();
+        GenericBox {
+            pins: pins.into_boxed_slice(),
+        }
+    }
+}
 
 /// Counts the tuples of `S₀ × ⋯ × S_{n-1}` (where `|Sᵢ| = domain_sizes[i]`)
 /// that are covered by at least one box.
@@ -94,15 +220,58 @@ pub fn count_union_generic(
     for &s in domain_sizes {
         total.mul_assign_u64(s as u64);
     }
+    count_union_impl(&domain_sizes, boxes, budget, total)
+}
+
+/// Domain-size lookup abstraction: the generic entry point reads a plain
+/// slice, while the selector-box path borrows sizes directly from the
+/// block partition (clamping retired slots to neutral size 1) without
+/// materialising a vector per query.
+trait DomainSizes {
+    fn count(&self) -> usize;
+    fn size(&self, domain: usize) -> usize;
+}
+
+impl DomainSizes for &[usize] {
+    fn count(&self) -> usize {
+        self.len()
+    }
+
+    fn size(&self, domain: usize) -> usize {
+        self[domain]
+    }
+}
+
+struct SlotSizes<'a>(&'a BlockPartition);
+
+impl DomainSizes for SlotSizes<'_> {
+    fn count(&self) -> usize {
+        self.0.slot_count()
+    }
+
+    fn size(&self, domain: usize) -> usize {
+        self.0
+            .block(cdr_repairdb::BlockId::new(domain))
+            .len()
+            .max(1)
+    }
+}
+
+fn count_union_impl<S: DomainSizes>(
+    sizes: &S,
+    boxes: &[GenericBox],
+    budget: u64,
+    total: BigNat,
+) -> Result<BigNat, CountError> {
     // A box pinning an element outside its domain, or an empty domain,
-    // cannot cover anything; filter such boxes out up front.
-    let boxes: Vec<GenericBox> = boxes
+    // cannot cover anything; skip such boxes up front (by reference — the
+    // surviving boxes are never cloned).
+    let boxes: Vec<&GenericBox> = boxes
         .iter()
         .filter(|b| {
-            b.iter()
-                .all(|(&d, &e)| d < domain_sizes.len() && e < domain_sizes[d])
+            b.pins()
+                .all(|(d, e)| d < sizes.count() && e < sizes.size(d))
         })
-        .cloned()
         .collect();
     if total.is_zero() || boxes.is_empty() {
         return Ok(BigNat::zero());
@@ -111,28 +280,26 @@ pub fn count_union_generic(
         return Ok(total);
     }
     let boxes = prune_subsumed(&boxes);
-    let components = connected_components(&boxes);
+    let components = connected_components(&boxes, sizes.count());
 
-    // Free domains: domains pinned by no box.
-    let mut touched_all: BTreeSet<usize> = BTreeSet::new();
-    for b in &boxes {
-        touched_all.extend(b.keys().copied());
-    }
-    let mut free_product = BigNat::one();
-    for (i, &s) in domain_sizes.iter().enumerate() {
-        if !touched_all.contains(&i) {
-            free_product.mul_assign_u64(s as u64);
-        }
-    }
-
-    let mut uncovered_product = free_product;
+    // A repair avoids the union iff it avoids every component's boxes;
+    // free domains (touched by no component) contribute their full size.
+    // Start from the caller's total and divide out each touched domain —
+    // O(touched) divisions instead of O(domains) multiplications.
+    let mut uncovered_product = total.clone();
     for component in &components {
-        let touched: Vec<usize> = component.touched.iter().copied().collect();
-        let mut component_total = BigNat::one();
-        for &d in &touched {
-            component_total.mul_assign_u64(domain_sizes[d] as u64);
+        for &d in &component.touched {
+            let (quotient, remainder) = uncovered_product.div_rem_u64(sizes.size(d) as u64);
+            debug_assert_eq!(remainder, 0, "domain sizes divide the total exactly");
+            uncovered_product = quotient;
         }
-        let covered = count_component_union(domain_sizes, &component.boxes, &touched, budget)?;
+    }
+    for component in &components {
+        let mut component_total = BigNat::one();
+        for &d in &component.touched {
+            component_total.mul_assign_u64(sizes.size(d) as u64);
+        }
+        let covered = count_component_union(sizes, &component.boxes, &component.touched, budget)?;
         let uncovered = component_total
             .checked_sub(&covered)
             .expect("covered assignments cannot exceed the component total");
@@ -143,78 +310,105 @@ pub fn count_union_generic(
         .expect("non-entailing tuples cannot exceed the total"))
 }
 
-/// Drops boxes that are subsumed by (contained in) another box.
-fn prune_subsumed(boxes: &[GenericBox]) -> Vec<GenericBox> {
-    fn subset_of(a: &GenericBox, b: &GenericBox) -> bool {
-        // Every tuple in the box with pins `a` is in the box with pins `b`
-        // iff b's pins are a subset of a's pins.
-        b.iter().all(|(d, e)| a.get(d) == Some(e))
-    }
-    let mut kept: Vec<GenericBox> = Vec::new();
-    'outer: for (i, candidate) in boxes.iter().enumerate() {
-        for (j, other) in boxes.iter().enumerate() {
-            if i == j {
-                continue;
+/// Drops boxes that are subsumed by (contained in) another box, preserving
+/// the input order of the survivors.
+///
+/// A box can only be subsumed by a box with at most as many pins, so the
+/// scan processes candidates in ascending pin count and checks each only
+/// against already-kept boxes, stopping as soon as the kept boxes grow
+/// larger than the candidate — no clones, no O(n²) full cross-product.
+/// Tie-break: of two *equal* boxes exactly the first (smallest input
+/// index) survives, exactly as before the flat-representation rewrite.
+fn prune_subsumed<'a>(boxes: &[&'a GenericBox]) -> Vec<&'a GenericBox> {
+    let mut order: Vec<usize> = (0..boxes.len()).collect();
+    order.sort_by_key(|&i| (boxes[i].len(), i));
+    let mut kept: Vec<usize> = Vec::with_capacity(boxes.len());
+    'outer: for &i in &order {
+        let candidate = boxes[i];
+        for &j in &kept {
+            let other = boxes[j];
+            if other.len() > candidate.len() {
+                // Kept boxes are visited in ascending pin count: nothing
+                // beyond this point can subsume the candidate.
+                break;
             }
-            // candidate ⊆ other, with ties broken by index so exactly one of
-            // two equal boxes survives.
-            if subset_of(candidate, other) && (!subset_of(other, candidate) || j < i) {
+            if candidate.is_subset_of(other) {
                 continue 'outer;
             }
         }
-        kept.push(candidate.clone());
+        kept.push(i);
     }
-    kept
+    kept.sort_unstable();
+    kept.into_iter().map(|i| boxes[i]).collect()
 }
 
-struct Component {
-    boxes: Vec<GenericBox>,
-    touched: BTreeSet<usize>,
+struct Component<'a> {
+    boxes: Vec<&'a GenericBox>,
+    /// The domains pinned by at least one box of the component, sorted.
+    touched: Vec<usize>,
 }
 
 /// Groups boxes into connected components of the "shares a pinned domain"
-/// relation, via union–find over box indices.
-fn connected_components(boxes: &[GenericBox]) -> Vec<Component> {
-    let mut parent: Vec<usize> = (0..boxes.len()).collect();
+/// relation, via union–find over box indices with a slot-indexed
+/// domain-owner table (domains are dense indices below `domain_count`).
+fn connected_components<'a>(boxes: &[&'a GenericBox], domain_count: usize) -> Vec<Component<'a>> {
+    let mut parent: Vec<u32> = (0..boxes.len() as u32).collect();
 
-    fn find(parent: &mut [usize], mut x: usize) -> usize {
-        while parent[x] != x {
-            parent[x] = parent[parent[x]];
-            x = parent[x];
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
         }
         x
     }
-    fn union(parent: &mut [usize], a: usize, b: usize) {
+    fn union(parent: &mut [u32], a: u32, b: u32) {
         let ra = find(parent, a);
         let rb = find(parent, b);
         if ra != rb {
-            parent[ra] = rb;
+            parent[ra as usize] = rb;
         }
     }
 
-    let mut domain_owner: BTreeMap<usize, usize> = BTreeMap::new();
+    const NO_OWNER: u32 = u32::MAX;
+    let mut domain_owner: Vec<u32> = vec![NO_OWNER; domain_count];
     for (i, b) in boxes.iter().enumerate() {
-        for &domain in b.keys() {
-            match domain_owner.get(&domain) {
-                Some(&owner) => union(&mut parent, i, owner),
-                None => {
-                    domain_owner.insert(domain, i);
-                }
+        for &(domain, _) in b.as_slice() {
+            let owner = &mut domain_owner[domain as usize];
+            if *owner == NO_OWNER {
+                *owner = i as u32;
+            } else {
+                let previous = *owner;
+                union(&mut parent, i as u32, previous);
             }
         }
     }
 
-    let mut grouped: BTreeMap<usize, Component> = BTreeMap::new();
+    // Group boxes by root, preserving input order within and across
+    // components (components are ordered by their first member).
+    let mut component_of: Vec<u32> = vec![NO_OWNER; boxes.len()];
+    let mut components: Vec<Component<'a>> = Vec::new();
     for (i, b) in boxes.iter().enumerate() {
-        let root = find(&mut parent, i);
-        let entry = grouped.entry(root).or_insert_with(|| Component {
-            boxes: Vec::new(),
-            touched: BTreeSet::new(),
-        });
-        entry.touched.extend(b.keys().copied());
-        entry.boxes.push(b.clone());
+        let root = find(&mut parent, i as u32);
+        let slot = if component_of[root as usize] == NO_OWNER {
+            components.push(Component {
+                boxes: Vec::new(),
+                touched: Vec::new(),
+            });
+            component_of[root as usize] = (components.len() - 1) as u32;
+            components.len() - 1
+        } else {
+            component_of[root as usize] as usize
+        };
+        components[slot].boxes.push(b);
+        components[slot]
+            .touched
+            .extend(b.pins().map(|(domain, _)| domain));
     }
-    grouped.into_values().collect()
+    for component in &mut components {
+        component.touched.sort_unstable();
+        component.touched.dedup();
+    }
+    components
 }
 
 /// Maximum number of boxes for which inclusion–exclusion (2^boxes terms) is
@@ -223,25 +417,25 @@ const MAX_IE_BOXES: usize = 22;
 
 /// Counts the assignments of the component's touched domains that are
 /// covered by at least one of the component's boxes.
-fn count_component_union(
-    domain_sizes: &[usize],
-    boxes: &[GenericBox],
+fn count_component_union<S: DomainSizes>(
+    sizes: &S,
+    boxes: &[&GenericBox],
     touched: &[usize],
     budget: u64,
 ) -> Result<BigNat, CountError> {
     // Cost of enumerating the touched assignments.
     let mut enumeration_cost: u128 = 1;
     for &d in touched {
-        enumeration_cost = enumeration_cost.saturating_mul(domain_sizes[d] as u128);
+        enumeration_cost = enumeration_cost.saturating_mul(sizes.size(d) as u128);
         if enumeration_cost > budget as u128 {
             break;
         }
     }
     if enumeration_cost <= budget as u128 {
-        return Ok(count_by_touched_enumeration(domain_sizes, boxes, touched));
+        return Ok(count_by_touched_enumeration(sizes, boxes, touched));
     }
     if boxes.len() <= MAX_IE_BOXES {
-        return Ok(count_by_inclusion_exclusion(domain_sizes, boxes, touched));
+        return Ok(count_by_inclusion_exclusion(sizes, boxes, touched));
     }
     Err(CountError::ExactBudgetExceeded {
         what: format!(
@@ -256,21 +450,21 @@ fn count_component_union(
 
 /// Enumerates the assignments of the touched domains and counts those
 /// covered by at least one box.
-fn count_by_touched_enumeration(
-    domain_sizes: &[usize],
-    boxes: &[GenericBox],
+fn count_by_touched_enumeration<S: DomainSizes>(
+    sizes: &S,
+    boxes: &[&GenericBox],
     touched: &[usize],
 ) -> BigNat {
-    let sizes: Vec<usize> = touched.iter().map(|&d| domain_sizes[d]).collect();
+    let touched_sizes: Vec<usize> = touched.iter().map(|&d| sizes.size(d)).collect();
     let mut choice = vec![0usize; touched.len()];
     let mut covered: u64 = 0;
     loop {
         let is_covered = boxes.iter().any(|b| {
-            b.iter().all(|(&domain, &element)| {
-                match touched.iter().position(|&t| t == domain) {
-                    Some(pos) => choice[pos] == element,
+            b.pins().all(|(domain, element)| {
+                match touched.binary_search(&domain) {
+                    Ok(position) => choice[position] == element,
                     // A box never pins a domain outside its own component.
-                    None => false,
+                    Err(_) => false,
                 }
             })
         });
@@ -285,7 +479,7 @@ fn count_by_touched_enumeration(
             }
             i -= 1;
             choice[i] += 1;
-            if choice[i] < sizes[i] {
+            if choice[i] < touched_sizes[i] {
                 break;
             }
             choice[i] = 0;
@@ -298,42 +492,63 @@ fn count_by_touched_enumeration(
 
 /// Counts the covered assignments by inclusion–exclusion over the boxes:
 /// `|⋃ boxes| = Σ_{∅ ≠ S} (−1)^{|S|+1} |⋂ S|`, where the intersection of a
-/// set of boxes is itself a box (or empty).
-fn count_by_inclusion_exclusion(
-    domain_sizes: &[usize],
-    boxes: &[GenericBox],
+/// set of boxes is itself a box (or empty).  The intersection pin sets are
+/// built by sorted merges into two scratch buffers reused across the
+/// 2^n − 1 subsets.
+fn count_by_inclusion_exclusion<S: DomainSizes>(
+    sizes: &S,
+    boxes: &[&GenericBox],
     touched: &[usize],
 ) -> BigNat {
     let n = boxes.len();
     let mut positive = BigNat::zero();
     let mut negative = BigNat::zero();
+    let mut intersection: Vec<(u32, u32)> = Vec::new();
+    let mut merged: Vec<(u32, u32)> = Vec::new();
     for mask in 1u64..(1u64 << n) {
-        let mut intersection = GenericBox::new();
+        intersection.clear();
         let mut empty = false;
         'boxes: for (i, b) in boxes.iter().enumerate() {
-            if mask & (1 << i) != 0 {
-                for (&d, &e) in b {
-                    match intersection.get(&d) {
-                        Some(&existing) if existing != e => {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            // merged ← intersection ∪ b.pins, conflict ⇒ empty box.
+            merged.clear();
+            let mut existing = intersection.iter().peekable();
+            for &(domain, element) in b.as_slice() {
+                while let Some(&&(have_domain, have_element)) = existing.peek() {
+                    if have_domain < domain {
+                        merged.push((have_domain, have_element));
+                        existing.next();
+                    } else if have_domain == domain {
+                        if have_element != element {
                             empty = true;
                             break 'boxes;
                         }
-                        _ => {
-                            intersection.insert(d, e);
-                        }
+                        existing.next();
+                        break;
+                    } else {
+                        break;
                     }
                 }
+                merged.push((domain, element));
             }
+            merged.extend(existing.copied());
+            std::mem::swap(&mut intersection, &mut merged);
         }
         if empty {
             continue;
         }
-        // Size of the intersection restricted to the touched domains.
+        // Size of the intersection restricted to the touched domains: walk
+        // the two sorted lists in lockstep.
         let mut size = BigNat::one();
+        let mut pins = intersection.iter().peekable();
         for &d in touched {
-            if !intersection.contains_key(&d) {
-                size.mul_assign_u64(domain_sizes[d] as u64);
+            while pins.next_if(|&&(pin, _)| (pin as usize) < d).is_some() {}
+            if pins.peek().is_some_and(|&&(pin, _)| pin as usize == d) {
+                continue;
             }
+            size.mul_assign_u64(sizes.size(d) as u64);
         }
         if mask.count_ones() % 2 == 1 {
             positive += size;
@@ -371,6 +586,13 @@ mod tests {
         let by_boxes = count_by_boxes(db, keys, &ucq, 1_000_000).unwrap();
         let by_enum = count_by_enumeration(db, keys, &q, 1_000_000).unwrap();
         (by_boxes.to_u64().unwrap(), by_enum.to_u64().unwrap())
+    }
+
+    /// Shorthand: prune a slice of owned boxes through the by-reference
+    /// entry point, returning clones of the survivors.
+    fn prune(boxes: &[GenericBox]) -> Vec<GenericBox> {
+        let refs: Vec<&GenericBox> = boxes.iter().collect();
+        prune_subsumed(&refs).into_iter().cloned().collect()
     }
 
     #[test]
@@ -463,15 +685,63 @@ mod tests {
         // At the generic level, the tighter box (more pins) is dropped.
         let tight_g: GenericBox = [(0usize, 1usize), (1, 0)].into_iter().collect();
         let loose_g: GenericBox = [(0usize, 1usize)].into_iter().collect();
-        let pruned = prune_subsumed(&[tight_g.clone(), loose_g.clone()]);
+        let pruned = prune(&[tight_g.clone(), loose_g.clone()]);
         assert_eq!(pruned, vec![loose_g.clone()]);
         // Equal boxes: exactly one survives.
-        let pruned = prune_subsumed(&[loose_g.clone(), loose_g.clone()]);
+        let pruned = prune(&[loose_g.clone(), loose_g.clone()]);
         assert_eq!(pruned.len(), 1);
         // Counting with redundant boxes still gives the right answer.
         let with_redundant = count_union_of_boxes(&blocks, &[tight, loose.clone()], 1000).unwrap();
         let alone = count_union_of_boxes(&blocks, &[loose], 1000).unwrap();
         assert_eq!(with_redundant, alone);
+    }
+
+    /// Regression for the pin-count pre-sort: duplicates, mutually
+    /// subsuming chains and interleaved input orders must keep the
+    /// pre-rewrite semantics — strictly-subsumed boxes always die, and of
+    /// two equal boxes exactly the first survives, in input order.
+    #[test]
+    fn prune_tie_breaks_match_the_quadratic_semantics() {
+        let a: GenericBox = [(0usize, 0usize)].into_iter().collect();
+        let ab: GenericBox = [(0usize, 0usize), (1, 1)].into_iter().collect();
+        let abc: GenericBox = [(0usize, 0usize), (1, 1), (2, 2)].into_iter().collect();
+        let other: GenericBox = [(5usize, 0usize)].into_iter().collect();
+
+        // A chain with duplicates, largest first: only the smallest
+        // (and, of its two copies, the first) survives.
+        let pruned = prune(&[abc.clone(), ab.clone(), a.clone(), a.clone(), ab.clone()]);
+        assert_eq!(pruned, vec![a.clone()]);
+
+        // Three identical boxes: exactly one survivor.
+        let pruned = prune(&[ab.clone(), ab.clone(), ab.clone()]);
+        assert_eq!(pruned, vec![ab.clone()]);
+
+        // Survivors keep their input order, even when the pin-count
+        // pre-sort visits them in a different order.
+        let pruned = prune(&[abc.clone(), other.clone(), a.clone()]);
+        assert_eq!(pruned, vec![other.clone(), a.clone()]);
+
+        // Mutually incomparable boxes all survive.
+        let b: GenericBox = [(1usize, 0usize)].into_iter().collect();
+        let pruned = prune(&[a.clone(), b.clone(), other.clone()]);
+        assert_eq!(pruned, vec![a.clone(), b, other]);
+
+        // Equal boxes still collapse to one when a strict subsumer is
+        // also present — and the subsumer is the survivor.
+        let pruned = prune(&[ab.clone(), ab.clone(), a.clone()]);
+        assert_eq!(pruned, vec![a]);
+    }
+
+    #[test]
+    fn generic_box_accessors_and_last_pin_wins() {
+        let b: GenericBox = [(3usize, 1usize), (1, 2), (3, 7)].into_iter().collect();
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.get(1), Some(2));
+        assert_eq!(b.get(3), Some(7), "the last pin of a domain wins");
+        assert_eq!(b.get(0), None);
+        assert_eq!(b.pins().collect::<Vec<_>>(), vec![(1, 2), (3, 7)]);
+        assert_eq!(b.as_slice(), &[(1u32, 2u32), (3, 7)]);
     }
 
     #[test]
@@ -489,10 +759,7 @@ mod tests {
             for b in 0..2 {
                 for c in 0..4 {
                     let tuple = [a, b, c];
-                    if boxes
-                        .iter()
-                        .any(|bx| bx.iter().all(|(&d, &e)| tuple[d] == e))
-                    {
+                    if boxes.iter().any(|bx| bx.pins().all(|(d, e)| tuple[d] == e)) {
                         expected += 1;
                     }
                 }

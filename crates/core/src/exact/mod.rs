@@ -22,7 +22,10 @@
 mod boxes;
 mod enumeration;
 
-pub use boxes::{count_by_boxes, count_union_generic, count_union_of_boxes, GenericBox};
+pub use boxes::{
+    count_by_boxes, count_union_generic, count_union_of_boxes, count_union_of_boxes_with_total,
+    GenericBox,
+};
 pub use enumeration::count_by_enumeration;
 
 /// Default budget for exact counters: the maximum number of repairs (for

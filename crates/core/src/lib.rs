@@ -60,7 +60,8 @@ pub use engine::{
 };
 pub use error::CountError;
 pub use exact::{
-    count_by_boxes, count_by_enumeration, count_union_generic, count_union_of_boxes, GenericBox,
+    count_by_boxes, count_by_enumeration, count_union_generic, count_union_of_boxes,
+    count_union_of_boxes_with_total, GenericBox,
 };
 pub use frequency::{relative_frequency, relative_frequency_with};
 pub use wire::{parse_count_request, parse_engine_command, parse_mutation, WireError};

@@ -90,7 +90,7 @@ pub fn compactor_fpras(
         for (i, &s) in sizes.iter().enumerate() {
             tuple[i] = rng.gen_range(0..s);
         }
-        if boxes.iter().any(|b| b.iter().all(|(&d, &e)| tuple[d] == e)) {
+        if boxes.iter().any(|b| b.pins().all(|(d, e)| tuple[d] == e)) {
             positives += 1;
         }
     }
@@ -131,7 +131,7 @@ pub fn compactor_karp_luby(
         let mut size = BigNat::one();
         let mut rel = 1.0f64;
         for (d, &s) in sizes.iter().enumerate() {
-            if !b.contains_key(&d) {
+            if b.get(d).is_none() {
                 size.mul_assign_u64(s as u64);
             } else {
                 rel /= s as f64;
@@ -163,14 +163,14 @@ pub fn compactor_karp_luby(
             target -= w;
         }
         for (d, &s) in sizes.iter().enumerate() {
-            tuple[d] = match boxes[chosen].get(&d) {
-                Some(&e) => e,
+            tuple[d] = match boxes[chosen].get(d) {
+                Some(e) => e,
                 None => rng.gen_range(0..s),
             };
         }
         let first = boxes
             .iter()
-            .position(|b| b.iter().all(|(&d, &e)| tuple[d] == e))
+            .position(|b| b.pins().all(|(d, e)| tuple[d] == e))
             .expect("the chosen box contains its own completion");
         if first == chosen {
             positives += 1;

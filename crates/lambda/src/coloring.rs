@@ -11,8 +11,6 @@
 //! the vertices (their color lists), and each pair `(e, ν)` is a box
 //! pinning the `k` vertices of `e` to the colors of `ν`.
 
-use std::collections::BTreeMap;
-
 use cdr_core::{count_union_generic, CountError, RepairCounter};
 use cdr_num::BigNat;
 use cdr_query::{parse_query, Query};
@@ -191,7 +189,7 @@ impl ForbiddenColoring {
     pub fn count_forbidden_brute_force(&self) -> BigNat {
         let sizes = &self.graph.colors;
         if sizes.is_empty() {
-            return if self.boxes().iter().any(BTreeMap::is_empty) {
+            return if self.boxes().iter().any(PinBox::is_empty) {
                 BigNat::one()
             } else {
                 BigNat::zero()
@@ -201,10 +199,7 @@ impl ForbiddenColoring {
         let mut choice = vec![0usize; sizes.len()];
         let mut count: u64 = 0;
         loop {
-            if boxes
-                .iter()
-                .any(|b| b.iter().all(|(&v, &c)| choice[v] == c))
-            {
+            if boxes.iter().any(|b| b.pins().all(|(v, c)| choice[v] == c)) {
                 count += 1;
             }
             let mut i = sizes.len();

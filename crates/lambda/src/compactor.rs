@@ -86,8 +86,8 @@ pub trait Compactor {
                 let slots = sizes
                     .iter()
                     .enumerate()
-                    .map(|(d, &size)| match pins.get(&d) {
-                        Some(&e) => Slot::Pinned(self.element_label(d, e)),
+                    .map(|(d, &size)| match pins.get(d) {
+                        Some(e) => Slot::Pinned(self.element_label(d, e)),
                         None => Slot::Full((0..size).map(|e| self.element_label(d, e)).collect()),
                     })
                     .collect();
@@ -141,9 +141,7 @@ pub fn enumerate_solutions(compactor: &dyn Compactor, limit: usize) -> Vec<Vec<u
     }
     let mut choice = vec![0usize; sizes.len()];
     loop {
-        let covered = boxes
-            .iter()
-            .any(|b| b.iter().all(|(&d, &e)| choice[d] == e));
+        let covered = boxes.iter().any(|b| b.pins().all(|(d, e)| choice[d] == e));
         if covered {
             solutions.push(choice.clone());
             if solutions.len() >= limit {
@@ -196,7 +194,7 @@ impl ExplicitCompactor {
                         b.len()
                     );
                 }
-                for (&d, &e) in b {
+                for (d, e) in b.pins() {
                     assert!(d < domains.len(), "pinned domain {d} does not exist");
                     assert!(
                         e < domains[d],

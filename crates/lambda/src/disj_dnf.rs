@@ -129,21 +129,21 @@ impl DisjPosDnf {
     /// Converts a clause to its box over the classes: `None` if the clause
     /// is unsatisfiable under P-assignments (two variables of one class).
     fn clause_box(&self, clause: &[usize]) -> Option<PinBox> {
-        let mut pins = PinBox::new();
+        let mut pins: Vec<(usize, usize)> = Vec::with_capacity(clause.len());
         for &v in clause {
             let class = self.class_of[v];
             let position = self.classes[class]
                 .iter()
                 .position(|&u| u == v)
                 .expect("class_of is consistent with classes");
-            match pins.get(&class) {
-                Some(&existing) if existing != position => return None,
-                _ => {
-                    pins.insert(class, position);
-                }
+            // Clauses are short: a linear scan beats any map here.
+            match pins.iter().find(|&&(c, _)| c == class) {
+                Some(&(_, existing)) if existing != position => return None,
+                Some(_) => {}
+                None => pins.push((class, position)),
             }
         }
-        Some(pins)
+        Some(pins.into_iter().collect())
     }
 
     /// Counts the satisfying P-assignments exactly.

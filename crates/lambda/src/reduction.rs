@@ -127,8 +127,8 @@ pub fn reduce_compactor_to_cqa(compactor: &dyn Compactor) -> Result<CqaInstance,
         // Elements appearing in the output: pinned elements appear as
         // themselves, unpinned domains are listed in full.
         for (d, &size) in sizes.iter().enumerate() {
-            match pins.get(&d) {
-                Some(&e) => appears[d][e] = true,
+            match pins.get(d) {
+                Some(e) => appears[d][e] = true,
                 None => {
                     for slot in appears[d].iter_mut().take(size) {
                         *slot = true;
@@ -139,7 +139,7 @@ pub fn reduce_compactor_to_cqa(compactor: &dyn Compactor) -> Result<CqaInstance,
         // The Selector fact for this certificate.
         let mut row = Vec::with_capacity(1 + 2 * k);
         row.push(Value::int(c as i64));
-        for (&d, &e) in pins.iter() {
+        for (d, e) in pins.pins() {
             row.push(domain_constant(d));
             row.push(element_constant(compactor, d, e));
         }

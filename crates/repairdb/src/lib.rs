@@ -8,7 +8,9 @@
 //!
 //! The central objects are:
 //!
-//! * [`Value`] — a database constant (integer or string).
+//! * [`Value`] — a database constant (integer or interned string).
+//! * [`Symbol`] / [`SymbolTable`] — interned string payloads with dense
+//!   `u32` ids, so value equality and hashing are integer operations.
 //! * [`Schema`] / [`RelationId`] — relation symbols with fixed arities.
 //! * [`Fact`] — a ground atom `R(c₁, …, cₙ)`.
 //! * [`KeySet`] — a set of primary keys `key(R) = {1, …, m}`.
@@ -29,6 +31,7 @@ mod fact;
 mod keys;
 mod repairs;
 mod schema;
+mod symbol;
 mod value;
 
 pub use blocks::{Block, BlockDelta, BlockId, BlockPartition, KeyValue};
@@ -38,4 +41,5 @@ pub use fact::Fact;
 pub use keys::{KeySet, KeySetBuilder};
 pub use repairs::{count_repairs, describe_repair, Repair, RepairIter};
 pub use schema::{RelationId, RelationInfo, Schema};
+pub use symbol::{Symbol, SymbolTable};
 pub use value::{parse_value, Value};

@@ -1,0 +1,306 @@
+//! Interned string symbols.
+//!
+//! Every string constant in the system is *interned*: the first time a
+//! payload is seen it is assigned a dense `u32` id in the process-wide
+//! [`SymbolTable`], and every later occurrence resolves to the same id.
+//! A [`Symbol`] carries both the id and a shared handle to the interned
+//! text, which buys the hot paths integer-speed operations without giving
+//! up the string-typed edges:
+//!
+//! * **equality and hashing are integer ops** — two symbols are equal iff
+//!   their ids are equal, and hashing feeds 4 bytes to the hasher instead
+//!   of the whole payload.  `Fact` deduplication, per-relation indexes and
+//!   `KeySet` block grouping all ride on this.
+//! * **ordering stays textual** — the paper's block sequence `B₁, …, Bₙ`
+//!   is fixed by the lexicographic order `≺_{D,Σ}` on key *values*, so
+//!   [`Ord`] compares the underlying text (short-circuiting to `Equal` on
+//!   id equality).  Interning changes no observable ordering.
+//! * **display needs no table lookup** — the symbol's own `Arc<str>`
+//!   resolves it, so rendering never touches the table lock.
+//!
+//! The table is process-global rather than owned by a single `Database` so
+//! that [`crate::Value`]s remain free-standing, totally ordered value
+//! types: facts parsed against one database, query constants, and values
+//! built by tests all compare and hash coherently without threading a
+//! table handle through every API.  Databases intern incrementally as a
+//! side effect of constructing the values they ingest.
+//!
+//! Entries are held **weakly**: the table keeps a [`Weak`] handle to each
+//! payload's canonical allocation, so the payload's memory lives exactly
+//! as long as some [`Symbol`] for it does.  Re-interning a payload whose
+//! symbols all died *revives* its entry — same id, fresh allocation — so
+//! churn on a payload consumes neither memory nor id space; entries that
+//! stay dead are swept whenever the table doubles, after which their ids
+//! are retired for good.  A long-running server streaming transient
+//! string payloads therefore accumulates neither strings nor ids, and an
+//! id names exactly one payload for the lifetime of the process (the
+//! Eq-by-id invariant).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock, RwLock, Weak};
+
+/// An interned string: a dense `u32` id plus a shared handle to the text.
+///
+/// Equality and hashing use only the id (interning guarantees one id per
+/// distinct payload); ordering compares the text, so sequences of symbols
+/// sort exactly as the underlying strings do.
+#[derive(Clone)]
+pub struct Symbol {
+    id: u32,
+    text: Arc<str>,
+}
+
+impl Symbol {
+    /// Interns `text` in the global [`SymbolTable`] (a no-op returning the
+    /// existing symbol if the payload was seen before).
+    pub fn intern(text: impl AsRef<str>) -> Symbol {
+        SymbolTable::global().intern(text.as_ref())
+    }
+
+    /// The dense id of this symbol in the global table.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The interned text.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Symbol {}
+
+impl Hash for Symbol {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Symbol) -> std::cmp::Ordering {
+        if self.id == other.id {
+            // One id per payload: equal ids means equal text.
+            std::cmp::Ordering::Equal
+        } else {
+            self.text.cmp(&other.text)
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}#{}", &*self.text, self.id)
+    }
+}
+
+/// The process-wide intern table mapping string payloads to dense ids.
+///
+/// Entries are weak (see the module docs): the table never keeps a
+/// payload alive on its own, so its footprint tracks the *live* symbols,
+/// not the history of everything ever interned.
+pub struct SymbolTable {
+    inner: RwLock<TableInner>,
+}
+
+struct TableInner {
+    /// Payload → (id, canonical allocation).  The key owns an independent
+    /// copy of the text; the [`Weak`] tracks whether any [`Symbol`] for
+    /// the payload is still alive.  Re-interning a dead entry's payload
+    /// *revives* it — same id, fresh allocation — so transient churn on a
+    /// payload consumes no id space; the periodic sweep removes dead
+    /// entries wholesale (their ids are then retired for good).
+    ids: HashMap<Box<str>, (u32, Weak<str>)>,
+    /// The next id to mint.  An id is only ever associated with one
+    /// payload; fresh ids are needed only for payloads never seen or
+    /// swept away, so the u32 space bounds *distinct-ish* payloads, not
+    /// intern calls.
+    next_id: u32,
+    /// Sweep dead entries once the map grows past this.
+    sweep_watermark: usize,
+}
+
+impl Default for TableInner {
+    fn default() -> TableInner {
+        TableInner {
+            ids: HashMap::new(),
+            next_id: 0,
+            sweep_watermark: 64,
+        }
+    }
+}
+
+impl SymbolTable {
+    /// The global table every [`Symbol`] lives in.
+    pub fn global() -> &'static SymbolTable {
+        static TABLE: OnceLock<SymbolTable> = OnceLock::new();
+        TABLE.get_or_init(|| SymbolTable {
+            inner: RwLock::new(TableInner::default()),
+        })
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, TableInner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, TableInner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Interns a payload, returning its symbol.  While any symbol for the
+    /// payload is alive this is the existing (id, allocation) pair; a dead
+    /// entry is revived with the *same* id and a fresh allocation, so
+    /// churning one payload alive→dead→alive forever consumes no id
+    /// space.  A fresh id is minted only for payloads with no table entry
+    /// (never seen, or swept after dying) — an id therefore names one
+    /// payload for the lifetime of the process (the Eq-by-id invariant).
+    pub fn intern(&self, text: &str) -> Symbol {
+        if let Some(&(id, ref weak)) = self.read().ids.get(text) {
+            if let Some(arc) = weak.upgrade() {
+                return Symbol { id, text: arc };
+            }
+        }
+        let mut inner = self.write();
+        // Re-check under the write lock: another thread may have interned
+        // the payload between our read and write sections.
+        if let Some((id, weak)) = inner.ids.get_mut(text) {
+            if let Some(arc) = weak.upgrade() {
+                return Symbol { id: *id, text: arc };
+            }
+            // Revive the dead entry in place: same id, fresh allocation.
+            let arc: Arc<str> = Arc::from(text);
+            *weak = Arc::downgrade(&arc);
+            return Symbol { id: *id, text: arc };
+        }
+        let id = inner.next_id;
+        inner.next_id = inner
+            .next_id
+            .checked_add(1)
+            .expect("symbol table exhausted: more than u32::MAX distinct payloads");
+        let arc: Arc<str> = Arc::from(text);
+        inner
+            .ids
+            .insert(Box::from(text), (id, Arc::downgrade(&arc)));
+        if inner.ids.len() >= inner.sweep_watermark {
+            inner.ids.retain(|_, (_, weak)| weak.strong_count() > 0);
+            inner.sweep_watermark = (inner.ids.len() * 2).max(64);
+        }
+        Symbol { id, text: arc }
+    }
+
+    /// Number of payloads with at least one live [`Symbol`] (process-wide).
+    pub fn len(&self) -> usize {
+        self.read()
+            .ids
+            .values()
+            .filter(|(_, weak)| weak.strong_count() > 0)
+            .count()
+    }
+
+    /// Returns `true` iff no payload has a live symbol.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_and_preserves_text() {
+        let a = Symbol::intern("hotpath-alpha");
+        let b = Symbol::intern("hotpath-alpha");
+        let c = Symbol::intern("hotpath-beta");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "hotpath-alpha");
+        assert_eq!(c.to_string(), "hotpath-beta");
+        assert!(format!("{c:?}").contains("hotpath-beta"));
+    }
+
+    #[test]
+    fn ordering_is_textual_not_by_id() {
+        // Intern in reverse lexicographic order: ids ascend, text does not.
+        let z = Symbol::intern("hotpath-z");
+        let m = Symbol::intern("hotpath-m");
+        let a = Symbol::intern("hotpath-a");
+        let mut sorted = vec![z.clone(), m.clone(), a.clone()];
+        sorted.sort();
+        assert_eq!(sorted, vec![a, m, z.clone()]);
+        assert_eq!(z.cmp(&z), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn live_symbols_are_counted() {
+        let s = Symbol::intern("hotpath-count-me");
+        let table = SymbolTable::global();
+        assert!(!table.is_empty());
+        assert_ne!(table.len(), 0);
+        // While `s` is alive, re-interning returns the same id.
+        assert_eq!(Symbol::intern("hotpath-count-me").id(), s.id());
+    }
+
+    /// Dropping every symbol for a payload releases its memory, and a
+    /// later re-intern revives the entry with the *same* id — churning a
+    /// payload costs neither memory nor id space — while bursts of
+    /// distinct transient payloads are swept instead of accumulating.
+    #[test]
+    fn dead_payloads_are_revived_or_swept() {
+        let first = Symbol::intern("hotpath-transient");
+        let first_id = first.id();
+        drop(first);
+        let second = Symbol::intern("hotpath-transient");
+        assert_eq!(second.id(), first_id, "a dead entry revives its id");
+        assert_eq!(second.as_str(), "hotpath-transient");
+        // While alive, the entry is stable.
+        assert_eq!(Symbol::intern("hotpath-transient").id(), second.id());
+        // Many distinct transient payloads must not grow the live count.
+        let live_before = SymbolTable::global().len();
+        for i in 0..10_000 {
+            let transient = Symbol::intern(format!("hotpath-burst-{i}"));
+            drop(transient);
+        }
+        let live_after = SymbolTable::global().len();
+        // Slack for symbols interned concurrently by sibling tests (the
+        // table is process-global); the point is that the 10k-payload
+        // burst itself left no trace.
+        assert!(
+            live_after < live_before + 1_000,
+            "transient payloads leaked: {live_before} -> {live_after} live entries"
+        );
+    }
+
+    #[test]
+    fn hashing_follows_equality() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(s: &Symbol) -> u64 {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        }
+        let a = Symbol::intern("hotpath-hash");
+        let b = Symbol::intern("hotpath-hash");
+        assert_eq!(h(&a), h(&b));
+    }
+}

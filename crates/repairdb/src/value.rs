@@ -1,9 +1,8 @@
 //! Database constants.
 
 use std::fmt;
-use std::sync::Arc;
 
-use crate::DbError;
+use crate::{DbError, Symbol};
 
 /// A database constant.
 ///
@@ -12,18 +11,24 @@ use crate::DbError;
 /// are totally ordered (integers before strings) so that key values can be
 /// ordered lexicographically, which is how the paper fixes the block
 /// sequence `B₁, …, Bₙ`.
+///
+/// String payloads are interned [`Symbol`]s: equality and hashing are
+/// integer operations on the dense symbol id (the hot paths — fact
+/// deduplication, block grouping, homomorphism search — never touch the
+/// text), while ordering and display resolve through the symbol's shared
+/// handle, so the observable behaviour is exactly that of plain strings.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// An integer constant.
     Int(i64),
-    /// A string constant.
-    Text(Arc<str>),
+    /// A string constant, interned in the global symbol table.
+    Text(Symbol),
 }
 
 impl Value {
-    /// Builds a string constant.
+    /// Builds a string constant, interning the payload.
     pub fn text(s: impl AsRef<str>) -> Self {
-        Value::Text(Arc::from(s.as_ref()))
+        Value::Text(Symbol::intern(s))
     }
 
     /// Builds an integer constant.
@@ -41,6 +46,14 @@ impl Value {
 
     /// Returns the string payload, if this is a string constant.
     pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Text(s) => Some(s.as_str()),
+        }
+    }
+
+    /// Returns the interned symbol, if this is a string constant.
+    pub fn as_symbol(&self) -> Option<&Symbol> {
         match self {
             Value::Int(_) => None,
             Value::Text(s) => Some(s),

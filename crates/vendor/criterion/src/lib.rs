@@ -37,6 +37,10 @@ pub use std::hint::black_box;
 struct Record {
     label: String,
     mean_s: f64,
+    /// Median of the per-iteration sample times: the statistic the
+    /// `scripts/bench_compare` regression gate tracks (robust against a
+    /// single outlier sample in a way the mean is not).
+    median_s: f64,
     min_s: f64,
     max_s: f64,
     samples: usize,
@@ -295,6 +299,16 @@ fn run_benchmark<F>(
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
     let max = samples.iter().copied().fold(0.0f64, f64::max);
+    let median = {
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 0 {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        }
+    };
     let mut line = String::new();
     let _ = write!(
         line,
@@ -311,6 +325,7 @@ fn run_benchmark<F>(
     records.push(Record {
         label: label.to_string(),
         mean_s: mean,
+        median_s: median,
         min_s: min,
         max_s: max,
         samples: samples.len(),
@@ -366,13 +381,19 @@ pub fn write_json_report() {
     let mut body = String::from("{\n");
     let _ = writeln!(body, "  \"suite\": \"{}\",", json_escape(&stem));
     let _ = writeln!(body, "  \"smoke\": {},", is_smoke());
+    let _ = writeln!(
+        body,
+        "  \"host\": \"{}\",",
+        json_escape(&host_fingerprint())
+    );
     body.push_str("  \"benchmarks\": [\n");
     for (i, record) in records.iter().enumerate() {
         let _ = writeln!(
             body,
-            "    {{\"name\": \"{}\", \"mean_s\": {:.9e}, \"min_s\": {:.9e}, \"max_s\": {:.9e}, \"samples\": {}, \"iterations\": {}}}{}",
+            "    {{\"name\": \"{}\", \"mean_s\": {:.9e}, \"median_s\": {:.9e}, \"min_s\": {:.9e}, \"max_s\": {:.9e}, \"samples\": {}, \"iterations\": {}}}{}",
             json_escape(&record.label),
             record.mean_s,
+            record.median_s,
             record.min_s,
             record.max_s,
             record.samples,
@@ -386,6 +407,24 @@ pub fn write_json_report() {
     } else {
         println!("\nwrote {}", path.display());
     }
+}
+
+/// A coarse fingerprint of the measuring machine, recorded in the JSON
+/// report so `scripts/bench_compare` can tell an apples-to-apples
+/// comparison (same host: enforce the regression tolerance) from a
+/// cross-machine one (absolute wall-clock times are not comparable:
+/// advisory only).
+fn host_fingerprint() -> String {
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|info| {
+            info.lines()
+                .find(|line| line.starts_with("model name"))
+                .and_then(|line| line.split(':').nth(1))
+                .map(|model| model.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown-cpu".to_string());
+    format!("{}-{}/{cpu}", std::env::consts::OS, std::env::consts::ARCH)
 }
 
 fn format_time(seconds: f64) -> String {

@@ -1,0 +1,126 @@
+//! Offline subset of `rand::distributions`: precomputed uniform sampling.
+//!
+//! [`Uniform`] mirrors the upstream pattern of amortising range-sampling
+//! setup across many draws: [`crate::Rng::gen_range`] must recompute the
+//! Lemire rejection threshold — an integer division — on every call, while
+//! `Uniform::from(low..high)` pays for it once and [`Distribution::sample`]
+//! then draws with a widening multiply and a compare.
+//!
+//! **Draw-for-draw compatibility:** this vendored `Uniform` implements
+//! *exactly* the widening-multiply rejection loop of `gen_range`, so for
+//! the same generator state the two produce identical values and consume
+//! identical numbers of `next_u64` calls.  Seeded samplers can therefore
+//! hoist their per-domain ranges out of the hot loop without changing any
+//! sampled sequence.  (Upstream `rand` 0.8 does not promise value equality
+//! between `gen_range` and `Uniform::sample`; if the registry crate is
+//! restored, whichever API the samplers use must be used consistently for
+//! seeds to remain stable.)
+
+use crate::RngCore;
+use std::ops::Range;
+
+/// A distribution that can be sampled through any [`RngCore`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform sampling over `low..high` with the rejection threshold
+/// precomputed at construction time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Uniform {
+    low: usize,
+    span: u64,
+    /// Smallest low-half product that avoids modulo bias (Lemire 2018).
+    threshold: u64,
+}
+
+impl Uniform {
+    /// Builds the distribution for a non-empty `low..high` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, like `gen_range`.
+    pub fn from(range: Range<usize>) -> Uniform {
+        assert!(range.start < range.end, "Uniform::from: empty range");
+        let span = (range.end - range.start) as u64;
+        Uniform {
+            low: range.start,
+            span,
+            threshold: span.wrapping_neg() % span,
+        }
+    }
+}
+
+impl Distribution<usize> for Uniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128) * (self.span as u128);
+            if (m as u64) >= self.threshold {
+                return self.low + (m >> 64) as usize;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rng, SeedableRng};
+
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// A dummy SeedableRng impl so the test can exercise the blanket Rng
+    /// methods through the same concrete type; seeding is irrelevant here.
+    impl SeedableRng for SplitMix {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            SplitMix(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn sample_matches_gen_range_draw_for_draw() {
+        for bound in [1usize, 2, 3, 5, 7, 97, 1 << 20] {
+            let uniform = Uniform::from(0..bound);
+            let mut a = SplitMix::seed_from_u64(42 + bound as u64);
+            let mut b = SplitMix::seed_from_u64(42 + bound as u64);
+            for _ in 0..500 {
+                assert_eq!(uniform.sample(&mut a), b.gen_range(0..bound));
+            }
+        }
+    }
+
+    #[test]
+    fn offset_ranges_shift_without_bias() {
+        let uniform = Uniform::from(10..16);
+        let mut rng = SplitMix(7);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            let v = uniform.sample(&mut rng);
+            assert!((10..16).contains(&v));
+            seen[v - 10] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = Uniform::from(3..3);
+    }
+}

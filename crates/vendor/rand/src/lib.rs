@@ -18,6 +18,8 @@
 
 use std::ops::{Range, RangeInclusive};
 
+pub mod distributions;
+
 /// The core of a random number generator: raw 32- and 64-bit output.
 pub trait RngCore {
     /// Returns the next 32 random bits.

@@ -83,6 +83,8 @@ pub mod prelude {
     };
     pub use cdr_num::{BigNat, LogNum, Ratio};
     pub use cdr_query::{parse_query, Query, UcqQuery};
-    pub use cdr_repairdb::{BlockDelta, Database, Fact, KeySet, Mutation, Schema, Value};
+    pub use cdr_repairdb::{
+        BlockDelta, Database, Fact, KeySet, Mutation, Schema, Symbol, SymbolTable, Value,
+    };
     pub use cdr_server::{client::Client, Oracle, Server, ServerConfig, ServerStats};
 }
