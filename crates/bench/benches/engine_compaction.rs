@@ -1,0 +1,94 @@
+//! Criterion bench for the compaction subsystem: the in-place
+//! [`Database::compact`] + [`BlockPartition::rebuild_compacted`] path
+//! versus the only pre-compaction alternative — materialising a fresh
+//! database from the live fact set and rebuilding the partition from
+//! scratch.
+//!
+//! Both arms are measured on a "dirty" database at 10k and 100k live
+//! facts where half the id space is tombstones and half the slot table
+//! is retired (the state a delete-heavy serving session reaches), and
+//! both end by recomputing `∏ |Bᵢ|` — the cross-check the engine performs
+//! after a compaction.  The compact arm additionally pays a full clone of
+//! the dirty structures *per iteration* (compaction mutates in place and
+//! criterion's `iter` has no per-iteration setup hook), so its measured
+//! medians are an upper bound on the true in-place cost.
+
+use std::time::Duration;
+
+use cdr_repairdb::{count_repairs, BlockPartition, Database, KeySet, Mutation, Schema};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A churned database with `live` live facts: `live / 2` conflicting
+/// blocks of two facts each, plus `live` transient single-fact keys that
+/// were inserted and deleted again — leaving `live` tombstones and
+/// `live` retired slots behind.
+fn dirty_workload(live: usize) -> (Database, BlockPartition, KeySet) {
+    let mut schema = Schema::new();
+    schema.add_relation("R", 2).expect("fresh schema");
+    let keys = KeySet::builder(&schema)
+        .key("R", 1)
+        .expect("valid key")
+        .build();
+    let mut db = Database::new(schema);
+    let mut blocks = BlockPartition::new(&db, &keys);
+    let apply = |db: &mut Database, blocks: &mut BlockPartition, m: Mutation| {
+        let applied = db.apply(m).expect("workload mutations apply");
+        blocks.apply(&keys, &applied);
+    };
+    for k in 0..live / 2 {
+        for payload in ["a", "b"] {
+            let fact = db
+                .parse_fact(&format!("R({k}, '{payload}')"))
+                .expect("valid fact");
+            apply(&mut db, &mut blocks, Mutation::Insert(fact));
+        }
+    }
+    for k in 0..live {
+        let fact = db
+            .parse_fact(&format!("R({}, 'transient')", 1_000_000 + k))
+            .expect("valid fact");
+        apply(&mut db, &mut blocks, Mutation::Insert(fact.clone()));
+        let id = db.fact_id(&fact).expect("just inserted");
+        apply(&mut db, &mut blocks, Mutation::Delete(id));
+    }
+    assert_eq!(db.len(), live);
+    assert_eq!(db.tombstone_count() as usize, live);
+    assert_eq!(blocks.slot_count() - blocks.len(), live);
+    (db, blocks, keys)
+}
+
+fn bench_compact_vs_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/compaction");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for &live in &[10_000usize, 100_000] {
+        let (db, blocks, keys) = dirty_workload(live);
+
+        // In-place compaction (plus the per-iteration clone, see module
+        // docs) and the engine's post-compaction total cross-check.
+        group.bench_function(BenchmarkId::new("compact", live), |b| {
+            b.iter(|| {
+                let mut db = db.clone();
+                let mut blocks = blocks.clone();
+                let report = db.compact();
+                blocks.rebuild_compacted(&report);
+                count_repairs(&blocks)
+            });
+        });
+
+        // The pre-compaction alternative: a fresh database over the live
+        // fact set and a from-scratch partition + total.
+        group.bench_function(BenchmarkId::new("full_rebuild", live), |b| {
+            b.iter(|| {
+                let fresh = db.subset(db.iter().map(|(id, _)| id));
+                let blocks = BlockPartition::new(&fresh, &keys);
+                count_repairs(&blocks)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compact_vs_rebuild);
+criterion_main!(benches);

@@ -45,8 +45,8 @@ use cdr_query::{
     evaluate, keywidth, max_disjunct_keywidth, rewrite_to_ucq, Query, QueryClass, UcqQuery,
 };
 use cdr_repairdb::{
-    count_repairs, AppliedMutation, BlockDelta, BlockPartition, Database, FactId, KeySet, Mutation,
-    RepairIter,
+    count_repairs, AppliedMutation, BlockDelta, BlockPartition, CompactionReport, Database, FactId,
+    KeySet, Mutation, RepairIter,
 };
 
 use crate::approx::LiveBlockSampler;
@@ -253,6 +253,10 @@ pub enum EngineCommand {
     /// front, applied in order, one aggregated report — a rejected batch
     /// changes nothing (see [`RepairEngine::apply_batch`]).
     MutateBatch(Vec<Mutation>),
+    /// Compact the engine: drop tombstones and retired block slots,
+    /// remap the surviving fact ids onto a dense prefix, and reclaim id
+    /// headroom (see [`RepairEngine::compact`]).
+    Compact,
 }
 
 /// The uniform result of [`RepairEngine::execute`].
@@ -262,6 +266,8 @@ pub enum EngineResponse {
     Report(CountReport),
     /// The effect of a [`EngineCommand::Mutate`] / `MutateBatch`.
     Applied(MutationReport),
+    /// The effect of an [`EngineCommand::Compact`].
+    Compacted(CompactionOutcome),
 }
 
 impl EngineResponse {
@@ -277,6 +283,14 @@ impl EngineResponse {
     pub fn as_applied(&self) -> Option<&MutationReport> {
         match self {
             EngineResponse::Applied(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The compaction outcome, if this response is one.
+    pub fn as_compacted(&self) -> Option<&CompactionOutcome> {
+        match self {
+            EngineResponse::Compacted(r) => Some(r),
             _ => None,
         }
     }
@@ -297,6 +311,37 @@ pub struct MutationReport {
     pub deltas: Vec<BlockDelta>,
     /// Wall-clock time spent applying the command.
     pub duration: Duration,
+}
+
+/// What an [`EngineCommand::Compact`] did to the engine.
+#[derive(Clone, Debug)]
+pub struct CompactionOutcome {
+    /// The database-level report: the id-translation table plus fact-id
+    /// reclamation stats.
+    pub report: CompactionReport,
+    /// Block slots (live + retired) before the compaction.
+    pub slots_before: usize,
+    /// Block slots after: equals the live block count, since compaction
+    /// drops every retired slot and renumbers the rest densely.
+    pub slots_after: usize,
+    /// Cached query plans dropped by the compaction (their certificate
+    /// boxes pinned pre-compaction slot and fact ids).
+    pub plans_dropped: u64,
+    /// Whether the freshly recomputed `∏ |Bᵢ|` agreed with the
+    /// incrementally-maintained total (it always should; the recomputed
+    /// value is authoritative either way).
+    pub total_cross_checked: bool,
+    /// The engine generation after the compaction.
+    pub generation: u64,
+    /// Wall-clock time the compaction took.
+    pub duration: Duration,
+}
+
+impl CompactionOutcome {
+    /// Retired block slots the compaction dropped.
+    pub fn slots_dropped(&self) -> usize {
+        self.slots_before - self.slots_after
+    }
 }
 
 /// The tagged payload of a [`CountReport`].
@@ -640,6 +685,14 @@ impl PlanCache {
         );
         evicted
     }
+
+    /// Drops every resident plan, returning how many were dropped.
+    fn clear(&mut self) -> u64 {
+        let dropped = self.entries.len() as u64;
+        self.entries.clear();
+        self.by_recency.clear();
+        dropped
+    }
 }
 
 /// An owned, `Send + Sync`, caching engine answering repair-counting
@@ -857,6 +910,88 @@ impl RepairEngine {
             EngineCommand::MutateBatch(mutations) => {
                 Ok(EngineResponse::Applied(self.apply_batch(mutations)?))
             }
+            EngineCommand::Compact => Ok(EngineResponse::Compacted(self.compact())),
+        }
+    }
+
+    /// The engine's reclaimable waste: tombstoned fact slots plus retired
+    /// block slots.  Both accumulate under delete-bearing churn until
+    /// [`RepairEngine::compact`] drops them, so this is the gauge an
+    /// auto-compaction policy (and the serving layer's `STATS` reply)
+    /// watches.
+    pub fn waste(&self) -> u64 {
+        u64::from(self.db.tombstone_count()) + (self.blocks.slot_count() - self.blocks.len()) as u64
+    }
+
+    /// Compacts the engine: the database drops its tombstones and remaps
+    /// the surviving fact ids onto a dense prefix
+    /// ([`Database::compact`]), the block partition drops retired slots
+    /// and renumbers the rest in `≺_{D,Σ}` order
+    /// ([`BlockPartition::rebuild_compacted`]), the plan cache and the
+    /// prepared-estimator registry are cleared **once** (cached
+    /// certificate boxes pin pre-compaction slot and fact ids), the
+    /// total repair count is recomputed from the rebuilt partition as a
+    /// cross-check against the incrementally-maintained value, and the
+    /// generation is bumped (every relation counts as mutated: all fact
+    /// ids moved).
+    ///
+    /// Answers are unaffected: the live facts, the `≺` block sequence
+    /// and the in-block fact order are all preserved, so exact counts
+    /// and seeded estimates after a compaction are bit-for-bit what they
+    /// were before it (`tests/hotpath_parity.rs` pins this).  What
+    /// changes is the *name space*: fact ids handed out earlier must be
+    /// re-resolved through [`CompactionReport::translate`], and the
+    /// reclaimed id headroom lets a capacity-capped session keep
+    /// inserting indefinitely.
+    pub fn compact(&mut self) -> CompactionOutcome {
+        let started = Instant::now();
+        let slots_before = self.blocks.slot_count();
+        // Prepared estimators embed the pre-compaction partition and the
+        // flattened sampler; drop them first so they cannot be served
+        // stale and the partition Arc is uniquely held again.
+        self.drop_prepared_estimators();
+        let report = Arc::make_mut(&mut self.db).compact();
+        Arc::make_mut(&mut self.blocks).rebuild_compacted(&report);
+        let recomputed = count_repairs(&self.blocks);
+        let total_cross_checked = recomputed == self.total_repairs;
+        debug_assert!(
+            total_cross_checked,
+            "the incrementally-maintained total diverged from ∏ |Bᵢ|: {} vs {}",
+            self.total_repairs, recomputed
+        );
+        self.total_repairs = recomputed;
+        self.generation += 1;
+        for generation in &mut self.rel_generations {
+            *generation = self.generation;
+        }
+        let plans_dropped = lock(&self.plans).clear();
+        CompactionOutcome {
+            report,
+            slots_before,
+            slots_after: self.blocks.slot_count(),
+            plans_dropped,
+            total_cross_checked,
+            generation: self.generation,
+            duration: started.elapsed(),
+        }
+    }
+
+    /// The serving layer's auto-compaction policy: compacts iff there is
+    /// any reclaimable waste **and** either the waste has reached
+    /// `threshold` or the fact-id space is fully consumed (in which case
+    /// waiting any longer would only serve `ERR EXHAUSTED`).  Returns
+    /// what the compaction did, or `None` when it did not run.
+    ///
+    /// This lives on the engine — rather than in `cdr-server` — so the
+    /// serving scheduler, the single-threaded oracle replay and the
+    /// workload generators all share one deterministic policy.
+    pub fn maybe_compact(&mut self, threshold: u64) -> Option<CompactionOutcome> {
+        let waste = self.waste();
+        let exhausted = self.db.fact_ids_assigned() >= self.db.fact_id_capacity();
+        if waste > 0 && (waste >= threshold || exhausted) {
+            Some(self.compact())
+        } else {
+            None
         }
     }
 
@@ -1933,6 +2068,123 @@ mod tests {
             "the revived slot is reused across all 50 cycles"
         );
         assert_eq!(engine.total_repairs().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn compact_reclaims_ids_and_slots_and_preserves_answers() {
+        let mut engine = employee_engine();
+        let q = example_query();
+        assert_eq!(exact_count(&engine, &q), 2);
+        // Churn: retire a block, consume ids, leave tombstones behind.
+        insert(&mut engine, "Employee(9, 'Flux', 'Ops')");
+        delete(&mut engine, "Employee(9, 'Flux', 'Ops')");
+        insert(&mut engine, "Employee(1, 'Bob', 'Sales')");
+        delete(&mut engine, "Employee(1, 'Bob', 'Sales')");
+        assert_eq!(engine.waste(), 3, "two tombstones + one retired slot");
+        let generation = engine.generation();
+        let total_before = engine.total_repairs().clone();
+
+        let outcome = engine.compact();
+        assert_eq!(outcome.report.ids_reclaimed(), 2);
+        assert_eq!(outcome.slots_dropped(), 1);
+        assert_eq!(outcome.slots_after, engine.blocks().len());
+        assert_eq!(outcome.plans_dropped, 1, "the cached plan was cleared");
+        assert!(outcome.total_cross_checked);
+        assert_eq!(outcome.generation, generation + 1);
+        assert_eq!(engine.generation(), generation + 1);
+        assert_eq!(engine.waste(), 0);
+        assert_eq!(engine.database().fact_ids_assigned(), 4);
+        assert_eq!(engine.total_repairs(), &total_before);
+        assert_eq!(engine.cache_stats().entries, 0);
+
+        // Answers are unchanged; the re-planned query is correct.
+        assert_eq!(exact_count(&engine, &q), 2);
+        let report = engine.run(&CountRequest::frequency(q)).unwrap();
+        assert_eq!(report.answer.as_frequency().unwrap().to_string(), "1/2");
+        assert_eq!(report.generation, generation + 1);
+        // The compacted engine equals a fresh engine on its live facts.
+        let fresh = RepairEngine::new(engine.database().clone(), engine.keys().clone());
+        assert_eq!(engine.total_repairs(), fresh.total_repairs());
+        assert_eq!(engine.blocks(), fresh.blocks());
+    }
+
+    #[test]
+    fn compact_restores_insert_headroom_after_exhaustion() {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+        let db = Database::new(schema).with_fact_id_capacity(3);
+        let mut engine = RepairEngine::new(db, keys);
+        insert(&mut engine, "Employee(1, 'Bob', 'HR')");
+        insert(&mut engine, "Employee(1, 'Bob', 'IT')");
+        delete(&mut engine, "Employee(1, 'Bob', 'IT')");
+        insert(&mut engine, "Employee(2, 'Eve', 'IT')");
+        // Id space spent: a fresh insert fails.
+        let fact = engine
+            .database()
+            .parse_fact("Employee(3, 'Kim', 'IT')")
+            .unwrap();
+        let err = engine.apply(Mutation::Insert(fact.clone())).unwrap_err();
+        assert!(matches!(
+            err,
+            CountError::Db(cdr_repairdb::DbError::FactIdsExhausted { .. })
+        ));
+        // Compaction through the command API reclaims the tombstone's id.
+        let response = engine.execute(EngineCommand::Compact).unwrap();
+        let outcome = response.as_compacted().unwrap();
+        assert_eq!(outcome.report.ids_reclaimed(), 1);
+        assert!(response.as_report().is_none() && response.as_applied().is_none());
+        engine.apply(Mutation::Insert(fact)).unwrap();
+        assert_eq!(engine.database().len(), 3);
+        assert_eq!(engine.total_repairs().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn maybe_compact_follows_the_threshold_and_exhaustion_policy() {
+        let mut engine = employee_engine();
+        assert!(engine.maybe_compact(1).is_none(), "no waste, nothing to do");
+        insert(&mut engine, "Employee(9, 'Flux', 'Ops')");
+        delete(&mut engine, "Employee(9, 'Flux', 'Ops')");
+        assert_eq!(engine.waste(), 2);
+        assert!(engine.maybe_compact(3).is_none(), "below the threshold");
+        let outcome = engine.maybe_compact(2).expect("threshold reached");
+        assert_eq!(outcome.report.ids_reclaimed(), 1);
+        assert_eq!(engine.waste(), 0);
+
+        // Exhaustion triggers a compaction even below the threshold.
+        let mut schema = Schema::new();
+        schema.add_relation("R", 1).unwrap();
+        let keys = KeySet::empty(&schema);
+        let db = Database::new(schema).with_fact_id_capacity(2);
+        let mut engine = RepairEngine::new(db, keys);
+        insert(&mut engine, "R(1)");
+        insert(&mut engine, "R(2)");
+        delete(&mut engine, "R(1)");
+        assert!(engine.maybe_compact(1_000).is_some(), "ids are exhausted");
+        assert_eq!(engine.database().fact_ids_assigned(), 1);
+    }
+
+    #[test]
+    fn estimates_are_bit_for_bit_stable_across_compaction() {
+        let mut engine = employee_engine();
+        // Non-dense ids and slots before compacting.
+        insert(&mut engine, "Employee(2, 'Ada', 'HR')");
+        insert(&mut engine, "Employee(7, 'Tmp', 'IT')");
+        delete(&mut engine, "Employee(7, 'Tmp', 'IT')");
+        let request = CountRequest::approximate(example_query(), 0.1, 0.05).with_seed(1234);
+        let before = engine.run(&request).unwrap();
+        let before = before.answer.as_estimate().unwrap();
+        let (estimate, positive, used) = (
+            before.estimate.clone(),
+            before.positive_samples,
+            before.samples_used,
+        );
+        engine.compact();
+        let after = engine.run(&request).unwrap();
+        let after = after.answer.as_estimate().unwrap();
+        assert_eq!(after.estimate, estimate);
+        assert_eq!(after.positive_samples, positive);
+        assert_eq!(after.samples_used, used);
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub use decision::{
     holds_in_some_repair_ucq,
 };
 pub use engine::{
-    Answer, CacheStats, CountReport, CountRequest, EngineCommand, EngineResponse, MutationReport,
-    RepairEngine, Semantics, Strategy, DEFAULT_PLAN_CACHE_CAPACITY,
+    Answer, CacheStats, CompactionOutcome, CountReport, CountRequest, EngineCommand,
+    EngineResponse, MutationReport, RepairEngine, Semantics, Strategy, DEFAULT_PLAN_CACHE_CAPACITY,
 };
 pub use error::CountError;
 pub use exact::{

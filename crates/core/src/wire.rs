@@ -15,6 +15,7 @@
 //! DECIDE <query>                        — does some repair entail it?
 //! FREQ <query>                          — relative frequency
 //! APPROX <epsilon> <delta> [seed] <query> — (ε, δ)-approximate count
+//! COMPACT                               — reclaim fact-id/slot space
 //! ```
 //!
 //! `<strategy>` is one of `auto`, `enumeration` (or `enum`), `boxes`
@@ -257,11 +258,20 @@ fn parse_f64(verb: &'static str, what: &str, token: Option<&str>) -> Result<f64,
 /// back as [`WireError::UnknownVerb`] so the caller can layer its own
 /// grammar on top.
 pub fn parse_engine_command(line: &str, db: &Database) -> Result<EngineCommand, WireError> {
-    let (verb, _) = split_verb(line)?;
+    let (verb, rest) = split_verb(line)?;
     match verb.to_ascii_uppercase().as_str() {
         "INSERT" | "DELETE" => Ok(EngineCommand::Mutate(parse_mutation(line, db)?)),
         "COUNT" | "CERTAIN" | "DECIDE" | "FREQ" | "APPROX" => {
             Ok(EngineCommand::Query(parse_count_request(line)?))
+        }
+        "COMPACT" => {
+            if !rest.is_empty() {
+                return Err(WireError::Syntax {
+                    verb: "COMPACT",
+                    message: format!("takes no operands, got `{rest}`"),
+                });
+            }
+            Ok(EngineCommand::Compact)
         }
         _ => Err(WireError::UnknownVerb(verb.to_string())),
     }
@@ -343,6 +353,26 @@ mod tests {
         assert!(matches!(
             parse_engine_command("STATS", &db),
             Err(WireError::UnknownVerb(_))
+        ));
+    }
+
+    #[test]
+    fn compact_parses_and_rejects_operands() {
+        let db = employee_db();
+        assert_eq!(
+            parse_engine_command("COMPACT", &db),
+            Ok(EngineCommand::Compact)
+        );
+        assert_eq!(
+            parse_engine_command("  compact  ", &db),
+            Ok(EngineCommand::Compact)
+        );
+        assert!(matches!(
+            parse_engine_command("COMPACT now", &db),
+            Err(WireError::Syntax {
+                verb: "COMPACT",
+                ..
+            })
         ));
     }
 

@@ -355,6 +355,59 @@ impl BlockPartition {
         }
     }
 
+    /// Rebuilds the partition after a [`Database::compact`]: retired
+    /// (never-revived) slots are dropped, the surviving blocks are
+    /// renumbered so slot ids coincide with `≺_{D,Σ}` positions again (as
+    /// on a freshly built partition), and every fact id is remapped
+    /// through the compaction's translation table.
+    ///
+    /// The `≺_{D,Σ}` sequence itself is untouched: block keys, block
+    /// sizes and the relative order of facts within each block are all
+    /// preserved (the translation is monotone), so exact counts and
+    /// seeded estimates derived from the rebuilt partition are
+    /// bit-for-bit identical to pre-compaction answers over the same live
+    /// facts.  The rebuilt partition equals `BlockPartition::new` over
+    /// the compacted database.
+    ///
+    /// Slot renumbering invalidates every cached artifact that names
+    /// blocks or facts (certificate boxes, selectors, choice vectors);
+    /// callers must drop such caches — the engine clears its plan cache —
+    /// before answering from the compacted partition.
+    pub fn rebuild_compacted(&mut self, report: &crate::CompactionReport) {
+        let old_blocks = std::mem::take(&mut self.blocks);
+        let old_order = std::mem::take(&mut self.order);
+        self.fact_to_block.clear();
+        self.key_to_block.clear();
+        self.retired.clear();
+        self.blocks.reserve_exact(old_order.len());
+        for old_id in old_order {
+            let block = &old_blocks[old_id.index()];
+            let id = BlockId(self.blocks.len() as u32);
+            let facts: Vec<FactId> = block
+                .facts
+                .iter()
+                .map(|&f| {
+                    report
+                        .translate(f)
+                        .expect("live blocks hold only live facts")
+                })
+                .collect();
+            debug_assert!(
+                facts.windows(2).all(|w| w[0] < w[1]),
+                "a monotone translation preserves in-block fact order"
+            );
+            for &f in &facts {
+                self.fact_to_block.insert(f, id);
+            }
+            self.key_to_block.insert(block.key.clone(), id);
+            self.blocks.push(Block {
+                key: block.key.clone(),
+                facts,
+            });
+        }
+        self.order = (0..self.blocks.len()).map(|i| BlockId(i as u32)).collect();
+    }
+
     /// Number of live blocks `n`.
     pub fn len(&self) -> usize {
         self.order.len()
@@ -728,6 +781,57 @@ mod tests {
                 db.apply(Mutation::Insert(fact)).unwrap()
             };
             blocks.apply(&keys, &applied);
+        }
+        assert_matches_fresh(&blocks, &db, &keys);
+    }
+
+    #[test]
+    fn rebuild_compacted_equals_a_fresh_partition_over_the_compacted_db() {
+        let (mut db, keys) = employee_db();
+        let mut blocks = BlockPartition::new(&db, &keys);
+        // Churn: retire the employee-1 block, revive it, add a fresh key,
+        // then delete one of its facts — slots are non-dense and the slot
+        // order no longer matches ≺.
+        for text in ["Employee(1, 'Bob', 'HR')", "Employee(1, 'Bob', 'IT')"] {
+            let id = db.fact_id(&db.parse_fact(text).unwrap()).unwrap();
+            blocks.apply(&keys, &db.apply(Mutation::Delete(id)).unwrap());
+        }
+        for text in [
+            "Employee(0, 'Zoe', 'HR')",
+            "Employee(1, 'Bob', 'Sales')",
+            "Employee(3, 'Ann', 'IT')",
+        ] {
+            let fact = db.parse_fact(text).unwrap();
+            blocks.apply(&keys, &db.apply(Mutation::Insert(fact)).unwrap());
+        }
+        let ann = db
+            .fact_id(&db.parse_fact("Employee(3, 'Ann', 'IT')").unwrap())
+            .unwrap();
+        blocks.apply(&keys, &db.apply(Mutation::Delete(ann)).unwrap());
+        assert!(blocks.slot_count() > blocks.len(), "a retired slot exists");
+        let sizes_before = blocks.sizes();
+        let keys_before: Vec<KeyValue> = blocks.blocks().map(|b| b.key().clone()).collect();
+
+        let report = db.compact();
+        blocks.rebuild_compacted(&report);
+
+        // Bit-for-bit the same ≺ sequence: keys and sizes are unchanged.
+        assert_eq!(blocks.sizes(), sizes_before);
+        let keys_after: Vec<KeyValue> = blocks.blocks().map(|b| b.key().clone()).collect();
+        assert_eq!(keys_after, keys_before);
+        // Slots are dense again and coincide with ≺ positions, exactly as
+        // on a fresh partition — which the rebuilt one now *equals*.
+        assert_eq!(blocks.slot_count(), blocks.len());
+        for (position, (id, _)) in blocks.iter().enumerate() {
+            assert_eq!(id.index(), position);
+            assert_eq!(blocks.position_of_block(id), Some(position));
+        }
+        let fresh = BlockPartition::new(&db, &keys);
+        assert_eq!(blocks, fresh);
+        // The fact index agrees with the compacted ids.
+        for (id, _) in db.iter() {
+            let b = blocks.block_of(id).expect("every live fact has a block");
+            assert!(blocks.block(b).contains(id));
         }
         assert_matches_fresh(&blocks, &db, &keys);
     }

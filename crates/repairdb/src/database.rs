@@ -82,6 +82,50 @@ impl AppliedMutation {
     }
 }
 
+/// What [`Database::compact`] did: the id-translation table plus
+/// reclamation stats.
+///
+/// Compaction rebuilds fact storage dropping every tombstone and remaps
+/// the surviving facts onto the dense id prefix `0..live`, in their
+/// original insertion order.  The translation is therefore *monotone*:
+/// if `a < b` are both live old ids, their new ids satisfy the same
+/// inequality — which is what lets downstream structures (the block
+/// partition, certificate boxes) remap fact-id sequences without
+/// re-sorting them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// `translation[old.index()]` is the new id of old fact `old`, or
+    /// `None` if `old` was a tombstone dropped by the compaction.
+    translation: Vec<Option<FactId>>,
+    /// Fact ids assigned before compacting (live facts plus tombstones).
+    pub fact_ids_before: u32,
+    /// Live facts surviving the compaction (= fact ids assigned after).
+    pub live_facts: u32,
+}
+
+impl CompactionReport {
+    /// Translates a pre-compaction fact id: `Some(new)` for a fact that
+    /// survived, `None` for dropped tombstones and never-assigned ids.
+    pub fn translate(&self, old: FactId) -> Option<FactId> {
+        self.translation.get(old.index()).copied().flatten()
+    }
+
+    /// Tombstones dropped — equivalently, the fact ids reclaimed: the id
+    /// headroom the compaction recovered under a fixed
+    /// [`Database::fact_id_capacity`].
+    pub fn ids_reclaimed(&self) -> u32 {
+        self.fact_ids_before - self.live_facts
+    }
+
+    /// Iterates the `(old, new)` pairs of surviving facts, in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, FactId)> + '_ {
+        self.translation
+            .iter()
+            .enumerate()
+            .filter_map(|(old, new)| new.map(|new| (FactId(old as u32), new)))
+    }
+}
+
 /// A database: a finite set of facts over a schema.
 ///
 /// Inserting the same fact twice is a no-op (set semantics), and facts can
@@ -152,6 +196,60 @@ impl Database {
     /// tombstones): the portion of the id space already consumed.
     pub fn fact_ids_assigned(&self) -> u32 {
         self.facts.len() as u32
+    }
+
+    /// Number of tombstoned fact slots: ids consumed by facts that have
+    /// since been deleted.  Tombstones accumulate until
+    /// [`Database::compact`] drops them.
+    pub fn tombstone_count(&self) -> u32 {
+        (self.facts.len() - self.live_count) as u32
+    }
+
+    /// Rebuilds fact storage dropping every tombstone, remapping the
+    /// surviving facts onto the dense id prefix `0..live` (insertion order
+    /// preserved), and returns the id-translation table plus reclamation
+    /// stats.
+    ///
+    /// Compaction resets the id headroom: with the capacity unchanged, the
+    /// database may again assign `capacity - live` fresh ids before
+    /// [`DbError::FactIdsExhausted`], so delete-bearing sessions can run
+    /// indefinitely by compacting periodically.  Every fact id handed out
+    /// before the compaction is invalidated — callers holding ids must
+    /// re-resolve them through [`CompactionReport::translate`].
+    ///
+    /// The per-relation indexes and the dedup index are remapped in place;
+    /// a compacted database is [`PartialEq`]-identical to a fresh database
+    /// built by inserting the live facts in id order.
+    pub fn compact(&mut self) -> CompactionReport {
+        let fact_ids_before = self.facts.len() as u32;
+        let old_facts = std::mem::take(&mut self.facts);
+        let old_live = std::mem::take(&mut self.live);
+        let mut translation: Vec<Option<FactId>> = vec![None; old_facts.len()];
+        self.facts.reserve_exact(self.live_count);
+        for (old, fact) in old_facts.into_iter().enumerate() {
+            if old_live[old] {
+                translation[old] = Some(FactId(self.facts.len() as u32));
+                self.facts.push(fact);
+            }
+        }
+        self.live = vec![true; self.facts.len()];
+        debug_assert_eq!(self.facts.len(), self.live_count);
+        for id in self.dedup.values_mut() {
+            *id = translation[id.index()].expect("the dedup index holds only live facts");
+        }
+        for index in &mut self.by_relation {
+            // The translation is monotone, so remapping in place keeps
+            // every per-relation index sorted.
+            for id in index.iter_mut() {
+                *id = translation[id.index()].expect("relation indexes hold only live facts");
+            }
+            debug_assert!(index.windows(2).all(|w| w[0] < w[1]));
+        }
+        CompactionReport {
+            translation,
+            fact_ids_before,
+            live_facts: self.facts.len() as u32,
+        }
     }
 
     /// The schema of the database.
@@ -677,6 +775,87 @@ mod tests {
             Err(DbError::FactIdsExhausted { .. })
         ));
         assert_eq!(db.fact_ids_assigned(), 2);
+    }
+
+    #[test]
+    fn compact_drops_tombstones_and_remaps_to_a_dense_prefix() {
+        let mut db = employee_db();
+        let bob_it = db.parse_fact("Employee(1, 'Bob', 'IT')").unwrap();
+        let tim = db.parse_fact("Employee(2, 'Tim', 'IT')").unwrap();
+        db.remove(db.fact_id(&bob_it).unwrap()).unwrap();
+        db.remove(db.fact_id(&tim).unwrap()).unwrap();
+        assert_eq!(db.tombstone_count(), 2);
+        let before: Vec<Fact> = db.facts().cloned().collect();
+        let old_ids: Vec<FactId> = db.iter().map(|(id, _)| id).collect();
+
+        let report = db.compact();
+        assert_eq!(report.fact_ids_before, 4);
+        assert_eq!(report.live_facts, 2);
+        assert_eq!(report.ids_reclaimed(), 2);
+        assert_eq!(db.tombstone_count(), 0);
+        assert_eq!(db.fact_ids_assigned(), 2);
+        assert_eq!(db.len(), 2);
+        // Survivors keep their insertion order on the dense prefix.
+        let after: Vec<Fact> = db.facts().cloned().collect();
+        assert_eq!(before, after);
+        let new_ids: Vec<FactId> = db.iter().map(|(id, _)| id).collect();
+        assert_eq!(new_ids, vec![FactId(0), FactId(1)]);
+        // The translation table maps exactly the survivors, monotonically.
+        for (old, new) in old_ids.iter().zip(&new_ids) {
+            assert_eq!(report.translate(*old), Some(*new));
+        }
+        assert_eq!(report.iter().count(), 2);
+        assert_eq!(report.translate(FactId(1)), None, "bob/IT was a tombstone");
+        assert_eq!(report.translate(FactId(99)), None, "never assigned");
+        // The dedup and per-relation indexes were remapped coherently.
+        let emp = db.schema().relation_id("Employee").unwrap();
+        assert_eq!(db.facts_of(emp), &new_ids[..]);
+        for (id, fact) in db.iter() {
+            assert_eq!(db.fact_id(fact), Some(id));
+            assert!(db.is_live(id));
+        }
+        // A compacted database equals a fresh one over the live facts.
+        let mut fresh = Database::new(db.schema().clone());
+        for fact in &after {
+            fresh.insert(fact.clone()).unwrap();
+        }
+        assert_eq!(db, fresh);
+    }
+
+    #[test]
+    fn compact_restores_id_headroom_under_a_capacity() {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let mut db = Database::new(schema).with_fact_id_capacity(3);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        let id = db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Eve', 'IT')").unwrap();
+        db.remove(id).unwrap();
+        // The id space is spent even though only two facts are live.
+        assert!(matches!(
+            db.insert_parsed("Employee(3, 'Kim', 'IT')"),
+            Err(DbError::FactIdsExhausted { .. })
+        ));
+        let report = db.compact();
+        assert_eq!(report.ids_reclaimed(), 1);
+        assert_eq!(db.fact_id_capacity(), 3, "the capacity itself is unchanged");
+        // The reclaimed headroom admits a fresh insert again.
+        let new_id = db.insert_parsed("Employee(3, 'Kim', 'IT')").unwrap();
+        assert_eq!(new_id, FactId(2));
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn compact_without_tombstones_is_an_identity() {
+        let mut db = employee_db();
+        let before = db.clone();
+        let report = db.compact();
+        assert_eq!(report.ids_reclaimed(), 0);
+        assert_eq!(report.fact_ids_before, report.live_facts);
+        assert_eq!(db, before);
+        for (old, new) in report.iter() {
+            assert_eq!(old, new);
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod symbol;
 mod value;
 
 pub use blocks::{Block, BlockDelta, BlockId, BlockPartition, KeyValue};
-pub use database::{AppliedMutation, Database, FactId, Mutation};
+pub use database::{AppliedMutation, CompactionReport, Database, FactId, Mutation};
 pub use error::DbError;
 pub use fact::Fact;
 pub use keys::{KeySet, KeySetBuilder};

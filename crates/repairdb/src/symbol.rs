@@ -35,6 +35,16 @@
 //! string payloads therefore accumulates neither strings nor ids, and an
 //! id names exactly one payload for the lifetime of the process (the
 //! Eq-by-id invariant).
+//!
+//! **Compaction does not touch this table.**  [`crate::Database::compact`]
+//! reclaims *fact-id* space by dropping tombstones and remapping fact
+//! ids; symbol ids are a separate namespace with its own reclamation
+//! story — a payload's entry dies (and its memory is freed) when the last
+//! [`Symbol`] for it is dropped, whether that happens through a delete, a
+//! compaction discarding tombstoned facts, or ordinary value churn.  The
+//! two mechanisms compose without coordination: compacting a database
+//! never renames a symbol, and sweeping the symbol table never moves a
+//! fact.
 
 use std::collections::HashMap;
 use std::fmt;

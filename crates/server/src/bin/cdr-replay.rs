@@ -1,5 +1,5 @@
-//! `cdr-replay`: replay the deterministic `serving_session` trace against
-//! a running `cdr-serve` and verify every reply — the CI smoke client.
+//! `cdr-replay`: replay a deterministic workload trace against a running
+//! `cdr-serve` and verify every reply — the CI smoke client.
 //!
 //! Boot the server on the matching base database first:
 //!
@@ -8,20 +8,34 @@
 //! cdr-replay --addr 127.0.0.1:7878 --sensors 6 --ticks 3 --ops 60 --shutdown
 //! ```
 //!
-//! Exits 0 iff every trace line drew an `OK` reply (the trace is valid by
-//! construction against the matching base).  `--shutdown` additionally
-//! sends `SHUTDOWN` so the server drains and exits 0 itself.
+//! or, for the delete-heavy churn soak (the server must run the *same*
+//! auto-compaction threshold the trace was generated with, since
+//! compaction points determine which fact ids the trace deletes):
+//!
+//! ```text
+//! cdr-serve --addr 127.0.0.1:7878 --scenario churn --auto-compact 32 &
+//! cdr-replay --addr 127.0.0.1:7878 --trace churn --auto-compact 32 \
+//!            --ops 400 --shutdown
+//! ```
+//!
+//! Exits 0 iff every trace line drew an `OK` reply (the traces are valid
+//! by construction against the matching base).  The reply to the trace's
+//! final `STATS` line is echoed as `cdr-replay: final <reply>` so CI can
+//! assert gauges (e.g. a bounded slot count under `--auto-compact`).
+//! `--shutdown` additionally sends `SHUTDOWN` so the server drains and
+//! exits 0 itself.
 
 use std::process::exit;
 
 use cdr_server::client::Client;
-use cdr_workloads::serving_session;
+use cdr_workloads::{churn_session, serving_session};
 
 const USAGE: &str = "\
-cdr-replay — serving-session smoke client
+cdr-replay — workload-trace smoke client
 
 USAGE:
-  cdr-replay --addr <host:port> [--sensors <n>] [--ticks <n>] [--ops <n>] [--shutdown]
+  cdr-replay --addr <host:port> [--trace serving|churn] [--sensors <n>]
+             [--ticks <n>] [--ops <n>] [--auto-compact <waste>] [--shutdown]
 ";
 
 fn fail(message: &str) -> ! {
@@ -32,9 +46,11 @@ fn fail(message: &str) -> ! {
 
 fn main() {
     let mut addr = String::new();
+    let mut trace_name = "serving".to_string();
     let mut sensors = 6usize;
     let mut ticks = 3usize;
     let mut ops = 60usize;
+    let mut auto_compact: Option<u64> = None;
     let mut shutdown = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -48,9 +64,11 @@ fn main() {
                 exit(0)
             }
             "--addr" => addr = value(),
+            "--trace" => trace_name = value(),
             "--sensors" => sensors = parse(&value()),
             "--ticks" => ticks = parse(&value()),
             "--ops" => ops = parse(&value()),
+            "--auto-compact" => auto_compact = Some(parse(&value()) as u64),
             "--shutdown" => shutdown = true,
             other => fail(&format!("unknown flag `{other}`")),
         }
@@ -59,7 +77,11 @@ fn main() {
         fail("--addr is required");
     }
 
-    let (_db, _keys, trace) = serving_session(sensors, ticks, ops);
+    let trace = match trace_name.as_str() {
+        "serving" => serving_session(sensors, ticks, ops).2,
+        "churn" => churn_session(ops, auto_compact).2,
+        other => fail(&format!("unknown trace `{other}`")),
+    };
     let mut client = match Client::connect(&addr) {
         Ok(client) => client,
         Err(e) => {
@@ -68,9 +90,13 @@ fn main() {
         }
     };
     let mut ok = 0usize;
+    let mut last_reply = String::new();
     for line in &trace {
         match client.send(line) {
-            Ok(reply) if reply.starts_with("OK ") => ok += 1,
+            Ok(reply) if reply.starts_with("OK ") => {
+                ok += 1;
+                last_reply = reply;
+            }
             Ok(reply) => {
                 eprintln!("cdr-replay: line `{line}` drew `{reply}`");
                 exit(1)
@@ -85,6 +111,7 @@ fn main() {
         "cdr-replay: {ok}/{} trace lines OK against {addr}",
         trace.len()
     );
+    println!("cdr-replay: final {last_reply}");
     if shutdown {
         match client.send("SHUTDOWN") {
             Ok(reply) if reply == "OK SHUTDOWN" => println!("cdr-replay: server shutting down"),

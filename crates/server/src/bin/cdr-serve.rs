@@ -15,7 +15,9 @@ use std::process::exit;
 use cdr_core::RepairEngine;
 use cdr_repairdb::{Database, KeySet, Schema};
 use cdr_server::{Server, ServerConfig};
-use cdr_workloads::{employee_example, sensor_readings, serving_session, two_source_customers};
+use cdr_workloads::{
+    churn_base, employee_example, sensor_readings, serving_session, two_source_customers,
+};
 
 const USAGE: &str = "\
 cdr-serve — line-protocol repair-counting server
@@ -30,6 +32,9 @@ SERVER OPTIONS:
   --batch-permits <n>     concurrent BATCH fan-outs before SERVER BUSY (default 2)
   --max-line-bytes <n>    longest accepted command line (default 65536)
   --max-batch <n>         most commands per BATCH (default 4096)
+  --auto-compact <waste>  compact before a mutating command once tombstones
+                          + retired block slots reach <waste> (or the
+                          fact-id space is exhausted); off by default
   --chaos                 enable the PANIC test verb (never in production)
 
 ENGINE OPTIONS:
@@ -39,8 +44,8 @@ ENGINE OPTIONS:
   --fact-id-cap <n>       cap on cumulative inserts (memory guardrail)
 
 DATA OPTIONS:
-  --scenario <name>       employee | sensors | customers | serving | empty
-                          (default sensors)
+  --scenario <name>       employee | sensors | customers | serving | churn |
+                          empty (default sensors)
   --sensors <n>           sensors for sensors/serving (default 8)
   --ticks <n>             ticks for sensors/serving (default 4)
   --dups <n>              duplicated readings per sensor (default 2)
@@ -108,6 +113,7 @@ fn parse_options() -> Options {
             "--batch-permits" => options.config.batch_permits = parse(&flag, &value("count")),
             "--max-line-bytes" => options.config.max_line_bytes = parse(&flag, &value("bytes")),
             "--max-batch" => options.config.max_batch_commands = parse(&flag, &value("count")),
+            "--auto-compact" => options.config.auto_compact = Some(parse(&flag, &value("waste"))),
             "--chaos" => options.config.chaos = true,
             "--parallelism" => options.parallelism = parse(&flag, &value("count")),
             "--cache-cap" => options.cache_cap = Some(parse(&flag, &value("count"))),
@@ -140,6 +146,7 @@ fn build_data(options: &Options) -> (Database, KeySet) {
             let (db, keys, _) = serving_session(options.sensors, options.ticks, 0);
             (db, keys)
         }
+        "churn" => churn_base(),
         "empty" => {
             let mut schema = Schema::new();
             let mut keyed: Vec<(String, usize)> = Vec::new();

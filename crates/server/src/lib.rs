@@ -5,7 +5,8 @@
 //! [`EngineResponse`](cdr_core::EngineResponse) *be* the protocol; this
 //! crate adds the network loop that speaks it.  Clients connect over TCP
 //! and send one command per line in the [`cdr_core::wire`] grammar
-//! (`INSERT`, `DELETE`, `COUNT`, `CERTAIN`, `DECIDE`, `FREQ`, `APPROX`)
+//! (`INSERT`, `DELETE`, `COUNT`, `CERTAIN`, `DECIDE`, `FREQ`, `APPROX`,
+//! `COMPACT`)
 //! plus the serving-layer framing this crate defines (`BATCH … END`,
 //! `STATS`, `SLEEP`, `QUIT`, `SHUTDOWN`); the server streams single-line
 //! replies back (`OK …` on success, `ERR <code> <message>` on failure).
@@ -95,6 +96,14 @@ pub struct ServerConfig {
     /// Enables the chaos verbs (`PANIC`) used by the crash-recovery
     /// regression tests.  Never enable in production.
     pub chaos: bool,
+    /// Auto-compaction waste threshold (`None` disables the policy).
+    /// Before every mutating command the engine compacts — an exclusive
+    /// write-guard operation, like any mutation — when its reclaimable
+    /// waste (tombstoned fact ids plus retired block slots) has reached
+    /// this value, or when the fact-id space is exhausted.  With the
+    /// policy on, a delete-bearing session under a `--fact-id-cap`
+    /// survives indefinitely instead of dying with `ERR EXHAUSTED`.
+    pub auto_compact: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +117,7 @@ impl Default for ServerConfig {
             max_batch_commands: 4096,
             poll_interval: Duration::from_millis(100),
             chaos: false,
+            auto_compact: None,
         }
     }
 }

@@ -6,7 +6,8 @@
 //! reply-for-reply against an [`Oracle`](crate::Oracle) replay.
 
 use cdr_core::{
-    Answer, CountError, CountReport, MutationReport, RepairEngine, Semantics, WireError,
+    Answer, CompactionOutcome, CountError, CountReport, MutationReport, RepairEngine, Semantics,
+    WireError,
 };
 use cdr_num::BigNat;
 use cdr_repairdb::{DbError, FactId};
@@ -128,15 +129,36 @@ pub(crate) fn render_batch_mutation(report: &MutationReport, total: &BigNat) -> 
     )
 }
 
+pub(crate) fn render_compaction(outcome: &CompactionOutcome, total: &BigNat) -> String {
+    format!(
+        "OK COMPACTED facts={} slots={} reclaimed={} gen={} total={total}",
+        outcome.report.live_facts,
+        outcome.slots_after,
+        outcome.report.ids_reclaimed(),
+        outcome.generation
+    )
+}
+
+/// Renders the `STATS` gauges.  Besides the block/total/generation
+/// overview, operators get the fact-id consumption (`ids` of `cap`, so
+/// exhaustion is visible *before* `ERR EXHAUSTED`) and the reclaimable
+/// waste a `COMPACT` would recover (`tombstones`, retired slots inside
+/// `slots`, and the combined `waste` gauge the `--auto-compact` policy
+/// watches).
 pub(crate) fn render_stats(engine: &RepairEngine) -> String {
     let db = engine.database();
     let blocks = engine.blocks();
     format!(
-        "OK STATS facts={} ids={} blocks={} conflicts={} total={} gen={} | {}",
+        "OK STATS facts={} ids={} cap={} tombstones={} blocks={} slots={} conflicts={} \
+         waste={} total={} gen={} | {}",
         db.len(),
         db.fact_ids_assigned(),
+        db.fact_id_capacity(),
+        db.tombstone_count(),
         blocks.len(),
+        blocks.slot_count(),
         blocks.conflicting_block_count(),
+        engine.waste(),
         engine.total_repairs(),
         engine.generation(),
         engine.cache_stats()

@@ -129,4 +129,8 @@ impl EngineHost for Shared {
     fn max_batch_commands(&self) -> usize {
         self.config.max_batch_commands
     }
+
+    fn auto_compact_threshold(&self) -> Option<u64> {
+        self.config.auto_compact
+    }
 }

@@ -35,6 +35,21 @@ pub(crate) trait EngineHost {
     fn chaos(&self) -> bool;
     /// Most commands one `BATCH … END` may carry.
     fn max_batch_commands(&self) -> usize;
+    /// The auto-compaction waste threshold, if the policy is enabled:
+    /// before every mutating command the engine compacts when its
+    /// reclaimable waste (tombstones + retired slots) has reached this,
+    /// or when the fact-id space is exhausted (see
+    /// [`RepairEngine::maybe_compact`]).
+    fn auto_compact_threshold(&self) -> Option<u64>;
+}
+
+/// Runs the host's auto-compaction policy; called under the write guard
+/// before a mutating command executes, so a command that would otherwise
+/// die on exhausted fact ids finds the reclaimed headroom already there.
+fn auto_compact(engine: &mut RepairEngine, threshold: Option<u64>) {
+    if let Some(threshold) = threshold {
+        engine.maybe_compact(threshold);
+    }
 }
 
 /// What one fed line produced.
@@ -148,20 +163,27 @@ fn database_snapshot<H: EngineHost>(host: &H) -> Arc<Database> {
 /// mutations under the write barrier.
 fn execute_command<H: EngineHost>(host: &H, line: &str) -> String {
     let db = database_snapshot(host);
+    let threshold = host.auto_compact_threshold();
     match wire::parse_engine_command(line, &db) {
         Ok(EngineCommand::Query(request)) => host.with_read(|engine| match engine.run(&request) {
             Ok(report) => reply::render_report(request.semantics(), &report),
             Err(e) => reply::render_count_error(&e),
         }),
-        Ok(EngineCommand::Mutate(mutation)) => {
-            host.with_write(|engine| apply_mutation(engine, mutation))
-        }
-        Ok(EngineCommand::MutateBatch(mutations)) => {
-            host.with_write(|engine| match engine.apply_batch(mutations) {
+        Ok(EngineCommand::Mutate(mutation)) => host.with_write(|engine| {
+            auto_compact(engine, threshold);
+            apply_mutation(engine, mutation)
+        }),
+        Ok(EngineCommand::MutateBatch(mutations)) => host.with_write(|engine| {
+            auto_compact(engine, threshold);
+            match engine.apply_batch(mutations) {
                 Ok(report) => reply::render_batch_mutation(&report, engine.total_repairs()),
                 Err(e) => reply::render_count_error(&e),
-            })
-        }
+            }
+        }),
+        Ok(EngineCommand::Compact) => host.with_write(|engine| {
+            let outcome = engine.compact();
+            reply::render_compaction(&outcome, engine.total_repairs())
+        }),
         Err(e) => reply::render_wire_error(&e),
     }
 }
@@ -228,9 +250,13 @@ fn execute_batch<H: EngineHost>(host: &H, lines: &[String]) -> Step {
         ]);
     }
     if !mutations.is_empty() {
-        let line = host.with_write(|engine| match engine.apply_batch(mutations) {
-            Ok(report) => reply::render_batch_mutation(&report, engine.total_repairs()),
-            Err(e) => reply::render_count_error(&e),
+        let threshold = host.auto_compact_threshold();
+        let line = host.with_write(|engine| {
+            auto_compact(engine, threshold);
+            match engine.apply_batch(mutations) {
+                Ok(report) => reply::render_batch_mutation(&report, engine.total_repairs()),
+                Err(e) => reply::render_count_error(&e),
+            }
         });
         return Step::Replies(vec![line]);
     }
@@ -300,16 +326,20 @@ fn run_query_batch<H: EngineHost>(host: &H, items: &[BatchItem]) -> Vec<String> 
 pub struct Oracle {
     engine: RefCell<RepairEngine>,
     session: Session,
+    auto_compact: Option<u64>,
 }
 
-struct OracleHost<'a>(&'a RefCell<RepairEngine>);
+struct OracleHost<'a> {
+    engine: &'a RefCell<RepairEngine>,
+    auto_compact: Option<u64>,
+}
 
 impl EngineHost for OracleHost<'_> {
     fn with_read<R>(&self, f: impl FnOnce(&RepairEngine) -> R) -> R {
-        f(&self.0.borrow())
+        f(&self.engine.borrow())
     }
     fn with_write<R>(&self, f: impl FnOnce(&mut RepairEngine) -> R) -> R {
-        f(&mut self.0.borrow_mut())
+        f(&mut self.engine.borrow_mut())
     }
     fn with_batch_permit<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
         Some(f())
@@ -320,6 +350,9 @@ impl EngineHost for OracleHost<'_> {
     fn max_batch_commands(&self) -> usize {
         usize::MAX
     }
+    fn auto_compact_threshold(&self) -> Option<u64> {
+        self.auto_compact
+    }
 }
 
 impl Oracle {
@@ -328,13 +361,25 @@ impl Oracle {
         Oracle {
             engine: RefCell::new(engine),
             session: Session::new(),
+            auto_compact: None,
         }
+    }
+
+    /// Enables the auto-compaction policy with the given waste threshold —
+    /// the oracle-side mirror of `cdr-serve --auto-compact`, so replies
+    /// stay byte-comparable against a server running the same policy.
+    pub fn with_auto_compact(mut self, threshold: u64) -> Self {
+        self.auto_compact = Some(threshold);
+        self
     }
 
     /// Executes one wire line, returning the reply lines it produced
     /// (empty for blank lines, comments and open-batch collection).
     pub fn feed(&mut self, line: &str) -> Vec<String> {
-        let host = OracleHost(&self.engine);
+        let host = OracleHost {
+            engine: &self.engine,
+            auto_compact: self.auto_compact,
+        };
         match self.session.feed(&host, line) {
             Step::Silent => Vec::new(),
             Step::Replies(replies) => replies,
@@ -456,5 +501,73 @@ mod tests {
     fn quit_replies_bye() {
         let mut oracle = oracle();
         assert_eq!(oracle.feed("QUIT"), vec!["OK BYE".to_string()]);
+    }
+
+    #[test]
+    fn compact_reclaims_waste_and_reports_deterministically() {
+        let mut oracle = oracle();
+        oracle.feed("INSERT Employee(9, 'Flux', 'Ops')");
+        assert_eq!(
+            oracle.feed("DELETE 4"),
+            vec!["OK DELETE id=4 gen=2 total=4".to_string()]
+        );
+        let stats = oracle.feed("STATS");
+        assert!(stats[0].contains("ids=5 "), "{}", stats[0]);
+        assert!(stats[0].contains("tombstones=1 "), "{}", stats[0]);
+        assert!(stats[0].contains("waste=2 "), "{}", stats[0]);
+        assert_eq!(
+            oracle.feed("COMPACT"),
+            vec!["OK COMPACTED facts=4 slots=2 reclaimed=1 gen=3 total=4".to_string()]
+        );
+        let stats = oracle.feed("STATS");
+        assert!(stats[0].contains("ids=4 "), "{}", stats[0]);
+        assert!(stats[0].contains("tombstones=0 "), "{}", stats[0]);
+        assert!(stats[0].contains("waste=0 "), "{}", stats[0]);
+        // Operands are rejected; the session stays alive.
+        assert!(oracle.feed("COMPACT now")[0].starts_with("ERR PARSE "));
+        assert!(oracle.feed("STATS")[0].starts_with("OK STATS "));
+    }
+
+    #[test]
+    fn compact_recovers_an_exhausted_session() {
+        let (db, keys) = employee_example();
+        let mut oracle = Oracle::new(RepairEngine::new(db.with_fact_id_capacity(5), keys));
+        oracle.feed("INSERT Employee(3, 'Eve', 'IT')");
+        oracle.feed("DELETE 4");
+        let replies = oracle.feed("INSERT Employee(3, 'Kim', 'IT')");
+        assert!(replies[0].starts_with("ERR EXHAUSTED "), "{}", replies[0]);
+        let replies = oracle.feed("COMPACT");
+        assert!(replies[0].starts_with("OK COMPACTED "), "{}", replies[0]);
+        let replies = oracle.feed("INSERT Employee(3, 'Kim', 'IT')");
+        assert_eq!(
+            replies,
+            vec!["OK INSERT id=4 applied=1 gen=4 total=4".to_string()]
+        );
+    }
+
+    #[test]
+    fn auto_compact_keeps_a_capped_session_alive_indefinitely() {
+        let (db, keys) = employee_example();
+        let mut oracle =
+            Oracle::new(RepairEngine::new(db.with_fact_id_capacity(8), keys)).with_auto_compact(2);
+        // 50 insert/delete cycles consume 50 ids against a capacity of 8:
+        // without the policy this dies with ERR EXHAUSTED on the 5th.
+        for _ in 0..50 {
+            let replies = oracle.feed("INSERT Employee(9, 'Flux', 'Ops')");
+            assert!(replies[0].starts_with("OK INSERT "), "{}", replies[0]);
+            let id = replies[0]
+                .strip_prefix("OK INSERT id=")
+                .and_then(|r| r.split_whitespace().next())
+                .unwrap()
+                .to_string();
+            let replies = oracle.feed(&format!("DELETE {id}"));
+            assert!(replies[0].starts_with("OK DELETE "), "{}", replies[0]);
+        }
+        let stats = oracle.feed("STATS");
+        assert!(stats[0].contains("facts=4 "), "{}", stats[0]);
+        oracle.with_engine(|engine| {
+            assert!(engine.waste() <= 2, "the policy bounds the waste");
+            assert!(engine.database().fact_ids_assigned() <= 8);
+        });
     }
 }

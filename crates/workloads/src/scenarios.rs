@@ -2,6 +2,7 @@
 
 use std::collections::HashSet;
 
+use cdr_core::RepairEngine;
 use cdr_repairdb::{Database, KeySet, Mutation, Schema, Value};
 
 /// The paper's Example 1.1: the `Employee` relation with two conflicting
@@ -273,6 +274,107 @@ pub fn serving_session(
     (db, keys, trace)
 }
 
+/// The base database of [`churn_session`]: a small `Event(key, payload)`
+/// relation with `key(Event) = {1}` — four singleton blocks plus two
+/// conflicting duplicates, so queries are non-trivial from the first line.
+pub fn churn_base() -> (Database, KeySet) {
+    let mut schema = Schema::new();
+    schema.add_relation("Event", 2).expect("fresh schema");
+    let keys = KeySet::builder(&schema)
+        .key("Event", 1)
+        .expect("valid key")
+        .build();
+    let mut db = Database::new(schema);
+    for k in 0..4i64 {
+        db.insert_values("Event", vec![Value::int(k), Value::text("base")])
+            .expect("generated facts are valid");
+    }
+    for k in 0..2i64 {
+        db.insert_values("Event", vec![Value::int(k), Value::text("dup")])
+            .expect("generated facts are valid");
+    }
+    (db, keys)
+}
+
+/// A delete-heavy long-session wire trace over [`churn_base`]: a
+/// deterministic stream of `ops` lines dominated by inserts of
+/// *never-repeated* keys and deletes of random live facts, interleaved
+/// with query probes and `STATS` checks.  Left unchecked, this churn
+/// grows without bound — every fresh key allocates a block slot that is
+/// never revived, and every delete leaves a tombstoned fact id.
+///
+/// The trace is generated by *simulating* the session against a real
+/// engine running the same auto-compaction policy the serving layer
+/// applies ([`cdr_core::RepairEngine::maybe_compact`] before each
+/// mutating command, with the given `auto_compact` threshold; `None`
+/// disables the policy).  Every `DELETE` therefore names a fact id that
+/// is live at that point *of a server replaying the trace under the same
+/// policy* — compactions remap ids mid-session, and the simulation
+/// tracks the remapping exactly.  Replaying the trace against
+/// `cdr-serve --scenario churn --auto-compact <same threshold>` draws
+/// only `OK` replies, no matter how long the session runs.
+pub fn churn_session(ops: usize, auto_compact: Option<u64>) -> (Database, KeySet, Vec<String>) {
+    let (db, keys) = churn_base();
+    let mut engine = RepairEngine::new(db.clone(), keys.clone());
+    let mut trace = Vec::with_capacity(ops + 1);
+    let mut state: u64 = 0xD1CE_B0A7_CAFE_5EED;
+    for step in 0..ops {
+        lcg_step(&mut state);
+        let probe_key = (state >> 8) % 16;
+        // Mirror the serving layer exactly: before each emitted mutation
+        // line the policy runs under the write guard — and it must run
+        // *before* the delete victim is chosen, because a compaction
+        // here remaps every id and the `DELETE` line must carry the
+        // post-compaction one (the id the fact has when the server,
+        // having just run the same policy, applies the line).
+        let run_policy = |engine: &mut RepairEngine| {
+            if let Some(threshold) = auto_compact {
+                engine.maybe_compact(threshold);
+            }
+        };
+        match step % 5 {
+            // Probes cross the mutation (and compaction) barriers.
+            1 => trace.push(format!("COUNT auto EXISTS p . Event({probe_key}, p)")),
+            4 if step % 2 == 0 => trace.push("STATS".to_string()),
+            4 => trace.push(format!("CERTAIN EXISTS p . Event({probe_key}, p)")),
+            // Deletes: retract a pseudo-random live fact (keeping a small
+            // floor so the probes stay non-trivial).
+            2 | 3 if engine.database().len() > 3 => {
+                run_policy(&mut engine);
+                let nth = (state >> 16) as usize % engine.database().len();
+                let id = engine
+                    .database()
+                    .iter()
+                    .nth(nth)
+                    .map(|(id, _)| id)
+                    .expect("nth is in range");
+                engine
+                    .apply(Mutation::Delete(id))
+                    .expect("the victim was chosen live, after the policy ran");
+                trace.push(format!("DELETE {}", id.index()));
+            }
+            2 | 3 => trace.push(format!("FREQ EXISTS p . Event({probe_key}, p)")),
+            // Inserts: a fresh key per step (`1000 + step` never repeats),
+            // so every insert consumes a new id *and* a new block slot.
+            _ => {
+                run_policy(&mut engine);
+                let key = 1_000 + step as i64;
+                let payload = (state >> 24) % 7;
+                let fact = engine
+                    .database()
+                    .parse_fact(&format!("Event({key}, 'p{payload}')"))
+                    .expect("generated events are well-formed");
+                engine
+                    .apply(Mutation::Insert(fact))
+                    .expect("fresh-key inserts always apply");
+                trace.push(format!("INSERT Event({key}, 'p{payload}')"));
+            }
+        }
+    }
+    trace.push("STATS".to_string());
+    (db, keys, trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +472,92 @@ mod tests {
         assert!(stats > 0, "the trace checks STATS");
         let deletes = trace.iter().filter(|l| l.starts_with("DELETE")).count();
         assert!(deletes > 0, "the trace retracts some facts");
+    }
+
+    #[test]
+    fn churn_session_is_deterministic_and_delete_heavy() {
+        let (db, _, trace) = churn_session(200, Some(16));
+        let (_, _, again) = churn_session(200, Some(16));
+        assert_eq!(trace, again, "same parameters, same trace");
+        assert_eq!(db.len(), 6, "the base is small and fixed");
+        let inserts = trace.iter().filter(|l| l.starts_with("INSERT")).count();
+        let deletes = trace.iter().filter(|l| l.starts_with("DELETE")).count();
+        assert!(inserts >= 40, "{inserts} inserts");
+        assert!(deletes > 35, "{deletes} deletes");
+        assert!(
+            deletes > inserts,
+            "delete-heavy: the live set hovers near its floor"
+        );
+        assert!(trace.iter().any(|l| l == "STATS"));
+        assert!(trace.iter().any(|l| l.starts_with("COUNT")));
+        // The threshold changes compaction points, hence the delete ids.
+        let (_, _, other) = churn_session(200, None);
+        assert_ne!(trace, other);
+    }
+
+    #[test]
+    fn churn_growth_is_unbounded_without_compaction_and_bounded_with_it() {
+        let ops = 300;
+        // Replay both traces through engines running the matching policy.
+        let waste_after = |threshold: Option<u64>| {
+            let (db, keys, trace) = churn_session(ops, threshold);
+            let mut engine = cdr_core::RepairEngine::new(db, keys);
+            for line in &trace {
+                match cdr_core::parse_engine_command(line, engine.database()) {
+                    Ok(command) => {
+                        if !matches!(command, cdr_core::EngineCommand::Query(_)) {
+                            if let Some(t) = threshold {
+                                engine.maybe_compact(t);
+                            }
+                        }
+                        engine
+                            .execute(command)
+                            .unwrap_or_else(|e| panic!("churn line `{line}` must apply: {e}"));
+                    }
+                    Err(_) => assert_eq!(line, "STATS"),
+                }
+            }
+            (engine.waste(), engine.blocks().slot_count())
+        };
+        let (unbounded_waste, unbounded_slots) = waste_after(None);
+        let (bounded_waste, bounded_slots) = waste_after(Some(16));
+        assert!(
+            unbounded_waste > 100,
+            "pre-compaction churn accumulates waste without bound ({unbounded_waste})"
+        );
+        assert!(
+            bounded_waste < 16 + 2,
+            "the policy bounds waste ({bounded_waste})"
+        );
+        assert!(
+            bounded_slots < unbounded_slots / 2,
+            "{bounded_slots} vs {unbounded_slots}"
+        );
+    }
+
+    /// Regression: aggressive thresholds make compactions fire on
+    /// *delete* steps too, where the victim id must be chosen only after
+    /// the policy has remapped ids — picking it first generated `DELETE`
+    /// lines naming pre-compaction ids and panicked the generator.
+    #[test]
+    fn churn_session_survives_aggressive_compaction_thresholds() {
+        for threshold in [1u64, 5, 9] {
+            let (db, keys, trace) = churn_session(600, Some(threshold));
+            let mut engine = cdr_core::RepairEngine::new(db, keys);
+            for line in &trace {
+                match cdr_core::parse_engine_command(line, engine.database()) {
+                    Ok(command) => {
+                        if !matches!(command, cdr_core::EngineCommand::Query(_)) {
+                            engine.maybe_compact(threshold);
+                        }
+                        engine.execute(command).unwrap_or_else(|e| {
+                            panic!("threshold {threshold}: line `{line}` must apply: {e}")
+                        });
+                    }
+                    Err(_) => assert_eq!(line, "STATS"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -77,14 +77,15 @@ pub mod prelude {
         parse_count_request, parse_engine_command, parse_mutation, WireError,
     };
     pub use cdr_core::{
-        Answer, ApproxConfig, CacheStats, CountOutcome, CountReport, CountRequest, EngineCommand,
-        EngineResponse, ExactStrategy, FprasEstimator, KarpLubyEstimator, MutationReport,
-        RepairCounter, RepairEngine, Semantics, Strategy,
+        Answer, ApproxConfig, CacheStats, CompactionOutcome, CountOutcome, CountReport,
+        CountRequest, EngineCommand, EngineResponse, ExactStrategy, FprasEstimator,
+        KarpLubyEstimator, MutationReport, RepairCounter, RepairEngine, Semantics, Strategy,
     };
     pub use cdr_num::{BigNat, LogNum, Ratio};
     pub use cdr_query::{parse_query, Query, UcqQuery};
     pub use cdr_repairdb::{
-        BlockDelta, Database, Fact, KeySet, Mutation, Schema, Symbol, SymbolTable, Value,
+        BlockDelta, CompactionReport, Database, Fact, KeySet, Mutation, Schema, Symbol,
+        SymbolTable, Value,
     };
     pub use cdr_server::{client::Client, Oracle, Server, ServerConfig, ServerStats};
 }

@@ -1,0 +1,238 @@
+//! Delete-heavy churn and compaction parity.
+//!
+//! The compaction subsystem claims that reclaiming id space is purely a
+//! *renaming*: after `COMPACT`, the engine is indistinguishable — state
+//! and replies — from a fresh engine built directly over the live fact
+//! set.  This suite drives a long churn session (where pre-compaction
+//! tombstone/slot growth would be unbounded) through the [`Oracle`] under
+//! the serving layer's auto-compaction policy, then checks:
+//!
+//! * the compacted database and partition **equal** (`PartialEq`) a fresh
+//!   build over the live facts — slots dense, ids a dense prefix;
+//! * a query battery answered by the churned-then-compacted oracle is
+//!   **byte-for-byte** the fresh oracle's output, once the one intentional
+//!   difference — the `gen=<n>` provenance token, which counts the whole
+//!   session's history — is masked;
+//! * (proptest) compacting at *random points* of a random mutation stream
+//!   never changes any answer: exact counts, totals and **seeded**
+//!   estimates all match a fresh engine bit for bit.
+
+use proptest::prelude::*;
+use repair_count::prelude::*;
+use repair_count::workloads::churn_session;
+
+const CHURN_OPS: usize = 400;
+const CHURN_THRESHOLD: u64 = 16;
+
+/// Replaces every `gen=<digits>` token with `gen=_`: the generation
+/// counter records session history (how many mutations ever ran), which
+/// is the one provenance field a fresh engine cannot share.
+fn mask_generation(reply: &str) -> String {
+    reply
+        .split(' ')
+        .map(|field| {
+            if field.starts_with("gen=") && field[4..].bytes().all(|b| b.is_ascii_digit()) {
+                "gen=_"
+            } else {
+                field
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The query battery the two oracles must answer identically.
+fn battery() -> Vec<String> {
+    let mut lines = Vec::new();
+    for key in [0i64, 1, 2, 1_005, 1_111] {
+        lines.push(format!("COUNT auto EXISTS p . Event({key}, p)"));
+        lines.push(format!("CERTAIN EXISTS p . Event({key}, p)"));
+        lines.push(format!("FREQ EXISTS p . Event({key}, p)"));
+        lines.push(format!("APPROX 0.2 0.1 42 EXISTS p . Event({key}, p)"));
+    }
+    lines.push("DECIDE EXISTS k . Event(k, 'dup')".to_string());
+    lines
+}
+
+#[test]
+fn churned_then_compacted_session_is_a_fresh_engine_in_disguise() {
+    let (db, keys, trace) = churn_session(CHURN_OPS, Some(CHURN_THRESHOLD));
+    let mut oracle =
+        Oracle::new(RepairEngine::new(db, keys.clone())).with_auto_compact(CHURN_THRESHOLD);
+    // The whole delete-heavy session replays without a single error even
+    // though cumulative inserts far outgrow what an uncompacted slot
+    // table would hold bounded.
+    for line in &trace {
+        for reply in oracle.feed(line) {
+            assert!(reply.starts_with("OK "), "line `{line}` drew `{reply}`");
+        }
+    }
+    oracle.with_engine(|engine| {
+        assert!(
+            engine.waste() <= CHURN_THRESHOLD + 2,
+            "the policy keeps reclaimable waste bounded: {}",
+            engine.waste()
+        );
+    });
+
+    // Close the session with an explicit COMPACT so ids are dense *now*.
+    let replies = oracle.feed("COMPACT");
+    assert!(replies[0].starts_with("OK COMPACTED "), "{}", replies[0]);
+
+    // A fresh engine over the live facts, in id order, is *equal* — same
+    // databases (dense id prefix), same partitions (dense ≺-ordered
+    // slots), same totals.
+    let (compacted_db, total) =
+        oracle.with_engine(|engine| (engine.database().clone(), engine.total_repairs().clone()));
+    let mut fresh_db = Database::new(compacted_db.schema().clone());
+    for fact in compacted_db.facts() {
+        fresh_db.insert(fact.clone()).expect("live facts re-insert");
+    }
+    assert_eq!(compacted_db, fresh_db);
+    let fresh = RepairEngine::new(fresh_db, keys.clone());
+    assert_eq!(&total, fresh.total_repairs());
+    oracle.with_engine(|engine| assert_eq!(engine.blocks(), fresh.blocks()));
+
+    // Byte-for-byte replies: only the generation token may differ.
+    let mut fresh_oracle = Oracle::new(fresh);
+    for line in battery() {
+        let churned: Vec<String> = oracle
+            .feed(&line)
+            .into_iter()
+            .map(|r| mask_generation(&r))
+            .collect();
+        let pristine: Vec<String> = fresh_oracle
+            .feed(&line)
+            .into_iter()
+            .map(|r| mask_generation(&r))
+            .collect();
+        assert_eq!(churned, pristine, "diverging replies for `{line}`");
+    }
+}
+
+#[test]
+fn unbounded_churn_dies_exhausted_but_auto_compact_survives_it() {
+    let (db, keys, trace) = churn_session(CHURN_OPS, None);
+    let inserts = trace.iter().filter(|l| l.starts_with("INSERT")).count() as u32;
+    let cap = db.fact_ids_assigned() + inserts / 2;
+    // Without the policy, the same capped session hits the wall…
+    let mut doomed = Oracle::new(RepairEngine::new(
+        db.clone().with_fact_id_capacity(cap),
+        keys.clone(),
+    ));
+    let exhausted = trace.iter().any(|line| {
+        doomed
+            .feed(line)
+            .iter()
+            .any(|reply| reply.starts_with("ERR EXHAUSTED "))
+    });
+    assert!(
+        exhausted,
+        "the cap must bite for this test to mean anything"
+    );
+
+    // …while the auto-compacting session (whose trace accounts for the
+    // id remapping) never sees an error at all.
+    let (db, keys, trace) = churn_session(CHURN_OPS, Some(CHURN_THRESHOLD));
+    let mut survivor = Oracle::new(RepairEngine::new(db.with_fact_id_capacity(cap), keys))
+        .with_auto_compact(CHURN_THRESHOLD);
+    for line in &trace {
+        for reply in survivor.feed(line) {
+            assert!(reply.starts_with("OK "), "line `{line}` drew `{reply}`");
+        }
+    }
+}
+
+/// One step of the proptest mutation stream (derived from a SplitMix64
+/// walk: the vendored proptest generates scalars, not collections).
+fn next_op(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Compaction at random points of a random insert/delete stream is
+    /// invisible to every answer: exact counts, totals and seeded
+    /// estimates match a fresh engine over the same live facts bit for
+    /// bit.
+    #[test]
+    fn compaction_at_random_points_is_answer_invisible(seed in 0u64..1_000_000, steps in 8usize..60) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        let keys = KeySet::builder(&schema).key("R", 1).unwrap().build();
+        let mut engine = RepairEngine::new(Database::new(schema), keys.clone());
+        let mut state = seed;
+        let mut compactions = 0usize;
+        for _ in 0..steps {
+            let draw = next_op(&mut state);
+            match draw % 8 {
+                // Half the steps insert (possibly a duplicate no-op).
+                0..=3 => {
+                    let key = (draw >> 8) % 12;
+                    let payload = (draw >> 16) % 4;
+                    let fact = engine
+                        .database()
+                        .parse_fact(&format!("R({key}, 'p{payload}')"))
+                        .unwrap();
+                    engine.apply(Mutation::Insert(fact)).unwrap();
+                }
+                // Three in eight delete a pseudo-random live fact.
+                4..=6 => {
+                    let live = engine.database().len();
+                    if live > 0 {
+                        let nth = (draw >> 24) as usize % live;
+                        let (id, _) = engine.database().iter().nth(nth).unwrap();
+                        engine.apply(Mutation::Delete(id)).unwrap();
+                    }
+                }
+                // One in eight compacts right here.
+                _ => {
+                    let outcome = engine.compact();
+                    prop_assert!(outcome.total_cross_checked);
+                    compactions += 1;
+                }
+            }
+        }
+        // Interleave one more compaction so the final state is compacted
+        // for at least one case in every run.
+        if compactions == 0 {
+            engine.compact();
+        }
+        let fresh = RepairEngine::new(engine.database().clone(), keys);
+        prop_assert_eq!(engine.total_repairs(), fresh.total_repairs());
+        let q = repair_count::query::parse_query("EXISTS p . R(3, p)").unwrap();
+        let union = repair_count::query::parse_query(
+            "(EXISTS p . R(1, p)) OR R(5, 'p2') OR (EXISTS k . R(k, 'p0'))",
+        )
+        .unwrap();
+        for q in [&q, &union] {
+            for request in [
+                CountRequest::exact(q.clone()),
+                CountRequest::frequency(q.clone()),
+                CountRequest::certain_answer(q.clone()),
+                CountRequest::approximate(q.clone(), 0.3, 0.1).with_seed(7),
+            ] {
+                let ours = engine.run(&request).unwrap();
+                let theirs = fresh.run(&request).unwrap();
+                match (&ours.answer, &theirs.answer) {
+                    (Answer::Count(a), Answer::Count(b)) => prop_assert_eq!(a, b),
+                    (Answer::Frequency(a), Answer::Frequency(b)) => {
+                        prop_assert_eq!(a.to_string(), b.to_string())
+                    }
+                    (Answer::Decision(a), Answer::Decision(b)) => prop_assert_eq!(a, b),
+                    (Answer::Estimate(a), Answer::Estimate(b)) => {
+                        prop_assert_eq!(&a.estimate, &b.estimate);
+                        prop_assert_eq!(a.positive_samples, b.positive_samples);
+                        prop_assert_eq!(a.samples_used, b.samples_used);
+                    }
+                    (a, b) => prop_assert!(false, "answer kinds diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}

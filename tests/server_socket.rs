@@ -314,6 +314,50 @@ fn fact_id_exhaustion_is_a_reply_not_a_dead_worker() {
     assert_eq!(stats.recovered_panics, 0, "no worker unwound");
 }
 
+/// Acceptance: a capped session that would previously die with
+/// `ERR EXHAUSTED` survives indefinitely under `--auto-compact` — the
+/// scheduler compacts (an exclusive write-guard operation between
+/// commands) before a mutation would run out of id headroom, and a
+/// manual `COMPACT` recovers an already-exhausted session too.
+#[test]
+fn auto_compact_outlives_the_fact_id_cap() {
+    let (db, keys) = employee_example();
+    let engine = RepairEngine::new(db.with_fact_id_capacity(8), keys);
+    let server = start_server(engine, |config| config.auto_compact = Some(3));
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // 60 insert/delete cycles consume 60 fact ids against a capacity of
+    // 8.  Without the policy the 5th cycle dies; with it, every reply is
+    // OK and the waste gauge stays under the threshold.
+    for cycle in 0..60 {
+        let reply = client.send("INSERT Employee(9, 'Flux', 'Ops')").unwrap();
+        assert!(reply.starts_with("OK INSERT "), "cycle {cycle}: {reply}");
+        let id = inserted_id(&reply);
+        let reply = client.send(&format!("DELETE {id}")).unwrap();
+        assert!(reply.starts_with("OK DELETE "), "cycle {cycle}: {reply}");
+    }
+    let reply = client.send("STATS").unwrap();
+    assert!(reply.starts_with("OK STATS facts=4 "), "{reply}");
+    assert!(reply.contains(" cap=8 "), "{reply}");
+    let ids: u32 = reply
+        .split_whitespace()
+        .find_map(|field| field.strip_prefix("ids="))
+        .and_then(|v| v.parse().ok())
+        .expect("STATS reports ids=");
+    assert!(ids <= 8, "id consumption stays within the cap: {reply}");
+
+    // A manual COMPACT recovers a session that already hit the wall.
+    let reply = client.send("COMPACT").unwrap();
+    assert!(
+        reply.starts_with("OK COMPACTED facts=4 slots=2 "),
+        "{reply}"
+    );
+
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.recovered_panics, 0, "no worker unwound");
+}
+
 /// Regression: a handler panicking while holding the engine's *write*
 /// lock poisons it; later guards must recover instead of wedging or
 /// killing the server.  The chaos-only `PANIC` verb reproduces the old
