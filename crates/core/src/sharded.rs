@@ -1,0 +1,1058 @@
+//! The sharded scatter–gather engine: hash-partitioned shards with
+//! per-shard locks, caches and samplers.
+//!
+//! The paper's repair-counting structure is embarrassingly shardable: two
+//! facts interact only when they share a key value (they conflict inside
+//! one block), the total repair count is the product `∏ |Bᵢ|`, and a key's
+//! block lives wholly wherever the key lives.  A hash partition of key
+//! values therefore induces a partition of *blocks* with no cross-shard
+//! coupling: `INSERT`/`DELETE` route to exactly one shard and unrelated
+//! writers stop contending on one global engine lock.
+//!
+//! # Scatter and gather
+//!
+//! [`ShardedEngine`] keeps N shards, each an independent [`RepairEngine`]
+//! over its own `Database` slice (local fact ids), `BlockPartition`, plan
+//! cache and sampler, behind its own `RwLock` write guard.  Mutations
+//! *scatter*: the key value's stable
+//! [`route_hash`](cdr_repairdb::KeyValue::route_hash) picks the one shard
+//! whose lock is taken, and a global router assigns
+//! the public fact id, maintains the merged total `∏ |Bᵢ|` incrementally
+//! (dividing out the old block size and multiplying in the new one, the
+//! same arithmetic as the unsharded engine), and appends the mutation to
+//! a commit log.
+//!
+//! Queries *gather*: certificates for a join query pin blocks on several
+//! shards at once, so answering from per-shard slices alone cannot stay
+//! exact.  Instead the engine follows the per-partition-delta /
+//! merge-at-the-read idiom: a **gathered view** — a full `RepairEngine`
+//! over the merged database — is maintained lazily by replaying the
+//! router's commit log before a read.  Writes never touch the gathered
+//! view (they contend only on their own shard plus a short router
+//! critical section); the first read after a write burst pays the merge.
+//!
+//! # The determinism contract
+//!
+//! The hard invariant is bit-for-bit answer parity with the unsharded
+//! engine, *including seeded KL/FPRAS estimates*.  Estimator draws consume
+//! randomness in the global block order `≺_{D,Σ}` (the lexicographic order
+//! on key values), so the sharded sampler must reproduce the **global
+//! ≺-ordered draw sequence** — a deterministic merge of the per-shard
+//! flattened block arrays in global `≺` order, never N per-shard RNG
+//! streams.  Because key values hash to exactly one shard, the N sorted
+//! per-shard block sequences merge uniquely;
+//! [`merged_block_view`](ShardedEngine::merged_block_view) materialises
+//! that merge and
+//! [`check_merge_invariant`](ShardedEngine::check_merge_invariant)
+//! verifies it equals the gathered view's block sequence, which is what
+//! the samplers actually walk.  The replayed gathered view also preserves
+//! generation stamps and plan-cache behaviour, so the `gen=`/`cached=`
+//! provenance on the wire stays reply-identical too.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+
+use cdr_num::BigNat;
+use cdr_repairdb::{BlockDelta, Database, DbError, Fact, FactId, KeySet, KeyValue, Mutation};
+
+use crate::engine::{CompactionOutcome, CountReport, CountRequest, MutationReport, RepairEngine};
+use crate::CountError;
+
+fn mlock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn rlock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn wlock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One shard: an independent engine over a keyed sub-database.
+///
+/// The slice database numbers its facts with *local* ids `0..n` in local
+/// insertion order; `to_global[local.index()]` maps each live local id
+/// back to the public (global) fact id the router handed out.
+struct Shard {
+    engine: RepairEngine,
+    to_global: Vec<FactId>,
+}
+
+/// Retired block slots inside a shard slice (reclaimable by compaction).
+fn slice_retired(engine: &RepairEngine) -> u64 {
+    (engine.blocks().slot_count() - engine.blocks().len()) as u64
+}
+
+/// The global routing state: public fact ids, the merged total, the
+/// commit log the gathered view replays, and the waste gauges.
+struct Router {
+    /// `route[id.index()]` locates global fact `id`: `Some((shard, local))`
+    /// for a live fact, `None` for a tombstoned id.  `route.len()` is the
+    /// number of global ids assigned so far; ids are never reused.
+    route: Vec<Option<(u32, FactId)>>,
+    /// Live facts across all shards.
+    live: u64,
+    /// How many global ids may ever be assigned.
+    capacity: u32,
+    /// The merged total `∏ |Bᵢ|`, maintained incrementally in commit
+    /// order.  Held in an `Arc` so the per-mutation snapshot in
+    /// [`ShardedApplied`] is a refcount bump, not a multi-limb copy: the
+    /// next commit clones behind `Arc::make_mut` only if a snapshot is
+    /// still alive, keeping the router's critical section short.
+    total: Arc<BigNat>,
+    /// Committed mutations (with global delete ids) the gathered view has
+    /// not replayed yet, in commit order.
+    log: Vec<Mutation>,
+    /// The global generation: bumped once per applied mutation and once
+    /// per compaction, never for no-ops — the same discipline as
+    /// [`RepairEngine::generation`], so reply provenance matches.
+    generation: u64,
+    /// Retired block slots per shard, refreshed at each commit on that
+    /// shard.  Summed into [`Router::waste`].
+    retired_by_shard: Vec<u64>,
+}
+
+impl Router {
+    fn entry(&self, id: FactId) -> Option<(u32, FactId)> {
+        self.route.get(id.index()).copied().flatten()
+    }
+
+    fn exhausted(&self) -> bool {
+        self.route.len() as u64 >= u64::from(self.capacity)
+    }
+
+    /// Reclaimable waste: tombstoned global ids plus retired block slots —
+    /// the same gauge as [`RepairEngine::waste`] on the merged state.
+    fn waste(&self) -> u64 {
+        let tombstones = self.route.len() as u64 - self.live;
+        tombstones + self.retired_by_shard.iter().sum::<u64>()
+    }
+
+    /// The unsharded engine's total update, verbatim: divide out the old
+    /// block size, multiply in the new one.
+    fn apply_total(&mut self, delta: &BlockDelta) {
+        let total = Arc::make_mut(&mut self.total);
+        if delta.old_len > 0 {
+            let (quotient, remainder) = total.div_rem_u64(delta.old_len as u64);
+            debug_assert_eq!(remainder, 0, "block sizes divide the total exactly");
+            *total = quotient;
+        }
+        if delta.new_len > 0 {
+            total.mul_assign_u64(delta.new_len as u64);
+        }
+    }
+
+    /// Commits one applied mutation: route bookkeeping, total, generation,
+    /// waste gauge and the replay log.
+    fn commit(&mut self, shard: usize, retired: u64, delta: &BlockDelta, logged: Mutation) {
+        self.apply_total(delta);
+        self.generation += 1;
+        self.retired_by_shard[shard] = retired;
+        self.log.push(logged);
+    }
+}
+
+/// What a routed mutation did: the global fact id it touched plus the
+/// aggregated [`MutationReport`] (global generation; the block deltas are
+/// the touched shard's, with slice-local slot ids).
+#[derive(Clone, Debug)]
+pub struct ShardedApplied {
+    /// The global id of the fact inserted or deleted (for a duplicate
+    /// insert: the id of the already-present fact).
+    pub id: FactId,
+    /// Whether the mutation changed the database (`false` for a duplicate
+    /// insert, the engine's only visible no-op).
+    pub applied: bool,
+    /// The report, with the *global* generation stamp.
+    pub report: MutationReport,
+    /// The total `∏ |Bᵢ|` as of this mutation's commit — snapshotted
+    /// inside the commit critical section, so a reply rendered from it is
+    /// exact even while other writers race ahead.  The snapshot is
+    /// copy-on-write: taking it is a refcount bump, and a later commit
+    /// pays for a copy only while the snapshot is still held.
+    pub total: Arc<BigNat>,
+}
+
+/// Per-shard gauges for operational visibility (`STATS` tails).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardGauges {
+    /// Live facts in the shard slice.
+    pub facts: usize,
+    /// Live blocks in the shard slice.
+    pub blocks: usize,
+    /// Block slots (live + retired) in the shard slice.
+    pub slots: usize,
+    /// Tombstoned local fact ids in the shard slice.
+    pub tombstones: u32,
+}
+
+/// A hash-partitioned, scatter–gather [`RepairEngine`]: mutations route to
+/// one of N independently locked shards; queries run on a lazily merged
+/// gathered view that is bit-for-bit identical to an unsharded engine fed
+/// the same mutation sequence.  See the [module docs](self) for the
+/// architecture and the determinism contract.
+pub struct ShardedEngine {
+    keys: Arc<KeySet>,
+    /// An empty database over the schema: lets callers parse facts and
+    /// commands without taking any engine lock.
+    parse_db: Arc<Database>,
+    /// Lock order: shard locks in ascending index order, then `gathered`,
+    /// then `router`.  Every acquisition site follows it.
+    shards: Vec<RwLock<Shard>>,
+    gathered: RwLock<RepairEngine>,
+    router: Mutex<Router>,
+}
+
+fn route_shard(fact: &Fact, keys: &KeySet, shard_count: usize) -> usize {
+    (KeyValue::of(fact, keys).route_hash() % shard_count as u64) as usize
+}
+
+impl ShardedEngine {
+    /// Builds a sharded engine over a database, partitioning the existing
+    /// facts across `shard_count` shards (clamped to at least 1).
+    pub fn new(db: Database, keys: KeySet, shard_count: usize) -> Self {
+        Self::from_engine(RepairEngine::new(db, keys), shard_count)
+    }
+
+    /// Wraps an existing engine — carrying its database, budget, plan
+    /// cache and parallelism settings into the gathered view — and seeds
+    /// `shard_count` slices from its live facts.
+    pub fn from_engine(engine: RepairEngine, shard_count: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        let keys = engine.keys_arc();
+        let db = engine.database_arc();
+        let parse_db = Arc::new(Database::new(db.schema().clone()));
+        let mut shards: Vec<Shard> = (0..shard_count)
+            .map(|_| Shard {
+                engine: RepairEngine::from_arcs(Arc::new(db.empty_like()), Arc::clone(&keys)),
+                to_global: Vec::new(),
+            })
+            .collect();
+        let mut route = Vec::with_capacity(db.fact_ids_assigned() as usize);
+        for index in 0..db.fact_ids_assigned() as usize {
+            let id = FactId::new(index);
+            if !db.is_live(id) {
+                route.push(None);
+                continue;
+            }
+            let fact = db.fact(id).clone();
+            let target = route_shard(&fact, &keys, shard_count);
+            let shard = &mut shards[target];
+            let local = FactId::new(shard.to_global.len());
+            shard
+                .engine
+                .apply(Mutation::Insert(fact))
+                .expect("seeding a shard slice from live facts");
+            debug_assert!(shard.engine.database().is_live(local));
+            shard.to_global.push(id);
+            route.push(Some((target as u32, local)));
+        }
+        let router = Router {
+            live: db.len() as u64,
+            capacity: db.fact_id_capacity(),
+            total: Arc::new(engine.total_repairs().clone()),
+            log: Vec::new(),
+            generation: engine.generation(),
+            retired_by_shard: vec![0; shard_count],
+            route,
+        };
+        ShardedEngine {
+            keys,
+            parse_db,
+            shards: shards.into_iter().map(RwLock::new).collect(),
+            gathered: RwLock::new(engine),
+            router: Mutex::new(router),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// An empty database over the engine's schema, for lock-free parsing
+    /// of facts and wire commands.
+    pub fn parse_database(&self) -> Arc<Database> {
+        Arc::clone(&self.parse_db)
+    }
+
+    /// The shared key set.
+    pub fn keys(&self) -> Arc<KeySet> {
+        Arc::clone(&self.keys)
+    }
+
+    /// The merged total repair count `∏ |Bᵢ|`.
+    pub fn total_repairs(&self) -> BigNat {
+        mlock(&self.router).total.as_ref().clone()
+    }
+
+    /// The global generation: bumped once per applied mutation and once
+    /// per compaction, never for no-ops — the same discipline as
+    /// [`RepairEngine::generation`], so reply provenance matches.
+    pub fn generation(&self) -> u64 {
+        mlock(&self.router).generation
+    }
+
+    /// Reclaimable waste a [`ShardedEngine::compact`] would recover.
+    pub fn waste(&self) -> u64 {
+        mlock(&self.router).waste()
+    }
+
+    /// Global fact ids assigned so far (live facts plus tombstones).
+    pub fn fact_ids_assigned(&self) -> u32 {
+        mlock(&self.router).route.len() as u32
+    }
+
+    /// How many global fact ids may ever be assigned.
+    pub fn fact_id_capacity(&self) -> u32 {
+        mlock(&self.router).capacity
+    }
+
+    /// Live facts across all shards.
+    pub fn live_facts(&self) -> usize {
+        mlock(&self.router).live as usize
+    }
+
+    /// The shard a fact's key value routes to.
+    pub fn shard_of(&self, fact: &Fact) -> usize {
+        route_shard(fact, &self.keys, self.shards.len())
+    }
+
+    /// Per-shard gauges, in shard order.
+    pub fn shard_gauges(&self) -> Vec<ShardGauges> {
+        self.shards
+            .iter()
+            .map(|slot| {
+                let shard = rlock(slot);
+                ShardGauges {
+                    facts: shard.engine.database().len(),
+                    blocks: shard.engine.blocks().len(),
+                    slots: shard.engine.blocks().slot_count(),
+                    tombstones: shard.engine.database().tombstone_count(),
+                }
+            })
+            .collect()
+    }
+
+    /// Replays the commit log into the gathered view (the merge-at-the-
+    /// read step).  Cheap when there is nothing to replay.
+    fn drain(&self) {
+        if mlock(&self.router).log.is_empty() {
+            return;
+        }
+        let mut gathered = wlock(&self.gathered);
+        Self::drain_into(&mut gathered, &self.router);
+    }
+
+    fn drain_into(gathered: &mut RepairEngine, router: &Mutex<Router>) {
+        // Taking the log *under* the gathered write guard keeps replay
+        // order equal to commit order even with concurrent drains.
+        let log = std::mem::take(&mut mlock(router).log);
+        for mutation in log {
+            gathered
+                .apply(mutation)
+                .expect("a committed mutation replays cleanly on the gathered view");
+        }
+    }
+
+    /// Runs a closure over the gathered view after draining the commit
+    /// log: the engine seen is bit-for-bit the unsharded engine fed the
+    /// same mutation sequence.
+    pub fn read<R>(&self, f: impl FnOnce(&RepairEngine) -> R) -> R {
+        self.drain();
+        f(&rlock(&self.gathered))
+    }
+
+    /// Answers one counting request on the gathered view.
+    pub fn run(&self, request: &CountRequest) -> Result<CountReport, CountError> {
+        self.read(|engine| engine.run(request))
+    }
+
+    /// Answers a batch of requests on the gathered view, reusing the
+    /// engine's thread-scoped fan-out.
+    pub fn run_batch(&self, requests: &[CountRequest]) -> Vec<Result<CountReport, CountError>> {
+        self.read(|engine| engine.run_batch(requests))
+    }
+
+    /// Applies one mutation, routed to the single shard that owns its key.
+    pub fn apply(&self, mutation: Mutation) -> Result<ShardedApplied, CountError> {
+        match mutation {
+            Mutation::Insert(fact) => self.apply_insert(fact),
+            Mutation::Delete(id) => self.apply_delete(id),
+        }
+    }
+
+    fn apply_insert(&self, fact: Fact) -> Result<ShardedApplied, CountError> {
+        let started = Instant::now();
+        let target = self.shard_of(&fact);
+        let mut shard = wlock(&self.shards[target]);
+        if let Some(local) = shard.engine.database().fact_id(&fact) {
+            // Duplicate insert: a visible no-op, not logged, generation
+            // unchanged — exactly the unsharded engine's behaviour.
+            let id = shard.to_global[local.index()];
+            let (generation, total) = {
+                let router = mlock(&self.router);
+                (router.generation, Arc::clone(&router.total))
+            };
+            return Ok(ShardedApplied {
+                id,
+                applied: false,
+                report: MutationReport {
+                    applied: 0,
+                    noops: 1,
+                    generation,
+                    deltas: Vec::new(),
+                    duration: started.elapsed(),
+                },
+                total,
+            });
+        }
+        shard.engine.database().validate(&fact)?;
+        // Apply on the slice *outside* the router lock so disjoint-key
+        // writers only serialise on the short id-assignment commit below.
+        // Exhaustion is checked only at the commit (losing that race
+        // reverts the slice insert): a pre-flight check would cost a
+        // second contended router acquisition on every insert to optimise
+        // a case that occurs once per id-space lifetime.
+        let slice_report = shard
+            .engine
+            .apply(Mutation::Insert(fact.clone()))
+            .expect("a validated, absent insert applies on its shard slice");
+        let local = shard
+            .engine
+            .database()
+            .fact_id(&fact)
+            .expect("the fact was just inserted");
+        let retired = slice_retired(&shard.engine);
+        let mut router = mlock(&self.router);
+        if router.exhausted() {
+            // Lost the race for the last ids: undo the slice insert and
+            // report exhaustion.  The revert may leave an uncounted
+            // retired slot behind, so the waste gauge can only over-count
+            // afterwards — at worst auto-compaction fires early.
+            let capacity = router.capacity;
+            drop(router);
+            shard
+                .engine
+                .apply(Mutation::Delete(local))
+                .expect("reverting the just-applied insert");
+            return Err(DbError::FactIdsExhausted { capacity }.into());
+        }
+        let id = FactId::new(router.route.len());
+        router.route.push(Some((target as u32, local)));
+        debug_assert_eq!(shard.to_global.len(), local.index());
+        shard.to_global.push(id);
+        router.live += 1;
+        router.commit(
+            target,
+            retired,
+            &slice_report.deltas[0],
+            Mutation::Insert(fact),
+        );
+        let generation = router.generation;
+        let total = Arc::clone(&router.total);
+        drop(router);
+        Ok(ShardedApplied {
+            id,
+            applied: true,
+            report: MutationReport {
+                applied: 1,
+                noops: 0,
+                generation,
+                deltas: slice_report.deltas,
+                duration: started.elapsed(),
+            },
+            total,
+        })
+    }
+
+    fn apply_delete(&self, id: FactId) -> Result<ShardedApplied, CountError> {
+        let started = Instant::now();
+        let Some((mut target, mut local)) = mlock(&self.router).entry(id) else {
+            return Err(DbError::MissingFact(id.index()).into());
+        };
+        loop {
+            let mut shard = wlock(&self.shards[target as usize]);
+            // The routing read above was speculative: a compaction (which
+            // holds every shard lock) may have re-routed the id in the
+            // gap.  Once this shard's lock is held its routing state is
+            // frozen, and `to_global` is the routing truth — if the slot
+            // still maps to `id`, deleting it deletes global fact `id`,
+            // with no second router round-trip on the hot path.
+            if shard.to_global.get(local.index()) != Some(&id) {
+                match mlock(&self.router).entry(id) {
+                    None => return Err(DbError::MissingFact(id.index()).into()),
+                    Some((owner, slot)) => {
+                        target = owner;
+                        local = slot;
+                        continue;
+                    }
+                }
+            }
+            // `to_global` keeps tombstoned slots between compactions, so
+            // the slot may map to `id` with the slice fact already
+            // retired: a concurrent delete won the race, and the slice's
+            // rejection of the double delete is this delete's missing-fact
+            // error.
+            let Ok(slice_report) = shard.engine.apply(Mutation::Delete(local)) else {
+                return Err(DbError::MissingFact(id.index()).into());
+            };
+            let retired = slice_retired(&shard.engine);
+            let mut router = mlock(&self.router);
+            router.route[id.index()] = None;
+            router.live -= 1;
+            router.commit(
+                target as usize,
+                retired,
+                &slice_report.deltas[0],
+                Mutation::Delete(id),
+            );
+            let generation = router.generation;
+            let total = Arc::clone(&router.total);
+            drop(router);
+            return Ok(ShardedApplied {
+                id,
+                applied: true,
+                report: MutationReport {
+                    applied: 1,
+                    noops: 0,
+                    generation,
+                    deltas: slice_report.deltas,
+                    duration: started.elapsed(),
+                },
+                total,
+            });
+        }
+    }
+
+    /// Applies a batch of mutations atomically across shards, with the
+    /// unsharded engine's exact validation semantics: a rejected batch
+    /// (unknown relation, wrong arity, a delete naming a fact not live
+    /// before the batch or named twice, or fact-id exhaustion) leaves
+    /// every shard — and the generation — completely unchanged.
+    ///
+    /// A batch is a global barrier (it takes every shard lock, in
+    /// ascending order); routed single mutations are the scalable path.
+    /// Returns the aggregated report plus the post-batch total, both
+    /// snapshotted inside the batch's critical section.
+    pub fn apply_batch(
+        &self,
+        mutations: impl IntoIterator<Item = Mutation>,
+    ) -> Result<(MutationReport, BigNat), CountError> {
+        let started = Instant::now();
+        let mutations: Vec<Mutation> = mutations.into_iter().collect();
+        let mut guards: Vec<RwLockWriteGuard<'_, Shard>> = self.shards.iter().map(wlock).collect();
+        let mut router = mlock(&self.router);
+        {
+            // The unsharded engine's presence overlay, verbatim (modulo
+            // owned facts): counts exactly how many fresh global ids the
+            // batch will consume so an exhausting batch is rejected
+            // before any of it is applied.
+            let mut pending_deletes = HashSet::new();
+            let mut overlay: HashMap<Fact, bool> = HashMap::new();
+            let mut fresh_ids: u64 = 0;
+            for mutation in &mutations {
+                match mutation {
+                    Mutation::Insert(fact) => {
+                        self.parse_db.validate(fact)?;
+                        let present = overlay.get(fact).copied().unwrap_or_else(|| {
+                            guards[self.shard_of(fact)].engine.database().contains(fact)
+                        });
+                        if !present {
+                            fresh_ids += 1;
+                            overlay.insert(fact.clone(), true);
+                        }
+                    }
+                    Mutation::Delete(id) => {
+                        let entry = router.entry(*id);
+                        if entry.is_none() || !pending_deletes.insert(*id) {
+                            return Err(DbError::MissingFact(id.index()).into());
+                        }
+                        let (owner, local) = entry.expect("checked live above");
+                        let fact = guards[owner as usize].engine.database().fact(local).clone();
+                        overlay.insert(fact, false);
+                    }
+                }
+            }
+            if router.route.len() as u64 + fresh_ids > u64::from(router.capacity) {
+                return Err(DbError::FactIdsExhausted {
+                    capacity: router.capacity,
+                }
+                .into());
+            }
+        }
+        let mut report = MutationReport {
+            applied: 0,
+            noops: 0,
+            generation: router.generation,
+            deltas: Vec::new(),
+            duration: Duration::ZERO,
+        };
+        for mutation in mutations {
+            match mutation {
+                Mutation::Insert(fact) => {
+                    let target = self.shard_of(&fact);
+                    let shard = &mut *guards[target];
+                    if shard.engine.database().contains(&fact) {
+                        report.noops += 1;
+                        continue;
+                    }
+                    let slice_report = shard
+                        .engine
+                        .apply(Mutation::Insert(fact.clone()))
+                        .expect("the whole batch was validated before applying");
+                    let local = shard
+                        .engine
+                        .database()
+                        .fact_id(&fact)
+                        .expect("the fact was just inserted");
+                    let id = FactId::new(router.route.len());
+                    router.route.push(Some((target as u32, local)));
+                    shard.to_global.push(id);
+                    router.live += 1;
+                    let retired = slice_retired(&shard.engine);
+                    router.commit(
+                        target,
+                        retired,
+                        &slice_report.deltas[0],
+                        Mutation::Insert(fact),
+                    );
+                    report.applied += 1;
+                    report.deltas.extend(slice_report.deltas);
+                }
+                Mutation::Delete(id) => {
+                    let (owner, local) = router
+                        .entry(id)
+                        .expect("the whole batch was validated before applying");
+                    let target = owner as usize;
+                    let shard = &mut *guards[target];
+                    let slice_report = shard
+                        .engine
+                        .apply(Mutation::Delete(local))
+                        .expect("the whole batch was validated before applying");
+                    router.route[id.index()] = None;
+                    router.live -= 1;
+                    let retired = slice_retired(&shard.engine);
+                    router.commit(
+                        target,
+                        retired,
+                        &slice_report.deltas[0],
+                        Mutation::Delete(id),
+                    );
+                    report.applied += 1;
+                    report.deltas.extend(slice_report.deltas);
+                }
+            }
+        }
+        report.generation = router.generation;
+        report.duration = started.elapsed();
+        Ok((report, router.total.as_ref().clone()))
+    }
+
+    /// Compacts every shard and the gathered view, returning the merged
+    /// [`CompactionOutcome`] — the gathered view's, whose id-translation
+    /// table is in the public (global) id namespace and whose stats are
+    /// reply-identical to the unsharded engine's.
+    pub fn compact(&self) -> CompactionOutcome {
+        self.compact_with_total().0
+    }
+
+    /// [`ShardedEngine::compact`], also returning the post-compaction
+    /// total snapshotted under the compaction's locks.
+    pub fn compact_with_total(&self) -> (CompactionOutcome, BigNat) {
+        let mut guards: Vec<RwLockWriteGuard<'_, Shard>> = self.shards.iter().map(wlock).collect();
+        let mut gathered = wlock(&self.gathered);
+        Self::drain_into(&mut gathered, &self.router);
+        let outcome = gathered.compact();
+        let shard_reports: Vec<cdr_repairdb::CompactionReport> = guards
+            .iter_mut()
+            .map(|shard| shard.engine.compact().report)
+            .collect();
+        let mut router = mlock(&self.router);
+        // Rebuild the route by composing the global and per-shard
+        // translations.  Both compactions preserve insertion order, so the
+        // new ids come out dense and ascending on both sides.
+        let old_route = std::mem::take(&mut router.route);
+        let mut new_route = Vec::with_capacity(router.live as usize);
+        let mut new_to_global: Vec<Vec<FactId>> = guards.iter().map(|_| Vec::new()).collect();
+        for (old_index, entry) in old_route.iter().enumerate() {
+            let Some((shard_index, old_local)) = entry else {
+                continue;
+            };
+            let target = *shard_index as usize;
+            let new_local = shard_reports[target]
+                .translate(*old_local)
+                .expect("live facts survive shard compaction");
+            let new_global = outcome
+                .report
+                .translate(FactId::new(old_index))
+                .expect("live facts survive compaction");
+            debug_assert_eq!(new_global.index(), new_route.len());
+            debug_assert_eq!(new_local.index(), new_to_global[target].len());
+            new_route.push(Some((*shard_index, new_local)));
+            new_to_global[target].push(new_global);
+        }
+        router.route = new_route;
+        for (shard, map) in guards.iter_mut().zip(new_to_global) {
+            shard.to_global = map;
+        }
+        for retired in &mut router.retired_by_shard {
+            *retired = 0;
+        }
+        router.generation += 1;
+        router.total = Arc::new(gathered.total_repairs().clone());
+        debug_assert_eq!(router.generation, gathered.generation());
+        debug_assert_eq!(router.route.len() as u64, router.live);
+        let total = router.total.as_ref().clone();
+        (outcome, total)
+    }
+
+    /// The serving layer's auto-compaction policy, on the merged gauges:
+    /// compacts iff there is any reclaimable waste **and** either the
+    /// waste has reached `threshold` or the global id space is fully
+    /// consumed — the unsharded [`RepairEngine::maybe_compact`] condition.
+    pub fn maybe_compact(&self, threshold: u64) -> Option<CompactionOutcome> {
+        let (waste, exhausted) = {
+            let router = mlock(&self.router);
+            (router.waste(), router.exhausted())
+        };
+        if waste > 0 && (waste >= threshold || exhausted) {
+            Some(self.compact())
+        } else {
+            None
+        }
+    }
+
+    /// The determinism-contract witness: the N per-shard flattened block
+    /// sequences merged in global `≺_{D,Σ}` order, with local fact ids
+    /// mapped back to global ids.  Each key value routes to exactly one
+    /// shard, so the merge of the N sorted sequences is unique; the
+    /// samplers draw in exactly this order.  Diagnostic — call it on a
+    /// quiescent engine.
+    pub fn merged_block_view(&self) -> Vec<(KeyValue, Vec<FactId>)> {
+        let guards: Vec<RwLockReadGuard<'_, Shard>> = self.shards.iter().map(rlock).collect();
+        let mut per_shard: Vec<std::vec::IntoIter<(KeyValue, Vec<FactId>)>> = guards
+            .iter()
+            .map(|shard| {
+                shard
+                    .engine
+                    .blocks()
+                    .iter()
+                    .map(|(_, block)| {
+                        let facts = block
+                            .facts()
+                            .iter()
+                            .map(|local| shard.to_global[local.index()])
+                            .collect();
+                        (block.key().clone(), facts)
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+            })
+            .collect();
+        let mut heads: Vec<Option<(KeyValue, Vec<FactId>)>> =
+            per_shard.iter_mut().map(Iterator::next).collect();
+        let mut merged = Vec::new();
+        loop {
+            let mut best: Option<usize> = None;
+            for (index, head) in heads.iter().enumerate() {
+                let Some((key, _)) = head else { continue };
+                best = match best {
+                    Some(current)
+                        if heads[current].as_ref().expect("chosen head is live").0 < *key =>
+                    {
+                        Some(current)
+                    }
+                    _ => Some(index),
+                };
+            }
+            let Some(winner) = best else { break };
+            let next = per_shard[winner].next();
+            let item = std::mem::replace(&mut heads[winner], next).expect("winner head is live");
+            merged.push(item);
+        }
+        merged
+    }
+
+    /// Verifies the determinism contract on a quiescent engine: the
+    /// global-`≺` merge of the per-shard block arrays must equal — key for
+    /// key, fact for fact — the gathered view's block sequence, which is
+    /// what the seeded samplers walk.
+    pub fn check_merge_invariant(&self) -> bool {
+        self.drain();
+        let merged = self.merged_block_view();
+        let gathered = rlock(&self.gathered);
+        let blocks = gathered.blocks();
+        blocks.len() == merged.len()
+            && blocks
+                .iter()
+                .zip(&merged)
+                .all(|((_, block), (key, facts))| {
+                    block.key() == key && block.facts() == facts.as_slice()
+                })
+    }
+
+    /// Poisons the gathered lock by panicking while holding its write
+    /// guard — the sharded analogue of the chaos `PANIC` verb.  Every
+    /// guard helper recovers from poisoning, so this tests that path.
+    #[doc(hidden)]
+    pub fn chaos_panic(&self) {
+        let _guard = wlock(&self.gathered);
+        panic!("chaos: poisoning the gathered engine lock");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Strategy;
+    use cdr_query::parse_query;
+    use cdr_repairdb::Schema;
+
+    fn employee_db() -> (Database, KeySet) {
+        let mut schema = Schema::new();
+        schema.add_relation("Employee", 3).unwrap();
+        let keys = KeySet::builder(&schema).key("Employee", 1).unwrap().build();
+        let mut db = Database::new(schema);
+        db.insert_parsed("Employee(1, 'Bob', 'HR')").unwrap();
+        db.insert_parsed("Employee(1, 'Bob', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Alice', 'IT')").unwrap();
+        db.insert_parsed("Employee(2, 'Tim', 'IT')").unwrap();
+        (db, keys)
+    }
+
+    fn parse(engine: &ShardedEngine, text: &str) -> Fact {
+        engine.parse_database().parse_fact(text).unwrap()
+    }
+
+    fn insert(engine: &ShardedEngine, text: &str) -> ShardedApplied {
+        let fact = parse(engine, text);
+        engine.apply(Mutation::Insert(fact)).unwrap()
+    }
+
+    #[test]
+    fn sharded_engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedEngine>();
+    }
+
+    #[test]
+    fn answers_match_the_unsharded_engine_for_every_shard_count() {
+        let query =
+            parse_query("EXISTS x, y, z . Employee(1, x, y) AND Employee(2, z, y)").unwrap();
+        let (db, keys) = employee_db();
+        let reference = RepairEngine::new(db.clone(), keys.clone());
+        let expected = reference.run(&CountRequest::exact(query.clone())).unwrap();
+        for shard_count in [1, 2, 3, 7] {
+            let sharded = ShardedEngine::new(db.clone(), keys.clone(), shard_count);
+            let report = sharded.run(&CountRequest::exact(query.clone())).unwrap();
+            assert_eq!(
+                format!("{:?}", report.answer),
+                format!("{:?}", expected.answer),
+                "shards={shard_count}"
+            );
+            assert_eq!(report.generation, expected.generation);
+            assert_eq!(sharded.total_repairs(), reference.total_repairs().clone());
+            assert!(sharded.check_merge_invariant(), "shards={shard_count}");
+        }
+    }
+
+    #[test]
+    fn mutations_route_and_report_like_the_unsharded_engine() {
+        let (db, keys) = employee_db();
+        let mut reference = RepairEngine::new(db.clone(), keys.clone());
+        let sharded = ShardedEngine::new(db, keys, 4);
+
+        let fact = parse(&sharded, "Employee(3, 'Eve', 'Ops')");
+        let expected = reference.apply(Mutation::Insert(fact.clone())).unwrap();
+        let applied = sharded.apply(Mutation::Insert(fact.clone())).unwrap();
+        assert!(applied.applied);
+        assert_eq!(applied.id.index(), 4);
+        assert_eq!(applied.report.generation, expected.generation);
+        assert_eq!(sharded.total_repairs(), reference.total_repairs().clone());
+
+        // Duplicate insert: no-op, same id, generation unchanged.
+        let noop = sharded.apply(Mutation::Insert(fact)).unwrap();
+        assert!(!noop.applied);
+        assert_eq!(noop.id.index(), 4);
+        assert_eq!(noop.report.noops, 1);
+        assert_eq!(noop.report.generation, expected.generation);
+
+        // Delete by global id mirrors the reference engine.
+        let expected = reference.apply(Mutation::Delete(FactId::new(0))).unwrap();
+        let deleted = sharded.apply(Mutation::Delete(FactId::new(0))).unwrap();
+        assert_eq!(deleted.report.generation, expected.generation);
+        assert_eq!(sharded.total_repairs(), reference.total_repairs().clone());
+        assert_eq!(sharded.waste(), reference.waste());
+
+        // Deleting it again is the same error.
+        let err = sharded.apply(Mutation::Delete(FactId::new(0))).unwrap_err();
+        assert!(matches!(
+            err,
+            CountError::Db(DbError::MissingFact(index)) if index == 0
+        ));
+        assert!(sharded.check_merge_invariant());
+    }
+
+    #[test]
+    fn batches_are_atomic_across_shards() {
+        let (db, keys) = employee_db();
+        let mut reference = RepairEngine::new(db.clone(), keys.clone());
+        let sharded = ShardedEngine::new(db, keys, 3);
+
+        let batch = vec![
+            Mutation::Insert(parse(&sharded, "Employee(5, 'Ada', 'Sec')")),
+            Mutation::Insert(parse(&sharded, "Employee(1, 'Bob', 'HR')")), // duplicate
+            Mutation::Delete(FactId::new(2)),
+            Mutation::Insert(parse(&sharded, "Employee(9, 'Joe', 'Ops')")),
+        ];
+        let expected = reference.apply_batch(batch.clone()).unwrap();
+        let (report, total) = sharded.apply_batch(batch).unwrap();
+        assert_eq!(report.applied, expected.applied);
+        assert_eq!(report.noops, expected.noops);
+        assert_eq!(report.generation, expected.generation);
+        assert_eq!(total, reference.total_repairs().clone());
+        assert_eq!(sharded.total_repairs(), reference.total_repairs().clone());
+
+        // A bad delete rejects the whole batch, leaving state untouched.
+        let generation = sharded.generation();
+        let bad = vec![
+            Mutation::Insert(parse(&sharded, "Employee(6, 'Zoe', 'HR')")),
+            Mutation::Delete(FactId::new(2)), // already deleted
+        ];
+        assert!(sharded.apply_batch(bad).is_err());
+        assert_eq!(sharded.generation(), generation);
+        assert!(!sharded.read(|engine| engine
+            .database()
+            .contains(&parse(&sharded, "Employee(6, 'Zoe', 'HR')"))));
+        assert!(sharded.check_merge_invariant());
+    }
+
+    #[test]
+    fn compaction_matches_the_unsharded_outcome_and_remaps_routes() {
+        let (db, keys) = employee_db();
+        let mut reference = RepairEngine::new(db.clone(), keys.clone());
+        let sharded = ShardedEngine::new(db, keys, 4);
+
+        reference.apply(Mutation::Delete(FactId::new(1))).unwrap();
+        sharded.apply(Mutation::Delete(FactId::new(1))).unwrap();
+        insert(&sharded, "Employee(3, 'Eve', 'Ops')");
+        let fact = parse(&sharded, "Employee(3, 'Eve', 'Ops')");
+        reference.apply(Mutation::Insert(fact)).unwrap();
+
+        assert_eq!(sharded.waste(), reference.waste());
+        let expected = reference.compact();
+        let outcome = sharded.compact();
+        assert_eq!(outcome.report.live_facts, expected.report.live_facts);
+        assert_eq!(
+            outcome.report.ids_reclaimed(),
+            expected.report.ids_reclaimed()
+        );
+        assert_eq!(outcome.slots_after, expected.slots_after);
+        assert_eq!(outcome.generation, expected.generation);
+        assert_eq!(sharded.generation(), reference.generation());
+        assert_eq!(sharded.total_repairs(), reference.total_repairs().clone());
+        assert_eq!(sharded.waste(), 0);
+        assert!(sharded.check_merge_invariant());
+
+        // Post-compaction ids are the dense prefix; deleting through a
+        // remapped route still works.
+        let applied = sharded.apply(Mutation::Delete(FactId::new(0))).unwrap();
+        assert!(applied.applied);
+        reference.apply(Mutation::Delete(FactId::new(0))).unwrap();
+        assert_eq!(sharded.total_repairs(), reference.total_repairs().clone());
+    }
+
+    #[test]
+    fn maybe_compact_follows_the_unsharded_policy() {
+        let (db, keys) = employee_db();
+        let sharded = ShardedEngine::new(db, keys, 2);
+        assert!(
+            sharded.maybe_compact(1).is_none(),
+            "no waste, no compaction"
+        );
+        sharded.apply(Mutation::Delete(FactId::new(3))).unwrap();
+        assert!(sharded.maybe_compact(100).is_none(), "below threshold");
+        assert!(sharded.maybe_compact(1).is_some(), "at threshold");
+        assert_eq!(sharded.waste(), 0);
+    }
+
+    #[test]
+    fn capacity_is_enforced_on_the_global_id_space() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        let keys = KeySet::builder(&schema).key("R", 1).unwrap().build();
+        let db = Database::new(schema).with_fact_id_capacity(2);
+        let sharded = ShardedEngine::new(db, keys, 3);
+        insert(&sharded, "R(1, 'a')");
+        insert(&sharded, "R(2, 'b')");
+        let fact = parse(&sharded, "R(3, 'c')");
+        let err = sharded.apply(Mutation::Insert(fact)).unwrap_err();
+        assert!(matches!(
+            err,
+            CountError::Db(DbError::FactIdsExhausted { capacity: 2 })
+        ));
+        // Reclaim headroom by delete + compact, then insert again.
+        sharded.apply(Mutation::Delete(FactId::new(0))).unwrap();
+        assert!(
+            sharded.maybe_compact(u64::MAX).is_some(),
+            "exhausted forces compaction"
+        );
+        let applied = insert(&sharded, "R(3, 'c')");
+        assert_eq!(applied.id.index(), 1);
+    }
+
+    #[test]
+    fn seeded_estimates_are_bit_for_bit_identical() {
+        let (db, keys) = employee_db();
+        let reference = RepairEngine::new(db.clone(), keys.clone());
+        let query = parse_query("EXISTS n . Employee(2, n, 'IT')").unwrap();
+        let request = CountRequest::approximate(query, 0.3, 0.1)
+            .with_seed(42)
+            .with_sample_cap(200)
+            .with_strategy(Strategy::KarpLuby);
+        let expected = reference.run(&request).unwrap();
+        for shard_count in [2, 5] {
+            let sharded = ShardedEngine::new(db.clone(), keys.clone(), shard_count);
+            let report = sharded.run(&request).unwrap();
+            assert_eq!(
+                format!("{:?}", report.answer),
+                format!("{:?}", expected.answer),
+                "shards={shard_count}"
+            );
+            assert_eq!(report.samples_used, expected.samples_used);
+        }
+    }
+
+    #[test]
+    fn chaos_panic_poisons_and_recovers() {
+        let (db, keys) = employee_db();
+        let sharded = ShardedEngine::new(db, keys, 2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sharded.chaos_panic();
+        }));
+        assert!(caught.is_err());
+        // Poison is recovered by every guard helper: reads still work.
+        assert_eq!(sharded.read(|engine| engine.database().len()), 4);
+        insert(&sharded, "Employee(8, 'Kim', 'HR')");
+        assert_eq!(sharded.live_facts(), 5);
+    }
+
+    #[test]
+    fn route_hash_is_content_stable_and_spreads() {
+        let (db, keys) = employee_db();
+        let sharded = ShardedEngine::new(db, keys, 2);
+        let a = parse(&sharded, "Employee(1, 'x', 'y')");
+        let b = parse(&sharded, "Employee(1, 'other', 'args')");
+        // Same key value, same shard — blocks never straddle shards.
+        assert_eq!(sharded.shard_of(&a), sharded.shard_of(&b));
+        let gauges = sharded.shard_gauges();
+        assert_eq!(gauges.iter().map(|g| g.facts).sum::<usize>(), 4);
+    }
+}

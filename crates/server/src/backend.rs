@@ -1,0 +1,220 @@
+//! The serving backend: one engine behind a lock, or a sharded router.
+//!
+//! [`Backend`] is the seam the session state machine talks through.  The
+//! classic deployment keeps the whole [`RepairEngine`] behind one
+//! `RwLock` — queries share read guards, mutations take the write
+//! barrier.  With `--shards N` the backend is a
+//! [`ShardedEngine`]: mutations route to the single hash-owned shard and
+//! contend only on that shard's lock (plus a short global id-assignment
+//! commit), while queries run on the lazily merged gathered view, which
+//! is bit-for-bit the unsharded engine fed the same mutation sequence —
+//! so replies, including `gen=`/`cached=` provenance and seeded
+//! estimates, stay byte-identical either way.
+
+use std::sync::{Arc, RwLock};
+
+use cdr_core::{CountError, CountReport, CountRequest, RepairEngine, ShardedEngine};
+use cdr_num::BigNat;
+use cdr_repairdb::{Database, Mutation};
+
+use cdr_core::CompactionOutcome;
+
+use crate::reply;
+
+fn rlock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn wlock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The engine a server (or [`Oracle`](crate::Oracle)) serves from.
+pub enum Backend {
+    /// The whole engine behind one read/write lock.
+    Single(RwLock<RepairEngine>),
+    /// N hash-partitioned shards plus the gathered query view.
+    Sharded(ShardedEngine),
+}
+
+impl Backend {
+    /// Wraps an engine in the single-lock backend.
+    pub fn single(engine: RepairEngine) -> Backend {
+        Backend::Single(RwLock::new(engine))
+    }
+
+    /// Wraps a sharded engine.
+    pub fn sharded(engine: ShardedEngine) -> Backend {
+        Backend::Sharded(engine)
+    }
+
+    /// Shard count: 1 for the single backend.
+    pub fn shard_count(&self) -> usize {
+        match self {
+            Backend::Single(_) => 1,
+            Backend::Sharded(engine) => engine.shard_count(),
+        }
+    }
+
+    /// A database over the served schema for lock-free command parsing
+    /// (the schema is fixed at engine construction).
+    pub fn parse_database(&self) -> Arc<Database> {
+        match self {
+            Backend::Single(lock) => rlock(lock).database_arc(),
+            Backend::Sharded(engine) => engine.parse_database(),
+        }
+    }
+
+    /// Runs `f` under shared query access — for the sharded backend, over
+    /// the drained gathered view.
+    pub fn read<R>(&self, f: impl FnOnce(&RepairEngine) -> R) -> R {
+        match self {
+            Backend::Single(lock) => f(&rlock(lock)),
+            Backend::Sharded(engine) => engine.read(f),
+        }
+    }
+
+    /// Answers one counting request.
+    pub fn run(&self, request: &CountRequest) -> Result<CountReport, CountError> {
+        self.read(|engine| engine.run(request))
+    }
+
+    /// Answers a batch of requests through the engine's thread-scoped
+    /// fan-out.
+    pub fn run_batch(&self, requests: &[CountRequest]) -> Vec<Result<CountReport, CountError>> {
+        self.read(|engine| engine.run_batch(requests))
+    }
+
+    /// Applies one mutation (routed, for the sharded backend) after
+    /// running the auto-compaction policy, and renders the wire reply.
+    pub fn mutate(&self, mutation: Mutation, auto_compact: Option<u64>) -> String {
+        match self {
+            Backend::Single(lock) => {
+                let mut engine = wlock(lock);
+                if let Some(threshold) = auto_compact {
+                    engine.maybe_compact(threshold);
+                }
+                apply_single(&mut engine, mutation)
+            }
+            Backend::Sharded(engine) => {
+                if let Some(threshold) = auto_compact {
+                    engine.maybe_compact(threshold);
+                }
+                match mutation {
+                    Mutation::Insert(_) => match engine.apply(mutation) {
+                        Ok(applied) => reply::render_insert(
+                            applied.id,
+                            applied.applied,
+                            &applied.report,
+                            &applied.total,
+                        ),
+                        Err(e) => reply::render_count_error(&e),
+                    },
+                    Mutation::Delete(id) => match engine.apply(Mutation::Delete(id)) {
+                        Ok(applied) => reply::render_delete(id, &applied.report, &applied.total),
+                        Err(e) => reply::render_count_error(&e),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Applies a mutation batch atomically after the auto-compaction
+    /// policy, and renders the aggregated wire reply.
+    pub fn mutate_batch(&self, mutations: Vec<Mutation>, auto_compact: Option<u64>) -> String {
+        match self {
+            Backend::Single(lock) => {
+                let mut engine = wlock(lock);
+                if let Some(threshold) = auto_compact {
+                    engine.maybe_compact(threshold);
+                }
+                match engine.apply_batch(mutations) {
+                    Ok(report) => reply::render_batch_mutation(&report, engine.total_repairs()),
+                    Err(e) => reply::render_count_error(&e),
+                }
+            }
+            Backend::Sharded(engine) => {
+                if let Some(threshold) = auto_compact {
+                    engine.maybe_compact(threshold);
+                }
+                match engine.apply_batch(mutations) {
+                    Ok((report, total)) => reply::render_batch_mutation(&report, &total),
+                    Err(e) => reply::render_count_error(&e),
+                }
+            }
+        }
+    }
+
+    /// Compacts, returning the outcome plus the post-compaction total the
+    /// reply renders.
+    pub fn compact(&self) -> (CompactionOutcome, BigNat) {
+        match self {
+            Backend::Single(lock) => {
+                let mut engine = wlock(lock);
+                let outcome = engine.compact();
+                let total = engine.total_repairs().clone();
+                (outcome, total)
+            }
+            Backend::Sharded(engine) => engine.compact_with_total(),
+        }
+    }
+
+    /// Renders the `STATS` reply: the merged gauges, plus per-shard
+    /// `s<i>=facts/blocks/slots/tombstones` tails on a sharded backend.
+    pub fn stats(&self) -> String {
+        match self {
+            Backend::Single(lock) => reply::render_stats(&rlock(lock)),
+            Backend::Sharded(engine) => {
+                // Gauges are snapshotted shard by shard before the
+                // gathered view renders the merged head; no two locks are
+                // ever held together here.
+                let gauges = engine.shard_gauges();
+                let head = engine.read(reply::render_stats);
+                let mut line = format!("{head} | shards={}", gauges.len());
+                for (index, shard) in gauges.iter().enumerate() {
+                    line.push_str(&format!(
+                        " s{index}={}/{}/{}/{}",
+                        shard.facts, shard.blocks, shard.slots, shard.tombstones
+                    ));
+                }
+                line
+            }
+        }
+    }
+
+    /// The chaos `PANIC` verb: panics while holding the write-side lock
+    /// (the engine lock, or the sharded gathered-view lock), poisoning it
+    /// for the crash-recovery regression tests.
+    pub fn chaos_panic(&self) -> ! {
+        match self {
+            Backend::Single(lock) => {
+                let _guard = wlock(lock);
+                panic!("chaos: PANIC verb")
+            }
+            Backend::Sharded(engine) => {
+                engine.chaos_panic();
+                unreachable!("chaos_panic always panics")
+            }
+        }
+    }
+}
+
+fn apply_single(engine: &mut RepairEngine, mutation: Mutation) -> String {
+    match mutation {
+        Mutation::Insert(fact) => match engine.apply(Mutation::Insert(fact.clone())) {
+            Ok(report) => {
+                let id = engine
+                    .database()
+                    .fact_id(&fact)
+                    .expect("an applied or no-op insert leaves the fact present");
+                reply::render_insert(id, report.applied == 1, &report, engine.total_repairs())
+            }
+            Err(e) => reply::render_count_error(&e),
+        },
+        Mutation::Delete(id) => match engine.apply(Mutation::Delete(id)) {
+            Ok(report) => reply::render_delete(id, &report, engine.total_repairs()),
+            Err(e) => reply::render_count_error(&e),
+        },
+    }
+}

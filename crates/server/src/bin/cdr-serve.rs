@@ -12,7 +12,7 @@
 
 use std::process::exit;
 
-use cdr_core::RepairEngine;
+use cdr_core::{RepairEngine, ShardedEngine};
 use cdr_repairdb::{Database, KeySet, Schema};
 use cdr_server::{Server, ServerConfig};
 use cdr_workloads::{
@@ -35,6 +35,11 @@ SERVER OPTIONS:
   --auto-compact <waste>  compact before a mutating command once tombstones
                           + retired block slots reach <waste> (or the
                           fact-id space is exhausted); off by default
+  --shards <n>            hash-partition the engine across <n> shards with
+                          scatter-gather queries (default 1 = unsharded;
+                          replies are byte-identical either way)
+  --admin-token <tok>     gate SHUTDOWN and the chaos verbs behind
+                          `AUTH <tok>` (default: open, legacy behaviour)
   --chaos                 enable the PANIC test verb (never in production)
 
 ENGINE OPTIONS:
@@ -62,6 +67,7 @@ fn fail(message: &str) -> ! {
 
 struct Options {
     config: ServerConfig,
+    shards: usize,
     parallelism: usize,
     cache_cap: Option<usize>,
     budget: Option<u64>,
@@ -79,6 +85,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             config: ServerConfig::bind("127.0.0.1:7878"),
+            shards: 1,
             parallelism: 1,
             cache_cap: None,
             budget: None,
@@ -114,6 +121,8 @@ fn parse_options() -> Options {
             "--max-line-bytes" => options.config.max_line_bytes = parse(&flag, &value("bytes")),
             "--max-batch" => options.config.max_batch_commands = parse(&flag, &value("count")),
             "--auto-compact" => options.config.auto_compact = Some(parse(&flag, &value("waste"))),
+            "--shards" => options.shards = parse(&flag, &value("count")),
+            "--admin-token" => options.config.admin_token = Some(value("token")),
             "--chaos" => options.config.chaos = true,
             "--parallelism" => options.parallelism = parse(&flag, &value("count")),
             "--cache-cap" => options.cache_cap = Some(parse(&flag, &value("count"))),
@@ -190,14 +199,26 @@ fn main() {
     if let Some(budget) = options.budget {
         engine = engine.with_default_budget(budget);
     }
+    if options.shards == 0 {
+        fail("--shards must be at least 1");
+    }
     eprintln!(
-        "cdr-serve: scenario `{}`, {} facts, {} workers, {} batch permits",
+        "cdr-serve: scenario `{}`, {} facts, {} shards, {} workers, {} batch permits",
         options.scenario,
         engine.database().len(),
+        options.shards,
         options.config.workers,
         options.config.batch_permits
     );
-    let server = match Server::start(engine, options.config.clone()) {
+    let started = if options.shards > 1 {
+        Server::start_sharded(
+            ShardedEngine::from_engine(engine, options.shards),
+            options.config.clone(),
+        )
+    } else {
+        Server::start(engine, options.config.clone())
+    };
+    let server = match started {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cdr-serve: cannot bind {}: {e}", options.config.addr);

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 pub mod client;
 mod conn;
 mod reply;
@@ -59,6 +60,7 @@ mod scheduler;
 mod server;
 mod session;
 
+pub use backend::Backend;
 pub use reply::{error_code, render_count_error, render_wire_error};
 pub use server::{Server, ServerStats};
 pub use session::Oracle;
@@ -104,6 +106,12 @@ pub struct ServerConfig {
     /// policy on, a delete-bearing session under a `--fact-id-cap`
     /// survives indefinitely instead of dying with `ERR EXHAUSTED`.
     pub auto_compact: Option<u64>,
+    /// Admin token gating `SHUTDOWN` and the chaos verbs (`SLEEP`,
+    /// `PANIC`).  `None` (the default) leaves them open, preserving the
+    /// legacy behaviour; with a token set, a connection must first send
+    /// `AUTH <token>` or the gated verbs answer `ERR DENIED …` (the
+    /// connection stays alive).
+    pub admin_token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +126,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(100),
             chaos: false,
             auto_compact: None,
+            admin_token: None,
         }
     }
 }

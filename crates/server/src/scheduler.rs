@@ -3,28 +3,29 @@
 
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::Mutex;
 use std::time::Duration;
 
-use cdr_core::RepairEngine;
-
+use crate::backend::Backend;
 use crate::session::EngineHost;
 use crate::ServerConfig;
 
 /// Everything worker threads share.
 ///
-/// The engine sits behind an [`RwLock`]: queries take read guards and run
-/// concurrently; a mutation's write guard drains every in-flight query and
-/// applies atomically (the engine's `&mut self` mutation barrier, realised
-/// at the network layer).  Both guard helpers *recover* from poisoning —
-/// a panicking handler is caught by its worker, counted, and must not
-/// wedge the whole server.  Recovery is sound because handlers only panic
-/// outside engine mutation paths (the engine's own `apply` returns errors
-/// rather than panicking since the fact-id exhaustion fix), so a poisoned
-/// lock still guards a consistent engine.
+/// The engine sits behind a [`Backend`]: classically one `RwLock` whose
+/// read guards run queries concurrently and whose write guard drains
+/// every in-flight query and applies atomically (the engine's `&mut self`
+/// mutation barrier, realised at the network layer); with `--shards N`, a
+/// sharded router whose writers contend per shard.  Every guard helper
+/// *recovers* from poisoning — a panicking handler is caught by its
+/// worker, counted, and must not wedge the whole server.  Recovery is
+/// sound because handlers only panic outside engine mutation paths (the
+/// engine's own `apply` returns errors rather than panicking since the
+/// fact-id exhaustion fix), so a poisoned lock still guards a consistent
+/// engine.
 pub(crate) struct Shared {
     pub(crate) config: ServerConfig,
-    engine: RwLock<RepairEngine>,
+    backend: Backend,
     /// Remaining `BATCH` fan-out permits (see [`ServerConfig::batch_permits`]).
     batch_permits: Mutex<usize>,
     shutdown: AtomicBool,
@@ -43,11 +44,11 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 impl Shared {
-    pub(crate) fn new(engine: RepairEngine, config: ServerConfig, addr: SocketAddr) -> Self {
+    pub(crate) fn new(backend: Backend, config: ServerConfig, addr: SocketAddr) -> Self {
         Shared {
             batch_permits: Mutex::new(config.batch_permits),
             config,
-            engine: RwLock::new(engine),
+            backend,
             shutdown: AtomicBool::new(false),
             addr,
             connections: AtomicU64::new(0),
@@ -91,20 +92,8 @@ impl Drop for PermitGuard<'_> {
 }
 
 impl EngineHost for Shared {
-    fn with_read<R>(&self, f: impl FnOnce(&RepairEngine) -> R) -> R {
-        let guard = self
-            .engine
-            .read()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        f(&guard)
-    }
-
-    fn with_write<R>(&self, f: impl FnOnce(&mut RepairEngine) -> R) -> R {
-        let mut guard = self
-            .engine
-            .write()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        f(&mut guard)
+    fn backend(&self) -> &Backend {
+        &self.backend
     }
 
     fn with_batch_permit<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
@@ -132,5 +121,59 @@ impl EngineHost for Shared {
 
     fn auto_compact_threshold(&self) -> Option<u64> {
         self.config.auto_compact
+    }
+
+    fn admin_token(&self) -> Option<&str> {
+        self.config.admin_token.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdr_core::ShardedEngine;
+    use cdr_workloads::employee_example;
+
+    fn sharded_shared(permits: usize) -> Shared {
+        let (db, keys) = employee_example();
+        let mut config = ServerConfig::bind("127.0.0.1:0");
+        config.batch_permits = permits;
+        let addr = "127.0.0.1:0".parse().expect("loopback addr");
+        Shared::new(
+            Backend::sharded(ShardedEngine::new(db, keys, 4)),
+            config,
+            addr,
+        )
+    }
+
+    /// The permit-pool audit for the sharded path: a batch that panics
+    /// mid-scatter must put its permit back on unwind (the
+    /// [`PermitGuard`] drop), or the pool would leak down to permanent
+    /// `ERR BUSY`.
+    #[test]
+    fn a_panicking_batch_returns_its_permit_on_the_sharded_backend() {
+        let shared = sharded_shared(1);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.with_batch_permit(|| -> () { panic!("scatter phase blew up") })
+        }));
+        assert!(unwound.is_err());
+        assert_eq!(shared.with_batch_permit(|| 7), Some(7));
+        assert_eq!(shared.busy_rejections.load(Ordering::Relaxed), 0);
+    }
+
+    /// An exhausted pool refuses immediately (counted as a busy
+    /// rejection) and recovers as soon as the holder finishes — error or
+    /// not, the permit travels back through the normal return path.
+    #[test]
+    fn an_exhausted_pool_rejects_then_recovers_on_the_sharded_backend() {
+        let shared = sharded_shared(1);
+        let held = shared.with_batch_permit(|| {
+            assert_eq!(shared.with_batch_permit(|| ()), None);
+            let failed: Result<(), &str> = Err("every item of the batch failed");
+            failed
+        });
+        assert_eq!(held, Some(Err("every item of the batch failed")));
+        assert_eq!(shared.busy_rejections.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.with_batch_permit(|| 7), Some(7));
     }
 }

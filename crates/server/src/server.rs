@@ -8,8 +8,9 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use cdr_core::RepairEngine;
+use cdr_core::{RepairEngine, ShardedEngine};
 
+use crate::backend::Backend;
 use crate::conn::handle_connection;
 use crate::scheduler::Shared;
 use crate::{reply, ServerConfig};
@@ -60,10 +61,22 @@ impl Server {
     /// Binds `config.addr` (port 0 picks an ephemeral port), spawns the
     /// worker pool and the accept loop, and returns the running server.
     pub fn start(engine: RepairEngine, config: ServerConfig) -> std::io::Result<Server> {
+        Server::start_backend(Backend::single(engine), config)
+    }
+
+    /// Like [`Server::start`], but serves from a sharded scatter–gather
+    /// engine: mutations route to their hash-owned shard, queries run on
+    /// the gathered view, and replies stay byte-identical to the
+    /// single-engine server fed the same command sequence.
+    pub fn start_sharded(engine: ShardedEngine, config: ServerConfig) -> std::io::Result<Server> {
+        Server::start_backend(Backend::sharded(engine), config)
+    }
+
+    fn start_backend(backend: Backend, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let worker_count = config.workers.max(1);
-        let shared = Arc::new(Shared::new(engine, config, addr));
+        let shared = Arc::new(Shared::new(backend, config, addr));
         let queue = Arc::new(ConnQueue::default());
 
         let workers = (0..worker_count)

@@ -6,28 +6,30 @@
 //! tests meaningful: a socket reply can be compared byte-for-byte against
 //! the oracle's reply for the same command sequence.
 
-use std::cell::RefCell;
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use cdr_core::{wire, CountRequest, EngineCommand, RepairEngine, WireError};
-use cdr_repairdb::{Database, Mutation};
+use cdr_core::{wire, CountRequest, EngineCommand, RepairEngine, ShardedEngine, WireError};
+use cdr_repairdb::{Database, FactId, Mutation};
 
+use crate::backend::Backend;
 use crate::reply;
 
 /// Longest `SLEEP` a client may request, in milliseconds (the verb exists
 /// for diagnostics and backpressure tests, not for parking workers).
 const MAX_SLEEP_MS: u64 = 5_000;
 
+/// How many `REMAP old->new` lines `COMPACT VERBOSE` streams when the
+/// client does not pass an explicit `LIMIT`.
+const DEFAULT_REMAP_LIMIT: usize = 64;
+
 /// How a [`Session`] reaches the engine.  The live server implements this
-/// over an `RwLock` plus a bounded batch-permit pool; the [`Oracle`]
-/// implements it over a bare engine with admission always granted.
+/// over a [`Backend`] plus a bounded batch-permit pool; the [`Oracle`]
+/// implements it over a bare backend with admission always granted.
 pub(crate) trait EngineHost {
-    /// Runs `f` under shared (query) access.
-    fn with_read<R>(&self, f: impl FnOnce(&RepairEngine) -> R) -> R;
-    /// Runs `f` under exclusive (mutation) access.
-    fn with_write<R>(&self, f: impl FnOnce(&mut RepairEngine) -> R) -> R;
+    /// The backend commands execute against.
+    fn backend(&self) -> &Backend;
     /// Runs `f` while holding a batch fan-out permit, or returns `None`
     /// immediately when every permit is in use (the `SERVER BUSY` path).
     fn with_batch_permit<R>(&self, f: impl FnOnce() -> R) -> Option<R>;
@@ -41,15 +43,10 @@ pub(crate) trait EngineHost {
     /// or when the fact-id space is exhausted (see
     /// [`RepairEngine::maybe_compact`]).
     fn auto_compact_threshold(&self) -> Option<u64>;
-}
-
-/// Runs the host's auto-compaction policy; called under the write guard
-/// before a mutating command executes, so a command that would otherwise
-/// die on exhausted fact ids finds the reclaimed headroom already there.
-fn auto_compact(engine: &mut RepairEngine, threshold: Option<u64>) {
-    if let Some(threshold) = threshold {
-        engine.maybe_compact(threshold);
-    }
+    /// The admin token gating `SHUTDOWN` and the chaos verbs (`SLEEP`,
+    /// `PANIC`), if one is configured.  `None` leaves those verbs open —
+    /// the legacy behaviour.
+    fn admin_token(&self) -> Option<&str>;
 }
 
 /// What one fed line produced.
@@ -76,11 +73,38 @@ enum BatchItem {
 pub(crate) struct Session {
     /// Collected lines of an open `BATCH … END`, if one is open.
     batch: Option<Vec<String>>,
+    /// Whether this connection presented the admin token via `AUTH`.
+    authed: bool,
+}
+
+/// The `ERR DENIED` reply for an admin verb used without `AUTH`.  The
+/// connection stays alive — denial is a reply, not a disconnect.
+fn denied(verb: &str) -> String {
+    format!("ERR DENIED {verb} requires AUTH on this server")
 }
 
 impl Session {
     pub(crate) fn new() -> Self {
         Session::default()
+    }
+
+    /// Whether admin verbs are gated off for this connection: a token is
+    /// configured and this session has not presented it.
+    fn admin_denied<H: EngineHost>(&self, host: &H) -> bool {
+        host.admin_token().is_some() && !self.authed
+    }
+
+    fn execute_auth<H: EngineHost>(&mut self, host: &H, line: &str) -> String {
+        let Some(expected) = host.admin_token() else {
+            return "ERR DENIED AUTH is not enabled on this server".to_string();
+        };
+        let supplied = line.split_whitespace().nth(1).unwrap_or("");
+        if supplied == expected {
+            self.authed = true;
+            "OK AUTH".to_string()
+        } else {
+            "ERR DENIED bad admin token".to_string()
+        }
     }
 
     /// Feeds one decoded line and says what to send back.
@@ -98,7 +122,8 @@ impl Session {
             return match verb.as_str() {
                 "END" => {
                     let lines = self.batch.take().expect("batch is open");
-                    execute_batch(host, &lines)
+                    let admin_ok = !self.admin_denied(host);
+                    execute_batch(host, &lines, admin_ok)
                 }
                 "BATCH" => {
                     self.batch = None;
@@ -127,18 +152,84 @@ impl Session {
                 Step::Silent
             }
             "END" => Step::Replies(vec!["ERR BATCH END without an open BATCH".to_string()]),
-            "STATS" => Step::Replies(vec![host.with_read(reply::render_stats)]),
-            "SLEEP" => Step::Replies(vec![execute_sleep(trimmed)]),
+            "STATS" => Step::Replies(vec![host.backend().stats()]),
+            "AUTH" => Step::Replies(vec![self.execute_auth(host, trimmed)]),
+            "SLEEP" => {
+                if self.admin_denied(host) {
+                    return Step::Replies(vec![denied("SLEEP")]);
+                }
+                Step::Replies(vec![execute_sleep(trimmed)])
+            }
             "PANIC" if host.chaos() => {
+                if self.admin_denied(host) {
+                    return Step::Replies(vec![denied("PANIC")]);
+                }
                 // Crash-recovery regression hook: panic while holding the
-                // write lock, poisoning it for every later guard.
-                host.with_write(|_| -> Step { panic!("chaos: PANIC verb") })
+                // write-side lock, poisoning it for every later guard.
+                host.backend().chaos_panic()
             }
             "QUIT" => Step::Quit("OK BYE".to_string()),
-            "SHUTDOWN" => Step::Shutdown("OK SHUTDOWN".to_string()),
+            "SHUTDOWN" => {
+                if self.admin_denied(host) {
+                    return Step::Replies(vec![denied("SHUTDOWN")]);
+                }
+                Step::Shutdown("OK SHUTDOWN".to_string())
+            }
+            "COMPACT" => {
+                let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+                if tokens.len() > 1 && tokens[1].eq_ignore_ascii_case("VERBOSE") {
+                    execute_compact_verbose(host, &tokens[2..])
+                } else {
+                    // Bare COMPACT (and malformed operands) go through the
+                    // wire parser, preserving its errors.
+                    Step::Replies(vec![execute_command(host, trimmed)])
+                }
+            }
             _ => Step::Replies(vec![execute_command(host, trimmed)]),
         }
     }
+}
+
+/// `COMPACT VERBOSE [LIMIT <n>]`: compacts, then streams the id
+/// translation table as `REMAP <old>-><new>` lines so clients that cached
+/// fact ids across the compaction can recover without re-discovery.  The
+/// header carries the full remap count; the stream is capped at the limit
+/// (ids that did not move are never streamed).
+fn execute_compact_verbose<H: EngineHost>(host: &H, rest: &[&str]) -> Step {
+    let limit = match rest {
+        [] => DEFAULT_REMAP_LIMIT,
+        [keyword, n] if keyword.eq_ignore_ascii_case("LIMIT") => match n.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Step::Replies(vec![format!("ERR PARSE `{n}` is not a remap limit")]);
+            }
+        },
+        _ => {
+            return Step::Replies(vec![
+                "ERR PARSE usage: COMPACT VERBOSE [LIMIT <n>]".to_string()
+            ]);
+        }
+    };
+    let (outcome, total) = host.backend().compact();
+    let report = &outcome.report;
+    let mut remaps: Vec<(usize, usize)> = Vec::new();
+    for old in 0..report.fact_ids_before as usize {
+        if let Some(new) = report.translate(FactId::new(old)) {
+            if new.index() != old {
+                remaps.push((old, new.index()));
+            }
+        }
+    }
+    let mut lines = Vec::with_capacity(remaps.len().min(limit) + 1);
+    lines.push(format!(
+        "{} remaps={}",
+        reply::render_compaction(&outcome, &total),
+        remaps.len()
+    ));
+    for (old, new) in remaps.iter().take(limit) {
+        lines.push(format!("REMAP {old}->{new}"));
+    }
+    Step::Replies(lines)
 }
 
 fn execute_sleep(line: &str) -> String {
@@ -156,54 +247,29 @@ fn execute_sleep(line: &str) -> String {
 /// Parses against a snapshot of the served database: the schema is fixed
 /// at engine construction, so command parsing never needs to hold a lock.
 fn database_snapshot<H: EngineHost>(host: &H) -> Arc<Database> {
-    host.with_read(|engine| engine.database_arc())
+    host.backend().parse_database()
 }
 
-/// Executes one engine command line: queries under a read guard,
-/// mutations under the write barrier.
+/// Executes one engine command line: queries under shared access,
+/// mutations through the backend's write path (the single-lock barrier,
+/// or the sharded router).
 fn execute_command<H: EngineHost>(host: &H, line: &str) -> String {
     let db = database_snapshot(host);
     let threshold = host.auto_compact_threshold();
     match wire::parse_engine_command(line, &db) {
-        Ok(EngineCommand::Query(request)) => host.with_read(|engine| match engine.run(&request) {
+        Ok(EngineCommand::Query(request)) => match host.backend().run(&request) {
             Ok(report) => reply::render_report(request.semantics(), &report),
             Err(e) => reply::render_count_error(&e),
-        }),
-        Ok(EngineCommand::Mutate(mutation)) => host.with_write(|engine| {
-            auto_compact(engine, threshold);
-            apply_mutation(engine, mutation)
-        }),
-        Ok(EngineCommand::MutateBatch(mutations)) => host.with_write(|engine| {
-            auto_compact(engine, threshold);
-            match engine.apply_batch(mutations) {
-                Ok(report) => reply::render_batch_mutation(&report, engine.total_repairs()),
-                Err(e) => reply::render_count_error(&e),
-            }
-        }),
-        Ok(EngineCommand::Compact) => host.with_write(|engine| {
-            let outcome = engine.compact();
-            reply::render_compaction(&outcome, engine.total_repairs())
-        }),
+        },
+        Ok(EngineCommand::Mutate(mutation)) => host.backend().mutate(mutation, threshold),
+        Ok(EngineCommand::MutateBatch(mutations)) => {
+            host.backend().mutate_batch(mutations, threshold)
+        }
+        Ok(EngineCommand::Compact) => {
+            let (outcome, total) = host.backend().compact();
+            reply::render_compaction(&outcome, &total)
+        }
         Err(e) => reply::render_wire_error(&e),
-    }
-}
-
-fn apply_mutation(engine: &mut RepairEngine, mutation: Mutation) -> String {
-    match mutation {
-        Mutation::Insert(fact) => match engine.apply(Mutation::Insert(fact.clone())) {
-            Ok(report) => {
-                let id = engine
-                    .database()
-                    .fact_id(&fact)
-                    .expect("an applied or no-op insert leaves the fact present");
-                reply::render_insert(id, report.applied == 1, &report, engine.total_repairs())
-            }
-            Err(e) => reply::render_count_error(&e),
-        },
-        Mutation::Delete(id) => match engine.apply(Mutation::Delete(id)) {
-            Ok(report) => reply::render_delete(id, &report, engine.total_repairs()),
-            Err(e) => reply::render_count_error(&e),
-        },
     }
 }
 
@@ -216,7 +282,7 @@ fn apply_mutation(engine: &mut RepairEngine, mutation: Mutation) -> String {
 /// per item after an `OK BATCH <n>` header.  Mixing kinds is an error:
 /// the engine's scheduler treats every mutation as a barrier, so a mixed
 /// batch has no single atomic meaning.
-fn execute_batch<H: EngineHost>(host: &H, lines: &[String]) -> Step {
+fn execute_batch<H: EngineHost>(host: &H, lines: &[String], admin_ok: bool) -> Step {
     let db = database_snapshot(host);
     let mut mutations: Vec<Mutation> = Vec::new();
     let mut items: Vec<BatchItem> = Vec::new();
@@ -228,16 +294,21 @@ fn execute_batch<H: EngineHost>(host: &H, lines: &[String]) -> Step {
             .to_ascii_uppercase();
         let parsed: Result<(), WireError> = match verb.as_str() {
             "INSERT" | "DELETE" => wire::parse_mutation(line, &db).map(|m| mutations.push(m)),
-            "SLEEP" => match line.split_whitespace().nth(1).unwrap_or("").parse::<u64>() {
-                Ok(ms) if ms <= MAX_SLEEP_MS => {
-                    items.push(BatchItem::Sleep(ms));
-                    Ok(())
+            "SLEEP" => {
+                if !admin_ok {
+                    return Step::Replies(vec![denied("SLEEP")]);
                 }
-                _ => Err(WireError::Syntax {
-                    verb: "SLEEP",
-                    message: format!("bad duration in `{line}`"),
-                }),
-            },
+                match line.split_whitespace().nth(1).unwrap_or("").parse::<u64>() {
+                    Ok(ms) if ms <= MAX_SLEEP_MS => {
+                        items.push(BatchItem::Sleep(ms));
+                        Ok(())
+                    }
+                    _ => Err(WireError::Syntax {
+                        verb: "SLEEP",
+                        message: format!("bad duration in `{line}`"),
+                    }),
+                }
+            }
             _ => wire::parse_count_request(line).map(|r| items.push(BatchItem::Request(r))),
         };
         if let Err(e) = parsed {
@@ -251,14 +322,7 @@ fn execute_batch<H: EngineHost>(host: &H, lines: &[String]) -> Step {
     }
     if !mutations.is_empty() {
         let threshold = host.auto_compact_threshold();
-        let line = host.with_write(|engine| {
-            auto_compact(engine, threshold);
-            match engine.apply_batch(mutations) {
-                Ok(report) => reply::render_batch_mutation(&report, engine.total_repairs()),
-                Err(e) => reply::render_count_error(&e),
-            }
-        });
-        return Step::Replies(vec![line]);
+        return Step::Replies(vec![host.backend().mutate_batch(mutations, threshold)]);
     }
     match host.with_batch_permit(|| run_query_batch(host, &items)) {
         Some(mut replies) => {
@@ -281,7 +345,7 @@ fn run_query_batch<H: EngineHost>(host: &H, items: &[BatchItem]) -> Vec<String> 
             return;
         }
         let requests: Vec<CountRequest> = pending.iter().map(|&r| r.clone()).collect();
-        let reports = host.with_read(|engine| engine.run_batch(&requests));
+        let reports = host.backend().run_batch(&requests);
         for (request, report) in requests.iter().zip(reports) {
             replies.push(match report {
                 Ok(report) => reply::render_report(request.semantics(), &report),
@@ -324,22 +388,21 @@ fn run_query_batch<H: EngineHost>(host: &H, items: &[BatchItem]) -> Vec<String> 
 /// assert!(replies[0].starts_with("OK COUNT 4 "));
 /// ```
 pub struct Oracle {
-    engine: RefCell<RepairEngine>,
+    backend: Backend,
     session: Session,
     auto_compact: Option<u64>,
+    admin_token: Option<String>,
 }
 
 struct OracleHost<'a> {
-    engine: &'a RefCell<RepairEngine>,
+    backend: &'a Backend,
     auto_compact: Option<u64>,
+    admin_token: Option<&'a str>,
 }
 
 impl EngineHost for OracleHost<'_> {
-    fn with_read<R>(&self, f: impl FnOnce(&RepairEngine) -> R) -> R {
-        f(&self.engine.borrow())
-    }
-    fn with_write<R>(&self, f: impl FnOnce(&mut RepairEngine) -> R) -> R {
-        f(&mut self.engine.borrow_mut())
+    fn backend(&self) -> &Backend {
+        self.backend
     }
     fn with_batch_permit<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
         Some(f())
@@ -353,15 +416,31 @@ impl EngineHost for OracleHost<'_> {
     fn auto_compact_threshold(&self) -> Option<u64> {
         self.auto_compact
     }
+    fn admin_token(&self) -> Option<&str> {
+        self.admin_token
+    }
 }
 
 impl Oracle {
     /// A reference session over the given engine.
     pub fn new(engine: RepairEngine) -> Self {
+        Oracle::over(Backend::single(engine))
+    }
+
+    /// A reference session over a sharded engine — the replay ground
+    /// truth for `cdr-serve --shards N`, sharing the router and gathered
+    /// view code with the live server.
+    pub fn sharded(engine: ShardedEngine) -> Self {
+        Oracle::over(Backend::sharded(engine))
+    }
+
+    /// A reference session over any backend.
+    pub fn over(backend: Backend) -> Self {
         Oracle {
-            engine: RefCell::new(engine),
+            backend,
             session: Session::new(),
             auto_compact: None,
+            admin_token: None,
         }
     }
 
@@ -373,12 +452,21 @@ impl Oracle {
         self
     }
 
+    /// Configures the admin token — the oracle-side mirror of
+    /// `cdr-serve --admin-token`, gating `SHUTDOWN` and the chaos verbs
+    /// behind a per-session `AUTH`.
+    pub fn with_admin_token(mut self, token: impl Into<String>) -> Self {
+        self.admin_token = Some(token.into());
+        self
+    }
+
     /// Executes one wire line, returning the reply lines it produced
     /// (empty for blank lines, comments and open-batch collection).
     pub fn feed(&mut self, line: &str) -> Vec<String> {
         let host = OracleHost {
-            engine: &self.engine,
+            backend: &self.backend,
             auto_compact: self.auto_compact,
+            admin_token: self.admin_token.as_deref(),
         };
         match self.session.feed(&host, line) {
             Step::Silent => Vec::new(),
@@ -388,8 +476,9 @@ impl Oracle {
     }
 
     /// Shared access to the underlying engine (for end-state assertions).
+    /// On a sharded backend this reads the drained gathered view.
     pub fn with_engine<R>(&self, f: impl FnOnce(&RepairEngine) -> R) -> R {
-        f(&self.engine.borrow())
+        self.backend.read(f)
     }
 }
 
@@ -543,6 +632,154 @@ mod tests {
             replies,
             vec!["OK INSERT id=4 applied=1 gen=4 total=4".to_string()]
         );
+    }
+
+    #[test]
+    fn compact_verbose_streams_the_remap_table() {
+        let mut oracle = oracle();
+        // Tombstone id 1: compaction slides 2->1 and 3->2.
+        oracle.feed("DELETE 1");
+        let replies = oracle.feed("COMPACT VERBOSE");
+        assert!(replies[0].starts_with("OK COMPACTED "), "{}", replies[0]);
+        assert!(replies[0].ends_with(" remaps=2"), "{}", replies[0]);
+        assert_eq!(replies[1..], ["REMAP 2->1", "REMAP 3->2"]);
+        // Nothing moved: an empty stream, not a missing header.
+        let replies = oracle.feed("COMPACT VERBOSE");
+        assert!(replies[0].ends_with(" remaps=0"), "{}", replies[0]);
+        assert_eq!(replies.len(), 1);
+    }
+
+    #[test]
+    fn compact_verbose_limit_caps_the_stream_not_the_count() {
+        let mut oracle = oracle();
+        oracle.feed("DELETE 0");
+        let replies = oracle.feed("COMPACT VERBOSE LIMIT 1");
+        assert!(replies[0].ends_with(" remaps=3"), "{}", replies[0]);
+        assert_eq!(replies[1..], ["REMAP 1->0"]);
+        oracle.feed("DELETE 0");
+        let replies = oracle.feed("compact verbose limit 0");
+        assert!(replies[0].ends_with(" remaps=2"), "{}", replies[0]);
+        assert_eq!(replies.len(), 1);
+    }
+
+    #[test]
+    fn compact_verbose_rejects_malformed_operands() {
+        let mut oracle = oracle();
+        let replies = oracle.feed("COMPACT VERBOSE LIMIT soon");
+        assert_eq!(replies, vec!["ERR PARSE `soon` is not a remap limit"]);
+        let replies = oracle.feed("COMPACT VERBOSE NOW");
+        assert_eq!(
+            replies,
+            vec!["ERR PARSE usage: COMPACT VERBOSE [LIMIT <n>]"]
+        );
+        let replies = oracle.feed("COMPACT VERBOSE LIMIT 1 extra");
+        assert_eq!(
+            replies,
+            vec!["ERR PARSE usage: COMPACT VERBOSE [LIMIT <n>]"]
+        );
+        // A parse error never compacts: the generation is untouched.
+        assert!(oracle.feed("STATS")[0].contains(" gen=0 "));
+    }
+
+    #[test]
+    fn auth_is_denied_when_no_token_is_configured() {
+        let mut oracle = oracle();
+        let replies = oracle.feed("AUTH whatever");
+        assert_eq!(
+            replies,
+            vec!["ERR DENIED AUTH is not enabled on this server"]
+        );
+        // Legacy open server: admin verbs still work without AUTH.
+        assert_eq!(oracle.feed("SLEEP 0"), vec!["OK SLEPT 0"]);
+        assert_eq!(oracle.feed("SHUTDOWN"), vec!["OK SHUTDOWN"]);
+    }
+
+    #[test]
+    fn admin_verbs_require_auth_when_a_token_is_set() {
+        let (db, keys) = employee_example();
+        let mut oracle = Oracle::new(RepairEngine::new(db, keys)).with_admin_token("sesame");
+        // PANIC is also gated by chaos mode, which the oracle never
+        // enables; its AUTH gate is covered by the socket tests.
+        for (line, verb) in [("SLEEP 0", "SLEEP"), ("SHUTDOWN", "SHUTDOWN")] {
+            assert_eq!(
+                oracle.feed(line),
+                vec![format!("ERR DENIED {verb} requires AUTH on this server")]
+            );
+        }
+        // Denial is a reply, not a disconnect — and data verbs stay open.
+        assert!(oracle.feed("STATS")[0].starts_with("OK STATS "));
+        assert!(oracle.feed("COUNT auto TRUE")[0].starts_with("OK COUNT "));
+        // A wrong token does not unlock the session.
+        assert_eq!(
+            oracle.feed("AUTH opensesame"),
+            vec!["ERR DENIED bad admin token"]
+        );
+        assert_eq!(
+            oracle.feed("SLEEP 0"),
+            vec!["ERR DENIED SLEEP requires AUTH on this server"]
+        );
+        // The right one does, for the rest of the connection.
+        assert_eq!(oracle.feed("AUTH sesame"), vec!["OK AUTH"]);
+        assert_eq!(oracle.feed("SLEEP 0"), vec!["OK SLEPT 0"]);
+        assert_eq!(oracle.feed("SHUTDOWN"), vec!["OK SHUTDOWN"]);
+    }
+
+    #[test]
+    fn batch_sleep_is_gated_by_auth() {
+        let (db, keys) = employee_example();
+        let mut oracle = Oracle::new(RepairEngine::new(db, keys)).with_admin_token("sesame");
+        oracle.feed("BATCH");
+        oracle.feed("COUNT auto TRUE");
+        oracle.feed("SLEEP 0");
+        let replies = oracle.feed("END");
+        assert_eq!(
+            replies,
+            vec!["ERR DENIED SLEEP requires AUTH on this server"]
+        );
+        // Query-only batches never needed admin rights.
+        oracle.feed("BATCH");
+        oracle.feed("COUNT auto TRUE");
+        let replies = oracle.feed("END");
+        assert_eq!(replies[0], "OK BATCH 1");
+        oracle.feed("AUTH sesame");
+        oracle.feed("BATCH");
+        oracle.feed("SLEEP 0");
+        let replies = oracle.feed("END");
+        assert_eq!(replies, vec!["OK BATCH 1", "OK SLEPT 0"]);
+    }
+
+    #[test]
+    fn sharded_oracle_replies_match_the_single_engine_oracle() {
+        let (db, keys) = employee_example();
+        let mut single = Oracle::new(RepairEngine::new(db.clone(), keys.clone()));
+        let mut sharded = Oracle::sharded(ShardedEngine::new(db, keys, 3));
+        let script = [
+            "COUNT auto EXISTS n . Employee(2, n, 'IT')",
+            "INSERT Employee(2, 'Eve', 'Sales')",
+            "FREQ EXISTS n . Employee(2, n, 'IT')",
+            "DELETE 4",
+            "DELETE 4",
+            "BATCH",
+            "INSERT Employee(3, 'Ann', 'IT')",
+            "INSERT Employee(3, 'Kim', 'HR')",
+            "END",
+            "DELETE 1",
+            "COMPACT VERBOSE",
+            "CERTAIN EXISTS n . Employee(2, n, 'IT')",
+            "STATS",
+        ];
+        for line in script {
+            let lhs = single.feed(line);
+            let rhs = sharded.feed(line);
+            if line == "STATS" {
+                // The sharded STATS reply is the single reply plus the
+                // per-shard gauge tail.
+                assert!(rhs[0].starts_with(&lhs[0]), "{} vs {}", lhs[0], rhs[0]);
+                assert!(rhs[0].contains(" | shards=3 "), "{}", rhs[0]);
+            } else {
+                assert_eq!(lhs, rhs, "diverged on `{line}`");
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,32 @@ pub fn employee_example() -> (Database, KeySet) {
     (db, keys)
 }
 
+/// `blocks` conflicting `R(key, value)` blocks of `width` facts each,
+/// keyed on the first column: `R(k, 'v0'), …, R(k, 'v{width-1}')` for
+/// every `k < blocks`, so the total repair count is `width^blocks`.
+///
+/// This is the block-count-heavy shape the sharded engine is measured
+/// on (`engine_shards` bench): every block is a conflict, and each
+/// apply's incremental block-product update runs over a number of limbs
+/// proportional to the block count its engine holds — so more blocks
+/// means a bigger per-shard saving when the partition splits them.
+pub fn conflicting_blocks(blocks: usize, width: usize) -> (Database, KeySet) {
+    let mut schema = Schema::new();
+    schema.add_relation("R", 2).expect("fresh schema");
+    let keys = KeySet::builder(&schema)
+        .key("R", 1)
+        .expect("valid key")
+        .build();
+    let mut db = Database::new(schema);
+    for k in 0..blocks {
+        for v in 0..width {
+            db.insert_parsed(&format!("R({k}, 'v{v}')"))
+                .expect("generated facts are valid");
+        }
+    }
+    (db, keys)
+}
+
 /// A two-source data-integration scenario: `customers` customer records
 /// merged from two systems that disagree on city and status for a fraction
 /// of the customers, plus a consistent `Order` relation.

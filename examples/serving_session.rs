@@ -33,9 +33,12 @@ fn main() -> std::io::Result<()> {
         "COUNT warp TRUE",
         "STATS",
     ];
+    let mut replies = Vec::new();
     for line in transcript {
         println!("> {line}");
-        println!("< {}", client.send(line)?);
+        let reply = client.send(line)?;
+        println!("< {reply}");
+        replies.push(reply);
     }
 
     // A query batch fans out across the engine's worker threads and
@@ -68,5 +71,30 @@ fn main() -> std::io::Result<()> {
         "served {} commands over {} connections ({} busy rejections, {} recovered panics)",
         stats.commands, stats.connections, stats.busy_rejections, stats.recovered_panics
     );
+
+    // The same session against a 4-shard scatter–gather engine
+    // (`cdr-serve --shards 4`): mutations route to one shard each,
+    // queries gather across all of them, and every reply — including the
+    // seeded APPROX estimate — is byte-identical to the unsharded run.
+    // Only STATS differs, by growing per-shard gauges after the head.
+    let (db, keys) = employee_example();
+    let sharded = Server::start_sharded(
+        ShardedEngine::new(db, keys, 4),
+        ServerConfig::bind("127.0.0.1:0"),
+    )?;
+    println!("\nreplaying against {} with --shards 4", sharded.addr());
+    let mut mirror = Client::connect(sharded.addr())?;
+    for (line, unsharded_reply) in transcript.iter().zip(&replies) {
+        let reply = mirror.send(line)?;
+        if line.starts_with("STATS") {
+            assert!(reply.starts_with(&format!("{unsharded_reply} | shards=4 ")));
+            println!("< {reply}");
+        } else {
+            assert_eq!(&reply, unsharded_reply, "sharded reply diverged");
+            println!("< {reply}  (byte-identical)");
+        }
+    }
+    sharded.shutdown();
+    sharded.join();
     Ok(())
 }

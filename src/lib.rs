@@ -79,7 +79,8 @@ pub mod prelude {
     pub use cdr_core::{
         Answer, ApproxConfig, CacheStats, CompactionOutcome, CountOutcome, CountReport,
         CountRequest, EngineCommand, EngineResponse, ExactStrategy, FprasEstimator,
-        KarpLubyEstimator, MutationReport, RepairCounter, RepairEngine, Semantics, Strategy,
+        KarpLubyEstimator, MutationReport, RepairCounter, RepairEngine, Semantics, ShardGauges,
+        ShardedApplied, ShardedEngine, Strategy,
     };
     pub use cdr_num::{BigNat, LogNum, Ratio};
     pub use cdr_query::{parse_query, Query, UcqQuery};
@@ -87,5 +88,5 @@ pub mod prelude {
         BlockDelta, CompactionReport, Database, Fact, KeySet, Mutation, Schema, Symbol,
         SymbolTable, Value,
     };
-    pub use cdr_server::{client::Client, Oracle, Server, ServerConfig, ServerStats};
+    pub use cdr_server::{client::Client, Backend, Oracle, Server, ServerConfig, ServerStats};
 }

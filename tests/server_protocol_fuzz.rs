@@ -3,7 +3,10 @@
 //! two clients — must never panic a server thread, and after any session
 //! the served engine must be bit-for-bit equal to a fresh engine built on
 //! the final fact set (the `engine_mutation_parity` harness's criterion,
-//! checked here through the wire).
+//! checked here through the wire).  Each generated case also picks the
+//! backend — the classic `RwLock<RepairEngine>` or the sharded
+//! scatter–gather router at 1–4 shards — since hostile input must not
+//! care what engine is behind the socket.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -13,12 +16,30 @@ use repair_count::db::{count_repairs, BlockPartition};
 use repair_count::prelude::*;
 use repair_count::workloads::sensor_readings;
 
-fn start_server(engine: RepairEngine, chaos_free_config: impl FnOnce(&mut ServerConfig)) -> Server {
+fn fuzz_config() -> ServerConfig {
     let mut config = ServerConfig::bind("127.0.0.1:0");
     config.poll_interval = Duration::from_millis(25);
     config.max_line_bytes = 512;
+    config
+}
+
+fn start_server(engine: RepairEngine, chaos_free_config: impl FnOnce(&mut ServerConfig)) -> Server {
+    let mut config = fuzz_config();
     chaos_free_config(&mut config);
     Server::start(engine, config).expect("binding an ephemeral loopback port")
+}
+
+/// `shards == 0` serves the classic `RwLock<RepairEngine>` backend;
+/// otherwise the sharded scatter–gather router.  The fuzz property runs
+/// against both — hostile bytes must not care which engine is behind the
+/// socket, and the parity criterion is backend-independent.
+fn start_fuzz_server(db: Database, keys: KeySet, shards: usize) -> Server {
+    if shards == 0 {
+        start_server(RepairEngine::new(db, keys), |_| {})
+    } else {
+        Server::start_sharded(ShardedEngine::new(db, keys, shards), fuzz_config())
+            .expect("binding an ephemeral loopback port")
+    }
 }
 
 fn base() -> (Database, KeySet) {
@@ -84,7 +105,11 @@ proptest! {
     /// server alive (every line answered, no worker panics) and the
     /// engine in parity with a fresh engine on the final fact set.
     #[test]
-    fn arbitrary_lines_never_panic_the_server(seed in 0u64..300, steps in 20usize..48) {
+    fn arbitrary_lines_never_panic_the_server(
+        seed in 0u64..300,
+        steps in 20usize..48,
+        shards in 0usize..5,
+    ) {
         let (db, keys) = base();
         // Track live facts by id: the base assigned 0..n in insertion order.
         let mut live: BTreeMap<usize, String> = db
@@ -93,7 +118,7 @@ proptest! {
             .collect();
         let mut next_id = live.len();
 
-        let server = start_server(RepairEngine::new(db, keys), |_| {});
+        let server = start_fuzz_server(db, keys, shards);
         let mut clients = [
             Client::connect(server.addr()).expect("connect"),
             Client::connect(server.addr()).expect("connect"),
@@ -232,6 +257,32 @@ fn abrupt_disconnect_mid_batch_leaves_engine_untouched() {
         reply.contains(&format!(" total={total} gen=0 ")),
         "an unterminated batch applied nothing: {reply}"
     );
+    server.shutdown();
+    assert_eq!(server.join().recovered_panics, 0);
+}
+
+/// The same vanish-without-END session against the sharded router: the
+/// queued mutation must never reach a shard, the router's commit log, or
+/// the gathered view.
+#[test]
+fn abrupt_disconnect_mid_batch_leaves_sharded_engine_untouched() {
+    let (db, keys) = base();
+    let total = RepairEngine::new(db.clone(), keys.clone())
+        .total_repairs()
+        .clone();
+    let server = start_fuzz_server(db, keys, 3);
+    let mut rude = Client::connect(server.addr()).expect("connect");
+    rude.send_line("BATCH").expect("open a batch");
+    rude.send_line("INSERT Reading(0, 0, 777)")
+        .expect("queue a mutation");
+    drop(rude); // vanish without END
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let reply = client.send("STATS").expect("STATS");
+    assert!(
+        reply.contains(&format!(" total={total} gen=0 ")),
+        "an unterminated batch applied nothing: {reply}"
+    );
+    assert!(reply.contains(" | shards=3 "), "{reply}");
     server.shutdown();
     assert_eq!(server.join().recovered_panics, 0);
 }
