@@ -1,0 +1,117 @@
+//! Criterion bench for the replicated command log: record codec
+//! throughput, framed disk appends (the per-mutation overhead a
+//! `--log-dir` primary pays on its write path), and snapshot
+//! encode/decode at 10k and 100k facts (the cost of a compaction-time
+//! snapshot and of a follower bootstrap / cold restart, respectively).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use cdr_core::replog::{frame, LogOp, LogRecord, LogWriter};
+use cdr_repairdb::{Database, KeySet, Mutation, Schema, Snapshot};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+static LOG_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A dense `facts`-fact database: `facts / 2` conflicting two-fact `R`
+/// blocks — the shape a compaction-time snapshot captures.
+fn dense_db(facts: usize) -> (Database, KeySet) {
+    let mut schema = Schema::new();
+    schema.add_relation("R", 2).expect("fresh schema");
+    let keys = KeySet::builder(&schema)
+        .key("R", 1)
+        .expect("valid key")
+        .build();
+    let mut db = Database::new(schema);
+    for k in 0..facts / 2 {
+        db.insert_parsed(&format!("R({k}, 'a')")).expect("valid");
+        db.insert_parsed(&format!("R({k}, 'b')")).expect("valid");
+    }
+    (db, keys)
+}
+
+/// The record a typical replicated mutation produces.
+fn insert_record(db: &Database, offset: u64) -> LogRecord {
+    let fact = db.parse_fact("R(17, 'replicated')").expect("valid fact");
+    LogRecord {
+        epoch: 3,
+        offset,
+        op: LogOp::Mutation(Mutation::Insert(fact)),
+    }
+}
+
+fn bench_record_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replog/record");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    let (db, _) = dense_db(64);
+    let record = insert_record(&db, 123_456);
+    let payload = record.encode();
+    let schema = db.schema().clone();
+
+    group.bench_function("encode", |b| b.iter(|| record.encode()));
+    group.bench_function("decode", |b| {
+        b.iter(|| LogRecord::decode(&payload, &schema).expect("round trip"))
+    });
+    group.bench_function("frame", |b| b.iter(|| frame(&payload)));
+    group.finish();
+}
+
+fn bench_framed_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replog/append");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    let (db, _) = dense_db(64);
+    let payload = insert_record(&db, 0).encode();
+
+    let path = std::env::temp_dir().join(format!(
+        "cdr-replog-bench-{}-{}.log",
+        std::process::id(),
+        LOG_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut writer = LogWriter::open(&path).expect("open bench log");
+    group.bench_function("framed_record", |b| {
+        b.iter(|| writer.append(&payload).expect("append"))
+    });
+    writer.truncate().expect("truncate bench log");
+    drop(writer);
+    std::fs::remove_file(&path).ok();
+    group.finish();
+}
+
+fn bench_snapshot_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replog/snapshot");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for facts in [10_000usize, 100_000] {
+        let (db, keys) = dense_db(facts);
+        let snapshot = Snapshot {
+            epoch: 1,
+            offset: 42,
+            generation: 7,
+            rel_generations: vec![7],
+            db,
+            keys,
+        };
+        let bytes = snapshot.encode().expect("dense images encode");
+        group.bench_function(BenchmarkId::new("encode", facts), |b| {
+            b.iter(|| snapshot.encode().expect("dense images encode"))
+        });
+        group.bench_function(BenchmarkId::new("decode", facts), |b| {
+            b.iter(|| Snapshot::decode(&bytes).expect("round trip"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_record_codec,
+    bench_framed_append,
+    bench_snapshot_codec
+);
+criterion_main!(benches);

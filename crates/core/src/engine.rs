@@ -803,6 +803,33 @@ impl RepairEngine {
         }
     }
 
+    /// Rebuilds an engine from a snapshot image: the database and keys it
+    /// captured, plus the provenance counters (`generation`,
+    /// per-relation generations) recorded at the image point.
+    ///
+    /// This is the recovery path of the replicated command log: a
+    /// restored engine followed by a replay of the log suffix is
+    /// bit-for-bit equal to the engine that wrote the log — including the
+    /// `gen=` stamps every report carries, which is why the counters are
+    /// restored rather than recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel_generations` does not have one entry per schema
+    /// relation — a snapshot/schema mismatch is a corrupt image, not a
+    /// recoverable state.
+    pub fn restore(db: Database, keys: KeySet, generation: u64, rel_generations: Vec<u64>) -> Self {
+        assert_eq!(
+            rel_generations.len(),
+            db.schema().len(),
+            "one relation generation per schema relation"
+        );
+        let mut engine = RepairEngine::new(db, keys);
+        engine.generation = generation;
+        engine.rel_generations = rel_generations;
+        engine
+    }
+
     /// Sets the budget used when a request does not carry its own.
     pub fn with_default_budget(mut self, budget: u64) -> Self {
         self.default_budget = budget;
@@ -858,6 +885,14 @@ impl RepairEngine {
     /// Reports carry the generation they were computed at.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Per-relation mutation generations, indexed by
+    /// [`cdr_repairdb::RelationId`] index — the counters a snapshot
+    /// records so [`RepairEngine::restore`] can reproduce report
+    /// provenance exactly.
+    pub fn rel_generations(&self) -> &[u64] {
+        &self.rel_generations
     }
 
     /// The engine's default exact budget.

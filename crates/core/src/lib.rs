@@ -44,6 +44,8 @@ pub mod engine;
 pub mod approx;
 /// Exact counting algorithms.
 pub mod exact;
+/// The replicated command log: framed records, snapshot files, replay.
+pub mod replog;
 /// The sharded scatter–gather engine.
 pub mod sharded;
 /// The text wire format serving front ends parse into [`EngineCommand`]s.
@@ -66,5 +68,6 @@ pub use exact::{
     count_union_of_boxes_with_total, GenericBox,
 };
 pub use frequency::{relative_frequency, relative_frequency_with};
+pub use replog::{LogOp, LogRecord, LogWriter, ReplogError};
 pub use sharded::{ShardGauges, ShardedApplied, ShardedEngine};
 pub use wire::{parse_count_request, parse_engine_command, parse_mutation, WireError};

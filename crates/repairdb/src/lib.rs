@@ -31,6 +31,7 @@ mod fact;
 mod keys;
 mod repairs;
 mod schema;
+pub mod snapshot;
 mod symbol;
 mod value;
 
@@ -41,5 +42,6 @@ pub use fact::Fact;
 pub use keys::{KeySet, KeySetBuilder};
 pub use repairs::{count_repairs, describe_repair, Repair, RepairIter};
 pub use schema::{RelationId, RelationInfo, Schema};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use symbol::{Symbol, SymbolTable};
 pub use value::{parse_value, Value};

@@ -19,6 +19,7 @@ use cdr_repairdb::{Database, Mutation};
 
 use cdr_core::CompactionOutcome;
 
+use crate::replication::ReplicatedBackend;
 use crate::reply;
 
 fn rlock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
@@ -36,6 +37,8 @@ pub enum Backend {
     Single(RwLock<RepairEngine>),
     /// N hash-partitioned shards plus the gathered query view.
     Sharded(ShardedEngine),
+    /// One engine plus the replication sidecar (primary or follower).
+    Replicated(ReplicatedBackend),
 }
 
 impl Backend {
@@ -49,11 +52,40 @@ impl Backend {
         Backend::Sharded(engine)
     }
 
-    /// Shard count: 1 for the single backend.
+    /// Wraps a replicated backend (primary or follower).
+    pub fn replicated(backend: ReplicatedBackend) -> Backend {
+        Backend::Replicated(backend)
+    }
+
+    /// Shard count: 1 for the single and replicated backends.
     pub fn shard_count(&self) -> usize {
         match self {
-            Backend::Single(_) => 1,
+            Backend::Single(_) | Backend::Replicated(_) => 1,
             Backend::Sharded(engine) => engine.shard_count(),
+        }
+    }
+
+    /// The replication sidecar, when this backend has one.
+    pub(crate) fn replication(&self) -> Option<&ReplicatedBackend> {
+        match self {
+            Backend::Replicated(backend) => Some(backend),
+            _ => None,
+        }
+    }
+
+    /// Serves one `REPL …` line; replication-free backends refuse it.
+    pub fn repl(&self, line: &str) -> Vec<String> {
+        match self {
+            Backend::Replicated(backend) => backend.repl(line),
+            _ => vec!["ERR REPL replication is not enabled on this server".to_string()],
+        }
+    }
+
+    /// The `PROMOTE` verb; replication-free backends refuse it.
+    pub fn promote(&self) -> String {
+        match self {
+            Backend::Replicated(backend) => backend.promote(),
+            _ => "ERR REPL replication is not enabled on this server".to_string(),
         }
     }
 
@@ -63,6 +95,7 @@ impl Backend {
         match self {
             Backend::Single(lock) => rlock(lock).database_arc(),
             Backend::Sharded(engine) => engine.parse_database(),
+            Backend::Replicated(backend) => backend.parse_database(),
         }
     }
 
@@ -72,6 +105,7 @@ impl Backend {
         match self {
             Backend::Single(lock) => f(&rlock(lock)),
             Backend::Sharded(engine) => engine.read(f),
+            Backend::Replicated(backend) => backend.read(f),
         }
     }
 
@@ -117,6 +151,7 @@ impl Backend {
                     },
                 }
             }
+            Backend::Replicated(backend) => backend.mutate(mutation, auto_compact),
         }
     }
 
@@ -143,20 +178,23 @@ impl Backend {
                     Err(e) => reply::render_count_error(&e),
                 }
             }
+            Backend::Replicated(backend) => backend.mutate_batch(mutations, auto_compact),
         }
     }
 
     /// Compacts, returning the outcome plus the post-compaction total the
-    /// reply renders.
-    pub fn compact(&self) -> (CompactionOutcome, BigNat) {
+    /// reply renders — or the refusal line (a replicated follower is
+    /// read-only).
+    pub fn compact(&self) -> Result<(CompactionOutcome, BigNat), String> {
         match self {
             Backend::Single(lock) => {
                 let mut engine = wlock(lock);
                 let outcome = engine.compact();
                 let total = engine.total_repairs().clone();
-                (outcome, total)
+                Ok((outcome, total))
             }
-            Backend::Sharded(engine) => engine.compact_with_total(),
+            Backend::Sharded(engine) => Ok(engine.compact_with_total()),
+            Backend::Replicated(backend) => backend.compact(),
         }
     }
 
@@ -180,6 +218,7 @@ impl Backend {
                 }
                 line
             }
+            Backend::Replicated(backend) => backend.stats(),
         }
     }
 
@@ -196,11 +235,12 @@ impl Backend {
                 engine.chaos_panic();
                 unreachable!("chaos_panic always panics")
             }
+            Backend::Replicated(backend) => backend.chaos_panic(),
         }
     }
 }
 
-fn apply_single(engine: &mut RepairEngine, mutation: Mutation) -> String {
+pub(crate) fn apply_single(engine: &mut RepairEngine, mutation: Mutation) -> String {
     match mutation {
         Mutation::Insert(fact) => match engine.apply(Mutation::Insert(fact.clone())) {
             Ok(report) => {

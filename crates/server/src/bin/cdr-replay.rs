@@ -26,17 +26,37 @@
 //! exits 0 itself.
 
 use std::process::exit;
+use std::time::{Duration, Instant};
 
 use cdr_server::client::Client;
-use cdr_workloads::{churn_session, serving_session};
+use cdr_workloads::{churn_session, replication_battery, serving_session};
 
 const USAGE: &str = "\
 cdr-replay — workload-trace smoke client
 
 USAGE:
   cdr-replay --addr <host:port> [--trace serving|churn] [--sensors <n>]
-             [--ticks <n>] [--ops <n>] [--auto-compact <waste>] [--shutdown]
+             [--ticks <n>] [--ops <n>] [--auto-compact <waste>]
+             [--from <n>] [--until <n>] [--follow <host:port>]
+             [--auth <token>] [--shutdown]
+
+  --auth presents the admin token first, so --shutdown works against a
+  server running --admin-token.
+
+  --from/--until replay only the trace lines in [from, until) — the
+  failover soak replays a prefix, kills the primary, and finishes the
+  suffix against the promoted follower.
+
+  --follow <host:port> names a follower of --addr's primary: after the
+  trace leg, cdr-replay waits for the follower to catch up (STATS
+  end= parity), then sends the replication read battery to both nodes
+  and byte-compares every reply, plus the STATS gauge head.  Exits 1 on
+  the first divergent byte.
 ";
+
+/// How long `--follow` waits for the follower to reach the primary's
+/// replication offset before declaring it wedged.
+const CATCH_UP_TIMEOUT: Duration = Duration::from_secs(30);
 
 fn fail(message: &str) -> ! {
     eprintln!("cdr-replay: {message}");
@@ -51,6 +71,10 @@ fn main() {
     let mut ticks = 3usize;
     let mut ops = 60usize;
     let mut auto_compact: Option<u64> = None;
+    let mut from = 0usize;
+    let mut until = usize::MAX;
+    let mut follow: Option<String> = None;
+    let mut auth: Option<String> = None;
     let mut shutdown = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -69,6 +93,10 @@ fn main() {
             "--ticks" => ticks = parse(&value()),
             "--ops" => ops = parse(&value()),
             "--auto-compact" => auto_compact = Some(parse(&value()) as u64),
+            "--from" => from = parse(&value()),
+            "--until" => until = parse(&value()),
+            "--follow" => follow = Some(value()),
+            "--auth" => auth = Some(value()),
             "--shutdown" => shutdown = true,
             other => fail(&format!("unknown flag `{other}`")),
         }
@@ -77,11 +105,16 @@ fn main() {
         fail("--addr is required");
     }
 
-    let trace = match trace_name.as_str() {
+    let full_trace = match trace_name.as_str() {
         "serving" => serving_session(sensors, ticks, ops).2,
         "churn" => churn_session(ops, auto_compact).2,
         other => fail(&format!("unknown trace `{other}`")),
     };
+    let until = until.min(full_trace.len());
+    if from > until {
+        fail("--from must not exceed --until (or the trace length)");
+    }
+    let trace = &full_trace[from..until];
     let mut client = match Client::connect(&addr) {
         Ok(client) => client,
         Err(e) => {
@@ -89,9 +122,22 @@ fn main() {
             exit(1)
         }
     };
+    if let Some(token) = &auth {
+        match client.send(&format!("AUTH {token}")) {
+            Ok(reply) if reply == "OK AUTH" => {}
+            Ok(reply) => {
+                eprintln!("cdr-replay: AUTH drew `{reply}`");
+                exit(1)
+            }
+            Err(e) => {
+                eprintln!("cdr-replay: io error on AUTH: {e}");
+                exit(1)
+            }
+        }
+    }
     let mut ok = 0usize;
     let mut last_reply = String::new();
-    for line in &trace {
+    for line in trace {
         match client.send(line) {
             Ok(reply) if reply.starts_with("OK ") => {
                 ok += 1;
@@ -108,10 +154,13 @@ fn main() {
         }
     }
     println!(
-        "cdr-replay: {ok}/{} trace lines OK against {addr}",
+        "cdr-replay: {ok}/{} trace lines OK against {addr} (lines {from}..{until})",
         trace.len()
     );
     println!("cdr-replay: final {last_reply}");
+    if let Some(follower_addr) = follow {
+        verify_follower(&mut client, &addr, &follower_addr);
+    }
     if shutdown {
         match client.send("SHUTDOWN") {
             Ok(reply) if reply == "OK SHUTDOWN" => println!("cdr-replay: server shutting down"),
@@ -130,4 +179,93 @@ fn main() {
 fn parse(text: &str) -> usize {
     text.parse()
         .unwrap_or_else(|_| fail(&format!("`{text}` is not a number")))
+}
+
+/// `key=value` extraction from a `STATS` (or `REPL`) reply line.
+fn stat_u64(line: &str, key: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(key))
+        .and_then(|value| value.parse().ok())
+}
+
+/// The comparable head of a `STATS` reply: everything before the first
+/// ` | ` tail.  The tails legitimately differ across nodes (plan-cache
+/// traffic depends on load; the repl gauge carries the role), the gauge
+/// head must not.
+fn stats_head(reply: &str) -> &str {
+    reply.split(" | ").next().unwrap_or(reply)
+}
+
+/// The `--follow` leg: wait until the follower's replicated offset
+/// reaches the primary's, then demand byte-identical replies to the read
+/// battery — including `cached=`/`gen=` provenance and seeded `APPROX`
+/// estimates — and an identical `STATS` gauge head.
+fn verify_follower(primary: &mut Client, primary_addr: &str, follower_addr: &str) {
+    let primary_stats = match primary.send("STATS") {
+        Ok(reply) => reply,
+        Err(e) => {
+            eprintln!("cdr-replay: io error on the primary's STATS: {e}");
+            exit(1)
+        }
+    };
+    let Some(target) = stat_u64(&primary_stats, "end=") else {
+        eprintln!("cdr-replay: {primary_addr} serves no replication gauge: {primary_stats}");
+        exit(1)
+    };
+    let mut follower = match Client::connect(follower_addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cdr-replay: cannot connect to follower {follower_addr}: {e}");
+            exit(1)
+        }
+    };
+    let deadline = Instant::now() + CATCH_UP_TIMEOUT;
+    let follower_stats = loop {
+        let reply = match follower.send("STATS") {
+            Ok(reply) => reply,
+            Err(e) => {
+                eprintln!("cdr-replay: io error on the follower's STATS: {e}");
+                exit(1)
+            }
+        };
+        if stat_u64(&reply, "end=").is_some_and(|end| end >= target) {
+            break reply;
+        }
+        if Instant::now() >= deadline {
+            eprintln!(
+                "cdr-replay: follower stuck short of offset {target} after {}s: {reply}",
+                CATCH_UP_TIMEOUT.as_secs()
+            );
+            exit(1)
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    if stats_head(&primary_stats) != stats_head(&follower_stats) {
+        eprintln!(
+            "cdr-replay: STATS gauge heads diverge\n  primary:  {primary_stats}\n  follower: {follower_stats}"
+        );
+        exit(1)
+    }
+    let battery = replication_battery();
+    for line in &battery {
+        let from_primary = primary.send(line);
+        let from_follower = follower.send(line);
+        match (from_primary, from_follower) {
+            (Ok(p), Ok(f)) if p == f => {}
+            (Ok(p), Ok(f)) => {
+                eprintln!(
+                    "cdr-replay: battery line `{line}` diverges\n  primary:  {p}\n  follower: {f}"
+                );
+                exit(1)
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("cdr-replay: io error on battery line `{line}`: {e}");
+                exit(1)
+            }
+        }
+    }
+    println!(
+        "cdr-replay: follower {follower_addr} byte-identical on {} battery lines at offset {target}",
+        battery.len()
+    );
 }

@@ -14,7 +14,7 @@ use std::process::exit;
 
 use cdr_core::{RepairEngine, ShardedEngine};
 use cdr_repairdb::{Database, KeySet, Schema};
-use cdr_server::{Server, ServerConfig};
+use cdr_server::{ReplicatedBackend, Server, ServerConfig};
 use cdr_workloads::{
     churn_base, employee_example, sensor_readings, serving_session, two_source_customers,
 };
@@ -38,9 +38,23 @@ SERVER OPTIONS:
   --shards <n>            hash-partition the engine across <n> shards with
                           scatter-gather queries (default 1 = unsharded;
                           replies are byte-identical either way)
-  --admin-token <tok>     gate SHUTDOWN and the chaos verbs behind
+  --admin-token <tok>     gate SHUTDOWN, PROMOTE and the chaos verbs behind
                           `AUTH <tok>` (default: open, legacy behaviour)
+  --rate-limit <n>        per-connection token bucket: at most <n> commands
+                          per second (burst <n>); throttled lines answer
+                          exactly `ERR BUSY RATE LIMITED` (off by default)
   --chaos                 enable the PANIC test verb (never in production)
+
+REPLICATION OPTIONS (both exclude --shards > 1):
+  --log-dir <dir>         serve as a replicated primary: append every
+                          mutating verb to <dir>/log.bin before applying,
+                          snapshot to <dir>/snapshot.bin at every
+                          compaction; on restart, recover from the
+                          snapshot plus the log suffix
+  --follow <host:port>    serve as a follower: bootstrap from the
+                          primary's snapshot, tail its record stream, and
+                          answer reads byte-identically; mutations answer
+                          `ERR READONLY …` until PROMOTE
 
 ENGINE OPTIONS:
   --parallelism <n>       BATCH query fan-out threads (default 1)
@@ -68,6 +82,8 @@ fn fail(message: &str) -> ! {
 struct Options {
     config: ServerConfig,
     shards: usize,
+    log_dir: Option<String>,
+    follow: Option<String>,
     parallelism: usize,
     cache_cap: Option<usize>,
     budget: Option<u64>,
@@ -86,6 +102,8 @@ impl Default for Options {
         Options {
             config: ServerConfig::bind("127.0.0.1:7878"),
             shards: 1,
+            log_dir: None,
+            follow: None,
             parallelism: 1,
             cache_cap: None,
             budget: None,
@@ -123,6 +141,9 @@ fn parse_options() -> Options {
             "--auto-compact" => options.config.auto_compact = Some(parse(&flag, &value("waste"))),
             "--shards" => options.shards = parse(&flag, &value("count")),
             "--admin-token" => options.config.admin_token = Some(value("token")),
+            "--rate-limit" => options.config.rate_limit = Some(parse(&flag, &value("count"))),
+            "--log-dir" => options.log_dir = Some(value("dir")),
+            "--follow" => options.follow = Some(value("host:port")),
             "--chaos" => options.config.chaos = true,
             "--parallelism" => options.parallelism = parse(&flag, &value("count")),
             "--cache-cap" => options.cache_cap = Some(parse(&flag, &value("count"))),
@@ -188,6 +209,52 @@ fn build_data(options: &Options) -> (Database, KeySet) {
 
 fn main() {
     let options = parse_options();
+    if options.shards == 0 {
+        fail("--shards must be at least 1");
+    }
+    if options.log_dir.is_some() && options.follow.is_some() {
+        fail("--log-dir and --follow are mutually exclusive");
+    }
+    if (options.log_dir.is_some() || options.follow.is_some()) && options.shards > 1 {
+        fail("replication (--log-dir / --follow) requires --shards 1");
+    }
+
+    if let Some(upstream) = options.follow.clone() {
+        // A follower's state comes from the primary's snapshot: the
+        // scenario flags are ignored, only the engine tuning applies.
+        let tune = {
+            let parallelism = options.parallelism;
+            let cache_cap = options.cache_cap;
+            let budget = options.budget;
+            move |mut engine: RepairEngine| {
+                engine = engine.with_parallelism(parallelism);
+                if let Some(cap) = cache_cap {
+                    engine = engine.with_plan_cache_capacity(cap);
+                }
+                if let Some(budget) = budget {
+                    engine = engine.with_default_budget(budget);
+                }
+                engine
+            }
+        };
+        let backend = match ReplicatedBackend::follower(&upstream, tune) {
+            Ok(backend) => backend,
+            Err(e) => {
+                eprintln!("cdr-serve: cannot bootstrap from {upstream}: {e}");
+                exit(1)
+            }
+        };
+        eprintln!(
+            "cdr-serve: follower of {upstream}, {} workers",
+            options.config.workers
+        );
+        serve(
+            Server::start_replicated(backend, options.config.clone()),
+            &options,
+        );
+        return;
+    }
+
     let (mut db, keys) = build_data(&options);
     if let Some(cap) = options.fact_id_cap {
         db = db.with_fact_id_capacity(cap);
@@ -199,9 +266,6 @@ fn main() {
     if let Some(budget) = options.budget {
         engine = engine.with_default_budget(budget);
     }
-    if options.shards == 0 {
-        fail("--shards must be at least 1");
-    }
     eprintln!(
         "cdr-serve: scenario `{}`, {} facts, {} shards, {} workers, {} batch permits",
         options.scenario,
@@ -210,7 +274,15 @@ fn main() {
         options.config.workers,
         options.config.batch_permits
     );
-    let started = if options.shards > 1 {
+    let started = if let Some(dir) = options.log_dir.clone() {
+        match ReplicatedBackend::primary(engine, std::path::Path::new(&dir)) {
+            Ok(backend) => Server::start_replicated(backend, options.config.clone()),
+            Err(e) => {
+                eprintln!("cdr-serve: cannot open the command log in {dir}: {e}");
+                exit(1)
+            }
+        }
+    } else if options.shards > 1 {
         Server::start_sharded(
             ShardedEngine::from_engine(engine, options.shards),
             options.config.clone(),
@@ -218,6 +290,10 @@ fn main() {
     } else {
         Server::start(engine, options.config.clone())
     };
+    serve(started, &options);
+}
+
+fn serve(started: std::io::Result<Server>, options: &Options) {
     let server = match started {
         Ok(server) => server,
         Err(e) => {

@@ -3,9 +3,48 @@
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
+use crate::reply;
 use crate::scheduler::Shared;
 use crate::session::{Session, Step};
+
+/// A per-connection token bucket: `limit` tokens of capacity, refilled at
+/// `limit` tokens per second.  Every non-blank, non-comment line costs
+/// one token; a line arriving to an empty bucket is rejected with the
+/// deterministic [`reply::RATE_LIMITED`] line instead of being executed.
+pub(crate) struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    refill_per_sec: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    pub(crate) fn new(limit: u32) -> Self {
+        let capacity = f64::from(limit.max(1));
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            refill_per_sec: capacity,
+            last: Instant::now(),
+        }
+    }
+
+    /// Tries to spend one token; `false` means the command is throttled.
+    pub(crate) fn admit(&mut self) -> bool {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
 
 /// What one attempt to pull a line produced.
 pub(crate) enum ReadLine {
@@ -98,6 +137,7 @@ pub(crate) fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let max_line_bytes = shared.config.max_line_bytes;
     let mut reader = LineReader::new();
     let mut session = Session::new();
+    let mut bucket = shared.config.rate_limit.map(TokenBucket::new);
     loop {
         if shared.shutting_down() {
             break;
@@ -105,6 +145,23 @@ pub(crate) fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         match reader.read_line(&mut stream, max_line_bytes) {
             Ok(ReadLine::Line(line)) => {
                 shared.commands.fetch_add(1, Ordering::Relaxed);
+                let trimmed = line.trim();
+                let chargeable = !trimmed.is_empty() && !trimmed.starts_with('#');
+                if chargeable {
+                    if let Some(bucket) = &mut bucket {
+                        if !bucket.admit() {
+                            // A throttled line is never fed to the session:
+                            // it cannot mutate, open or extend a batch.
+                            session.abort_batch();
+                            shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                            if write_lines(&mut stream, &[reply::RATE_LIMITED.to_string()]).is_err()
+                            {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                }
                 match session.feed(shared, &line) {
                     Step::Silent => {}
                     Step::Replies(replies) => {
@@ -195,6 +252,17 @@ mod tests {
             _ => panic!("the protocol resumes on the next line"),
         }
         assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn token_bucket_rejects_a_burst_beyond_capacity_then_refills() {
+        let mut bucket = TokenBucket::new(3);
+        assert!(bucket.admit());
+        assert!(bucket.admit());
+        assert!(bucket.admit());
+        assert!(!bucket.admit(), "the burst capacity is exactly the limit");
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        assert!(bucket.admit(), "tokens refill at the limit per second");
     }
 
     #[test]

@@ -55,12 +55,14 @@
 mod backend;
 pub mod client;
 mod conn;
+pub mod replication;
 mod reply;
 mod scheduler;
 mod server;
 mod session;
 
 pub use backend::Backend;
+pub use replication::{ReplicatedBackend, Role};
 pub use reply::{error_code, render_count_error, render_wire_error};
 pub use server::{Server, ServerStats};
 pub use session::Oracle;
@@ -112,6 +114,12 @@ pub struct ServerConfig {
     /// `AUTH <token>` or the gated verbs answer `ERR DENIED …` (the
     /// connection stays alive).
     pub admin_token: Option<String>,
+    /// Per-connection command rate limit, in commands per second (`None`
+    /// disables throttling).  Each connection owns a token bucket with
+    /// this capacity and refill rate; a command arriving to an empty
+    /// bucket is answered exactly `ERR BUSY RATE LIMITED` (aborting any
+    /// open `BATCH`) and is not executed.
+    pub rate_limit: Option<u32>,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +135,7 @@ impl Default for ServerConfig {
             chaos: false,
             auto_compact: None,
             admin_token: None,
+            rate_limit: None,
         }
     }
 }

@@ -1,0 +1,809 @@
+//! Primary/follower replication over the line protocol.
+//!
+//! A [`ReplicatedBackend`] wraps the classic single-engine backend with a
+//! replication sidecar: the **primary** appends every state-changing verb
+//! to an in-memory record list (and, with `--log-dir`, a framed on-disk
+//! log) *before* applying it, snapshots at every compaction point and
+//! truncates the disk log there; a **follower** bootstraps from the
+//! primary's snapshot over the ordinary text protocol (`REPL SNAPSHOT`),
+//! then tails the record stream (`REPL FETCH`), applying each record
+//! through the same replay path cold-start recovery uses.  Because wire
+//! replies are deterministic functions of engine state and command order,
+//! a caught-up follower answers every read — including seeded estimates
+//! and `gen=`/`cached=` provenance — byte-identically to the primary.
+//!
+//! The protocol is pull-based and rides the existing line protocol:
+//!
+//! ```text
+//! REPL HELLO                 -> OK REPL HELLO epoch=E base=B end=N snap=S
+//! REPL SNAPSHOT              -> OK REPL SNAPSHOT epoch=E offset=S bytes=B chunks=K
+//!                               REPL CHUNK <hex>          (x K)
+//! REPL FETCH <from> <max>    -> OK REPL RECORDS n=N next=F end=E
+//!                               REPL RECORD <hex(crc32||payload)>   (x N)
+//! PROMOTE                    -> OK PROMOTED epoch=E end=N   (follower, behind AUTH)
+//! ```
+//!
+//! Mutating verbs on a follower answer `ERR READONLY …`; `PROMOTE` flips
+//! the role and bumps the epoch without touching the engine, so a
+//! promoted follower keeps serving the exact state it replicated.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, RwLock};
+
+use cdr_core::replog::{
+    apply_record, from_hex, open_log, read_snapshot_file, survivors_of, to_hex, unwrap_checksummed,
+    wrap_checksummed, write_snapshot_file, LogOp, LogRecord, ReplogError, LOG_FILE,
+};
+use cdr_core::{CompactionOutcome, RepairEngine};
+use cdr_num::BigNat;
+use cdr_repairdb::{Mutation, Snapshot};
+
+use crate::backend::apply_single;
+use crate::client::Client;
+use crate::reply;
+
+/// Bytes of snapshot per `REPL CHUNK` line (16 KiB of hex on the wire,
+/// comfortably under the default line cap).
+const SNAPSHOT_CHUNK_BYTES: usize = 8192;
+
+/// Most records one `REPL FETCH` answers, whatever the client asked for.
+const MAX_FETCH_RECORDS: u64 = 256;
+
+/// How many records the tailer requests per fetch.
+const TAIL_FETCH_RECORDS: u64 = 64;
+
+fn rlock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn wlock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// `key=value` extraction from a reply header (`field_u64(line, "end=")`).
+pub(crate) fn field_u64(line: &str, key: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(key))
+        .and_then(|value| value.parse().ok())
+}
+
+/// Which side of the replication pair this backend currently is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts mutations, appends-then-applies, serves the log.
+    Primary,
+    /// Tails a primary, serves reads, refuses mutations.
+    Follower,
+}
+
+impl Role {
+    fn as_str(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Follower => "follower",
+        }
+    }
+}
+
+/// What one tailer iteration achieved.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum TailOutcome {
+    /// Records were applied (or the snapshot was re-bootstrapped): fetch
+    /// again immediately.
+    Progress,
+    /// Nothing new (caught up, or the upstream is unreachable): sleep a
+    /// poll tick before retrying.
+    Idle,
+    /// This node is now a primary: the tailer is done for good.
+    Promoted,
+}
+
+/// The replication sidecar state, guarded by one mutex.  Lock order is
+/// engine write guard *then* this — never the reverse.
+struct ReplState {
+    role: Role,
+    epoch: u64,
+    /// The encoded snapshot served to bootstrapping followers.
+    snapshot_bytes: Vec<u8>,
+    /// The log offset the snapshot captures.
+    snapshot_offset: u64,
+    /// The offset of `records[0]`: offsets below this are only reachable
+    /// through the snapshot.
+    mem_base: u64,
+    /// Encoded record payloads from `mem_base` to the end of the log.
+    records: Vec<Vec<u8>>,
+    /// The on-disk log (primaries started with `--log-dir`).
+    log: Option<cdr_core::LogWriter>,
+    /// The `--log-dir`, for snapshot rewrites.
+    dir: Option<PathBuf>,
+    /// The primary this follower tails.
+    upstream: Option<String>,
+    /// Records replayed from disk at boot — the recovery gauge proving a
+    /// cold restart replayed only the post-snapshot suffix.
+    replayed: u64,
+    /// The tailer's warm upstream connection between iterations.
+    tail_client: Option<Client>,
+}
+
+impl ReplState {
+    /// One past the last record offset.
+    fn end(&self) -> u64 {
+        self.mem_base + self.records.len() as u64
+    }
+
+    /// Appends one operation at the current end: encode, write to the
+    /// disk log (if any), retain in memory.  Disk errors are reported but
+    /// not fatal — the in-memory stream (and therefore every follower)
+    /// stays exact; only cold-restart durability degrades.
+    fn append(&mut self, op: LogOp) {
+        let record = LogRecord {
+            epoch: self.epoch,
+            offset: self.end(),
+            op,
+        };
+        let payload = record.encode();
+        if let Some(log) = &mut self.log {
+            if let Err(e) = log.append(&payload) {
+                eprintln!("cdr-server: command log append failed: {e}");
+            }
+        }
+        self.records.push(payload);
+    }
+
+    /// The bookkeeping after the engine compacted (policy, explicit verb,
+    /// or batch path): log the compaction record, then snapshot the dense
+    /// post-compaction state and truncate the disk log behind it.
+    fn record_compaction(&mut self, engine: &RepairEngine, outcome: &CompactionOutcome) {
+        self.append(LogOp::Compact {
+            fact_ids_before: outcome.report.fact_ids_before,
+            survivors: survivors_of(&outcome.report),
+        });
+        let snapshot = Snapshot {
+            epoch: self.epoch,
+            offset: self.end(),
+            generation: engine.generation(),
+            rel_generations: engine.rel_generations().to_vec(),
+            db: engine.database().clone(),
+            keys: engine.keys().clone(),
+        };
+        match snapshot.encode() {
+            Ok(bytes) => {
+                self.snapshot_bytes = bytes;
+                self.snapshot_offset = snapshot.offset;
+                if let Some(dir) = &self.dir {
+                    if let Err(e) = write_snapshot_file(dir, &snapshot) {
+                        eprintln!("cdr-server: snapshot write failed: {e}");
+                    } else if let Some(log) = &mut self.log {
+                        if let Err(e) = log.truncate() {
+                            eprintln!("cdr-server: log truncation failed: {e}");
+                        }
+                    }
+                }
+            }
+            // Unreachable post-compaction (the database is dense); keep
+            // serving the previous snapshot rather than dying.
+            Err(e) => eprintln!("cdr-server: snapshot encode failed: {e}"),
+        }
+    }
+}
+
+/// A replicated single-engine backend: the engine behind its usual
+/// read/write lock, plus the replication sidecar.
+pub struct ReplicatedBackend {
+    engine: RwLock<RepairEngine>,
+    repl: Mutex<ReplState>,
+    /// Re-applies the serving tuning (budget, parallelism, cache
+    /// capacity) to an engine rebuilt from a snapshot.
+    tune: Box<dyn Fn(RepairEngine) -> RepairEngine + Send + Sync>,
+}
+
+impl ReplicatedBackend {
+    /// Boots a primary over `dir`.
+    ///
+    /// With a snapshot present, recovery ignores `seed`'s data and
+    /// rebuilds the engine from the snapshot plus the valid suffix of the
+    /// on-disk log (the torn tail a `SIGKILL` leaves is trimmed, never
+    /// replayed); `seed` still donates its tuning.  On first boot the
+    /// seed *is* the state: its snapshot is written at offset 0 — which
+    /// requires the seed database to be compacted (freshly built data
+    /// always is).
+    pub fn primary(seed: RepairEngine, dir: &Path) -> Result<ReplicatedBackend, ReplogError> {
+        std::fs::create_dir_all(dir)?;
+        let budget = seed.default_budget();
+        let parallelism = seed.parallelism();
+        let cache_capacity = seed.cache_stats().capacity as usize;
+        let tune = move |engine: RepairEngine| {
+            engine
+                .with_default_budget(budget)
+                .with_parallelism(parallelism)
+                .with_plan_cache_capacity(cache_capacity)
+        };
+        let log_path = dir.join(LOG_FILE);
+        let (engine, state) = match read_snapshot_file(dir)? {
+            Some(snapshot) => {
+                let snapshot_bytes = snapshot.encode()?;
+                let Snapshot {
+                    epoch,
+                    offset,
+                    generation,
+                    rel_generations,
+                    db,
+                    keys,
+                } = snapshot;
+                let mut engine = tune(RepairEngine::restore(db, keys, generation, rel_generations));
+                let (log, payloads) = open_log(&log_path)?;
+                let schema = engine.database().schema().clone();
+                let mut epoch = epoch;
+                for (expected, payload) in (offset..).zip(payloads.iter()) {
+                    let record = LogRecord::decode(payload, &schema)?;
+                    if record.offset != expected {
+                        return Err(ReplogError::Diverged(format!(
+                            "log record at offset {} where {} was expected",
+                            record.offset, expected
+                        )));
+                    }
+                    apply_record(&mut engine, &record)?;
+                    epoch = epoch.max(record.epoch);
+                }
+                let replayed = payloads.len() as u64;
+                let state = ReplState {
+                    role: Role::Primary,
+                    epoch,
+                    snapshot_bytes,
+                    snapshot_offset: offset,
+                    mem_base: offset,
+                    records: payloads,
+                    log: Some(log),
+                    dir: Some(dir.to_path_buf()),
+                    upstream: None,
+                    replayed,
+                    tail_client: None,
+                };
+                (engine, state)
+            }
+            None => {
+                let engine = seed;
+                let snapshot = Snapshot {
+                    epoch: 0,
+                    offset: 0,
+                    generation: engine.generation(),
+                    rel_generations: engine.rel_generations().to_vec(),
+                    db: engine.database().clone(),
+                    keys: engine.keys().clone(),
+                };
+                write_snapshot_file(dir, &snapshot)?;
+                let snapshot_bytes = snapshot.encode()?;
+                let (mut log, stale) = open_log(&log_path)?;
+                if !stale.is_empty() {
+                    // A log with no snapshot beside it describes nothing
+                    // recoverable; start clean.
+                    log.truncate()?;
+                }
+                let state = ReplState {
+                    role: Role::Primary,
+                    epoch: 0,
+                    snapshot_bytes,
+                    snapshot_offset: 0,
+                    mem_base: 0,
+                    records: Vec::new(),
+                    log: Some(log),
+                    dir: Some(dir.to_path_buf()),
+                    upstream: None,
+                    replayed: 0,
+                    tail_client: None,
+                };
+                (engine, state)
+            }
+        };
+        Ok(ReplicatedBackend {
+            engine: RwLock::new(engine),
+            repl: Mutex::new(state),
+            tune: Box::new(tune),
+        })
+    }
+
+    /// Bootstraps a follower: fetches the primary's snapshot over the
+    /// line protocol, restores the engine from it (re-applying the
+    /// serving tuning via `tune`), and leaves the connection warm for the
+    /// tailer.
+    pub fn follower(
+        upstream: &str,
+        tune: impl Fn(RepairEngine) -> RepairEngine + Send + Sync + 'static,
+    ) -> Result<ReplicatedBackend, ReplogError> {
+        let mut client = Client::connect(upstream)?;
+        let (snapshot_bytes, snapshot) = fetch_snapshot(&mut client)?;
+        let Snapshot {
+            epoch,
+            offset,
+            generation,
+            rel_generations,
+            db,
+            keys,
+        } = snapshot;
+        let engine = tune(RepairEngine::restore(db, keys, generation, rel_generations));
+        let state = ReplState {
+            role: Role::Follower,
+            epoch,
+            snapshot_bytes,
+            snapshot_offset: offset,
+            mem_base: offset,
+            records: Vec::new(),
+            log: None,
+            dir: None,
+            upstream: Some(upstream.to_string()),
+            replayed: 0,
+            tail_client: Some(client),
+        };
+        Ok(ReplicatedBackend {
+            engine: RwLock::new(engine),
+            repl: Mutex::new(state),
+            tune: Box::new(tune),
+        })
+    }
+
+    /// The node's current role.
+    pub fn role(&self) -> Role {
+        lock(&self.repl).role
+    }
+
+    /// Shared query access to the engine.
+    pub fn read<R>(&self, f: impl FnOnce(&RepairEngine) -> R) -> R {
+        f(&rlock(&self.engine))
+    }
+
+    /// A schema snapshot for lock-free command parsing.
+    pub fn parse_database(&self) -> std::sync::Arc<cdr_repairdb::Database> {
+        rlock(&self.engine).database_arc()
+    }
+
+    /// Applies one mutation on a primary (append-then-apply); answers
+    /// `ERR READONLY` on a follower.
+    pub fn mutate(&self, mutation: Mutation, auto_compact: Option<u64>) -> String {
+        let mut engine = wlock(&self.engine);
+        let mut repl = lock(&self.repl);
+        if repl.role == Role::Follower {
+            return reply::readonly(match mutation {
+                Mutation::Insert(_) => "INSERT",
+                Mutation::Delete(_) => "DELETE",
+            });
+        }
+        if let Some(threshold) = auto_compact {
+            if let Some(outcome) = engine.maybe_compact(threshold) {
+                repl.record_compaction(&engine, &outcome);
+            }
+        }
+        repl.append(LogOp::Mutation(mutation.clone()));
+        apply_single(&mut engine, mutation)
+    }
+
+    /// Applies a mutation batch atomically on a primary; `ERR READONLY`
+    /// on a follower.  The batch is logged before it is applied — replay
+    /// re-runs it through the same atomic path, so a rejected batch
+    /// reproduces its rejection (and its untouched engine) exactly.
+    pub fn mutate_batch(&self, mutations: Vec<Mutation>, auto_compact: Option<u64>) -> String {
+        let mut engine = wlock(&self.engine);
+        let mut repl = lock(&self.repl);
+        if repl.role == Role::Follower {
+            return reply::readonly("BATCH");
+        }
+        if let Some(threshold) = auto_compact {
+            if let Some(outcome) = engine.maybe_compact(threshold) {
+                repl.record_compaction(&engine, &outcome);
+            }
+        }
+        repl.append(LogOp::Batch(mutations.clone()));
+        match engine.apply_batch(mutations) {
+            Ok(report) => reply::render_batch_mutation(&report, engine.total_repairs()),
+            Err(e) => reply::render_count_error(&e),
+        }
+    }
+
+    /// Compacts a primary (logging the translation table, snapshotting,
+    /// truncating the disk log); `ERR READONLY` on a follower.
+    pub fn compact(&self) -> Result<(CompactionOutcome, BigNat), String> {
+        let mut engine = wlock(&self.engine);
+        let mut repl = lock(&self.repl);
+        if repl.role == Role::Follower {
+            return Err(reply::readonly("COMPACT"));
+        }
+        let outcome = engine.compact();
+        repl.record_compaction(&engine, &outcome);
+        let total = engine.total_repairs().clone();
+        Ok((outcome, total))
+    }
+
+    /// The `STATS` reply with the replication gauge tail.
+    pub fn stats(&self) -> String {
+        let head = self.read(reply::render_stats);
+        let repl = lock(&self.repl);
+        format!(
+            "{head} | repl role={} epoch={} base={} end={} replayed={}",
+            repl.role.as_str(),
+            repl.epoch,
+            repl.mem_base,
+            repl.end(),
+            repl.replayed
+        )
+    }
+
+    /// Serves one `REPL …` line.
+    pub fn repl(&self, line: &str) -> Vec<String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let sub = tokens.get(1).copied().unwrap_or("").to_ascii_uppercase();
+        let repl = lock(&self.repl);
+        match sub.as_str() {
+            "HELLO" => vec![format!(
+                "OK REPL HELLO epoch={} base={} end={} snap={}",
+                repl.epoch,
+                repl.mem_base,
+                repl.end(),
+                repl.snapshot_offset
+            )],
+            "SNAPSHOT" => {
+                let chunks: Vec<&[u8]> = repl.snapshot_bytes.chunks(SNAPSHOT_CHUNK_BYTES).collect();
+                let mut lines = Vec::with_capacity(chunks.len() + 1);
+                lines.push(format!(
+                    "OK REPL SNAPSHOT epoch={} offset={} bytes={} chunks={}",
+                    repl.epoch,
+                    repl.snapshot_offset,
+                    repl.snapshot_bytes.len(),
+                    chunks.len()
+                ));
+                for chunk in chunks {
+                    lines.push(format!("REPL CHUNK {}", to_hex(chunk)));
+                }
+                lines
+            }
+            "FETCH" => {
+                let (Some(Ok(from)), Some(Ok(max))) = (
+                    tokens.get(2).map(|t| t.parse::<u64>()),
+                    tokens.get(3).map(|t| t.parse::<u64>()),
+                ) else {
+                    return vec!["ERR REPL usage: REPL FETCH <from> <max>".to_string()];
+                };
+                if from < repl.mem_base {
+                    return vec![format!(
+                        "ERR REPL COMPACTED offset {from} predates base={}; re-bootstrap from REPL SNAPSHOT",
+                        repl.mem_base
+                    )];
+                }
+                if from > repl.end() {
+                    return vec![format!(
+                        "ERR REPL RANGE offset {from} is past end={}",
+                        repl.end()
+                    )];
+                }
+                let start = (from - repl.mem_base) as usize;
+                let n = (repl.records.len() - start).min(max.min(MAX_FETCH_RECORDS) as usize);
+                let mut lines = Vec::with_capacity(n + 1);
+                lines.push(format!(
+                    "OK REPL RECORDS n={} next={} end={}",
+                    n,
+                    from + n as u64,
+                    repl.end()
+                ));
+                for payload in &repl.records[start..start + n] {
+                    lines.push(format!(
+                        "REPL RECORD {}",
+                        to_hex(&wrap_checksummed(payload))
+                    ));
+                }
+                lines
+            }
+            _ => vec![
+                "ERR REPL usage: REPL HELLO | REPL SNAPSHOT | REPL FETCH <from> <max>".to_string(),
+            ],
+        }
+    }
+
+    /// `PROMOTE`: flips a follower into a primary at a new epoch.  The
+    /// engine is not touched — no compaction, no generation bump — so the
+    /// promoted node keeps serving exactly the state it replicated.
+    pub fn promote(&self) -> String {
+        let _engine = wlock(&self.engine);
+        let mut repl = lock(&self.repl);
+        match repl.role {
+            Role::Primary => format!("ERR REPL already primary at epoch={}", repl.epoch),
+            Role::Follower => {
+                repl.role = Role::Primary;
+                repl.epoch += 1;
+                repl.tail_client = None;
+                repl.upstream = None;
+                format!("OK PROMOTED epoch={} end={}", repl.epoch, repl.end())
+            }
+        }
+    }
+
+    /// Panics while holding the engine write lock (the chaos hook).
+    pub fn chaos_panic(&self) -> ! {
+        let _guard = wlock(&self.engine);
+        panic!("chaos: PANIC verb")
+    }
+
+    /// One tailer iteration: fetch the next records from the upstream and
+    /// apply them.  All network and decode failures degrade to
+    /// [`TailOutcome::Idle`] (drop the connection, retry after a poll
+    /// tick) — a dead or hostile upstream must never panic the tailer.
+    pub(crate) fn tail_once(&self) -> TailOutcome {
+        let (client, from, upstream) = {
+            let mut repl = lock(&self.repl);
+            if repl.role == Role::Primary {
+                return TailOutcome::Promoted;
+            }
+            let Some(upstream) = repl.upstream.clone() else {
+                return TailOutcome::Promoted;
+            };
+            (repl.tail_client.take(), repl.end(), upstream)
+        };
+        let mut client = match client {
+            Some(client) => client,
+            None => match Client::connect(&upstream) {
+                Ok(client) => client,
+                Err(_) => return TailOutcome::Idle,
+            },
+        };
+        // Network I/O happens with no lock held: reads keep flowing on
+        // both nodes while records travel.
+        let header = match client.send(&format!("REPL FETCH {from} {TAIL_FETCH_RECORDS}")) {
+            Ok(header) => header,
+            Err(_) => return TailOutcome::Idle,
+        };
+        if header.starts_with("ERR REPL COMPACTED") {
+            return self.rebootstrap(client);
+        }
+        let Some(n) = field_u64(&header, "n=") else {
+            return TailOutcome::Idle;
+        };
+        let mut payloads = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let line = match client.read_line() {
+                Ok(line) => line,
+                Err(_) => return TailOutcome::Idle,
+            };
+            let Some(hex) = line.strip_prefix("REPL RECORD ") else {
+                return TailOutcome::Idle;
+            };
+            let Ok(bytes) = from_hex(hex) else {
+                return TailOutcome::Idle;
+            };
+            let Ok(payload) = unwrap_checksummed(&bytes) else {
+                return TailOutcome::Idle;
+            };
+            payloads.push(payload.to_vec());
+        }
+        if payloads.is_empty() {
+            // Caught up; keep the connection warm for the next poll.
+            lock(&self.repl).tail_client = Some(client);
+            return TailOutcome::Idle;
+        }
+        let mut engine = wlock(&self.engine);
+        let mut repl = lock(&self.repl);
+        if repl.role == Role::Primary {
+            return TailOutcome::Promoted;
+        }
+        if repl.end() != from {
+            // The cursor moved under us (a re-bootstrap raced this fetch);
+            // drop the stale records and re-read from the new cursor.
+            repl.tail_client = Some(client);
+            return TailOutcome::Idle;
+        }
+        let schema = engine.database().schema().clone();
+        let mut progressed = false;
+        for payload in payloads {
+            let Ok(record) = LogRecord::decode(&payload, &schema) else {
+                break;
+            };
+            if record.offset != repl.end() {
+                break;
+            }
+            if let Err(e) = apply_record(&mut engine, &record) {
+                // Divergence is an invariant violation the tests assert
+                // never happens; freeze rather than serve wrong answers.
+                eprintln!("cdr-server: follower stopped tailing: {e}");
+                return TailOutcome::Idle;
+            }
+            repl.epoch = record.epoch;
+            repl.records.push(payload);
+            progressed = true;
+        }
+        repl.tail_client = Some(client);
+        if progressed {
+            TailOutcome::Progress
+        } else {
+            TailOutcome::Idle
+        }
+    }
+
+    /// The tailer fell behind the upstream's snapshot horizon: fetch the
+    /// current snapshot and restart the engine from it.
+    fn rebootstrap(&self, mut client: Client) -> TailOutcome {
+        let Ok((snapshot_bytes, snapshot)) = fetch_snapshot(&mut client) else {
+            return TailOutcome::Idle;
+        };
+        let Snapshot {
+            epoch,
+            offset,
+            generation,
+            rel_generations,
+            db,
+            keys,
+        } = snapshot;
+        let rebuilt = (self.tune)(RepairEngine::restore(db, keys, generation, rel_generations));
+        let mut engine = wlock(&self.engine);
+        let mut repl = lock(&self.repl);
+        if repl.role == Role::Primary {
+            return TailOutcome::Promoted;
+        }
+        *engine = rebuilt;
+        repl.epoch = epoch;
+        repl.snapshot_bytes = snapshot_bytes;
+        repl.snapshot_offset = offset;
+        repl.mem_base = offset;
+        repl.records.clear();
+        repl.tail_client = Some(client);
+        TailOutcome::Progress
+    }
+}
+
+/// Pulls and reassembles the upstream's snapshot: the raw bytes (served
+/// verbatim to any downstream follower) plus the decoded image.
+fn fetch_snapshot(client: &mut Client) -> Result<(Vec<u8>, Snapshot), ReplogError> {
+    let header = client.send("REPL SNAPSHOT")?;
+    let (Some(bytes), Some(chunks)) = (field_u64(&header, "bytes="), field_u64(&header, "chunks="))
+    else {
+        return Err(ReplogError::Diverged(format!(
+            "upstream refused the snapshot: {header}"
+        )));
+    };
+    let mut assembled = Vec::with_capacity(bytes as usize);
+    for _ in 0..chunks {
+        let line = client.read_line()?;
+        let Some(hex) = line.strip_prefix("REPL CHUNK ") else {
+            return Err(ReplogError::Diverged(format!(
+                "expected a REPL CHUNK line, got: {line}"
+            )));
+        };
+        assembled.extend_from_slice(&from_hex(hex)?);
+    }
+    if assembled.len() as u64 != bytes {
+        return Err(ReplogError::Diverged(format!(
+            "snapshot reassembled to {} bytes, header promised {bytes}",
+            assembled.len()
+        )));
+    }
+    let snapshot = Snapshot::decode(&assembled)?;
+    Ok((assembled, snapshot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdr_core::replog::read_log_payloads;
+    use cdr_workloads::employee_example;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cdr-replication-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seed() -> RepairEngine {
+        let (db, keys) = employee_example();
+        RepairEngine::new(db, keys)
+    }
+
+    #[test]
+    fn a_fresh_primary_logs_then_applies_and_snapshots_at_compaction() {
+        let dir = temp_dir("fresh");
+        let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
+        assert_eq!(backend.role(), Role::Primary);
+        let db = backend.parse_database();
+        let insert = |text: &str| Mutation::Insert(db.parse_fact(text).unwrap());
+        let reply = backend.mutate(insert("Employee(9, 'Flux', 'Ops')"), None);
+        assert!(reply.starts_with("OK INSERT id=4 "), "{reply}");
+        let reply = backend.mutate(Mutation::Delete(cdr_repairdb::FactId::new(4)), None);
+        assert!(reply.starts_with("OK DELETE id=4 "), "{reply}");
+        // Two records on disk, none compacted away yet.
+        assert_eq!(read_log_payloads(&dir.join(LOG_FILE)).unwrap().len(), 2);
+        let stats = backend.stats();
+        assert!(
+            stats.ends_with("| repl role=primary epoch=0 base=0 end=2 replayed=0"),
+            "{stats}"
+        );
+        // Compaction logs its record, snapshots, truncates the disk log.
+        let (outcome, _) = backend.compact().unwrap();
+        assert_eq!(outcome.report.live_facts, 4);
+        assert_eq!(read_log_payloads(&dir.join(LOG_FILE)).unwrap().len(), 0);
+        let hello = &backend.repl("REPL HELLO")[0];
+        assert_eq!(hello, "OK REPL HELLO epoch=0 base=0 end=3 snap=3");
+        // In-memory records are retained across the snapshot for tailers.
+        let fetched = backend.repl("REPL FETCH 0 64");
+        assert!(
+            fetched[0].starts_with("OK REPL RECORDS n=3 "),
+            "{}",
+            fetched[0]
+        );
+        assert_eq!(fetched.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_only_the_post_snapshot_suffix() {
+        let dir = temp_dir("recover");
+        let db = {
+            let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
+            let db = backend.parse_database();
+            let insert = |text: &str| Mutation::Insert(db.parse_fact(text).unwrap());
+            backend.mutate(insert("Employee(7, 'Ada', 'IT')"), None);
+            backend.compact().unwrap();
+            backend.mutate(insert("Employee(8, 'Kim', 'HR')"), None);
+            backend.mutate(insert("Employee(8, 'Kim, Jr.', 'HR')"), None);
+            backend.read(|engine| (engine.database().clone(), engine.generation()))
+        };
+        // Cold restart over the same directory: the snapshot captured the
+        // compaction point, so exactly the 2 post-snapshot inserts replay.
+        let recovered = ReplicatedBackend::primary(seed(), &dir).unwrap();
+        let stats = recovered.stats();
+        assert!(
+            stats.contains(" repl role=primary epoch=0 base=2 end=4 replayed=2"),
+            "{stats}"
+        );
+        recovered.read(|engine| {
+            assert_eq!(engine.database(), &db.0);
+            assert_eq!(engine.generation(), db.1);
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repl_fetch_bounds_are_enforced() {
+        let dir = temp_dir("bounds");
+        let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
+        assert!(backend.repl("REPL FETCH 5 4")[0].starts_with("ERR REPL RANGE "));
+        assert!(backend.repl("REPL FETCH x 4")[0].starts_with("ERR REPL usage"));
+        assert!(backend.repl("REPL NONSENSE")[0].starts_with("ERR REPL usage"));
+        assert_eq!(
+            backend.repl("REPL FETCH 0 10"),
+            vec!["OK REPL RECORDS n=0 next=0 end=0".to_string()]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn promote_on_a_primary_is_refused() {
+        let dir = temp_dir("promote");
+        let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
+        assert_eq!(backend.promote(), "ERR REPL already primary at epoch=0");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn the_served_snapshot_round_trips() {
+        let dir = temp_dir("snapshot");
+        let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
+        let lines = backend.repl("REPL SNAPSHOT");
+        let bytes = field_u64(&lines[0], "bytes=").unwrap();
+        let mut assembled = Vec::new();
+        for line in &lines[1..] {
+            assembled
+                .extend_from_slice(&from_hex(line.strip_prefix("REPL CHUNK ").unwrap()).unwrap());
+        }
+        assert_eq!(assembled.len() as u64, bytes);
+        let snapshot = Snapshot::decode(&assembled).unwrap();
+        backend.read(|engine| {
+            assert_eq!(&snapshot.db, engine.database());
+            assert_eq!(&snapshot.keys, engine.keys());
+            assert_eq!(snapshot.generation, engine.generation());
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

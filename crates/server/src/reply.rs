@@ -69,6 +69,15 @@ pub(crate) fn busy(what: &str) -> String {
     format!("ERR BUSY SERVER BUSY: {what}")
 }
 
+/// The deterministic per-connection rate-limit rejection.  One exact
+/// string, so throttled clients can match on it.
+pub(crate) const RATE_LIMITED: &str = "ERR BUSY RATE LIMITED";
+
+/// The refusal a replicated follower answers to a mutating verb.
+pub(crate) fn readonly(verb: &str) -> String {
+    format!("ERR READONLY {verb} is not served by a follower; write to the primary")
+}
+
 pub(crate) fn render_report(semantics: &Semantics, report: &CountReport) -> String {
     let provenance = format!(
         "strategy={:?} cached={} gen={}",

@@ -12,6 +12,7 @@ use cdr_core::{RepairEngine, ShardedEngine};
 
 use crate::backend::Backend;
 use crate::conn::handle_connection;
+use crate::replication::{ReplicatedBackend, TailOutcome};
 use crate::scheduler::Shared;
 use crate::{reply, ServerConfig};
 
@@ -72,6 +73,17 @@ impl Server {
         Server::start_backend(Backend::sharded(engine), config)
     }
 
+    /// Like [`Server::start`], but serves a replicated backend — a
+    /// primary over a `--log-dir`, or a bootstrapped follower.  A
+    /// follower additionally runs the tailer thread, which keeps pulling
+    /// records from the upstream until promotion or shutdown.
+    pub fn start_replicated(
+        backend: ReplicatedBackend,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        Server::start_backend(Backend::replicated(backend), config)
+    }
+
     fn start_backend(backend: Backend, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -79,7 +91,7 @@ impl Server {
         let shared = Arc::new(Shared::new(backend, config, addr));
         let queue = Arc::new(ConnQueue::default());
 
-        let workers = (0..worker_count)
+        let mut workers: Vec<JoinHandle<()>> = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let queue = Arc::clone(&queue);
@@ -89,6 +101,22 @@ impl Server {
                     .expect("spawning a worker thread")
             })
             .collect();
+
+        {
+            use crate::session::EngineHost;
+            let is_follower = shared
+                .backend()
+                .replication()
+                .is_some_and(|repl| repl.role() == crate::replication::Role::Follower);
+            if is_follower {
+                let shared = Arc::clone(&shared);
+                let tailer = std::thread::Builder::new()
+                    .name("cdr-server-tailer".to_string())
+                    .spawn(move || tailer_loop(&shared))
+                    .expect("spawning the tailer thread");
+                workers.push(tailer);
+            }
+        }
 
         let accept_thread = {
             let shared = Arc::clone(&shared);
@@ -140,6 +168,29 @@ impl Server {
             let _ = worker.join();
         }
         self.stats()
+    }
+}
+
+/// The follower's replication pump: pull records from the upstream until
+/// the server shuts down or this node is promoted.  A panic inside one
+/// iteration is counted and recovered like a connection handler panic —
+/// the pump never dies while the node is still a follower.
+fn tailer_loop(shared: &Shared) {
+    use crate::session::EngineHost;
+    while !shared.shutting_down() {
+        let Some(repl) = shared.backend().replication() else {
+            return;
+        };
+        match catch_unwind(AssertUnwindSafe(|| repl.tail_once())) {
+            Ok(TailOutcome::Progress) => continue,
+            Ok(TailOutcome::Idle) => std::thread::sleep(shared.config.poll_interval),
+            Ok(TailOutcome::Promoted) => return,
+            Err(_) => {
+                shared.recovered_panics.fetch_add(1, Ordering::Relaxed);
+                eprintln!("cdr-server: tailer recovered from a panic");
+                std::thread::sleep(shared.config.poll_interval);
+            }
+        }
     }
 }
 

@@ -88,6 +88,13 @@ impl Session {
         Session::default()
     }
 
+    /// Discards an open `BATCH … END`, if any — the rate limiter calls
+    /// this so a throttled connection never commits a half-collected
+    /// batch.
+    pub(crate) fn abort_batch(&mut self) {
+        self.batch = None;
+    }
+
     /// Whether admin verbs are gated off for this connection: a token is
     /// configured and this session has not presented it.
     fn admin_denied<H: EngineHost>(&self, host: &H) -> bool {
@@ -169,6 +176,13 @@ impl Session {
                 host.backend().chaos_panic()
             }
             "QUIT" => Step::Quit("OK BYE".to_string()),
+            "REPL" => Step::Replies(host.backend().repl(trimmed)),
+            "PROMOTE" => {
+                if self.admin_denied(host) {
+                    return Step::Replies(vec![denied("PROMOTE")]);
+                }
+                Step::Replies(vec![host.backend().promote()])
+            }
             "SHUTDOWN" => {
                 if self.admin_denied(host) {
                     return Step::Replies(vec![denied("SHUTDOWN")]);
@@ -210,7 +224,10 @@ fn execute_compact_verbose<H: EngineHost>(host: &H, rest: &[&str]) -> Step {
             ]);
         }
     };
-    let (outcome, total) = host.backend().compact();
+    let (outcome, total) = match host.backend().compact() {
+        Ok(compacted) => compacted,
+        Err(refused) => return Step::Replies(vec![refused]),
+    };
     let report = &outcome.report;
     let mut remaps: Vec<(usize, usize)> = Vec::new();
     for old in 0..report.fact_ids_before as usize {
@@ -265,10 +282,10 @@ fn execute_command<H: EngineHost>(host: &H, line: &str) -> String {
         Ok(EngineCommand::MutateBatch(mutations)) => {
             host.backend().mutate_batch(mutations, threshold)
         }
-        Ok(EngineCommand::Compact) => {
-            let (outcome, total) = host.backend().compact();
-            reply::render_compaction(&outcome, &total)
-        }
+        Ok(EngineCommand::Compact) => match host.backend().compact() {
+            Ok((outcome, total)) => reply::render_compaction(&outcome, &total),
+            Err(refused) => refused,
+        },
         Err(e) => reply::render_wire_error(&e),
     }
 }

@@ -401,6 +401,37 @@ pub fn churn_session(ops: usize, auto_compact: Option<u64>) -> (Database, KeySet
     (db, keys, trace)
 }
 
+/// The follower-read verification battery for the churn schema: a fixed
+/// list of read-only lines sent to both ends of a replication pair and
+/// compared byte-for-byte.
+///
+/// Two properties matter.  First, the lines are *textually disjoint*
+/// from every query [`churn_session`] emits (probe keys stay below 16;
+/// the battery stays at 100+), so neither node has a warmer plan cache
+/// for them than the other.  Second, each distinct line appears twice in
+/// a row, so on every node the first send is a plan-cache miss and the
+/// second a hit — making the `cached=` provenance in the replies part of
+/// what byte-equality verifies.  Seeded `APPROX` lines extend that to
+/// the sampling estimators.
+pub fn replication_battery() -> Vec<String> {
+    let queries = [
+        "COUNT auto TRUE".to_string(),
+        "COUNT auto EXISTS p . Event(100, p)".to_string(),
+        "COUNT auto EXISTS k . Event(k, 'base')".to_string(),
+        "CERTAIN EXISTS p . Event(101, p)".to_string(),
+        "DECIDE EXISTS p . Event(102, p)".to_string(),
+        "FREQ EXISTS k . Event(k, 'dup')".to_string(),
+        "APPROX 0.25 0.1 42 EXISTS p . Event(103, p)".to_string(),
+        "APPROX 0.5 0.2 7 EXISTS k . Event(k, 'base')".to_string(),
+    ];
+    let mut lines = Vec::with_capacity(queries.len() * 2);
+    for query in queries {
+        lines.push(query.clone());
+        lines.push(query);
+    }
+    lines
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,8 +18,11 @@
 //!   integration tests and benchmarks.
 //! * [`server`] — the serving front end: a line-protocol TCP server over
 //!   [`EngineCommand`](prelude::EngineCommand)s (read/write scheduler,
-//!   bounded worker pool, batch backpressure), its test client, and the
-//!   single-threaded [`Oracle`](prelude::Oracle) replay.
+//!   bounded worker pool, batch backpressure), its test client, the
+//!   single-threaded [`Oracle`](prelude::Oracle) replay, and the
+//!   replicated command log (snapshots, follower reads, failover
+//!   recovery) behind
+//!   [`ReplicatedBackend`](prelude::ReplicatedBackend).
 //!
 //! ## Quickstart
 //!
@@ -73,6 +76,7 @@ pub use cdr_workloads as workloads;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
+    pub use cdr_core::replog::{apply_record, LogOp, LogRecord, LogWriter, ReplogError};
     pub use cdr_core::wire::{
         parse_count_request, parse_engine_command, parse_mutation, WireError,
     };
@@ -85,8 +89,10 @@ pub mod prelude {
     pub use cdr_num::{BigNat, LogNum, Ratio};
     pub use cdr_query::{parse_query, Query, UcqQuery};
     pub use cdr_repairdb::{
-        BlockDelta, CompactionReport, Database, Fact, KeySet, Mutation, Schema, Symbol,
-        SymbolTable, Value,
+        BlockDelta, CompactionReport, Database, Fact, KeySet, Mutation, Schema, Snapshot,
+        SnapshotError, Symbol, SymbolTable, Value,
     };
-    pub use cdr_server::{client::Client, Backend, Oracle, Server, ServerConfig, ServerStats};
+    pub use cdr_server::{
+        client::Client, Backend, Oracle, ReplicatedBackend, Role, Server, ServerConfig, ServerStats,
+    };
 }

@@ -4,12 +4,16 @@
 //! the served engine must be bit-for-bit equal to a fresh engine built on
 //! the final fact set (the `engine_mutation_parity` harness's criterion,
 //! checked here through the wire).  Each generated case also picks the
-//! backend — the classic `RwLock<RepairEngine>` or the sharded
-//! scatter–gather router at 1–4 shards — since hostile input must not
-//! care what engine is behind the socket.
+//! backend — the classic `RwLock<RepairEngine>`, the sharded
+//! scatter–gather router at 1–4 shards, or a replicated primary logging
+//! to disk — since hostile input must not care what engine is behind the
+//! socket.  The replicated cases additionally boot a follower afterwards
+//! and demand catch-up plus gauge parity, and every case now mixes
+//! garbage `REPL` frames into the hostile stream.
 
 use std::collections::BTreeMap;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use repair_count::db::{count_repairs, BlockPartition};
@@ -29,16 +33,64 @@ fn start_server(engine: RepairEngine, chaos_free_config: impl FnOnce(&mut Server
     Server::start(engine, config).expect("binding an ephemeral loopback port")
 }
 
-/// `shards == 0` serves the classic `RwLock<RepairEngine>` backend;
-/// otherwise the sharded scatter–gather router.  The fuzz property runs
-/// against both — hostile bytes must not care which engine is behind the
-/// socket, and the parity criterion is backend-independent.
-fn start_fuzz_server(db: Database, keys: KeySet, shards: usize) -> Server {
-    if shards == 0 {
-        start_server(RepairEngine::new(db, keys), |_| {})
+static REPLOG_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, empty directory for one replicated-primary case's log.
+fn temp_log_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cdr-fuzz-replog-{}-{}",
+        std::process::id(),
+        REPLOG_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `mode == 0` serves the classic `RwLock<RepairEngine>` backend, modes
+/// 1–4 the sharded scatter–gather router at that shard count, and mode 5
+/// a replicated primary appending to an on-disk command log (the second
+/// return is the log directory to clean up).  The fuzz property runs
+/// against all of them — hostile bytes must not care which engine is
+/// behind the socket, and the parity criterion is backend-independent.
+fn start_fuzz_server(
+    db: Database,
+    keys: KeySet,
+    mode: usize,
+) -> (Server, Option<std::path::PathBuf>) {
+    if mode == 0 {
+        (start_server(RepairEngine::new(db, keys), |_| {}), None)
+    } else if mode == 5 {
+        let dir = temp_log_dir();
+        let backend = ReplicatedBackend::primary(RepairEngine::new(db, keys), &dir)
+            .expect("a fresh log directory always opens");
+        let server = Server::start_replicated(backend, fuzz_config())
+            .expect("binding an ephemeral loopback port");
+        (server, Some(dir))
     } else {
-        Server::start_sharded(ShardedEngine::new(db, keys, shards), fuzz_config())
-            .expect("binding an ephemeral loopback port")
+        let server = Server::start_sharded(ShardedEngine::new(db, keys, mode), fuzz_config())
+            .expect("binding an ephemeral loopback port");
+        (server, None)
+    }
+}
+
+/// Reads the rest of a multi-line `REPL` reply whose header announces
+/// `n=`/`chunks=` continuation lines, so the connection never desyncs.
+fn drain_repl_reply(client: &mut Client, header: &str) {
+    let continuation = header
+        .split_whitespace()
+        .find_map(|token| {
+            token
+                .strip_prefix("n=")
+                .or_else(|| token.strip_prefix("chunks="))
+        })
+        .and_then(|value| value.parse::<usize>().ok())
+        .unwrap_or(0);
+    for _ in 0..continuation {
+        let line = client.read_line().expect("announced REPL line");
+        assert!(
+            line.starts_with("REPL RECORD ") || line.starts_with("REPL CHUNK "),
+            "{line}"
+        );
     }
 }
 
@@ -108,7 +160,7 @@ proptest! {
     fn arbitrary_lines_never_panic_the_server(
         seed in 0u64..300,
         steps in 20usize..48,
-        shards in 0usize..5,
+        mode in 0usize..6,
     ) {
         let (db, keys) = base();
         // Track live facts by id: the base assigned 0..n in insertion order.
@@ -118,7 +170,7 @@ proptest! {
             .collect();
         let mut next_id = live.len();
 
-        let server = start_fuzz_server(db, keys, shards);
+        let (server, log_dir) = start_fuzz_server(db, keys, mode);
         let mut clients = [
             Client::connect(server.addr()).expect("connect"),
             Client::connect(server.addr()).expect("connect"),
@@ -127,7 +179,7 @@ proptest! {
         for step in 0..steps {
             let who = (next(&mut state) >> 7) as usize % 2;
             let client = &mut clients[who];
-            match next(&mut state) % 8 {
+            match next(&mut state) % 9 {
                 // Fresh insert (values disjoint from the base generator).
                 0 | 1 => {
                     let sensor = next(&mut state) % 4;
@@ -198,12 +250,38 @@ proptest! {
                     prop_assert!(reply.starts_with("ERR LINE "), "{}", reply);
                 }
                 // A partial write split across flushes, completed later.
-                _ => {
+                7 => {
                     client.send_raw(b"STA").expect("partial write");
                     std::thread::sleep(Duration::from_millis(2));
                     client.send_raw(b"TS\n").expect("completion");
                     let reply = client.read_line().expect("reassembled line");
                     prop_assert!(reply.starts_with("OK STATS "), "{}", reply);
+                }
+                // Garbage / partial REPL frames: corrupt hex records, bad
+                // cursors, truncated subcommands.  Non-replicated backends
+                // refuse the verb, a replicated primary answers in
+                // protocol — nobody panics, and multi-line replies are
+                // drained so the session never desyncs.
+                _ => {
+                    let garbage = [
+                        "REPL",
+                        "REPL FETCH",
+                        "REPL FETCH -1 nope",
+                        "REPL FETCH 18446744073709551615 2",
+                        "REPL RECORD deadbeef",
+                        "REPL CHUNK zz!!",
+                        "REPL NONSENSE 1 2 3",
+                        "REPL HELLO",
+                        "REPL FETCH 0 3",
+                    ];
+                    let line = garbage[next(&mut state) as usize % garbage.len()];
+                    let reply = client.send(line).expect("repl reply");
+                    prop_assert!(
+                        reply.starts_with("OK REPL ") || reply.starts_with("ERR REPL "),
+                        "{}",
+                        reply
+                    );
+                    drain_repl_reply(client, &reply);
                 }
             }
         }
@@ -216,10 +294,55 @@ proptest! {
         assert_served_parity(&mut clients[0], &live);
         assert_served_parity(&mut clients[1], &live);
 
+        // A replicated primary that survived the hostile stream must
+        // still be tailable: boot a follower, wait for catch-up, and
+        // demand gauge parity plus the read-only refusal.
+        if mode == 5 {
+            let upstream = server.addr().to_string();
+            let follower_backend = ReplicatedBackend::follower(&upstream, |engine| engine)
+                .expect("bootstrapping from a live primary");
+            let follower =
+                Server::start_replicated(follower_backend, fuzz_config()).expect("ephemeral port");
+            let mut primary_client = Client::connect(server.addr()).expect("connect");
+            let primary_stats = primary_client.send("STATS").expect("primary STATS");
+            let target = stat_field(&primary_stats, "end=").expect("repl gauge");
+            let mut follower_client = Client::connect(follower.addr()).expect("connect");
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let follower_stats = loop {
+                let reply = follower_client.send("STATS").expect("follower STATS");
+                if stat_field(&reply, "end=").is_some_and(|end| end >= target) {
+                    break reply;
+                }
+                prop_assert!(Instant::now() < deadline, "follower never caught up: {}", reply);
+                std::thread::sleep(Duration::from_millis(10));
+            };
+            prop_assert_eq!(
+                primary_stats.split(" | ").next(),
+                follower_stats.split(" | ").next(),
+                "gauge heads diverge"
+            );
+            let refused = follower_client
+                .send("INSERT Reading(0, 0, 424242)")
+                .expect("refusal reply");
+            prop_assert!(refused.starts_with("ERR READONLY "), "{}", refused);
+            follower.shutdown();
+            prop_assert_eq!(follower.join().recovered_panics, 0, "follower never panicked");
+        }
+
         server.shutdown();
         let stats = server.join();
         prop_assert_eq!(stats.recovered_panics, 0, "no worker ever panicked");
+        if let Some(dir) = log_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
+}
+
+/// `key=value` extraction from a `STATS` reply.
+fn stat_field(line: &str, key: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(key))
+        .and_then(|value| value.parse().ok())
 }
 
 /// Deterministic edge cases that deserve names of their own.
@@ -270,7 +393,7 @@ fn abrupt_disconnect_mid_batch_leaves_sharded_engine_untouched() {
     let total = RepairEngine::new(db.clone(), keys.clone())
         .total_repairs()
         .clone();
-    let server = start_fuzz_server(db, keys, 3);
+    let (server, _) = start_fuzz_server(db, keys, 3);
     let mut rude = Client::connect(server.addr()).expect("connect");
     rude.send_line("BATCH").expect("open a batch");
     rude.send_line("INSERT Reading(0, 0, 777)")
