@@ -1,0 +1,59 @@
+//! Criterion bench for connection scaling: the cost an active client
+//! pays for a `STATS` round-trip while the server multiplexes a crowd of
+//! mostly-idle connections.  Under the readiness-driven event loop the
+//! idle crowd costs file descriptors in one poll set — not threads — so
+//! the round-trip should barely move between the empty server and the
+//! 200-connection one.  The held connections are opened *outside* the
+//! timed loop; only the round-trip is measured.
+
+use cdr_core::RepairEngine;
+use cdr_server::{client::Client, Server, ServerConfig};
+use cdr_workloads::employee_example;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const IDLE_CROWD: usize = 200;
+
+fn boot() -> Server {
+    let (db, keys) = employee_example();
+    Server::start(RepairEngine::new(db, keys), ServerConfig::default()).expect("in-process server")
+}
+
+/// Opens `count` connections and proves each is served (one `STATS`
+/// round-trip apiece) before handing them back to idle.
+fn idle_crowd(server: &Server, count: usize) -> Vec<Client> {
+    (0..count)
+        .map(|_| {
+            let mut client = Client::connect(server.addr()).expect("idle connection");
+            let reply = client.send("STATS").expect("idle STATS");
+            assert!(reply.starts_with("OK STATS "), "unexpected reply {reply}");
+            client
+        })
+        .collect()
+}
+
+fn bench_stats_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conn/stats_rtt");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for &idle in &[0usize, IDLE_CROWD] {
+        let server = boot();
+        let held = idle_crowd(&server, idle);
+        let mut active = Client::connect(server.addr()).expect("active connection");
+        group.bench_with_input(BenchmarkId::new("idle", idle), &idle, |b, _| {
+            b.iter(|| {
+                let reply = active.send("STATS").expect("round trip");
+                criterion::black_box(reply);
+            });
+        });
+        drop(active);
+        drop(held);
+        server.shutdown();
+        server.join();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Criterion bench for the binary bulk-ingest path: wire bytes to
+//! `Vec<Mutation>` through one `BULK` frame versus through the textual
+//! line protocol.
+//!
+//! Both arms start from the bytes a client actually ships and end at the
+//! decoded mutations, so the comparison covers everything the frame
+//! skips: newline scanning, per-line `String` materialisation (the
+//! server's decoder hands each line to the session as an owned string),
+//! verb dispatch, value tokenising and quote handling, and per-occurrence
+//! symbol interning — against one CRC pass, one dictionary intern per
+//! distinct string, and fixed-width tuple reads.
+//!
+//! Two stream shapes:
+//! * `ingest` — the `wire_parse/parse_insert` stream (continuity with
+//!   that suite): a nearly-unique string per row, the worst case for the
+//!   dictionary, which then carries almost every payload exactly once.
+//! * `bulk_load` — a loader-shaped stream over a bounded vocabulary
+//!   (rack/status style labels), where the dictionary amortises across
+//!   the frame.  This is the headline bulk-ingest number.
+
+use cdr_core::wire::parse_mutation;
+use cdr_core::{decode_bulk, encode_bulk};
+use cdr_repairdb::{Database, Mutation, Schema};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn serving_database() -> Database {
+    let mut schema = Schema::new();
+    schema.add_relation("Reading", 3).expect("fresh schema");
+    schema.add_relation("Employee", 3).expect("fresh schema");
+    Database::new(schema)
+}
+
+/// The `wire_parse` insert stream: integer keys, short quoted payloads,
+/// `v{}` nearly unique per row.
+fn ingest_lines(count: usize) -> Vec<String> {
+    (0..count)
+        .map(|i| {
+            format!(
+                "INSERT Reading({}, 'sensor_{}', 'v{}')",
+                i % 97,
+                i % 13,
+                (i * 31) % 1000
+            )
+        })
+        .collect()
+}
+
+/// A loader-shaped stream: realistic label payloads drawn from a bounded
+/// vocabulary (16 racks × 23 statuses), repeated across the batch.
+fn bulk_load_lines(count: usize) -> Vec<String> {
+    (0..count)
+        .map(|i| {
+            format!(
+                "INSERT Reading({}, 'rack_{:02}_shelf_{:02}', 'status_nominal_{:02}')",
+                i,
+                i % 16,
+                (i / 16) % 4,
+                i % 23
+            )
+        })
+        .collect()
+}
+
+fn mutations(db: &Database, lines: &[String]) -> Vec<Mutation> {
+    lines
+        .iter()
+        .map(|line| parse_mutation(line, db).expect("valid line"))
+        .collect()
+}
+
+/// The textual ingest path as the server runs it: scan the byte stream
+/// for newlines, materialise each line as an owned `String` (what the
+/// connection decoder hands the session), and parse it.
+fn ingest_textual(bytes: &[u8], db: &Database) -> Vec<Mutation> {
+    bytes
+        .split(|&b| b == b'\n')
+        .filter(|line| !line.is_empty())
+        .map(|line| {
+            let text = String::from_utf8_lossy(line).into_owned();
+            parse_mutation(&text, db).expect("valid line")
+        })
+        .collect()
+}
+
+fn bench_stream(
+    c: &mut Criterion,
+    group_name: &str,
+    make: fn(usize) -> Vec<String>,
+    sizes: &[usize],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    let db = serving_database();
+    for &batch in sizes {
+        let lines = make(batch);
+        let text_bytes = lines.join("\n").into_bytes();
+        let ops = mutations(&db, &lines);
+        let frame = encode_bulk(&db, &ops);
+        // Both arms produce the same `Vec<Mutation>`, so its destruction
+        // cost is an identical additive constant; `iter_with_large_drop`
+        // keeps it out of the timed window on both sides and the numbers
+        // compare the ingest paths themselves.
+        group.bench_with_input(BenchmarkId::new("textual", batch), &batch, |b, _| {
+            b.iter_with_large_drop(|| criterion::black_box(ingest_textual(&text_bytes, &db)));
+        });
+        group.bench_with_input(BenchmarkId::new("decode_bulk", batch), &batch, |b, _| {
+            b.iter_with_large_drop(|| {
+                criterion::black_box(decode_bulk(&frame, &db).expect("valid frame"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    bench_stream(c, "frame/ingest", ingest_lines, &[64, 512]);
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    // 4096 ops ≈ one loader chunk (~94 KiB frame, far under the 8 MiB
+    // cap); the dictionary cost then vanishes into the op stream.
+    bench_stream(c, "frame/bulk_load", bulk_load_lines, &[512, 4096]);
+}
+
+/// Frame construction: what a bulk-loading client (or `cdr-replay
+/// --bulk`) pays to build each frame before shipping it.
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame/encode");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    let db = serving_database();
+    for &batch in &[64usize, 512] {
+        let ops = mutations(&db, &ingest_lines(batch));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| criterion::black_box(encode_bulk(&db, &ops)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_bulk_load, bench_encode);
+criterion_main!(benches);

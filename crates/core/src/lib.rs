@@ -70,4 +70,5 @@ pub use exact::{
 pub use frequency::{relative_frequency, relative_frequency_with};
 pub use replog::{LogOp, LogRecord, LogWriter, ReplogError};
 pub use sharded::{ShardGauges, ShardedApplied, ShardedEngine};
+pub use wire::frame::{decode_bulk, encode_bulk, FrameError, BULK_VERSION};
 pub use wire::{parse_count_request, parse_engine_command, parse_mutation, WireError};

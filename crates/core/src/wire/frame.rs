@@ -1,0 +1,503 @@
+//! The binary bulk-ingest frame: `BULK` escapes the line protocol.
+//!
+//! Textual `INSERT` parsing dominates ingest-heavy sessions (the
+//! `wire_parse` bench shows value parsing and fact construction costing
+//! far more than the engine's own apply step for small facts).  The
+//! `BULK` verb escapes the line protocol into one length-prefixed binary
+//! frame carrying a whole run of mutations:
+//!
+//! ```text
+//! client: BULK <len>\n              — header line; <len> = frame bytes
+//! client: <len raw bytes>           — the frame: [crc32 ‖ payload]
+//! server: <one reply line per op>   — byte-identical to the textual path
+//! ```
+//!
+//! The frame reuses the CRC-32 integrity check and the byte-reader of
+//! the snapshot/replog codecs ([`cdr_repairdb::snapshot`]); its own
+//! integers are LEB128 varints (signed ones zigzagged), which keeps the
+//! common small relation/symbol indexes and keys to one or two bytes —
+//! the frame is both smaller on the wire and cheaper to checksum.  The
+//! payload is:
+//!
+//! ```text
+//! version   u8                            — BULK_VERSION (1)
+//! dict_len  varint                        — symbol dictionary entries
+//! dict      dict_len × (varint ‖ utf-8)   — length-prefixed strings
+//! op_count  varint
+//! ops       op_count × op
+//!
+//! op := 0x00 ‖ relation varint ‖ arity × value   — INSERT
+//!     | 0x01 ‖ fact-id varint                    — DELETE
+//! value := 0x00 ‖ zigzag-varint                  — integer constant
+//!        | 0x01 ‖ symbol-index varint            — dictionary reference
+//! ```
+//!
+//! Every distinct string constant is shipped **once**, in the
+//! dictionary; facts reference it by index.  The decoder interns
+//! each dictionary entry exactly once (the PR 4 intern table makes the
+//! per-fact cost an integer copy), so decoding a frame is within a small
+//! constant of `memcpy` — the `wire_frame` bench tracks the ratio over
+//! the equivalent textual parse.
+//!
+//! Decoding is strict: a checksum mismatch, a truncated structure, an
+//! unknown tag, an out-of-range relation/symbol index or trailing bytes
+//! all reject the *whole* frame — the serving layer executes none of its
+//! ops and answers a single deterministic `ERR FRAME` line.  Counts are
+//! never trusted before the bytes backing them exist: allocation is
+//! bounded by the frame's actual length, so a hostile `op_count` cannot
+//! reserve memory it never sent.
+
+use cdr_repairdb::snapshot::{crc32, write_u32, ByteReader, SnapshotError};
+use cdr_repairdb::{Database, Fact, FactId, Mutation, Symbol, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Appends an LEB128 varint.
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a zigzag-encoded signed varint.
+fn write_varint_i64(out: &mut Vec<u8>, v: i64) {
+    write_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Reads an LEB128 varint.  The one-byte case — almost every varint in
+/// a real frame — returns without entering the continuation loop.
+#[inline]
+fn read_varint(reader: &mut ByteReader<'_>) -> Result<u64, FrameError> {
+    let byte = reader.u8()?;
+    if byte & 0x80 == 0 {
+        return Ok(u64::from(byte));
+    }
+    read_varint_slow(reader, u64::from(byte & 0x7F))
+}
+
+/// Continuation bytes of a multi-byte varint.
+fn read_varint_slow(reader: &mut ByteReader<'_>, mut acc: u64) -> Result<u64, FrameError> {
+    let mut shift = 7u32;
+    loop {
+        let byte = reader.u8()?;
+        if shift == 63 && byte > 1 {
+            return Err(FrameError::Corrupt("varint overflows 64 bits".to_string()));
+        }
+        acc |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(acc);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(FrameError::Corrupt("varint overflows 64 bits".to_string()));
+        }
+    }
+}
+
+/// Reads a zigzag-encoded signed varint.
+#[inline]
+fn read_varint_i64(reader: &mut ByteReader<'_>) -> Result<i64, FrameError> {
+    let raw = read_varint(reader)?;
+    Ok((raw >> 1) as i64 ^ -((raw & 1) as i64))
+}
+
+/// Reads a varint-length-prefixed UTF-8 string.
+fn read_str<'a>(reader: &mut ByteReader<'a>) -> Result<&'a str, FrameError> {
+    let len = read_varint(reader)? as usize;
+    let bytes = reader.bytes(len)?;
+    std::str::from_utf8(bytes)
+        .map_err(|_| FrameError::Corrupt("dictionary entry is not UTF-8".to_string()))
+}
+
+/// Codec version byte every frame opens with.
+pub const BULK_VERSION: u8 = 1;
+
+/// Why a bulk frame was rejected.  The serving layer renders this as one
+/// `ERR FRAME <reason>` reply and executes none of the frame's ops.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame ended before the structure it promised.
+    Truncated,
+    /// The payload does not match its CRC-32 checksum.
+    Checksum {
+        /// The checksum the frame header carried.
+        expected: u32,
+        /// The checksum of the payload as received.
+        actual: u32,
+    },
+    /// The frame is structurally invalid (bad version, unknown tag,
+    /// out-of-range index, malformed UTF-8, trailing bytes, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame bytes are truncated"),
+            FrameError::Checksum { expected, actual } => write!(
+                f,
+                "checksum mismatch (frame says {expected:#010x}, payload hashes to {actual:#010x})"
+            ),
+            FrameError::Corrupt(why) => write!(f, "frame is corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<SnapshotError> for FrameError {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Truncated => FrameError::Truncated,
+            SnapshotError::Corrupt(why) => FrameError::Corrupt(why),
+        }
+    }
+}
+
+const OP_INSERT: u8 = 0;
+const OP_DELETE: u8 = 1;
+const VALUE_INT: u8 = 0;
+const VALUE_SYMBOL: u8 = 1;
+
+/// Encodes a run of mutations as one bulk frame (`[crc32 ‖ payload]`,
+/// ready to follow a `BULK <len>` header line).
+///
+/// Inserted facts must already be valid against `db`'s schema — the
+/// encoder ships the relation *index*, so an unknown relation cannot be
+/// represented at all.  String constants are deduplicated into the
+/// per-frame dictionary in first-use order, making the encoding
+/// deterministic for a given mutation sequence.
+pub fn encode_bulk(db: &Database, mutations: &[Mutation]) -> Vec<u8> {
+    let mut dictionary: Vec<&Symbol> = Vec::new();
+    let mut index_of: HashMap<&Symbol, u32> = HashMap::new();
+    for mutation in mutations {
+        if let Mutation::Insert(fact) = mutation {
+            for arg in fact.args() {
+                if let Value::Text(symbol) = arg {
+                    index_of.entry(symbol).or_insert_with(|| {
+                        dictionary.push(symbol);
+                        (dictionary.len() - 1) as u32
+                    });
+                }
+            }
+        }
+    }
+    let _ = db; // The schema constrains what `mutations` may contain.
+    let mut payload = Vec::with_capacity(16 + mutations.len() * 16);
+    payload.push(BULK_VERSION);
+    write_varint(&mut payload, dictionary.len() as u64);
+    for symbol in &dictionary {
+        write_varint(&mut payload, symbol.as_str().len() as u64);
+        payload.extend_from_slice(symbol.as_str().as_bytes());
+    }
+    write_varint(&mut payload, mutations.len() as u64);
+    for mutation in mutations {
+        match mutation {
+            Mutation::Insert(fact) => {
+                payload.push(OP_INSERT);
+                write_varint(&mut payload, fact.relation().index() as u64);
+                for arg in fact.args() {
+                    match arg {
+                        Value::Int(v) => {
+                            payload.push(VALUE_INT);
+                            write_varint_i64(&mut payload, *v);
+                        }
+                        Value::Text(symbol) => {
+                            payload.push(VALUE_SYMBOL);
+                            write_varint(&mut payload, u64::from(index_of[symbol]));
+                        }
+                    }
+                }
+            }
+            Mutation::Delete(id) => {
+                payload.push(OP_DELETE);
+                write_varint(&mut payload, id.index() as u64);
+            }
+        }
+    }
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    write_u32(&mut frame, crc32(&payload));
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decodes one bulk frame (`[crc32 ‖ payload]`) against the served
+/// schema, returning the mutations in wire order.
+///
+/// All-or-nothing: any defect rejects the whole frame.  Capacity
+/// reservations are bounded by the bytes actually present, so a frame
+/// announcing a billion ops over ten bytes fails with
+/// [`FrameError::Truncated`] without allocating for the lie.
+pub fn decode_bulk(frame: &[u8], db: &Database) -> Result<Vec<Mutation>, FrameError> {
+    if frame.len() < 4 {
+        return Err(FrameError::Truncated);
+    }
+    let expected = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
+    let payload = &frame[4..];
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(FrameError::Checksum { expected, actual });
+    }
+    let mut reader = ByteReader::new(payload);
+    let version = reader.u8()?;
+    if version != BULK_VERSION {
+        return Err(FrameError::Corrupt(format!(
+            "unknown frame version {version} (this build speaks {BULK_VERSION})"
+        )));
+    }
+    let dict_len = read_varint(&mut reader)? as usize;
+    // Each dictionary entry costs at least its length byte.
+    let mut dictionary: Vec<Symbol> = Vec::with_capacity(dict_len.min(reader.remaining() + 1));
+    for _ in 0..dict_len {
+        dictionary.push(Symbol::intern(read_str(&mut reader)?));
+    }
+    let schema = db.schema();
+    let relations: Vec<_> = schema.iter().collect();
+    let op_count = read_varint(&mut reader)? as usize;
+    // Each op costs at least its tag byte.
+    let mut mutations: Vec<Mutation> = Vec::with_capacity(op_count.min(reader.remaining() + 1));
+    for _ in 0..op_count {
+        match reader.u8()? {
+            OP_INSERT => {
+                let rel_index = read_varint(&mut reader)? as usize;
+                let Some(&(relation, info)) = relations.get(rel_index) else {
+                    return Err(FrameError::Corrupt(format!(
+                        "relation index {rel_index} out of range (schema has {} relations)",
+                        relations.len()
+                    )));
+                };
+                let fact = Fact::try_build(relation, info.arity(), |_| {
+                    Ok::<Value, FrameError>(match reader.u8()? {
+                        VALUE_INT => Value::Int(read_varint_i64(&mut reader)?),
+                        VALUE_SYMBOL => {
+                            let index = read_varint(&mut reader)? as usize;
+                            let Some(symbol) = dictionary.get(index) else {
+                                return Err(FrameError::Corrupt(format!(
+                                    "symbol index {index} out of range \
+                                     (dictionary has {dict_len} entries)"
+                                )));
+                            };
+                            Value::Text(symbol.clone())
+                        }
+                        tag => {
+                            return Err(FrameError::Corrupt(format!("unknown value tag {tag}")));
+                        }
+                    })
+                })?;
+                mutations.push(Mutation::Insert(fact));
+            }
+            OP_DELETE => {
+                let id = read_varint(&mut reader)? as usize;
+                mutations.push(Mutation::Delete(FactId::new(id)));
+            }
+            tag => return Err(FrameError::Corrupt(format!("unknown op tag {tag}"))),
+        }
+    }
+    if !reader.is_empty() {
+        return Err(FrameError::Corrupt(format!(
+            "{} trailing bytes after the last op",
+            reader.remaining()
+        )));
+    }
+    Ok(mutations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::parse_mutation;
+    use cdr_repairdb::Schema;
+
+    fn db() -> Database {
+        let mut schema = Schema::new();
+        schema.add_relation("Reading", 3).unwrap();
+        schema.add_relation("Employee", 3).unwrap();
+        Database::new(schema)
+    }
+
+    fn mutations(db: &Database, lines: &[&str]) -> Vec<Mutation> {
+        lines
+            .iter()
+            .map(|line| parse_mutation(line, db).expect("valid line"))
+            .collect()
+    }
+
+    #[test]
+    fn frames_round_trip_and_dedup_the_dictionary() {
+        let db = db();
+        let ops = mutations(
+            &db,
+            &[
+                "INSERT Reading(1, 'sensor_a', 'v1')",
+                "INSERT Reading(2, 'sensor_a', 'v2')",
+                "DELETE 7",
+                "INSERT Employee(3, 'sensor_a', 'v1')",
+            ],
+        );
+        let frame = encode_bulk(&db, &ops);
+        let decoded = decode_bulk(&frame, &db).expect("round trip");
+        assert_eq!(decoded, ops);
+        // 'sensor_a', 'v1', 'v2' — each shipped exactly once.  The
+        // dict_len varint follows the crc (4 bytes) and version (1).
+        let mut reader = ByteReader::new(&frame[5..]);
+        assert_eq!(read_varint(&mut reader).unwrap(), 3);
+    }
+
+    #[test]
+    fn an_empty_frame_is_valid_and_carries_no_ops() {
+        let db = db();
+        let frame = encode_bulk(&db, &[]);
+        assert_eq!(decode_bulk(&frame, &db).expect("empty frame"), vec![]);
+    }
+
+    #[test]
+    fn a_flipped_byte_fails_the_checksum() {
+        let db = db();
+        let mut frame = encode_bulk(&db, &mutations(&db, &["INSERT Reading(1, 'a', 'b')"]));
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40;
+        assert!(matches!(
+            decode_bulk(&frame, &db),
+            Err(FrameError::Checksum { .. })
+        ));
+        // A flipped checksum byte fails the same way.
+        let mut frame = encode_bulk(&db, &mutations(&db, &["INSERT Reading(1, 'a', 'b')"]));
+        frame[0] ^= 0x01;
+        assert!(matches!(
+            decode_bulk(&frame, &db),
+            Err(FrameError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_never_allocate_for_promised_counts() {
+        let db = db();
+        // A payload promising 2^31 ops over no bytes at all.
+        let mut payload = vec![BULK_VERSION];
+        write_varint(&mut payload, 0); // empty dictionary
+        write_varint(&mut payload, 0x8000_0000); // op_count lie
+        let mut frame = Vec::new();
+        write_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        assert_eq!(decode_bulk(&frame, &db), Err(FrameError::Truncated));
+        // Same for a dictionary-count lie.
+        let mut payload = vec![BULK_VERSION];
+        write_varint(&mut payload, 0x8000_0000);
+        let mut frame = Vec::new();
+        write_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        assert_eq!(decode_bulk(&frame, &db), Err(FrameError::Truncated));
+        // And a frame shorter than its own checksum.
+        assert_eq!(decode_bulk(&[1, 2], &db), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn out_of_range_indexes_are_rejected() {
+        let db = db();
+        // Symbol index 9 against a 1-entry dictionary.
+        let mut payload = vec![BULK_VERSION];
+        write_varint(&mut payload, 1);
+        write_varint(&mut payload, "only".len() as u64);
+        payload.extend_from_slice(b"only");
+        write_varint(&mut payload, 1);
+        payload.push(OP_INSERT);
+        write_varint(&mut payload, 0); // Reading/3
+        payload.push(VALUE_SYMBOL);
+        write_varint(&mut payload, 9);
+        payload.push(VALUE_INT);
+        write_varint_i64(&mut payload, 0);
+        payload.push(VALUE_INT);
+        write_varint_i64(&mut payload, 0);
+        let mut frame = Vec::new();
+        write_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        match decode_bulk(&frame, &db) {
+            Err(FrameError::Corrupt(why)) => assert!(why.contains("symbol index 9"), "{why}"),
+            other => panic!("expected a corrupt-frame error, got {other:?}"),
+        }
+        // Relation index out of schema range.
+        let mut payload = vec![BULK_VERSION];
+        write_varint(&mut payload, 0);
+        write_varint(&mut payload, 1);
+        payload.push(OP_INSERT);
+        write_varint(&mut payload, 55);
+        let mut frame = Vec::new();
+        write_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        match decode_bulk(&frame, &db) {
+            Err(FrameError::Corrupt(why)) => assert!(why.contains("relation index 55"), "{why}"),
+            other => panic!("expected a corrupt-frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tags_versions_and_trailing_bytes_are_rejected() {
+        let db = db();
+        let reject = |payload: Vec<u8>| {
+            let mut frame = Vec::new();
+            write_u32(&mut frame, crc32(&payload));
+            frame.extend_from_slice(&payload);
+            decode_bulk(&frame, &db)
+        };
+        assert!(matches!(reject(vec![99]), Err(FrameError::Corrupt(_))));
+        let mut payload = vec![BULK_VERSION];
+        write_varint(&mut payload, 0);
+        write_varint(&mut payload, 1);
+        payload.push(7); // unknown op tag
+        assert!(matches!(reject(payload), Err(FrameError::Corrupt(_))));
+        let ops = mutations(&db, &["DELETE 3"]);
+        let mut frame = encode_bulk(&db, &ops);
+        let mut payload = frame.split_off(4);
+        payload.push(0xAB); // trailing garbage, re-checksummed
+        let mut frame = Vec::new();
+        write_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        match decode_bulk(&frame, &db) {
+            Err(FrameError::Corrupt(why)) => assert!(why.contains("trailing"), "{why}"),
+            other => panic!("expected a trailing-bytes error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn varints_round_trip_extreme_values() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut reader = ByteReader::new(&buf);
+            assert_eq!(read_varint(&mut reader).unwrap(), v);
+            assert!(reader.is_empty());
+        }
+        for v in [0i64, -1, 1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_varint_i64(&mut buf, v);
+            let mut reader = ByteReader::new(&buf);
+            assert_eq!(read_varint_i64(&mut reader).unwrap(), v);
+            assert!(reader.is_empty());
+        }
+        // An unterminated continuation run overflows 64 bits.
+        let mut reader = ByteReader::new(&[0xFF; 11]);
+        assert!(matches!(
+            read_varint(&mut reader),
+            Err(FrameError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn error_displays_name_the_defect() {
+        assert!(FrameError::Truncated.to_string().contains("truncated"));
+        let e = FrameError::Checksum {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("checksum mismatch"), "{e}");
+        assert!(FrameError::Corrupt("why".into())
+            .to_string()
+            .contains("why"));
+    }
+}

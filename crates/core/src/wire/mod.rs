@@ -44,6 +44,9 @@
 //! }
 //! ```
 
+/// The binary bulk-ingest frame (`BULK` escape from the line protocol).
+pub mod frame;
+
 use std::fmt;
 use std::str::FromStr;
 

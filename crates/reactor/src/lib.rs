@@ -1,0 +1,359 @@
+//! A minimal `poll(2)` readiness reactor for the serving layer.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the few dozen lines of event-loop substrate `cdr-server` needs
+//! instead of depending on `mio`/`polling`: a safe wrapper over the
+//! `poll(2)` system call plus a cross-thread [`Waker`].  It exists as
+//! its own crate because the syscall needs one small `unsafe` FFI block
+//! and `cdr-server` forbids unsafe code crate-wide — the boundary keeps
+//! that guarantee intact.
+//!
+//! The model is deliberately the simplest correct one:
+//!
+//! - **Level-triggered.**  A fd polls ready for as long as the condition
+//!   holds; missing an event costs one loop iteration, never a stall.
+//! - **Stateless registration.**  The caller rebuilds the
+//!   [`PollEntry`] slice every iteration from its own connection table;
+//!   there is no kernel-side registration to keep in sync.  `poll(2)` is
+//!   O(fds) per call, which is fine for the few thousand connections a
+//!   single serving process handles (epoll would buy nothing below
+//!   ~10^4 mostly-idle fds and costs registration bookkeeping).
+//! - **One waker.**  Worker threads finish commands and must nudge the
+//!   reactor to flush replies; [`Waker`] is a nonblocking loopback
+//!   socket pair whose read end joins the poll set.
+//!
+//! ```
+//! use cdr_reactor::{poll, Interest, PollEntry, Waker};
+//! use std::time::Duration;
+//!
+//! let waker = Waker::new().unwrap();
+//! waker.wake();
+//! let mut entries = [PollEntry::new(waker.raw_fd(), Interest::READ)];
+//! let ready = poll(&mut entries, Some(Duration::from_secs(1))).unwrap();
+//! assert_eq!(ready, 1);
+//! assert!(entries[0].ready.readable);
+//! waker.drain();
+//! ```
+
+#![deny(missing_docs)]
+#![cfg(unix)]
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+mod sys {
+    //! The one unsafe block in the workspace's serving stack: the
+    //! `poll(2)` FFI declaration and its wrapper.
+
+    use std::io;
+    use std::os::raw::{c_int, c_short};
+
+    #[cfg(target_os = "macos")]
+    type NfdsT = std::os::raw::c_uint;
+    #[cfg(not(target_os = "macos"))]
+    type NfdsT = std::os::raw::c_ulong;
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    /// `struct pollfd` as `poll(2)` expects it.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+    }
+
+    /// Calls `poll(2)` over `fds`, returning the number of entries with
+    /// non-zero `revents`.  `timeout_ms < 0` blocks indefinitely.
+    pub fn poll_raw(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd structs for the duration of the call, and
+        // `len()` is its true length.  The kernel only writes `revents`.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+}
+
+/// Which readiness conditions a [`PollEntry`] asks about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd has bytes to read (or the peer hung up).
+    pub read: bool,
+    /// Wake when the fd can accept writes without blocking.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Write readiness only.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Both directions.
+    pub const READ_WRITE: Interest = Interest {
+        read: true,
+        write: true,
+    };
+}
+
+/// Which conditions `poll(2)` reported for a [`PollEntry`].
+///
+/// `hangup`/`error`/`invalid` are reported regardless of the requested
+/// [`Interest`] (the kernel always surfaces them); a caller should treat
+/// any of the three as "close this connection after a final read".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Readiness {
+    /// A read will not block (data, pending accept, or EOF).
+    pub readable: bool,
+    /// A write will not block.
+    pub writable: bool,
+    /// The peer closed its end.
+    pub hangup: bool,
+    /// The fd is in an error state.
+    pub error: bool,
+    /// The fd was not open — the caller's table is stale.
+    pub invalid: bool,
+}
+
+impl Readiness {
+    /// True if any condition at all was reported.
+    pub fn any(&self) -> bool {
+        self.readable || self.writable || self.hangup || self.error || self.invalid
+    }
+
+    /// True if the connection is past saving (error/hangup/invalid).
+    pub fn is_dead(&self) -> bool {
+        self.hangup || self.error || self.invalid
+    }
+}
+
+/// One fd's slot in a [`poll`] call: what to watch, and (after the call
+/// returns) what was observed.
+#[derive(Clone, Copy, Debug)]
+pub struct PollEntry {
+    /// The file descriptor to watch.
+    pub fd: RawFd,
+    /// The conditions to watch for.
+    pub interest: Interest,
+    /// What the last [`poll`] call observed; zeroed on entry.
+    pub ready: Readiness,
+}
+
+impl PollEntry {
+    /// A fresh entry with no readiness recorded yet.
+    pub fn new(fd: RawFd, interest: Interest) -> Self {
+        PollEntry {
+            fd,
+            interest,
+            ready: Readiness::default(),
+        }
+    }
+}
+
+/// Waits until at least one entry is ready or the timeout elapses,
+/// filling in each entry's [`Readiness`].  Returns how many entries have
+/// at least one condition set; `0` means the timeout elapsed.
+///
+/// `None` blocks until an event arrives.  A timeout longer than
+/// `i32::MAX` milliseconds is clamped.  `EINTR` is retried internally,
+/// reusing the same timeout (acceptable drift: the serving loop passes
+/// short poll intervals and re-checks its shutdown flag every pass).
+pub fn poll(entries: &mut [PollEntry], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: i32 = match timeout {
+        None => -1,
+        Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+    };
+    let mut fds: Vec<sys::PollFd> = entries
+        .iter()
+        .map(|e| {
+            let mut events = 0;
+            if e.interest.read {
+                events |= sys::POLLIN;
+            }
+            if e.interest.write {
+                events |= sys::POLLOUT;
+            }
+            sys::PollFd {
+                fd: e.fd,
+                events,
+                revents: 0,
+            }
+        })
+        .collect();
+    let ready = loop {
+        match sys::poll_raw(&mut fds, timeout_ms) {
+            Ok(n) => break n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    };
+    for (entry, fd) in entries.iter_mut().zip(&fds) {
+        entry.ready = Readiness {
+            readable: fd.revents & sys::POLLIN != 0,
+            writable: fd.revents & sys::POLLOUT != 0,
+            hangup: fd.revents & sys::POLLHUP != 0,
+            error: fd.revents & sys::POLLERR != 0,
+            invalid: fd.revents & sys::POLLNVAL != 0,
+        };
+    }
+    Ok(ready)
+}
+
+/// A cross-thread nudge for a [`poll`] loop.
+///
+/// Built from a nonblocking loopback TCP pair (no further FFI needed):
+/// the read end joins the poll set; any thread holding a reference calls
+/// [`Waker::wake`] to make the next (or current) `poll` return
+/// immediately.  Wakes coalesce — a thousand `wake()` calls cost at most
+/// the socket buffer in bytes and one readable event.
+pub struct Waker {
+    reader: TcpStream,
+    writer: TcpStream,
+}
+
+impl Waker {
+    /// Creates the loopback pair.  Fails only if the host cannot bind a
+    /// loopback socket at all.
+    pub fn new() -> io::Result<Waker> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let writer = TcpStream::connect(listener.local_addr()?)?;
+        let (reader, _) = listener.accept()?;
+        reader.set_nonblocking(true)?;
+        writer.set_nonblocking(true)?;
+        writer.set_nodelay(true)?;
+        Ok(Waker { reader, writer })
+    }
+
+    /// The fd to register with [`Interest::READ`] in the poll set.
+    pub fn raw_fd(&self) -> RawFd {
+        self.reader.as_raw_fd()
+    }
+
+    /// Makes the poll loop's next wait return immediately.  Infallible
+    /// by design: a full socket buffer means a wake is already pending.
+    pub fn wake(&self) {
+        match (&self.writer).write(&[1]) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(_) => {}
+        }
+    }
+
+    /// Consumes pending wake bytes so the fd stops polling readable.
+    /// Call once per loop iteration when the waker fd reports readable.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match (&self.reader).read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn an_unwoken_waker_times_out() {
+        let waker = Waker::new().unwrap();
+        let mut entries = [PollEntry::new(waker.raw_fd(), Interest::READ)];
+        let start = Instant::now();
+        let ready = poll(&mut entries, Some(Duration::from_millis(30))).unwrap();
+        assert_eq!(ready, 0);
+        assert!(!entries[0].ready.any());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn a_wake_makes_the_poll_return_and_drain_clears_it() {
+        let waker = Waker::new().unwrap();
+        waker.wake();
+        waker.wake(); // coalesces
+        let mut entries = [PollEntry::new(waker.raw_fd(), Interest::READ)];
+        let ready = poll(&mut entries, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(ready, 1);
+        assert!(entries[0].ready.readable);
+        waker.drain();
+        let mut entries = [PollEntry::new(waker.raw_fd(), Interest::READ)];
+        let ready = poll(&mut entries, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(ready, 0, "drained waker polls idle again");
+    }
+
+    #[test]
+    fn a_wake_from_another_thread_interrupts_a_blocked_poll() {
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        let nudger = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            nudger.wake();
+        });
+        let mut entries = [PollEntry::new(waker.raw_fd(), Interest::READ)];
+        let ready = poll(&mut entries, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(ready, 1);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn write_readiness_and_peer_hangup_are_observed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (served, _) = listener.accept().unwrap();
+        served.set_nonblocking(true).unwrap();
+
+        // A fresh connected socket is writable.
+        let mut entries = [PollEntry::new(served.as_raw_fd(), Interest::READ_WRITE)];
+        let ready = poll(&mut entries, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(ready, 1);
+        assert!(entries[0].ready.writable);
+        assert!(!entries[0].ready.readable);
+
+        // After the peer disconnects, read interest reports readiness
+        // (EOF) and usually POLLHUP; either way `is_dead() || readable`.
+        drop(client);
+        let mut entries = [PollEntry::new(served.as_raw_fd(), Interest::READ)];
+        let ready = poll(&mut entries, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(ready, 1);
+        assert!(entries[0].ready.readable || entries[0].ready.is_dead());
+    }
+
+    #[test]
+    fn a_listener_polls_readable_when_a_connection_is_pending() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut entries = [PollEntry::new(listener.as_raw_fd(), Interest::READ)];
+        let ready = poll(&mut entries, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(ready, 0, "no pending accept yet");
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut entries = [PollEntry::new(listener.as_raw_fd(), Interest::READ)];
+        let ready = poll(&mut entries, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(ready, 1);
+        assert!(entries[0].ready.readable);
+        assert!(listener.accept().is_ok());
+    }
+}

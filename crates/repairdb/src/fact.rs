@@ -4,14 +4,61 @@ use std::fmt;
 
 use crate::{RelationId, Schema, Value};
 
+/// Facts up to this arity keep their constants inline, with no heap
+/// allocation at all.  Three covers every relation in the paper's
+/// examples and the serving workloads; wider facts spill to a boxed
+/// slice and merely lose the optimisation.
+const INLINE_ARITY: usize = 3;
+
+/// Filler for unused inline slots.  Never observable: every accessor
+/// goes through [`Args::as_slice`], which stops at the stored length.
+const FILLER: Value = Value::Int(0);
+
+/// Argument storage: inline for small arities, boxed beyond.
+///
+/// The inline form is what makes bulk ingest cheap — constructing a
+/// typical fact is a few moves into the struct instead of a `malloc` —
+/// and it also removes a pointer chase from every scan that reads fact
+/// arguments.  Total memory is no worse than the boxed form for the
+/// arities it covers once allocator overhead is counted.
+#[derive(Clone)]
+enum Args {
+    Inline { len: u8, buf: [Value; INLINE_ARITY] },
+    Spilled(Box<[Value]>),
+}
+
+impl Args {
+    fn as_slice(&self) -> &[Value] {
+        match self {
+            Args::Inline { len, buf } => &buf[..*len as usize],
+            Args::Spilled(values) => values,
+        }
+    }
+
+    fn from_vec(mut values: Vec<Value>) -> Args {
+        if values.len() <= INLINE_ARITY {
+            let len = values.len() as u8;
+            let mut taken = values.drain(..);
+            let buf = [
+                taken.next().unwrap_or(FILLER),
+                taken.next().unwrap_or(FILLER),
+                taken.next().unwrap_or(FILLER),
+            ];
+            Args::Inline { len, buf }
+        } else {
+            Args::Spilled(values.into_boxed_slice())
+        }
+    }
+}
+
 /// A fact `R(c₁, …, cₙ)`: a relation symbol applied to constants.
 ///
 /// Facts are value types; equality and hashing are structural, which is what
 /// the set semantics of databases requires.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct Fact {
     relation: RelationId,
-    args: Box<[Value]>,
+    args: Args,
 }
 
 impl Fact {
@@ -20,8 +67,35 @@ impl Fact {
     pub fn new(relation: RelationId, args: impl Into<Vec<Value>>) -> Self {
         Fact {
             relation,
-            args: args.into().into_boxed_slice(),
+            args: Args::from_vec(args.into()),
         }
+    }
+
+    /// Creates a fact of known arity from a fallible per-position value
+    /// source, without an intermediate allocation for small arities —
+    /// the bulk-frame decoder's constructor.  The first error aborts
+    /// construction and is returned as-is.
+    pub fn try_build<E>(
+        relation: RelationId,
+        arity: usize,
+        mut value: impl FnMut(usize) -> Result<Value, E>,
+    ) -> Result<Fact, E> {
+        let args = if arity <= INLINE_ARITY {
+            let mut len = 0u8;
+            let mut buf = [FILLER, FILLER, FILLER];
+            while (len as usize) < arity {
+                buf[len as usize] = value(len as usize)?;
+                len += 1;
+            }
+            Args::Inline { len, buf }
+        } else {
+            let mut values = Vec::with_capacity(arity);
+            for i in 0..arity {
+                values.push(value(i)?);
+            }
+            Args::Spilled(values.into_boxed_slice())
+        };
+        Ok(Fact { relation, args })
     }
 
     /// The relation symbol of the fact.
@@ -31,12 +105,12 @@ impl Fact {
 
     /// The constants of the fact, in positional order.
     pub fn args(&self) -> &[Value] {
-        &self.args
+        self.args.as_slice()
     }
 
     /// The arity of the fact.
     pub fn arity(&self) -> usize {
-        self.args.len()
+        self.args().len()
     }
 
     /// The constant in position `i` (0-based).
@@ -45,7 +119,7 @@ impl Fact {
     ///
     /// Panics if `i` is out of range.
     pub fn arg(&self, i: usize) -> &Value {
-        &self.args[i]
+        &self.args()[i]
     }
 
     /// Renders the fact using the relation names of `schema`.
@@ -54,10 +128,42 @@ impl Fact {
     }
 }
 
+// Structural equality/ordering over the *live* arguments only — the
+// manual impls keep inline filler slots invisible and match what the
+// derives did when `args` was a plain boxed slice.
+impl PartialEq for Fact {
+    fn eq(&self, other: &Fact) -> bool {
+        self.relation == other.relation && self.args() == other.args()
+    }
+}
+
+impl Eq for Fact {}
+
+impl std::hash::Hash for Fact {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.relation.hash(state);
+        self.args().hash(state);
+    }
+}
+
+impl PartialOrd for Fact {
+    fn partial_cmp(&self, other: &Fact) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Fact {
+    fn cmp(&self, other: &Fact) -> std::cmp::Ordering {
+        self.relation
+            .cmp(&other.relation)
+            .then_with(|| self.args().cmp(other.args()))
+    }
+}
+
 impl fmt::Debug for Fact {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "r{}(", self.relation.index())?;
-        for (i, a) in self.args.iter().enumerate() {
+        for (i, a) in self.args().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }

@@ -41,9 +41,14 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// CRC-32 (IEEE 802.3, reflected) lookup tables for the slice-by-16
+/// kernel, built at compile time.  `CRC32_TABLES[0]` is the classic
+/// byte-at-a-time table; table `t` maps a byte to its contribution `t`
+/// positions further ahead, letting the hot loop fold 16 input bytes per
+/// iteration instead of one — the 16 lookups are independent loads, so
+/// the loop's critical path is one xor tree per 16 bytes.
+const CRC32_TABLES: [[u32; 256]; 16] = {
+    let mut tables = [[0u32; 256]; 16];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -56,38 +61,72 @@ const CRC32_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 16 {
+        let mut i = 0;
+        while i < 256 {
+            tables[t][i] = (tables[t - 1][i] >> 8) ^ tables[0][(tables[t - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 };
 
 /// The CRC-32 (IEEE) checksum of `bytes` — the integrity check every
 /// snapshot and log frame carries.
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut chunks = bytes.chunks_exact(16);
+    for chunk in &mut chunks {
+        let a = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes")) ^ crc as u64;
+        let b = u64::from_le_bytes(chunk[8..].try_into().expect("8 bytes"));
+        crc = CRC32_TABLES[15][(a & 0xFF) as usize]
+            ^ CRC32_TABLES[14][((a >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[13][((a >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[12][((a >> 24) & 0xFF) as usize]
+            ^ CRC32_TABLES[11][((a >> 32) & 0xFF) as usize]
+            ^ CRC32_TABLES[10][((a >> 40) & 0xFF) as usize]
+            ^ CRC32_TABLES[9][((a >> 48) & 0xFF) as usize]
+            ^ CRC32_TABLES[8][(a >> 56) as usize]
+            ^ CRC32_TABLES[7][(b & 0xFF) as usize]
+            ^ CRC32_TABLES[6][((b >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[5][((b >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[4][((b >> 24) & 0xFF) as usize]
+            ^ CRC32_TABLES[3][((b >> 32) & 0xFF) as usize]
+            ^ CRC32_TABLES[2][((b >> 40) & 0xFF) as usize]
+            ^ CRC32_TABLES[1][((b >> 48) & 0xFF) as usize]
+            ^ CRC32_TABLES[0][(b >> 56) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC32_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
 
 /// Appends a `u32` in little-endian order.
+#[inline]
 pub fn write_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Appends a `u64` in little-endian order.
+#[inline]
 pub fn write_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Appends an `i64` in little-endian order.
+#[inline]
 pub fn write_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Appends a length-prefixed UTF-8 string.
+#[inline]
 pub fn write_str(out: &mut Vec<u8>, s: &str) {
     write_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
@@ -107,15 +146,18 @@ impl<'a> ByteReader<'a> {
     }
 
     /// Bytes not yet consumed.
+    #[inline]
     pub fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 
     /// Whether every byte has been consumed.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.remaining() == 0
     }
 
+    #[inline]
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         if self.remaining() < n {
             return Err(SnapshotError::Truncated);
@@ -126,11 +168,13 @@ impl<'a> ByteReader<'a> {
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
     }
 
     /// Reads a little-endian `u32`.
+    #[inline]
     pub fn u32(&mut self) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
@@ -138,6 +182,7 @@ impl<'a> ByteReader<'a> {
     }
 
     /// Reads a little-endian `u64`.
+    #[inline]
     pub fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
@@ -145,13 +190,21 @@ impl<'a> ByteReader<'a> {
     }
 
     /// Reads a little-endian `i64`.
+    #[inline]
     pub fn i64(&mut self) -> Result<i64, SnapshotError> {
         Ok(i64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
+    /// Reads `n` raw bytes.
+    #[inline]
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        self.take(n)
+    }
+
     /// Reads a length-prefixed UTF-8 string.
+    #[inline]
     pub fn str(&mut self) -> Result<&'a str, SnapshotError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;

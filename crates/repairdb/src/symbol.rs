@@ -48,8 +48,36 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::{Arc, OnceLock, RwLock, Weak};
+
+/// FNV-1a, the table's hasher: interning hashes the full payload on
+/// every lookup, and for the short strings symbols are made of FNV beats
+/// SipHash by a wide margin.  The table is not a DoS surface worth the
+/// SipHash premium — a colliding workload degrades interning to a scan
+/// of one bucket, and frame/line size caps bound how much input an
+/// attacker can push through it per request.
+#[derive(Default)]
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut hash = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = hash;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// An interned string: a dense `u32` id plus a shared handle to the text.
 ///
@@ -139,7 +167,7 @@ struct TableInner {
     /// *revives* it — same id, fresh allocation — so transient churn on a
     /// payload consumes no id space; the periodic sweep removes dead
     /// entries wholesale (their ids are then retired for good).
-    ids: HashMap<Box<str>, (u32, Weak<str>)>,
+    ids: HashMap<Box<str>, (u32, Weak<str>), BuildHasherDefault<Fnv1a>>,
     /// The next id to mint.  An id is only ever associated with one
     /// payload; fresh ids are needed only for payloads never seen or
     /// swept away, so the u32 space bounds *distinct-ish* payloads, not
@@ -152,7 +180,7 @@ struct TableInner {
 impl Default for TableInner {
     fn default() -> TableInner {
         TableInner {
-            ids: HashMap::new(),
+            ids: HashMap::default(),
             next_id: 0,
             sweep_watermark: 64,
         }

@@ -28,6 +28,7 @@
 use std::process::exit;
 use std::time::{Duration, Instant};
 
+use cdr_repairdb::{Database, Mutation};
 use cdr_server::client::Client;
 use cdr_workloads::{churn_session, replication_battery, serving_session};
 
@@ -38,7 +39,8 @@ USAGE:
   cdr-replay --addr <host:port> [--trace serving|churn] [--sensors <n>]
              [--ticks <n>] [--ops <n>] [--auto-compact <waste>]
              [--from <n>] [--until <n>] [--follow <host:port>]
-             [--auth <token>] [--shutdown]
+             [--auth <token>] [--bulk] [--idle-conns <n>]
+             [--hold-ms <ms>] [--shutdown]
 
   --auth presents the admin token first, so --shutdown works against a
   server running --admin-token.
@@ -47,12 +49,26 @@ USAGE:
   failover soak replays a prefix, kills the primary, and finishes the
   suffix against the promoted follower.
 
+  --bulk ships each maximal run of consecutive INSERT/DELETE trace
+  lines as one binary BULK frame instead of textual lines; replies are
+  checked identically (the server answers one line per op).
+
+  --idle-conns opens that many extra connections before the trace,
+  verifies each answers a STATS round-trip, and holds them open —
+  mostly idle — through the replay plus --hold-ms extra milliseconds
+  (the connection-scaling smoke samples the server's thread count while
+  they are held).
+
   --follow <host:port> names a follower of --addr's primary: after the
   trace leg, cdr-replay waits for the follower to catch up (STATS
   end= parity), then sends the replication read battery to both nodes
   and byte-compares every reply, plus the STATS gauge head.  Exits 1 on
   the first divergent byte.
 ";
+
+/// Most ops one `--bulk` frame carries; longer runs split into several
+/// frames.
+const BULK_CHUNK: usize = 512;
 
 /// How long `--follow` waits for the follower to reach the primary's
 /// replication offset before declaring it wedged.
@@ -75,6 +91,9 @@ fn main() {
     let mut until = usize::MAX;
     let mut follow: Option<String> = None;
     let mut auth: Option<String> = None;
+    let mut bulk = false;
+    let mut idle_conns = 0usize;
+    let mut hold_ms = 0u64;
     let mut shutdown = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -97,6 +116,9 @@ fn main() {
             "--until" => until = parse(&value()),
             "--follow" => follow = Some(value()),
             "--auth" => auth = Some(value()),
+            "--bulk" => bulk = true,
+            "--idle-conns" => idle_conns = parse(&value()),
+            "--hold-ms" => hold_ms = parse(&value()) as u64,
             "--shutdown" => shutdown = true,
             other => fail(&format!("unknown flag `{other}`")),
         }
@@ -105,9 +127,9 @@ fn main() {
         fail("--addr is required");
     }
 
-    let full_trace = match trace_name.as_str() {
-        "serving" => serving_session(sensors, ticks, ops).2,
-        "churn" => churn_session(ops, auto_compact).2,
+    let (base_db, _keys, full_trace) = match trace_name.as_str() {
+        "serving" => serving_session(sensors, ticks, ops),
+        "churn" => churn_session(ops, auto_compact),
         other => fail(&format!("unknown trace `{other}`")),
     };
     let until = until.min(full_trace.len());
@@ -135,29 +157,60 @@ fn main() {
             }
         }
     }
+    let idle: Vec<Client> = (0..idle_conns)
+        .map(|i| {
+            let mut conn = Client::connect(&addr).unwrap_or_else(|e| {
+                eprintln!("cdr-replay: idle connection {i} failed to connect: {e}");
+                exit(1)
+            });
+            match conn.send("STATS") {
+                Ok(reply) if reply.starts_with("OK STATS ") => conn,
+                Ok(reply) => {
+                    eprintln!("cdr-replay: idle connection {i} drew `{reply}` to STATS");
+                    exit(1)
+                }
+                Err(e) => {
+                    eprintln!("cdr-replay: idle connection {i} io error: {e}");
+                    exit(1)
+                }
+            }
+        })
+        .collect();
+    if idle_conns > 0 {
+        println!("cdr-replay: holding {idle_conns} idle connections, all served");
+    }
     let mut ok = 0usize;
     let mut last_reply = String::new();
-    for line in trace {
-        match client.send(line) {
-            Ok(reply) if reply.starts_with("OK ") => {
-                ok += 1;
-                last_reply = reply;
-            }
-            Ok(reply) => {
-                eprintln!("cdr-replay: line `{line}` drew `{reply}`");
-                exit(1)
-            }
-            Err(e) => {
-                eprintln!("cdr-replay: io error on `{line}`: {e}");
-                exit(1)
+    if bulk {
+        replay_bulk(&mut client, trace, &base_db, &mut ok, &mut last_reply);
+    } else {
+        for line in trace {
+            match client.send(line) {
+                Ok(reply) if reply.starts_with("OK ") => {
+                    ok += 1;
+                    last_reply = reply;
+                }
+                Ok(reply) => {
+                    eprintln!("cdr-replay: line `{line}` drew `{reply}`");
+                    exit(1)
+                }
+                Err(e) => {
+                    eprintln!("cdr-replay: io error on `{line}`: {e}");
+                    exit(1)
+                }
             }
         }
     }
     println!(
-        "cdr-replay: {ok}/{} trace lines OK against {addr} (lines {from}..{until})",
-        trace.len()
+        "cdr-replay: {ok}/{} trace lines OK against {addr} (lines {from}..{until}{})",
+        trace.len(),
+        if bulk { ", bulk frames" } else { "" }
     );
     println!("cdr-replay: final {last_reply}");
+    if hold_ms > 0 {
+        std::thread::sleep(Duration::from_millis(hold_ms));
+    }
+    drop(idle);
     if let Some(follower_addr) = follow {
         verify_follower(&mut client, &addr, &follower_addr);
     }
@@ -179,6 +232,81 @@ fn main() {
 fn parse(text: &str) -> usize {
     text.parse()
         .unwrap_or_else(|_| fail(&format!("`{text}` is not a number")))
+}
+
+/// The `--bulk` leg: each maximal run of consecutive `INSERT`/`DELETE`
+/// lines ships as binary frames (at most [`BULK_CHUNK`] ops each); the
+/// server answers one reply line per op, checked exactly like the
+/// textual replay.  Parsing is against the scenario's base schema, which
+/// is fixed for the life of the engine.
+fn replay_bulk(
+    client: &mut Client,
+    trace: &[String],
+    db: &Database,
+    ok: &mut usize,
+    last_reply: &mut String,
+) {
+    let mut pending: Vec<Mutation> = Vec::new();
+    for line in trace {
+        let verb = line.split_whitespace().next().unwrap_or("");
+        let mutation = if verb.eq_ignore_ascii_case("INSERT") || verb.eq_ignore_ascii_case("DELETE")
+        {
+            cdr_core::wire::parse_mutation(line, db).ok()
+        } else {
+            None
+        };
+        match mutation {
+            Some(mutation) => pending.push(mutation),
+            None => {
+                flush_frames(client, db, &mut pending, ok, last_reply);
+                match client.send(line) {
+                    Ok(reply) if reply.starts_with("OK ") => {
+                        *ok += 1;
+                        *last_reply = reply;
+                    }
+                    Ok(reply) => {
+                        eprintln!("cdr-replay: line `{line}` drew `{reply}`");
+                        exit(1)
+                    }
+                    Err(e) => {
+                        eprintln!("cdr-replay: io error on `{line}`: {e}");
+                        exit(1)
+                    }
+                }
+            }
+        }
+    }
+    flush_frames(client, db, &mut pending, ok, last_reply);
+}
+
+/// Ships the pending mutations as bulk frames and checks each op's reply.
+fn flush_frames(
+    client: &mut Client,
+    db: &Database,
+    pending: &mut Vec<Mutation>,
+    ok: &mut usize,
+    last_reply: &mut String,
+) {
+    for chunk in pending.chunks(BULK_CHUNK) {
+        let frame = cdr_core::encode_bulk(db, chunk);
+        match client.send_bulk(&frame, chunk.len()) {
+            Ok(replies) => {
+                for reply in replies {
+                    if !reply.starts_with("OK ") {
+                        eprintln!("cdr-replay: a bulk op drew `{reply}`");
+                        exit(1)
+                    }
+                    *ok += 1;
+                    *last_reply = reply;
+                }
+            }
+            Err(e) => {
+                eprintln!("cdr-replay: io error on a bulk frame: {e}");
+                exit(1)
+            }
+        }
+    }
+    pending.clear();
 }
 
 /// `key=value` extraction from a `STATS` (or `REPL`) reply line.

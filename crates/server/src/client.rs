@@ -80,6 +80,28 @@ impl Client {
         Ok(replies)
     }
 
+    /// Sends one binary bulk frame (`BULK <len>` header plus the frame
+    /// bytes) and reads its replies: one line per op in the frame, or
+    /// the single `ERR FRAME …` line for a rejected frame.
+    ///
+    /// `ops` must be the op count the frame encodes — the caller built
+    /// the frame, so it knows.  On an `ERR` first line the remaining
+    /// `ops - 1` reads are skipped (a rejected frame answers once).
+    pub fn send_bulk(&mut self, frame: &[u8], ops: usize) -> io::Result<Vec<String>> {
+        self.send_line(&format!("BULK {}", frame.len()))?;
+        self.stream.write_all(frame)?;
+        let mut replies = Vec::with_capacity(ops);
+        for i in 0..ops {
+            let line = self.read_line()?;
+            let rejected = i == 0 && line.starts_with("ERR FRAME ");
+            replies.push(line);
+            if rejected {
+                break;
+            }
+        }
+        Ok(replies)
+    }
+
     /// The underlying stream (for shutdown/linger tweaks in tests).
     pub fn stream(&self) -> &TcpStream {
         &self.stream

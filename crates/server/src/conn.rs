@@ -1,18 +1,27 @@
-//! One TCP connection: a bounded line reader and the command loop.
+//! Per-connection protocol decoding: the push-parser that turns raw
+//! socket bytes into [`Command`]s, and the rate-limit token bucket.
+//!
+//! The reactor thread owns the sockets and feeds whatever bytes arrive
+//! into a [`Decoder`]; complete commands queue for the worker pool.  The
+//! decoder speaks two layers:
+//!
+//! - **Line mode** (the default): bytes accumulate until a newline;
+//!   overlong lines are discarded up to their newline instead of being
+//!   buffered without bound ([`Command::TooLong`]).
+//! - **Bulk mode**: a `BULK <len>` header line switches the next `len`
+//!   raw bytes into one binary frame ([`Command::Bulk`]), then returns
+//!   to line mode.  A header whose length exceeds the configured frame
+//!   cap (or does not parse at all) is rejected **at the header** —
+//!   [`Command::BadFrame`] — without allocating for the advertised
+//!   length and without leaving line mode.
 
-use std::io::{self, Read, Write};
-use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::time::Instant;
 
-use crate::reply;
-use crate::scheduler::Shared;
-use crate::session::{Session, Step};
-
 /// A per-connection token bucket: `limit` tokens of capacity, refilled at
-/// `limit` tokens per second.  Every non-blank, non-comment line costs
-/// one token; a line arriving to an empty bucket is rejected with the
-/// deterministic [`reply::RATE_LIMITED`] line instead of being executed.
+/// `limit` tokens per second.  Every chargeable command costs one token;
+/// one arriving to an empty bucket is rejected with the deterministic
+/// [`reply::RATE_LIMITED`](crate::reply::RATE_LIMITED) line instead of
+/// being executed.
 pub(crate) struct TokenBucket {
     capacity: f64,
     tokens: f64,
@@ -46,148 +55,119 @@ impl TokenBucket {
     }
 }
 
-/// What one attempt to pull a line produced.
-pub(crate) enum ReadLine {
+/// One complete protocol unit, ready for a worker.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Command {
     /// A complete line (newline stripped, `\r\n` tolerated, lossy UTF-8).
     Line(String),
     /// A line longer than the configured cap was discarded up to its
     /// newline; the protocol continues at the next line.
     TooLong,
-    /// The read timed out (poll tick) — check for shutdown and retry.
-    Timeout,
-    /// The peer closed the connection.
-    Eof,
+    /// The body of a `BULK <len>` frame, exactly `len` bytes.
+    Bulk(Vec<u8>),
+    /// A `BULK` header that was rejected before its body (oversize or
+    /// malformed length).  The connection stays in line mode.
+    BadFrame(String),
 }
 
-/// Accumulates socket reads and hands lines out one at a time, discarding
-/// overlong lines instead of buffering them without bound.
-pub(crate) struct LineReader {
+/// Accumulates socket bytes and hands out complete [`Command`]s.
+pub(crate) struct Decoder {
+    max_line_bytes: usize,
+    max_frame_bytes: usize,
     pending: Vec<u8>,
     discarding: bool,
+    /// `Some(len)`: inside a bulk frame, `len` body bytes expected.
+    bulk_need: Option<usize>,
 }
 
-impl LineReader {
-    pub(crate) fn new() -> Self {
-        LineReader {
+/// `Some(Ok(len))` for a well-formed `BULK <len>` header, `Some(Err(…))`
+/// for a malformed one (the verb claims the whole line), `None` for any
+/// other line.
+fn parse_bulk_header(line: &str) -> Option<Result<usize, String>> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next()?;
+    if !verb.eq_ignore_ascii_case("BULK") {
+        return None;
+    }
+    let Some(operand) = tokens.next() else {
+        return Some(Err("usage: BULK <len>".to_string()));
+    };
+    if tokens.next().is_some() {
+        return Some(Err("usage: BULK <len>".to_string()));
+    }
+    match operand.parse::<usize>() {
+        Ok(len) => Some(Ok(len)),
+        Err(_) => Some(Err(format!("`{operand}` is not a frame length"))),
+    }
+}
+
+impl Decoder {
+    pub(crate) fn new(max_line_bytes: usize, max_frame_bytes: usize) -> Self {
+        Decoder {
+            max_line_bytes,
+            max_frame_bytes,
             pending: Vec::new(),
             discarding: false,
+            bulk_need: None,
         }
     }
 
-    pub(crate) fn read_line(
-        &mut self,
-        stream: &mut impl Read,
-        max_line_bytes: usize,
-    ) -> io::Result<ReadLine> {
+    /// Feeds raw socket bytes.  While discarding an overlong line, bytes
+    /// up to the next newline are dropped instead of buffered.
+    pub(crate) fn push(&mut self, bytes: &[u8]) {
+        if self.discarding && self.bulk_need.is_none() {
+            if let Some(pos) = bytes.iter().position(|&b| b == b'\n') {
+                self.pending.extend_from_slice(&bytes[pos..]);
+            }
+        } else {
+            self.pending.extend_from_slice(bytes);
+        }
+    }
+
+    /// Pulls the next complete command, if the buffered bytes hold one.
+    pub(crate) fn next(&mut self) -> Option<Command> {
         loop {
+            if let Some(need) = self.bulk_need {
+                if self.pending.len() < need {
+                    return None;
+                }
+                let frame: Vec<u8> = self.pending.drain(..need).collect();
+                self.bulk_need = None;
+                return Some(Command::Bulk(frame));
+            }
             if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
                 let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
                 line.pop();
                 if line.last() == Some(&b'\r') {
                     line.pop();
                 }
-                if self.discarding || line.len() > max_line_bytes {
+                if self.discarding || line.len() > self.max_line_bytes {
                     self.discarding = false;
-                    return Ok(ReadLine::TooLong);
+                    return Some(Command::TooLong);
                 }
-                return Ok(ReadLine::Line(String::from_utf8_lossy(&line).into_owned()));
+                let text = String::from_utf8_lossy(&line).into_owned();
+                match parse_bulk_header(&text) {
+                    None => return Some(Command::Line(text)),
+                    Some(Ok(len)) if len > self.max_frame_bytes => {
+                        return Some(Command::BadFrame(format!(
+                            "frame length {len} exceeds the {} byte cap; frame refused",
+                            self.max_frame_bytes
+                        )));
+                    }
+                    Some(Ok(len)) => {
+                        self.bulk_need = Some(len);
+                        continue;
+                    }
+                    Some(Err(why)) => return Some(Command::BadFrame(why)),
+                }
             }
-            if self.pending.len() > max_line_bytes {
+            if self.pending.len() > self.max_line_bytes {
                 // Too much data without a newline: drop what we have and
                 // skip ahead to the next line boundary.
                 self.pending.clear();
                 self.discarding = true;
             }
-            let mut buf = [0u8; 4096];
-            match stream.read(&mut buf) {
-                Ok(0) => return Ok(ReadLine::Eof),
-                Ok(n) if self.discarding => {
-                    if let Some(pos) = buf[..n].iter().position(|&b| b == b'\n') {
-                        self.pending.extend_from_slice(&buf[pos..n]);
-                    }
-                }
-                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    return Ok(ReadLine::Timeout)
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            }
-        }
-    }
-}
-
-pub(crate) fn write_lines(stream: &mut TcpStream, lines: &[String]) -> io::Result<()> {
-    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
-    for line in lines {
-        out.push_str(line);
-        out.push('\n');
-    }
-    stream.write_all(out.as_bytes())
-}
-
-/// Serves one connection to completion (peer quit/disconnect or server
-/// shutdown).  Panics unwind to the worker, which counts and recovers.
-pub(crate) fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    let max_line_bytes = shared.config.max_line_bytes;
-    let mut reader = LineReader::new();
-    let mut session = Session::new();
-    let mut bucket = shared.config.rate_limit.map(TokenBucket::new);
-    loop {
-        if shared.shutting_down() {
-            break;
-        }
-        match reader.read_line(&mut stream, max_line_bytes) {
-            Ok(ReadLine::Line(line)) => {
-                shared.commands.fetch_add(1, Ordering::Relaxed);
-                let trimmed = line.trim();
-                let chargeable = !trimmed.is_empty() && !trimmed.starts_with('#');
-                if chargeable {
-                    if let Some(bucket) = &mut bucket {
-                        if !bucket.admit() {
-                            // A throttled line is never fed to the session:
-                            // it cannot mutate, open or extend a batch.
-                            session.abort_batch();
-                            shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
-                            if write_lines(&mut stream, &[reply::RATE_LIMITED.to_string()]).is_err()
-                            {
-                                break;
-                            }
-                            continue;
-                        }
-                    }
-                }
-                match session.feed(shared, &line) {
-                    Step::Silent => {}
-                    Step::Replies(replies) => {
-                        if write_lines(&mut stream, &replies).is_err() {
-                            break;
-                        }
-                    }
-                    Step::Quit(reply) => {
-                        let _ = write_lines(&mut stream, &[reply]);
-                        break;
-                    }
-                    Step::Shutdown(reply) => {
-                        let _ = write_lines(&mut stream, &[reply]);
-                        shared.begin_shutdown();
-                        break;
-                    }
-                }
-            }
-            Ok(ReadLine::TooLong) => {
-                let reply = format!("ERR LINE line exceeds {max_line_bytes} bytes; discarded");
-                if write_lines(&mut stream, &[reply]).is_err() {
-                    break;
-                }
-            }
-            Ok(ReadLine::Timeout) => continue,
-            Ok(ReadLine::Eof) | Err(_) => break,
+            return None;
         }
     }
 }
@@ -196,62 +176,45 @@ pub(crate) fn handle_connection(shared: &Shared, mut stream: TcpStream) {
 mod tests {
     use super::*;
 
-    /// A reader fed from a script of chunks, then EOF.
-    struct Chunks(Vec<Vec<u8>>);
-
-    impl Read for Chunks {
-        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-            if self.0.is_empty() {
-                return Ok(0);
-            }
-            let chunk = self.0.remove(0);
-            assert!(chunk.len() <= buf.len(), "test chunks fit the buffer");
-            buf[..chunk.len()].copy_from_slice(&chunk);
-            Ok(chunk.len())
+    fn drain(decoder: &mut Decoder) -> Vec<Command> {
+        let mut out = Vec::new();
+        while let Some(cmd) = decoder.next() {
+            out.push(cmd);
         }
+        out
     }
 
-    fn lines_of(mut source: Chunks, max: usize) -> Vec<ReadLine> {
-        let mut reader = LineReader::new();
+    fn lines_of(chunks: &[&[u8]], max: usize) -> Vec<Command> {
+        let mut decoder = Decoder::new(max, 1024);
         let mut out = Vec::new();
-        loop {
-            match reader.read_line(&mut source, max).unwrap() {
-                ReadLine::Eof => return out,
-                step => out.push(step),
-            }
+        for chunk in chunks {
+            decoder.push(chunk);
+            out.append(&mut drain(&mut decoder));
         }
+        out
     }
 
     #[test]
     fn split_writes_reassemble_into_lines() {
-        let source = Chunks(vec![
-            b"STA".to_vec(),
-            b"TS\r\nCOUNT auto ".to_vec(),
-            b"TRUE\nQ".to_vec(),
-            b"UIT\n".to_vec(),
-        ]);
-        let lines = lines_of(source, 1024);
-        let texts: Vec<&str> = lines
-            .iter()
-            .map(|l| match l {
-                ReadLine::Line(s) => s.as_str(),
-                _ => panic!("expected only complete lines"),
-            })
-            .collect();
-        assert_eq!(texts, ["STATS", "COUNT auto TRUE", "QUIT"]);
+        let commands = lines_of(&[b"STA", b"TS\r\nCOUNT auto ", b"TRUE\nQ", b"UIT\n"], 1024);
+        assert_eq!(
+            commands,
+            [
+                Command::Line("STATS".to_string()),
+                Command::Line("COUNT auto TRUE".to_string()),
+                Command::Line("QUIT".to_string()),
+            ]
+        );
     }
 
     #[test]
     fn overlong_lines_are_discarded_not_buffered() {
-        let mut source = vec![b"x".repeat(4096); 3];
-        source.push(b"tail\nSTATS\n".to_vec());
-        let lines = lines_of(Chunks(source), 1000);
-        assert!(matches!(lines[0], ReadLine::TooLong));
-        match &lines[1] {
-            ReadLine::Line(s) => assert_eq!(s, "STATS"),
-            _ => panic!("the protocol resumes on the next line"),
-        }
-        assert_eq!(lines.len(), 2);
+        let noise = b"x".repeat(4096);
+        let commands = lines_of(&[&noise, &noise, &noise, b"tail\nSTATS\n"], 1000);
+        assert_eq!(
+            commands,
+            [Command::TooLong, Command::Line("STATS".to_string())]
+        );
     }
 
     #[test]
@@ -267,11 +230,67 @@ mod tests {
 
     #[test]
     fn non_utf8_bytes_survive_lossily() {
-        let source = Chunks(vec![vec![0xFF, 0xFE, b'A', b'\n']]);
-        let lines = lines_of(source, 1024);
-        match &lines[0] {
-            ReadLine::Line(s) => assert!(s.ends_with('A')),
-            _ => panic!("lossy decoding still yields a line"),
+        let commands = lines_of(&[&[0xFF, 0xFE, b'A', b'\n']], 1024);
+        match &commands[0] {
+            Command::Line(s) => assert!(s.ends_with('A')),
+            other => panic!("lossy decoding still yields a line, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn a_bulk_header_switches_to_frame_mode_for_exactly_len_bytes() {
+        let mut decoder = Decoder::new(1024, 1024);
+        decoder.push(b"STATS\nBULK 5\nab");
+        assert_eq!(decoder.next(), Some(Command::Line("STATS".to_string())));
+        assert_eq!(decoder.next(), None, "frame body incomplete");
+        decoder.push(b"\ncd"); // a newline inside the frame is data
+        assert_eq!(decoder.next(), Some(Command::Bulk(b"ab\ncd".to_vec())));
+        decoder.push(b"QUIT\n");
+        assert_eq!(decoder.next(), Some(Command::Line("QUIT".to_string())));
+    }
+
+    #[test]
+    fn an_oversize_frame_header_is_refused_without_allocating() {
+        let mut decoder = Decoder::new(1024, 1024);
+        decoder.push(b"BULK 99999999\nSTATS\n");
+        match decoder.next() {
+            Some(Command::BadFrame(why)) => {
+                assert!(why.contains("99999999"), "{why}");
+            }
+            other => panic!("expected BadFrame, got {other:?}"),
+        }
+        assert_eq!(
+            decoder.next(),
+            Some(Command::Line("STATS".to_string())),
+            "the connection stays in line mode"
+        );
+        assert!(
+            decoder.pending.capacity() < 4096,
+            "no allocation for the lie"
+        );
+    }
+
+    #[test]
+    fn malformed_bulk_headers_claim_the_verb() {
+        for header in ["BULK\n", "BULK ten\n", "BULK 5 extra\n", "bulk -1\n"] {
+            let mut decoder = Decoder::new(1024, 1024);
+            decoder.push(header.as_bytes());
+            assert!(
+                matches!(decoder.next(), Some(Command::BadFrame(_))),
+                "{header:?} must not fall through to the line path"
+            );
+        }
+        // Case-insensitive like every other verb.
+        let mut decoder = Decoder::new(1024, 1024);
+        decoder.push(b"bulk 2\nhi");
+        assert_eq!(decoder.next(), Some(Command::Bulk(b"hi".to_vec())));
+    }
+
+    #[test]
+    fn a_zero_length_frame_is_a_frame() {
+        let mut decoder = Decoder::new(1024, 1024);
+        decoder.push(b"BULK 0\nSTATS\n");
+        assert_eq!(decoder.next(), Some(Command::Bulk(Vec::new())));
+        assert_eq!(decoder.next(), Some(Command::Line("STATS".to_string())));
     }
 }

@@ -1,0 +1,466 @@
+//! The readiness-driven serving loop: one reactor thread owns every
+//! socket; a bounded worker pool executes commands.
+//!
+//! The old accept path was thread-per-connection — 10k mostly-idle
+//! connections cost 10k parked threads.  Here the reactor thread holds
+//! the listener and every connection on nonblocking sockets under a
+//! [`cdr_reactor::poll`] set, so idle connections cost a file
+//! descriptor and a table slot, never a thread:
+//!
+//! - **Reads** land in the connection's [`Decoder`]; each complete
+//!   [`Command`] queues in the connection's inbox.
+//! - **Execution** stays on the worker pool.  A connection with a
+//!   non-empty inbox and no worker attached is handed to the
+//!   [`JobQueue`]; the claiming worker drains the inbox one command at a
+//!   time through the same [`Session`] state machine as before, so
+//!   `ERR BUSY` semantics, rate limiting, `AUTH` and Oracle replay
+//!   parity carry over unchanged.
+//! - **Writes** buffer per connection; the reactor flushes on
+//!   writability.  Workers never touch sockets — they append reply
+//!   bytes and nudge the reactor's waker, which is what keeps a peer
+//!   that stops reading (or dribbles a frame one byte at a time) from
+//!   stalling anyone else.
+//!
+//! The executing-flag handoff is the one delicate invariant: a
+//! connection is in the job queue **iff** `executing` is set, and the
+//! flag is only cleared by the owning worker under the I/O lock after
+//! re-checking the inbox is empty — a command decoded concurrently is
+//! either seen by that re-check or observes `executing == false` and
+//! re-enqueues, so no command is ever stranded.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use cdr_reactor::{poll, Interest, PollEntry};
+
+use crate::conn::{Command, Decoder, TokenBucket};
+use crate::reply;
+use crate::scheduler::Shared;
+use crate::session::{Session, Step};
+
+/// Reply bytes a connection may buffer before the reactor stops reading
+/// from it (a peer that sends but will not read its replies).
+const MAX_OUT_BUFFER: usize = 256 * 1024;
+
+/// How long a shutting-down reactor keeps flushing pending replies
+/// before force-dropping the remaining connections.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// Socket-facing state: owned by the reactor, briefly locked by workers
+/// to pop commands and push reply bytes.  Never held across command
+/// execution — that is what keeps the reactor non-blocking.
+struct IoState {
+    decoder: Decoder,
+    /// Decoded commands awaiting a worker.
+    inbox: VecDeque<Command>,
+    /// Reply bytes awaiting socket writability.
+    out: Vec<u8>,
+    /// Whether a worker currently owns this connection's inbox.
+    executing: bool,
+    /// Close once `out` drains (QUIT, SHUTDOWN, post-panic).
+    close_after_flush: bool,
+    /// The peer closed its write side; drain the inbox, then close.
+    eof: bool,
+    /// The socket errored (or a handler panicked): drop immediately.
+    dead: bool,
+}
+
+/// Session state: touched only by the single worker holding the
+/// connection's `executing` flag, so this lock is never contended.
+struct ExecState {
+    session: Session,
+    bucket: Option<TokenBucket>,
+}
+
+/// One live connection, shared between the reactor and the worker pool.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    io: Mutex<IoState>,
+    exec: Mutex<ExecState>,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Conn {
+    fn new(stream: TcpStream, shared: &Shared) -> Conn {
+        Conn {
+            stream,
+            io: Mutex::new(IoState {
+                decoder: Decoder::new(shared.config.max_line_bytes, shared.config.max_frame_bytes),
+                inbox: VecDeque::new(),
+                out: Vec::new(),
+                executing: false,
+                close_after_flush: false,
+                eof: false,
+                dead: false,
+            }),
+            exec: Mutex::new(ExecState {
+                session: Session::new(),
+                bucket: shared.config.rate_limit.map(TokenBucket::new),
+            }),
+        }
+    }
+}
+
+/// The queue of connections with commands awaiting a worker.
+#[derive(Default)]
+pub(crate) struct JobQueue {
+    queue: Mutex<VecDeque<Arc<Conn>>>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn push(&self, conn: Arc<Conn>) {
+        lock(&self.queue).push_back(conn);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once the server is shutting down
+    /// and the queue has drained.
+    fn pop(&self, shared: &Shared) -> Option<Arc<Conn>> {
+        let mut queue = lock(&self.queue);
+        loop {
+            if let Some(conn) = queue.pop_front() {
+                return Some(conn);
+            }
+            if shared.shutting_down() {
+                return None;
+            }
+            // A timed wait doubles as the shutdown poll, so workers
+            // never need an explicit wake-up to exit.
+            let (guard, _) = self
+                .ready
+                .wait_timeout(queue, shared.config.poll_interval)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            queue = guard;
+        }
+    }
+
+    pub(crate) fn notify_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+/// If `conn` has pending commands and no worker attached, attach one.
+/// Must be called with the I/O lock held (hence the guard parameter).
+fn schedule(io: &mut IoState, conn: &Arc<Conn>, jobs: &JobQueue) {
+    if !io.executing && !io.inbox.is_empty() && !io.dead {
+        io.executing = true;
+        jobs.push(Arc::clone(conn));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// What executing one command means for the connection afterwards.
+enum Outcome {
+    Continue,
+    Close,
+    Shutdown,
+}
+
+pub(crate) fn worker_loop(shared: &Shared, jobs: &JobQueue) {
+    while let Some(conn) = jobs.pop(shared) {
+        serve_conn(shared, &conn);
+    }
+}
+
+/// Drains one connection's inbox, executing each command through the
+/// session.  A panicking command loses its connection, never its worker:
+/// the panic is counted, the victim socket closes without a reply (the
+/// crash-recovery tests pin this), and the worker moves on.
+fn serve_conn(shared: &Shared, conn: &Arc<Conn>) {
+    let mut exec = lock(&conn.exec);
+    loop {
+        let command = {
+            let mut io = lock(&conn.io);
+            if io.dead || io.close_after_flush {
+                io.inbox.clear();
+                io.executing = false;
+                break;
+            }
+            match io.inbox.pop_front() {
+                Some(command) => command,
+                None => {
+                    io.executing = false;
+                    break;
+                }
+            }
+        };
+        match catch_unwind(AssertUnwindSafe(|| execute(shared, &mut exec, command))) {
+            Ok((bytes, outcome)) => {
+                let mut io = lock(&conn.io);
+                io.out.extend_from_slice(&bytes);
+                match outcome {
+                    Outcome::Continue => {}
+                    Outcome::Close => io.close_after_flush = true,
+                    Outcome::Shutdown => io.close_after_flush = true,
+                }
+                drop(io);
+                if matches!(outcome, Outcome::Shutdown) {
+                    shared.begin_shutdown();
+                }
+                shared.waker().wake();
+            }
+            Err(_) => {
+                shared.recovered_panics.fetch_add(1, Ordering::Relaxed);
+                eprintln!("cdr-server: worker recovered from a command handler panic");
+                let mut io = lock(&conn.io);
+                io.inbox.clear();
+                io.out.clear();
+                io.dead = true;
+                io.executing = false;
+                drop(io);
+                shared.waker().wake();
+                break;
+            }
+        }
+    }
+}
+
+fn push_line(bytes: &mut Vec<u8>, line: &str) {
+    bytes.extend_from_slice(line.as_bytes());
+    bytes.push(b'\n');
+}
+
+/// Executes one decoded command, returning the reply bytes to buffer and
+/// what happens to the connection next.
+fn execute(shared: &Shared, exec: &mut ExecState, command: Command) -> (Vec<u8>, Outcome) {
+    let mut bytes = Vec::new();
+    let step = match command {
+        Command::Line(line) => {
+            shared.commands.fetch_add(1, Ordering::Relaxed);
+            let trimmed = line.trim();
+            let chargeable = !trimmed.is_empty() && !trimmed.starts_with('#');
+            if chargeable && !throttle_admits(shared, exec) {
+                push_line(&mut bytes, reply::RATE_LIMITED);
+                return (bytes, Outcome::Continue);
+            }
+            exec.session.feed(shared, &line)
+        }
+        Command::Bulk(frame) => {
+            // One frame = one header line = one command, one rate token.
+            shared.commands.fetch_add(1, Ordering::Relaxed);
+            if !throttle_admits(shared, exec) {
+                push_line(&mut bytes, reply::RATE_LIMITED);
+                return (bytes, Outcome::Continue);
+            }
+            exec.session.bulk(shared, &frame)
+        }
+        Command::TooLong => {
+            let max = shared.config.max_line_bytes;
+            push_line(
+                &mut bytes,
+                &format!("ERR LINE line exceeds {max} bytes; discarded"),
+            );
+            return (bytes, Outcome::Continue);
+        }
+        Command::BadFrame(why) => {
+            push_line(&mut bytes, &reply::frame_error(&why));
+            return (bytes, Outcome::Continue);
+        }
+    };
+    let outcome = match step {
+        Step::Silent => Outcome::Continue,
+        Step::Replies(replies) => {
+            for line in &replies {
+                push_line(&mut bytes, line);
+            }
+            Outcome::Continue
+        }
+        Step::Quit(line) => {
+            push_line(&mut bytes, &line);
+            Outcome::Close
+        }
+        Step::Shutdown(line) => {
+            push_line(&mut bytes, &line);
+            Outcome::Shutdown
+        }
+    };
+    (bytes, outcome)
+}
+
+/// The rate-limit gate.  A throttled command is never fed to the
+/// session — it cannot mutate, open or extend a batch — and aborts any
+/// open batch so a half-collected one never survives the rejection.
+fn throttle_admits(shared: &Shared, exec: &mut ExecState) -> bool {
+    let Some(bucket) = &mut exec.bucket else {
+        return true;
+    };
+    if bucket.admit() {
+        return true;
+    }
+    exec.session.abort_batch();
+    shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    false
+}
+
+// ---------------------------------------------------------------------
+// Reactor side
+// ---------------------------------------------------------------------
+
+pub(crate) fn reactor_loop(shared: &Arc<Shared>, listener: TcpListener, jobs: &Arc<JobQueue>) {
+    let _ = listener.set_nonblocking(true);
+    let mut conns: Vec<Arc<Conn>> = Vec::new();
+    let mut shutdown_deadline: Option<Instant> = None;
+    loop {
+        let shutting = shared.shutting_down();
+        if shutting && shutdown_deadline.is_none() {
+            shutdown_deadline = Some(Instant::now() + SHUTDOWN_GRACE);
+        }
+        let past_deadline = shutdown_deadline.is_some_and(|d| Instant::now() >= d);
+        conns.retain(|conn| {
+            let io = lock(&conn.io);
+            if io.dead || past_deadline {
+                return false;
+            }
+            let finished = !io.executing && io.inbox.is_empty() && io.out.is_empty();
+            // Closing paths: explicit (QUIT/SHUTDOWN reply flushed), the
+            // peer's EOF after its last command, or server shutdown.
+            !(finished && (io.close_after_flush || io.eof || shutting))
+        });
+        if shutting && conns.is_empty() {
+            break;
+        }
+
+        // The poll set is rebuilt from scratch every iteration — the
+        // connection table is the registration state.
+        let mut entries = Vec::with_capacity(conns.len() + 2);
+        entries.push(PollEntry::new(shared.waker().raw_fd(), Interest::READ));
+        let accept_slot = if shutting {
+            None
+        } else {
+            entries.push(PollEntry::new(listener.as_raw_fd(), Interest::READ));
+            Some(entries.len() - 1)
+        };
+        let mut slots: Vec<Option<usize>> = Vec::with_capacity(conns.len());
+        for conn in &conns {
+            let io = lock(&conn.io);
+            let interest = Interest {
+                // Backpressure: stop reading while this connection's
+                // inbox or reply buffer is full — never while anyone
+                // else's is.
+                read: !shutting
+                    && !io.eof
+                    && !io.close_after_flush
+                    && io.inbox.len() < shared.config.backlog
+                    && io.out.len() < MAX_OUT_BUFFER,
+                write: !io.out.is_empty(),
+            };
+            if interest.read || interest.write {
+                slots.push(Some(entries.len()));
+                entries.push(PollEntry::new(conn.stream.as_raw_fd(), interest));
+            } else {
+                slots.push(None);
+            }
+        }
+
+        let _ = poll(&mut entries, Some(shared.config.poll_interval));
+
+        if entries[0].ready.readable {
+            shared.waker().drain();
+        }
+        if accept_slot.is_some_and(|i| entries[i].ready.readable) {
+            accept_pending(shared, &listener, &mut conns);
+        }
+        for (conn, slot) in conns.iter().zip(&slots) {
+            let Some(i) = slot else { continue };
+            let ready = entries[*i].ready;
+            if ready.readable || ready.is_dead() {
+                // On hangup/error, drain to EOF in one go: the level-
+                // triggered condition would otherwise re-report forever.
+                handle_readable(conn, jobs, ready.is_dead());
+            }
+            if ready.writable {
+                flush(conn);
+            }
+        }
+    }
+    // Unblock any worker parked on an empty queue.
+    jobs.notify_all();
+}
+
+fn accept_pending(shared: &Shared, listener: &TcpListener, conns: &mut Vec<Arc<Conn>>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                conns.push(Arc::new(Conn::new(stream, shared)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// One bounded read per readiness report (level-triggered polling
+/// re-reports leftover data next iteration, which is what keeps a
+/// firehose sender from starving other connections).  `to_eof` drains
+/// the socket completely instead — used on hangup, where stopping short
+/// would leave the condition re-reporting forever.
+fn handle_readable(conn: &Arc<Conn>, jobs: &JobQueue, to_eof: bool) {
+    let mut buf = [0u8; 16 * 1024];
+    let mut io = lock(&conn.io);
+    loop {
+        match (&conn.stream).read(&mut buf) {
+            Ok(0) => {
+                io.eof = true;
+                break;
+            }
+            Ok(n) => {
+                io.decoder.push(&buf[..n]);
+                while let Some(command) = io.decoder.next() {
+                    io.inbox.push_back(command);
+                }
+                if !to_eof {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                io.dead = true;
+                break;
+            }
+        }
+    }
+    schedule(&mut io, conn, jobs);
+}
+
+fn flush(conn: &Arc<Conn>) {
+    let mut io = lock(&conn.io);
+    let mut written = 0;
+    while written < io.out.len() {
+        match (&conn.stream).write(&io.out[written..]) {
+            Ok(0) => {
+                io.dead = true;
+                break;
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                io.dead = true;
+                break;
+            }
+        }
+    }
+    io.out.drain(..written);
+}

@@ -10,6 +10,10 @@
 //! plus the serving-layer framing this crate defines (`BATCH … END`,
 //! `STATS`, `SLEEP`, `QUIT`, `SHUTDOWN`); the server streams single-line
 //! replies back (`OK …` on success, `ERR <code> <message>` on failure).
+//! A `BULK <len>` header escapes the line protocol into one
+//! length-prefixed binary frame of `INSERT`/`DELETE` ops (the
+//! [`cdr_core::wire::frame`] codec); the server answers it with exactly
+//! the reply lines the equivalent textual commands would have produced.
 //!
 //! # The scheduler
 //!
@@ -33,11 +37,21 @@
 //! `BATCH` fan-outs (which occupy engine worker threads, not just a
 //! guard) are admitted through a bounded permit pool: when every permit
 //! is in use the server answers `ERR BUSY SERVER BUSY …` immediately
-//! instead of buffering without bound.  Connections are thread-per-
-//! connection over a bounded worker pool: a worker serves one connection
-//! for its whole lifetime, up to `backlog` further connections wait for
-//! a free worker, and arrivals beyond that are answered
-//! `ERR BUSY SERVER BUSY …` and closed.
+//! instead of buffering without bound.
+//!
+//! # The event loop
+//!
+//! Connections are served by a readiness-driven event loop, not
+//! thread-per-connection: one reactor thread owns the listener and
+//! every connection on nonblocking sockets under a `poll(2)` set (the
+//! vendored [`cdr_reactor`] crate), decodes arriving bytes into
+//! complete commands, and hands connections with pending commands to
+//! the bounded worker pool for execution.  Workers never touch sockets;
+//! they buffer reply bytes and nudge the reactor's waker, which flushes
+//! on writability.  N mostly-idle connections therefore cost N file
+//! descriptors and one polling thread — not N threads — and a peer that
+//! dribbles a frame byte-by-byte or stops reading its replies is
+//! backpressured individually without stalling anyone else.
 //!
 //! # In-process use
 //!
@@ -55,6 +69,7 @@
 mod backend;
 pub mod client;
 mod conn;
+mod event_loop;
 pub mod replication;
 mod reply;
 mod scheduler;
@@ -74,16 +89,14 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Size of the connection worker pool (thread-per-connection, at most
-    /// this many concurrent connections are served).
+    /// Size of the command worker pool: at most this many commands
+    /// execute concurrently (connections themselves cost no thread — the
+    /// reactor multiplexes them all).
     pub workers: usize,
-    /// Bounded accept backlog.  While every worker is occupied (a worker
-    /// serves one connection for its whole lifetime), up to this many
-    /// accepted connections wait silently for a free worker; connections
-    /// beyond that are answered `ERR BUSY SERVER BUSY …` and closed
-    /// instead of queueing without bound.  Size `workers` for the
-    /// long-lived sessions you expect and `backlog` for tolerable
-    /// wait-queue depth.
+    /// Per-connection pending-command bound.  The reactor stops reading
+    /// from a connection whose decoded-but-unexecuted command queue has
+    /// reached this depth, and resumes as workers drain it — per-sender
+    /// backpressure instead of unbounded buffering.
     pub backlog: usize,
     /// Number of `BATCH` query fan-outs that may run concurrently; further
     /// batches are refused with `ERR BUSY SERVER BUSY …` until a permit
@@ -92,6 +105,11 @@ pub struct ServerConfig {
     /// Longest accepted command line in bytes; longer lines are discarded
     /// up to their newline and answered `ERR LINE …`.
     pub max_line_bytes: usize,
+    /// Longest accepted `BULK` frame body in bytes.  A header advertising
+    /// more is refused with `ERR FRAME …` *before* any allocation — the
+    /// advertised length never reserves memory — and the connection
+    /// stays in line mode.
+    pub max_frame_bytes: usize,
     /// Most commands a single `BATCH … END` may carry.
     pub max_batch_commands: usize,
     /// Socket read poll interval: how quickly an idle connection notices
@@ -130,6 +148,7 @@ impl Default for ServerConfig {
             backlog: 16,
             batch_permits: 2,
             max_line_bytes: 64 * 1024,
+            max_frame_bytes: 8 * 1024 * 1024,
             max_batch_commands: 4096,
             poll_interval: Duration::from_millis(100),
             chaos: false,

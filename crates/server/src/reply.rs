@@ -78,6 +78,17 @@ pub(crate) fn readonly(verb: &str) -> String {
     format!("ERR READONLY {verb} is not served by a follower; write to the primary")
 }
 
+/// Renders a bulk-frame defect as the single `ERR FRAME <why>` reply the
+/// whole (unexecuted) frame gets.
+pub(crate) fn frame_error(why: &str) -> String {
+    format!("ERR FRAME {}", single_line(why))
+}
+
+/// Renders a [`FrameError`](cdr_core::FrameError) from the bulk decoder.
+pub(crate) fn render_frame_error(error: &cdr_core::FrameError) -> String {
+    frame_error(&error.to_string())
+}
+
 pub(crate) fn render_report(semantics: &Semantics, report: &CountReport) -> String {
     let provenance = format!(
         "strategy={:?} cached={} gen={}",

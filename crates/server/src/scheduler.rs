@@ -1,10 +1,10 @@
 //! The shared serving state: the engine behind its read/write lock, the
 //! bounded batch-permit pool, shutdown signalling and counters.
 
-use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+
+use cdr_reactor::Waker;
 
 use crate::backend::Backend;
 use crate::session::EngineHost;
@@ -29,8 +29,9 @@ pub(crate) struct Shared {
     /// Remaining `BATCH` fan-out permits (see [`ServerConfig::batch_permits`]).
     batch_permits: Mutex<usize>,
     shutdown: AtomicBool,
-    /// Where the accept loop listens — used to wake it on shutdown.
-    addr: SocketAddr,
+    /// The reactor's waker — workers nudge it after buffering replies,
+    /// and shutdown uses it so the event loop notices without traffic.
+    waker: Waker,
     pub(crate) connections: AtomicU64,
     pub(crate) commands: AtomicU64,
     pub(crate) busy_rejections: AtomicU64,
@@ -44,13 +45,13 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 impl Shared {
-    pub(crate) fn new(backend: Backend, config: ServerConfig, addr: SocketAddr) -> Self {
+    pub(crate) fn new(backend: Backend, config: ServerConfig, waker: Waker) -> Self {
         Shared {
             batch_permits: Mutex::new(config.batch_permits),
             config,
             backend,
             shutdown: AtomicBool::new(false),
-            addr,
+            waker,
             connections: AtomicU64::new(0),
             commands: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
@@ -62,23 +63,17 @@ impl Shared {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Flags shutdown and pokes the accept loop awake with a throwaway
-    /// connection so it notices without waiting for outside traffic.
+    pub(crate) fn waker(&self) -> &Waker {
+        &self.waker
+    }
+
+    /// Flags shutdown and wakes the reactor so it notices without
+    /// waiting for outside traffic or the next poll tick.
     pub(crate) fn begin_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // An unspecified bind address (0.0.0.0 / ::) is not connectable on
-        // every platform; the loopback of the same family always reaches
-        // the listener.
-        let mut addr = self.addr;
-        if addr.ip().is_unspecified() {
-            addr.set_ip(match addr {
-                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+        self.waker.wake();
     }
 }
 
@@ -138,11 +133,11 @@ mod tests {
         let (db, keys) = employee_example();
         let mut config = ServerConfig::bind("127.0.0.1:0");
         config.batch_permits = permits;
-        let addr = "127.0.0.1:0".parse().expect("loopback addr");
+        let waker = Waker::new().expect("loopback waker");
         Shared::new(
             Backend::sharded(ShardedEngine::new(db, keys, 4)),
             config,
-            addr,
+            waker,
         )
     }
 

@@ -1,39 +1,33 @@
-//! The listener: a bounded worker pool serving thread-per-connection.
+//! The server handle: one reactor thread over every socket, a bounded
+//! worker pool executing commands.
 
-use std::collections::VecDeque;
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use cdr_core::{RepairEngine, ShardedEngine};
+use cdr_reactor::Waker;
 
 use crate::backend::Backend;
-use crate::conn::handle_connection;
+use crate::event_loop::{reactor_loop, worker_loop, JobQueue};
 use crate::replication::{ReplicatedBackend, TailOutcome};
 use crate::scheduler::Shared;
-use crate::{reply, ServerConfig};
+use crate::ServerConfig;
 
 /// Counters a [`Server`] accumulates over its lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Connections accepted (including ones refused for backlog overflow).
+    /// Connections accepted.
     pub connections: u64,
-    /// Command lines received across all connections.
+    /// Commands received across all connections (one per line, one per
+    /// bulk frame).
     pub commands: u64,
-    /// `SERVER BUSY` replies sent (batch permits or backlog exhausted).
+    /// `ERR BUSY` replies sent (batch permits exhausted or rate limit).
     pub busy_rejections: u64,
     /// Worker panics caught and recovered from.
     pub recovered_panics: u64,
-}
-
-/// The bounded queue of accepted connections awaiting a worker.
-#[derive(Default)]
-struct ConnQueue {
-    queue: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
 }
 
 /// A running line-protocol server over one [`RepairEngine`].
@@ -54,13 +48,14 @@ struct ConnQueue {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `config.addr` (port 0 picks an ephemeral port), spawns the
-    /// worker pool and the accept loop, and returns the running server.
+    /// worker pool and the reactor thread, and returns the running
+    /// server.
     pub fn start(engine: RepairEngine, config: ServerConfig) -> std::io::Result<Server> {
         Server::start_backend(Backend::single(engine), config)
     }
@@ -87,17 +82,18 @@ impl Server {
     fn start_backend(backend: Backend, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let waker = Waker::new()?;
         let worker_count = config.workers.max(1);
-        let shared = Arc::new(Shared::new(backend, config, addr));
-        let queue = Arc::new(ConnQueue::default());
+        let shared = Arc::new(Shared::new(backend, config, waker));
+        let jobs = Arc::new(JobQueue::default());
 
         let mut workers: Vec<JoinHandle<()>> = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let queue = Arc::clone(&queue);
+                let jobs = Arc::clone(&jobs);
                 std::thread::Builder::new()
                     .name(format!("cdr-server-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &queue))
+                    .spawn(move || worker_loop(&shared, &jobs))
                     .expect("spawning a worker thread")
             })
             .collect();
@@ -118,19 +114,19 @@ impl Server {
             }
         }
 
-        let accept_thread = {
+        let reactor_thread = {
             let shared = Arc::clone(&shared);
-            let queue = Arc::clone(&queue);
+            let jobs = Arc::clone(&jobs);
             std::thread::Builder::new()
-                .name("cdr-server-accept".to_string())
-                .spawn(move || accept_loop(&shared, &queue, listener))
-                .expect("spawning the accept thread")
+                .name("cdr-server-reactor".to_string())
+                .spawn(move || reactor_loop(&shared, listener, &jobs))
+                .expect("spawning the reactor thread")
         };
 
         Ok(Server {
             addr,
             shared,
-            accept_thread: Some(accept_thread),
+            reactor_thread: Some(reactor_thread),
             workers,
         })
     }
@@ -150,9 +146,10 @@ impl Server {
         }
     }
 
-    /// Initiates shutdown: the accept loop stops, workers drain their
-    /// queue and idle connections close at the next poll tick.  Clients
-    /// can trigger the same path with the `SHUTDOWN` command.
+    /// Initiates shutdown: the reactor stops accepting and reading,
+    /// flushes pending replies (bounded by a grace period), and workers
+    /// drain their queue.  Clients can trigger the same path with the
+    /// `SHUTDOWN` command.
     pub fn shutdown(&self) {
         self.shared.begin_shutdown();
     }
@@ -161,8 +158,8 @@ impl Server {
     /// counters.  Call [`Server::shutdown`] (or have a client send
     /// `SHUTDOWN`) first, or this blocks until one does.
     pub fn join(mut self) -> ServerStats {
-        if let Some(accept) = self.accept_thread.take() {
-            let _ = accept.join();
+        if let Some(reactor) = self.reactor_thread.take() {
+            let _ = reactor.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -173,7 +170,7 @@ impl Server {
 
 /// The follower's replication pump: pull records from the upstream until
 /// the server shuts down or this node is promoted.  A panic inside one
-/// iteration is counted and recovered like a connection handler panic —
+/// iteration is counted and recovered like a command handler panic —
 /// the pump never dies while the node is still a follower.
 fn tailer_loop(shared: &Shared) {
     use crate::session::EngineHost;
@@ -190,68 +187,6 @@ fn tailer_loop(shared: &Shared) {
                 eprintln!("cdr-server: tailer recovered from a panic");
                 std::thread::sleep(shared.config.poll_interval);
             }
-        }
-    }
-}
-
-fn accept_loop(shared: &Shared, queue: &ConnQueue, listener: TcpListener) {
-    for stream in listener.incoming() {
-        if shared.shutting_down() {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        shared.connections.fetch_add(1, Ordering::Relaxed);
-        let mut q = queue
-            .queue
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        if q.len() >= shared.config.backlog {
-            drop(q);
-            shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
-            let mut stream = stream;
-            let _ = stream.write_all(
-                format!("{}\n", reply::busy("connection backlog full, retry later")).as_bytes(),
-            );
-            continue;
-        }
-        q.push_back(stream);
-        drop(q);
-        queue.ready.notify_one();
-    }
-    queue.ready.notify_all();
-}
-
-fn worker_loop(shared: &Shared, queue: &ConnQueue) {
-    loop {
-        let job = {
-            let mut q = queue
-                .queue
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            loop {
-                if let Some(stream) = q.pop_front() {
-                    break Some(stream);
-                }
-                if shared.shutting_down() {
-                    break None;
-                }
-                // A timed wait doubles as the shutdown poll, so workers
-                // never need an explicit wake-up to exit.
-                let (guard, _) = queue
-                    .ready
-                    .wait_timeout(q, shared.config.poll_interval)
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
-                q = guard;
-            }
-        };
-        let Some(stream) = job else { break };
-        // A panicking handler loses its connection, never its worker: the
-        // panic is counted, the engine lock is poison-recovered by the
-        // next guard, and the worker moves on to the next connection.
-        let caught = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, stream)));
-        if caught.is_err() {
-            shared.recovered_panics.fetch_add(1, Ordering::Relaxed);
-            eprintln!("cdr-server: worker recovered from a connection handler panic");
         }
     }
 }

@@ -202,6 +202,41 @@ impl Session {
             _ => Step::Replies(vec![execute_command(host, trimmed)]),
         }
     }
+
+    /// Feeds one decoded `BULK` frame body (the bytes after the
+    /// `BULK <len>` header line).
+    ///
+    /// Decoding is all-or-nothing: a defective frame answers a single
+    /// `ERR FRAME <why>` line and executes nothing.  A valid frame of
+    /// `k` ops answers exactly `k` reply lines, each produced by the
+    /// same [`Backend::mutate`] call the textual `INSERT`/`DELETE` path
+    /// makes — the byte-identical-replies invariant (including
+    /// `gen=`/`cached=` provenance and the follower's `ERR READONLY`)
+    /// holds by construction, not by re-rendering.
+    ///
+    /// A frame arriving inside an open `BATCH … END` discards the batch
+    /// and is itself rejected: a batch collects *lines*, and silently
+    /// splicing a binary frame into one would blur its atomicity story.
+    pub(crate) fn bulk<H: EngineHost>(&mut self, host: &H, frame: &[u8]) -> Step {
+        if self.batch.take().is_some() {
+            return Step::Replies(vec![reply::frame_error(
+                "BULK inside an open BATCH; the batch was discarded",
+            )]);
+        }
+        let db = database_snapshot(host);
+        match cdr_core::decode_bulk(frame, &db) {
+            Err(e) => Step::Replies(vec![reply::render_frame_error(&e)]),
+            Ok(mutations) => {
+                let threshold = host.auto_compact_threshold();
+                Step::Replies(
+                    mutations
+                        .into_iter()
+                        .map(|m| host.backend().mutate(m, threshold))
+                        .collect(),
+                )
+            }
+        }
+    }
 }
 
 /// `COMPACT VERBOSE [LIMIT <n>]`: compacts, then streams the id
@@ -486,6 +521,24 @@ impl Oracle {
             admin_token: self.admin_token.as_deref(),
         };
         match self.session.feed(&host, line) {
+            Step::Silent => Vec::new(),
+            Step::Replies(replies) => replies,
+            Step::Quit(reply) | Step::Shutdown(reply) => vec![reply],
+        }
+    }
+
+    /// Executes one `BULK` frame body, returning the reply lines it
+    /// produced — one per op on success, a single `ERR FRAME …` line on
+    /// a defective frame.  The single-threaded ground truth for the
+    /// server's binary ingest path, exactly as [`Oracle::feed`] is for
+    /// its line path.
+    pub fn feed_bulk(&mut self, frame: &[u8]) -> Vec<String> {
+        let host = OracleHost {
+            backend: &self.backend,
+            auto_compact: self.auto_compact,
+            admin_token: self.admin_token.as_deref(),
+        };
+        match self.session.bulk(&host, frame) {
             Step::Silent => Vec::new(),
             Step::Replies(replies) => replies,
             Step::Quit(reply) | Step::Shutdown(reply) => vec![reply],
@@ -797,6 +850,69 @@ mod tests {
                 assert_eq!(lhs, rhs, "diverged on `{line}`");
             }
         }
+    }
+
+    #[test]
+    fn bulk_frames_reply_byte_identically_to_the_textual_lines() {
+        let (db, keys) = employee_example();
+        let mut textual = Oracle::new(RepairEngine::new(db.clone(), keys.clone()));
+        let mut binary = Oracle::new(RepairEngine::new(db.clone(), keys));
+        let lines = [
+            "INSERT Employee(2, 'Eve', 'Sales')",
+            "INSERT Employee(3, 'Ann', 'IT')",
+            "DELETE 4",
+            "DELETE 4",
+            "INSERT Employee(3, 'Ann', 'IT')",
+        ];
+        let mutations: Vec<_> = lines
+            .iter()
+            .map(|l| cdr_core::wire::parse_mutation(l, &db).unwrap())
+            .collect();
+        let frame = cdr_core::encode_bulk(&db, &mutations);
+        let mut expected = Vec::new();
+        for line in lines {
+            expected.extend(textual.feed(line));
+        }
+        assert_eq!(binary.feed_bulk(&frame), expected);
+        assert_eq!(
+            binary.feed("STATS"),
+            textual.feed("STATS"),
+            "final engine state diverged"
+        );
+    }
+
+    #[test]
+    fn a_defective_bulk_frame_executes_nothing() {
+        let mut oracle = oracle();
+        let replies = oracle.feed_bulk(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01]);
+        assert_eq!(replies.len(), 1);
+        assert!(replies[0].starts_with("ERR FRAME "), "{}", replies[0]);
+        assert!(oracle.feed("STATS")[0].contains(" gen=0 "), "nothing ran");
+        // An empty frame is valid and answers nothing at all.
+        let empty = {
+            let (db, _) = employee_example();
+            cdr_core::encode_bulk(&db, &[])
+        };
+        assert!(oracle.feed_bulk(&empty).is_empty());
+    }
+
+    #[test]
+    fn a_bulk_frame_discards_an_open_batch() {
+        let mut oracle = oracle();
+        oracle.feed("BATCH");
+        oracle.feed("INSERT Employee(3, 'Ann', 'IT')");
+        let frame = {
+            let (db, _) = employee_example();
+            cdr_core::encode_bulk(&db, &[])
+        };
+        let replies = oracle.feed_bulk(&frame);
+        assert_eq!(
+            replies,
+            vec!["ERR FRAME BULK inside an open BATCH; the batch was discarded".to_string()]
+        );
+        // The half-collected batch is gone: END is now a stray.
+        assert!(oracle.feed("END")[0].starts_with("ERR BATCH "));
+        assert!(oracle.feed("STATS")[0].contains("facts=4 "));
     }
 
     #[test]

@@ -10,12 +10,21 @@
 //! socket.  The replicated cases additionally boot a follower afterwards
 //! and demand catch-up plus gauge parity, and every case now mixes
 //! garbage `REPL` frames into the hostile stream.
+//!
+//! Binary `BULK` frames joined the chaos with the bulk-ingest PR: valid
+//! frames must answer exactly like their textual lines, while flipped
+//! payload bytes, flipped checksums, truncated structures, unknown
+//! versions, out-of-range symbol indexes and oversize length prefixes
+//! must each draw one deterministic `ERR FRAME …` line, execute
+//! nothing, and leave the connection in line mode — and a peer that
+//! vanishes mid-frame must not disturb anyone else.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
+use repair_count::db::snapshot::crc32;
 use repair_count::db::{count_repairs, BlockPartition};
 use repair_count::prelude::*;
 use repair_count::workloads::sensor_readings;
@@ -141,6 +150,14 @@ fn assert_served_parity(client: &mut Client, live: &BTreeMap<usize, String>) {
     }
 }
 
+/// Wraps a raw payload in a fresh, *correct* checksum — for frame cases
+/// where the payload itself carries the defect under test.
+fn reframe(payload: &[u8]) -> Vec<u8> {
+    let mut frame = crc32(payload).to_le_bytes().to_vec();
+    frame.extend_from_slice(payload);
+    frame
+}
+
 /// One xorshift step: the deterministic chaos source for a case.
 fn next(state: &mut u64) -> u64 {
     *state = state
@@ -169,6 +186,8 @@ proptest! {
             .map(|(id, fact)| (id.index(), fact.display(db.schema()).to_string()))
             .collect();
         let mut next_id = live.len();
+        // The schema view the bulk-frame arms encode against.
+        let codec_db = db.clone();
 
         let (server, log_dir) = start_fuzz_server(db, keys, mode);
         let mut clients = [
@@ -179,7 +198,7 @@ proptest! {
         for step in 0..steps {
             let who = (next(&mut state) >> 7) as usize % 2;
             let client = &mut clients[who];
-            match next(&mut state) % 9 {
+            match next(&mut state) % 12 {
                 // Fresh insert (values disjoint from the base generator).
                 0 | 1 => {
                     let sensor = next(&mut state) % 4;
@@ -262,7 +281,7 @@ proptest! {
                 // refuse the verb, a replicated primary answers in
                 // protocol — nobody panics, and multi-line replies are
                 // drained so the session never desyncs.
-                _ => {
+                8 => {
                     let garbage = [
                         "REPL",
                         "REPL FETCH",
@@ -283,12 +302,98 @@ proptest! {
                     );
                     drain_repl_reply(client, &reply);
                 }
+                // A valid binary bulk frame: two fresh inserts, answered
+                // with the same `OK INSERT id=…` lines the textual path
+                // would have produced.
+                9 => {
+                    let lines: Vec<String> = (0..2usize)
+                        .map(|k| {
+                            let sensor = next(&mut state) % 4;
+                            let tick = next(&mut state) % 3;
+                            let value = 2000 + step * 2 + k;
+                            format!("INSERT Reading({sensor}, {tick}, {value})")
+                        })
+                        .collect();
+                    let ops: Vec<Mutation> = lines
+                        .iter()
+                        .map(|line| parse_mutation(line, &codec_db).expect("valid line"))
+                        .collect();
+                    let frame = encode_bulk(&codec_db, &ops);
+                    let replies = client.send_bulk(&frame, ops.len()).expect("bulk replies");
+                    prop_assert_eq!(replies.len(), lines.len());
+                    for reply in &replies {
+                        prop_assert!(reply.starts_with("OK INSERT id="), "{}", reply);
+                    }
+                    for line in &lines {
+                        let fact = line.strip_prefix("INSERT ").unwrap().to_string();
+                        live.insert(next_id, fact);
+                        next_id += 1;
+                    }
+                }
+                // A defective bulk frame: flipped payload byte, flipped
+                // checksum byte, truncated structure, unknown version, or
+                // an out-of-range symbol index.  Exactly one `ERR FRAME`
+                // line, nothing executes, the session stays in line mode.
+                10 => {
+                    let ops =
+                        vec![parse_mutation("INSERT Reading(0, 0, 9999)", &codec_db)
+                            .expect("valid line")];
+                    let frame = match next(&mut state) % 5 {
+                        0 => {
+                            let mut frame = encode_bulk(&codec_db, &ops);
+                            let last = frame.len() - 1;
+                            frame[last] ^= 0x20;
+                            frame
+                        }
+                        1 => {
+                            let mut frame = encode_bulk(&codec_db, &ops);
+                            frame[2] ^= 0x01;
+                            frame
+                        }
+                        2 => {
+                            // Cut the payload short and re-checksum, so the
+                            // truncated structure itself is at fault.
+                            let whole = encode_bulk(&codec_db, &ops);
+                            let keep = 5 + next(&mut state) as usize % (whole.len() - 6);
+                            reframe(&whole[4..keep])
+                        }
+                        3 => {
+                            // Version byte from the future, re-checksummed.
+                            let whole = encode_bulk(&codec_db, &ops);
+                            let mut payload = whole[4..].to_vec();
+                            payload[0] = 99;
+                            reframe(&payload)
+                        }
+                        _ => {
+                            // Symbol index 7 against an empty dictionary,
+                            // hand-assembled (every varint fits one byte).
+                            reframe(&[1, 0, 1, 0, 0, 1, 7])
+                        }
+                    };
+                    let replies = client.send_bulk(&frame, ops.len()).expect("frame reply");
+                    prop_assert_eq!(replies.len(), 1);
+                    prop_assert!(replies[0].starts_with("ERR FRAME "), "{}", replies[0]);
+                    let probe = client.send("SLEEP 0").expect("session survives");
+                    prop_assert_eq!(probe.as_str(), "OK SLEPT 0");
+                }
+                // An oversize length prefix: refused before any body byte
+                // is read (none is ever sent), line mode resumes at once.
+                _ => {
+                    let reply = client.send("BULK 536870912").expect("oversize header reply");
+                    prop_assert!(reply.starts_with("ERR FRAME "), "{}", reply);
+                    let stats = client.send("STATS").expect("line mode resumed");
+                    prop_assert!(stats.starts_with("OK STATS "), "{}", stats);
+                }
             }
         }
 
         // An abrupt mid-line disconnect must not disturb the others.
         let mut rude = Client::connect(server.addr()).expect("connect");
         rude.send_raw(b"INSERT Reading(0, 0, 55").expect("half a line");
+        drop(rude);
+        // Nor a peer that promises a 64-byte frame, ships 10 and vanishes.
+        let mut rude = Client::connect(server.addr()).expect("connect");
+        rude.send_raw(b"BULK 64\n0123456789").expect("partial frame");
         drop(rude);
 
         assert_served_parity(&mut clients[0], &live);
