@@ -1,0 +1,127 @@
+//! `cdr-chaos` — a standalone fault-injection proxy for soak scripts.
+//!
+//! ```text
+//! cdr-chaos --listen 127.0.0.1:7801 --upstream 127.0.0.1:7800 \
+//!     --seed 42 --probability 0.3 --menu delay,truncate \
+//!     --trigger 0:4096 --delay-ms 5:50
+//! ```
+//!
+//! Prints the listen address on stdout (`LISTEN <addr>`) once bound,
+//! then proxies until killed.  The fault schedule is a pure function of
+//! the seed and the connection index, so a soak run is reproducible.
+
+use std::io::Write;
+use std::net::SocketAddr;
+use std::process::exit;
+
+use cdr_chaos::{ChaosConfig, ChaosProxy, Direction, FaultKind};
+
+const USAGE: &str = "usage: cdr-chaos --upstream <host:port> [--listen <host:port>] \
+    [--seed <n>] [--probability <p>] [--menu delay,truncate,blackhole,halfclose] \
+    [--directions up,down] [--trigger <lo>:<hi>] [--delay-ms <lo>:<hi>]";
+
+fn fail(message: &str) -> ! {
+    eprintln!("cdr-chaos: {message}");
+    eprintln!("{USAGE}");
+    exit(2)
+}
+
+fn parse_range(flag: &str, value: &str) -> (u64, u64) {
+    let Some((lo, hi)) = value.split_once(':') else {
+        fail(&format!("{flag} wants <lo>:<hi>, got `{value}`"));
+    };
+    match (lo.parse(), hi.parse()) {
+        (Ok(lo), Ok(hi)) if lo <= hi => (lo, hi),
+        _ => fail(&format!("{flag} wants numeric <lo>:<hi> with lo <= hi")),
+    }
+}
+
+fn main() {
+    let mut upstream: Option<SocketAddr> = None;
+    let mut listen: Option<String> = None;
+    let mut config = ChaosConfig {
+        seed: 42,
+        fault_probability: 0.25,
+        menu: vec![FaultKind::Delay, FaultKind::Truncate],
+        directions: vec![Direction::ClientToServer, Direction::ServerToClient],
+        trigger_bytes: (0, 4096),
+        delay_ms: (1, 50),
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} wants a value")))
+        };
+        match flag.as_str() {
+            "--upstream" => {
+                let raw = value("--upstream");
+                match raw.parse() {
+                    Ok(addr) => upstream = Some(addr),
+                    Err(e) => fail(&format!("--upstream `{raw}`: {e}")),
+                }
+            }
+            "--listen" => listen = Some(value("--listen")),
+            "--seed" => {
+                config.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed wants a u64"));
+            }
+            "--probability" => {
+                let p: f64 = value("--probability")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--probability wants a float in [0, 1]"));
+                if !(0.0..=1.0).contains(&p) {
+                    fail("--probability wants a float in [0, 1]");
+                }
+                config.fault_probability = p;
+            }
+            "--menu" => {
+                config.menu = value("--menu")
+                    .split(',')
+                    .map(|token| {
+                        FaultKind::parse(token)
+                            .unwrap_or_else(|| fail(&format!("unknown fault `{token}`")))
+                    })
+                    .collect();
+            }
+            "--directions" => {
+                config.directions = value("--directions")
+                    .split(',')
+                    .map(|token| match token {
+                        "up" => Direction::ClientToServer,
+                        "down" => Direction::ServerToClient,
+                        other => fail(&format!("unknown direction `{other}` (up|down)")),
+                    })
+                    .collect();
+            }
+            "--trigger" => config.trigger_bytes = parse_range("--trigger", &value("--trigger")),
+            "--delay-ms" => config.delay_ms = parse_range("--delay-ms", &value("--delay-ms")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let Some(upstream) = upstream else {
+        fail("--upstream is required");
+    };
+
+    // Ephemeral mode (no --listen) is the common soak-script path: the
+    // script reads `LISTEN <addr>` from stdout.
+    let proxy = match listen {
+        None => ChaosProxy::start(upstream, config),
+        Some(addr) => ChaosProxy::start_on(&addr, upstream, config),
+    };
+    let proxy = match proxy {
+        Ok(proxy) => proxy,
+        Err(e) => fail(&format!("cannot start: {e}")),
+    };
+    println!("LISTEN {}", proxy.addr());
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

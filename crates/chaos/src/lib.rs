@@ -1,0 +1,507 @@
+//! A deterministic fault-injection TCP proxy.
+//!
+//! [`ChaosProxy`] sits between a client and an upstream server and
+//! forwards bytes in both directions.  Each accepted connection is
+//! assigned a *fault plan* — possibly none — drawn from a ChaCha8
+//! stream seeded with the proxy seed and the connection index, so the
+//! whole fault schedule is a pure function of `(seed, connection
+//! index)`: two runs of the same test inject exactly the same faults at
+//! exactly the same byte offsets.
+//!
+//! The fault menu:
+//!
+//! - **Delay** — forwarding pauses once, at a chosen byte offset, for a
+//!   chosen duration, then resumes.  Safe on any leg: bytes are late,
+//!   never lost.
+//! - **Truncate** — the stream is cut mid-flight at the chosen offset
+//!   (both directions are closed), leaving the peer with a partial
+//!   line or frame.
+//! - **Blackhole** — bytes past the offset are silently swallowed while
+//!   both sockets stay open; the peer sees a stall, not a close, until
+//!   its read deadline fires.
+//! - **HalfClose** — the faulted direction is shut down at the offset
+//!   while the opposite direction keeps flowing.
+//!
+//! The replication link (`REPL FETCH` pulls) is idempotent, so the full
+//! menu is safe there: a cut or stalled pull is retried by the
+//! follower's tailer and the records re-fetch from the same offsets.
+//! On a client leg only delays preserve reply-for-reply parity — a
+//! truncated command would have to be resent, changing the trace.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// What a fault does to its direction of the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Pause forwarding once at the trigger offset, then resume.
+    Delay,
+    /// Cut the whole connection at the trigger offset.
+    Truncate,
+    /// Swallow bytes past the trigger offset, keeping sockets open.
+    Blackhole,
+    /// Shut down this direction at the trigger offset; the opposite
+    /// direction keeps flowing.
+    HalfClose,
+}
+
+impl FaultKind {
+    /// Parses the lowercase menu token used by `cdr-chaos --menu`.
+    pub fn parse(token: &str) -> Option<FaultKind> {
+        match token {
+            "delay" => Some(FaultKind::Delay),
+            "truncate" => Some(FaultKind::Truncate),
+            "blackhole" => Some(FaultKind::Blackhole),
+            "halfclose" => Some(FaultKind::HalfClose),
+            _ => None,
+        }
+    }
+}
+
+/// Which pump of a proxied connection a fault applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Bytes flowing from the accepted client toward the upstream.
+    ClientToServer,
+    /// Bytes flowing from the upstream back to the client.
+    ServerToClient,
+}
+
+/// One planned fault on one proxied connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// What happens.
+    pub kind: FaultKind,
+    /// Which pump it happens on.
+    pub direction: Direction,
+    /// How many bytes that pump forwards before the fault triggers.
+    pub after_bytes: u64,
+    /// The pause length, for [`FaultKind::Delay`].
+    pub delay: Duration,
+}
+
+/// The seeded fault schedule: per-connection plans are a pure function
+/// of `(seed, connection index)` and this configuration.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Seed of the plan stream.
+    pub seed: u64,
+    /// Probability an accepted connection gets a fault at all.
+    pub fault_probability: f64,
+    /// Fault kinds to draw from; empty disables injection entirely.
+    pub menu: Vec<FaultKind>,
+    /// Directions to draw from; empty disables injection entirely.
+    pub directions: Vec<Direction>,
+    /// Trigger-offset range in bytes, `min..=max`.
+    pub trigger_bytes: (u64, u64),
+    /// Delay range in milliseconds, `min..=max` (Delay faults only).
+    pub delay_ms: (u64, u64),
+}
+
+impl ChaosConfig {
+    /// A menu-less pass-through configuration (no faults ever).
+    pub fn passthrough() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            fault_probability: 0.0,
+            menu: Vec::new(),
+            directions: Vec::new(),
+            trigger_bytes: (0, 0),
+            delay_ms: (0, 0),
+        }
+    }
+
+    /// The plan for connection `index` — deterministic: the same
+    /// `(config, index)` always yields the same plan.
+    pub fn plan(&self, index: u64) -> Option<Fault> {
+        if self.menu.is_empty() || self.directions.is_empty() {
+            return None;
+        }
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if !rng.gen_bool(self.fault_probability) {
+            return None;
+        }
+        let kind = self.menu[rng.gen_range(0..self.menu.len())];
+        let direction = self.directions[rng.gen_range(0..self.directions.len())];
+        let (lo, hi) = self.trigger_bytes;
+        let after_bytes = rng.gen_range(lo..=hi.max(lo));
+        let (dlo, dhi) = self.delay_ms;
+        let delay = Duration::from_millis(rng.gen_range(dlo..=dhi.max(dlo)));
+        Some(Fault {
+            kind,
+            direction,
+            after_bytes,
+            delay,
+        })
+    }
+}
+
+struct ProxyShared {
+    config: ChaosConfig,
+    upstream: SocketAddr,
+    stopping: AtomicBool,
+    connections: AtomicU64,
+    faults: AtomicU64,
+    /// Live sockets, shut down on proxy shutdown so pump threads exit.
+    live: Mutex<Vec<TcpStream>>,
+}
+
+/// A running fault-injection proxy in front of one upstream address.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port in front of `upstream` and
+    /// starts proxying.
+    pub fn start(upstream: SocketAddr, config: ChaosConfig) -> io::Result<ChaosProxy> {
+        ChaosProxy::start_on("127.0.0.1:0", upstream, config)
+    }
+
+    /// Like [`ChaosProxy::start`], but binds the given listen address
+    /// (`cdr-chaos --listen`).
+    pub fn start_on(
+        listen: &str,
+        upstream: SocketAddr,
+        config: ChaosConfig,
+    ) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            config,
+            upstream,
+            stopping: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            live: Mutex::new(Vec::new()),
+        });
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cdr-chaos-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener))
+                .expect("spawning the chaos accept thread")
+        };
+        Ok(ChaosProxy {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.shared.connections.load(Ordering::Relaxed)
+    }
+
+    /// Faults actually injected so far (triggered, not just planned).
+    pub fn faults(&self) -> u64 {
+        self.shared.faults.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, tears down every proxied connection and joins
+    /// the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for stream in lock_live(&self.shared).drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn lock_live(shared: &ProxyShared) -> std::sync::MutexGuard<'_, Vec<TcpStream>> {
+    shared
+        .live
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn accept_loop(shared: &Arc<ProxyShared>, listener: &TcpListener) {
+    loop {
+        let Ok((client, _)) = listener.accept() else {
+            return;
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let index = shared.connections.fetch_add(1, Ordering::Relaxed);
+        let plan = shared.config.plan(index);
+        let Ok(upstream) = TcpStream::connect(shared.upstream) else {
+            // A dead upstream closes the client straight away — exactly
+            // what a direct connection would see.
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        };
+        let _ = client.set_nodelay(true);
+        let _ = upstream.set_nodelay(true);
+        {
+            let mut live = lock_live(shared);
+            if let (Ok(c), Ok(u)) = (client.try_clone(), upstream.try_clone()) {
+                live.push(c);
+                live.push(u);
+            }
+        }
+        spawn_pump(
+            shared,
+            index,
+            Direction::ClientToServer,
+            &client,
+            &upstream,
+            plan,
+        );
+        spawn_pump(
+            shared,
+            index,
+            Direction::ServerToClient,
+            &upstream,
+            &client,
+            plan,
+        );
+    }
+}
+
+fn spawn_pump(
+    shared: &Arc<ProxyShared>,
+    index: u64,
+    direction: Direction,
+    from: &TcpStream,
+    to: &TcpStream,
+    plan: Option<Fault>,
+) {
+    let (Ok(from), Ok(to)) = (from.try_clone(), to.try_clone()) else {
+        return;
+    };
+    let shared = Arc::clone(shared);
+    let fault = plan.filter(|f| f.direction == direction);
+    let side = match direction {
+        Direction::ClientToServer => "up",
+        Direction::ServerToClient => "down",
+    };
+    let _ = std::thread::Builder::new()
+        .name(format!("cdr-chaos-{index}-{side}"))
+        .spawn(move || pump(&shared, from, to, fault));
+}
+
+/// Forwards bytes `from` → `to`, enacting at most one fault at its
+/// trigger offset.  Exits on EOF, error, or a stream-ending fault; the
+/// paired sockets are shut down so the opposite pump exits too (except
+/// for Blackhole and HalfClose, which deliberately keep the peer up).
+fn pump(shared: &ProxyShared, mut from: TcpStream, mut to: TcpStream, fault: Option<Fault>) {
+    let mut buf = [0u8; 4096];
+    let mut forwarded: u64 = 0;
+    let mut pending = fault;
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let mut chunk = &buf[..n];
+        if let Some(f) = pending {
+            let until_trigger = f.after_bytes.saturating_sub(forwarded);
+            if (chunk.len() as u64) >= until_trigger {
+                let head = until_trigger as usize;
+                shared.faults.fetch_add(1, Ordering::Relaxed);
+                match f.kind {
+                    FaultKind::Delay => {
+                        if head > 0 && to.write_all(&chunk[..head]).is_err() {
+                            break;
+                        }
+                        forwarded += head as u64;
+                        chunk = &chunk[head..];
+                        std::thread::sleep(f.delay);
+                        pending = None;
+                        // Fall through: the rest of the chunk forwards
+                        // below like any other bytes.
+                    }
+                    FaultKind::Truncate => {
+                        if head > 0 {
+                            let _ = to.write_all(&chunk[..head]);
+                        }
+                        let _ = to.shutdown(Shutdown::Both);
+                        let _ = from.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    FaultKind::Blackhole => {
+                        if head > 0 && to.write_all(&chunk[..head]).is_err() {
+                            break;
+                        }
+                        // Swallow everything from here on, keeping both
+                        // sockets open: the peer stalls until its own
+                        // read deadline fires.
+                        loop {
+                            match from.read(&mut buf) {
+                                Ok(0) | Err(_) => return,
+                                Ok(_) => {}
+                            }
+                        }
+                    }
+                    FaultKind::HalfClose => {
+                        if head > 0 {
+                            let _ = to.write_all(&chunk[..head]);
+                        }
+                        let _ = to.shutdown(Shutdown::Write);
+                        let _ = from.shutdown(Shutdown::Read);
+                        return;
+                    }
+                }
+            }
+        }
+        if chunk.is_empty() {
+            continue;
+        }
+        if to.write_all(chunk).is_err() {
+            break;
+        }
+        forwarded += chunk.len() as u64;
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn full_menu() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0xfau64,
+            fault_probability: 0.5,
+            menu: vec![
+                FaultKind::Delay,
+                FaultKind::Truncate,
+                FaultKind::Blackhole,
+                FaultKind::HalfClose,
+            ],
+            directions: vec![Direction::ClientToServer, Direction::ServerToClient],
+            trigger_bytes: (0, 256),
+            delay_ms: (1, 20),
+        }
+    }
+
+    /// The fault schedule is a pure function of `(seed, index)`.
+    #[test]
+    fn plans_are_deterministic_per_connection_index() {
+        let config = full_menu();
+        let a: Vec<Option<Fault>> = (0..64).map(|i| config.plan(i)).collect();
+        let b: Vec<Option<Fault>> = (0..64).map(|i| config.plan(i)).collect();
+        assert_eq!(a, b, "two draws of the same schedule agree");
+        assert!(a.iter().any(Option::is_some), "some connections fault");
+        assert!(a.iter().any(Option::is_none), "some connections pass");
+
+        let mut other = config.clone();
+        other.seed ^= 1;
+        let c: Vec<Option<Fault>> = (0..64).map(|i| other.plan(i)).collect();
+        assert_ne!(a, c, "a different seed reshuffles the schedule");
+    }
+
+    /// A pass-through proxy is invisible: an echo upstream answers
+    /// through it byte for byte.
+    #[test]
+    fn passthrough_proxies_lines_verbatim() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (stream, _) = upstream.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut line = String::new();
+            while reader.read_line(&mut line).is_ok_and(|n| n > 0) {
+                writer.write_all(line.as_bytes()).unwrap();
+                line.clear();
+            }
+        });
+
+        let proxy = ChaosProxy::start(upstream_addr, ChaosConfig::passthrough()).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        client.write_all(b"hello through the proxy\n").unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply, "hello through the proxy\n");
+        assert_eq!(proxy.connections(), 1);
+        assert_eq!(proxy.faults(), 0);
+        drop(client);
+        proxy.shutdown();
+        echo.join().unwrap();
+    }
+
+    /// A truncate fault at offset zero cuts the stream before any byte
+    /// arrives: the client sees EOF, and the fault counter ticks.
+    #[test]
+    fn truncate_at_zero_cuts_the_stream() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let sink = std::thread::spawn(move || {
+            let (stream, _) = upstream.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            let _ = reader.read_line(&mut line);
+        });
+
+        let config = ChaosConfig {
+            seed: 1,
+            fault_probability: 1.0,
+            menu: vec![FaultKind::Truncate],
+            directions: vec![Direction::ClientToServer],
+            trigger_bytes: (0, 0),
+            delay_ms: (0, 0),
+        };
+        assert_eq!(
+            config.plan(0),
+            Some(Fault {
+                kind: FaultKind::Truncate,
+                direction: Direction::ClientToServer,
+                after_bytes: 0,
+                delay: Duration::from_millis(0),
+            })
+        );
+        let proxy = ChaosProxy::start(upstream_addr, config).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let _ = client.write_all(b"doomed line\n");
+        let mut reply = Vec::new();
+        let n = client.read_to_end(&mut reply).unwrap_or(0);
+        assert_eq!(n, 0, "the cut stream yields EOF, not data");
+        assert!(proxy.faults() >= 1, "the fault fired");
+        proxy.shutdown();
+        sink.join().unwrap();
+    }
+}

@@ -406,6 +406,51 @@ pub fn survivors_of(report: &cdr_repairdb::CompactionReport) -> Vec<u32> {
         .collect()
 }
 
+/// The `key=value` token of a `REPL HELLO` announcement carrying an
+/// auto-compaction threshold (`compact=16`) or its absence
+/// (`compact=off`).  Both sides of the handshake render the token through
+/// this one function so the mismatch check compares like with like.
+pub fn compact_token(threshold: Option<u64>) -> String {
+    match threshold {
+        Some(t) => format!("compact={t}"),
+        None => "compact=off".to_string(),
+    }
+}
+
+/// Parses a `compact=` token back into a threshold.  Returns `None` for a
+/// malformed value (distinct from `Some(None)`, which is `compact=off`).
+pub fn parse_compact_token(value: &str) -> Option<Option<u64>> {
+    if value == "off" {
+        return Some(None);
+    }
+    value.parse::<u64>().ok().map(Some)
+}
+
+/// Renders the announcing `REPL HELLO` a follower (or supervisor) sends:
+/// its replication epoch, and — when `announce_compact` — the
+/// auto-compaction threshold it would apply if promoted, so a mismatch
+/// with the upstream is rejected at connect time instead of surfacing as
+/// post-promotion divergence.
+pub fn hello_request(epoch: u64, compact: Option<Option<u64>>) -> String {
+    match compact {
+        Some(threshold) => format!("REPL HELLO epoch={epoch} {}", compact_token(threshold)),
+        None => format!("REPL HELLO epoch={epoch}"),
+    }
+}
+
+/// Extracts a `key=value` field from a reply or announcement line
+/// (`field(line, "epoch=")`); the shared parser for the HELLO handshake
+/// and the `STATS` replication tail.
+pub fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(key))
+}
+
+/// [`field`], parsed as a `u64`.
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field(line, key).and_then(|value| value.parse().ok())
+}
+
 /// Replays one record into an engine.
 ///
 /// Mutation errors are swallowed: the primary's engine was left untouched
@@ -656,5 +701,29 @@ mod tests {
             apply_record(&mut replica, &bogus),
             Err(ReplogError::Diverged(_))
         ));
+    }
+
+    #[test]
+    fn hello_codec_round_trips_epoch_and_compact_announcements() {
+        assert_eq!(
+            hello_request(3, Some(Some(16))),
+            "REPL HELLO epoch=3 compact=16"
+        );
+        assert_eq!(
+            hello_request(0, Some(None)),
+            "REPL HELLO epoch=0 compact=off"
+        );
+        assert_eq!(hello_request(7, None), "REPL HELLO epoch=7");
+
+        let line = hello_request(5, Some(Some(32)));
+        assert_eq!(field_u64(&line, "epoch="), Some(5));
+        assert_eq!(field(&line, "compact="), Some("32"));
+        assert_eq!(parse_compact_token("32"), Some(Some(32)));
+        assert_eq!(parse_compact_token("off"), Some(None));
+        assert_eq!(parse_compact_token("soon"), None);
+        assert_eq!(compact_token(None), "compact=off");
+        assert_eq!(compact_token(Some(8)), "compact=8");
+        assert_eq!(field_u64("OK REPL HELLO epoch=2 end=9", "end="), Some(9));
+        assert_eq!(field_u64("OK REPL HELLO", "epoch="), None);
     }
 }

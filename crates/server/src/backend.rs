@@ -89,6 +89,22 @@ impl Backend {
         }
     }
 
+    /// The `RETARGET <host:port>` verb — points a surviving follower at a
+    /// newly promoted primary; replication-free backends refuse it.
+    pub fn retarget(&self, line: &str) -> String {
+        match self {
+            Backend::Replicated(backend) => {
+                let mut tokens = line.split_whitespace();
+                let _verb = tokens.next();
+                match (tokens.next(), tokens.next()) {
+                    (Some(upstream), None) => backend.retarget(upstream),
+                    _ => "ERR REPL usage: RETARGET <host:port>".to_string(),
+                }
+            }
+            _ => "ERR REPL replication is not enabled on this server".to_string(),
+        }
+    }
+
     /// A database over the served schema for lock-free command parsing
     /// (the schema is fixed at engine construction).
     pub fn parse_database(&self) -> Arc<Database> {

@@ -25,11 +25,12 @@
 //! `--shutdown` additionally sends `SHUTDOWN` so the server drains and
 //! exits 0 itself.
 
+use std::net::ToSocketAddrs;
 use std::process::exit;
 use std::time::{Duration, Instant};
 
 use cdr_repairdb::{Database, Mutation};
-use cdr_server::client::Client;
+use cdr_server::client::{Client, RetryPolicy};
 use cdr_workloads::{churn_session, replication_battery, serving_session};
 
 const USAGE: &str = "\
@@ -40,10 +41,14 @@ USAGE:
              [--ticks <n>] [--ops <n>] [--auto-compact <waste>]
              [--from <n>] [--until <n>] [--follow <host:port>]
              [--auth <token>] [--bulk] [--idle-conns <n>]
-             [--hold-ms <ms>] [--shutdown]
+             [--hold-ms <ms>] [--retry <attempts>] [--shutdown]
 
   --auth presents the admin token first, so --shutdown works against a
   server running --admin-token.
+
+  --retry keeps dialling --addr with deterministic capped-exponential
+  backoff for up to <attempts> attempts before giving up — the failover
+  soak points the suffix replay at a follower that is still mid-promotion.
 
   --from/--until replay only the trace lines in [from, until) — the
   failover soak replays a prefix, kills the primary, and finishes the
@@ -94,6 +99,7 @@ fn main() {
     let mut bulk = false;
     let mut idle_conns = 0usize;
     let mut hold_ms = 0u64;
+    let mut retry: Option<u32> = None;
     let mut shutdown = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -119,6 +125,7 @@ fn main() {
             "--bulk" => bulk = true,
             "--idle-conns" => idle_conns = parse(&value()),
             "--hold-ms" => hold_ms = parse(&value()) as u64,
+            "--retry" => retry = Some(parse(&value()) as u32),
             "--shutdown" => shutdown = true,
             other => fail(&format!("unknown flag `{other}`")),
         }
@@ -137,7 +144,27 @@ fn main() {
         fail("--from must not exceed --until (or the trace length)");
     }
     let trace = &full_trace[from..until];
-    let mut client = match Client::connect(&addr) {
+    let dialled = match retry {
+        Some(attempts) => {
+            let resolved = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut addrs| addrs.next())
+                .unwrap_or_else(|| fail(&format!("cannot resolve `{addr}`")));
+            let policy = RetryPolicy {
+                attempts: attempts.max(1),
+                ..RetryPolicy::default()
+            };
+            Client::connect_with_retry(
+                resolved,
+                Some(Duration::from_millis(500)),
+                Some(Duration::from_secs(30)),
+                &policy,
+            )
+        }
+        None => Client::connect(&addr),
+    };
+    let mut client = match dialled {
         Ok(client) => client,
         Err(e) => {
             eprintln!("cdr-replay: cannot connect to {addr}: {e}");

@@ -38,8 +38,9 @@ SERVER OPTIONS:
   --shards <n>            hash-partition the engine across <n> shards with
                           scatter-gather queries (default 1 = unsharded;
                           replies are byte-identical either way)
-  --admin-token <tok>     gate SHUTDOWN, PROMOTE and the chaos verbs behind
-                          `AUTH <tok>` (default: open, legacy behaviour)
+  --admin-token <tok>     gate SHUTDOWN, PROMOTE, RETARGET and the chaos
+                          verbs behind `AUTH <tok>` (default: open,
+                          legacy behaviour)
   --rate-limit <n>        per-connection token bucket: at most <n> commands
                           per second (burst <n>); throttled lines answer
                           exactly `ERR BUSY RATE LIMITED` (off by default)
@@ -54,7 +55,8 @@ REPLICATION OPTIONS (both exclude --shards > 1):
   --follow <host:port>    serve as a follower: bootstrap from the
                           primary's snapshot, tail its record stream, and
                           answer reads byte-identically; mutations answer
-                          `ERR READONLY …` until PROMOTE
+                          `ERR READONLY …` until PROMOTE; RETARGET
+                          repoints the tailer at a newly promoted primary
 
 ENGINE OPTIONS:
   --parallelism <n>       BATCH query fan-out threads (default 1)
@@ -237,13 +239,14 @@ fn main() {
                 engine
             }
         };
-        let backend = match ReplicatedBackend::follower(&upstream, tune) {
-            Ok(backend) => backend,
-            Err(e) => {
-                eprintln!("cdr-serve: cannot bootstrap from {upstream}: {e}");
-                exit(1)
-            }
-        };
+        let backend =
+            match ReplicatedBackend::follower(&upstream, options.config.auto_compact, tune) {
+                Ok(backend) => backend,
+                Err(e) => {
+                    eprintln!("cdr-serve: cannot bootstrap from {upstream}: {e}");
+                    exit(1)
+                }
+            };
         eprintln!(
             "cdr-serve: follower of {upstream}, {} workers",
             options.config.workers

@@ -1,0 +1,123 @@
+//! `cdr-supervisor` — watch a primary, auto-promote a follower on
+//! failure, fence the deposed primary.
+//!
+//! ```text
+//! cdr-supervisor --primary 127.0.0.1:7800 \
+//!     --follower 127.0.0.1:7801 --follower 127.0.0.1:7802 \
+//!     --interval-ms 50 --misses 3 --auth sekrit --status 127.0.0.1:7900
+//! ```
+//!
+//! Prints `STATUS <addr>` once the status socket is bound, then runs
+//! until killed.  Any line sent to the status socket answers the
+//! supervisor's state:
+//!
+//! ```text
+//! OK SUPERVISOR state=watching primary=127.0.0.1:7800 epoch=0 \
+//!     probes=12 misses=0 promotions=0 last_acked=9
+//! ```
+
+use std::io::Write;
+use std::net::SocketAddr;
+use std::process::exit;
+use std::time::Duration;
+
+use cdr_server::{Supervisor, SupervisorConfig};
+
+const USAGE: &str = "usage: cdr-supervisor --primary <host:port> --follower <host:port> \
+    [--follower <host:port> ...] [--interval-ms <n>] [--misses <k>] \
+    [--connect-timeout-ms <n>] [--read-timeout-ms <n>] [--catch-up-ms <n>] \
+    [--auth <token>] [--seed <n>] [--status <host:port>]";
+
+fn fail(message: &str) -> ! {
+    eprintln!("cdr-supervisor: {message}");
+    eprintln!("{USAGE}");
+    exit(2)
+}
+
+fn parse_addr(flag: &str, value: &str) -> SocketAddr {
+    value
+        .parse()
+        .unwrap_or_else(|e| fail(&format!("{flag} `{value}`: {e}")))
+}
+
+fn main() {
+    let mut primary: Option<SocketAddr> = None;
+    let mut followers: Vec<SocketAddr> = Vec::new();
+    let mut interval = Duration::from_millis(50);
+    let mut misses: u32 = 3;
+    let mut connect_timeout = Duration::from_millis(250);
+    let mut read_timeout = Duration::from_millis(250);
+    let mut catch_up = Duration::from_secs(5);
+    let mut auth: Option<String> = None;
+    let mut seed: u64 = 0x5afe_cafe;
+    let mut status_addr = "127.0.0.1:0".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} wants a value")))
+        };
+        let parse_ms = |flag: &str, raw: String| -> Duration {
+            Duration::from_millis(
+                raw.parse()
+                    .unwrap_or_else(|_| fail(&format!("{flag} wants milliseconds"))),
+            )
+        };
+        match flag.as_str() {
+            "--primary" => primary = Some(parse_addr("--primary", &value("--primary"))),
+            "--follower" => followers.push(parse_addr("--follower", &value("--follower"))),
+            "--interval-ms" => interval = parse_ms("--interval-ms", value("--interval-ms")),
+            "--misses" => {
+                misses = value("--misses")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--misses wants a count"));
+            }
+            "--connect-timeout-ms" => {
+                connect_timeout = parse_ms("--connect-timeout-ms", value("--connect-timeout-ms"));
+            }
+            "--read-timeout-ms" => {
+                read_timeout = parse_ms("--read-timeout-ms", value("--read-timeout-ms"));
+            }
+            "--catch-up-ms" => catch_up = parse_ms("--catch-up-ms", value("--catch-up-ms")),
+            "--auth" => auth = Some(value("--auth")),
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed wants a u64"));
+            }
+            "--status" => status_addr = value("--status"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let Some(primary) = primary else {
+        fail("--primary is required");
+    };
+    if followers.is_empty() {
+        fail("at least one --follower is required");
+    }
+
+    let mut config = SupervisorConfig::watch(primary, followers);
+    config.interval = interval;
+    config.misses_to_fail = misses.max(1);
+    config.connect_timeout = connect_timeout;
+    config.read_timeout = read_timeout;
+    config.catch_up = catch_up;
+    config.auth = auth;
+    config.seed = seed;
+    config.status_addr = status_addr;
+
+    let supervisor = match Supervisor::start(config) {
+        Ok(supervisor) => supervisor,
+        Err(e) => fail(&format!("cannot start: {e}")),
+    };
+    println!("STATUS {}", supervisor.status_addr());
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

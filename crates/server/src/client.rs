@@ -1,9 +1,57 @@
 //! A minimal blocking client for the line protocol, used by the
 //! integration tests, the `cdr-replay` smoke binary and the examples.
+//!
+//! Connections are direct by default; callers that expect a flaky or
+//! recovering peer (a supervisor probing a dead primary, `cdr-replay
+//! --retry` riding through a failover) opt into [`RetryPolicy`] — a
+//! bounded, deterministic capped-exponential backoff schedule with
+//! seeded jitter, so two runs against the same failure pattern retry at
+//! the same instants.
 
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A bounded retry schedule for [`Client::connect_with_retry`]: capped
+/// exponential backoff from `base`, plus up to a quarter of the delay in
+/// jitter drawn from a ChaCha8 stream seeded with `seed` — fully
+/// deterministic, so tests can replay the exact schedule.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Connection attempts before giving up (at least 1).
+    pub attempts: u32,
+    /// Delay before the second attempt; later delays double, capped.
+    pub base: Duration,
+    /// Hard cap on one backoff delay, jitter excluded.
+    pub cap: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            seed: 0xc11e_4e7e,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay slept after failed attempt `n` (0-based): `base * 2^n`
+    /// capped at `cap`, plus jitter up to a quarter of that.
+    pub fn delay(&self, n: u32, rng: &mut ChaCha8Rng) -> Duration {
+        let doublings = n.min(16);
+        let base = self.base.saturating_mul(1u32 << doublings).min(self.cap);
+        let jitter_budget = (base.as_millis() as u64 / 4).max(1);
+        base + Duration::from_millis(rng.gen_range(0..jitter_budget))
+    }
+}
 
 /// One connection to a `cdr-server`.
 pub struct Client {
@@ -15,11 +63,68 @@ impl Client {
     /// Connects, with a 30-second read timeout so a wedged server fails a
     /// test instead of hanging it.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_timeout_opts(addr, None, Some(Duration::from_secs(30)))
+    }
+
+    /// Connects with explicit connect/read deadlines.  A `connect`
+    /// deadline of `None` blocks on the OS default; a `read` deadline of
+    /// `None` blocks forever (only sensible for interactive use).
+    pub fn connect_timeout_opts(
+        addr: impl ToSocketAddrs,
+        connect: Option<Duration>,
+        read: Option<Duration>,
+    ) -> io::Result<Client> {
+        let stream = match connect {
+            Some(deadline) => {
+                let mut last = io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "address resolved to no socket addresses",
+                );
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, deadline) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last = e,
+                    }
+                }
+                match connected {
+                    Some(stream) => stream,
+                    None => return Err(last),
+                }
+            }
+            None => TcpStream::connect(addr)?,
+        };
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(read)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client { stream, reader })
+    }
+
+    /// Connects under a [`RetryPolicy`]: up to `policy.attempts` tries,
+    /// sleeping the deterministic backoff schedule between failures.
+    /// Returns the last connect error when every attempt fails.
+    pub fn connect_with_retry(
+        addr: SocketAddr,
+        connect: Option<Duration>,
+        read: Option<Duration>,
+        policy: &RetryPolicy,
+    ) -> io::Result<Client> {
+        let mut rng = ChaCha8Rng::seed_from_u64(policy.seed);
+        let attempts = policy.attempts.max(1);
+        let mut last = None;
+        for n in 0..attempts {
+            match Client::connect_timeout_opts(addr, connect, read) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+            if n + 1 < attempts {
+                std::thread::sleep(policy.delay(n, &mut rng));
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
     }
 
     /// Sends one command line (the newline is added here).
@@ -105,5 +210,57 @@ impl Client {
     /// The underlying stream (for shutdown/linger tweaks in tests).
     pub fn stream(&self) -> &TcpStream {
         &self.stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The retry delay schedule is a pure function of the policy: two
+    /// seeded replays agree, delays grow from `base` and saturate at
+    /// `cap` (plus the bounded jitter).
+    #[test]
+    fn retry_delays_are_deterministic_and_capped() {
+        let policy = RetryPolicy {
+            attempts: 10,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            seed: 42,
+        };
+        let mut a = ChaCha8Rng::seed_from_u64(policy.seed);
+        let mut b = ChaCha8Rng::seed_from_u64(policy.seed);
+        let schedule: Vec<Duration> = (0..10).map(|n| policy.delay(n, &mut a)).collect();
+        let replay: Vec<Duration> = (0..10).map(|n| policy.delay(n, &mut b)).collect();
+        assert_eq!(schedule, replay);
+        assert!(schedule[0] >= Duration::from_millis(10));
+        assert!(schedule[0] < schedule[4], "delays grow");
+        for delay in &schedule {
+            assert!(*delay <= Duration::from_millis(500 + 125 + 1), "{delay:?}");
+        }
+    }
+
+    /// Exhausting the attempts against a dead port surfaces the last
+    /// connect error instead of hanging.
+    #[test]
+    fn connect_with_retry_gives_up_after_the_budget() {
+        // Bind then drop a listener so the port is very likely dead.
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let policy = RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 7,
+        };
+        let err = Client::connect_with_retry(
+            dead,
+            Some(Duration::from_millis(200)),
+            Some(Duration::from_secs(1)),
+            &policy,
+        );
+        assert!(err.is_err(), "a dropped listener refuses connections");
     }
 }

@@ -75,12 +75,14 @@ mod reply;
 mod scheduler;
 mod server;
 mod session;
+pub mod supervisor;
 
 pub use backend::Backend;
 pub use replication::{ReplicatedBackend, Role};
 pub use reply::{error_code, render_count_error, render_wire_error};
 pub use server::{Server, ServerStats};
 pub use session::Oracle;
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorState, SupervisorStatus};
 
 use std::time::Duration;
 

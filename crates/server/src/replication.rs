@@ -31,8 +31,9 @@ use std::path::{Path, PathBuf};
 use std::sync::{Mutex, RwLock};
 
 use cdr_core::replog::{
-    apply_record, from_hex, open_log, read_snapshot_file, survivors_of, to_hex, unwrap_checksummed,
-    wrap_checksummed, write_snapshot_file, LogOp, LogRecord, ReplogError, LOG_FILE,
+    apply_record, from_hex, hello_request, open_log, parse_compact_token, read_snapshot_file,
+    survivors_of, to_hex, unwrap_checksummed, wrap_checksummed, write_snapshot_file, LogOp,
+    LogRecord, ReplogError, LOG_FILE,
 };
 use cdr_core::{CompactionOutcome, RepairEngine};
 use cdr_num::BigNat;
@@ -68,10 +69,19 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// `key=value` extraction from a reply header (`field_u64(line, "end=")`).
-pub(crate) fn field_u64(line: &str, key: &str) -> Option<u64> {
-    line.split_whitespace()
-        .find_map(|token| token.strip_prefix(key))
-        .and_then(|value| value.parse().ok())
+pub(crate) use cdr_core::replog::field_u64;
+
+/// Renders a threshold for the `COMPACT MISMATCH` refusal (`16` / `off`).
+fn threshold_value(threshold: Option<u64>) -> String {
+    match threshold {
+        Some(t) => t.to_string(),
+        None => "off".to_string(),
+    }
+}
+
+/// The usage refusal for a malformed `REPL HELLO` announcement.
+fn hello_usage() -> String {
+    "ERR REPL usage: REPL HELLO [epoch=<e>] [compact=<waste>|compact=off]".to_string()
 }
 
 /// Which side of the replication pair this backend currently is.
@@ -98,9 +108,13 @@ pub(crate) enum TailOutcome {
     /// Records were applied (or the snapshot was re-bootstrapped): fetch
     /// again immediately.
     Progress,
-    /// Nothing new (caught up, or the upstream is unreachable): sleep a
-    /// poll tick before retrying.
+    /// Caught up (or frozen on divergence): sleep a poll tick before
+    /// retrying.
     Idle,
+    /// The upstream is unreachable or misbehaving: back off with capped
+    /// exponential delay (plus seeded jitter) before retrying, and count
+    /// the retry in the `repl retries=` gauge.
+    Failed,
     /// This node is now a primary: the tailer is done for good.
     Promoted,
 }
@@ -130,6 +144,21 @@ struct ReplState {
     replayed: u64,
     /// The tailer's warm upstream connection between iterations.
     tail_client: Option<Client>,
+    /// The epoch of the newest primary announced over `REPL HELLO`, when
+    /// it is strictly newer than ours: this node was deposed, and every
+    /// mutating verb answers `ERR FENCED epoch=<e>` until it is rebuilt.
+    fenced: Option<u64>,
+    /// Upstream fetch/connect failures the tailer has retried — the
+    /// `repl retries=` gauge backing the backoff tests.
+    retries: u64,
+    /// The upstream's log end as last observed (bootstrap HELLO, then
+    /// every FETCH header): `PROMOTE` refuses while `end()` lags this,
+    /// closing the promote-while-behind race.
+    upstream_end: u64,
+    /// This node's auto-compaction threshold, announced (and checked)
+    /// in the HELLO handshake: mismatched thresholds diverge replicas
+    /// after promotion, so they are refused at connect time.
+    auto_compact: Option<u64>,
 }
 
 impl ReplState {
@@ -265,6 +294,10 @@ impl ReplicatedBackend {
                     upstream: None,
                     replayed,
                     tail_client: None,
+                    fenced: None,
+                    retries: 0,
+                    upstream_end: 0,
+                    auto_compact: None,
                 };
                 (engine, state)
             }
@@ -298,6 +331,10 @@ impl ReplicatedBackend {
                     upstream: None,
                     replayed: 0,
                     tail_client: None,
+                    fenced: None,
+                    retries: 0,
+                    upstream_end: 0,
+                    auto_compact: None,
                 };
                 (engine, state)
             }
@@ -309,15 +346,30 @@ impl ReplicatedBackend {
         })
     }
 
-    /// Bootstraps a follower: fetches the primary's snapshot over the
-    /// line protocol, restores the engine from it (re-applying the
+    /// Bootstraps a follower: exchanges the `REPL HELLO` handshake
+    /// (announcing this node's auto-compaction threshold, so a
+    /// divergence-inducing mismatch is refused right here instead of
+    /// surfacing after a promotion), fetches the primary's snapshot over
+    /// the line protocol, restores the engine from it (re-applying the
     /// serving tuning via `tune`), and leaves the connection warm for the
     /// tailer.
+    ///
+    /// `auto_compact` must be the threshold this node will serve with —
+    /// the same value handed to
+    /// [`ServerConfig::auto_compact`](crate::ServerConfig::auto_compact).
     pub fn follower(
         upstream: &str,
+        auto_compact: Option<u64>,
         tune: impl Fn(RepairEngine) -> RepairEngine + Send + Sync + 'static,
     ) -> Result<ReplicatedBackend, ReplogError> {
         let mut client = Client::connect(upstream)?;
+        let hello = client.send(&hello_request(0, Some(auto_compact)))?;
+        if !hello.starts_with("OK REPL HELLO") {
+            return Err(ReplogError::Diverged(format!(
+                "upstream {upstream} refused the handshake: {hello}"
+            )));
+        }
+        let upstream_end = field_u64(&hello, "end=").unwrap_or(0);
         let (snapshot_bytes, snapshot) = fetch_snapshot(&mut client)?;
         let Snapshot {
             epoch,
@@ -340,6 +392,10 @@ impl ReplicatedBackend {
             upstream: Some(upstream.to_string()),
             replayed: 0,
             tail_client: Some(client),
+            fenced: None,
+            retries: 0,
+            upstream_end,
+            auto_compact,
         };
         Ok(ReplicatedBackend {
             engine: RwLock::new(engine),
@@ -351,6 +407,13 @@ impl ReplicatedBackend {
     /// The node's current role.
     pub fn role(&self) -> Role {
         lock(&self.repl).role
+    }
+
+    /// Installs the auto-compaction threshold this node serves with —
+    /// the value the HELLO handshake announces and checks.  The server
+    /// sets this from its config at start-up.
+    pub fn set_auto_compact(&self, threshold: Option<u64>) {
+        lock(&self.repl).auto_compact = threshold;
     }
 
     /// Shared query access to the engine.
@@ -368,11 +431,15 @@ impl ReplicatedBackend {
     pub fn mutate(&self, mutation: Mutation, auto_compact: Option<u64>) -> String {
         let mut engine = wlock(&self.engine);
         let mut repl = lock(&self.repl);
+        let verb = match mutation {
+            Mutation::Insert(_) => "INSERT",
+            Mutation::Delete(_) => "DELETE",
+        };
         if repl.role == Role::Follower {
-            return reply::readonly(match mutation {
-                Mutation::Insert(_) => "INSERT",
-                Mutation::Delete(_) => "DELETE",
-            });
+            return reply::readonly(verb);
+        }
+        if let Some(epoch) = repl.fenced {
+            return reply::fenced(verb, epoch);
         }
         if let Some(threshold) = auto_compact {
             if let Some(outcome) = engine.maybe_compact(threshold) {
@@ -392,6 +459,9 @@ impl ReplicatedBackend {
         let mut repl = lock(&self.repl);
         if repl.role == Role::Follower {
             return reply::readonly("BATCH");
+        }
+        if let Some(epoch) = repl.fenced {
+            return reply::fenced("BATCH", epoch);
         }
         if let Some(threshold) = auto_compact {
             if let Some(outcome) = engine.maybe_compact(threshold) {
@@ -413,6 +483,9 @@ impl ReplicatedBackend {
         if repl.role == Role::Follower {
             return Err(reply::readonly("COMPACT"));
         }
+        if let Some(epoch) = repl.fenced {
+            return Err(reply::fenced("COMPACT", epoch));
+        }
         let outcome = engine.compact();
         repl.record_compaction(&engine, &outcome);
         let total = engine.total_repairs().clone();
@@ -423,13 +496,18 @@ impl ReplicatedBackend {
     pub fn stats(&self) -> String {
         let head = self.read(reply::render_stats);
         let repl = lock(&self.repl);
+        let fenced = match repl.fenced {
+            Some(epoch) => format!(" fenced={epoch}"),
+            None => String::new(),
+        };
         format!(
-            "{head} | repl role={} epoch={} base={} end={} replayed={}",
+            "{head} | repl role={} epoch={} base={} end={} replayed={} retries={}{fenced}",
             repl.role.as_str(),
             repl.epoch,
             repl.mem_base,
             repl.end(),
-            repl.replayed
+            repl.replayed,
+            repl.retries
         )
     }
 
@@ -437,15 +515,71 @@ impl ReplicatedBackend {
     pub fn repl(&self, line: &str) -> Vec<String> {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         let sub = tokens.get(1).copied().unwrap_or("").to_ascii_uppercase();
-        let repl = lock(&self.repl);
+        let mut repl = lock(&self.repl);
         match sub.as_str() {
-            "HELLO" => vec![format!(
-                "OK REPL HELLO epoch={} base={} end={} snap={}",
-                repl.epoch,
-                repl.mem_base,
-                repl.end(),
-                repl.snapshot_offset
-            )],
+            "HELLO" => {
+                // `REPL HELLO [epoch=<e>] [compact=<t>|compact=off]` —
+                // the bare form is the legacy probe; the announcements
+                // drive the fencing and threshold-mismatch handshakes.
+                let mut announced_epoch: Option<u64> = None;
+                let mut announced_compact: Option<Option<u64>> = None;
+                for token in &tokens[2..] {
+                    if let Some(value) = token.strip_prefix("epoch=") {
+                        match value.parse::<u64>() {
+                            Ok(epoch) => announced_epoch = Some(epoch),
+                            Err(_) => return vec![hello_usage()],
+                        }
+                    } else if let Some(value) = token.strip_prefix("compact=") {
+                        match parse_compact_token(value) {
+                            Some(threshold) => announced_compact = Some(threshold),
+                            None => return vec![hello_usage()],
+                        }
+                    } else {
+                        return vec![hello_usage()];
+                    }
+                }
+                // A mismatched auto-compaction threshold diverges the
+                // replicas after a promotion (DELETE ids depend on the
+                // compaction points); refuse it before any state changes.
+                if let Some(theirs) = announced_compact {
+                    if theirs != repl.auto_compact {
+                        return vec![format!(
+                            "ERR REPL COMPACT MISMATCH ours={} yours={}",
+                            threshold_value(repl.auto_compact),
+                            threshold_value(theirs)
+                        )];
+                    }
+                }
+                // Epoch fencing: a strictly newer epoch announced to a
+                // primary means a successor was promoted elsewhere — this
+                // node is deposed and must refuse writes from now on.
+                if let (Some(theirs), Role::Primary) = (announced_epoch, repl.role) {
+                    if theirs > repl.epoch {
+                        let already = repl.fenced.map_or(0, |epoch| epoch);
+                        if theirs > already {
+                            eprintln!(
+                                "cdr-server: fenced at epoch {theirs} (ours {}); \
+                                 refusing writes",
+                                repl.epoch
+                            );
+                            repl.fenced = Some(theirs);
+                        }
+                    }
+                }
+                let fenced = match repl.fenced {
+                    Some(epoch) => format!(" fenced={epoch}"),
+                    None => String::new(),
+                };
+                vec![format!(
+                    "OK REPL HELLO epoch={} base={} end={} snap={} role={} {}{fenced}",
+                    repl.epoch,
+                    repl.mem_base,
+                    repl.end(),
+                    repl.snapshot_offset,
+                    repl.role.as_str(),
+                    cdr_core::replog::compact_token(repl.auto_compact)
+                )]
+            }
             "SNAPSHOT" => {
                 let chunks: Vec<&[u8]> = repl.snapshot_bytes.chunks(SNAPSHOT_CHUNK_BYTES).collect();
                 let mut lines = Vec::with_capacity(chunks.len() + 1);
@@ -506,17 +640,49 @@ impl ReplicatedBackend {
     /// `PROMOTE`: flips a follower into a primary at a new epoch.  The
     /// engine is not touched — no compaction, no generation bump — so the
     /// promoted node keeps serving exactly the state it replicated.
+    ///
+    /// A follower that is still behind the upstream's last observed log
+    /// end refuses with a deterministic `ERR REPL BEHIND end=<e>
+    /// upstream=<u>`: promoting it would silently drop the acknowledged
+    /// suffix it had not yet fetched.
     pub fn promote(&self) -> String {
         let _engine = wlock(&self.engine);
         let mut repl = lock(&self.repl);
         match repl.role {
             Role::Primary => format!("ERR REPL already primary at epoch={}", repl.epoch),
             Role::Follower => {
+                if repl.end() < repl.upstream_end {
+                    return format!(
+                        "ERR REPL BEHIND end={} upstream={}",
+                        repl.end(),
+                        repl.upstream_end
+                    );
+                }
                 repl.role = Role::Primary;
                 repl.epoch += 1;
                 repl.tail_client = None;
                 repl.upstream = None;
                 format!("OK PROMOTED epoch={} end={}", repl.epoch, repl.end())
+            }
+        }
+    }
+
+    /// `RETARGET <host:port>`: points a surviving follower at the newly
+    /// promoted primary.  The warm tailer connection is dropped, so the
+    /// next tail iteration reconnects (and re-runs the HELLO handshake)
+    /// against the new upstream; the record stream continues at the same
+    /// logical offsets, because a promoted follower keeps the log it
+    /// replicated.
+    pub fn retarget(&self, upstream: &str) -> String {
+        let mut repl = lock(&self.repl);
+        match repl.role {
+            Role::Primary => {
+                "ERR REPL RETARGET on a primary; only a follower can change upstream".to_string()
+            }
+            Role::Follower => {
+                repl.upstream = Some(upstream.to_string());
+                repl.tail_client = None;
+                format!("OK RETARGET {upstream}")
             }
         }
     }
@@ -527,12 +693,19 @@ impl ReplicatedBackend {
         panic!("chaos: PANIC verb")
     }
 
+    /// Counts one upstream failure and tells the pump to back off.
+    fn tail_failed(&self) -> TailOutcome {
+        lock(&self.repl).retries += 1;
+        TailOutcome::Failed
+    }
+
     /// One tailer iteration: fetch the next records from the upstream and
     /// apply them.  All network and decode failures degrade to
-    /// [`TailOutcome::Idle`] (drop the connection, retry after a poll
-    /// tick) — a dead or hostile upstream must never panic the tailer.
+    /// [`TailOutcome::Failed`] (drop the connection, count the retry,
+    /// back off) — a dead or hostile upstream must never panic the
+    /// tailer.
     pub(crate) fn tail_once(&self) -> TailOutcome {
-        let (client, from, upstream) = {
+        let (client, from, upstream, epoch, auto_compact) = {
             let mut repl = lock(&self.repl);
             if repl.role == Role::Primary {
                 return TailOutcome::Promoted;
@@ -540,53 +713,89 @@ impl ReplicatedBackend {
             let Some(upstream) = repl.upstream.clone() else {
                 return TailOutcome::Promoted;
             };
-            (repl.tail_client.take(), repl.end(), upstream)
+            (
+                repl.tail_client.take(),
+                repl.end(),
+                upstream,
+                repl.epoch,
+                repl.auto_compact,
+            )
         };
         let mut client = match client {
             Some(client) => client,
-            None => match Client::connect(&upstream) {
-                Ok(client) => client,
-                Err(_) => return TailOutcome::Idle,
-            },
+            None => {
+                // A fresh connection re-runs the HELLO handshake:
+                // announce our epoch (fencing a stale revived primary on
+                // the spot) and our compact threshold (so a mismatch is
+                // refused here, not discovered as replay divergence), and
+                // refuse to tail an upstream behind our own epoch.
+                let Ok(mut client) = Client::connect(&upstream) else {
+                    return self.tail_failed();
+                };
+                let Ok(hello) = client.send(&hello_request(epoch, Some(auto_compact))) else {
+                    return self.tail_failed();
+                };
+                if !hello.starts_with("OK REPL HELLO") {
+                    eprintln!("cdr-server: upstream {upstream} refused the handshake: {hello}");
+                    return self.tail_failed();
+                }
+                if field_u64(&hello, "epoch=").is_some_and(|theirs| theirs < epoch) {
+                    eprintln!("cdr-server: upstream {upstream} is stale ({hello}); not tailing it");
+                    return self.tail_failed();
+                }
+                if let Some(end) = field_u64(&hello, "end=") {
+                    let mut repl = lock(&self.repl);
+                    repl.upstream_end = repl.upstream_end.max(end);
+                }
+                client
+            }
         };
         // Network I/O happens with no lock held: reads keep flowing on
         // both nodes while records travel.
         let header = match client.send(&format!("REPL FETCH {from} {TAIL_FETCH_RECORDS}")) {
             Ok(header) => header,
-            Err(_) => return TailOutcome::Idle,
+            Err(_) => return self.tail_failed(),
         };
         if header.starts_with("ERR REPL COMPACTED") {
             return self.rebootstrap(client);
         }
         let Some(n) = field_u64(&header, "n=") else {
-            return TailOutcome::Idle;
+            return self.tail_failed();
         };
+        let upstream_end = field_u64(&header, "end=");
         let mut payloads = Vec::with_capacity(n as usize);
         for _ in 0..n {
             let line = match client.read_line() {
                 Ok(line) => line,
-                Err(_) => return TailOutcome::Idle,
+                Err(_) => return self.tail_failed(),
             };
             let Some(hex) = line.strip_prefix("REPL RECORD ") else {
-                return TailOutcome::Idle;
+                return self.tail_failed();
             };
             let Ok(bytes) = from_hex(hex) else {
-                return TailOutcome::Idle;
+                return self.tail_failed();
             };
             let Ok(payload) = unwrap_checksummed(&bytes) else {
-                return TailOutcome::Idle;
+                return self.tail_failed();
             };
             payloads.push(payload.to_vec());
         }
         if payloads.is_empty() {
             // Caught up; keep the connection warm for the next poll.
-            lock(&self.repl).tail_client = Some(client);
+            let mut repl = lock(&self.repl);
+            if let Some(end) = upstream_end {
+                repl.upstream_end = repl.upstream_end.max(end);
+            }
+            repl.tail_client = Some(client);
             return TailOutcome::Idle;
         }
         let mut engine = wlock(&self.engine);
         let mut repl = lock(&self.repl);
         if repl.role == Role::Primary {
             return TailOutcome::Promoted;
+        }
+        if let Some(end) = upstream_end {
+            repl.upstream_end = repl.upstream_end.max(end);
         }
         if repl.end() != from {
             // The cursor moved under us (a re-bootstrap raced this fetch);
@@ -625,7 +834,7 @@ impl ReplicatedBackend {
     /// current snapshot and restart the engine from it.
     fn rebootstrap(&self, mut client: Client) -> TailOutcome {
         let Ok((snapshot_bytes, snapshot)) = fetch_snapshot(&mut client) else {
-            return TailOutcome::Idle;
+            return self.tail_failed();
         };
         let Snapshot {
             epoch,
@@ -716,7 +925,7 @@ mod tests {
         assert_eq!(read_log_payloads(&dir.join(LOG_FILE)).unwrap().len(), 2);
         let stats = backend.stats();
         assert!(
-            stats.ends_with("| repl role=primary epoch=0 base=0 end=2 replayed=0"),
+            stats.ends_with("| repl role=primary epoch=0 base=0 end=2 replayed=0 retries=0"),
             "{stats}"
         );
         // Compaction logs its record, snapshots, truncates the disk log.
@@ -724,7 +933,10 @@ mod tests {
         assert_eq!(outcome.report.live_facts, 4);
         assert_eq!(read_log_payloads(&dir.join(LOG_FILE)).unwrap().len(), 0);
         let hello = &backend.repl("REPL HELLO")[0];
-        assert_eq!(hello, "OK REPL HELLO epoch=0 base=0 end=3 snap=3");
+        assert_eq!(
+            hello,
+            "OK REPL HELLO epoch=0 base=0 end=3 snap=3 role=primary compact=off"
+        );
         // In-memory records are retained across the snapshot for tailers.
         let fetched = backend.repl("REPL FETCH 0 64");
         assert!(
@@ -783,6 +995,91 @@ mod tests {
         let dir = temp_dir("promote");
         let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
         assert_eq!(backend.promote(), "ERR REPL already primary at epoch=0");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_newer_epoch_announced_over_hello_fences_the_primary() {
+        let dir = temp_dir("fence");
+        let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
+        let db = backend.parse_database();
+        let insert = |text: &str| Mutation::Insert(db.parse_fact(text).unwrap());
+
+        // An equal (or lower) epoch never fences.
+        let hello = &backend.repl("REPL HELLO epoch=0")[0];
+        assert_eq!(
+            hello,
+            "OK REPL HELLO epoch=0 base=0 end=0 snap=0 role=primary compact=off"
+        );
+        assert!(backend
+            .mutate(insert("Employee(9, 'Flux', 'Ops')"), None)
+            .starts_with("OK INSERT "));
+
+        // A strictly newer epoch deposes this primary: the reply carries
+        // the fence, and every mutating verb refuses deterministically.
+        let hello = &backend.repl("REPL HELLO epoch=3")[0];
+        assert_eq!(
+            hello,
+            "OK REPL HELLO epoch=0 base=0 end=1 snap=0 role=primary compact=off fenced=3"
+        );
+        assert_eq!(
+            backend.mutate(insert("Employee(9, 'Nope', 'Ops')"), None),
+            "ERR FENCED epoch=3 INSERT refused; a newer primary was promoted"
+        );
+        assert_eq!(
+            backend.mutate_batch(vec![insert("Employee(9, 'Nope', 'Ops')")], None),
+            "ERR FENCED epoch=3 BATCH refused; a newer primary was promoted"
+        );
+        assert_eq!(
+            backend.compact().unwrap_err(),
+            "ERR FENCED epoch=3 COMPACT refused; a newer primary was promoted"
+        );
+        // Reads keep flowing, and the gauge surfaces the fence.
+        let stats = backend.stats();
+        assert!(stats.starts_with("OK STATS "), "{stats}");
+        assert!(stats.ends_with(" retries=0 fenced=3"), "{stats}");
+        // The fence is monotone: an older announcement cannot unfence.
+        backend.repl("REPL HELLO epoch=1");
+        assert!(backend.stats().ends_with(" fenced=3"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_mismatched_compact_threshold_is_refused_at_hello() {
+        let dir = temp_dir("mismatch");
+        let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
+        backend.set_auto_compact(Some(16));
+        assert_eq!(
+            backend.repl("REPL HELLO epoch=0 compact=off")[0],
+            "ERR REPL COMPACT MISMATCH ours=16 yours=off"
+        );
+        assert_eq!(
+            backend.repl("REPL HELLO epoch=0 compact=8")[0],
+            "ERR REPL COMPACT MISMATCH ours=16 yours=8"
+        );
+        let hello = &backend.repl("REPL HELLO epoch=0 compact=16")[0];
+        assert_eq!(
+            hello,
+            "OK REPL HELLO epoch=0 base=0 end=0 snap=0 role=primary compact=16"
+        );
+        // A refused handshake never fences: the epoch check runs after.
+        assert_eq!(backend.repl("REPL HELLO epoch=9 compact=8").len(), 1);
+        assert!(!backend.stats().contains("fenced="));
+        // Malformed announcements draw the usage line.
+        assert!(backend.repl("REPL HELLO epoch=x")[0].starts_with("ERR REPL usage"));
+        assert!(backend.repl("REPL HELLO compact=soon")[0].starts_with("ERR REPL usage"));
+        assert!(backend.repl("REPL HELLO nonsense")[0].starts_with("ERR REPL usage"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retarget_on_a_primary_is_refused() {
+        let dir = temp_dir("retarget");
+        let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
+        assert_eq!(
+            backend.retarget("127.0.0.1:1"),
+            "ERR REPL RETARGET on a primary; only a follower can change upstream"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -78,6 +78,14 @@ pub(crate) fn readonly(verb: &str) -> String {
     format!("ERR READONLY {verb} is not served by a follower; write to the primary")
 }
 
+/// The refusal a deposed primary answers to a mutating verb after epoch
+/// fencing: a strictly newer epoch was announced over `REPL HELLO`, so
+/// accepting this write would be split-brain.  One exact prefix
+/// (`ERR FENCED epoch=<e>`) so clients and the supervisor can match it.
+pub(crate) fn fenced(verb: &str, epoch: u64) -> String {
+    format!("ERR FENCED epoch={epoch} {verb} refused; a newer primary was promoted")
+}
+
 /// Renders a bulk-frame defect as the single `ERR FRAME <why>` reply the
 /// whole (unexecuted) frame gets.
 pub(crate) fn frame_error(why: &str) -> String {

@@ -6,9 +6,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use cdr_core::{RepairEngine, ShardedEngine};
 use cdr_reactor::Waker;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 use crate::backend::Backend;
 use crate::event_loop::{reactor_loop, worker_loop, JobQueue};
@@ -80,6 +83,11 @@ impl Server {
     }
 
     fn start_backend(backend: Backend, config: ServerConfig) -> std::io::Result<Server> {
+        if let Some(repl) = backend.replication() {
+            // The replication sidecar announces (and checks) the serving
+            // auto-compaction threshold in the HELLO handshake.
+            repl.set_auto_compact(config.auto_compact);
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let waker = Waker::new()?;
@@ -168,19 +176,75 @@ impl Server {
     }
 }
 
+/// Most doublings of the poll interval a failing tailer backs off to.
+const TAILER_BACKOFF_DOUBLINGS: u32 = 5;
+
+/// Hard cap on one tailer backoff sleep, jitter included.
+const TAILER_BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Seed of the tailer's jitter stream.  A constant: the whole backoff
+/// schedule is a deterministic function of the failure count, which is
+/// what lets the tests replay it.
+const TAILER_JITTER_SEED: u64 = 0x7a11_b0ff;
+
+/// The capped exponential backoff (plus bounded seeded jitter) a failing
+/// tailer sleeps before retrying a dead upstream: `poll * 2^n` up to the
+/// cap, plus up to a quarter of that in jitter so a fleet of followers
+/// does not reconnect in lockstep.
+fn tailer_backoff(poll: Duration, failures: u32, rng: &mut ChaCha8Rng) -> Duration {
+    let doublings = failures.min(TAILER_BACKOFF_DOUBLINGS);
+    let base = poll
+        .saturating_mul(1u32 << doublings)
+        .min(TAILER_BACKOFF_CAP);
+    let jitter_budget = (base.as_millis() as u64 / 4).max(1);
+    base + Duration::from_millis(rng.gen_range(0..jitter_budget))
+}
+
+/// Sleeps `total` in poll-interval chunks so a backing-off tailer still
+/// notices shutdown promptly.
+fn backoff_sleep(shared: &Shared, total: Duration) {
+    let chunk = shared.config.poll_interval.max(Duration::from_millis(5));
+    let deadline = Instant::now() + total;
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep(chunk.min(deadline - now));
+    }
+}
+
 /// The follower's replication pump: pull records from the upstream until
 /// the server shuts down or this node is promoted.  A panic inside one
 /// iteration is counted and recovered like a command handler panic —
-/// the pump never dies while the node is still a follower.
+/// the pump never dies while the node is still a follower.  Upstream
+/// failures back off exponentially (capped, seeded jitter) instead of
+/// hammering a dead primary on the hot poll interval.
 fn tailer_loop(shared: &Shared) {
     use crate::session::EngineHost;
+    let mut rng = ChaCha8Rng::seed_from_u64(TAILER_JITTER_SEED);
+    let mut failures: u32 = 0;
     while !shared.shutting_down() {
         let Some(repl) = shared.backend().replication() else {
             return;
         };
         match catch_unwind(AssertUnwindSafe(|| repl.tail_once())) {
-            Ok(TailOutcome::Progress) => continue,
-            Ok(TailOutcome::Idle) => std::thread::sleep(shared.config.poll_interval),
+            Ok(TailOutcome::Progress) => {
+                failures = 0;
+                continue;
+            }
+            Ok(TailOutcome::Idle) => {
+                failures = 0;
+                std::thread::sleep(shared.config.poll_interval);
+            }
+            Ok(TailOutcome::Failed) => {
+                let backoff = tailer_backoff(shared.config.poll_interval, failures, &mut rng);
+                failures = failures.saturating_add(1);
+                backoff_sleep(shared, backoff);
+            }
             Ok(TailOutcome::Promoted) => return,
             Err(_) => {
                 shared.recovered_panics.fetch_add(1, Ordering::Relaxed);
@@ -188,5 +252,37 @@ fn tailer_loop(shared: &Shared) {
                 std::thread::sleep(shared.config.poll_interval);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The backoff schedule is deterministic given the seed, grows
+    /// exponentially from the poll interval and saturates at the cap —
+    /// jitter included, two replays agree byte for byte.
+    #[test]
+    fn tailer_backoff_is_capped_exponential_and_deterministic() {
+        let poll = Duration::from_millis(25);
+        let mut a = ChaCha8Rng::seed_from_u64(TAILER_JITTER_SEED);
+        let mut b = ChaCha8Rng::seed_from_u64(TAILER_JITTER_SEED);
+        let schedule: Vec<Duration> = (0..12).map(|n| tailer_backoff(poll, n, &mut a)).collect();
+        let replay: Vec<Duration> = (0..12).map(|n| tailer_backoff(poll, n, &mut b)).collect();
+        assert_eq!(schedule, replay, "the jitter stream is seeded");
+        for (n, delay) in schedule.iter().enumerate() {
+            let doublings = (n as u32).min(TAILER_BACKOFF_DOUBLINGS);
+            let base = poll.saturating_mul(1 << doublings).min(TAILER_BACKOFF_CAP);
+            assert!(*delay >= base, "attempt {n}: {delay:?} under base {base:?}");
+            assert!(
+                *delay <= base + base / 4 + Duration::from_millis(1),
+                "attempt {n}: {delay:?} over the jitter budget"
+            );
+        }
+        assert!(schedule[0] < schedule[5], "the schedule grows");
+        assert!(
+            schedule[11] <= TAILER_BACKOFF_CAP + TAILER_BACKOFF_CAP / 4,
+            "the schedule saturates at the cap"
+        );
     }
 }

@@ -183,6 +183,12 @@ impl Session {
                 }
                 Step::Replies(vec![host.backend().promote()])
             }
+            "RETARGET" => {
+                if self.admin_denied(host) {
+                    return Step::Replies(vec![denied("RETARGET")]);
+                }
+                Step::Replies(vec![host.backend().retarget(trimmed)])
+            }
             "SHUTDOWN" => {
                 if self.admin_denied(host) {
                     return Step::Replies(vec![denied("SHUTDOWN")]);

@@ -1,0 +1,516 @@
+//! The failover supervisor: health-checked auto-promotion with epoch
+//! fencing.
+//!
+//! A [`Supervisor`] watches one primary and an ordered follower list
+//! over the line protocol itself — no side channel: liveness probes are
+//! `STATS` round-trips on fresh connections under connect/read
+//! deadlines, and fencing announcements are `REPL HELLO epoch=<e>`
+//! lines, the same handshake followers use.
+//!
+//! The failure detector is deliberately conservative: a primary is
+//! declared dead only after `misses_to_fail` *consecutive* missed
+//! heartbeats **and** a confirming probe on a second fresh socket (a
+//! bare `REPL HELLO`), so one dropped packet or a slow accept queue
+//! never triggers a promotion.  While misses accumulate, the probe
+//! cadence backs off exponentially (capped, with bounded jitter from
+//! the vendored seeded RNG) instead of hammering a dead host.
+//!
+//! Failover picks the most-caught-up follower by its `repl end=` gauge
+//! (ties resolve to configuration order), waits — bounded by
+//! `catch_up` — for that follower to reach the dead primary's last
+//! acknowledged offset, then drives `AUTH` + `PROMOTE`, retrying while
+//! the follower still answers `ERR REPL BEHIND …` (the tailer may be
+//! applying its final fetched records).  Surviving followers are
+//! re-pointed at the new primary with `RETARGET`, and the deposed
+//! primary's address joins the fence list: every later tick announces
+//! the new epoch to it, so a revived stale primary is fenced (its
+//! writes answer `ERR FENCED epoch=<e>`) before any client can reach
+//! it with a write.
+//!
+//! The supervisor exposes its own state on a small status socket: any
+//! line sent to it answers `OK SUPERVISOR state=… primary=… epoch=…
+//! probes=… misses=… promotions=… last_acked=…`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::client::Client;
+use crate::replication::field_u64;
+
+/// What a [`Supervisor`] is doing right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SupervisorState {
+    /// Heartbeating a live primary.
+    Watching,
+    /// The primary is declared dead; a promotion is in flight.
+    FailingOver,
+    /// No follower was promotable; the cluster has no primary.
+    Stranded,
+}
+
+impl SupervisorState {
+    fn as_str(self) -> &'static str {
+        match self {
+            SupervisorState::Watching => "watching",
+            SupervisorState::FailingOver => "failing_over",
+            SupervisorState::Stranded => "stranded",
+        }
+    }
+}
+
+/// A snapshot of the supervisor's counters and topology view.
+#[derive(Clone, Debug)]
+pub struct SupervisorStatus {
+    /// Current state.
+    pub state: SupervisorState,
+    /// The node currently believed primary.
+    pub primary: SocketAddr,
+    /// Highest epoch observed or created by a promotion.
+    pub epoch: u64,
+    /// Heartbeat probes sent (successful or not).
+    pub probes: u64,
+    /// Heartbeat probes that failed, cumulative.
+    pub misses: u64,
+    /// Promotions driven to completion.
+    pub promotions: u64,
+    /// The primary's `repl end=` gauge at the last successful probe —
+    /// the offset a promotion candidate must reach.
+    pub last_acked: u64,
+}
+
+impl SupervisorStatus {
+    /// The one-line status-socket rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "OK SUPERVISOR state={} primary={} epoch={} probes={} misses={} promotions={} \
+             last_acked={}",
+            self.state.as_str(),
+            self.primary,
+            self.epoch,
+            self.probes,
+            self.misses,
+            self.promotions,
+            self.last_acked
+        )
+    }
+}
+
+/// Tuning for a [`Supervisor`].
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// The primary to watch.
+    pub primary: SocketAddr,
+    /// Followers, in promotion-preference order (ties on catch-up
+    /// resolve to the earlier entry).
+    pub followers: Vec<SocketAddr>,
+    /// Heartbeat period while the primary answers.
+    pub interval: Duration,
+    /// Consecutive missed heartbeats before the confirm probe runs.
+    pub misses_to_fail: u32,
+    /// Probe connect deadline.
+    pub connect_timeout: Duration,
+    /// Probe read deadline.
+    pub read_timeout: Duration,
+    /// Admin token sent via `AUTH` before `PROMOTE` / `RETARGET`, when
+    /// the watched servers gate admin verbs.
+    pub auth: Option<String>,
+    /// Seed of the backoff jitter stream.
+    pub seed: u64,
+    /// Longest wait for the promotion candidate to reach the dead
+    /// primary's last acknowledged offset before promoting anyway
+    /// (async replication: records the dead primary acknowledged but
+    /// never served to a fetch are unrecoverable).
+    pub catch_up: Duration,
+    /// Status socket bind address (`127.0.0.1:0` for an ephemeral
+    /// port).
+    pub status_addr: String,
+}
+
+impl SupervisorConfig {
+    /// A config for watching `primary` with the given followers,
+    /// otherwise default tuning: 50 ms heartbeats, 3 misses to fail,
+    /// 250 ms probe deadlines, 5 s catch-up budget.
+    pub fn watch(primary: SocketAddr, followers: Vec<SocketAddr>) -> SupervisorConfig {
+        SupervisorConfig {
+            primary,
+            followers,
+            interval: Duration::from_millis(50),
+            misses_to_fail: 3,
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_millis(250),
+            auth: None,
+            seed: 0x5afe_cafe,
+            catch_up: Duration::from_secs(5),
+            status_addr: "127.0.0.1:0".to_string(),
+        }
+    }
+}
+
+/// Most doublings the inter-probe delay grows through while the
+/// primary is missing.
+const PROBE_BACKOFF_DOUBLINGS: u32 = 3;
+
+struct Shared {
+    stopping: AtomicBool,
+    status: Mutex<SupervisorStatus>,
+}
+
+fn lock_status(shared: &Shared) -> std::sync::MutexGuard<'_, SupervisorStatus> {
+    shared
+        .status
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A running failover supervisor.  Dropping the handle does *not* stop
+/// it; call [`Supervisor::shutdown`] then [`Supervisor::join`].
+pub struct Supervisor {
+    status_addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Binds the status socket and starts the watch loop.
+    pub fn start(config: SupervisorConfig) -> std::io::Result<Supervisor> {
+        let listener = TcpListener::bind(&config.status_addr)?;
+        let status_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stopping: AtomicBool::new(false),
+            status: Mutex::new(SupervisorStatus {
+                state: SupervisorState::Watching,
+                primary: config.primary,
+                epoch: 0,
+                probes: 0,
+                misses: 0,
+                promotions: 0,
+                last_acked: 0,
+            }),
+        });
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("cdr-supervisor-status".to_string())
+                    .spawn(move || status_loop(&shared, &listener))
+                    .expect("spawning the status thread"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("cdr-supervisor-watch".to_string())
+                    .spawn(move || watch_loop(&shared, config))
+                    .expect("spawning the watch thread"),
+            );
+        }
+        Ok(Supervisor {
+            status_addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The status socket's address.
+    pub fn status_addr(&self) -> SocketAddr {
+        self.status_addr
+    }
+
+    /// A snapshot of the supervisor's state.
+    pub fn status(&self) -> SupervisorStatus {
+        lock_status(&self.shared).clone()
+    }
+
+    /// Asks both threads to stop.
+    pub fn shutdown(&self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Wake the blocking status accept.
+        let _ = TcpStream::connect(self.status_addr);
+    }
+
+    /// Waits for the threads to exit and returns the final status.
+    pub fn join(mut self) -> SupervisorStatus {
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        lock_status(&self.shared).clone()
+    }
+}
+
+fn status_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("cdr-supervisor-status-conn".to_string())
+            .spawn(move || {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                let Ok(reader_stream) = stream.try_clone() else {
+                    return;
+                };
+                let mut reader = BufReader::new(reader_stream);
+                let mut writer = stream;
+                let mut line = String::new();
+                while reader.read_line(&mut line).is_ok_and(|n| n > 0) {
+                    let reply = lock_status(&shared).render();
+                    if writer.write_all(reply.as_bytes()).is_err()
+                        || writer.write_all(b"\n").is_err()
+                    {
+                        return;
+                    }
+                    line.clear();
+                }
+            });
+    }
+}
+
+/// One probe round-trip on a fresh socket: connect under the deadline,
+/// send `line`, read one reply line.
+fn probe(addr: SocketAddr, line: &str, config: &SupervisorConfig) -> std::io::Result<String> {
+    let mut client = Client::connect_timeout_opts(
+        addr,
+        Some(config.connect_timeout),
+        Some(config.read_timeout),
+    )?;
+    client.send(line)
+}
+
+/// Authenticates (when a token is configured) and sends `line` on a
+/// fresh connection.
+fn admin_send(addr: SocketAddr, line: &str, config: &SupervisorConfig) -> std::io::Result<String> {
+    let mut client = Client::connect_timeout_opts(
+        addr,
+        Some(config.connect_timeout),
+        Some(config.read_timeout),
+    )?;
+    if let Some(token) = &config.auth {
+        let reply = client.send(&format!("AUTH {token}"))?;
+        if !reply.starts_with("OK AUTH") {
+            return Ok(reply);
+        }
+    }
+    client.send(line)
+}
+
+/// The capped-exponential inter-probe delay while the primary is
+/// missing, with bounded seeded jitter.
+fn probe_backoff(interval: Duration, consecutive: u32, rng: &mut ChaCha8Rng) -> Duration {
+    let doublings = consecutive.min(PROBE_BACKOFF_DOUBLINGS);
+    let base = interval.saturating_mul(1u32 << doublings);
+    let jitter_budget = (base.as_millis() as u64 / 4).max(1);
+    base + Duration::from_millis(rng.gen_range(0..jitter_budget))
+}
+
+/// Sleeps `total` in short chunks so shutdown is noticed promptly.
+fn chunked_sleep(shared: &Shared, total: Duration) {
+    let deadline = Instant::now() + total;
+    let chunk = Duration::from_millis(10);
+    while !shared.stopping.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep(chunk.min(deadline - now));
+    }
+}
+
+fn watch_loop(shared: &Arc<Shared>, config: SupervisorConfig) {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut primary = config.primary;
+    let mut followers = config.followers.clone();
+    let mut fence_targets: Vec<SocketAddr> = Vec::new();
+    let mut epoch: u64 = 0;
+    let mut last_acked: u64 = 0;
+    let mut consecutive: u32 = 0;
+
+    while !shared.stopping.load(Ordering::SeqCst) {
+        // Announce the cluster epoch to every deposed primary that may
+        // have revived: a strictly newer epoch fences it.
+        if epoch > 0 {
+            for &target in &fence_targets {
+                let _ = probe(target, &format!("REPL HELLO epoch={epoch}"), &config);
+            }
+        }
+
+        match probe(primary, "STATS", &config) {
+            Ok(stats) => {
+                consecutive = 0;
+                if let Some(end) = field_u64(&stats, "end=") {
+                    last_acked = end;
+                }
+                if let Some(seen) = field_u64(&stats, "epoch=") {
+                    epoch = epoch.max(seen);
+                }
+                let mut status = lock_status(shared);
+                status.state = SupervisorState::Watching;
+                status.probes += 1;
+                status.last_acked = last_acked;
+                status.epoch = epoch;
+            }
+            Err(_) => {
+                consecutive += 1;
+                {
+                    let mut status = lock_status(shared);
+                    status.probes += 1;
+                    status.misses += 1;
+                }
+                // Confirm over a second probe path (a bare `REPL HELLO`
+                // on a fresh socket) before declaring the primary dead.
+                if consecutive >= config.misses_to_fail.max(1)
+                    && probe(primary, "REPL HELLO", &config).is_err()
+                {
+                    lock_status(shared).state = SupervisorState::FailingOver;
+                    match fail_over(shared, &config, &mut followers, last_acked, epoch) {
+                        Some((new_primary, new_epoch)) => {
+                            fence_targets.push(primary);
+                            fence_targets.retain(|t| *t != new_primary);
+                            primary = new_primary;
+                            epoch = new_epoch;
+                            consecutive = 0;
+                            let mut status = lock_status(shared);
+                            status.state = SupervisorState::Watching;
+                            status.primary = primary;
+                            status.epoch = epoch;
+                            status.promotions += 1;
+                        }
+                        None => {
+                            lock_status(shared).state = if followers.is_empty() {
+                                SupervisorState::Stranded
+                            } else {
+                                SupervisorState::FailingOver
+                            };
+                        }
+                    }
+                }
+            }
+        }
+
+        let delay = if consecutive == 0 {
+            config.interval
+        } else {
+            probe_backoff(config.interval, consecutive, &mut rng)
+        };
+        chunked_sleep(shared, delay);
+    }
+}
+
+/// Drives one promotion: pick the most-caught-up follower, wait for it
+/// to reach `last_acked` (bounded by the catch-up budget), promote it,
+/// and retarget the survivors.  Returns the new primary and epoch.
+fn fail_over(
+    shared: &Shared,
+    config: &SupervisorConfig,
+    followers: &mut Vec<SocketAddr>,
+    last_acked: u64,
+    epoch: u64,
+) -> Option<(SocketAddr, u64)> {
+    // Most-caught-up follower; configuration order breaks ties (strict
+    // `>` keeps the earliest of an equal pair).
+    let mut best: Option<(usize, u64)> = None;
+    for (index, &follower) in followers.iter().enumerate() {
+        if let Ok(stats) = probe(follower, "STATS", config) {
+            let end = field_u64(&stats, "end=").unwrap_or(0);
+            if best.is_none_or(|(_, best_end)| end > best_end) {
+                best = Some((index, end));
+            }
+        }
+    }
+    let (index, mut candidate_end) = best?;
+    let candidate = followers[index];
+
+    let deadline = Instant::now() + config.catch_up;
+    // Wait for the candidate to reach the dead primary's last
+    // acknowledged offset; a tailer that already fetched the records is
+    // still applying them, so this converges quickly when the data made
+    // it off the primary at all.
+    while candidate_end < last_acked && Instant::now() < deadline {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return None;
+        }
+        chunked_sleep(shared, config.interval.min(Duration::from_millis(20)));
+        if let Ok(stats) = probe(candidate, "STATS", config) {
+            candidate_end = field_u64(&stats, "end=").unwrap_or(candidate_end);
+        }
+    }
+
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return None;
+        }
+        match admin_send(candidate, "PROMOTE", config) {
+            Ok(reply) if reply.starts_with("OK PROMOTED") => {
+                let new_epoch = field_u64(&reply, "epoch=").unwrap_or(epoch + 1);
+                followers.remove(index);
+                for &survivor in followers.iter() {
+                    let _ = admin_send(survivor, &format!("RETARGET {candidate}"), config);
+                }
+                return Some((candidate, new_epoch));
+            }
+            // The tailer is mid-apply on its final fetch; retry inside
+            // the catch-up budget.
+            Ok(reply) if reply.starts_with("ERR REPL BEHIND") => {}
+            // Any other reply (denied, readonly refusal race, …) is
+            // retried the same way until the budget runs out.
+            Ok(_) | Err(_) => {}
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        chunked_sleep(shared, config.interval.min(Duration::from_millis(20)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The probe backoff is deterministic given the seed, grows with
+    /// consecutive misses and stays within base + a quarter jitter.
+    #[test]
+    fn probe_backoff_is_seeded_and_bounded() {
+        let interval = Duration::from_millis(40);
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let first: Vec<Duration> = (1..8).map(|n| probe_backoff(interval, n, &mut a)).collect();
+        let again: Vec<Duration> = (1..8).map(|n| probe_backoff(interval, n, &mut b)).collect();
+        assert_eq!(first, again);
+        for (i, delay) in first.iter().enumerate() {
+            let doublings = (i as u32 + 1).min(PROBE_BACKOFF_DOUBLINGS);
+            let base = interval.saturating_mul(1 << doublings);
+            assert!(*delay >= base && *delay <= base + base / 4 + Duration::from_millis(1));
+        }
+    }
+
+    /// The status line renders every counter under stable keys.
+    #[test]
+    fn status_line_renders_all_gauges() {
+        let status = SupervisorStatus {
+            state: SupervisorState::Watching,
+            primary: "127.0.0.1:7800".parse().unwrap(),
+            epoch: 2,
+            probes: 41,
+            misses: 3,
+            promotions: 1,
+            last_acked: 17,
+        };
+        assert_eq!(
+            status.render(),
+            "OK SUPERVISOR state=watching primary=127.0.0.1:7800 epoch=2 probes=41 misses=3 \
+             promotions=1 last_acked=17"
+        );
+    }
+}

@@ -93,6 +93,7 @@ pub mod prelude {
         SnapshotError, Symbol, SymbolTable, Value,
     };
     pub use cdr_server::{
-        client::Client, Backend, Oracle, ReplicatedBackend, Role, Server, ServerConfig, ServerStats,
+        client::Client, client::RetryPolicy, Backend, Oracle, ReplicatedBackend, Role, Server,
+        ServerConfig, ServerStats, Supervisor, SupervisorConfig, SupervisorState, SupervisorStatus,
     };
 }

@@ -1,0 +1,207 @@
+//! Replication parity *through failure*: the deterministic
+//! fault-injection proxy ([`cdr_chaos::ChaosProxy`]) sits on both legs
+//! of a replicated pair while a random churn trace runs, and parity
+//! must still hold byte for byte.
+//!
+//! The two legs get different fault menus, matching what each can
+//! tolerate without changing the observable trace:
+//!
+//! - **client ↔ primary**: delays only.  A delayed byte arrives intact,
+//!   so every reply must still equal the [`Oracle`] replay exactly; a
+//!   truncated command, by contrast, would have to be resent and the
+//!   trace would no longer be the reference trace.
+//! - **primary ↔ follower**: delays *and* truncations.  The pull-based
+//!   `REPL` protocol is idempotent — a cut fetch or a cut bootstrap is
+//!   simply retried from the same offsets — so the follower must
+//!   converge to byte parity through arbitrary cuts.  (Blackholes are
+//!   excluded here only because a stalled socket ties up the test for
+//!   its full read deadline, not because they break parity.)
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use cdr_chaos::{ChaosConfig, ChaosProxy, Direction, FaultKind};
+use proptest::prelude::*;
+use repair_count::prelude::*;
+use repair_count::workloads::{churn_base, churn_session, replication_battery};
+
+static LOG_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_log_dir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cdr-chaos-test-{}-{}",
+        std::process::id(),
+        LOG_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn test_config() -> ServerConfig {
+    let mut config = ServerConfig::bind("127.0.0.1:0");
+    config.poll_interval = Duration::from_millis(25);
+    config.auto_compact = Some(16);
+    config
+}
+
+fn churn_engine() -> RepairEngine {
+    let (db, keys) = churn_base();
+    RepairEngine::new(db, keys)
+}
+
+/// Delay-only faults for the client leg: bytes may be late, never lost.
+fn client_leg(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        fault_probability: 0.4,
+        menu: vec![FaultKind::Delay],
+        directions: vec![Direction::ClientToServer, Direction::ServerToClient],
+        trigger_bytes: (0, 512),
+        delay_ms: (1, 40),
+    }
+}
+
+/// Delays and hard cuts for the replication leg — the pull protocol
+/// retries both.
+fn repl_leg(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed: seed ^ 0xdead_beef,
+        fault_probability: 0.5,
+        menu: vec![FaultKind::Delay, FaultKind::Truncate],
+        directions: vec![Direction::ClientToServer, Direction::ServerToClient],
+        trigger_bytes: (0, 2048),
+        delay_ms: (1, 30),
+    }
+}
+
+/// Bootstraps a follower through the faulty proxy, retrying cut
+/// snapshot transfers — each attempt is a fresh proxied connection with
+/// its own (deterministic) fault plan.
+fn bootstrap_through(proxy_addr: &str) -> ReplicatedBackend {
+    let mut last = None;
+    for _ in 0..30 {
+        match ReplicatedBackend::follower(proxy_addr, Some(16), |engine| engine) {
+            Ok(backend) => return backend,
+            Err(e) => last = Some(e),
+        }
+    }
+    panic!("bootstrap kept failing through the chaos proxy: {last:?}")
+}
+
+fn stat_u64(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(key))
+        .and_then(|value| value.parse().ok())
+        .unwrap_or_else(|| panic!("no `{key}` field in `{line}`"))
+}
+
+fn stats_head(reply: &str) -> &str {
+    reply.split(" | ").next().unwrap_or(reply)
+}
+
+fn battery_replies(client: &mut Client) -> Vec<String> {
+    replication_battery()
+        .iter()
+        .map(|line| client.send(line).expect("battery line"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Property: fault injection changes nothing observable.  A churn
+    /// trace driven through a delaying client proxy answers
+    /// byte-identically to the Oracle replay, and a follower tailing
+    /// through a cutting proxy still converges to byte parity.
+    #[test]
+    fn prop_parity_survives_the_chaos_proxies(
+        seed in 0u64..1_000,
+        ops in 20usize..45,
+    ) {
+        let dir = temp_log_dir();
+        let (db, keys, trace) = churn_session(ops, Some(16));
+        let mut oracle = Oracle::new(RepairEngine::new(db, keys)).with_auto_compact(16);
+
+        let backend = ReplicatedBackend::primary(churn_engine(), &dir).expect("fresh primary");
+        let primary = Server::start_replicated(backend, test_config()).expect("bind primary");
+
+        let client_proxy =
+            ChaosProxy::start(primary.addr(), client_leg(seed)).expect("client proxy");
+        let repl_proxy = ChaosProxy::start(primary.addr(), repl_leg(seed)).expect("repl proxy");
+
+        let follower_backend = bootstrap_through(&repl_proxy.addr().to_string());
+        let follower =
+            Server::start_replicated(follower_backend, test_config()).expect("bind follower");
+
+        // The whole trace flows through the delaying proxy; every reply
+        // must equal the Oracle's — delays reorder nothing.
+        let mut client = Client::connect(client_proxy.addr()).expect("connect via proxy");
+        for line in &trace {
+            let reply = client.send(line).expect("trace line");
+            let expected = oracle.feed(line);
+            prop_assert_eq!(expected.len(), 1, "`{}` is a single-reply line", line);
+            if line.trim_start().starts_with("STATS") {
+                // The replicated node carries a ` | repl …` gauge tail
+                // the bare Oracle engine does not; the gauge head must
+                // still match exactly.
+                prop_assert_eq!(
+                    stats_head(&reply),
+                    stats_head(&expected[0]),
+                    "`{}` diverged through the proxy",
+                    line
+                );
+            } else {
+                prop_assert_eq!(
+                    &reply,
+                    &expected[0],
+                    "`{}` diverged through the proxy",
+                    line
+                );
+            }
+        }
+
+        let primary_stats = client.send("STATS").expect("STATS");
+        let target = stat_u64(&primary_stats, "end=");
+        let oracle_stats = oracle.feed("STATS").remove(0);
+        prop_assert_eq!(stats_head(&primary_stats), stats_head(&oracle_stats));
+
+        // The follower converges through cut fetches: the tailer
+        // re-handshakes and re-pulls from the same offsets after every
+        // truncation, so the deadline is generous but convergence is
+        // certain.
+        let mut reader = Client::connect(follower.addr()).expect("connect follower");
+        let deadline = Instant::now() + Duration::from_secs(45);
+        let follower_stats = loop {
+            let reply = reader.send("STATS").expect("follower STATS");
+            if stat_u64(&reply, "end=") >= target {
+                break reply;
+            }
+            prop_assert!(
+                Instant::now() < deadline,
+                "follower stuck short of offset {} through the chaos proxy: {} \
+                 (proxy: {} connections, {} faults)",
+                target, reply, repl_proxy.connections(), repl_proxy.faults()
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        prop_assert_eq!(stats_head(&primary_stats), stats_head(&follower_stats));
+
+        // The 16-line read battery answers byte-identically on the
+        // proxied primary connection and on the follower.
+        let primary_battery = battery_replies(&mut client);
+        let follower_battery = battery_replies(&mut reader);
+        prop_assert_eq!(&primary_battery, &follower_battery);
+        let oracle_battery: Vec<String> = replication_battery()
+            .iter()
+            .map(|line| oracle.feed(line).remove(0))
+            .collect();
+        prop_assert_eq!(&primary_battery, &oracle_battery);
+
+        follower.shutdown();
+        prop_assert_eq!(follower.join().recovered_panics, 0);
+        primary.shutdown();
+        primary.join();
+        client_proxy.shutdown();
+        repl_proxy.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -133,9 +133,12 @@ proptest! {
 
         // The follower tails live while the trace is still being driven.
         let backend =
-            ReplicatedBackend::follower(&primary_addr, |engine| engine).expect("bootstrap");
+            ReplicatedBackend::follower(&primary_addr, Some(16), |engine| engine)
+                .expect("bootstrap");
+        let mut follower_config = test_config();
+        follower_config.auto_compact = Some(16);
         let follower =
-            Server::start_replicated(backend, test_config()).expect("bind follower");
+            Server::start_replicated(backend, follower_config).expect("bind follower");
 
         let mut client = Client::connect(primary.addr()).expect("connect primary");
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);

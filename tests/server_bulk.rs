@@ -151,7 +151,7 @@ fn a_follower_refuses_bulk_frames_per_op() {
 
     let upstream = primary.addr().to_string();
     let follower_backend =
-        ReplicatedBackend::follower(&upstream, |engine| engine).expect("bootstrap");
+        ReplicatedBackend::follower(&upstream, None, |engine| engine).expect("bootstrap");
     let mut config = ServerConfig::bind("127.0.0.1:0");
     config.poll_interval = Duration::from_millis(25);
     let follower = Server::start_replicated(follower_backend, config).expect("bind");

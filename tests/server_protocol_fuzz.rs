@@ -404,7 +404,7 @@ proptest! {
         // demand gauge parity plus the read-only refusal.
         if mode == 5 {
             let upstream = server.addr().to_string();
-            let follower_backend = ReplicatedBackend::follower(&upstream, |engine| engine)
+            let follower_backend = ReplicatedBackend::follower(&upstream, None, |engine| engine)
                 .expect("bootstrapping from a live primary");
             let follower =
                 Server::start_replicated(follower_backend, fuzz_config()).expect("ephemeral port");

@@ -52,9 +52,15 @@ fn start_primary(dir: &Path, auto_compact: Option<u64>) -> Server {
 
 /// Starts a follower of `upstream` (identity tuning — the churn engines
 /// here run default budgets).
-fn start_follower(upstream: &str, configure: impl FnOnce(&mut ServerConfig)) -> Server {
-    let backend = ReplicatedBackend::follower(upstream, |engine| engine).expect("bootstrap");
+fn start_follower(
+    upstream: &str,
+    auto_compact: Option<u64>,
+    configure: impl FnOnce(&mut ServerConfig),
+) -> Server {
+    let backend =
+        ReplicatedBackend::follower(upstream, auto_compact, |engine| engine).expect("bootstrap");
     let mut config = test_config();
+    config.auto_compact = auto_compact;
     configure(&mut config);
     Server::start_replicated(backend, config).expect("bind follower")
 }
@@ -175,7 +181,7 @@ fn a_follower_serves_reads_byte_identically_and_refuses_writes() {
 
     let primary = start_primary(&dir, Some(16));
     let primary_addr = primary.addr().to_string();
-    let follower = start_follower(&primary_addr, |_| {});
+    let follower = start_follower(&primary_addr, Some(16), |_| {});
 
     let mut client = Client::connect(primary.addr()).expect("connect primary");
     for line in &trace {
@@ -230,7 +236,7 @@ fn promote_turns_a_follower_into_a_primary_at_a_new_epoch() {
     let dir = temp_log_dir("promote");
     let primary = start_primary(&dir, None);
     let primary_addr = primary.addr().to_string();
-    let follower = start_follower(&primary_addr, |config| {
+    let follower = start_follower(&primary_addr, None, |config| {
         config.admin_token = Some("sekrit".to_string());
     });
 
@@ -287,6 +293,153 @@ fn promote_turns_a_follower_into_a_primary_at_a_new_epoch() {
 
     follower.shutdown();
     assert_eq!(follower.join().recovered_panics, 0, "tailer never panics");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: promoting a follower that has not yet applied everything
+/// the upstream acknowledged must refuse with `ERR REPL BEHIND end=<e>
+/// upstream=<u>` — the failover soak once raced the final `REPL FETCH`
+/// and promoted a node missing the acknowledged tail.  Once the tailer
+/// catches up, the same node promotes cleanly.
+#[test]
+fn promote_refuses_while_the_follower_is_behind_the_upstream() {
+    let dir = temp_log_dir("behind");
+    let primary = start_primary(&dir, None);
+    let primary_addr = primary.addr().to_string();
+    let mut client = Client::connect(primary.addr()).expect("connect primary");
+    for k in 400..404 {
+        let reply = client
+            .send(&format!("INSERT Event({k}, 'pre-snap')"))
+            .expect("insert");
+        assert!(reply.starts_with("OK INSERT "), "{reply}");
+    }
+    let reply = client.send("COMPACT").expect("COMPACT");
+    assert!(reply.starts_with("OK COMPACTED "), "{reply}");
+    for k in 404..406 {
+        let reply = client
+            .send(&format!("INSERT Event({k}, 'post-snap')"))
+            .expect("insert");
+        assert!(reply.starts_with("OK INSERT "), "{reply}");
+    }
+    let hello = client.send("REPL HELLO").expect("HELLO");
+    let snap = stat_u64(&hello, "snap=");
+    let end = stat_u64(&hello, "end=");
+    assert!(end > snap, "mutations landed after the snapshot: {hello}");
+
+    // Bootstrap a follower but never serve it: the tailer never runs, so
+    // the node sits at the snapshot offset while the bootstrap HELLO
+    // already told it how far the upstream really is.
+    let backend =
+        ReplicatedBackend::follower(&primary_addr, None, |engine| engine).expect("bootstrap");
+    assert_eq!(
+        backend.promote(),
+        format!("ERR REPL BEHIND end={snap} upstream={end}"),
+        "a behind follower must refuse promotion"
+    );
+
+    // Served normally, the tailer applies the suffix and the very same
+    // node promotes at the acknowledged offset.
+    let follower = Server::start_replicated(backend, test_config()).expect("bind follower");
+    let mut surviving = Client::connect(follower.addr()).expect("connect follower");
+    wait_for_offset(&mut surviving, end);
+    primary.shutdown();
+    primary.join();
+    assert_eq!(
+        surviving.send("PROMOTE").expect("PROMOTE"),
+        format!("OK PROMOTED epoch=1 end={end}")
+    );
+
+    follower.shutdown();
+    assert_eq!(follower.join().recovered_panics, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Acceptance: three-node failover by hand — the exact sequence the
+/// supervisor drives.  The primary dies; its surviving followers count
+/// tail retries (visible as `repl retries=` in `STATS`) while backing
+/// off; one follower is promoted; `RETARGET` (admin-gated) re-points
+/// the other at the new primary, and post-failover writes replicate to
+/// it with full byte parity.
+#[test]
+fn retarget_repoints_a_survivor_at_the_promoted_primary() {
+    let dir = temp_log_dir("retarget");
+    let primary = start_primary(&dir, None);
+    let primary_addr = primary.addr().to_string();
+    let follower_a = start_follower(&primary_addr, None, |config| {
+        config.admin_token = Some("sekrit".to_string());
+    });
+    let follower_b = start_follower(&primary_addr, None, |config| {
+        config.admin_token = Some("sekrit".to_string());
+    });
+
+    let mut client = Client::connect(primary.addr()).expect("connect primary");
+    for k in 500..505 {
+        let reply = client
+            .send(&format!("INSERT Event({k}, 'pre-failover')"))
+            .expect("insert");
+        assert!(reply.starts_with("OK INSERT "), "{reply}");
+    }
+    let target = stat_u64(&client.send("STATS").expect("STATS"), "end=");
+
+    let mut a = Client::connect(follower_a.addr()).expect("connect follower a");
+    let mut b = Client::connect(follower_b.addr()).expect("connect follower b");
+    wait_for_offset(&mut a, target);
+    wait_for_offset(&mut b, target);
+
+    // The primary dies for real; the surviving tailers' fetches fail and
+    // the `retries=` gauge starts counting (with capped backoff behind
+    // it — asserted by the deadline staying comfortable).
+    primary.shutdown();
+    primary.join();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = b.send("STATS").expect("STATS");
+        if stat_u64(&stats, "retries=") >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no retry counted: {stats}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    assert_eq!(a.send("AUTH sekrit").expect("AUTH"), "OK AUTH");
+    assert_eq!(
+        a.send("PROMOTE").expect("PROMOTE"),
+        format!("OK PROMOTED epoch=1 end={target}")
+    );
+
+    // RETARGET is an admin verb with a usage line; the happy path swaps
+    // the upstream and acknowledges it.
+    assert_eq!(
+        b.send("RETARGET").expect("RETARGET"),
+        "ERR DENIED RETARGET requires AUTH on this server"
+    );
+    assert_eq!(b.send("AUTH sekrit").expect("AUTH"), "OK AUTH");
+    assert_eq!(
+        b.send("RETARGET").expect("RETARGET"),
+        "ERR REPL usage: RETARGET <host:port>"
+    );
+    let new_primary = follower_a.addr().to_string();
+    assert_eq!(
+        b.send(&format!("RETARGET {new_primary}"))
+            .expect("RETARGET"),
+        format!("OK RETARGET {new_primary}")
+    );
+
+    // A post-failover write on the new primary reaches the retargeted
+    // survivor, byte for byte.
+    let reply = a
+        .send("INSERT Event(505, 'post-failover')")
+        .expect("insert");
+    assert!(reply.starts_with("OK INSERT "), "{reply}");
+    let stats = wait_for_offset(&mut b, target + 1);
+    assert!(stats.contains("role=follower"), "{stats}");
+    assert!(stat_u64(&stats, "retries=") >= 1, "{stats}");
+    assert_eq!(battery_replies(&mut a), battery_replies(&mut b));
+
+    follower_b.shutdown();
+    assert_eq!(follower_b.join().recovered_panics, 0);
+    follower_a.shutdown();
+    assert_eq!(follower_a.join().recovered_panics, 0);
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,0 +1,237 @@
+//! End-to-end supervised failover: a [`Supervisor`] heartbeats a
+//! primary through a (delaying) chaos proxy, declares it dead after the
+//! configured consecutive misses plus a confirming probe, promotes the
+//! most-caught-up follower, retargets the survivor, and fences the
+//! revived old primary — all over the line protocol, with no test
+//! thread driving any of it.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use cdr_chaos::{ChaosConfig, ChaosProxy, Direction, FaultKind};
+use repair_count::prelude::*;
+use repair_count::workloads::{churn_base, replication_battery};
+
+fn temp_log_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cdr-supervisor-test-{}-{tag}", std::process::id()))
+}
+
+fn churn_engine() -> RepairEngine {
+    let (db, keys) = churn_base();
+    RepairEngine::new(db, keys)
+}
+
+fn stat_u64(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(key))
+        .and_then(|value| value.parse().ok())
+        .unwrap_or_else(|| panic!("no `{key}` field in `{line}`"))
+}
+
+fn battery_replies(client: &mut Client) -> Vec<String> {
+    replication_battery()
+        .iter()
+        .map(|line| client.send(line).expect("battery line"))
+        .collect()
+}
+
+fn wait_for_offset(client: &mut Client, target: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let reply = client.send("STATS").expect("STATS");
+        if stat_u64(&reply, "end=") >= target {
+            return reply;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stuck short of offset {target}: {reply}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Probes the supervisor's status socket: one line in, one line out.
+fn ask_status(addr: SocketAddr) -> String {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = TcpStream::connect(addr).expect("connect status socket");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    stream.write_all(b"STATUS\n").expect("status request");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status reply");
+    line.trim_end().to_string()
+}
+
+/// Delay-only faults: the supervisor must ride out slow probes without
+/// a spurious failover (its read deadline is well above the fault
+/// delays).
+fn probe_leg() -> ChaosConfig {
+    ChaosConfig {
+        seed: 0x50be_41a1,
+        fault_probability: 0.3,
+        menu: vec![FaultKind::Delay],
+        directions: vec![Direction::ClientToServer, Direction::ServerToClient],
+        trigger_bytes: (0, 128),
+        delay_ms: (1, 30),
+    }
+}
+
+#[test]
+fn the_supervisor_promotes_retargets_and_fences_automatically() {
+    let dir = temp_log_dir("auto");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The primary listens on a reserved fixed port so its "revival"
+    // below can come back at the same address the supervisor fences.
+    let primary_port = {
+        let probe = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        let port = probe.local_addr().expect("local addr").port();
+        drop(probe);
+        port
+    };
+    let primary_bind = format!("127.0.0.1:{primary_port}");
+
+    let start_primary_at = |bind: &str| {
+        let backend = ReplicatedBackend::primary(churn_engine(), &dir).expect("primary log");
+        let mut config = ServerConfig::bind(bind);
+        config.poll_interval = Duration::from_millis(25);
+        config.admin_token = Some("sekrit".to_string());
+        Server::start_replicated(backend, config).expect("bind primary")
+    };
+    let primary = start_primary_at(&primary_bind);
+    let primary_addr = primary.addr();
+
+    let start_follower = || {
+        let backend = ReplicatedBackend::follower(&primary_addr.to_string(), None, |engine| engine)
+            .expect("bootstrap");
+        let mut config = ServerConfig::bind("127.0.0.1:0");
+        config.poll_interval = Duration::from_millis(25);
+        config.admin_token = Some("sekrit".to_string());
+        Server::start_replicated(backend, config).expect("bind follower")
+    };
+    let follower_a = start_follower();
+    let follower_b = start_follower();
+
+    let mut client = Client::connect(primary_addr).expect("connect primary");
+    for k in 700..706 {
+        let reply = client
+            .send(&format!("INSERT Event({k}, 'pre-failover')"))
+            .expect("insert");
+        assert!(reply.starts_with("OK INSERT "), "{reply}");
+    }
+    let target = stat_u64(&client.send("STATS").expect("STATS"), "end=");
+    let mut a = Client::connect(follower_a.addr()).expect("connect follower a");
+    let mut b = Client::connect(follower_b.addr()).expect("connect follower b");
+    wait_for_offset(&mut a, target);
+    wait_for_offset(&mut b, target);
+
+    // The supervisor watches the primary *through* a delaying chaos
+    // proxy: slow probes must not trigger a failover, a dead upstream
+    // must.
+    let proxy = ChaosProxy::start(primary_addr, probe_leg()).expect("probe proxy");
+    let mut config =
+        SupervisorConfig::watch(proxy.addr(), vec![follower_a.addr(), follower_b.addr()]);
+    config.interval = Duration::from_millis(25);
+    config.misses_to_fail = 3;
+    config.connect_timeout = Duration::from_millis(250);
+    config.read_timeout = Duration::from_millis(500);
+    config.auth = Some("sekrit".to_string());
+    config.catch_up = Duration::from_secs(5);
+    let supervisor = Supervisor::start(config).expect("start supervisor");
+
+    // Healthy phase: probes accumulate, no misses escalate, the last
+    // acknowledged offset is tracked.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = supervisor.status();
+        if status.probes >= 5 && status.last_acked == target {
+            assert_eq!(status.state, SupervisorState::Watching);
+            assert_eq!(status.promotions, 0);
+            break;
+        }
+        assert!(Instant::now() < deadline, "no healthy probes: {status:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let line = ask_status(supervisor.status_addr());
+    assert!(line.starts_with("OK SUPERVISOR state=watching "), "{line}");
+
+    // The primary dies.  The supervisor must notice, confirm, promote
+    // follower A (config order breaks the caught-up tie) and retarget
+    // follower B — within the deadline, unattended.
+    primary.shutdown();
+    primary.join();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let status = supervisor.status();
+        if status.promotions == 1 {
+            assert_eq!(status.primary, follower_a.addr());
+            assert_eq!(status.epoch, 1);
+            break;
+        }
+        assert!(Instant::now() < deadline, "no promotion driven: {status:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Follower A is now a primary at epoch 1 and takes writes; the
+    // retargeted follower B replicates them byte-for-byte.
+    let stats = a.send("STATS").expect("STATS");
+    assert!(stats.contains("role=primary"), "{stats}");
+    assert!(stats.contains("epoch=1"), "{stats}");
+    let reply = a
+        .send("INSERT Event(706, 'post-failover')")
+        .expect("insert");
+    assert!(reply.starts_with("OK INSERT "), "{reply}");
+    let stats = wait_for_offset(&mut b, target + 1);
+    assert!(stats.contains("role=follower"), "{stats}");
+    assert_eq!(battery_replies(&mut a), battery_replies(&mut b));
+
+    // The old primary revives at its old address (cold restart over the
+    // same log) — the supervisor's epoch announcements must fence it:
+    // writes refuse with `ERR FENCED`, reads still flow.
+    let revived = start_primary_at(&primary_bind);
+    let mut stale = Client::connect(revived.addr()).expect("connect revived");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let reply = stale
+            .send("INSERT Event(999, 'split-brain')")
+            .expect("fenced write");
+        if reply.starts_with("ERR FENCED ") {
+            assert_eq!(
+                reply,
+                "ERR FENCED epoch=1 INSERT refused; a newer primary was promoted"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "the revived primary was never fenced: {reply}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let read = stale.send("COUNT auto TRUE").expect("fenced read");
+    assert!(read.starts_with("OK COUNT "), "reads keep flowing: {read}");
+    let stats = stale.send("STATS").expect("STATS");
+    assert!(stats.contains("fenced=1"), "{stats}");
+
+    // Final status line: one promotion, watching the new primary.
+    let line = ask_status(supervisor.status_addr());
+    assert!(line.contains(" promotions=1 "), "{line}");
+    assert!(
+        line.contains(&format!(" primary={} ", follower_a.addr())),
+        "{line}"
+    );
+
+    supervisor.shutdown();
+    supervisor.join();
+    proxy.shutdown();
+    revived.shutdown();
+    revived.join();
+    follower_b.shutdown();
+    assert_eq!(follower_b.join().recovered_panics, 0);
+    follower_a.shutdown();
+    assert_eq!(follower_a.join().recovered_panics, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
