@@ -74,17 +74,19 @@ impl Backend {
     }
 
     /// Serves one `REPL …` line; replication-free backends refuse it.
-    pub fn repl(&self, line: &str) -> Vec<String> {
+    /// `admin_ok` gates the admin-grade side effects (epoch fencing) of
+    /// an announcing `REPL HELLO`.
+    pub fn repl(&self, line: &str, admin_ok: bool) -> Vec<String> {
         match self {
-            Backend::Replicated(backend) => backend.repl(line),
+            Backend::Replicated(backend) => backend.repl(line, admin_ok),
             _ => vec!["ERR REPL replication is not enabled on this server".to_string()],
         }
     }
 
-    /// The `PROMOTE` verb; replication-free backends refuse it.
-    pub fn promote(&self) -> String {
+    /// The `PROMOTE [FORCE]` verb; replication-free backends refuse it.
+    pub fn promote(&self, force: bool) -> String {
         match self {
-            Backend::Replicated(backend) => backend.promote(),
+            Backend::Replicated(backend) => backend.promote(force),
             _ => "ERR REPL replication is not enabled on this server".to_string(),
         }
     }

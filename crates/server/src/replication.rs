@@ -20,12 +20,15 @@
 //!                               REPL CHUNK <hex>          (x K)
 //! REPL FETCH <from> <max>    -> OK REPL RECORDS n=N next=F end=E
 //!                               REPL RECORD <hex(crc32||payload)>   (x N)
-//! PROMOTE                    -> OK PROMOTED epoch=E end=N   (follower, behind AUTH)
+//! PROMOTE [FORCE]            -> OK PROMOTED epoch=E end=N   (follower, behind AUTH)
 //! ```
 //!
 //! Mutating verbs on a follower answer `ERR READONLY …`; `PROMOTE` flips
 //! the role and bumps the epoch without touching the engine, so a
 //! promoted follower keeps serving the exact state it replicated.
+//! `PROMOTE FORCE` promotes even a behind follower — the operator's (or
+//! supervisor's) explicit acceptance that the acknowledged-but-unfetched
+//! suffix is lost — and reports the loss as `dropped=<n>`.
 
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, RwLock};
@@ -511,8 +514,13 @@ impl ReplicatedBackend {
         )
     }
 
-    /// Serves one `REPL …` line.
-    pub fn repl(&self, line: &str) -> Vec<String> {
+    /// Serves one `REPL …` line.  `admin_ok` says whether this session
+    /// may exercise admin-grade side effects: the fencing bite of an
+    /// epoch-announcing `HELLO` is as destructive as `PROMOTE` (it stops
+    /// all writes on a primary, monotonically), so on a server that
+    /// gates admin verbs it requires `AUTH` too.  The bare probe form
+    /// and non-fencing announcements stay open.
+    pub fn repl(&self, line: &str, admin_ok: bool) -> Vec<String> {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         let sub = tokens.get(1).copied().unwrap_or("").to_ascii_uppercase();
         let mut repl = lock(&self.repl);
@@ -553,8 +561,16 @@ impl ReplicatedBackend {
                 // Epoch fencing: a strictly newer epoch announced to a
                 // primary means a successor was promoted elsewhere — this
                 // node is deposed and must refuse writes from now on.
+                // The fence is monotone with no unfence path, so an
+                // unauthenticated session must not be able to plant it.
                 if let (Some(theirs), Role::Primary) = (announced_epoch, repl.role) {
                     if theirs > repl.epoch {
+                        if !admin_ok {
+                            return vec![format!(
+                                "ERR DENIED REPL HELLO epoch={theirs} would fence this \
+                                 primary and requires AUTH on this server"
+                            )];
+                        }
                         let already = repl.fenced.map_or(0, |epoch| epoch);
                         if theirs > already {
                             eprintln!(
@@ -644,14 +660,18 @@ impl ReplicatedBackend {
     /// A follower that is still behind the upstream's last observed log
     /// end refuses with a deterministic `ERR REPL BEHIND end=<e>
     /// upstream=<u>`: promoting it would silently drop the acknowledged
-    /// suffix it had not yet fetched.
-    pub fn promote(&self) -> String {
+    /// suffix it had not yet fetched.  `force` overrides that refusal —
+    /// the catch-up escape hatch for records the dead primary
+    /// acknowledged but no follower ever fetched — and the reply then
+    /// carries the accepted loss as `dropped=<n>`.
+    pub fn promote(&self, force: bool) -> String {
         let _engine = wlock(&self.engine);
         let mut repl = lock(&self.repl);
         match repl.role {
             Role::Primary => format!("ERR REPL already primary at epoch={}", repl.epoch),
             Role::Follower => {
-                if repl.end() < repl.upstream_end {
+                let dropped = repl.upstream_end.saturating_sub(repl.end());
+                if dropped > 0 && !force {
                     return format!(
                         "ERR REPL BEHIND end={} upstream={}",
                         repl.end(),
@@ -662,7 +682,15 @@ impl ReplicatedBackend {
                 repl.epoch += 1;
                 repl.tail_client = None;
                 repl.upstream = None;
-                format!("OK PROMOTED epoch={} end={}", repl.epoch, repl.end())
+                if dropped > 0 {
+                    format!(
+                        "OK PROMOTED epoch={} end={} dropped={dropped}",
+                        repl.epoch,
+                        repl.end()
+                    )
+                } else {
+                    format!("OK PROMOTED epoch={} end={}", repl.epoch, repl.end())
+                }
             }
         }
     }
@@ -726,9 +754,11 @@ impl ReplicatedBackend {
             None => {
                 // A fresh connection re-runs the HELLO handshake:
                 // announce our epoch (fencing a stale revived primary on
-                // the spot) and our compact threshold (so a mismatch is
-                // refused here, not discovered as replay divergence), and
-                // refuse to tail an upstream behind our own epoch.
+                // the spot when it does not gate admin verbs; a gated one
+                // answers `ERR DENIED`, which equally stops us tailing
+                // it) and our compact threshold (so a mismatch is refused
+                // here, not discovered as replay divergence), and refuse
+                // to tail an upstream behind our own epoch.
                 let Ok(mut client) = Client::connect(&upstream) else {
                     return self.tail_failed();
                 };
@@ -932,13 +962,13 @@ mod tests {
         let (outcome, _) = backend.compact().unwrap();
         assert_eq!(outcome.report.live_facts, 4);
         assert_eq!(read_log_payloads(&dir.join(LOG_FILE)).unwrap().len(), 0);
-        let hello = &backend.repl("REPL HELLO")[0];
+        let hello = &backend.repl("REPL HELLO", true)[0];
         assert_eq!(
             hello,
             "OK REPL HELLO epoch=0 base=0 end=3 snap=3 role=primary compact=off"
         );
         // In-memory records are retained across the snapshot for tailers.
-        let fetched = backend.repl("REPL FETCH 0 64");
+        let fetched = backend.repl("REPL FETCH 0 64", true);
         assert!(
             fetched[0].starts_with("OK REPL RECORDS n=3 "),
             "{}",
@@ -980,11 +1010,11 @@ mod tests {
     fn repl_fetch_bounds_are_enforced() {
         let dir = temp_dir("bounds");
         let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
-        assert!(backend.repl("REPL FETCH 5 4")[0].starts_with("ERR REPL RANGE "));
-        assert!(backend.repl("REPL FETCH x 4")[0].starts_with("ERR REPL usage"));
-        assert!(backend.repl("REPL NONSENSE")[0].starts_with("ERR REPL usage"));
+        assert!(backend.repl("REPL FETCH 5 4", true)[0].starts_with("ERR REPL RANGE "));
+        assert!(backend.repl("REPL FETCH x 4", true)[0].starts_with("ERR REPL usage"));
+        assert!(backend.repl("REPL NONSENSE", true)[0].starts_with("ERR REPL usage"));
         assert_eq!(
-            backend.repl("REPL FETCH 0 10"),
+            backend.repl("REPL FETCH 0 10", true),
             vec!["OK REPL RECORDS n=0 next=0 end=0".to_string()]
         );
         std::fs::remove_dir_all(&dir).unwrap();
@@ -994,7 +1024,15 @@ mod tests {
     fn promote_on_a_primary_is_refused() {
         let dir = temp_dir("promote");
         let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
-        assert_eq!(backend.promote(), "ERR REPL already primary at epoch=0");
+        assert_eq!(
+            backend.promote(false),
+            "ERR REPL already primary at epoch=0"
+        );
+        assert_eq!(
+            backend.promote(true),
+            "ERR REPL already primary at epoch=0",
+            "FORCE never applies to a primary"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1006,7 +1044,7 @@ mod tests {
         let insert = |text: &str| Mutation::Insert(db.parse_fact(text).unwrap());
 
         // An equal (or lower) epoch never fences.
-        let hello = &backend.repl("REPL HELLO epoch=0")[0];
+        let hello = &backend.repl("REPL HELLO epoch=0", true)[0];
         assert_eq!(
             hello,
             "OK REPL HELLO epoch=0 base=0 end=0 snap=0 role=primary compact=off"
@@ -1017,7 +1055,7 @@ mod tests {
 
         // A strictly newer epoch deposes this primary: the reply carries
         // the fence, and every mutating verb refuses deterministically.
-        let hello = &backend.repl("REPL HELLO epoch=3")[0];
+        let hello = &backend.repl("REPL HELLO epoch=3", true)[0];
         assert_eq!(
             hello,
             "OK REPL HELLO epoch=0 base=0 end=1 snap=0 role=primary compact=off fenced=3"
@@ -1039,7 +1077,37 @@ mod tests {
         assert!(stats.starts_with("OK STATS "), "{stats}");
         assert!(stats.ends_with(" retries=0 fenced=3"), "{stats}");
         // The fence is monotone: an older announcement cannot unfence.
-        backend.repl("REPL HELLO epoch=1");
+        backend.repl("REPL HELLO epoch=1", true);
+        assert!(backend.stats().ends_with(" fenced=3"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The fencing side effect is admin-grade: an unauthenticated
+    /// session (`admin_ok = false`) cannot depose a primary, while the
+    /// harmless probe forms stay open to it.
+    #[test]
+    fn fencing_over_hello_requires_admin_rights() {
+        let dir = temp_dir("fence-auth");
+        let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
+
+        // Probes and non-fencing announcements never need auth.
+        assert!(backend.repl("REPL HELLO", false)[0].starts_with("OK REPL HELLO "));
+        assert!(backend.repl("REPL HELLO epoch=0", false)[0].starts_with("OK REPL HELLO "));
+
+        // A fencing announcement without admin rights is refused and
+        // leaves the primary untouched.
+        assert_eq!(
+            backend.repl("REPL HELLO epoch=3", false)[0],
+            "ERR DENIED REPL HELLO epoch=3 would fence this primary and requires AUTH \
+             on this server"
+        );
+        assert!(!backend.stats().contains("fenced="));
+        let db = backend.parse_database();
+        let insert = Mutation::Insert(db.parse_fact("Employee(9, 'Flux', 'Ops')").unwrap());
+        assert!(backend.mutate(insert, None).starts_with("OK INSERT "));
+
+        // The same announcement with admin rights fences.
+        assert!(backend.repl("REPL HELLO epoch=3", true)[0].ends_with("fenced=3"));
         assert!(backend.stats().ends_with(" fenced=3"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -1050,25 +1118,25 @@ mod tests {
         let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
         backend.set_auto_compact(Some(16));
         assert_eq!(
-            backend.repl("REPL HELLO epoch=0 compact=off")[0],
+            backend.repl("REPL HELLO epoch=0 compact=off", true)[0],
             "ERR REPL COMPACT MISMATCH ours=16 yours=off"
         );
         assert_eq!(
-            backend.repl("REPL HELLO epoch=0 compact=8")[0],
+            backend.repl("REPL HELLO epoch=0 compact=8", true)[0],
             "ERR REPL COMPACT MISMATCH ours=16 yours=8"
         );
-        let hello = &backend.repl("REPL HELLO epoch=0 compact=16")[0];
+        let hello = &backend.repl("REPL HELLO epoch=0 compact=16", true)[0];
         assert_eq!(
             hello,
             "OK REPL HELLO epoch=0 base=0 end=0 snap=0 role=primary compact=16"
         );
         // A refused handshake never fences: the epoch check runs after.
-        assert_eq!(backend.repl("REPL HELLO epoch=9 compact=8").len(), 1);
+        assert_eq!(backend.repl("REPL HELLO epoch=9 compact=8", true).len(), 1);
         assert!(!backend.stats().contains("fenced="));
         // Malformed announcements draw the usage line.
-        assert!(backend.repl("REPL HELLO epoch=x")[0].starts_with("ERR REPL usage"));
-        assert!(backend.repl("REPL HELLO compact=soon")[0].starts_with("ERR REPL usage"));
-        assert!(backend.repl("REPL HELLO nonsense")[0].starts_with("ERR REPL usage"));
+        assert!(backend.repl("REPL HELLO epoch=x", true)[0].starts_with("ERR REPL usage"));
+        assert!(backend.repl("REPL HELLO compact=soon", true)[0].starts_with("ERR REPL usage"));
+        assert!(backend.repl("REPL HELLO nonsense", true)[0].starts_with("ERR REPL usage"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1087,7 +1155,7 @@ mod tests {
     fn the_served_snapshot_round_trips() {
         let dir = temp_dir("snapshot");
         let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
-        let lines = backend.repl("REPL SNAPSHOT");
+        let lines = backend.repl("REPL SNAPSHOT", true);
         let bytes = field_u64(&lines[0], "bytes=").unwrap();
         let mut assembled = Vec::new();
         for line in &lines[1..] {

@@ -176,12 +176,20 @@ impl Session {
                 host.backend().chaos_panic()
             }
             "QUIT" => Step::Quit("OK BYE".to_string()),
-            "REPL" => Step::Replies(host.backend().repl(trimmed)),
+            "REPL" => Step::Replies(host.backend().repl(trimmed, !self.admin_denied(host))),
             "PROMOTE" => {
                 if self.admin_denied(host) {
                     return Step::Replies(vec![denied("PROMOTE")]);
                 }
-                Step::Replies(vec![host.backend().promote()])
+                let operands: Vec<&str> = trimmed.split_whitespace().skip(1).collect();
+                let force = match operands.as_slice() {
+                    [] => false,
+                    [word] if word.eq_ignore_ascii_case("FORCE") => true,
+                    _ => {
+                        return Step::Replies(vec!["ERR REPL usage: PROMOTE [FORCE]".to_string()]);
+                    }
+                };
+                Step::Replies(vec![host.backend().promote(force)])
             }
             "RETARGET" => {
                 if self.admin_denied(host) {

@@ -20,12 +20,25 @@
 //! `catch_up` — for that follower to reach the dead primary's last
 //! acknowledged offset, then drives `AUTH` + `PROMOTE`, retrying while
 //! the follower still answers `ERR REPL BEHIND …` (the tailer may be
-//! applying its final fetched records).  Surviving followers are
-//! re-pointed at the new primary with `RETARGET`, and the deposed
-//! primary's address joins the fence list: every later tick announces
-//! the new epoch to it, so a revived stale primary is fenced (its
-//! writes answer `ERR FENCED epoch=<e>`) before any client can reach
-//! it with a write.
+//! applying its final fetched records).  Once the catch-up budget is
+//! spent the supervisor escalates to `PROMOTE FORCE`, accepting the
+//! documented loss of records the dead primary acknowledged but never
+//! served to a fetch — a cluster with a primary that dropped a tail it
+//! provably could not recover beats a cluster stranded forever.  An
+//! `ERR REPL already primary` reply counts as success, too: it means an
+//! earlier `PROMOTE` landed but its reply was lost in flight.
+//!
+//! Surviving followers are re-pointed at the new primary with
+//! `RETARGET`; one that is unreachable at that instant is retried on
+//! later ticks until it acknowledges.  The deposed primary's address
+//! joins the fence list: ticks keep announcing the new epoch to it
+//! (authenticated — fencing is an admin-grade side effect), so a
+//! revived stale primary is fenced (its writes answer `ERR FENCED
+//! epoch=<e>`) before any client can reach it with a write.  Both kinds
+//! of nudges run *after* the heartbeat probe and back off per target
+//! while it stays unreachable, so a pile of dead addresses cannot
+//! stretch the heartbeat period and slow detection of the next
+//! failure.
 //!
 //! The supervisor exposes its own state on a small status socket: any
 //! line sent to it answers `OK SUPERVISOR state=… primary=… epoch=…
@@ -124,9 +137,11 @@ pub struct SupervisorConfig {
     /// Seed of the backoff jitter stream.
     pub seed: u64,
     /// Longest wait for the promotion candidate to reach the dead
-    /// primary's last acknowledged offset before promoting anyway
-    /// (async replication: records the dead primary acknowledged but
-    /// never served to a fetch are unrecoverable).
+    /// primary's last acknowledged offset before escalating to
+    /// `PROMOTE FORCE`, which promotes anyway (async replication:
+    /// records the dead primary acknowledged but never served to a
+    /// fetch are unrecoverable, and the forced reply reports them as
+    /// `dropped=<n>`).
     pub catch_up: Duration,
     /// Status socket bind address (`127.0.0.1:0` for an ephemeral
     /// port).
@@ -156,6 +171,55 @@ impl SupervisorConfig {
 /// Most doublings the inter-probe delay grows through while the
 /// primary is missing.
 const PROBE_BACKOFF_DOUBLINGS: u32 = 3;
+
+/// Most doublings a nudged peer's skip count grows through while it
+/// stays unreachable (so a dead peer costs one connect timeout every
+/// 2^5 = 32 ticks at worst, not every tick).
+const PEER_BACKOFF_DOUBLINGS: u32 = 5;
+
+/// A peer the watch loop keeps nudging between heartbeats — a fence
+/// target it announces epochs to, or a survivor whose `RETARGET` has
+/// not been acknowledged yet — with per-target backoff so unreachable
+/// peers cannot stretch the heartbeat period.
+struct Peer {
+    addr: SocketAddr,
+    /// Consecutive nudges that drew no reply.
+    failures: u32,
+    /// Ticks to sit out before the next nudge.
+    skip: u32,
+    /// A refused (but delivered) nudge was already reported.
+    warned: bool,
+}
+
+impl Peer {
+    fn new(addr: SocketAddr) -> Peer {
+        Peer {
+            addr,
+            failures: 0,
+            skip: 0,
+            warned: false,
+        }
+    }
+
+    /// Whether this tick should nudge the peer (counts down the skip).
+    fn due(&mut self) -> bool {
+        if self.skip > 0 {
+            self.skip -= 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    fn delivered(&mut self) {
+        self.failures = 0;
+    }
+
+    fn unreachable(&mut self) {
+        self.failures += 1;
+        self.skip = 1 << self.failures.min(PEER_BACKOFF_DOUBLINGS);
+    }
+}
 
 struct Shared {
     stopping: AtomicBool,
@@ -332,20 +396,13 @@ fn watch_loop(shared: &Arc<Shared>, config: SupervisorConfig) {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut primary = config.primary;
     let mut followers = config.followers.clone();
-    let mut fence_targets: Vec<SocketAddr> = Vec::new();
+    let mut fence_targets: Vec<Peer> = Vec::new();
+    let mut pending_retargets: Vec<Peer> = Vec::new();
     let mut epoch: u64 = 0;
     let mut last_acked: u64 = 0;
     let mut consecutive: u32 = 0;
 
     while !shared.stopping.load(Ordering::SeqCst) {
-        // Announce the cluster epoch to every deposed primary that may
-        // have revived: a strictly newer epoch fences it.
-        if epoch > 0 {
-            for &target in &fence_targets {
-                let _ = probe(target, &format!("REPL HELLO epoch={epoch}"), &config);
-            }
-        }
-
         match probe(primary, "STATS", &config) {
             Ok(stats) => {
                 consecutive = 0;
@@ -374,10 +431,19 @@ fn watch_loop(shared: &Arc<Shared>, config: SupervisorConfig) {
                     && probe(primary, "REPL HELLO", &config).is_err()
                 {
                     lock_status(shared).state = SupervisorState::FailingOver;
-                    match fail_over(shared, &config, &mut followers, last_acked, epoch) {
+                    match fail_over(
+                        shared,
+                        &config,
+                        &mut followers,
+                        &mut pending_retargets,
+                        last_acked,
+                        epoch,
+                    ) {
                         Some((new_primary, new_epoch)) => {
-                            fence_targets.push(primary);
-                            fence_targets.retain(|t| *t != new_primary);
+                            fence_targets.push(Peer::new(primary));
+                            fence_targets.retain(|t| t.addr != new_primary);
+                            pending_retargets
+                                .retain(|t| t.addr != new_primary && t.addr != primary);
                             primary = new_primary;
                             epoch = new_epoch;
                             consecutive = 0;
@@ -399,6 +465,52 @@ fn watch_loop(shared: &Arc<Shared>, config: SupervisorConfig) {
             }
         }
 
+        // Nudge peers *after* the heartbeat, so their connect timeouts
+        // never delay failure detection on the primary.
+        //
+        // Fence announcements: a strictly newer epoch fences a deposed
+        // primary that revived, so every fence target keeps hearing the
+        // cluster epoch (authenticated — fencing is admin-grade).
+        if epoch > 0 {
+            for target in &mut fence_targets {
+                if !target.due() {
+                    continue;
+                }
+                match admin_send(target.addr, &format!("REPL HELLO epoch={epoch}"), &config) {
+                    Ok(reply) => {
+                        target.delivered();
+                        if !reply.starts_with("OK REPL HELLO") && !target.warned {
+                            target.warned = true;
+                            eprintln!(
+                                "cdr-supervisor: fence announcement to {} refused: {reply}",
+                                target.addr
+                            );
+                        }
+                    }
+                    Err(_) => target.unreachable(),
+                }
+            }
+        }
+        // Survivors whose RETARGET was missed during the promotion:
+        // keep re-pointing them at the current primary until one
+        // acknowledges.
+        pending_retargets.retain_mut(|survivor| {
+            if !survivor.due() {
+                return true;
+            }
+            match admin_send(survivor.addr, &format!("RETARGET {primary}"), &config) {
+                Ok(reply) if reply.starts_with("OK RETARGET") => false,
+                Ok(_) => {
+                    survivor.delivered();
+                    true
+                }
+                Err(_) => {
+                    survivor.unreachable();
+                    true
+                }
+            }
+        });
+
         let delay = if consecutive == 0 {
             config.interval
         } else {
@@ -409,12 +521,16 @@ fn watch_loop(shared: &Arc<Shared>, config: SupervisorConfig) {
 }
 
 /// Drives one promotion: pick the most-caught-up follower, wait for it
-/// to reach `last_acked` (bounded by the catch-up budget), promote it,
-/// and retarget the survivors.  Returns the new primary and epoch.
+/// to reach `last_acked` (bounded by the catch-up budget), promote it —
+/// escalating to `PROMOTE FORCE` once the budget is spent — and
+/// retarget the survivors, queueing any that do not acknowledge onto
+/// `pending` for the watch loop to retry.  Returns the new primary and
+/// epoch.
 fn fail_over(
     shared: &Shared,
     config: &SupervisorConfig,
     followers: &mut Vec<SocketAddr>,
+    pending: &mut Vec<Peer>,
     last_acked: u64,
     epoch: u64,
 ) -> Option<(SocketAddr, u64)> {
@@ -451,12 +567,39 @@ fn fail_over(
         if shared.stopping.load(Ordering::SeqCst) {
             return None;
         }
-        match admin_send(candidate, "PROMOTE", config) {
-            Ok(reply) if reply.starts_with("OK PROMOTED") => {
+        // Once the catch-up budget is spent, promote anyway: `PROMOTE
+        // FORCE` accepts dropping the acknowledged-but-unfetched suffix
+        // (reported as `dropped=<n>`) rather than stranding the cluster
+        // on records no surviving node ever held.
+        let overdue = Instant::now() >= deadline;
+        let verb = if overdue { "PROMOTE FORCE" } else { "PROMOTE" };
+        match admin_send(candidate, verb, config) {
+            // `already primary` means an earlier PROMOTE landed but its
+            // reply was lost in flight — the promotion succeeded, so
+            // carry on to retargeting instead of wedging in retries.
+            Ok(reply)
+                if reply.starts_with("OK PROMOTED")
+                    || reply.starts_with("ERR REPL already primary") =>
+            {
+                if let Some(dropped) = field_u64(&reply, "dropped=") {
+                    eprintln!(
+                        "cdr-supervisor: forced promotion of {candidate} dropped {dropped} \
+                         unfetched record(s) the dead primary had acknowledged"
+                    );
+                }
                 let new_epoch = field_u64(&reply, "epoch=").unwrap_or(epoch + 1);
                 followers.remove(index);
                 for &survivor in followers.iter() {
-                    let _ = admin_send(survivor, &format!("RETARGET {candidate}"), config);
+                    match admin_send(survivor, &format!("RETARGET {candidate}"), config) {
+                        Ok(reply) if reply.starts_with("OK RETARGET") => {}
+                        // Unreachable (or refusing) right now: the watch
+                        // loop keeps retrying until it acknowledges.
+                        Ok(_) | Err(_) => {
+                            if !pending.iter().any(|peer| peer.addr == survivor) {
+                                pending.push(Peer::new(survivor));
+                            }
+                        }
+                    }
                 }
                 return Some((candidate, new_epoch));
             }
@@ -467,7 +610,9 @@ fn fail_over(
             // retried the same way until the budget runs out.
             Ok(_) | Err(_) => {}
         }
-        if Instant::now() >= deadline {
+        if overdue {
+            // The forced attempt was the budget's last word; the next
+            // tick re-probes and starts a fresh failover if needed.
             return None;
         }
         chunked_sleep(shared, config.interval.min(Duration::from_millis(20)));
@@ -493,6 +638,28 @@ mod tests {
             let base = interval.saturating_mul(1 << doublings);
             assert!(*delay >= base && *delay <= base + base / 4 + Duration::from_millis(1));
         }
+    }
+
+    /// An unreachable nudged peer backs off exponentially (capped) and
+    /// snaps back to every-tick nudging once a reply gets through.
+    #[test]
+    fn peer_nudges_back_off_while_unreachable() {
+        let mut peer = Peer::new("127.0.0.1:7801".parse().unwrap());
+        assert!(peer.due(), "a fresh peer is nudged immediately");
+        for failures in 1..10u32 {
+            peer.unreachable();
+            let expected_skip = 1u32 << failures.min(PEER_BACKOFF_DOUBLINGS);
+            let mut skipped = 0;
+            while !peer.due() {
+                skipped += 1;
+            }
+            assert_eq!(skipped, expected_skip, "after {failures} failures");
+        }
+        peer.delivered();
+        peer.unreachable();
+        assert!(!peer.due());
+        assert!(!peer.due());
+        assert!(peer.due(), "delivery reset the backoff to one doubling");
     }
 
     /// The status line renders every counter under stable keys.

@@ -332,7 +332,7 @@ fn promote_refuses_while_the_follower_is_behind_the_upstream() {
     let backend =
         ReplicatedBackend::follower(&primary_addr, None, |engine| engine).expect("bootstrap");
     assert_eq!(
-        backend.promote(),
+        backend.promote(false),
         format!("ERR REPL BEHIND end={snap} upstream={end}"),
         "a behind follower must refuse promotion"
     );
@@ -512,4 +512,121 @@ fn rate_limit_draws_deterministic_busy_and_aborts_the_batch() {
     let stats = server.join();
     assert!(stats.busy_rejections >= 2, "both refusals were counted");
     assert_eq!(stats.recovered_panics, 0);
+}
+
+/// Regression: `PROMOTE FORCE` is the catch-up escape hatch.  A
+/// follower stranded behind an upstream that died before serving its
+/// acknowledged tail refuses a plain `PROMOTE` forever — FORCE promotes
+/// anyway and reports the accepted loss as `dropped=<n>`.
+#[test]
+fn promote_force_overrides_the_behind_refusal() {
+    let dir = temp_log_dir("force");
+    let primary = start_primary(&dir, None);
+    let primary_addr = primary.addr().to_string();
+    let mut client = Client::connect(primary.addr()).expect("connect primary");
+    for k in 600..604 {
+        let reply = client
+            .send(&format!("INSERT Event({k}, 'pre-snap')"))
+            .expect("insert");
+        assert!(reply.starts_with("OK INSERT "), "{reply}");
+    }
+    let reply = client.send("COMPACT").expect("COMPACT");
+    assert!(reply.starts_with("OK COMPACTED "), "{reply}");
+    for k in 604..606 {
+        let reply = client
+            .send(&format!("INSERT Event({k}, 'post-snap')"))
+            .expect("insert");
+        assert!(reply.starts_with("OK INSERT "), "{reply}");
+    }
+    let hello = client.send("REPL HELLO").expect("HELLO");
+    let snap = stat_u64(&hello, "snap=");
+    let end = stat_u64(&hello, "end=");
+    assert!(end > snap, "mutations landed after the snapshot: {hello}");
+
+    // Bootstrap a follower, then kill the upstream before the tailer can
+    // fetch the post-snapshot suffix: the records are gone for good.
+    let backend =
+        ReplicatedBackend::follower(&primary_addr, None, |engine| engine).expect("bootstrap");
+    primary.shutdown();
+    primary.join();
+    let mut config = test_config();
+    config.admin_token = Some("sekrit".to_string());
+    let stranded = Server::start_replicated(backend, config).expect("bind follower");
+    let mut surviving = Client::connect(stranded.addr()).expect("connect follower");
+    assert_eq!(surviving.send("AUTH sekrit").expect("AUTH"), "OK AUTH");
+
+    // The refusal is deterministic, a malformed operand is an error, and
+    // FORCE promotes at the replicated offset, reporting the loss.
+    assert_eq!(
+        surviving.send("PROMOTE").expect("PROMOTE"),
+        format!("ERR REPL BEHIND end={snap} upstream={end}")
+    );
+    assert_eq!(
+        surviving.send("PROMOTE NOW PLEASE").expect("PROMOTE"),
+        "ERR REPL usage: PROMOTE [FORCE]"
+    );
+    assert_eq!(
+        surviving.send("PROMOTE FORCE").expect("PROMOTE FORCE"),
+        format!("OK PROMOTED epoch=1 end={snap} dropped={}", end - snap)
+    );
+    let stats = surviving.send("STATS").expect("STATS");
+    assert!(stats.contains(" | repl role=primary epoch=1 "), "{stats}");
+    let reply = surviving
+        .send("INSERT Event(607, 'post-force')")
+        .expect("insert");
+    assert!(reply.starts_with("OK INSERT "), "{reply}");
+
+    stranded.shutdown();
+    assert_eq!(stranded.join().recovered_panics, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: the fencing bite of `REPL HELLO epoch=<n>` is as
+/// destructive as `PROMOTE` (it stops all writes, monotonically), so on
+/// a server that gates admin verbs it must be gated too — otherwise any
+/// unauthenticated client could halt the primary with one line.
+#[test]
+fn fencing_over_the_wire_requires_auth() {
+    let dir = temp_log_dir("fence-auth");
+    let backend = ReplicatedBackend::primary(churn_engine(), &dir).expect("fresh primary");
+    let mut config = test_config();
+    config.admin_token = Some("sekrit".to_string());
+    let primary = Server::start_replicated(backend, config).expect("bind primary");
+    let mut client = Client::connect(primary.addr()).expect("connect");
+
+    // Probe forms stay open to unauthenticated sessions.
+    let hello = client.send("REPL HELLO").expect("HELLO");
+    assert!(hello.starts_with("OK REPL HELLO "), "{hello}");
+    let hello = client.send("REPL HELLO epoch=0").expect("HELLO");
+    assert!(hello.starts_with("OK REPL HELLO "), "{hello}");
+
+    // A fencing announcement without AUTH is refused and leaves the
+    // primary serving writes.
+    assert_eq!(
+        client.send("REPL HELLO epoch=9").expect("HELLO"),
+        "ERR DENIED REPL HELLO epoch=9 would fence this primary and requires AUTH \
+         on this server"
+    );
+    let reply = client
+        .send("INSERT Event(700, 'still-writable')")
+        .expect("insert");
+    assert!(reply.starts_with("OK INSERT "), "{reply}");
+    let stats = client.send("STATS").expect("STATS");
+    assert!(!stats.contains("fenced="), "{stats}");
+
+    // The same announcement after AUTH fences: writes refuse, reads flow.
+    assert_eq!(client.send("AUTH sekrit").expect("AUTH"), "OK AUTH");
+    let hello = client.send("REPL HELLO epoch=9").expect("HELLO");
+    assert!(hello.ends_with("fenced=9"), "{hello}");
+    assert_eq!(
+        client
+            .send("INSERT Event(701, 'split-brain')")
+            .expect("insert"),
+        "ERR FENCED epoch=9 INSERT refused; a newer primary was promoted"
+    );
+    assert!(client.send("STATS").expect("STATS").contains("fenced=9"));
+
+    primary.shutdown();
+    assert_eq!(primary.join().recovered_panics, 0);
+    std::fs::remove_dir_all(&dir).ok();
 }
