@@ -53,7 +53,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Appends an LEB128 varint.
-fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -73,7 +73,7 @@ fn write_varint_i64(out: &mut Vec<u8>, v: i64) {
 /// Reads an LEB128 varint.  The one-byte case — almost every varint in
 /// a real frame — returns without entering the continuation loop.
 #[inline]
-fn read_varint(reader: &mut ByteReader<'_>) -> Result<u64, FrameError> {
+pub(crate) fn read_varint(reader: &mut ByteReader<'_>) -> Result<u64, FrameError> {
     let byte = reader.u8()?;
     if byte & 0x80 == 0 {
         return Ok(u64::from(byte));

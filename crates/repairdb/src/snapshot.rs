@@ -132,6 +132,31 @@ pub fn write_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+/// Appends an LEB128 varint — the compact integer framing the fact and
+/// log-record codecs use, since almost every index, id and value they
+/// carry fits one byte.
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push(v as u8 | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Maps a signed value onto the varint-friendly zigzag spiral
+/// (0, -1, 1, -2, …), so small negative ints stay one byte.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// The inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
 /// A bounds-checked little-endian reader over a byte slice — the decode
 /// half of the codec, shared with the command-log record format.
 pub struct ByteReader<'a> {
@@ -211,6 +236,31 @@ impl<'a> ByteReader<'a> {
         std::str::from_utf8(bytes)
             .map_err(|_| SnapshotError::Corrupt("string is not UTF-8".to_string()))
     }
+
+    /// Reads an LEB128 varint (the inverse of [`write_varint`]).
+    #[inline]
+    pub fn varint(&mut self) -> Result<u64, SnapshotError> {
+        let mut acc = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(SnapshotError::Corrupt(
+                    "varint overflows 64 bits".to_string(),
+                ));
+            }
+            acc |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(acc);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(SnapshotError::Corrupt(
+                    "varint overflows 64 bits".to_string(),
+                ));
+            }
+        }
+    }
 }
 
 /// Encodes one value: a tag byte, then the payload.
@@ -218,11 +268,13 @@ pub fn encode_value(out: &mut Vec<u8>, value: &Value) {
     match value {
         Value::Int(v) => {
             out.push(0);
-            write_i64(out, *v);
+            write_varint(out, zigzag(*v));
         }
         Value::Text(s) => {
+            let s = s.as_str();
             out.push(1);
-            write_str(out, s.as_str());
+            write_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
         }
     }
 }
@@ -230,16 +282,25 @@ pub fn encode_value(out: &mut Vec<u8>, value: &Value) {
 /// Decodes one value.
 pub fn decode_value(reader: &mut ByteReader<'_>) -> Result<Value, SnapshotError> {
     match reader.u8()? {
-        0 => Ok(Value::Int(reader.i64()?)),
-        1 => Ok(Value::text(reader.str()?)),
+        0 => Ok(Value::Int(unzigzag(reader.varint()?))),
+        1 => {
+            let len = reader.varint()? as usize;
+            let bytes = reader.bytes(len)?;
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| SnapshotError::Corrupt("string is not UTF-8".to_string()))?;
+            Ok(Value::text(text))
+        }
         tag => Err(SnapshotError::Corrupt(format!("unknown value tag {tag}"))),
     }
 }
 
 /// Encodes one fact: the relation index, then its arguments (the arity is
-/// recovered from the schema at decode time).
+/// recovered from the schema at decode time).  Everything travels as
+/// varints — a typical fact is a handful of small ints and short interned
+/// strings, and this codec sets the wire size of every replicated record
+/// and snapshot image.
 pub fn encode_fact(out: &mut Vec<u8>, fact: &Fact) {
-    write_u32(out, fact.relation().index() as u32);
+    write_varint(out, fact.relation().index() as u64);
     for arg in fact.args() {
         encode_value(out, arg);
     }
@@ -247,7 +308,7 @@ pub fn encode_fact(out: &mut Vec<u8>, fact: &Fact) {
 
 /// Decodes one fact against a schema.
 pub fn decode_fact(reader: &mut ByteReader<'_>, schema: &Schema) -> Result<Fact, SnapshotError> {
-    let rel_index = reader.u32()? as usize;
+    let rel_index = reader.varint()? as usize;
     let (relation, info) = schema.iter().nth(rel_index).ok_or_else(|| {
         SnapshotError::Corrupt(format!("relation index {rel_index} out of range"))
     })?;

@@ -19,7 +19,7 @@ use cdr_repairdb::{Database, Mutation};
 
 use cdr_core::CompactionOutcome;
 
-use crate::replication::ReplicatedBackend;
+use crate::replication::{ReplReply, ReplicatedBackend};
 use crate::reply;
 
 fn rlock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
@@ -76,10 +76,12 @@ impl Backend {
     /// Serves one `REPL …` line; replication-free backends refuse it.
     /// `admin_ok` gates the admin-grade side effects (epoch fencing) of
     /// an announcing `REPL HELLO`.
-    pub fn repl(&self, line: &str, admin_ok: bool) -> Vec<String> {
+    pub fn repl(&self, line: &str, admin_ok: bool) -> ReplReply {
         match self {
             Backend::Replicated(backend) => backend.repl(line, admin_ok),
-            _ => vec!["ERR REPL replication is not enabled on this server".to_string()],
+            _ => ReplReply::text(vec![
+                "ERR REPL replication is not enabled on this server".to_string()
+            ]),
         }
     }
 

@@ -14,7 +14,7 @@ use std::process::exit;
 
 use cdr_core::{RepairEngine, ShardedEngine};
 use cdr_repairdb::{Database, KeySet, Schema};
-use cdr_server::{ReplicatedBackend, Server, ServerConfig};
+use cdr_server::{FeedMode, ReplicatedBackend, Server, ServerConfig};
 use cdr_workloads::{
     churn_base, employee_example, sensor_readings, serving_session, two_source_customers,
 };
@@ -57,6 +57,12 @@ REPLICATION OPTIONS (both exclude --shards > 1):
                           answer reads byte-identically; mutations answer
                           `ERR READONLY …` until PROMOTE; RETARGET
                           repoints the tailer at a newly promoted primary
+  --feed <mode>           follower feed encoding: auto (binary when the
+                          upstream advertises caps=bin, the default),
+                          bin (require the binary feed), or text (force
+                          the hex line fallback)
+  --fetch-batch <n>       records per tailer FETCH round trip
+                          (default 64, capped at 256)
 
 ENGINE OPTIONS:
   --parallelism <n>       BATCH query fan-out threads (default 1)
@@ -86,6 +92,8 @@ struct Options {
     shards: usize,
     log_dir: Option<String>,
     follow: Option<String>,
+    feed: FeedMode,
+    fetch_batch: u64,
     parallelism: usize,
     cache_cap: Option<usize>,
     budget: Option<u64>,
@@ -106,6 +114,8 @@ impl Default for Options {
             shards: 1,
             log_dir: None,
             follow: None,
+            feed: FeedMode::Auto,
+            fetch_batch: 64,
             parallelism: 1,
             cache_cap: None,
             budget: None,
@@ -146,6 +156,8 @@ fn parse_options() -> Options {
             "--rate-limit" => options.config.rate_limit = Some(parse(&flag, &value("count"))),
             "--log-dir" => options.log_dir = Some(value("dir")),
             "--follow" => options.follow = Some(value("host:port")),
+            "--feed" => options.feed = parse(&flag, &value("auto|bin|text")),
+            "--fetch-batch" => options.fetch_batch = parse(&flag, &value("count")),
             "--chaos" => options.config.chaos = true,
             "--parallelism" => options.parallelism = parse(&flag, &value("count")),
             "--cache-cap" => options.cache_cap = Some(parse(&flag, &value("count"))),
@@ -239,14 +251,19 @@ fn main() {
                 engine
             }
         };
-        let backend =
-            match ReplicatedBackend::follower(&upstream, options.config.auto_compact, tune) {
-                Ok(backend) => backend,
-                Err(e) => {
-                    eprintln!("cdr-serve: cannot bootstrap from {upstream}: {e}");
-                    exit(1)
-                }
-            };
+        let backend = match ReplicatedBackend::follower_with(
+            &upstream,
+            options.config.auto_compact,
+            options.feed,
+            options.fetch_batch,
+            tune,
+        ) {
+            Ok(backend) => backend,
+            Err(e) => {
+                eprintln!("cdr-serve: cannot bootstrap from {upstream}: {e}");
+                exit(1)
+            }
+        };
         eprintln!(
             "cdr-serve: follower of {upstream}, {} workers",
             options.config.workers

@@ -8,7 +8,7 @@
 //! seeded jitter, so two runs against the same failure pattern retry at
 //! the same instants.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -154,6 +154,16 @@ impl Client {
             line.pop();
         }
         Ok(line)
+    }
+
+    /// Reads exactly `len` raw bytes — the body of a binary reply whose
+    /// header line announced its length.  Must go through the same
+    /// buffered reader as [`Client::read_line`]: the buffer may already
+    /// hold bytes past the header.
+    pub fn read_exact(&mut self, len: usize) -> io::Result<Vec<u8>> {
+        let mut bytes = vec![0u8; len];
+        self.reader.read_exact(&mut bytes)?;
+        Ok(bytes)
     }
 
     /// Sends one command and reads its single-line reply.

@@ -280,6 +280,13 @@ fn execute(shared: &Shared, exec: &mut ExecState, command: Command) -> (Vec<u8>,
             }
             Outcome::Continue
         }
+        Step::RepliesRaw(replies, raw) => {
+            for line in &replies {
+                push_line(&mut bytes, line);
+            }
+            bytes.extend_from_slice(&raw);
+            Outcome::Continue
+        }
         Step::Quit(line) => {
             push_line(&mut bytes, &line);
             Outcome::Close

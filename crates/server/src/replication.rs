@@ -15,13 +15,29 @@
 //! The protocol is pull-based and rides the existing line protocol:
 //!
 //! ```text
-//! REPL HELLO                 -> OK REPL HELLO epoch=E base=B end=N snap=S
+//! REPL HELLO                 -> OK REPL HELLO epoch=E base=B end=N snap=S … caps=bin
 //! REPL SNAPSHOT              -> OK REPL SNAPSHOT epoch=E offset=S bytes=B chunks=K
 //!                               REPL CHUNK <hex>          (x K)
+//! REPL SNAPSHOT BIN          -> OK REPL SNAPSHOT BIN epoch=E offset=S bytes=B chunks=K
+//!                               [len ‖ crc32 ‖ payload]   (x K, raw bytes)
 //! REPL FETCH <from> <max>    -> OK REPL RECORDS n=N next=F end=E
 //!                               REPL RECORD <hex(crc32||payload)>   (x N)
+//! REPL FETCH <from> <max> BIN-> OK REPL BATCH <len> n=N next=F end=E
+//!                               <len raw bytes>           (one batch frame)
 //! PROMOTE [FORCE]            -> OK PROMOTED epoch=E end=N   (follower, behind AUTH)
 //! ```
+//!
+//! The binary forms are negotiated: `REPL HELLO` advertises `caps=bin`,
+//! and a follower started with the default `--feed auto` uses them when
+//! the upstream does — the textual hex forms stay as the compatibility
+//! fallback (`--feed text` forces them).  A binary batch is strict
+//! all-or-nothing, mirroring `BULK`: any defect — flipped byte, bad
+//! CRC, truncation, an oversize header — rejects the whole frame with
+//! one `ERR REPL FRAME <reason>` and zero records applied, and the
+//! tailer degrades to its usual drop-the-connection-and-retry backoff.
+//! The tailer also double-buffers the feed: while one batch applies
+//! under the engine write guard, the next `FETCH` is already in flight,
+//! so catch-up throughput is bounded by apply cost, not RTT × records.
 //!
 //! Mutating verbs on a follower answer `ERR READONLY …`; `PROMOTE` flips
 //! the role and bumps the epoch without touching the engine, so a
@@ -34,9 +50,10 @@ use std::path::{Path, PathBuf};
 use std::sync::{Mutex, RwLock};
 
 use cdr_core::replog::{
-    apply_record, from_hex, hello_request, open_log, parse_compact_token, read_snapshot_file,
-    survivors_of, to_hex, unwrap_checksummed, wrap_checksummed, write_snapshot_file, LogOp,
-    LogRecord, ReplogError, LOG_FILE,
+    apply_record, chunk_header, decode_record_batch, encode_record_batch, field, frame, from_hex,
+    hello_request, open_log, parse_compact_token, read_snapshot_file, survivors_of, to_hex,
+    unwrap_checksummed, verify_chunk, wrap_checksummed, write_snapshot_file, LogOp, LogRecord,
+    ReplogError, LOG_FILE,
 };
 use cdr_core::{CompactionOutcome, RepairEngine};
 use cdr_num::BigNat;
@@ -50,11 +67,25 @@ use crate::reply;
 /// comfortably under the default line cap).
 const SNAPSHOT_CHUNK_BYTES: usize = 8192;
 
+/// Bytes of snapshot per binary chunk (`REPL SNAPSHOT BIN`).  Raw bytes
+/// are not line-capped, so binary chunks are 8× the hex ones — fewer
+/// framing round-trips on the bootstrap path.
+const SNAPSHOT_BIN_CHUNK_BYTES: usize = 64 * 1024;
+
 /// Most records one `REPL FETCH` answers, whatever the client asked for.
 const MAX_FETCH_RECORDS: u64 = 256;
 
-/// How many records the tailer requests per fetch.
-const TAIL_FETCH_RECORDS: u64 = 64;
+/// How many records the tailer requests per fetch when no
+/// `--fetch-batch` override is given.
+const DEFAULT_FETCH_RECORDS: u64 = 64;
+
+/// Hard cap a tailer accepts for an `OK REPL BATCH <len>` header before
+/// allocating anything: an upstream advertising more is answered with
+/// one `ERR REPL FRAME` locally and dropped, never trusted.
+const MAX_BATCH_FRAME_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Hard cap on one binary snapshot-chunk frame, same story.
+const MAX_CHUNK_FRAME_BYTES: usize = 16 * 1024 * 1024;
 
 fn rlock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
     lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -105,6 +136,72 @@ impl Role {
     }
 }
 
+/// How a follower's feed travels: the negotiated default, or forced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeedMode {
+    /// Binary when the upstream advertises `caps=bin`, textual otherwise.
+    Auto,
+    /// Binary batches and snapshot chunks, refusing an upstream that
+    /// does not advertise the capability.
+    Bin,
+    /// The textual hex fallback, whatever the upstream advertises.
+    Text,
+}
+
+impl std::str::FromStr for FeedMode {
+    type Err = String;
+
+    fn from_str(text: &str) -> Result<FeedMode, String> {
+        match text {
+            "auto" => Ok(FeedMode::Auto),
+            "bin" => Ok(FeedMode::Bin),
+            "text" => Ok(FeedMode::Text),
+            other => Err(format!("`{other}` is not auto, bin or text")),
+        }
+    }
+}
+
+/// One `REPL …` reply: the header/continuation lines, plus the raw
+/// binary bytes (a record batch or snapshot chunks) that follow the
+/// last line on the wire.  `raw` is empty for every textual form.
+pub struct ReplReply {
+    /// The reply lines, in order.
+    pub lines: Vec<String>,
+    /// Raw bytes streamed after the last line (binary forms only).
+    pub raw: Vec<u8>,
+}
+
+impl ReplReply {
+    /// A lines-only reply (the textual forms and every error).
+    pub fn text(lines: Vec<String>) -> ReplReply {
+        ReplReply {
+            lines,
+            raw: Vec::new(),
+        }
+    }
+}
+
+/// Renders a binary-feed defect exactly as the follower reports it:
+/// one `ERR REPL FRAME <reason>` per rejected batch, zero records
+/// applied — the strict all-or-nothing contract the `BULK` frame set.
+pub fn feed_frame_error(reason: &str) -> String {
+    format!("ERR REPL FRAME {reason}")
+}
+
+/// Does a `REPL HELLO` reply advertise the binary feed capability?
+fn hello_caps_bin(hello: &str) -> bool {
+    field(hello, "caps=").is_some_and(|caps| caps.split(',').any(|cap| cap == "bin"))
+}
+
+/// The `REPL FETCH` request line for either feed.
+fn fetch_request(from: u64, max: u64, bin: bool) -> String {
+    if bin {
+        format!("REPL FETCH {from} {max} BIN")
+    } else {
+        format!("REPL FETCH {from} {max}")
+    }
+}
+
 /// What one tailer iteration achieved.
 #[derive(Debug, PartialEq, Eq)]
 pub(crate) enum TailOutcome {
@@ -120,6 +217,20 @@ pub(crate) enum TailOutcome {
     Failed,
     /// This node is now a primary: the tailer is done for good.
     Promoted,
+}
+
+/// The tailer's warm upstream connection, carried between iterations.
+struct TailConn {
+    client: Client,
+    /// The cursor of a `FETCH` already sent whose reply has not been
+    /// read yet — the double-buffering half of the catch-up fast path.
+    pending: Option<u64>,
+    /// Whether this connection negotiated the binary feed.
+    bin: bool,
+    /// The [`ReplState::tail_gen`] this connection was dialled under.  A
+    /// `RETARGET` or feed swap bumps the generation, so an iteration
+    /// that raced it can neither reuse nor re-store the stale socket.
+    gen: u64,
 }
 
 /// The replication sidecar state, guarded by one mutex.  Lock order is
@@ -145,8 +256,13 @@ struct ReplState {
     /// Records replayed from disk at boot — the recovery gauge proving a
     /// cold restart replayed only the post-snapshot suffix.
     replayed: u64,
-    /// The tailer's warm upstream connection between iterations.
-    tail_client: Option<Client>,
+    /// The tailer's warm upstream connection between iterations, with
+    /// its negotiated feed and any in-flight prefetch.
+    tail: Option<TailConn>,
+    /// Bumped whenever the upstream or feed preference changes: a
+    /// [`TailConn`] from an older generation is dead on arrival, even if
+    /// a tail iteration holding it raced the change.
+    tail_gen: u64,
     /// The epoch of the newest primary announced over `REPL HELLO`, when
     /// it is strictly newer than ours: this node was deposed, and every
     /// mutating verb answers `ERR FENCED epoch=<e>` until it is rebuilt.
@@ -162,6 +278,17 @@ struct ReplState {
     /// in the HELLO handshake: mismatched thresholds diverge replicas
     /// after promotion, so they are refused at connect time.
     auto_compact: Option<u64>,
+    /// The feed this follower prefers (`--feed`); `Auto` negotiates.
+    feed: FeedMode,
+    /// Whether the active (or last negotiated) feed is binary — the
+    /// `repl feed=` gauge.
+    feed_bin: bool,
+    /// Cumulative payload bytes received over the replication feed
+    /// (snapshot bootstraps plus record fetches) — the `repl bytes=`
+    /// gauge the wire-savings acceptance check reads.
+    feed_bytes: u64,
+    /// Records the tailer requests per fetch (`--fetch-batch`).
+    fetch_batch: u64,
 }
 
 impl ReplState {
@@ -296,11 +423,16 @@ impl ReplicatedBackend {
                     dir: Some(dir.to_path_buf()),
                     upstream: None,
                     replayed,
-                    tail_client: None,
+                    tail: None,
+                    tail_gen: 0,
                     fenced: None,
                     retries: 0,
                     upstream_end: 0,
                     auto_compact: None,
+                    feed: FeedMode::Auto,
+                    feed_bin: false,
+                    feed_bytes: 0,
+                    fetch_batch: DEFAULT_FETCH_RECORDS,
                 };
                 (engine, state)
             }
@@ -333,11 +465,16 @@ impl ReplicatedBackend {
                     dir: Some(dir.to_path_buf()),
                     upstream: None,
                     replayed: 0,
-                    tail_client: None,
+                    tail: None,
+                    tail_gen: 0,
                     fenced: None,
                     retries: 0,
                     upstream_end: 0,
                     auto_compact: None,
+                    feed: FeedMode::Auto,
+                    feed_bin: false,
+                    feed_bytes: 0,
+                    fetch_batch: DEFAULT_FETCH_RECORDS,
                 };
                 (engine, state)
             }
@@ -365,6 +502,26 @@ impl ReplicatedBackend {
         auto_compact: Option<u64>,
         tune: impl Fn(RepairEngine) -> RepairEngine + Send + Sync + 'static,
     ) -> Result<ReplicatedBackend, ReplogError> {
+        ReplicatedBackend::follower_with(
+            upstream,
+            auto_compact,
+            FeedMode::Auto,
+            DEFAULT_FETCH_RECORDS,
+            tune,
+        )
+    }
+
+    /// [`follower`](ReplicatedBackend::follower) with the feed tuned:
+    /// `feed` picks the wire encoding (binary batches when the upstream
+    /// advertises `caps=bin` under `Auto`, forced either way otherwise)
+    /// and `fetch_batch` the records requested per tail fetch.
+    pub fn follower_with(
+        upstream: &str,
+        auto_compact: Option<u64>,
+        feed: FeedMode,
+        fetch_batch: u64,
+        tune: impl Fn(RepairEngine) -> RepairEngine + Send + Sync + 'static,
+    ) -> Result<ReplicatedBackend, ReplogError> {
         let mut client = Client::connect(upstream)?;
         let hello = client.send(&hello_request(0, Some(auto_compact)))?;
         if !hello.starts_with("OK REPL HELLO") {
@@ -372,8 +529,25 @@ impl ReplicatedBackend {
                 "upstream {upstream} refused the handshake: {hello}"
             )));
         }
+        let bin = match feed {
+            FeedMode::Text => false,
+            FeedMode::Auto => hello_caps_bin(&hello),
+            FeedMode::Bin => {
+                if !hello_caps_bin(&hello) {
+                    return Err(ReplogError::Diverged(format!(
+                        "upstream {upstream} does not advertise caps=bin; \
+                         use --feed auto or --feed text to tail it"
+                    )));
+                }
+                true
+            }
+        };
         let upstream_end = field_u64(&hello, "end=").unwrap_or(0);
-        let (snapshot_bytes, snapshot) = fetch_snapshot(&mut client)?;
+        let (snapshot_bytes, snapshot, wire) = if bin {
+            fetch_snapshot_bin(&mut client)?
+        } else {
+            fetch_snapshot(&mut client)?
+        };
         let Snapshot {
             epoch,
             offset,
@@ -394,11 +568,21 @@ impl ReplicatedBackend {
             dir: None,
             upstream: Some(upstream.to_string()),
             replayed: 0,
-            tail_client: Some(client),
+            tail: Some(TailConn {
+                client,
+                pending: None,
+                bin,
+                gen: 0,
+            }),
+            tail_gen: 0,
             fenced: None,
             retries: 0,
             upstream_end,
             auto_compact,
+            feed,
+            feed_bin: bin,
+            feed_bytes: wire,
+            fetch_batch: fetch_batch.clamp(1, MAX_FETCH_RECORDS),
         };
         Ok(ReplicatedBackend {
             engine: RwLock::new(engine),
@@ -417,6 +601,17 @@ impl ReplicatedBackend {
     /// sets this from its config at start-up.
     pub fn set_auto_compact(&self, threshold: Option<u64>) {
         lock(&self.repl).auto_compact = threshold;
+    }
+
+    /// Swaps the preferred feed encoding.  The warm tail connection is
+    /// dropped so the next iteration re-handshakes and negotiates the
+    /// new preference.  Lets an operator — or a mixed-mode test —
+    /// bootstrap over one encoding and tail over the other.
+    pub fn set_feed(&self, feed: FeedMode) {
+        let mut repl = lock(&self.repl);
+        repl.feed = feed;
+        repl.tail = None;
+        repl.tail_gen += 1;
     }
 
     /// Shared query access to the engine.
@@ -495,16 +690,26 @@ impl ReplicatedBackend {
         Ok((outcome, total))
     }
 
-    /// The `STATS` reply with the replication gauge tail.
+    /// The `STATS` reply with the replication gauge tail.  Followers add
+    /// the feed gauges (`feed=bin|text bytes=<n>`): the active wire
+    /// encoding and the cumulative payload bytes it has cost.
     pub fn stats(&self) -> String {
         let head = self.read(reply::render_stats);
         let repl = lock(&self.repl);
+        let feed = match repl.role {
+            Role::Follower => format!(
+                " feed={} bytes={}",
+                if repl.feed_bin { "bin" } else { "text" },
+                repl.feed_bytes
+            ),
+            Role::Primary => String::new(),
+        };
         let fenced = match repl.fenced {
             Some(epoch) => format!(" fenced={epoch}"),
             None => String::new(),
         };
         format!(
-            "{head} | repl role={} epoch={} base={} end={} replayed={} retries={}{fenced}",
+            "{head} | repl role={} epoch={} base={} end={} replayed={} retries={}{feed}{fenced}",
             repl.role.as_str(),
             repl.epoch,
             repl.mem_base,
@@ -520,12 +725,12 @@ impl ReplicatedBackend {
     /// all writes on a primary, monotonically), so on a server that
     /// gates admin verbs it requires `AUTH` too.  The bare probe form
     /// and non-fencing announcements stay open.
-    pub fn repl(&self, line: &str, admin_ok: bool) -> Vec<String> {
+    pub fn repl(&self, line: &str, admin_ok: bool) -> ReplReply {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         let sub = tokens.get(1).copied().unwrap_or("").to_ascii_uppercase();
         let mut repl = lock(&self.repl);
         match sub.as_str() {
-            "HELLO" => {
+            "HELLO" => ReplReply::text({
                 // `REPL HELLO [epoch=<e>] [compact=<t>|compact=off]` —
                 // the bare form is the legacy probe; the announcements
                 // drive the fencing and threshold-mismatch handshakes.
@@ -535,15 +740,15 @@ impl ReplicatedBackend {
                     if let Some(value) = token.strip_prefix("epoch=") {
                         match value.parse::<u64>() {
                             Ok(epoch) => announced_epoch = Some(epoch),
-                            Err(_) => return vec![hello_usage()],
+                            Err(_) => return ReplReply::text(vec![hello_usage()]),
                         }
                     } else if let Some(value) = token.strip_prefix("compact=") {
                         match parse_compact_token(value) {
                             Some(threshold) => announced_compact = Some(threshold),
-                            None => return vec![hello_usage()],
+                            None => return ReplReply::text(vec![hello_usage()]),
                         }
                     } else {
-                        return vec![hello_usage()];
+                        return ReplReply::text(vec![hello_usage()]);
                     }
                 }
                 // A mismatched auto-compaction threshold diverges the
@@ -551,11 +756,11 @@ impl ReplicatedBackend {
                 // compaction points); refuse it before any state changes.
                 if let Some(theirs) = announced_compact {
                     if theirs != repl.auto_compact {
-                        return vec![format!(
+                        return ReplReply::text(vec![format!(
                             "ERR REPL COMPACT MISMATCH ours={} yours={}",
                             threshold_value(repl.auto_compact),
                             threshold_value(theirs)
-                        )];
+                        )]);
                     }
                 }
                 // Epoch fencing: a strictly newer epoch announced to a
@@ -566,10 +771,10 @@ impl ReplicatedBackend {
                 if let (Some(theirs), Role::Primary) = (announced_epoch, repl.role) {
                     if theirs > repl.epoch {
                         if !admin_ok {
-                            return vec![format!(
+                            return ReplReply::text(vec![format!(
                                 "ERR DENIED REPL HELLO epoch={theirs} would fence this \
                                  primary and requires AUTH on this server"
-                            )];
+                            )]);
                         }
                         let already = repl.fenced.map_or(0, |epoch| epoch);
                         if theirs > already {
@@ -587,7 +792,7 @@ impl ReplicatedBackend {
                     None => String::new(),
                 };
                 vec![format!(
-                    "OK REPL HELLO epoch={} base={} end={} snap={} role={} {}{fenced}",
+                    "OK REPL HELLO epoch={} base={} end={} snap={} role={} {} caps=bin{fenced}",
                     repl.epoch,
                     repl.mem_base,
                     repl.end(),
@@ -595,8 +800,37 @@ impl ReplicatedBackend {
                     repl.role.as_str(),
                     cdr_core::replog::compact_token(repl.auto_compact)
                 )]
-            }
+            }),
             "SNAPSHOT" => {
+                let bin = match tokens.get(2) {
+                    None => false,
+                    Some(t) if t.eq_ignore_ascii_case("BIN") => true,
+                    Some(_) => {
+                        return ReplReply::text(vec![
+                            "ERR REPL usage: REPL SNAPSHOT [BIN]".to_string()
+                        ]);
+                    }
+                };
+                if bin {
+                    let chunks: Vec<&[u8]> = repl
+                        .snapshot_bytes
+                        .chunks(SNAPSHOT_BIN_CHUNK_BYTES)
+                        .collect();
+                    let mut raw = Vec::with_capacity(repl.snapshot_bytes.len() + chunks.len() * 8);
+                    for chunk in &chunks {
+                        raw.extend_from_slice(&frame(chunk));
+                    }
+                    return ReplReply {
+                        lines: vec![format!(
+                            "OK REPL SNAPSHOT BIN epoch={} offset={} bytes={} chunks={}",
+                            repl.epoch,
+                            repl.snapshot_offset,
+                            repl.snapshot_bytes.len(),
+                            chunks.len()
+                        )],
+                        raw,
+                    };
+                }
                 let chunks: Vec<&[u8]> = repl.snapshot_bytes.chunks(SNAPSHOT_CHUNK_BYTES).collect();
                 let mut lines = Vec::with_capacity(chunks.len() + 1);
                 lines.push(format!(
@@ -609,29 +843,48 @@ impl ReplicatedBackend {
                 for chunk in chunks {
                     lines.push(format!("REPL CHUNK {}", to_hex(chunk)));
                 }
-                lines
+                ReplReply::text(lines)
             }
             "FETCH" => {
+                let usage = || vec!["ERR REPL usage: REPL FETCH <from> <max> [BIN]".to_string()];
                 let (Some(Ok(from)), Some(Ok(max))) = (
                     tokens.get(2).map(|t| t.parse::<u64>()),
                     tokens.get(3).map(|t| t.parse::<u64>()),
                 ) else {
-                    return vec!["ERR REPL usage: REPL FETCH <from> <max>".to_string()];
+                    return ReplReply::text(usage());
+                };
+                let bin = match tokens.get(4) {
+                    None => false,
+                    Some(t) if t.eq_ignore_ascii_case("BIN") => true,
+                    Some(_) => return ReplReply::text(usage()),
                 };
                 if from < repl.mem_base {
-                    return vec![format!(
+                    return ReplReply::text(vec![format!(
                         "ERR REPL COMPACTED offset {from} predates base={}; re-bootstrap from REPL SNAPSHOT",
                         repl.mem_base
-                    )];
+                    )]);
                 }
                 if from > repl.end() {
-                    return vec![format!(
+                    return ReplReply::text(vec![format!(
                         "ERR REPL RANGE offset {from} is past end={}",
                         repl.end()
-                    )];
+                    )]);
                 }
                 let start = (from - repl.mem_base) as usize;
                 let n = (repl.records.len() - start).min(max.min(MAX_FETCH_RECORDS) as usize);
+                if bin {
+                    let raw = encode_record_batch(&repl.records[start..start + n]);
+                    return ReplReply {
+                        lines: vec![format!(
+                            "OK REPL BATCH {} n={} next={} end={}",
+                            raw.len(),
+                            n,
+                            from + n as u64,
+                            repl.end()
+                        )],
+                        raw,
+                    };
+                }
                 let mut lines = Vec::with_capacity(n + 1);
                 lines.push(format!(
                     "OK REPL RECORDS n={} next={} end={}",
@@ -645,11 +898,12 @@ impl ReplicatedBackend {
                         to_hex(&wrap_checksummed(payload))
                     ));
                 }
-                lines
+                ReplReply::text(lines)
             }
-            _ => vec![
-                "ERR REPL usage: REPL HELLO | REPL SNAPSHOT | REPL FETCH <from> <max>".to_string(),
-            ],
+            _ => ReplReply::text(vec![
+                "ERR REPL usage: REPL HELLO | REPL SNAPSHOT [BIN] | REPL FETCH <from> <max> [BIN]"
+                    .to_string(),
+            ]),
         }
     }
 
@@ -680,7 +934,7 @@ impl ReplicatedBackend {
                 }
                 repl.role = Role::Primary;
                 repl.epoch += 1;
-                repl.tail_client = None;
+                repl.tail = None;
                 repl.upstream = None;
                 if dropped > 0 {
                     format!(
@@ -709,7 +963,8 @@ impl ReplicatedBackend {
             }
             Role::Follower => {
                 repl.upstream = Some(upstream.to_string());
-                repl.tail_client = None;
+                repl.tail = None;
+                repl.tail_gen += 1;
                 format!("OK RETARGET {upstream}")
             }
         }
@@ -727,13 +982,14 @@ impl ReplicatedBackend {
         TailOutcome::Failed
     }
 
-    /// One tailer iteration: fetch the next records from the upstream and
-    /// apply them.  All network and decode failures degrade to
-    /// [`TailOutcome::Failed`] (drop the connection, count the retry,
-    /// back off) — a dead or hostile upstream must never panic the
-    /// tailer.
+    /// One tailer iteration: make sure a `FETCH` for our cursor is in
+    /// flight, read its reply, prefetch the next batch, then apply the
+    /// whole fetched batch under one engine write acquisition.  All
+    /// network and decode failures degrade to [`TailOutcome::Failed`]
+    /// (drop the connection, count the retry, back off) — a dead or
+    /// hostile upstream must never panic the tailer.
     pub(crate) fn tail_once(&self) -> TailOutcome {
-        let (client, from, upstream, epoch, auto_compact) = {
+        let (conn, from, upstream, epoch, auto_compact, feed, fetch_batch, gen) = {
             let mut repl = lock(&self.repl);
             if repl.role == Role::Primary {
                 return TailOutcome::Promoted;
@@ -742,23 +998,27 @@ impl ReplicatedBackend {
                 return TailOutcome::Promoted;
             };
             (
-                repl.tail_client.take(),
+                repl.tail.take(),
                 repl.end(),
                 upstream,
                 repl.epoch,
                 repl.auto_compact,
+                repl.feed,
+                repl.fetch_batch,
+                repl.tail_gen,
             )
         };
-        let mut client = match client {
-            Some(client) => client,
+        let mut conn = match conn.filter(|conn| conn.gen == gen) {
+            Some(conn) => conn,
             None => {
                 // A fresh connection re-runs the HELLO handshake:
                 // announce our epoch (fencing a stale revived primary on
                 // the spot when it does not gate admin verbs; a gated one
                 // answers `ERR DENIED`, which equally stops us tailing
                 // it) and our compact threshold (so a mismatch is refused
-                // here, not discovered as replay divergence), and refuse
-                // to tail an upstream behind our own epoch.
+                // here, not discovered as replay divergence), refuse to
+                // tail an upstream behind our own epoch, and negotiate
+                // the feed encoding from its `caps=` advertisement.
                 let Ok(mut client) = Client::connect(&upstream) else {
                     return self.tail_failed();
                 };
@@ -773,75 +1033,137 @@ impl ReplicatedBackend {
                     eprintln!("cdr-server: upstream {upstream} is stale ({hello}); not tailing it");
                     return self.tail_failed();
                 }
-                if let Some(end) = field_u64(&hello, "end=") {
+                let bin = match feed {
+                    FeedMode::Text => false,
+                    FeedMode::Auto => hello_caps_bin(&hello),
+                    FeedMode::Bin => {
+                        if !hello_caps_bin(&hello) {
+                            eprintln!(
+                                "cdr-server: upstream {upstream} does not advertise caps=bin; \
+                                 --feed bin cannot tail it"
+                            );
+                            return self.tail_failed();
+                        }
+                        true
+                    }
+                };
+                {
                     let mut repl = lock(&self.repl);
-                    repl.upstream_end = repl.upstream_end.max(end);
+                    if let Some(end) = field_u64(&hello, "end=") {
+                        repl.upstream_end = repl.upstream_end.max(end);
+                    }
+                    repl.feed_bin = bin;
                 }
-                client
+                TailConn {
+                    client,
+                    pending: None,
+                    bin,
+                    gen,
+                }
             }
         };
+        // Make sure a FETCH for our cursor is in flight.  A prefetch
+        // left by the previous iteration must match it; if the cursor
+        // moved underneath (a re-bootstrap raced), the pending reply is
+        // stale — drop the connection rather than mis-read it.
         // Network I/O happens with no lock held: reads keep flowing on
         // both nodes while records travel.
-        let header = match client.send(&format!("REPL FETCH {from} {TAIL_FETCH_RECORDS}")) {
-            Ok(header) => header,
-            Err(_) => return self.tail_failed(),
-        };
-        if header.starts_with("ERR REPL COMPACTED") {
-            return self.rebootstrap(client);
+        match conn.pending.take() {
+            Some(pending) if pending == from => {}
+            Some(_) => return TailOutcome::Idle,
+            None => {
+                if conn
+                    .client
+                    .send_line(&fetch_request(from, fetch_batch, conn.bin))
+                    .is_err()
+                {
+                    return self.tail_failed();
+                }
+            }
         }
-        let Some(n) = field_u64(&header, "n=") else {
-            return self.tail_failed();
+        let reply = if conn.bin {
+            read_batch_reply(&mut conn.client)
+        } else {
+            read_records_reply(&mut conn.client)
         };
-        let upstream_end = field_u64(&header, "end=");
-        let mut payloads = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            let line = match client.read_line() {
-                Ok(line) => line,
-                Err(_) => return self.tail_failed(),
-            };
-            let Some(hex) = line.strip_prefix("REPL RECORD ") else {
+        let fetched = match reply {
+            Ok(FetchReply::Compacted) => return self.rebootstrap(conn),
+            Ok(FetchReply::Records(fetched)) => fetched,
+            Err(Some(reason)) => {
+                eprintln!("cdr-server: dropping the replication feed: {reason}");
                 return self.tail_failed();
-            };
-            let Ok(bytes) = from_hex(hex) else {
-                return self.tail_failed();
-            };
-            let Ok(payload) = unwrap_checksummed(&bytes) else {
-                return self.tail_failed();
-            };
-            payloads.push(payload.to_vec());
-        }
-        if payloads.is_empty() {
+            }
+            Err(None) => return self.tail_failed(),
+        };
+        if fetched.payloads.is_empty() {
             // Caught up; keep the connection warm for the next poll.
             let mut repl = lock(&self.repl);
-            if let Some(end) = upstream_end {
+            if let Some(end) = fetched.upstream_end {
                 repl.upstream_end = repl.upstream_end.max(end);
             }
-            repl.tail_client = Some(client);
+            repl.feed_bytes += fetched.wire;
+            if repl.tail_gen == conn.gen {
+                repl.tail = Some(conn);
+            }
             return TailOutcome::Idle;
+        }
+        // Strict all-or-nothing, mirroring BULK: decode every record
+        // (and check its offset) before any is applied — and do it
+        // outside the engine write guard.
+        let schema = self.read(|engine| engine.database().schema().clone());
+        let mut records = Vec::with_capacity(fetched.payloads.len());
+        for (i, payload) in fetched.payloads.iter().enumerate() {
+            let expected = from + i as u64;
+            match LogRecord::decode(payload, &schema) {
+                Ok(record) if record.offset == expected => records.push(record),
+                Ok(record) => {
+                    eprintln!(
+                        "cdr-server: {}",
+                        feed_frame_error(&format!(
+                            "record at offset {} where {expected} was expected",
+                            record.offset
+                        ))
+                    );
+                    return self.tail_failed();
+                }
+                Err(e) => {
+                    eprintln!("cdr-server: {}", feed_frame_error(&e.to_string()));
+                    return self.tail_failed();
+                }
+            }
+        }
+        // Double-buffer the feed: the next FETCH goes out before this
+        // batch applies, so the upstream renders it while we hold the
+        // write guard — catch-up pays apply cost, not RTT × batches.  A
+        // failed send only costs the warm connection.
+        let more = fetched.upstream_end.is_some_and(|end| fetched.next < end);
+        let mut keep_conn = true;
+        if more {
+            if conn
+                .client
+                .send_line(&fetch_request(fetched.next, fetch_batch, conn.bin))
+                .is_ok()
+            {
+                conn.pending = Some(fetched.next);
+            } else {
+                keep_conn = false;
+            }
         }
         let mut engine = wlock(&self.engine);
         let mut repl = lock(&self.repl);
         if repl.role == Role::Primary {
             return TailOutcome::Promoted;
         }
-        if let Some(end) = upstream_end {
+        if let Some(end) = fetched.upstream_end {
             repl.upstream_end = repl.upstream_end.max(end);
         }
+        repl.feed_bytes += fetched.wire;
         if repl.end() != from {
-            // The cursor moved under us (a re-bootstrap raced this fetch);
-            // drop the stale records and re-read from the new cursor.
-            repl.tail_client = Some(client);
+            // The cursor moved under us (a re-bootstrap raced this
+            // fetch): the batch — and any prefetch — is stale; drop both.
             return TailOutcome::Idle;
         }
-        let schema = engine.database().schema().clone();
-        let mut progressed = false;
-        for payload in payloads {
-            let Ok(record) = LogRecord::decode(&payload, &schema) else {
-                break;
-            };
-            if record.offset != repl.end() {
-                break;
-            }
+        for (record, payload) in records.into_iter().zip(fetched.payloads) {
             if let Err(e) = apply_record(&mut engine, &record) {
                 // Divergence is an invariant violation the tests assert
                 // never happens; freeze rather than serve wrong answers.
@@ -850,20 +1172,23 @@ impl ReplicatedBackend {
             }
             repl.epoch = record.epoch;
             repl.records.push(payload);
-            progressed = true;
         }
-        repl.tail_client = Some(client);
-        if progressed {
-            TailOutcome::Progress
-        } else {
-            TailOutcome::Idle
+        if keep_conn && repl.tail_gen == conn.gen {
+            repl.tail = Some(conn);
         }
+        TailOutcome::Progress
     }
 
     /// The tailer fell behind the upstream's snapshot horizon: fetch the
-    /// current snapshot and restart the engine from it.
-    fn rebootstrap(&self, mut client: Client) -> TailOutcome {
-        let Ok((snapshot_bytes, snapshot)) = fetch_snapshot(&mut client) else {
+    /// current snapshot (over the connection's negotiated feed) and
+    /// restart the engine from it.
+    fn rebootstrap(&self, mut conn: TailConn) -> TailOutcome {
+        let fetched = if conn.bin {
+            fetch_snapshot_bin(&mut conn.client)
+        } else {
+            fetch_snapshot(&mut conn.client)
+        };
+        let Ok((snapshot_bytes, snapshot, wire)) = fetched else {
             return self.tail_failed();
         };
         let Snapshot {
@@ -886,14 +1211,110 @@ impl ReplicatedBackend {
         repl.snapshot_offset = offset;
         repl.mem_base = offset;
         repl.records.clear();
-        repl.tail_client = Some(client);
+        repl.feed_bytes += wire;
+        if repl.tail_gen == conn.gen {
+            repl.tail = Some(conn);
+        }
         TailOutcome::Progress
     }
 }
 
-/// Pulls and reassembles the upstream's snapshot: the raw bytes (served
-/// verbatim to any downstream follower) plus the decoded image.
-fn fetch_snapshot(client: &mut Client) -> Result<(Vec<u8>, Snapshot), ReplogError> {
+/// A fetched record batch, whichever encoding it travelled in.
+struct Fetched {
+    /// The record payloads, in offset order.
+    payloads: Vec<Vec<u8>>,
+    /// The cursor after this batch (the header's `next=`).
+    next: u64,
+    /// The upstream's log end as the header reported it.
+    upstream_end: Option<u64>,
+    /// Wire bytes this fetch cost (the `repl bytes=` gauge).
+    wire: u64,
+}
+
+/// One `REPL FETCH` reply, already integrity-checked.
+enum FetchReply {
+    /// Records (possibly none — caught up).
+    Records(Fetched),
+    /// The cursor predates the upstream's snapshot horizon.
+    Compacted,
+}
+
+/// Reads a textual `OK REPL RECORDS` reply.  `Err(Some(reason))` is a
+/// loggable feed defect, `Err(None)` a plain I/O failure.
+fn read_records_reply(client: &mut Client) -> Result<FetchReply, Option<String>> {
+    let header = client.read_line().map_err(|_| None)?;
+    if header.starts_with("ERR REPL COMPACTED") {
+        return Ok(FetchReply::Compacted);
+    }
+    let (Some(n), Some(next)) = (field_u64(&header, "n="), field_u64(&header, "next=")) else {
+        return Err(Some(format!("unexpected fetch reply: {header}")));
+    };
+    let mut wire = header.len() as u64 + 1;
+    let mut payloads = Vec::with_capacity(n.min(MAX_FETCH_RECORDS) as usize);
+    for _ in 0..n {
+        let line = client.read_line().map_err(|_| None)?;
+        wire += line.len() as u64 + 1;
+        let Some(hex) = line.strip_prefix("REPL RECORD ") else {
+            return Err(Some(format!("expected a REPL RECORD line, got: {line}")));
+        };
+        let bytes = from_hex(hex).map_err(|e| Some(feed_frame_error(&e.to_string())))?;
+        let payload =
+            unwrap_checksummed(&bytes).map_err(|e| Some(feed_frame_error(&e.to_string())))?;
+        payloads.push(payload.to_vec());
+    }
+    Ok(FetchReply::Records(Fetched {
+        payloads,
+        next,
+        upstream_end: field_u64(&header, "end="),
+        wire,
+    }))
+}
+
+/// Reads a binary `OK REPL BATCH <len> …` reply: the header line, then
+/// `len` raw bytes decoded through the strict all-or-nothing batch
+/// codec.  An oversize header is refused before any allocation.
+fn read_batch_reply(client: &mut Client) -> Result<FetchReply, Option<String>> {
+    let header = client.read_line().map_err(|_| None)?;
+    if header.starts_with("ERR REPL COMPACTED") {
+        return Ok(FetchReply::Compacted);
+    }
+    let len = header
+        .strip_prefix("OK REPL BATCH ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|t| t.parse::<u64>().ok());
+    let (Some(len), Some(n), Some(next)) =
+        (len, field_u64(&header, "n="), field_u64(&header, "next="))
+    else {
+        return Err(Some(format!("unexpected batch reply: {header}")));
+    };
+    if len > MAX_BATCH_FRAME_BYTES {
+        return Err(Some(feed_frame_error(&format!(
+            "batch of {len} bytes exceeds the {MAX_BATCH_FRAME_BYTES}-byte cap"
+        ))));
+    }
+    let frame = client
+        .read_exact(len as usize)
+        .map_err(|e| Some(feed_frame_error(&format!("batch truncated: {e}"))))?;
+    let payloads =
+        decode_record_batch(&frame).map_err(|e| Some(feed_frame_error(&e.to_string())))?;
+    if payloads.len() as u64 != n {
+        return Err(Some(feed_frame_error(&format!(
+            "batch carries {} records, header promised {n}",
+            payloads.len()
+        ))));
+    }
+    Ok(FetchReply::Records(Fetched {
+        payloads,
+        next,
+        upstream_end: field_u64(&header, "end="),
+        wire: header.len() as u64 + 1 + len,
+    }))
+}
+
+/// Pulls and reassembles the upstream's snapshot over the textual hex
+/// chunk protocol: the raw bytes (served verbatim to any downstream
+/// follower), the decoded image, and the wire bytes it cost.
+fn fetch_snapshot(client: &mut Client) -> Result<(Vec<u8>, Snapshot, u64), ReplogError> {
     let header = client.send("REPL SNAPSHOT")?;
     let (Some(bytes), Some(chunks)) = (field_u64(&header, "bytes="), field_u64(&header, "chunks="))
     else {
@@ -902,8 +1323,10 @@ fn fetch_snapshot(client: &mut Client) -> Result<(Vec<u8>, Snapshot), ReplogErro
         )));
     };
     let mut assembled = Vec::with_capacity(bytes as usize);
+    let mut wire = header.len() as u64 + 1;
     for _ in 0..chunks {
         let line = client.read_line()?;
+        wire += line.len() as u64 + 1;
         let Some(hex) = line.strip_prefix("REPL CHUNK ") else {
             return Err(ReplogError::Diverged(format!(
                 "expected a REPL CHUNK line, got: {line}"
@@ -918,7 +1341,47 @@ fn fetch_snapshot(client: &mut Client) -> Result<(Vec<u8>, Snapshot), ReplogErro
         )));
     }
     let snapshot = Snapshot::decode(&assembled)?;
-    Ok((assembled, snapshot))
+    Ok((assembled, snapshot, wire))
+}
+
+/// Pulls and reassembles the upstream's snapshot over the binary chunk
+/// protocol (`REPL SNAPSHOT BIN`): each chunk is one
+/// `[len ‖ crc32 ‖ payload]` frame of raw bytes, CRC-checked as it
+/// lands.  A chunk header promising more than the frame cap is refused
+/// before any allocation.
+fn fetch_snapshot_bin(client: &mut Client) -> Result<(Vec<u8>, Snapshot, u64), ReplogError> {
+    let header = client.send("REPL SNAPSHOT BIN")?;
+    let (Some(bytes), Some(chunks)) = (field_u64(&header, "bytes="), field_u64(&header, "chunks="))
+    else {
+        return Err(ReplogError::Diverged(format!(
+            "upstream refused the binary snapshot: {header}"
+        )));
+    };
+    let mut assembled = Vec::with_capacity((bytes as usize).min(MAX_CHUNK_FRAME_BYTES));
+    let mut wire = header.len() as u64 + 1;
+    for _ in 0..chunks {
+        let head = client.read_exact(8)?;
+        let (len, crc) = chunk_header(&head)
+            .map_err(|e| ReplogError::Diverged(format!("bad snapshot chunk header: {e}")))?;
+        if len > MAX_CHUNK_FRAME_BYTES {
+            return Err(ReplogError::Diverged(format!(
+                "snapshot chunk of {len} bytes exceeds the {MAX_CHUNK_FRAME_BYTES}-byte cap"
+            )));
+        }
+        let payload = client.read_exact(len)?;
+        verify_chunk(crc, &payload)
+            .map_err(|e| ReplogError::Diverged(format!("snapshot chunk rejected: {e}")))?;
+        wire += 8 + len as u64;
+        assembled.extend_from_slice(&payload);
+    }
+    if assembled.len() as u64 != bytes {
+        return Err(ReplogError::Diverged(format!(
+            "snapshot reassembled to {} bytes, header promised {bytes}",
+            assembled.len()
+        )));
+    }
+    let snapshot = Snapshot::decode(&assembled)?;
+    Ok((assembled, snapshot, wire))
 }
 
 #[cfg(test)]
@@ -962,13 +1425,13 @@ mod tests {
         let (outcome, _) = backend.compact().unwrap();
         assert_eq!(outcome.report.live_facts, 4);
         assert_eq!(read_log_payloads(&dir.join(LOG_FILE)).unwrap().len(), 0);
-        let hello = &backend.repl("REPL HELLO", true)[0];
+        let hello = &backend.repl("REPL HELLO", true).lines[0];
         assert_eq!(
             hello,
-            "OK REPL HELLO epoch=0 base=0 end=3 snap=3 role=primary compact=off"
+            "OK REPL HELLO epoch=0 base=0 end=3 snap=3 role=primary compact=off caps=bin"
         );
         // In-memory records are retained across the snapshot for tailers.
-        let fetched = backend.repl("REPL FETCH 0 64", true);
+        let fetched = backend.repl("REPL FETCH 0 64", true).lines;
         assert!(
             fetched[0].starts_with("OK REPL RECORDS n=3 "),
             "{}",
@@ -1010,11 +1473,11 @@ mod tests {
     fn repl_fetch_bounds_are_enforced() {
         let dir = temp_dir("bounds");
         let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
-        assert!(backend.repl("REPL FETCH 5 4", true)[0].starts_with("ERR REPL RANGE "));
-        assert!(backend.repl("REPL FETCH x 4", true)[0].starts_with("ERR REPL usage"));
-        assert!(backend.repl("REPL NONSENSE", true)[0].starts_with("ERR REPL usage"));
+        assert!(backend.repl("REPL FETCH 5 4", true).lines[0].starts_with("ERR REPL RANGE "));
+        assert!(backend.repl("REPL FETCH x 4", true).lines[0].starts_with("ERR REPL usage"));
+        assert!(backend.repl("REPL NONSENSE", true).lines[0].starts_with("ERR REPL usage"));
         assert_eq!(
-            backend.repl("REPL FETCH 0 10", true),
+            backend.repl("REPL FETCH 0 10", true).lines,
             vec!["OK REPL RECORDS n=0 next=0 end=0".to_string()]
         );
         std::fs::remove_dir_all(&dir).unwrap();
@@ -1044,10 +1507,10 @@ mod tests {
         let insert = |text: &str| Mutation::Insert(db.parse_fact(text).unwrap());
 
         // An equal (or lower) epoch never fences.
-        let hello = &backend.repl("REPL HELLO epoch=0", true)[0];
+        let hello = &backend.repl("REPL HELLO epoch=0", true).lines[0];
         assert_eq!(
             hello,
-            "OK REPL HELLO epoch=0 base=0 end=0 snap=0 role=primary compact=off"
+            "OK REPL HELLO epoch=0 base=0 end=0 snap=0 role=primary compact=off caps=bin"
         );
         assert!(backend
             .mutate(insert("Employee(9, 'Flux', 'Ops')"), None)
@@ -1055,10 +1518,10 @@ mod tests {
 
         // A strictly newer epoch deposes this primary: the reply carries
         // the fence, and every mutating verb refuses deterministically.
-        let hello = &backend.repl("REPL HELLO epoch=3", true)[0];
+        let hello = &backend.repl("REPL HELLO epoch=3", true).lines[0];
         assert_eq!(
             hello,
-            "OK REPL HELLO epoch=0 base=0 end=1 snap=0 role=primary compact=off fenced=3"
+            "OK REPL HELLO epoch=0 base=0 end=1 snap=0 role=primary compact=off caps=bin fenced=3"
         );
         assert_eq!(
             backend.mutate(insert("Employee(9, 'Nope', 'Ops')"), None),
@@ -1091,13 +1554,13 @@ mod tests {
         let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
 
         // Probes and non-fencing announcements never need auth.
-        assert!(backend.repl("REPL HELLO", false)[0].starts_with("OK REPL HELLO "));
-        assert!(backend.repl("REPL HELLO epoch=0", false)[0].starts_with("OK REPL HELLO "));
+        assert!(backend.repl("REPL HELLO", false).lines[0].starts_with("OK REPL HELLO "));
+        assert!(backend.repl("REPL HELLO epoch=0", false).lines[0].starts_with("OK REPL HELLO "));
 
         // A fencing announcement without admin rights is refused and
         // leaves the primary untouched.
         assert_eq!(
-            backend.repl("REPL HELLO epoch=3", false)[0],
+            backend.repl("REPL HELLO epoch=3", false).lines[0],
             "ERR DENIED REPL HELLO epoch=3 would fence this primary and requires AUTH \
              on this server"
         );
@@ -1107,7 +1570,7 @@ mod tests {
         assert!(backend.mutate(insert, None).starts_with("OK INSERT "));
 
         // The same announcement with admin rights fences.
-        assert!(backend.repl("REPL HELLO epoch=3", true)[0].ends_with("fenced=3"));
+        assert!(backend.repl("REPL HELLO epoch=3", true).lines[0].ends_with("fenced=3"));
         assert!(backend.stats().ends_with(" fenced=3"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -1118,25 +1581,33 @@ mod tests {
         let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
         backend.set_auto_compact(Some(16));
         assert_eq!(
-            backend.repl("REPL HELLO epoch=0 compact=off", true)[0],
+            backend.repl("REPL HELLO epoch=0 compact=off", true).lines[0],
             "ERR REPL COMPACT MISMATCH ours=16 yours=off"
         );
         assert_eq!(
-            backend.repl("REPL HELLO epoch=0 compact=8", true)[0],
+            backend.repl("REPL HELLO epoch=0 compact=8", true).lines[0],
             "ERR REPL COMPACT MISMATCH ours=16 yours=8"
         );
-        let hello = &backend.repl("REPL HELLO epoch=0 compact=16", true)[0];
+        let hello = &backend.repl("REPL HELLO epoch=0 compact=16", true).lines[0];
         assert_eq!(
             hello,
-            "OK REPL HELLO epoch=0 base=0 end=0 snap=0 role=primary compact=16"
+            "OK REPL HELLO epoch=0 base=0 end=0 snap=0 role=primary compact=16 caps=bin"
         );
         // A refused handshake never fences: the epoch check runs after.
-        assert_eq!(backend.repl("REPL HELLO epoch=9 compact=8", true).len(), 1);
+        assert_eq!(
+            backend
+                .repl("REPL HELLO epoch=9 compact=8", true)
+                .lines
+                .len(),
+            1
+        );
         assert!(!backend.stats().contains("fenced="));
         // Malformed announcements draw the usage line.
-        assert!(backend.repl("REPL HELLO epoch=x", true)[0].starts_with("ERR REPL usage"));
-        assert!(backend.repl("REPL HELLO compact=soon", true)[0].starts_with("ERR REPL usage"));
-        assert!(backend.repl("REPL HELLO nonsense", true)[0].starts_with("ERR REPL usage"));
+        assert!(backend.repl("REPL HELLO epoch=x", true).lines[0].starts_with("ERR REPL usage"));
+        assert!(
+            backend.repl("REPL HELLO compact=soon", true).lines[0].starts_with("ERR REPL usage")
+        );
+        assert!(backend.repl("REPL HELLO nonsense", true).lines[0].starts_with("ERR REPL usage"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1155,7 +1626,7 @@ mod tests {
     fn the_served_snapshot_round_trips() {
         let dir = temp_dir("snapshot");
         let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
-        let lines = backend.repl("REPL SNAPSHOT", true);
+        let lines = backend.repl("REPL SNAPSHOT", true).lines;
         let bytes = field_u64(&lines[0], "bytes=").unwrap();
         let mut assembled = Vec::new();
         for line in &lines[1..] {
@@ -1169,6 +1640,67 @@ mod tests {
             assert_eq!(&snapshot.keys, engine.keys());
             assert_eq!(snapshot.generation, engine.generation());
         });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The binary forms carry the same payloads the textual forms do:
+    /// `FETCH … BIN` answers one batch frame whose records match the hex
+    /// lines byte for byte, and `SNAPSHOT BIN` chunks reassemble to the
+    /// exact snapshot image.
+    #[test]
+    fn the_binary_fetch_and_snapshot_round_trip() {
+        let dir = temp_dir("bin");
+        let backend = ReplicatedBackend::primary(seed(), &dir).unwrap();
+        let db = backend.parse_database();
+        let insert = |text: &str| Mutation::Insert(db.parse_fact(text).unwrap());
+        backend.mutate(insert("Employee(9, 'Flux', 'Ops')"), None);
+        backend.mutate(insert("Employee(10, 'Mesh', 'Ops')"), None);
+
+        let reply = backend.repl("REPL FETCH 0 64 BIN", true);
+        let header = reply.lines[0].clone();
+        assert!(header.starts_with("OK REPL BATCH "), "{header}");
+        let len: usize = header.split_whitespace().nth(3).unwrap().parse().unwrap();
+        assert_eq!(reply.raw.len(), len);
+        assert_eq!(field_u64(&header, "n="), Some(2));
+        assert_eq!(field_u64(&header, "next="), Some(2));
+        assert_eq!(field_u64(&header, "end="), Some(2));
+        let payloads = decode_record_batch(&reply.raw).unwrap();
+        assert_eq!(payloads.len(), 2);
+        let textual = backend.repl("REPL FETCH 0 64", true).lines;
+        for (payload, line) in payloads.iter().zip(&textual[1..]) {
+            let bytes = from_hex(line.strip_prefix("REPL RECORD ").unwrap()).unwrap();
+            assert_eq!(payload.as_slice(), unwrap_checksummed(&bytes).unwrap());
+        }
+
+        let reply = backend.repl("REPL SNAPSHOT BIN", true);
+        let header = reply.lines[0].clone();
+        assert!(header.starts_with("OK REPL SNAPSHOT BIN "), "{header}");
+        let bytes = field_u64(&header, "bytes=").unwrap();
+        let chunks = field_u64(&header, "chunks=").unwrap();
+        let mut assembled = Vec::new();
+        let mut rest = reply.raw.as_slice();
+        for _ in 0..chunks {
+            let (len, crc) = chunk_header(&rest[..8]).unwrap();
+            let payload = &rest[8..8 + len];
+            verify_chunk(crc, payload).unwrap();
+            assembled.extend_from_slice(payload);
+            rest = &rest[8 + len..];
+        }
+        assert!(rest.is_empty(), "no trailing bytes after the last chunk");
+        assert_eq!(assembled.len() as u64, bytes);
+        Snapshot::decode(&assembled).unwrap();
+        // Byte-identical to what the textual hex chunks carry.
+        let textual = backend.repl("REPL SNAPSHOT", true).lines;
+        let mut hex_assembled = Vec::new();
+        for line in &textual[1..] {
+            hex_assembled
+                .extend_from_slice(&from_hex(line.strip_prefix("REPL CHUNK ").unwrap()).unwrap());
+        }
+        assert_eq!(assembled, hex_assembled);
+
+        // Malformed binary forms draw the usage lines.
+        assert!(backend.repl("REPL FETCH 0 64 NOPE", true).lines[0].starts_with("ERR REPL usage"));
+        assert!(backend.repl("REPL SNAPSHOT NOPE", true).lines[0].starts_with("ERR REPL usage"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

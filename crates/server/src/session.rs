@@ -56,6 +56,9 @@ pub(crate) enum Step {
     Silent,
     /// One or more reply lines to send, in order.
     Replies(Vec<String>),
+    /// Reply lines followed by raw bytes sent verbatim (no newline
+    /// appended) — a binary `REPL BATCH`/`SNAPSHOT BIN` body.
+    RepliesRaw(Vec<String>, Vec<u8>),
     /// Send the line, then close this connection.
     Quit(String),
     /// Send the line, close this connection, and shut the server down.
@@ -176,7 +179,14 @@ impl Session {
                 host.backend().chaos_panic()
             }
             "QUIT" => Step::Quit("OK BYE".to_string()),
-            "REPL" => Step::Replies(host.backend().repl(trimmed, !self.admin_denied(host))),
+            "REPL" => {
+                let reply = host.backend().repl(trimmed, !self.admin_denied(host));
+                if reply.raw.is_empty() {
+                    Step::Replies(reply.lines)
+                } else {
+                    Step::RepliesRaw(reply.lines, reply.raw)
+                }
+            }
             "PROMOTE" => {
                 if self.admin_denied(host) {
                     return Step::Replies(vec![denied("PROMOTE")]);
@@ -536,7 +546,7 @@ impl Oracle {
         };
         match self.session.feed(&host, line) {
             Step::Silent => Vec::new(),
-            Step::Replies(replies) => replies,
+            Step::Replies(replies) | Step::RepliesRaw(replies, _) => replies,
             Step::Quit(reply) | Step::Shutdown(reply) => vec![reply],
         }
     }
@@ -554,7 +564,7 @@ impl Oracle {
         };
         match self.session.bulk(&host, frame) {
             Step::Silent => Vec::new(),
-            Step::Replies(replies) => replies,
+            Step::Replies(replies) | Step::RepliesRaw(replies, _) => replies,
             Step::Quit(reply) | Step::Shutdown(reply) => vec![reply],
         }
     }

@@ -83,8 +83,27 @@ fn start_fuzz_server(
 }
 
 /// Reads the rest of a multi-line `REPL` reply whose header announces
-/// `n=`/`chunks=` continuation lines, so the connection never desyncs.
+/// `n=`/`chunks=` continuation lines — or, for the binary forms, the
+/// raw body whose byte count the header announces — so the connection
+/// never desyncs.
 fn drain_repl_reply(client: &mut Client, header: &str) {
+    if let Some(rest) = header.strip_prefix("OK REPL BATCH ") {
+        let len = rest
+            .split_whitespace()
+            .next()
+            .and_then(|token| token.parse::<usize>().ok())
+            .expect("BATCH headers announce their frame length");
+        client.read_exact(len).expect("announced batch frame");
+        return;
+    }
+    if header.starts_with("OK REPL SNAPSHOT BIN ") {
+        let bytes = stat_field(header, "bytes=").expect("snapshot bytes");
+        let chunks = stat_field(header, "chunks=").expect("snapshot chunks");
+        client
+            .read_exact(bytes as usize + 8 * chunks as usize)
+            .expect("announced snapshot chunks");
+        return;
+    }
     let continuation = header
         .split_whitespace()
         .find_map(|token| {
@@ -292,6 +311,10 @@ proptest! {
                         "REPL NONSENSE 1 2 3",
                         "REPL HELLO",
                         "REPL FETCH 0 3",
+                        "REPL FETCH 0 3 BIN",
+                        "REPL FETCH 0 3 NOPE",
+                        "REPL SNAPSHOT BIN",
+                        "REPL SNAPSHOT NOPE",
                     ];
                     let line = garbage[next(&mut state) as usize % garbage.len()];
                     let reply = client.send(line).expect("repl reply");
@@ -487,6 +510,197 @@ fn abrupt_disconnect_mid_batch_leaves_engine_untouched() {
     );
     server.shutdown();
     assert_eq!(server.join().recovered_panics, 0);
+}
+
+/// A scripted hostile upstream for the binary replication feed: it
+/// handshakes like a binary-capable primary, then serves one defective
+/// `REPL FETCH … BIN` reply per connection — a flipped payload byte, a
+/// flipped checksum byte, a mid-frame disconnect after half the promised
+/// bytes, an oversize `BATCH <len>` header, and a frame whose header
+/// lies about the record count.  The tailer must degrade to
+/// idle-and-retry on every one of them: one retry counted per defect,
+/// zero records applied, no panic — and it recovers fully once
+/// retargeted back at the real primary.
+#[test]
+fn a_hostile_binary_upstream_never_panics_the_tailer() {
+    use repair_count::counting::replog::encode_record_batch;
+    use std::io::{BufRead, BufReader, Write};
+
+    let (db, keys) = base();
+    let dir = temp_log_dir();
+    let backend = ReplicatedBackend::primary(RepairEngine::new(db, keys), &dir).expect("primary");
+    let primary = Server::start_replicated(backend, fuzz_config()).expect("bind primary");
+    let mut client = Client::connect(primary.addr()).expect("connect primary");
+    for value in 3000..3003 {
+        let reply = client
+            .send(&format!("INSERT Reading(0, 0, {value})"))
+            .expect("insert");
+        assert!(reply.starts_with("OK INSERT "), "{reply}");
+    }
+    let follower_backend = ReplicatedBackend::follower_with(
+        &primary.addr().to_string(),
+        None,
+        FeedMode::Bin,
+        64,
+        |engine| engine,
+    )
+    .expect("bootstrap");
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake upstream");
+    let fake_addr = listener.local_addr().expect("fake addr").to_string();
+    const DEFECTS: u64 = 5;
+    let hostile = std::thread::spawn(move || {
+        for defect in 0..DEFECTS {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            let mut line = String::new();
+            loop {
+                line.clear();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    break; // the tailer dropped the defective feed
+                }
+                if line.starts_with("REPL HELLO") {
+                    stream
+                        .write_all(
+                            b"OK REPL HELLO epoch=0 base=0 end=9 snap=0 role=primary \
+                              compact=off caps=bin\n",
+                        )
+                        .ok();
+                } else if line.starts_with("REPL FETCH") {
+                    let frame =
+                        encode_record_batch(&[b"not-a-record".to_vec(), b"also-not".to_vec()]);
+                    match defect {
+                        0 => {
+                            // Flipped payload byte: the checksum catches it.
+                            let mut bad = frame.clone();
+                            let last = bad.len() - 1;
+                            bad[last] ^= 0x40;
+                            let header = format!("OK REPL BATCH {} n=2 next=5 end=9\n", bad.len());
+                            stream.write_all(header.as_bytes()).ok();
+                            stream.write_all(&bad).ok();
+                        }
+                        1 => {
+                            // Flipped checksum byte over an intact payload.
+                            let mut bad = frame.clone();
+                            bad[0] ^= 0x01;
+                            let header = format!("OK REPL BATCH {} n=2 next=5 end=9\n", bad.len());
+                            stream.write_all(header.as_bytes()).ok();
+                            stream.write_all(&bad).ok();
+                        }
+                        2 => {
+                            // Promise the frame, ship half of it, vanish.
+                            let header =
+                                format!("OK REPL BATCH {} n=2 next=5 end=9\n", frame.len());
+                            stream.write_all(header.as_bytes()).ok();
+                            stream.write_all(&frame[..frame.len() / 2]).ok();
+                            break;
+                        }
+                        3 => {
+                            // A 64 GiB length header: refused unread.
+                            stream
+                                .write_all(b"OK REPL BATCH 68719476736 n=1 next=5 end=9\n")
+                                .ok();
+                        }
+                        _ => {
+                            // The frame decodes but the header lies: n=3
+                            // against a 2-record batch.
+                            let header =
+                                format!("OK REPL BATCH {} n=3 next=5 end=9\n", frame.len());
+                            stream.write_all(header.as_bytes()).ok();
+                            stream.write_all(&frame).ok();
+                        }
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+    });
+
+    let mut config = fuzz_config();
+    config.poll_interval = Duration::from_millis(10);
+    let follower = Server::start_replicated(follower_backend, config).expect("bind follower");
+    let mut reader = Client::connect(follower.addr()).expect("connect follower");
+    // Let the tailer finish catching up over the real primary's warm
+    // bootstrap connection before the feed turns hostile, so the
+    // baseline below is the settled cursor.
+    let settled = stat_field(&client.send("STATS").expect("STATS"), "end=").expect("end gauge");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = reader.send("STATS").expect("STATS");
+        if stat_field(&stats, "end=").is_some_and(|end| end >= settled) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "never caught up: {stats}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let baseline = settled;
+    assert_eq!(
+        reader
+            .send(&format!("RETARGET {fake_addr}"))
+            .expect("RETARGET"),
+        format!("OK RETARGET {fake_addr}")
+    );
+
+    // Every defect costs exactly one retry and nothing else: the cursor
+    // never moves, the role never flips, no worker panics.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats = reader.send("STATS").expect("STATS");
+        if stat_field(&stats, "retries=").is_some_and(|retries| retries >= DEFECTS) {
+            assert_eq!(
+                stat_field(&stats, "end="),
+                Some(baseline),
+                "defective batches applied nothing: {stats}"
+            );
+            assert!(stats.contains("role=follower"), "{stats}");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "tailer never counted the defects: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    hostile.join().expect("hostile upstream thread exits");
+
+    // Retargeted at the real primary, the degraded tailer recovers and
+    // keeps tailing over the binary feed.
+    let real_addr = primary.addr().to_string();
+    assert_eq!(
+        reader
+            .send(&format!("RETARGET {real_addr}"))
+            .expect("RETARGET"),
+        format!("OK RETARGET {real_addr}")
+    );
+    let reply = client.send("INSERT Reading(1, 1, 3100)").expect("insert");
+    assert!(reply.starts_with("OK INSERT "), "{reply}");
+    let target = stat_field(&client.send("STATS").expect("STATS"), "end=").expect("end gauge");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = reader.send("STATS").expect("STATS");
+        if stat_field(&stats, "end=").is_some_and(|end| end >= target) {
+            assert!(stats.contains(" feed=bin bytes="), "{stats}");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never recovered: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    follower.shutdown();
+    assert_eq!(
+        follower.join().recovered_panics,
+        0,
+        "the tailer never panicked"
+    );
+    primary.shutdown();
+    assert_eq!(primary.join().recovered_panics, 0);
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 /// The same vanish-without-END session against the sharded router: the
